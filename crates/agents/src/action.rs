@@ -1,0 +1,193 @@
+//! The operation protocol between agents and drivers.
+
+use std::fmt;
+
+use agentsim_kvcache::TokenBuf;
+use agentsim_tools::{ToolCall, ToolResult};
+
+use crate::context::ContextBreakdown;
+
+/// Role of an LLM call within the agent workflow (drives output-length
+/// statistics and reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputKind {
+    /// A thought + action step (ReAct-style).
+    Action,
+    /// A structured plan (LLMCompiler's planner).
+    Plan,
+    /// A self-reflection over a failed trajectory (Reflexion).
+    Reflection,
+    /// A value estimate for a search node (LATS).
+    Evaluation,
+    /// A final answer attempt.
+    Answer,
+}
+
+impl fmt::Display for OutputKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OutputKind::Action => "action",
+            OutputKind::Plan => "plan",
+            OutputKind::Reflection => "reflection",
+            OutputKind::Evaluation => "evaluation",
+            OutputKind::Answer => "answer",
+        })
+    }
+}
+
+/// One LLM inference the agent wants executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlmCallSpec {
+    /// The full input prompt.
+    pub prompt: TokenBuf,
+    /// Number of tokens to generate.
+    pub out_tokens: u32,
+    /// Seed identifying the output token stream (for history reuse).
+    pub gen_seed: u64,
+    /// What this call is for.
+    pub kind: OutputKind,
+    /// Input-token composition at call time (for the paper's Fig. 8/9).
+    pub breakdown: ContextBreakdown,
+}
+
+/// Final task outcome reported by the agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskOutcome {
+    /// Whether the final answer was correct.
+    pub solved: bool,
+    /// Reasoning iterations consumed.
+    pub iterations: u32,
+}
+
+/// What the agent wants to do next.
+///
+/// Batched variants execute their elements concurrently; the driver
+/// resumes the agent when *all* elements have completed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentOp {
+    /// One LLM call.
+    Llm(LlmCallSpec),
+    /// Parallel LLM calls (LATS tree expansion / node evaluation).
+    LlmBatch(Vec<LlmCallSpec>),
+    /// Parallel tool invocations (one or more).
+    Tools(Vec<ToolCall>),
+    /// LLMCompiler: a planner call whose streamed output launches tool
+    /// calls before the plan finishes. `overlap` is the fraction of the
+    /// planner's latency by which tool execution is pulled forward.
+    OverlappedPlan {
+        /// The planner LLM call.
+        llm: LlmCallSpec,
+        /// Tool calls launched from the streaming plan.
+        tools: Vec<ToolCall>,
+        /// Fraction of planner latency overlapped with tool execution,
+        /// in `[0, 1]`.
+        overlap: f64,
+    },
+    /// The task is finished.
+    Finish(TaskOutcome),
+}
+
+impl AgentOp {
+    /// Number of LLM calls in this op.
+    pub fn llm_calls(&self) -> usize {
+        match self {
+            AgentOp::Llm(_) => 1,
+            AgentOp::LlmBatch(v) => v.len(),
+            AgentOp::OverlappedPlan { .. } => 1,
+            AgentOp::Tools(_) | AgentOp::Finish(_) => 0,
+        }
+    }
+
+    /// Number of tool calls in this op.
+    pub fn tool_calls(&self) -> usize {
+        match self {
+            AgentOp::Tools(v) => v.len(),
+            AgentOp::OverlappedPlan { tools, .. } => tools.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Result of one LLM call, as seen by the agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlmOutput {
+    /// Tokens generated.
+    pub tokens: u32,
+    /// The output stream seed (echoed from the spec).
+    pub gen_seed: u64,
+}
+
+/// Results of the previous [`AgentOp`], fed back into the policy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpResult {
+    /// LLM outputs, in spec order.
+    pub llm: Vec<LlmOutput>,
+    /// Tool results, in call order.
+    pub tools: Vec<ToolResult>,
+}
+
+impl OpResult {
+    /// The empty result used to start a session.
+    pub fn empty() -> Self {
+        OpResult::default()
+    }
+
+    /// Builds a result holding a single LLM output.
+    pub fn of_llm(tokens: u32, gen_seed: u64) -> Self {
+        OpResult {
+            llm: vec![LlmOutput { tokens, gen_seed }],
+            tools: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentsim_tools::ToolKind;
+
+    fn spec() -> LlmCallSpec {
+        LlmCallSpec {
+            prompt: TokenBuf::from_segment(1, 8),
+            out_tokens: 5,
+            gen_seed: 9,
+            kind: OutputKind::Action,
+            breakdown: ContextBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn op_counts() {
+        assert_eq!(AgentOp::Llm(spec()).llm_calls(), 1);
+        assert_eq!(AgentOp::LlmBatch(vec![spec(), spec()]).llm_calls(), 2);
+        let tools = vec![ToolCall::new(ToolKind::PythonCalc); 3];
+        assert_eq!(AgentOp::Tools(tools.clone()).tool_calls(), 3);
+        let overlapped = AgentOp::OverlappedPlan {
+            llm: spec(),
+            tools,
+            overlap: 0.5,
+        };
+        assert_eq!(overlapped.llm_calls(), 1);
+        assert_eq!(overlapped.tool_calls(), 3);
+        assert_eq!(
+            AgentOp::Finish(TaskOutcome {
+                solved: true,
+                iterations: 2
+            })
+            .llm_calls(),
+            0
+        );
+    }
+
+    #[test]
+    fn empty_result_has_no_payload() {
+        let r = OpResult::empty();
+        assert!(r.llm.is_empty());
+        assert!(r.tools.is_empty());
+    }
+
+    #[test]
+    fn output_kind_display() {
+        assert_eq!(OutputKind::Plan.to_string(), "plan");
+    }
+}

@@ -1,0 +1,177 @@
+//! Best-of-N: *static* parallel test-time scaling (the paper's Fig. 1b
+//! regime). N independent CoT-style samples are generated concurrently
+//! and the best is selected — more compute, no tools, no adaptivity.
+//!
+//! This is not one of the paper's five agents (its Table I); it is the
+//! static baseline its introduction contrasts agents against, included
+//! here so the static-vs-dynamic scaling comparison can be run on the
+//! same substrate (`ext_static` experiment).
+
+use agentsim_simkit::SimRng;
+use agentsim_workloads::Task;
+
+use crate::action::{AgentOp, LlmCallSpec, OpResult, OutputKind, TaskOutcome};
+use crate::catalog::AgentKind;
+use crate::cognition::{sample_output_tokens, Cognition};
+use crate::config::AgentConfig;
+use crate::context::ContextTracker;
+use crate::policy::{AgentPolicy, SeedSeq};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Start,
+    AwaitSamples,
+    Done,
+}
+
+/// The Best-of-N static scaler.
+#[derive(Debug)]
+pub struct BestOfN {
+    task: Task,
+    config: AgentConfig,
+    samples: u32,
+    cognition: Cognition,
+    ctx: ContextTracker,
+    seeds: SeedSeq,
+    state: State,
+}
+
+impl BestOfN {
+    /// Creates a Best-of-N scaler drawing `samples` parallel completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn new(task: &Task, config: AgentConfig, samples: u32) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        BestOfN {
+            cognition: Cognition::new(config.model_quality),
+            ctx: ContextTracker::new(AgentKind::BestOfN.tag(), task, config.fewshot),
+            seeds: SeedSeq::new(task, AgentKind::BestOfN.tag()),
+            task: task.clone(),
+            config,
+            samples,
+            state: State::Start,
+        }
+    }
+
+    /// Number of parallel samples drawn.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+}
+
+impl AgentPolicy for BestOfN {
+    fn kind(&self) -> AgentKind {
+        AgentKind::BestOfN
+    }
+
+    fn next(&mut self, _last: &OpResult, rng: &mut SimRng) -> AgentOp {
+        match self.state {
+            State::Start => {
+                self.state = State::AwaitSamples;
+                let prompt = self.ctx.snapshot();
+                let breakdown = self.ctx.breakdown();
+                let specs: Vec<LlmCallSpec> = (0..self.samples)
+                    .map(|_| LlmCallSpec {
+                        prompt: prompt.clone(),
+                        out_tokens: sample_output_tokens(
+                            AgentKind::Cot,
+                            OutputKind::Answer,
+                            rng,
+                        ),
+                        gen_seed: self.seeds.next(),
+                        kind: OutputKind::Answer,
+                        breakdown,
+                    })
+                    .collect();
+                AgentOp::LlmBatch(specs)
+            }
+            State::AwaitSamples => {
+                self.state = State::Done;
+                let capability = self.cognition.static_capability(
+                    &self.task,
+                    self.config.fewshot,
+                    self.samples,
+                );
+                AgentOp::Finish(TaskOutcome {
+                    solved: Cognition::solves(&self.task, capability),
+                    iterations: 1,
+                })
+            }
+            State::Done => panic!("Best-of-N resumed after Finish"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_to_completion;
+    use agentsim_workloads::{Benchmark, TaskGenerator};
+
+    #[test]
+    fn issues_exactly_n_parallel_calls_no_tools() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 1).task(0);
+        for n in [1u32, 4, 16] {
+            let mut agent = BestOfN::new(&task, AgentConfig::default(), n);
+            let trace = run_to_completion(&mut agent, 3);
+            assert_eq!(trace.llm_calls, n as usize);
+            assert_eq!(trace.tool_calls, 0);
+        }
+    }
+
+    #[test]
+    fn samples_share_the_prompt_with_distinct_streams() {
+        let task = TaskGenerator::new(Benchmark::Math, 2).task(0);
+        let mut agent = BestOfN::new(&task, AgentConfig::default(), 4);
+        let mut rng = SimRng::seed_from(5);
+        match agent.next(&OpResult::empty(), &mut rng) {
+            AgentOp::LlmBatch(specs) => {
+                assert_eq!(specs.len(), 4);
+                for s in &specs[1..] {
+                    assert_eq!(s.prompt, specs[0].prompt);
+                    assert_ne!(s.gen_seed, specs[0].gen_seed);
+                }
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn more_samples_raise_accuracy_with_diminishing_returns() {
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 3);
+        let acc = |n: u32| {
+            let tasks = 300;
+            let mut ok = 0u32;
+            for (i, task) in g.tasks(tasks).enumerate() {
+                let mut agent = BestOfN::new(&task, AgentConfig::default(), n);
+                ok += run_to_completion(&mut agent, i as u64).outcome.solved as u32;
+            }
+            ok as f64 / tasks as f64
+        };
+        let a1 = acc(1);
+        let a8 = acc(8);
+        let a32 = acc(32);
+        assert!(a8 > a1, "sampling helps: {a1} -> {a8}");
+        assert!(a32 - a8 < a8 - a1 + 0.02, "diminishing: {a8} -> {a32}");
+    }
+
+    #[test]
+    fn static_scaling_stays_below_tool_agents_on_knowledge_tasks() {
+        // The paper's core contrast: no amount of static sampling fetches
+        // the missing evidence that tools retrieve.
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 4);
+        let tasks = 200;
+        let (mut static_ok, mut lats_ok) = (0u32, 0u32);
+        for (i, task) in g.tasks(tasks).enumerate() {
+            let mut b = BestOfN::new(&task, AgentConfig::default(), 32);
+            static_ok += run_to_completion(&mut b, i as u64).outcome.solved as u32;
+            let mut l = crate::lats::Lats::new(&task, AgentConfig::default());
+            lats_ok += run_to_completion(&mut l, i as u64).outcome.solved as u32;
+        }
+        let s = static_ok as f64 / tasks as f64;
+        let d = lats_ok as f64 / tasks as f64;
+        assert!(d > s + 0.1, "dynamic {d} must beat static {s}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Agent identities and the Table I capability matrix.
+
+use std::fmt;
+
+use agentsim_workloads::Benchmark;
+
+/// The five agent frameworks the paper characterizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AgentKind {
+    /// Chain-of-Thought: single-call internal reasoning, no tools.
+    Cot,
+    /// ReAct: interleaved reasoning and tool use.
+    React,
+    /// Reflexion: ReAct trials with verbal self-reflection between them.
+    Reflexion,
+    /// Language Agent Tree Search: MCTS over reasoning/action branches.
+    Lats,
+    /// LLMCompiler: DAG planning with streamed, parallel tool execution.
+    LlmCompiler,
+    /// Best-of-N: static parallel sampling (not in the paper's Table I;
+    /// the static test-time-scaling baseline its introduction contrasts
+    /// agents against).
+    BestOfN,
+}
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Internal reasoning.
+    pub reasoning: bool,
+    /// External tool use.
+    pub tool_use: bool,
+    /// Self-reflection over failed trajectories.
+    pub reflection: bool,
+    /// Tree search over branches.
+    pub tree_search: bool,
+    /// Structured multi-step planning.
+    pub structured_planning: bool,
+}
+
+impl AgentKind {
+    /// The paper's five agents (Table I), in its order. `BestOfN` is a
+    /// deliberate omission: it is the static baseline, not an agent.
+    pub const ALL: [AgentKind; 5] = [
+        AgentKind::Cot,
+        AgentKind::React,
+        AgentKind::Reflexion,
+        AgentKind::Lats,
+        AgentKind::LlmCompiler,
+    ];
+
+    /// The Table I capability row for this agent.
+    pub fn capabilities(self) -> Capabilities {
+        match self {
+            AgentKind::Cot => Capabilities {
+                reasoning: true,
+                tool_use: false,
+                reflection: false,
+                tree_search: false,
+                structured_planning: false,
+            },
+            AgentKind::React => Capabilities {
+                reasoning: true,
+                tool_use: true,
+                reflection: false,
+                tree_search: false,
+                structured_planning: false,
+            },
+            AgentKind::Reflexion => Capabilities {
+                reasoning: true,
+                tool_use: true,
+                reflection: true,
+                tree_search: false,
+                structured_planning: false,
+            },
+            AgentKind::Lats => Capabilities {
+                reasoning: true,
+                tool_use: true,
+                reflection: true,
+                tree_search: true,
+                structured_planning: false,
+            },
+            AgentKind::LlmCompiler => Capabilities {
+                reasoning: true,
+                tool_use: true,
+                reflection: true,
+                tree_search: false,
+                structured_planning: true,
+            },
+            AgentKind::BestOfN => Capabilities {
+                reasoning: true,
+                tool_use: false,
+                reflection: false,
+                tree_search: false,
+                structured_planning: false,
+            },
+        }
+    }
+
+    /// Whether the paper evaluates this agent on `benchmark` (Table II's
+    /// omissions: CoT cannot browse WebShop; LLMCompiler's DAG planning is
+    /// unsuited to MATH and HumanEval).
+    pub fn supports(self, benchmark: Benchmark) -> bool {
+        !matches!(
+            (self, benchmark),
+            (_, Benchmark::ShareGpt)
+                | (AgentKind::Cot | AgentKind::BestOfN, Benchmark::WebShop)
+                | (AgentKind::LlmCompiler, Benchmark::Math | Benchmark::HumanEval)
+        )
+    }
+
+    /// A small integer tag used to derive prompt-segment seeds, so each
+    /// framework's instructions/few-shots are distinct token streams.
+    pub fn tag(self) -> u64 {
+        match self {
+            AgentKind::Cot => 1,
+            AgentKind::React => 2,
+            AgentKind::Reflexion => 3,
+            AgentKind::Lats => 4,
+            AgentKind::LlmCompiler => 5,
+            AgentKind::BestOfN => 6,
+        }
+    }
+}
+
+impl fmt::Display for AgentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AgentKind::Cot => "CoT",
+            AgentKind::React => "ReAct",
+            AgentKind::Reflexion => "Reflexion",
+            AgentKind::Lats => "LATS",
+            AgentKind::LlmCompiler => "LLMCompiler",
+            AgentKind::BestOfN => "Best-of-N",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_table1() {
+        // Strictly increasing capability count CoT -> ReAct -> Reflexion -> LATS.
+        let count = |k: AgentKind| {
+            let c = k.capabilities();
+            [
+                c.reasoning,
+                c.tool_use,
+                c.reflection,
+                c.tree_search,
+                c.structured_planning,
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count()
+        };
+        assert_eq!(count(AgentKind::Cot), 1);
+        assert_eq!(count(AgentKind::React), 2);
+        assert_eq!(count(AgentKind::Reflexion), 3);
+        assert_eq!(count(AgentKind::Lats), 4);
+        assert!(AgentKind::LlmCompiler.capabilities().structured_planning);
+        assert!(!AgentKind::LlmCompiler.capabilities().tree_search);
+    }
+
+    #[test]
+    fn benchmark_support_matches_table2() {
+        assert!(!AgentKind::Cot.supports(Benchmark::WebShop));
+        assert!(!AgentKind::LlmCompiler.supports(Benchmark::Math));
+        assert!(!AgentKind::LlmCompiler.supports(Benchmark::HumanEval));
+        assert!(AgentKind::LlmCompiler.supports(Benchmark::HotpotQa));
+        for k in AgentKind::ALL {
+            assert!(k.supports(Benchmark::HotpotQa));
+            assert!(!k.supports(Benchmark::ShareGpt));
+        }
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let mut tags: Vec<u64> = AgentKind::ALL.iter().map(|k| k.tag()).collect();
+        tags.push(AgentKind::BestOfN.tag());
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), 6);
+    }
+
+    #[test]
+    fn best_of_n_is_a_static_baseline() {
+        assert!(!AgentKind::ALL.contains(&AgentKind::BestOfN), "not in Table I");
+        let c = AgentKind::BestOfN.capabilities();
+        assert!(c.reasoning && !c.tool_use && !c.reflection);
+        assert!(!AgentKind::BestOfN.supports(Benchmark::WebShop));
+        assert!(AgentKind::BestOfN.supports(Benchmark::HotpotQa));
+    }
+}

@@ -1,0 +1,332 @@
+//! The cognition model: a calibrated stochastic substitute for what real
+//! LLM generations *mean*.
+//!
+//! The paper's systems results depend on call graphs, token counts and
+//! timing; accuracy enters only through the Section V/VI trade-off
+//! curves. This module supplies those semantics:
+//!
+//! * each task needs `hops` pieces of **evidence**; a reasoning+tool
+//!   iteration gathers one with [`Cognition::gather_prob`],
+//! * a final answer is correct when the agent's **capability** exceeds
+//!   the task's latent **aptitude threshold** (a per-task uniform draw).
+//!   Capability grows with model quality, few-shot prompting, gathered
+//!   evidence, reflection depth, and search breadth — with saturating
+//!   returns, which is what produces the paper's diminishing-returns
+//!   curves (Fig. 19–22),
+//! * output lengths per call role reproduce the Fig. 8 token statistics.
+//!
+//! Using a fixed per-task threshold (rather than independent retry
+//! coin-flips) captures the empirical fact that retries are correlated:
+//! a task the model fundamentally cannot solve stays unsolved no matter
+//! how many times the same capability re-attempts it.
+
+use agentsim_simkit::dist::{LogNormal, Sample};
+use agentsim_simkit::rng::splitmix64;
+use agentsim_simkit::SimRng;
+use agentsim_workloads::{Benchmark, Task};
+
+use crate::action::OutputKind;
+use crate::catalog::AgentKind;
+
+/// Calibrated cognitive model of a backend LLM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cognition {
+    /// Model quality in `(0, 1)`.
+    pub quality: f64,
+}
+
+impl Cognition {
+    /// Calibrated quality of Llama-3.1-8B-Instruct.
+    pub const QUALITY_8B: f64 = 0.55;
+    /// Calibrated quality of Llama-3.1-70B-Instruct.
+    pub const QUALITY_70B: f64 = 0.80;
+
+    /// Creates a cognition model with the given quality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `(0, 1)`.
+    pub fn new(quality: f64) -> Self {
+        assert!(
+            quality > 0.0 && quality < 1.0,
+            "model quality must be in (0, 1), got {quality}"
+        );
+        Cognition { quality }
+    }
+
+    /// Few-shot prompting factor (the paper's Fig. 20 shape): rises
+    /// steeply for the first few examples, saturates around 5–6, and
+    /// degrades slowly past that as the prompt exceeds the model's
+    /// comfortable range.
+    pub fn fewshot_factor(n: u32) -> f64 {
+        let n = n as f64;
+        0.75 + 0.45 * (1.0 - (-n / 2.2).exp()) - 0.035 * (n - 6.0).max(0.0)
+    }
+
+    /// Reflection boost after `r` reflections (Fig. 21a/b): saturating.
+    pub fn reflection_boost(r: u32) -> f64 {
+        1.0 + 0.25 * (1.0 - (-(r as f64) / 1.5).exp())
+    }
+
+    /// Probability that one reasoning + tool iteration gathers a missing
+    /// piece of evidence.
+    pub fn gather_prob(&self, task: &Task, fewshot: u32, boost: f64) -> f64 {
+        let base = self.quality
+            * Self::fewshot_factor(fewshot)
+            * (1.55 - task.difficulty)
+            * boost
+            * tool_effectiveness(task.benchmark);
+        base.clamp(0.05, 0.95)
+    }
+
+    /// The agent's capability score for a final answer attempt.
+    ///
+    /// `breadth` is the effective number of alternative reasoning paths
+    /// the agent can select among (1 for linear agents, the expansion
+    /// width for LATS) — parallel scaling raises capability with
+    /// diminishing returns and is capped by a task-difficulty ceiling.
+    pub fn answer_capability(
+        &self,
+        task: &Task,
+        fewshot: u32,
+        evidence_frac: f64,
+        boost: f64,
+        breadth: u32,
+    ) -> f64 {
+        let base = self.quality
+            * Self::fewshot_factor(fewshot)
+            * (1.30 - 0.90 * task.difficulty);
+        let evid = 0.20 + 0.80 * evidence_frac.clamp(0.0, 1.0);
+        let raw = (base * evid * boost).clamp(0.0, 0.97);
+        let exponent = 1.0 + 0.8 * ((breadth.max(1) - 1) as f64).powf(0.7);
+        let multi = 1.0 - (1.0 - raw).powf(exponent);
+        multi.min(self.ceiling(task))
+    }
+
+    /// Capability of single-call Chain-of-Thought (no tools): internal
+    /// reasoning only, penalized on knowledge-intensive benchmarks.
+    pub fn cot_capability(&self, task: &Task, fewshot: u32) -> f64 {
+        let no_tool = match task.benchmark {
+            Benchmark::HotpotQa => 0.80,
+            Benchmark::WebShop => 0.0, // cannot interact at all
+            Benchmark::Math => 0.85,
+            Benchmark::HumanEval => 0.75,
+            Benchmark::ShareGpt => 1.0,
+        };
+        let base = self.quality
+            * Self::fewshot_factor(fewshot)
+            * (1.0 - 0.85 * task.difficulty)
+            * no_tool;
+        base.clamp(0.0, self.ceiling(task))
+    }
+
+    /// Capability of static Best-of-N sampling: `samples` independent
+    /// internal-reasoning attempts with best-answer selection. Saturates
+    /// well below tool-augmented agents on knowledge tasks, because no
+    /// amount of resampling retrieves missing evidence.
+    pub fn static_capability(&self, task: &Task, fewshot: u32, samples: u32) -> f64 {
+        let base = self.cot_capability(task, fewshot);
+        let exponent = 1.0 + 0.8 * ((samples.max(1) - 1) as f64).powf(0.7);
+        let multi = 1.0 - (1.0 - base.min(0.97)).powf(exponent);
+        // Static sampling cannot exceed what internal knowledge supports:
+        // a lower ceiling than the agentic one.
+        multi.min(self.ceiling(task) * 0.75)
+    }
+
+    /// The best achievable correctness on this task (ambiguity,
+    /// evaluation noise): no amount of compute exceeds it.
+    pub fn ceiling(&self, task: &Task) -> f64 {
+        0.97 - 0.25 * task.difficulty
+    }
+
+    /// The task's latent aptitude threshold in `[0, 1)`: an answer
+    /// attempt succeeds iff its capability exceeds this. Deterministic
+    /// per task, shared by all agents (hard tasks are hard for everyone).
+    pub fn aptitude(task: &Task) -> f64 {
+        let h = splitmix64(task.rng_key() ^ 0xA97_17D0E);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether an answer attempt at `capability` solves `task`.
+    pub fn solves(task: &Task, capability: f64) -> bool {
+        capability > Self::aptitude(task)
+    }
+
+    /// LATS value estimate for a node (used by UCT selection): evidence
+    /// progress plus bounded evaluation noise.
+    pub fn node_value(&self, evidence_frac: f64, rng: &mut SimRng) -> f64 {
+        let noise_scale = 0.35 * (1.0 - self.quality);
+        (evidence_frac + rng.range_f64(-noise_scale, noise_scale)).clamp(0.0, 1.0)
+    }
+}
+
+/// How effective the benchmark's tools are at yielding evidence per call.
+fn tool_effectiveness(benchmark: Benchmark) -> f64 {
+    match benchmark {
+        Benchmark::HotpotQa => 1.00,
+        Benchmark::WebShop => 0.95,
+        Benchmark::Math => 1.05,
+        Benchmark::HumanEval => 1.00,
+        Benchmark::ShareGpt => 1.0,
+    }
+}
+
+/// Samples the output length (tokens) for a call of `kind` by `agent`.
+///
+/// Calibration anchors (paper Fig. 8): CoT produces one long output
+/// (~300+ tokens); agent steps are short thought+action snippets; LATS
+/// emits many short samples; planners emit medium-length DAGs.
+pub fn sample_output_tokens(agent: AgentKind, kind: OutputKind, rng: &mut SimRng) -> u32 {
+    let (mean, cv): (f64, f64) = match (agent, kind) {
+        (AgentKind::Cot, OutputKind::Answer) => (340.0, 0.35),
+        (_, OutputKind::Action) => (80.0, 0.30),
+        (_, OutputKind::Plan) => (150.0, 0.30),
+        (_, OutputKind::Reflection) => (130.0, 0.30),
+        (_, OutputKind::Evaluation) => (25.0, 0.25),
+        (_, OutputKind::Answer) => (50.0, 0.30),
+    };
+    LogNormal::from_mean_cv(mean, cv)
+        .sample_count(rng)
+        .clamp(4, 2048) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentsim_workloads::TaskGenerator;
+
+    fn task(benchmark: Benchmark, difficulty: f64) -> Task {
+        Task {
+            benchmark,
+            id: 1,
+            difficulty,
+            hops: 3,
+            user_tokens: 30,
+            user_seed: 77,
+        }
+    }
+
+    #[test]
+    fn fewshot_rises_then_declines() {
+        let f0 = Cognition::fewshot_factor(0);
+        let f4 = Cognition::fewshot_factor(4);
+        let f6 = Cognition::fewshot_factor(6);
+        let f16 = Cognition::fewshot_factor(16);
+        assert!(f4 > f0);
+        assert!(f6 >= f4);
+        assert!(f16 < f6, "excessive prompting regresses (Fig. 20)");
+    }
+
+    #[test]
+    fn reflection_boost_saturates() {
+        let b1 = Cognition::reflection_boost(1) - 1.0;
+        let b2 = Cognition::reflection_boost(2) - Cognition::reflection_boost(1);
+        let b8 = Cognition::reflection_boost(8) - Cognition::reflection_boost(7);
+        assert!(b1 > b2 && b2 > b8, "diminishing returns");
+        assert!(Cognition::reflection_boost(100) < 1.26);
+    }
+
+    #[test]
+    fn quality_orders_everything() {
+        let small = Cognition::new(Cognition::QUALITY_8B);
+        let large = Cognition::new(Cognition::QUALITY_70B);
+        let t = task(Benchmark::HotpotQa, 0.55);
+        assert!(large.gather_prob(&t, 4, 1.0) > small.gather_prob(&t, 4, 1.0));
+        assert!(
+            large.answer_capability(&t, 4, 1.0, 1.0, 1)
+                > small.answer_capability(&t, 4, 1.0, 1.0, 1)
+        );
+        assert!(large.cot_capability(&t, 4) > small.cot_capability(&t, 4));
+    }
+
+    #[test]
+    fn difficulty_hurts() {
+        let c = Cognition::new(0.6);
+        let easy = task(Benchmark::Math, 0.2);
+        let hard = task(Benchmark::Math, 0.8);
+        assert!(c.gather_prob(&easy, 4, 1.0) > c.gather_prob(&hard, 4, 1.0));
+        assert!(
+            c.answer_capability(&easy, 4, 1.0, 1.0, 1)
+                > c.answer_capability(&hard, 4, 1.0, 1.0, 1)
+        );
+        assert!(c.ceiling(&easy) > c.ceiling(&hard));
+    }
+
+    #[test]
+    fn breadth_raises_capability_with_diminishing_returns() {
+        let c = Cognition::new(Cognition::QUALITY_8B);
+        let t = task(Benchmark::HotpotQa, 0.55);
+        let caps: Vec<f64> = [1, 2, 4, 8, 16]
+            .iter()
+            .map(|&b| c.answer_capability(&t, 4, 1.0, 1.0, b))
+            .collect();
+        for w in caps.windows(2) {
+            assert!(w[1] >= w[0], "wider search never hurts");
+        }
+        let gain_early = caps[1] - caps[0];
+        let gain_late = caps[4] - caps[3];
+        assert!(gain_early > gain_late, "diminishing returns in width");
+        assert!(caps[4] <= c.ceiling(&t) + 1e-12);
+    }
+
+    #[test]
+    fn evidence_matters() {
+        let c = Cognition::new(0.6);
+        let t = task(Benchmark::HotpotQa, 0.5);
+        assert!(
+            c.answer_capability(&t, 4, 1.0, 1.0, 1)
+                > c.answer_capability(&t, 4, 0.0, 1.0, 1) + 0.15
+        );
+    }
+
+    #[test]
+    fn cot_cannot_shop() {
+        let c = Cognition::new(0.9);
+        assert_eq!(c.cot_capability(&task(Benchmark::WebShop, 0.3), 4), 0.0);
+    }
+
+    #[test]
+    fn aptitude_is_deterministic_and_uniform_ish() {
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 3);
+        let n = 2_000;
+        let mean: f64 = g.tasks(n).map(|t| Cognition::aptitude(&t)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+        let t = g.task(0);
+        assert_eq!(Cognition::aptitude(&t), Cognition::aptitude(&t));
+    }
+
+    #[test]
+    fn lats_8b_capability_reaches_paper_band() {
+        // Table III: LATS/8B HotpotQA accuracy 80% vs Reflexion/8B 38%.
+        // Capability at full evidence with width 5 should be well above
+        // the linear agents'.
+        let c = Cognition::new(Cognition::QUALITY_8B);
+        let t = task(Benchmark::HotpotQa, 0.55);
+        let lats = c.answer_capability(&t, 4, 1.0, Cognition::reflection_boost(1), 5);
+        let linear = c.answer_capability(&t, 4, 1.0, Cognition::reflection_boost(2), 1);
+        assert!(lats > linear + 0.2, "lats {lats} vs linear {linear}");
+    }
+
+    #[test]
+    fn output_lengths_match_fig8_shape() {
+        let mut rng = SimRng::seed_from(4);
+        let n = 3_000;
+        let mean = |agent, kind: OutputKind, rng: &mut SimRng| {
+            (0..n)
+                .map(|_| sample_output_tokens(agent, kind, rng) as f64)
+                .sum::<f64>()
+                / n as f64
+        };
+        let cot = mean(AgentKind::Cot, OutputKind::Answer, &mut rng);
+        let act = mean(AgentKind::React, OutputKind::Action, &mut rng);
+        let eval = mean(AgentKind::Lats, OutputKind::Evaluation, &mut rng);
+        assert!(cot > 4.0 * act, "CoT single long output: {cot} vs {act}");
+        assert!(act > eval, "actions longer than evaluations");
+    }
+
+    #[test]
+    #[should_panic(expected = "model quality")]
+    fn quality_validated() {
+        let _ = Cognition::new(1.5);
+    }
+}

@@ -1,0 +1,252 @@
+//! LLMCompiler: DAG planning with streamed, parallel tool execution.
+//!
+//! A planner call emits a dependency graph of tool calls; as the plan
+//! streams out, tool calls are dispatched asynchronously — so tool
+//! execution overlaps the tail of the planning call (the paper's Fig. 3e
+//! and the ~18% overlap it measures). A joiner call then either answers
+//! or triggers a replan.
+//!
+//! On benchmarks whose tool steps are strongly interdependent (WebShop:
+//! you must see a page before clicking it), DAG-style planning issues
+//! unnecessary calls and gathers evidence less efficiently — reproducing
+//! the paper's finding that LLMCompiler beats ReAct on HotpotQA but loses
+//! on WebShop.
+
+use agentsim_simkit::SimRng;
+use agentsim_tools::ToolCall;
+use agentsim_workloads::{Benchmark, Task};
+
+use crate::action::{AgentOp, OpResult, OutputKind, TaskOutcome};
+use crate::catalog::AgentKind;
+use crate::cognition::Cognition;
+use crate::config::AgentConfig;
+use crate::policy::AgentPolicy;
+use crate::react::AgentInner;
+
+/// Fraction of planner latency overlapped with tool execution.
+pub const PLAN_OVERLAP: f64 = 0.6;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Plan,
+    AwaitPlanAndTools,
+    AwaitJoiner,
+    Done,
+}
+
+/// The LLMCompiler agent.
+#[derive(Debug)]
+pub struct LlmCompiler {
+    inner: AgentInner,
+    phase: Phase,
+    evidence: u32,
+    plans: u32,
+    tool_calls_made: u32,
+}
+
+impl LlmCompiler {
+    /// Creates an LLMCompiler agent for `task`.
+    pub fn new(task: &Task, config: AgentConfig) -> Self {
+        LlmCompiler {
+            inner: AgentInner::new(AgentKind::LlmCompiler, task, config),
+            phase: Phase::Plan,
+            evidence: 0,
+            plans: 0,
+            tool_calls_made: 0,
+        }
+    }
+
+    /// How much the DAG planner suffers on this benchmark from step
+    /// interdependence (1.0 = none).
+    fn dag_effectiveness(benchmark: Benchmark) -> f64 {
+        match benchmark {
+            Benchmark::HotpotQa => 1.0, // independent lookups parallelize well
+            Benchmark::WebShop => 0.55, // must observe pages before clicking
+            _ => 0.8,
+        }
+    }
+
+    /// Tool calls the planner schedules this round. Interdependent
+    /// benchmarks get extra speculative calls (the paper's "unnecessary
+    /// tool invocations").
+    fn planned_tools(&self, rng: &mut SimRng) -> Vec<ToolCall> {
+        let missing = self.inner.task.hops.saturating_sub(self.evidence).max(1);
+        let speculative =
+            if Self::dag_effectiveness(self.inner.task.benchmark) < 0.9 { 2 } else { 1 };
+        let count = (missing + speculative).min(6);
+        (0..count).map(|_| self.inner.pick_tool(rng)).collect()
+    }
+
+    fn evidence_frac(&self) -> f64 {
+        self.evidence as f64 / self.inner.task.hops.max(1) as f64
+    }
+}
+
+impl AgentPolicy for LlmCompiler {
+    fn kind(&self) -> AgentKind {
+        AgentKind::LlmCompiler
+    }
+
+    fn next(&mut self, last: &OpResult, rng: &mut SimRng) -> AgentOp {
+        match self.phase {
+            Phase::Plan => {
+                self.plans += 1;
+                self.phase = Phase::AwaitPlanAndTools;
+                let llm = self
+                    .inner
+                    .llm_call(OutputKind::Plan, AgentKind::LlmCompiler, rng);
+                let tools = self.planned_tools(rng);
+                self.tool_calls_made += tools.len() as u32;
+                AgentOp::OverlappedPlan {
+                    llm,
+                    tools,
+                    overlap: PLAN_OVERLAP,
+                }
+            }
+            Phase::AwaitPlanAndTools => {
+                let plan = last.llm.first().expect("planner result");
+                self.inner.ctx.append_llm_output(plan.gen_seed, plan.tokens);
+                let eff = Self::dag_effectiveness(self.inner.task.benchmark);
+                let p = self
+                    .inner
+                    .cognition
+                    .gather_prob(&self.inner.task, self.inner.config.fewshot, 1.0)
+                    * eff;
+                for obs in &last.tools {
+                    self.inner.ctx.append_tool(obs);
+                    if !obs.failed && self.evidence < self.inner.task.hops && rng.chance(p) {
+                        self.evidence += 1;
+                    }
+                }
+                self.phase = Phase::AwaitJoiner;
+                AgentOp::Llm(self.inner.llm_call(
+                    OutputKind::Answer,
+                    AgentKind::LlmCompiler,
+                    rng,
+                ))
+            }
+            Phase::AwaitJoiner => {
+                let out = last.llm.first().expect("joiner result");
+                self.inner.ctx.append_llm_output(out.gen_seed, out.tokens);
+                let incomplete = self.evidence < self.inner.task.hops;
+                if incomplete && self.plans <= self.inner.config.max_replans {
+                    // Joiner decides to replan for the missing evidence.
+                    self.phase = Phase::Plan;
+                    return self.next(&OpResult::empty(), rng);
+                }
+                // Structured planning gives a small answer-quality edge
+                // where the DAG matches the task structure.
+                let plan_factor =
+                    1.0 + 0.10 * (Self::dag_effectiveness(self.inner.task.benchmark) - 0.55);
+                let capability = self.inner.cognition.answer_capability(
+                    &self.inner.task,
+                    self.inner.config.fewshot,
+                    self.evidence_frac(),
+                    plan_factor,
+                    1,
+                );
+                self.phase = Phase::Done;
+                AgentOp::Finish(TaskOutcome {
+                    solved: Cognition::solves(&self.inner.task, capability),
+                    iterations: self.plans,
+                })
+            }
+            Phase::Done => panic!("LLMCompiler agent resumed after Finish"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::react::React;
+    use crate::testutil::run_to_completion;
+    use agentsim_workloads::TaskGenerator;
+
+    #[test]
+    fn uses_overlapped_planning() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 1).task(0);
+        let mut agent = LlmCompiler::new(&task, AgentConfig::default());
+        let mut rng = SimRng::seed_from(2);
+        match agent.next(&OpResult::empty(), &mut rng) {
+            AgentOp::OverlappedPlan { tools, overlap, .. } => {
+                assert!(!tools.is_empty());
+                assert!((0.0..=1.0).contains(&overlap));
+            }
+            other => panic!("expected OverlappedPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fewer_llm_calls_than_react() {
+        // Fig. 4: LLMCompiler batches tool calls per plan, so it needs
+        // fewer LLM invocations than step-by-step ReAct.
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 2);
+        let (mut compiler_calls, mut react_calls) = (0usize, 0usize);
+        for (i, task) in g.tasks(40).enumerate() {
+            let mut c = LlmCompiler::new(&task, AgentConfig::default());
+            compiler_calls += run_to_completion(&mut c, i as u64).llm_calls;
+            let mut r = React::new(&task, AgentConfig::default());
+            react_calls += run_to_completion(&mut r, i as u64).llm_calls;
+        }
+        assert!(
+            compiler_calls < react_calls,
+            "compiler {compiler_calls} vs react {react_calls}"
+        );
+    }
+
+    #[test]
+    fn webshop_wastes_tool_calls() {
+        // The paper: DAG planning issues unnecessary invocations on
+        // interdependent tasks.
+        let g_shop = TaskGenerator::new(Benchmark::WebShop, 3);
+        let g_hot = TaskGenerator::new(Benchmark::HotpotQa, 3);
+        let (mut shop_tools, mut shop_hops) = (0u32, 0u32);
+        let (mut hot_tools, mut hot_hops) = (0u32, 0u32);
+        for (i, task) in g_shop.tasks(40).enumerate() {
+            let mut c = LlmCompiler::new(&task, AgentConfig::default());
+            shop_tools += run_to_completion(&mut c, i as u64).tool_calls as u32;
+            shop_hops += task.hops;
+        }
+        for (i, task) in g_hot.tasks(40).enumerate() {
+            let mut c = LlmCompiler::new(&task, AgentConfig::default());
+            hot_tools += run_to_completion(&mut c, i as u64).tool_calls as u32;
+            hot_hops += task.hops;
+        }
+        let shop_ratio = shop_tools as f64 / shop_hops as f64;
+        let hot_ratio = hot_tools as f64 / hot_hops as f64;
+        assert!(
+            shop_ratio > hot_ratio,
+            "WebShop {shop_ratio} vs HotpotQA {hot_ratio} tools/hop"
+        );
+    }
+
+    #[test]
+    fn beats_react_accuracy_on_hotpotqa() {
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 4);
+        let n = 250;
+        let (mut comp_ok, mut react_ok) = (0u32, 0u32);
+        for (i, task) in g.tasks(n).enumerate() {
+            let mut c = LlmCompiler::new(&task, AgentConfig::default());
+            comp_ok += run_to_completion(&mut c, i as u64).outcome.solved as u32;
+            let mut r = React::new(&task, AgentConfig::default());
+            react_ok += run_to_completion(&mut r, i as u64).outcome.solved as u32;
+        }
+        assert!(
+            comp_ok + 5 >= react_ok,
+            "compiler {comp_ok} vs react {react_ok} (should be competitive or better)"
+        );
+    }
+
+    #[test]
+    fn replans_are_bounded() {
+        let g = TaskGenerator::new(Benchmark::WebShop, 5);
+        for (i, task) in g.tasks(30).enumerate() {
+            let cfg = AgentConfig::default();
+            let mut agent = LlmCompiler::new(&task, cfg);
+            let trace = run_to_completion(&mut agent, i as u64);
+            // plans <= 1 + max_replans, each plan = 1 planner + 1 joiner.
+            assert!(trace.llm_calls <= 2 * (1 + cfg.max_replans as usize));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Chain-of-Thought: one LLM call, no tools (the paper's static-reasoning
+//! baseline within the agent comparison).
+
+use agentsim_simkit::SimRng;
+use agentsim_workloads::Task;
+
+use crate::action::{AgentOp, LlmCallSpec, OpResult, OutputKind, TaskOutcome};
+use crate::catalog::AgentKind;
+use crate::cognition::{sample_output_tokens, Cognition};
+use crate::config::AgentConfig;
+use crate::context::ContextTracker;
+use crate::policy::{AgentPolicy, SeedSeq};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Start,
+    AwaitAnswer,
+    Done,
+}
+
+/// The CoT agent: emits a single long reasoning-and-answer call.
+#[derive(Debug)]
+pub struct Cot {
+    task: Task,
+    config: AgentConfig,
+    cognition: Cognition,
+    ctx: ContextTracker,
+    seeds: SeedSeq,
+    state: State,
+}
+
+impl Cot {
+    /// Creates a CoT agent for `task`.
+    pub fn new(task: &Task, config: AgentConfig) -> Self {
+        Cot {
+            cognition: Cognition::new(config.model_quality),
+            ctx: ContextTracker::new(AgentKind::Cot.tag(), task, config.fewshot),
+            seeds: SeedSeq::new(task, AgentKind::Cot.tag()),
+            task: task.clone(),
+            config,
+            state: State::Start,
+        }
+    }
+}
+
+impl AgentPolicy for Cot {
+    fn kind(&self) -> AgentKind {
+        AgentKind::Cot
+    }
+
+    fn next(&mut self, _last: &OpResult, rng: &mut SimRng) -> AgentOp {
+        match self.state {
+            State::Start => {
+                self.state = State::AwaitAnswer;
+                let out = sample_output_tokens(AgentKind::Cot, OutputKind::Answer, rng);
+                AgentOp::Llm(LlmCallSpec {
+                    prompt: self.ctx.snapshot(),
+                    out_tokens: out,
+                    gen_seed: self.seeds.next(),
+                    kind: OutputKind::Answer,
+                    breakdown: self.ctx.breakdown(),
+                })
+            }
+            State::AwaitAnswer => {
+                self.state = State::Done;
+                let capability = self.cognition.cot_capability(&self.task, self.config.fewshot);
+                AgentOp::Finish(TaskOutcome {
+                    solved: Cognition::solves(&self.task, capability),
+                    iterations: 1,
+                })
+            }
+            State::Done => panic!("CoT agent resumed after Finish"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentsim_workloads::{Benchmark, TaskGenerator};
+
+    fn run(task: &Task, seed: u64) -> (usize, bool) {
+        let mut agent = Cot::new(task, AgentConfig::default());
+        let mut rng = SimRng::seed_from(seed);
+        let mut llm_calls = 0;
+        let mut last = OpResult::empty();
+        loop {
+            match agent.next(&last, &mut rng) {
+                AgentOp::Llm(spec) => {
+                    llm_calls += 1;
+                    last = OpResult::of_llm(spec.out_tokens, spec.gen_seed);
+                }
+                AgentOp::Finish(outcome) => return (llm_calls, outcome.solved),
+                other => panic!("CoT must not emit {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_llm_call_no_tools() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 1).task(0);
+        let (calls, _) = run(&task, 5);
+        assert_eq!(calls, 1, "paper Fig. 4: CoT performs a single inference");
+    }
+
+    #[test]
+    fn output_is_long_single_generation() {
+        let task = TaskGenerator::new(Benchmark::Math, 1).task(0);
+        let mut agent = Cot::new(&task, AgentConfig::default());
+        let mut rng = SimRng::seed_from(3);
+        match agent.next(&OpResult::empty(), &mut rng) {
+            AgentOp::Llm(spec) => {
+                assert!(spec.out_tokens > 100, "CoT output {}", spec.out_tokens);
+                assert_eq!(spec.kind, OutputKind::Answer);
+                assert!(spec.breakdown.input_total() > 500);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accuracy_declines_with_difficulty() {
+        let g = TaskGenerator::new(Benchmark::Math, 2);
+        let (mut easy_ok, mut easy_n, mut hard_ok, mut hard_n) = (0, 0, 0, 0);
+        for (i, task) in g.tasks(400).enumerate() {
+            let (_, solved) = run(&task, i as u64);
+            if task.difficulty < 0.5 {
+                easy_n += 1;
+                easy_ok += solved as u32;
+            } else {
+                hard_n += 1;
+                hard_ok += solved as u32;
+            }
+        }
+        let easy_rate = easy_ok as f64 / easy_n as f64;
+        let hard_rate = hard_ok as f64 / hard_n as f64;
+        assert!(easy_rate > hard_rate, "easy {easy_rate} vs hard {hard_rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "resumed after Finish")]
+    fn resume_after_finish_panics() {
+        let task = TaskGenerator::new(Benchmark::Math, 1).task(0);
+        let mut agent = Cot::new(&task, AgentConfig::default());
+        let mut rng = SimRng::seed_from(1);
+        let _ = agent.next(&OpResult::empty(), &mut rng);
+        let _ = agent.next(&OpResult::empty(), &mut rng);
+        let _ = agent.next(&OpResult::empty(), &mut rng);
+    }
+}

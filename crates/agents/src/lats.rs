@@ -1,0 +1,527 @@
+//! LATS: Language Agent Tree Search (MCTS over reasoning/action paths).
+//!
+//! Each MCTS iteration selects a node by UCT, expands it with
+//! `lats_children` *parallel* LLM calls (parallel test-time scaling),
+//! executes the children's tool calls concurrently, evaluates each child
+//! with a further LLM call, and backpropagates values. A node whose
+//! evidence is complete attempts an answer; failures mark the branch
+//! exhausted and search continues (the reflection element of LATS).
+//!
+//! Per the paper's Fig. 8, a LATS call's input context contains only the
+//! root-to-node *path*, not the full interaction history — node contexts
+//! here are built exactly that way, which is also why parallel siblings
+//! share long prompt prefixes (its Fig. 12 prefix-caching win).
+
+use agentsim_simkit::SimRng;
+use agentsim_workloads::Task;
+
+use crate::action::{AgentOp, LlmCallSpec, OpResult, OutputKind, TaskOutcome};
+use crate::catalog::AgentKind;
+use crate::cognition::{sample_output_tokens, Cognition};
+use crate::config::AgentConfig;
+use crate::context::ContextTracker;
+use crate::policy::{AgentPolicy, SeedSeq};
+
+#[derive(Debug)]
+struct Node {
+    parent: Option<usize>,
+    depth: u32,
+    evidence: u32,
+    value: f64,
+    visits: u32,
+    exhausted: bool,
+    ctx: ContextTracker,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Select,
+    AwaitExpansion,
+    AwaitTools,
+    AwaitEvals,
+    AwaitRolloutAction,
+    AwaitRolloutTool,
+    AwaitAnswer,
+    Done,
+}
+
+/// Maximum simulation (rollout) steps per MCTS iteration.
+const ROLLOUT_DEPTH: u32 = 3;
+
+/// The LATS agent.
+#[derive(Debug)]
+pub struct Lats {
+    task: Task,
+    config: AgentConfig,
+    cognition: Cognition,
+    seeds: SeedSeq,
+    nodes: Vec<Node>,
+    phase: Phase,
+    selected: usize,
+    pending_children: Vec<usize>,
+    iterations: u32,
+    failed_answers: u32,
+    answering_node: usize,
+    total_visits: u32,
+    rollout_node: usize,
+    rollout_steps: u32,
+}
+
+impl Lats {
+    /// Creates a LATS agent for `task`.
+    pub fn new(task: &Task, config: AgentConfig) -> Self {
+        let root = Node {
+            parent: None,
+            depth: 0,
+            evidence: 0,
+            value: 0.0,
+            visits: 0,
+            exhausted: false,
+            ctx: ContextTracker::new(AgentKind::Lats.tag(), task, config.fewshot),
+        };
+        Lats {
+            cognition: Cognition::new(config.model_quality),
+            seeds: SeedSeq::new(task, AgentKind::Lats.tag()),
+            task: task.clone(),
+            config,
+            nodes: vec![root],
+            phase: Phase::Select,
+            selected: 0,
+            pending_children: Vec::new(),
+            iterations: 0,
+            failed_answers: 0,
+            answering_node: 0,
+            total_visits: 0,
+            rollout_node: 0,
+            rollout_steps: 0,
+        }
+    }
+
+    /// UCT selection over non-exhausted nodes.
+    fn select_node(&self) -> usize {
+        let c = 0.35;
+        let ln_total = ((self.total_visits + 1) as f64).ln();
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.exhausted || n.depth >= self.config.max_iterations {
+                continue;
+            }
+            let score = n.value + c * (ln_total / (n.visits + 1) as f64).sqrt();
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn expansion_specs(&mut self, node: usize, rng: &mut SimRng) -> Vec<LlmCallSpec> {
+        let breakdown = self.nodes[node].ctx.breakdown();
+        let prompt = self.nodes[node].ctx.snapshot();
+        (0..self.config.lats_children)
+            .map(|_| LlmCallSpec {
+                prompt: prompt.clone(),
+                out_tokens: sample_output_tokens(AgentKind::Lats, OutputKind::Action, rng),
+                gen_seed: self.seeds.next(),
+                kind: OutputKind::Action,
+                breakdown,
+            })
+            .collect()
+    }
+
+    fn best_node(&self) -> usize {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.exhausted)
+            .max_by(|(_, a), (_, b)| {
+                (a.evidence, a.value.to_bits())
+                    .cmp(&(b.evidence, b.value.to_bits()))
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn answer_from(&mut self, node: usize, rng: &mut SimRng) -> AgentOp {
+        self.answering_node = node;
+        self.phase = Phase::AwaitAnswer;
+        let breakdown = self.nodes[node].ctx.breakdown();
+        AgentOp::Llm(LlmCallSpec {
+            prompt: self.nodes[node].ctx.snapshot(),
+            out_tokens: sample_output_tokens(AgentKind::Lats, OutputKind::Answer, rng),
+            gen_seed: self.seeds.next(),
+            kind: OutputKind::Answer,
+            breakdown,
+        })
+    }
+
+    /// Starts the simulation phase from `node`.
+    fn begin_rollout(&mut self, node: usize, rng: &mut SimRng) -> AgentOp {
+        self.rollout_node = node;
+        self.rollout_steps = 0;
+        self.phase = Phase::AwaitRolloutAction;
+        let breakdown = self.nodes[node].ctx.breakdown();
+        AgentOp::Llm(LlmCallSpec {
+            prompt: self.nodes[node].ctx.snapshot(),
+            out_tokens: sample_output_tokens(AgentKind::Lats, OutputKind::Action, rng),
+            gen_seed: self.seeds.next(),
+            kind: OutputKind::Action,
+            breakdown,
+        })
+    }
+
+    fn backpropagate(&mut self, leaf: usize) {
+        let value = self.nodes[leaf].value;
+        let mut cursor = Some(leaf);
+        while let Some(i) = cursor {
+            let n = &mut self.nodes[i];
+            n.visits += 1;
+            // Running average of subtree value.
+            n.value += (value - n.value) / n.visits as f64;
+            cursor = n.parent;
+        }
+        self.total_visits += 1;
+    }
+}
+
+impl AgentPolicy for Lats {
+    fn kind(&self) -> AgentKind {
+        AgentKind::Lats
+    }
+
+    fn next(&mut self, last: &OpResult, rng: &mut SimRng) -> AgentOp {
+        match self.phase {
+            Phase::Select => {
+                self.selected = self.select_node();
+                self.phase = Phase::AwaitExpansion;
+                AgentOp::LlmBatch(self.expansion_specs(self.selected, rng))
+            }
+            Phase::AwaitExpansion => {
+                // Materialize one child per parallel sample.
+                self.pending_children.clear();
+                let parent = self.selected;
+                for out in &last.llm {
+                    let mut ctx = self.nodes[parent].ctx.clone();
+                    ctx.append_llm_output(out.gen_seed, out.tokens);
+                    let child = Node {
+                        parent: Some(parent),
+                        depth: self.nodes[parent].depth + 1,
+                        evidence: self.nodes[parent].evidence,
+                        value: 0.0,
+                        visits: 0,
+                        exhausted: false,
+                        ctx,
+                    };
+                    self.nodes.push(child);
+                    self.pending_children.push(self.nodes.len() - 1);
+                }
+                self.phase = Phase::AwaitTools;
+                // Each child's action invokes a tool; all run in parallel
+                // (our optimized LATS implementation, as in the paper).
+                let tools = self
+                    .pending_children
+                    .iter()
+                    .map(|_| {
+                        let tools = self.task.benchmark.tools();
+                        let kind = if tools.len() > 1 && rng.chance(0.35) {
+                            tools[1]
+                        } else {
+                            tools[0]
+                        };
+                        agentsim_tools::ToolCall::new(kind)
+                    })
+                    .collect();
+                AgentOp::Tools(tools)
+            }
+            Phase::AwaitTools => {
+                let boost = Cognition::reflection_boost(self.failed_answers);
+                let p = self
+                    .cognition
+                    .gather_prob(&self.task, self.config.fewshot, boost);
+                for (child, obs) in self.pending_children.clone().iter().zip(&last.tools) {
+                    self.nodes[*child].ctx.append_tool(obs);
+                    if !obs.failed
+                        && self.nodes[*child].evidence < self.task.hops
+                        && rng.chance(p)
+                    {
+                        self.nodes[*child].evidence += 1;
+                    }
+                }
+                self.phase = Phase::AwaitEvals;
+                let specs: Vec<LlmCallSpec> = self
+                    .pending_children
+                    .clone()
+                    .into_iter()
+                    .map(|child| {
+                        let breakdown = self.nodes[child].ctx.breakdown();
+                        LlmCallSpec {
+                            prompt: self.nodes[child].ctx.snapshot(),
+                            out_tokens: sample_output_tokens(
+                                AgentKind::Lats,
+                                OutputKind::Evaluation,
+                                rng,
+                            ),
+                            gen_seed: self.seeds.next(),
+                            kind: OutputKind::Evaluation,
+                            breakdown,
+                        }
+                    })
+                    .collect();
+                AgentOp::LlmBatch(specs)
+            }
+            Phase::AwaitEvals => {
+                for (&child, out) in self.pending_children.clone().iter().zip(&last.llm) {
+                    self.nodes[child].ctx.append_llm_output(out.gen_seed, out.tokens);
+                    let frac = self.nodes[child].evidence as f64 / self.task.hops.max(1) as f64;
+                    self.nodes[child].value = self.cognition.node_value(frac, rng);
+                    self.backpropagate(child);
+                }
+                self.iterations += 1;
+
+                // Answer from a terminal node only once backpropagation
+                // has confirmed it (visits >= 2): MCTS re-visits a
+                // promising leaf before committing, which is where much
+                // of LATS's call volume goes (paper Fig. 4: ~71 calls).
+                let complete = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| {
+                        !n.exhausted && n.evidence >= self.task.hops && n.visits >= 2
+                    })
+                    .max_by(|(_, a), (_, b)| {
+                        a.value.partial_cmp(&b.value).expect("values are finite")
+                    })
+                    .map(|(i, _)| i);
+                if let Some(node) = complete {
+                    return self.answer_from(node, rng);
+                }
+                if self.iterations >= self.config.lats_iterations {
+                    let best = self.best_node();
+                    return self.answer_from(best, rng);
+                }
+                // MCTS simulation phase: roll the most promising child
+                // forward a few steps (this is where LATS spends most of
+                // its ~71 LLM calls per request — paper Fig. 4).
+                let best_child = self
+                    .pending_children
+                    .iter()
+                    .copied()
+                    .filter(|&c| !self.nodes[c].exhausted)
+                    .max_by(|&a, &b| {
+                        self.nodes[a]
+                            .value
+                            .partial_cmp(&self.nodes[b].value)
+                            .expect("values are finite")
+                    });
+                match best_child {
+                    Some(node) => self.begin_rollout(node, rng),
+                    None => {
+                        self.phase = Phase::Select;
+                        self.next(&OpResult::empty(), rng)
+                    }
+                }
+            }
+            Phase::AwaitRolloutAction => {
+                let out = last.llm.first().expect("rollout action result");
+                // Extend the trajectory with a chain node.
+                let parent = self.rollout_node;
+                let mut ctx = self.nodes[parent].ctx.clone();
+                ctx.append_llm_output(out.gen_seed, out.tokens);
+                self.nodes.push(Node {
+                    parent: Some(parent),
+                    depth: self.nodes[parent].depth + 1,
+                    evidence: self.nodes[parent].evidence,
+                    value: self.nodes[parent].value,
+                    visits: 0,
+                    exhausted: false,
+                    ctx,
+                });
+                self.rollout_node = self.nodes.len() - 1;
+                self.phase = Phase::AwaitRolloutTool;
+                let tools = self.task.benchmark.tools();
+                let kind = if tools.len() > 1 && rng.chance(0.35) {
+                    tools[1]
+                } else {
+                    tools[0]
+                };
+                AgentOp::Tools(vec![agentsim_tools::ToolCall::new(kind)])
+            }
+            Phase::AwaitRolloutTool => {
+                let obs = last.tools.first().expect("rollout tool result");
+                let node = self.rollout_node;
+                self.nodes[node].ctx.append_tool(obs);
+                let boost = Cognition::reflection_boost(self.failed_answers);
+                let p = self
+                    .cognition
+                    .gather_prob(&self.task, self.config.fewshot, boost);
+                if !obs.failed && self.nodes[node].evidence < self.task.hops && rng.chance(p) {
+                    self.nodes[node].evidence += 1;
+                }
+                self.rollout_steps += 1;
+                let frac = self.nodes[node].evidence as f64 / self.task.hops.max(1) as f64;
+                self.nodes[node].value = self.cognition.node_value(frac, rng);
+                // Simulation results inform the tree (backpropagation);
+                // committing to an answer still requires the selection
+                // path to confirm the node on a later iteration.
+                if self.nodes[node].evidence >= self.task.hops
+                    || self.rollout_steps >= ROLLOUT_DEPTH
+                {
+                    self.backpropagate(node);
+                    self.phase = Phase::Select;
+                    return self.next(&OpResult::empty(), rng);
+                }
+                self.phase = Phase::AwaitRolloutAction;
+                let breakdown = self.nodes[node].ctx.breakdown();
+                AgentOp::Llm(LlmCallSpec {
+                    prompt: self.nodes[node].ctx.snapshot(),
+                    out_tokens: sample_output_tokens(AgentKind::Lats, OutputKind::Action, rng),
+                    gen_seed: self.seeds.next(),
+                    kind: OutputKind::Action,
+                    breakdown,
+                })
+            }
+            Phase::AwaitAnswer => {
+                let out = last.llm.first().expect("answer result");
+                let node = self.answering_node;
+                self.nodes[node].ctx.append_llm_output(out.gen_seed, out.tokens);
+                let frac = self.nodes[node].evidence as f64 / self.task.hops.max(1) as f64;
+                let capability = self.cognition.answer_capability(
+                    &self.task,
+                    self.config.fewshot,
+                    frac,
+                    Cognition::reflection_boost(self.failed_answers),
+                    self.config.lats_children,
+                );
+                let solved = Cognition::solves(&self.task, capability);
+                // Give up after the search budget or a few failed terminal
+                // answers — continuing to re-search an exhausted tree only
+                // burns compute (the paper's diminishing-returns regime).
+                const MAX_ANSWER_ATTEMPTS: u32 = 3;
+                if solved
+                    || self.iterations >= self.config.lats_iterations
+                    || self.failed_answers + 1 >= MAX_ANSWER_ATTEMPTS
+                {
+                    self.phase = Phase::Done;
+                    return AgentOp::Finish(TaskOutcome {
+                        solved,
+                        iterations: self.iterations,
+                    });
+                }
+                // Failed: mark the branch exhausted (LATS reflection) and
+                // keep searching.
+                self.failed_answers += 1;
+                self.nodes[node].exhausted = true;
+                self.phase = Phase::Select;
+                self.next(&OpResult::empty(), rng)
+            }
+            Phase::Done => panic!("LATS agent resumed after Finish"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_to_completion;
+    use agentsim_workloads::{Benchmark, TaskGenerator};
+
+    #[test]
+    fn issues_many_parallel_llm_calls() {
+        // Fig. 4: LATS performs by far the most LLM calls (~tens).
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 1);
+        let mut total = 0usize;
+        for (i, task) in g.tasks(20).enumerate() {
+            let mut agent = Lats::new(&task, AgentConfig::default());
+            total += run_to_completion(&mut agent, i as u64).llm_calls;
+        }
+        let avg = total as f64 / 20.0;
+        assert!(avg > 20.0, "LATS averages {avg} LLM calls");
+    }
+
+    #[test]
+    fn expansion_batches_share_prompt_prefix() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 2).task(0);
+        let mut agent = Lats::new(&task, AgentConfig::default());
+        let mut rng = SimRng::seed_from(5);
+        match agent.next(&OpResult::empty(), &mut rng) {
+            AgentOp::LlmBatch(specs) => {
+                assert_eq!(specs.len(), AgentConfig::default().lats_children as usize);
+                for s in &specs[1..] {
+                    assert_eq!(s.prompt, specs[0].prompt, "siblings share the parent path");
+                    assert_ne!(s.gen_seed, specs[0].gen_seed);
+                }
+            }
+            other => panic!("expected expansion batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn beats_reflexion_on_accuracy() {
+        // Table III: LATS 80% vs Reflexion 38% (8B, HotpotQA).
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 3);
+        let (mut lats_ok, mut reflexion_ok) = (0u32, 0u32);
+        let n = 150;
+        for (i, task) in g.tasks(n).enumerate() {
+            let mut l = Lats::new(&task, AgentConfig::default());
+            lats_ok += run_to_completion(&mut l, i as u64).outcome.solved as u32;
+            let mut r = crate::reflexion::Reflexion::new(&task, AgentConfig::default());
+            reflexion_ok += run_to_completion(&mut r, i as u64).outcome.solved as u32;
+        }
+        let lats = lats_ok as f64 / n as f64;
+        let reflexion = reflexion_ok as f64 / n as f64;
+        assert!(
+            lats > reflexion + 0.15,
+            "LATS {lats} vs Reflexion {reflexion}"
+        );
+    }
+
+    #[test]
+    fn wider_expansion_raises_accuracy() {
+        // Fig. 21(c): more children per expansion -> higher accuracy.
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 4);
+        let acc = |children: u32| {
+            let n = 150;
+            let mut ok = 0u32;
+            for (i, task) in g.tasks(n).enumerate() {
+                let cfg = AgentConfig::default().with_lats_children(children);
+                let mut agent = Lats::new(&task, cfg);
+                ok += run_to_completion(&mut agent, i as u64).outcome.solved as u32;
+            }
+            ok as f64 / n as f64
+        };
+        let narrow = acc(1);
+        let wide = acc(8);
+        assert!(wide > narrow + 0.08, "1 child {narrow} vs 8 children {wide}");
+    }
+
+    #[test]
+    fn path_contexts_stay_smaller_than_linear_history() {
+        // Fig. 8: LATS inputs hold only the root-to-node path.
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 5).task(1);
+        let mut agent = Lats::new(&task, AgentConfig::default());
+        let trace = run_to_completion(&mut agent, 6);
+        let max_input = trace
+            .llm_breakdowns
+            .iter()
+            .map(|b| b.input_total())
+            .max()
+            .unwrap();
+        // Path depth is bounded by max_iterations; even with search the
+        // context stays within a few steps of history.
+        let per_step = 55 + 300 + 25; // action + tool obs + evaluation
+        let bound = trace.llm_breakdowns[0].input_total()
+            + AgentConfig::default().max_iterations * per_step * 3;
+        assert!(max_input < bound, "max input {max_input} vs bound {bound}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 6).task(0);
+        let a = run_to_completion(&mut Lats::new(&task, AgentConfig::default()), 9);
+        let b = run_to_completion(&mut Lats::new(&task, AgentConfig::default()), 9);
+        assert_eq!(a.llm_calls, b.llm_calls);
+        assert_eq!(a.outcome, b.outcome);
+    }
+}

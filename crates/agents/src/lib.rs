@@ -1,0 +1,64 @@
+//! AI agent workflow state machines.
+//!
+//! Implements the five agent frameworks the paper characterizes (its
+//! Table I):
+//!
+//! | agent | reasoning | tool use | reflection | tree search | planning |
+//! |---|---|---|---|---|---|
+//! | [`cot::Cot`] | ✓ | | | | |
+//! | [`react::React`] | ✓ | ✓ | | | |
+//! | [`reflexion::Reflexion`] | ✓ | ✓ | ✓ | | |
+//! | [`lats::Lats`] | ✓ | ✓ | ✓ | ✓ | |
+//! | [`compiler::LlmCompiler`] | ✓ | ✓ | ✓ | | ✓ |
+//!
+//! An agent is an [`AgentPolicy`]: a state machine that, given the result
+//! of its previous operation, emits the next [`AgentOp`] — an LLM call, a
+//! batch of parallel LLM calls, tool invocations, an overlapped
+//! plan-and-execute (LLMCompiler), or `Finish`. A *driver* (the
+//! `agentsim-serving` crate) executes ops against the simulated engine
+//! and tools and feeds results back.
+//!
+//! Semantic outcomes (did this step find evidence? is the answer right?)
+//! come from the [`cognition`] module: a calibrated stochastic model in
+//! which each task needs `hops` pieces of evidence and step success
+//! depends on model quality, few-shot prompting, reflection depth and
+//! search width. The calibration targets are the paper's headline
+//! numbers; see `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use agentsim_agents::{AgentConfig, AgentKind, OpResult, build_agent};
+//! use agentsim_workloads::{Benchmark, TaskGenerator};
+//! use agentsim_simkit::SimRng;
+//!
+//! let task = TaskGenerator::new(Benchmark::HotpotQa, 1).task(0);
+//! let mut agent = build_agent(AgentKind::React, &task, AgentConfig::default());
+//! let mut rng = SimRng::seed_from(7);
+//! let first = agent.next(&OpResult::empty(), &mut rng);
+//! // ReAct always starts by thinking (an LLM call).
+//! assert!(matches!(first, agentsim_agents::AgentOp::Llm(_)));
+//! ```
+
+pub mod action;
+pub mod bestofn;
+pub mod catalog;
+pub mod cognition;
+pub mod compiler;
+pub mod config;
+pub mod context;
+pub mod cot;
+pub mod lats;
+pub mod policy;
+pub mod react;
+pub mod reflexion;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use action::{AgentOp, LlmCallSpec, LlmOutput, OpResult, OutputKind, TaskOutcome};
+pub use bestofn::BestOfN;
+pub use catalog::AgentKind;
+pub use cognition::Cognition;
+pub use config::AgentConfig;
+pub use context::{ContextBreakdown, ContextTracker};
+pub use policy::{build_agent, AgentPolicy};

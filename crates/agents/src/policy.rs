@@ -1,0 +1,121 @@
+//! The agent policy trait and factory.
+
+use std::fmt;
+
+use agentsim_simkit::rng::hash_key;
+use agentsim_simkit::SimRng;
+use agentsim_workloads::Task;
+
+use crate::action::{AgentOp, OpResult};
+use crate::bestofn::BestOfN;
+use crate::catalog::AgentKind;
+use crate::compiler::LlmCompiler;
+use crate::config::AgentConfig;
+use crate::cot::Cot;
+use crate::lats::Lats;
+use crate::react::React;
+use crate::reflexion::Reflexion;
+
+/// An agent workflow as a resumable state machine.
+///
+/// The driver calls [`AgentPolicy::next`] with the result of the previous
+/// op ([`OpResult::empty`] to start); the policy returns the next op,
+/// ending with [`AgentOp::Finish`]. Calling `next` again after `Finish`
+/// is a contract violation and may panic.
+pub trait AgentPolicy: fmt::Debug {
+    /// Which framework this is.
+    fn kind(&self) -> AgentKind;
+
+    /// Advances the state machine.
+    fn next(&mut self, last: &OpResult, rng: &mut SimRng) -> AgentOp;
+}
+
+/// Builds an agent of `kind` for `task`.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid or the agent does not support the
+/// task's benchmark (see [`AgentKind::supports`]).
+///
+/// # Example
+///
+/// ```
+/// use agentsim_agents::{build_agent, AgentConfig, AgentKind};
+/// use agentsim_workloads::{Benchmark, TaskGenerator};
+///
+/// let task = TaskGenerator::new(Benchmark::Math, 1).task(0);
+/// let agent = build_agent(AgentKind::Cot, &task, AgentConfig::default());
+/// assert_eq!(agent.kind(), AgentKind::Cot);
+/// ```
+pub fn build_agent(kind: AgentKind, task: &Task, config: AgentConfig) -> Box<dyn AgentPolicy> {
+    config.validate().expect("invalid agent config");
+    assert!(
+        kind.supports(task.benchmark),
+        "{kind} is not evaluated on {} (see Table II)",
+        task.benchmark
+    );
+    match kind {
+        AgentKind::Cot => Box::new(Cot::new(task, config)),
+        AgentKind::React => Box::new(React::new(task, config)),
+        AgentKind::Reflexion => Box::new(Reflexion::new(task, config)),
+        AgentKind::Lats => Box::new(Lats::new(task, config)),
+        AgentKind::LlmCompiler => Box::new(LlmCompiler::new(task, config)),
+        // Default Best-of-N width mirrors the LATS expansion width knob.
+        AgentKind::BestOfN => Box::new(BestOfN::new(task, config, config.lats_children)),
+    }
+}
+
+/// Mints distinct generation-stream seeds for a session's LLM calls.
+#[derive(Debug, Clone)]
+pub(crate) struct SeedSeq {
+    base: u64,
+    counter: u64,
+}
+
+impl SeedSeq {
+    pub(crate) fn new(task: &Task, agent_tag: u64) -> Self {
+        SeedSeq {
+            base: hash_key(b"gen-seed", task.rng_key() ^ (agent_tag << 48)),
+            counter: 0,
+        }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.counter += 1;
+        hash_key(b"call", self.base ^ self.counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentsim_workloads::{Benchmark, TaskGenerator};
+
+    #[test]
+    fn factory_builds_each_kind() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 1).task(0);
+        for kind in AgentKind::ALL {
+            let agent = build_agent(kind, &task, AgentConfig::default());
+            assert_eq!(agent.kind(), kind);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not evaluated on")]
+    fn factory_rejects_unsupported_pairs() {
+        let task = TaskGenerator::new(Benchmark::WebShop, 1).task(0);
+        let _ = build_agent(AgentKind::Cot, &task, AgentConfig::default());
+    }
+
+    #[test]
+    fn seed_seq_is_distinct_and_deterministic() {
+        let task = TaskGenerator::new(Benchmark::Math, 1).task(0);
+        let mut a = SeedSeq::new(&task, 2);
+        let mut b = SeedSeq::new(&task, 2);
+        let s1 = a.next();
+        assert_eq!(s1, b.next());
+        assert_ne!(s1, a.next());
+        let mut c = SeedSeq::new(&task, 3);
+        assert_ne!(s1, c.next());
+    }
+}

@@ -1,0 +1,310 @@
+//! ReAct: interleaved reasoning and tool use.
+//!
+//! Each iteration is a thought+action LLM call followed by a tool call
+//! whose observation feeds the next thought (the paper's Fig. 3b). The
+//! trial logic is factored into a crate-private `ReactCore` so Reflexion
+//! can reuse it across reflective trials.
+
+use agentsim_simkit::SimRng;
+use agentsim_tools::ToolCall;
+use agentsim_workloads::Task;
+
+use crate::action::{AgentOp, LlmCallSpec, OpResult, OutputKind, TaskOutcome};
+use crate::catalog::AgentKind;
+use crate::cognition::{sample_output_tokens, Cognition};
+use crate::config::AgentConfig;
+use crate::context::ContextTracker;
+use crate::policy::{AgentPolicy, SeedSeq};
+
+/// Shared per-session state every linear agent needs.
+#[derive(Debug)]
+pub(crate) struct AgentInner {
+    pub task: Task,
+    pub config: AgentConfig,
+    pub cognition: Cognition,
+    pub ctx: ContextTracker,
+    pub seeds: SeedSeq,
+}
+
+impl AgentInner {
+    pub(crate) fn new(kind: AgentKind, task: &Task, config: AgentConfig) -> Self {
+        AgentInner {
+            cognition: Cognition::new(config.model_quality),
+            ctx: ContextTracker::new(kind.tag(), task, config.fewshot),
+            seeds: SeedSeq::new(task, kind.tag()),
+            task: task.clone(),
+            config,
+        }
+    }
+
+    /// Builds an LLM call over the current context.
+    pub(crate) fn llm_call(
+        &mut self,
+        kind: OutputKind,
+        agent: AgentKind,
+        rng: &mut SimRng,
+    ) -> LlmCallSpec {
+        LlmCallSpec {
+            prompt: self.ctx.snapshot(),
+            out_tokens: sample_output_tokens(agent, kind, rng),
+            gen_seed: self.seeds.next(),
+            kind,
+            breakdown: self.ctx.breakdown(),
+        }
+    }
+
+    /// Picks the tool for the next action: mostly the benchmark's primary
+    /// tool, sometimes the secondary (lookup/click/calculator).
+    pub(crate) fn pick_tool(&self, rng: &mut SimRng) -> ToolCall {
+        let tools = self.task.benchmark.tools();
+        debug_assert!(!tools.is_empty(), "agentic benchmarks expose tools");
+        let kind = if tools.len() > 1 && rng.chance(0.35) {
+            tools[1]
+        } else {
+            tools[0]
+        };
+        ToolCall::new(kind)
+    }
+}
+
+/// What one step of a trial produced.
+#[derive(Debug)]
+pub(crate) enum TrialStep {
+    /// Execute this op and come back.
+    Op(AgentOp),
+    /// The trial ended with this outcome.
+    Done { solved: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    NeedThought,
+    AwaitThought,
+    AwaitTool,
+    AwaitAnswer,
+}
+
+/// One ReAct trial: think → act → observe, until the evidence is complete
+/// or the iteration budget runs out, then answer.
+#[derive(Debug)]
+pub(crate) struct ReactCore {
+    evidence: u32,
+    iter: u32,
+    phase: Phase,
+    boost: f64,
+    agent: AgentKind,
+}
+
+impl ReactCore {
+    /// Starts a trial. `boost` is the reflection multiplier (1.0 for the
+    /// first trial) and `agent` labels the calls for output statistics.
+    pub(crate) fn new(agent: AgentKind, boost: f64) -> Self {
+        ReactCore {
+            evidence: 0,
+            iter: 0,
+            phase: Phase::NeedThought,
+            boost,
+            agent,
+        }
+    }
+
+    /// Iterations consumed so far.
+    pub(crate) fn iterations(&self) -> u32 {
+        self.iter
+    }
+
+    /// Fraction of the required evidence gathered.
+    pub(crate) fn evidence_frac(&self, task: &Task) -> f64 {
+        self.evidence as f64 / task.hops.max(1) as f64
+    }
+
+    /// Advances the trial by one step.
+    pub(crate) fn advance(
+        &mut self,
+        inner: &mut AgentInner,
+        last: &OpResult,
+        rng: &mut SimRng,
+    ) -> TrialStep {
+        match self.phase {
+            Phase::NeedThought => {
+                if self.evidence >= inner.task.hops || self.iter >= inner.config.max_iterations {
+                    self.phase = Phase::AwaitAnswer;
+                    return TrialStep::Op(AgentOp::Llm(inner.llm_call(
+                        OutputKind::Answer,
+                        self.agent,
+                        rng,
+                    )));
+                }
+                self.phase = Phase::AwaitThought;
+                TrialStep::Op(AgentOp::Llm(inner.llm_call(
+                    OutputKind::Action,
+                    self.agent,
+                    rng,
+                )))
+            }
+            Phase::AwaitThought => {
+                let out = last.llm.first().expect("thought result");
+                inner.ctx.append_llm_output(out.gen_seed, out.tokens);
+                self.phase = Phase::AwaitTool;
+                TrialStep::Op(AgentOp::Tools(vec![inner.pick_tool(rng)]))
+            }
+            Phase::AwaitTool => {
+                let obs = last.tools.first().expect("tool result");
+                inner.ctx.append_tool(obs);
+                self.iter += 1;
+                let p = inner
+                    .cognition
+                    .gather_prob(&inner.task, inner.config.fewshot, self.boost);
+                if !obs.failed && self.evidence < inner.task.hops && rng.chance(p) {
+                    self.evidence += 1;
+                }
+                self.phase = Phase::NeedThought;
+                // Fall through to emit the next thought (or the answer).
+                self.advance(inner, &OpResult::empty(), rng)
+            }
+            Phase::AwaitAnswer => {
+                let out = last.llm.first().expect("answer result");
+                inner.ctx.append_llm_output(out.gen_seed, out.tokens);
+                let capability = inner.cognition.answer_capability(
+                    &inner.task,
+                    inner.config.fewshot,
+                    self.evidence_frac(&inner.task),
+                    self.boost,
+                    1,
+                );
+                TrialStep::Done {
+                    solved: Cognition::solves(&inner.task, capability),
+                }
+            }
+        }
+    }
+}
+
+/// The ReAct agent: a single trial.
+#[derive(Debug)]
+pub struct React {
+    inner: AgentInner,
+    core: ReactCore,
+    finished: bool,
+}
+
+impl React {
+    /// Creates a ReAct agent for `task`.
+    pub fn new(task: &Task, config: AgentConfig) -> Self {
+        React {
+            inner: AgentInner::new(AgentKind::React, task, config),
+            core: ReactCore::new(AgentKind::React, 1.0),
+            finished: false,
+        }
+    }
+}
+
+impl AgentPolicy for React {
+    fn kind(&self) -> AgentKind {
+        AgentKind::React
+    }
+
+    fn next(&mut self, last: &OpResult, rng: &mut SimRng) -> AgentOp {
+        assert!(!self.finished, "ReAct agent resumed after Finish");
+        match self.core.advance(&mut self.inner, last, rng) {
+            TrialStep::Op(op) => op,
+            TrialStep::Done { solved } => {
+                self.finished = true;
+                AgentOp::Finish(TaskOutcome {
+                    solved,
+                    iterations: self.core.iterations(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_to_completion;
+    use agentsim_workloads::{Benchmark, TaskGenerator};
+
+    #[test]
+    fn alternates_llm_and_tool_calls() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 1).task(0);
+        let mut agent = React::new(&task, AgentConfig::default());
+        let trace = run_to_completion(&mut agent, 3);
+        // LLM calls = iterations (thoughts) + 1 answer; tools = iterations.
+        assert_eq!(trace.llm_calls, trace.tool_calls + 1);
+        assert!(trace.tool_calls >= 1);
+        assert!(trace.outcome.iterations <= AgentConfig::default().max_iterations);
+    }
+
+    #[test]
+    fn iteration_budget_caps_work() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 2).task(1);
+        let cfg = AgentConfig::default().with_max_iterations(2);
+        let mut agent = React::new(&task, cfg);
+        let trace = run_to_completion(&mut agent, 4);
+        assert!(trace.tool_calls <= 2);
+        assert!(trace.llm_calls <= 3);
+    }
+
+    #[test]
+    fn more_llm_calls_than_cot() {
+        // Fig. 4: tool-augmented agents average far more LLM calls.
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 3);
+        let mut total = 0usize;
+        for (i, task) in g.tasks(50).enumerate() {
+            let mut agent = React::new(&task, AgentConfig::default());
+            total += run_to_completion(&mut agent, i as u64).llm_calls;
+        }
+        let avg = total as f64 / 50.0;
+        assert!(avg > 3.0, "ReAct averages {avg} LLM calls");
+    }
+
+    #[test]
+    fn context_grows_across_iterations() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 4).task(0);
+        let mut agent = React::new(&task, AgentConfig::default());
+        let trace = run_to_completion(&mut agent, 7);
+        // Fig. 9: later calls see strictly larger inputs.
+        let inputs: Vec<u32> = trace
+            .llm_breakdowns
+            .iter()
+            .map(|b| b.input_total())
+            .collect();
+        assert!(inputs.len() >= 2);
+        for w in inputs.windows(2) {
+            assert!(w[1] > w[0], "context must grow: {inputs:?}");
+        }
+        let last = trace.llm_breakdowns.last().unwrap();
+        assert!(last.llm_history > 0);
+        assert!(last.tool_history > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let task = TaskGenerator::new(Benchmark::WebShop, 5).task(0);
+        let a = run_to_completion(&mut React::new(&task, AgentConfig::default()), 9);
+        let b = run_to_completion(&mut React::new(&task, AgentConfig::default()), 9);
+        assert_eq!(a.llm_calls, b.llm_calls);
+        assert_eq!(a.outcome.solved, b.outcome.solved);
+    }
+
+    #[test]
+    fn accuracy_improves_with_iteration_budget_then_saturates() {
+        // Fig. 19 shape: more iterations help up to a point.
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 6);
+        let acc = |budget: u32| {
+            let mut solved = 0;
+            for (i, task) in g.tasks(200).enumerate() {
+                let cfg = AgentConfig::default().with_max_iterations(budget);
+                let mut agent = React::new(&task, cfg);
+                solved += run_to_completion(&mut agent, i as u64).outcome.solved as u32;
+            }
+            solved as f64 / 200.0
+        };
+        let a1 = acc(1);
+        let a7 = acc(7);
+        let a15 = acc(15);
+        assert!(a7 > a1 + 0.05, "budget 1: {a1}, budget 7: {a7}");
+        assert!((a15 - a7).abs() < 0.08, "saturation: {a7} -> {a15}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Reflexion: ReAct trials with verbal self-reflection between them.
+//!
+//! After a failed trial the agent generates a reflection over the failed
+//! trajectory (an extra LLM call whose output joins the long-term memory
+//! part of the context), then retries with a cognition boost (the paper's
+//! Fig. 3c). Sequential test-time scaling sweeps `max_trials`.
+
+use agentsim_simkit::SimRng;
+use agentsim_workloads::Task;
+
+use crate::action::{AgentOp, OpResult, OutputKind, TaskOutcome};
+use crate::catalog::AgentKind;
+use crate::cognition::Cognition;
+use crate::config::AgentConfig;
+use crate::policy::AgentPolicy;
+use crate::react::{AgentInner, ReactCore, TrialStep};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    InTrial,
+    AwaitReflection,
+    Done,
+}
+
+/// The Reflexion agent.
+#[derive(Debug)]
+pub struct Reflexion {
+    inner: AgentInner,
+    core: ReactCore,
+    trial: u32,
+    total_iterations: u32,
+    phase: Phase,
+}
+
+impl Reflexion {
+    /// Creates a Reflexion agent for `task`.
+    pub fn new(task: &Task, config: AgentConfig) -> Self {
+        Reflexion {
+            inner: AgentInner::new(AgentKind::Reflexion, task, config),
+            core: ReactCore::new(AgentKind::Reflexion, 1.0),
+            trial: 1,
+            total_iterations: 0,
+            phase: Phase::InTrial,
+        }
+    }
+
+    /// The number of reflections performed so far.
+    pub fn reflections(&self) -> u32 {
+        self.trial - 1
+    }
+}
+
+impl AgentPolicy for Reflexion {
+    fn kind(&self) -> AgentKind {
+        AgentKind::Reflexion
+    }
+
+    fn next(&mut self, last: &OpResult, rng: &mut SimRng) -> AgentOp {
+        match self.phase {
+            Phase::InTrial => match self.core.advance(&mut self.inner, last, rng) {
+                TrialStep::Op(op) => op,
+                TrialStep::Done { solved } => {
+                    self.total_iterations += self.core.iterations();
+                    if solved || self.trial >= self.inner.config.max_trials {
+                        self.phase = Phase::Done;
+                        return AgentOp::Finish(TaskOutcome {
+                            solved,
+                            iterations: self.total_iterations,
+                        });
+                    }
+                    // Reflect over the failed trajectory, then retry.
+                    self.phase = Phase::AwaitReflection;
+                    AgentOp::Llm(self.inner.llm_call(
+                        OutputKind::Reflection,
+                        AgentKind::Reflexion,
+                        rng,
+                    ))
+                }
+            },
+            Phase::AwaitReflection => {
+                let out = last.llm.first().expect("reflection result");
+                self.inner.ctx.append_llm_output(out.gen_seed, out.tokens);
+                self.trial += 1;
+                let boost = Cognition::reflection_boost(self.reflections());
+                self.core = ReactCore::new(AgentKind::Reflexion, boost);
+                self.phase = Phase::InTrial;
+                self.next(&OpResult::empty(), rng)
+            }
+            Phase::Done => panic!("Reflexion agent resumed after Finish"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_to_completion;
+    use agentsim_workloads::{Benchmark, TaskGenerator};
+
+    #[test]
+    fn does_more_work_than_react() {
+        // Fig. 4/5: Reflexion ≈ multiple ReAct trials plus reflections.
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 1);
+        let (mut react_calls, mut reflexion_calls) = (0usize, 0usize);
+        for (i, task) in g.tasks(40).enumerate() {
+            let mut r = crate::react::React::new(&task, AgentConfig::default());
+            react_calls += run_to_completion(&mut r, i as u64).llm_calls;
+            let mut x = Reflexion::new(&task, AgentConfig::default());
+            reflexion_calls += run_to_completion(&mut x, i as u64).llm_calls;
+        }
+        assert!(
+            reflexion_calls as f64 > 1.3 * react_calls as f64,
+            "react {react_calls}, reflexion {reflexion_calls}"
+        );
+    }
+
+    #[test]
+    fn accuracy_at_least_react() {
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 2);
+        let (mut react_ok, mut reflexion_ok) = (0u32, 0u32);
+        for (i, task) in g.tasks(300).enumerate() {
+            let mut r = crate::react::React::new(&task, AgentConfig::default());
+            react_ok += run_to_completion(&mut r, i as u64).outcome.solved as u32;
+            let mut x = Reflexion::new(&task, AgentConfig::default());
+            reflexion_ok += run_to_completion(&mut x, i as u64).outcome.solved as u32;
+        }
+        assert!(
+            reflexion_ok >= react_ok,
+            "react {react_ok}, reflexion {reflexion_ok}"
+        );
+    }
+
+    #[test]
+    fn single_trial_config_degenerates_to_react_shape() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 3).task(0);
+        let cfg = AgentConfig::default().with_max_trials(1);
+        let mut agent = Reflexion::new(&task, cfg);
+        let trace = run_to_completion(&mut agent, 1);
+        // No reflection calls: llm = iterations + 1 answer.
+        assert_eq!(trace.llm_calls, trace.tool_calls + 1);
+    }
+
+    #[test]
+    fn more_trials_cost_more_and_help_with_diminishing_returns() {
+        // Fig. 21(a) shape: accuracy rises with reflection depth, the
+        // marginal gain shrinks, and latency (proxied by llm calls) grows
+        // roughly linearly.
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 4);
+        let run = |trials: u32| {
+            let (mut solved, mut calls) = (0u32, 0usize);
+            for (i, task) in g.tasks(300).enumerate() {
+                let cfg = AgentConfig::default().with_max_trials(trials);
+                let mut agent = Reflexion::new(&task, cfg);
+                let t = run_to_completion(&mut agent, i as u64);
+                solved += t.outcome.solved as u32;
+                calls += t.llm_calls;
+            }
+            (solved as f64 / 300.0, calls as f64 / 300.0)
+        };
+        let (a1, c1) = run(1);
+        let (a3, c3) = run(3);
+        let (a6, c6) = run(6);
+        assert!(a3 >= a1, "{a1} -> {a3}");
+        assert!(c3 > 1.5 * c1, "work grows: {c1} -> {c3}");
+        assert!(c6 > c3);
+        let gain_early = a3 - a1;
+        let gain_late = a6 - a3;
+        assert!(
+            gain_late <= gain_early + 0.02,
+            "diminishing: +{gain_early} then +{gain_late}"
+        );
+    }
+}

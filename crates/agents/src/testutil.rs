@@ -1,0 +1,103 @@
+//! In-crate test driver: executes agent ops without an engine, recording
+//! call counts and context statistics. The real timing-aware driver lives
+//! in `agentsim-serving`.
+
+use agentsim_simkit::SimRng;
+use agentsim_tools::{ToolExecutor, ToolResult};
+
+use crate::action::{AgentOp, LlmOutput, OpResult, TaskOutcome};
+use crate::context::ContextBreakdown;
+use crate::policy::AgentPolicy;
+
+/// What a completed in-crate run looked like.
+#[derive(Debug, Clone)]
+pub(crate) struct TestTrace {
+    pub llm_calls: usize,
+    pub tool_calls: usize,
+    pub llm_breakdowns: Vec<ContextBreakdown>,
+    pub output_tokens: u64,
+    pub outcome: TaskOutcome,
+}
+
+/// Runs `agent` to completion with a deterministic RNG.
+///
+/// # Panics
+///
+/// Panics if the agent emits more than 10,000 ops (runaway state machine).
+pub(crate) fn run_to_completion(agent: &mut dyn AgentPolicy, seed: u64) -> TestTrace {
+    let mut rng = SimRng::seed_from(seed);
+    let tools = ToolExecutor::new();
+    let mut tool_rng = rng.fork(0x700);
+    let mut trace = TestTrace {
+        llm_calls: 0,
+        tool_calls: 0,
+        llm_breakdowns: Vec::new(),
+        output_tokens: 0,
+        outcome: TaskOutcome {
+            solved: false,
+            iterations: 0,
+        },
+    };
+    let mut last = OpResult::empty();
+    for _ in 0..10_000 {
+        match agent.next(&last, &mut rng) {
+            AgentOp::Llm(spec) => {
+                trace.llm_calls += 1;
+                trace.output_tokens += spec.out_tokens as u64;
+                trace.llm_breakdowns.push(spec.breakdown);
+                last = OpResult::of_llm(spec.out_tokens, spec.gen_seed);
+            }
+            AgentOp::LlmBatch(specs) => {
+                trace.llm_calls += specs.len();
+                let outs: Vec<LlmOutput> = specs
+                    .iter()
+                    .map(|s| {
+                        trace.output_tokens += s.out_tokens as u64;
+                        trace.llm_breakdowns.push(s.breakdown);
+                        LlmOutput {
+                            tokens: s.out_tokens,
+                            gen_seed: s.gen_seed,
+                        }
+                    })
+                    .collect();
+                last = OpResult {
+                    llm: outs,
+                    tools: Vec::new(),
+                };
+            }
+            AgentOp::Tools(calls) => {
+                trace.tool_calls += calls.len();
+                let results: Vec<ToolResult> = calls
+                    .iter()
+                    .map(|c| tools.execute(c, &mut tool_rng))
+                    .collect();
+                last = OpResult {
+                    llm: Vec::new(),
+                    tools: results,
+                };
+            }
+            AgentOp::OverlappedPlan { llm, tools: calls, .. } => {
+                trace.llm_calls += 1;
+                trace.tool_calls += calls.len();
+                trace.output_tokens += llm.out_tokens as u64;
+                trace.llm_breakdowns.push(llm.breakdown);
+                let results: Vec<ToolResult> = calls
+                    .iter()
+                    .map(|c| tools.execute(c, &mut tool_rng))
+                    .collect();
+                last = OpResult {
+                    llm: vec![LlmOutput {
+                        tokens: llm.out_tokens,
+                        gen_seed: llm.gen_seed,
+                    }],
+                    tools: results,
+                };
+            }
+            AgentOp::Finish(outcome) => {
+                trace.outcome = outcome;
+                return trace;
+            }
+        }
+    }
+    panic!("agent did not finish within 10,000 ops");
+}

@@ -1,0 +1,201 @@
+//! Property-based tests over all agent policies: every policy terminates
+//! within a bounded number of ops, emits well-formed operations, respects
+//! its budgets, and is deterministic.
+
+use agentsim_agents::{build_agent, AgentConfig, AgentKind, AgentOp, LlmOutput, OpResult};
+use agentsim_simkit::SimRng;
+use agentsim_tools::{ToolExecutor, ToolResult};
+use agentsim_workloads::{Benchmark, TaskGenerator};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = AgentKind> {
+    prop::sample::select(AgentKind::ALL.to_vec())
+}
+
+fn benchmark_strategy() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::AGENTIC.to_vec())
+}
+
+fn config_strategy() -> impl Strategy<Value = AgentConfig> {
+    (1u32..12, 1u32..5, 1u32..10, 1u32..12, 0u32..10).prop_map(
+        |(max_iterations, max_trials, lats_children, lats_iterations, fewshot)| {
+            AgentConfig::default_8b()
+                .with_max_iterations(max_iterations)
+                .with_max_trials(max_trials)
+                .with_lats_children(lats_children)
+                .with_lats_iterations(lats_iterations)
+                .with_fewshot(fewshot)
+        },
+    )
+}
+
+/// Executes the policy against stub results, counting ops. Panics on
+/// malformed ops.
+fn execute(
+    kind: AgentKind,
+    benchmark: Benchmark,
+    config: AgentConfig,
+    task_idx: u64,
+    seed: u64,
+) -> (usize, usize, bool, u32) {
+    let task = TaskGenerator::new(benchmark, seed).task(task_idx);
+    let mut agent = build_agent(kind, &task, config);
+    let mut rng = SimRng::seed_from(seed ^ 0xA6E2);
+    let tools = ToolExecutor::new();
+    let mut tool_rng = rng.fork(1);
+    let mut llm_calls = 0usize;
+    let mut tool_calls = 0usize;
+    let mut last = OpResult::empty();
+    for _ in 0..20_000 {
+        match agent.next(&last, &mut rng) {
+            AgentOp::Llm(spec) => {
+                assert!(!spec.prompt.is_empty(), "empty prompt");
+                assert!(spec.out_tokens > 0, "zero output");
+                assert_eq!(
+                    spec.breakdown.input_total() as usize,
+                    spec.prompt.len(),
+                    "breakdown must account for every prompt token"
+                );
+                llm_calls += 1;
+                last = OpResult::of_llm(spec.out_tokens, spec.gen_seed);
+            }
+            AgentOp::LlmBatch(specs) => {
+                assert!(!specs.is_empty(), "empty batch");
+                llm_calls += specs.len();
+                last = OpResult {
+                    llm: specs
+                        .iter()
+                        .map(|s| {
+                            assert!(!s.prompt.is_empty());
+                            LlmOutput {
+                                tokens: s.out_tokens,
+                                gen_seed: s.gen_seed,
+                            }
+                        })
+                        .collect(),
+                    tools: Vec::new(),
+                };
+            }
+            AgentOp::Tools(calls) => {
+                assert!(!calls.is_empty(), "empty tool batch");
+                for c in &calls {
+                    assert!(
+                        benchmark.tools().contains(&c.kind),
+                        "{kind} used {} which {benchmark} does not expose",
+                        c.kind
+                    );
+                }
+                tool_calls += calls.len();
+                let results: Vec<ToolResult> =
+                    calls.iter().map(|c| tools.execute(c, &mut tool_rng)).collect();
+                last = OpResult {
+                    llm: Vec::new(),
+                    tools: results,
+                };
+            }
+            AgentOp::OverlappedPlan { llm, tools: calls, overlap } => {
+                assert!((0.0..=1.0).contains(&overlap));
+                assert!(!calls.is_empty());
+                llm_calls += 1;
+                tool_calls += calls.len();
+                let results: Vec<ToolResult> =
+                    calls.iter().map(|c| tools.execute(c, &mut tool_rng)).collect();
+                last = OpResult {
+                    llm: vec![LlmOutput {
+                        tokens: llm.out_tokens,
+                        gen_seed: llm.gen_seed,
+                    }],
+                    tools: results,
+                };
+            }
+            AgentOp::Finish(outcome) => {
+                return (llm_calls, tool_calls, outcome.solved, outcome.iterations);
+            }
+        }
+    }
+    panic!("{kind} did not finish within 20,000 ops");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_policy_terminates_with_well_formed_ops(
+        kind in kind_strategy(),
+        benchmark in benchmark_strategy(),
+        config in config_strategy(),
+        task_idx in 0u64..30,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(kind.supports(benchmark));
+        let (llm, tools, _, _) = execute(kind, benchmark, config, task_idx, seed);
+        prop_assert!(llm >= 1, "at least one LLM call");
+        if kind == AgentKind::Cot {
+            prop_assert_eq!(llm, 1);
+            prop_assert_eq!(tools, 0);
+        } else {
+            prop_assert!(tools >= 1, "tool agents must call tools");
+        }
+    }
+
+    #[test]
+    fn policies_are_deterministic(
+        kind in kind_strategy(),
+        benchmark in benchmark_strategy(),
+        task_idx in 0u64..10,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(kind.supports(benchmark));
+        let config = AgentConfig::default_8b();
+        let a = execute(kind, benchmark, config, task_idx, seed);
+        let b = execute(kind, benchmark, config, task_idx, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn react_respects_iteration_budget(
+        budget in 1u32..12,
+        task_idx in 0u64..20,
+        seed in 0u64..100,
+    ) {
+        let config = AgentConfig::default_8b().with_max_iterations(budget);
+        let (llm, tools, _, iterations) =
+            execute(AgentKind::React, Benchmark::HotpotQa, config, task_idx, seed);
+        prop_assert!(tools <= budget as usize);
+        prop_assert!(iterations <= budget);
+        prop_assert!(llm <= budget as usize + 1, "thoughts + one answer");
+    }
+
+    #[test]
+    fn reflexion_bounded_by_trials(
+        trials in 1u32..5,
+        task_idx in 0u64..20,
+        seed in 0u64..100,
+    ) {
+        let config = AgentConfig::default_8b().with_max_trials(trials).with_max_iterations(5);
+        let (llm, _, _, _) =
+            execute(AgentKind::Reflexion, Benchmark::HotpotQa, config, task_idx, seed);
+        // Per trial: <= 5 thoughts + 1 answer; plus <= trials-1 reflections.
+        let bound = trials as usize * 6 + trials as usize;
+        prop_assert!(llm <= bound, "{llm} > {bound}");
+    }
+
+    #[test]
+    fn lats_call_volume_scales_with_width_and_budget(
+        children in 1u32..10,
+        iterations in 1u32..10,
+        task_idx in 0u64..10,
+    ) {
+        let config = AgentConfig::default_8b()
+            .with_lats_children(children)
+            .with_lats_iterations(iterations);
+        let (llm, _, _, iters) =
+            execute(AgentKind::Lats, Benchmark::HotpotQa, config, task_idx, 3);
+        prop_assert!(iters <= iterations);
+        // Each iteration: children expansions + children evaluations +
+        // up to 3 rollout actions; plus a bounded number of answer
+        // attempts.
+        let bound = (iterations as usize) * (2 * children as usize + 3) + 4;
+        prop_assert!(llm <= bound, "{llm} > {bound}");
+    }
+}

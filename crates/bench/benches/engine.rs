@@ -1,0 +1,98 @@
+//! Criterion benches for the serving-engine simulator itself: how many
+//! simulated engine steps per wall-clock second, and how request shape
+//! affects simulation cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use agentsim_kvcache::TokenBuf;
+use agentsim_llm::{Engine, EngineConfig};
+use agentsim_simkit::SimTime;
+
+fn drain(engine: &mut Engine) {
+    let mut now = SimTime::ZERO;
+    while let Some(end) = engine.start_step_if_idle(now) {
+        now = end;
+        black_box(engine.complete_step(now));
+    }
+}
+
+fn bench_single_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/single_request");
+    for (name, prompt, out) in [
+        ("short", 256u32, 32u32),
+        ("chat", 512, 256),
+        ("agent_call", 2048, 64),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new(EngineConfig::a100_llama8b());
+                    e.submit(SimTime::ZERO, TokenBuf::from_segment(1, prompt), out, 7);
+                    e
+                },
+                |mut e| drain(&mut e),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/concurrent_requests");
+    for batch in [4u64, 16, 64] {
+        group.bench_function(format!("batch_{batch}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new(EngineConfig::a100_llama8b());
+                    for i in 0..batch {
+                        e.submit(SimTime::ZERO, TokenBuf::from_segment(i, 512), 48, i);
+                    }
+                    e
+                },
+                |mut e| drain(&mut e),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefix_caching_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/prefix_caching");
+    for (name, caching) in [("on", true), ("off", false)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Engine::new(EngineConfig::a100_llama8b().with_prefix_caching(caching)),
+                |mut e| {
+                    // Five sequential calls sharing a growing prefix — the
+                    // agent pattern that stresses the hash path.
+                    let mut now = SimTime::ZERO;
+                    let mut ctx = TokenBuf::from_segment(9, 1024);
+                    for i in 0..5u64 {
+                        e.submit(now, ctx.clone(), 32, i);
+                        while let Some(end) = e.start_step_if_idle(now) {
+                            now = end;
+                            black_box(e.complete_step(now));
+                        }
+                        for j in 0..32 {
+                            ctx.push_generated(i, j);
+                        }
+                        ctx.push_segment(100 + i, 200);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_request,
+    bench_batched_decode,
+    bench_prefix_caching_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches over the experiment registry: how long each paper
+//! artifact takes to regenerate at quick scale. One benchmark per
+//! figure/table keeps regressions in any experiment's cost visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use agentsim::experiments::all_experiments;
+use agentsim::Scale;
+
+fn bench_fast_experiments(c: &mut Criterion) {
+    // The cheap, single-request-based artifacts.
+    let fast = ["table1", "table2", "fig23", "ablation_step", "fig04", "fig08"];
+    let mut group = c.benchmark_group("figures/fast");
+    group.sample_size(10);
+    let scale = Scale {
+        samples: 5,
+        serving_requests: 15,
+        seed: 7,
+    };
+    for e in all_experiments().into_iter().filter(|e| fast.contains(&e.id)) {
+        group.bench_function(e.id, |b| b.iter(|| black_box(e.run(&scale))));
+    }
+    group.finish();
+}
+
+fn bench_serving_experiments(c: &mut Criterion) {
+    // The open-loop serving artifacts dominate regeneration time.
+    let heavy = ["fig07", "fig16", "fig17"];
+    let mut group = c.benchmark_group("figures/serving");
+    group.sample_size(10);
+    let scale = Scale {
+        samples: 5,
+        serving_requests: 15,
+        seed: 7,
+    };
+    for e in all_experiments().into_iter().filter(|e| heavy.contains(&e.id)) {
+        group.bench_function(e.id, |b| b.iter(|| black_box(e.run(&scale))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_experiments, bench_serving_experiments);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benches for the KV block manager: allocation throughput on
+//! the cold path, the prefix-hit fast path, and eviction churn.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use agentsim_kvcache::{KvBlockManager, KvConfig, TokenBuf};
+use agentsim_simkit::SimTime;
+
+fn cfg(blocks: u32) -> KvConfig {
+    KvConfig {
+        num_blocks: blocks,
+        block_size: 16,
+        prefix_caching: true,
+    }
+}
+
+fn bench_cold_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvcache/cold_alloc");
+    for tokens in [256u32, 2048, 8192] {
+        group.bench_function(format!("{tokens}_tokens"), |b| {
+            let prompt = TokenBuf::from_segment(1, tokens);
+            b.iter_batched(
+                || KvBlockManager::new(cfg(1024)),
+                |mut mgr| {
+                    let h = mgr.allocate(black_box(&prompt), SimTime::ZERO).unwrap();
+                    mgr.free(h, SimTime::from_micros(1));
+                    mgr
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    c.bench_function("kvcache/warm_alloc_2048_tokens", |b| {
+        let prompt = TokenBuf::from_segment(1, 2048);
+        let mut mgr = KvBlockManager::new(cfg(1024));
+        let h = mgr.allocate(&prompt, SimTime::ZERO).unwrap();
+        mgr.free(h, SimTime::from_micros(1));
+        let mut t = 2u64;
+        b.iter(|| {
+            let now = SimTime::from_micros(t);
+            t += 1;
+            let h = mgr.allocate(black_box(&prompt), now).unwrap();
+            mgr.free(h, now);
+        });
+    });
+}
+
+fn bench_decode_append(c: &mut Criterion) {
+    c.bench_function("kvcache/append_512_tokens", |b| {
+        b.iter_batched(
+            || {
+                let mut mgr = KvBlockManager::new(cfg(1024));
+                let h = mgr.allocate(&TokenBuf::from_segment(1, 64), SimTime::ZERO).unwrap();
+                (mgr, h)
+            },
+            |(mut mgr, h)| {
+                for i in 0..512u64 {
+                    mgr.append_token(h, i.wrapping_mul(0x9E37), SimTime::from_micros(i))
+                        .unwrap();
+                }
+                mgr
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_eviction_churn(c: &mut Criterion) {
+    c.bench_function("kvcache/eviction_churn", |b| {
+        // Pool much smaller than the working set: every allocation evicts.
+        b.iter_batched(
+            || KvBlockManager::new(cfg(64)),
+            |mut mgr| {
+                for i in 0..32u64 {
+                    let prompt = TokenBuf::from_segment(i, 256);
+                    let h = mgr.allocate(&prompt, SimTime::from_micros(i)).unwrap();
+                    mgr.free(h, SimTime::from_micros(i));
+                }
+                mgr
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cold_alloc,
+    bench_hit_path,
+    bench_decode_append,
+    bench_eviction_churn
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Benchmark harness for the `agentsim` workspace.
+//!
+//! Two kinds of benchmarking live here:
+//!
+//! * **Figure/table regeneration** — the `figures` binary runs the
+//!   experiment registry (every table and figure of the paper, plus
+//!   ablations) and writes text tables under `results/`:
+//!
+//!   ```sh
+//!   cargo run -p agentsim-bench --release --bin figures            # everything
+//!   cargo run -p agentsim-bench --release --bin figures fig14      # one artifact
+//!   cargo run -p agentsim-bench --release --bin figures -- --quick # smaller samples
+//!   ```
+//!
+//! * **Criterion benches** — measure the *simulator's own* performance
+//!   (engine steps/s, KV allocator throughput, agent-session replays,
+//!   end-to-end figure runtimes):
+//!
+//!   ```sh
+//!   cargo bench -p agentsim-bench
+//!   ```
+
+use std::fs;
+use std::path::Path;
+
+use agentsim::{FigureResult, Scale};
+
+/// Where the `figures` binary writes its outputs.
+pub const RESULTS_DIR: &str = "results";
+
+/// Runs one experiment and writes `<results>/<id>.txt` (and `.csv` files
+/// for each table).
+///
+/// # Errors
+///
+/// Returns an error if the results directory cannot be created or a file
+/// cannot be written.
+pub fn write_result(dir: &Path, result: &FigureResult) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{}.txt", result.id)), result.to_string())?;
+    for (i, (_, table)) in result.tables.iter().enumerate() {
+        let suffix = if result.tables.len() == 1 {
+            String::new()
+        } else {
+            format!("_{}", i + 1)
+        };
+        fs::write(
+            dir.join(format!("{}{suffix}.csv", result.id)),
+            table.to_csv(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses the `figures` binary's CLI: experiment ids (default all) and a
+/// `--quick` flag.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> (Vec<String>, Scale) {
+    let mut ids = Vec::new();
+    let mut scale = Scale::paper();
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "all" => {}
+            other if !other.starts_with('-') => ids.push(other.to_string()),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    (ids, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_defaults_to_paper_scale_all() {
+        let (ids, scale) = parse_args(Vec::new());
+        assert!(ids.is_empty());
+        assert_eq!(scale, Scale::paper());
+    }
+
+    #[test]
+    fn parse_args_reads_ids_and_quick() {
+        let (ids, scale) = parse_args(
+            ["fig04", "--quick", "table3", "all"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(ids, vec!["fig04".to_string(), "table3".to_string()]);
+        assert_eq!(scale, Scale::quick());
+    }
+
+    #[test]
+    fn write_result_creates_files() {
+        let dir = std::env::temp_dir().join("agentsim-bench-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = FigureResult::new("figXX", "demo");
+        r.table("t", agentsim_metrics::Table::with_columns(&["a"]));
+        write_result(&dir, &r).unwrap();
+        assert!(dir.join("figXX.txt").exists());
+        assert!(dir.join("figXX.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,107 @@
+//! Extension: what-if the agent fleet ran on H100s?
+//!
+//! The paper's sustainability argument is anchored on A100 numbers; this
+//! extension re-runs the Table III energy rows on H100-80GB hardware
+//! (≈3x the FLOPs, ≈2.2x the bandwidth, 1.75x the TDP) to ask whether a
+//! hardware generation absorbs the agentic cost explosion. It does not:
+//! per-query energy improves by roughly the perf/W ratio (~1.2-1.8x),
+//! nowhere near the 60-140x agentic multiplier.
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_gpu::{ClusterSpec, GpuSpec, ModelSpec};
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{mean_latency_s, mean_of, sharegpt_single, single_batch_with};
+
+/// One H100-80GB serving Llama-3.1-8B.
+fn h100_llama8b() -> EngineConfig {
+    let mut cfg = EngineConfig::a100_llama8b();
+    cfg.cluster = ClusterSpec {
+        gpu: GpuSpec::h100_80gb(),
+        gpu_count: 1,
+        model: ModelSpec::llama3_8b(),
+        kv_memory_fraction: 0.9,
+        tp_sync_per_layer_s: 0.0,
+    };
+    cfg
+}
+
+/// Runs the hardware what-if.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "ext_hardware",
+        "Extension: A100 vs H100 for agent serving (8B model)",
+    );
+    let mut table = Table::with_columns(&[
+        "GPU",
+        "Workload",
+        "Latency s",
+        "Wh/query",
+    ]);
+
+    let mut cells = Vec::new();
+    for (gpu, engine) in [("A100-40GB", EngineConfig::a100_llama8b()), ("H100-80GB", h100_llama8b())] {
+        let (chat_lat, chat_wh) = sharegpt_single(scale, &engine);
+        table.row(vec![
+            gpu.to_string(),
+            "ShareGPT".to_string(),
+            format!("{chat_lat:.1}"),
+            format!("{chat_wh:.2}"),
+        ]);
+        let reflexion = single_batch_with(
+            AgentKind::Reflexion,
+            Benchmark::HotpotQa,
+            scale,
+            engine.clone(),
+            AgentConfig::default_8b().with_max_trials(8).with_max_iterations(15),
+        );
+        let agent_lat = mean_latency_s(&reflexion);
+        let agent_wh = mean_of(&reflexion, |o| o.energy_wh);
+        table.row(vec![
+            gpu.to_string(),
+            "Reflexion".to_string(),
+            format!("{agent_lat:.1}"),
+            format!("{agent_wh:.2}"),
+        ]);
+        cells.push((gpu, chat_wh, agent_wh, agent_lat));
+    }
+    result.table("Per-query cost across GPU generations", table);
+
+    let a100 = cells.iter().find(|(g, ..)| *g == "A100-40GB").expect("a100 row");
+    let h100 = cells.iter().find(|(g, ..)| *g == "H100-80GB").expect("h100 row");
+    result.check(
+        "h100-speeds-up-agents",
+        h100.3 < a100.3,
+        format!("Reflexion latency: H100 {:.1}s vs A100 {:.1}s", h100.3, a100.3),
+    );
+    let energy_gain = a100.2 / h100.2;
+    let agent_multiplier = a100.2 / a100.1;
+    result.check(
+        "hardware-does-not-absorb-agentic-costs",
+        energy_gain < agent_multiplier / 2.0,
+        format!(
+            "H100 cuts agent energy by {energy_gain:.1}x while the agentic workflow \
+             multiplies it by {agent_multiplier:.0}x — a hardware generation cannot \
+             pay for dynamic reasoning"
+        ),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 8,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

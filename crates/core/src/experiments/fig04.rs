@@ -1,0 +1,95 @@
+//! Fig. 4: average number of LLM and tool invocations per request.
+
+use agentsim_agents::AgentKind;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{agents_for, f1, mean_of, single_batch};
+
+/// Measures per-request call counts for every agent x benchmark pair.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig04",
+        "Average number of LLM and tool invocations per request (Fig. 4)",
+    );
+    let mut table = Table::with_columns(&["Benchmark", "Agent", "LLM calls", "Tool calls"]);
+    let mut per_agent_llm: Vec<(AgentKind, f64)> = Vec::new();
+
+    for benchmark in Benchmark::AGENTIC {
+        for agent in agents_for(benchmark) {
+            let outcomes = single_batch(agent, benchmark, scale);
+            let llm = mean_of(&outcomes, |o| o.trace.llm_calls() as f64);
+            let tools = mean_of(&outcomes, |o| o.trace.tool_calls() as f64);
+            table.row(vec![
+                benchmark.to_string(),
+                agent.to_string(),
+                f1(llm),
+                f1(tools),
+            ]);
+            per_agent_llm.push((agent, llm));
+        }
+    }
+    result.table("Mean invocations per request", table);
+
+    let avg = |kind: AgentKind| {
+        let v: Vec<f64> = per_agent_llm
+            .iter()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let cot = avg(AgentKind::Cot);
+    let lats = avg(AgentKind::Lats);
+    let tool_agents: f64 = [
+        AgentKind::React,
+        AgentKind::Reflexion,
+        AgentKind::Lats,
+        AgentKind::LlmCompiler,
+    ]
+    .iter()
+    .map(|&k| avg(k))
+    .sum::<f64>()
+        / 4.0;
+
+    result.check(
+        "cot-single-call",
+        (cot - 1.0).abs() < 1e-9,
+        format!("CoT mean LLM calls = {cot} (paper: exactly 1)"),
+    );
+    result.check(
+        "agents-many-more-calls",
+        tool_agents > 4.0 * cot,
+        format!(
+            "tool-augmented agents average {tool_agents:.1} calls vs CoT {cot} (paper: 9.2x)"
+        ),
+    );
+    result.check(
+        "lats-dominates",
+        lats > 3.0 * tool_agents / 2.0,
+        format!("LATS averages {lats:.1} calls (paper: 71.0, highest of all)"),
+    );
+    result.note(format!(
+        "Measured: CoT {cot:.1}, tool-augmented mean {tool_agents:.1}, LATS {lats:.1} LLM calls/request. \
+         Paper anchors: CoT 1, others ~9.2x CoT, LATS 71."
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 6,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+        // 5 + 4 + 4 + 4 agent x benchmark cells.
+        assert_eq!(r.tables[0].1.len(), 17);
+    }
+}

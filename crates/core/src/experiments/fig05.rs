@@ -1,0 +1,115 @@
+//! Fig. 5: latency breakdown of agents (LLM / tool / overlap) and
+//! end-to-end latency.
+
+use agentsim_agents::AgentKind;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{agents_for, f1, mean_of, single_batch};
+
+/// Measures the per-request latency partition for every agent x benchmark.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig05",
+        "Latency breakdown and end-to-end latency per request (Fig. 5)",
+    );
+    let mut table = Table::with_columns(&[
+        "Benchmark",
+        "Agent",
+        "LLM s",
+        "Tool s",
+        "Overlap s",
+        "E2E s",
+        "Tool %",
+    ]);
+
+    let mut hotpot_tool_share = 0.0;
+    let mut webshop_tool_share = 0.0;
+    let mut compiler_overlap_share = 0.0;
+    let mut llm_share_sum = 0.0;
+    let mut tool_share_sum = 0.0;
+    let mut cells = 0.0;
+
+    for benchmark in Benchmark::AGENTIC {
+        for agent in agents_for(benchmark) {
+            let outcomes = single_batch(agent, benchmark, scale);
+            let llm = mean_of(&outcomes, |o| o.trace.llm_wall.as_secs_f64());
+            let tool = mean_of(&outcomes, |o| o.trace.tool_wall.as_secs_f64());
+            let overlap = mean_of(&outcomes, |o| o.trace.overlap_wall.as_secs_f64());
+            let e2e = mean_of(&outcomes, |o| o.trace.e2e().as_secs_f64());
+            let tool_share = if e2e > 0.0 { tool / e2e } else { 0.0 };
+            table.row(vec![
+                benchmark.to_string(),
+                agent.to_string(),
+                f1(llm),
+                f1(tool),
+                f1(overlap),
+                f1(e2e),
+                format!("{:.0}%", tool_share * 100.0),
+            ]);
+            if agent == AgentKind::React {
+                match benchmark {
+                    Benchmark::HotpotQa => hotpot_tool_share = tool_share,
+                    Benchmark::WebShop => webshop_tool_share = tool_share,
+                    _ => {}
+                }
+            }
+            if agent == AgentKind::LlmCompiler && benchmark == Benchmark::HotpotQa && e2e > 0.0 {
+                compiler_overlap_share = overlap / e2e;
+            }
+            if agent != AgentKind::Cot && e2e > 0.0 {
+                llm_share_sum += llm / e2e;
+                tool_share_sum += tool / e2e;
+                cells += 1.0;
+            }
+        }
+    }
+    result.table("Mean latency partition per request", table);
+
+    result.check(
+        "wikipedia-dominates-hotpotqa",
+        hotpot_tool_share > webshop_tool_share + 0.25,
+        format!(
+            "ReAct tool share: HotpotQA {:.0}% vs WebShop {:.0}% (paper: slow Wikipedia \
+             API dominates HotpotQA; 20 ms WebShop tools are negligible)",
+            hotpot_tool_share * 100.0,
+            webshop_tool_share * 100.0
+        ),
+    );
+    result.check(
+        "llmcompiler-overlaps",
+        compiler_overlap_share > 0.03 && compiler_overlap_share < 0.5,
+        format!(
+            "LLMCompiler overlaps {:.1}% of e2e latency (paper: 18.2%)",
+            compiler_overlap_share * 100.0
+        ),
+    );
+    let llm_mean = llm_share_sum / cells;
+    let tool_mean = tool_share_sum / cells;
+    result.check(
+        "both-stages-contribute",
+        llm_mean > 0.3 && tool_mean > 0.05,
+        format!(
+            "mean shares across tool agents: LLM {:.0}%, tool {:.0}% (paper: 69.4% / 30.2%)",
+            llm_mean * 100.0,
+            tool_mean * 100.0
+        ),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 6,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

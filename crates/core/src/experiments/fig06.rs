@@ -1,0 +1,100 @@
+//! Fig. 6: breakdown of GPU runtime (prefill / decode / idle) and the
+//! resulting average GPU utilization.
+
+use agentsim_agents::AgentKind;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{agents_for, mean_of, single_batch};
+
+/// Measures the GPU phase partition while serving one request at a time.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig06",
+        "GPU runtime breakdown by usage and average utilization (Fig. 6)",
+    );
+    let mut table = Table::with_columns(&[
+        "Benchmark",
+        "Agent",
+        "Prefill %",
+        "Decode %",
+        "Idle %",
+        "Utilization",
+    ]);
+
+    let mut cot_util = 0.0f64;
+    let mut worst_idle: f64 = 0.0;
+    let mut decode_share_sum = 0.0;
+    let mut prefill_share_sum = 0.0;
+    let mut cells = 0.0;
+
+    for benchmark in Benchmark::AGENTIC {
+        for agent in agents_for(benchmark) {
+            let outcomes = single_batch(agent, benchmark, scale);
+            let window = mean_of(&outcomes, |o| o.trace.e2e().as_secs_f64()).max(1e-9);
+            let prefill = mean_of(&outcomes, |o| o.prefill_busy.as_secs_f64()) / window;
+            let decode = mean_of(&outcomes, |o| o.decode_busy.as_secs_f64()) / window;
+            let idle = mean_of(&outcomes, |o| o.idle.as_secs_f64()) / window;
+            let util = mean_of(&outcomes, |o| o.utilization);
+            table.row(vec![
+                benchmark.to_string(),
+                agent.to_string(),
+                format!("{:.1}%", prefill * 100.0),
+                format!("{:.1}%", decode * 100.0),
+                format!("{:.1}%", idle * 100.0),
+                format!("{:.2}", util),
+            ]);
+            if agent == AgentKind::Cot {
+                cot_util = cot_util.max(util);
+            } else {
+                worst_idle = worst_idle.max(idle);
+                decode_share_sum += decode;
+                prefill_share_sum += prefill;
+                cells += 1.0;
+            }
+        }
+    }
+    result.table("GPU time partition (fraction of request window)", table);
+
+    let decode_mean = decode_share_sum / cells;
+    let prefill_mean = prefill_share_sum / cells;
+    result.check(
+        "cot-keeps-gpu-busy",
+        cot_util > 0.9,
+        format!("CoT utilization {cot_util:.2} (no tool phases)"),
+    );
+    result.check(
+        "agents-idle-the-gpu",
+        worst_idle > 0.3,
+        format!(
+            "worst-case idle fraction {:.0}% (paper: up to 54.5%)",
+            worst_idle * 100.0
+        ),
+    );
+    result.check(
+        "decode-dominates-prefill",
+        decode_mean > 5.0 * prefill_mean,
+        format!(
+            "mean decode {:.1}% vs prefill {:.1}% of runtime (paper: 74.1% vs 4.7%)",
+            decode_mean * 100.0,
+            prefill_mean * 100.0
+        ),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 6,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 8: breakdown of input and output tokens per LLM inference.
+
+use agentsim_agents::AgentKind;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{agents_for, mean_of, single_batch};
+
+/// Measures the mean context composition per LLM call.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig08",
+        "Breakdown of input and output tokens in LLM inference (Fig. 8)",
+    );
+    let mut table = Table::with_columns(&[
+        "Benchmark",
+        "Agent",
+        "Instruction",
+        "Few-shot",
+        "User",
+        "LLM hist",
+        "Tool hist",
+        "Output",
+    ]);
+
+    let mut cot_output = 0.0f64;
+    let mut agent_output_sum = 0.0;
+    let mut agent_cells = 0.0;
+    let mut hotpot_tool_hist = 0.0;
+    let mut math_llm_hist = 0.0;
+    let mut math_tool_hist = 0.0;
+    let mut cot_tool_hist: f64 = 0.0;
+
+    for benchmark in Benchmark::AGENTIC {
+        for agent in agents_for(benchmark) {
+            let outcomes = single_batch(agent, benchmark, scale);
+            // Average over calls within a request, then over requests.
+            let avg = |f: &dyn Fn(&agentsim_agents::ContextBreakdown) -> u32| {
+                mean_of(&outcomes, |o| f(&o.trace.mean_breakdown()) as f64)
+            };
+            let instruction = avg(&|b| b.instruction);
+            let fewshot = avg(&|b| b.fewshot);
+            let user = avg(&|b| b.user);
+            let llm_hist = avg(&|b| b.llm_history);
+            let tool_hist = avg(&|b| b.tool_history);
+            let output = avg(&|b| b.output);
+            table.row(vec![
+                benchmark.to_string(),
+                agent.to_string(),
+                format!("{instruction:.0}"),
+                format!("{fewshot:.0}"),
+                format!("{user:.0}"),
+                format!("{llm_hist:.0}"),
+                format!("{tool_hist:.0}"),
+                format!("{output:.0}"),
+            ]);
+            if agent == AgentKind::Cot {
+                cot_output = cot_output.max(output);
+                cot_tool_hist = cot_tool_hist.max(tool_hist);
+            } else {
+                agent_output_sum += output;
+                agent_cells += 1.0;
+            }
+            if agent == AgentKind::React {
+                match benchmark {
+                    Benchmark::HotpotQa => hotpot_tool_hist = tool_hist,
+                    Benchmark::Math => {
+                        math_llm_hist = llm_hist;
+                        math_tool_hist = tool_hist;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    result.table("Mean tokens per LLM call, by category", table);
+
+    let agent_output = agent_output_sum / agent_cells;
+    result.check(
+        "cot-long-single-output",
+        cot_output > 3.0 * agent_output,
+        format!(
+            "CoT emits {cot_output:.0} output tokens per call vs agents' {agent_output:.0} \
+             (paper: agents spread output across many short calls)"
+        ),
+    );
+    result.check(
+        "cot-never-uses-tools",
+        cot_tool_hist == 0.0,
+        "CoT context contains no tool history".into(),
+    );
+    result.check(
+        "knowledge-tasks-have-large-tool-history",
+        hotpot_tool_hist > math_tool_hist,
+        format!(
+            "ReAct tool-history tokens: HotpotQA {hotpot_tool_hist:.0} vs MATH {math_tool_hist:.0} \
+             (paper: web/knowledge tools return page-sized observations)"
+        ),
+    );
+    result.check(
+        "math-leans-on-llm-history",
+        math_llm_hist > math_tool_hist,
+        format!(
+            "MATH ReAct: LLM history {math_llm_hist:.0} vs tool history {math_tool_hist:.0} tokens"
+        ),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 6,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

@@ -1,0 +1,105 @@
+//! Fig. 9: token count per iterative reasoning step (HotpotQA) — the
+//! accumulation of LLM/tool history across LLM calls.
+
+use agentsim_agents::AgentKind;
+use agentsim_metrics::Table;
+use agentsim_serving::SingleOutcome;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{agents_for, single_batch};
+
+/// Mean input size at each call index, conditioned on requests that made
+/// at least `min_calls` calls (so the averages track the same cohort and
+/// subset effects cannot break monotonicity).
+fn growth_series(outcomes: &[SingleOutcome], max_calls: usize, min_calls: usize) -> Vec<f64> {
+    let cohort: Vec<&SingleOutcome> = outcomes
+        .iter()
+        .filter(|o| o.trace.llm.len() >= min_calls)
+        .collect();
+    let pool: Vec<&SingleOutcome> = if cohort.is_empty() {
+        outcomes.iter().collect()
+    } else {
+        cohort
+    };
+    let mut sums = vec![0.0f64; max_calls];
+    let mut counts = vec![0u64; max_calls];
+    for o in pool {
+        for (i, call) in o.trace.llm.iter().take(max_calls).enumerate() {
+            sums[i] += call.breakdown.input_total() as f64;
+            counts[i] += 1;
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .take_while(|(_, &c)| c > 0)
+        .map(|(s, &c)| s / c as f64)
+        .collect()
+}
+
+/// Measures context growth across iterations on HotpotQA.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig09",
+        "Token count per iterative reasoning step on HotpotQA (Fig. 9)",
+    );
+    const STEPS: usize = 8;
+    let mut table = Table::with_columns(&[
+        "Agent", "call 1", "call 2", "call 3", "call 4", "call 5", "call 6", "call 7", "call 8",
+    ]);
+
+    let mut react_series = Vec::new();
+    for agent in agents_for(Benchmark::HotpotQa) {
+        let outcomes = single_batch(agent, Benchmark::HotpotQa, scale);
+        let series = growth_series(&outcomes, STEPS, 1);
+        let mut row = vec![agent.to_string()];
+        for i in 0..STEPS {
+            row.push(
+                series
+                    .get(i)
+                    .map(|v| format!("{v:.0}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        table.row(row);
+        if agent == AgentKind::React {
+            // Checks run over the 5-call cohort so every index averages
+            // the same requests.
+            react_series = growth_series(&outcomes, 5, 5);
+        }
+    }
+    result.table("Mean input tokens at each LLM call", table);
+
+    let first = react_series.first().copied().unwrap_or(0.0);
+    let last = react_series.last().copied().unwrap_or(0.0);
+    result.check(
+        "initial-context-around-1k",
+        (600.0..1800.0).contains(&first),
+        format!("ReAct first-call input {first:.0} tokens (paper: ~1,000)"),
+    );
+    result.check(
+        "context-grows-severalfold",
+        last > 1.8 * first && last < 8.0 * first,
+        format!(
+            "ReAct input grows {first:.0} -> {last:.0} tokens ({:.1}x; paper: 3-4x)",
+            last / first.max(1.0)
+        ),
+    );
+    result.check(
+        "growth-is-monotone",
+        react_series.windows(2).all(|w| w[1] >= w[0]),
+        "histories only accumulate".into(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let r = run(&Scale::quick());
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig. 10: breakdown of LLM inference latency into prefill and decode,
+//! with and without prefix caching.
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{agents_for, mean_of, single_batch_with};
+
+/// Measures prefill/decode time per request, ± prefix caching.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig10",
+        "Prefill/decode latency breakdown with and without prefix caching (Fig. 10)",
+    );
+    let mut table = Table::with_columns(&[
+        "Benchmark",
+        "Agent",
+        "Prefill s (off)",
+        "Prefill s (on)",
+        "Decode s",
+        "Prefill cut",
+    ]);
+
+    let mut agent_cuts = Vec::new();
+    let mut cot_prefill_share = 0.0f64;
+    for benchmark in Benchmark::AGENTIC {
+        for agent in agents_for(benchmark) {
+            let on = single_batch_with(
+                agent,
+                benchmark,
+                scale,
+                EngineConfig::a100_llama8b(),
+                AgentConfig::default_8b(),
+            );
+            let off = single_batch_with(
+                agent,
+                benchmark,
+                scale,
+                EngineConfig::a100_llama8b().with_prefix_caching(false),
+                AgentConfig::default_8b(),
+            );
+            let prefill_on = mean_of(&on, |o| o.trace.prefill_time().as_secs_f64());
+            let prefill_off = mean_of(&off, |o| o.trace.prefill_time().as_secs_f64());
+            let decode = mean_of(&on, |o| o.trace.decode_time().as_secs_f64());
+            let cut = if prefill_off > 0.0 {
+                1.0 - prefill_on / prefill_off
+            } else {
+                0.0
+            };
+            table.row(vec![
+                benchmark.to_string(),
+                agent.to_string(),
+                format!("{prefill_off:.2}"),
+                format!("{prefill_on:.2}"),
+                format!("{decode:.2}"),
+                format!("{:.0}%", cut * 100.0),
+            ]);
+            if agent == AgentKind::Cot {
+                cot_prefill_share = cot_prefill_share.max(prefill_on / (prefill_on + decode));
+            } else {
+                agent_cuts.push(cut);
+            }
+        }
+    }
+    result.table("Prefill vs decode time per request", table);
+
+    let mean_cut = agent_cuts.iter().sum::<f64>() / agent_cuts.len() as f64;
+    result.check(
+        "caching-cuts-agent-prefill",
+        mean_cut > 0.35,
+        format!(
+            "mean agent prefill reduction {:.0}% (paper: 58.6%)",
+            mean_cut * 100.0
+        ),
+    );
+    result.check(
+        "cot-is-decode-dominated",
+        cot_prefill_share < 0.15,
+        format!(
+            "CoT prefill share {:.0}% of LLM time (paper: decoding dominates CoT)",
+            cot_prefill_share * 100.0
+        ),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 6,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

@@ -1,0 +1,104 @@
+//! Fig. 12: average GPU memory requirement for KV cache per request,
+//! with and without prefix caching.
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{agents_for, mean_of, single_batch_with};
+
+const GIB: f64 = (1u64 << 30) as f64;
+
+/// Measures per-request peak KV bytes ± prefix caching.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig12",
+        "GPU memory for KV cache per request, with and without prefix caching (Fig. 12)",
+    );
+    let mut table = Table::with_columns(&[
+        "Benchmark",
+        "Agent",
+        "KV GiB (off)",
+        "KV GiB (on)",
+        "Saved",
+    ]);
+
+    let mut cot_kv = 0.0f64;
+    let mut agent_kv_sum = 0.0;
+    let mut agent_cells = 0.0;
+    let mut lats_saving = 0.0;
+    for benchmark in Benchmark::AGENTIC {
+        for agent in agents_for(benchmark) {
+            let peak_kv = |caching: bool| {
+                let engine = EngineConfig::a100_llama8b().with_prefix_caching(caching);
+                let outcomes = single_batch_with(
+                    agent,
+                    benchmark,
+                    scale,
+                    engine,
+                    AgentConfig::default_8b(),
+                );
+                mean_of(&outcomes, |o| o.kv_peak_bytes as f64)
+            };
+            let off = peak_kv(false);
+            let on = peak_kv(true);
+            let saved = if off > 0.0 { 1.0 - on / off } else { 0.0 };
+            table.row(vec![
+                benchmark.to_string(),
+                agent.to_string(),
+                format!("{:.3}", off / GIB),
+                format!("{:.3}", on / GIB),
+                format!("{:.0}%", saved * 100.0),
+            ]);
+            if agent == AgentKind::Cot {
+                cot_kv = cot_kv.max(on);
+            } else {
+                agent_kv_sum += on;
+                agent_cells += 1.0;
+            }
+            if agent == AgentKind::Lats && benchmark == Benchmark::HotpotQa {
+                lats_saving = saved;
+            }
+        }
+    }
+    result.table("Peak KV-cache bytes per request", table);
+
+    let agent_mean = agent_kv_sum / agent_cells;
+    result.check(
+        "agents-use-several-times-cots-kv",
+        agent_mean > 1.5 * cot_kv,
+        format!(
+            "agents average {:.2} GiB vs CoT {:.2} GiB, {:.1}x (paper: 3.0x avg, 5.4x worst)",
+            agent_mean / GIB,
+            cot_kv / GIB,
+            agent_mean / cot_kv.max(1.0)
+        ),
+    );
+    result.check(
+        "lats-parallel-sharing-saves-memory",
+        lats_saving > 0.25,
+        format!(
+            "LATS KV saved by prefix caching: {:.0}% (paper: 64.8% — parallel \
+             children share the parent's prefix blocks)",
+            lats_saving * 100.0
+        ),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 6,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

@@ -1,0 +1,102 @@
+//! Fig. 14: p50/p95 latency vs offered QPS for chatbot and agent
+//! workloads, with prefix caching enabled.
+
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::Table;
+use agentsim_serving::{peak_throughput, qps_sweep, ServingWorkload};
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+
+fn agent_workload(benchmark: Benchmark) -> ServingWorkload {
+    ServingWorkload::Agent {
+        kind: agentsim_agents::AgentKind::React,
+        benchmark,
+        config: agentsim_agents::AgentConfig::default_8b(),
+    }
+}
+
+/// Sweeps offered load for the three paper workloads.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig14",
+        "Tail latency vs QPS: ShareGPT chatbot vs ReAct agent (Fig. 14)",
+    );
+    let engine = EngineConfig::a100_llama8b();
+
+    let chatbot_points = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0];
+    let agent_points = [0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0];
+
+    let mut peaks = Vec::new();
+    for (name, workload, points) in [
+        (
+            "ShareGPT",
+            ServingWorkload::Chatbot,
+            &chatbot_points[..],
+        ),
+        (
+            "ReAct/HotpotQA",
+            agent_workload(Benchmark::HotpotQa),
+            &agent_points[..],
+        ),
+        (
+            "ReAct/WebShop",
+            agent_workload(Benchmark::WebShop),
+            &agent_points[..],
+        ),
+    ] {
+        let sweep = qps_sweep(&engine, &workload, points, scale.serving_requests, scale.seed);
+        let mut table = Table::with_columns(&["QPS", "tput", "p50 s", "p95 s"]);
+        for p in &sweep {
+            table.row(vec![
+                format!("{:.2}", p.qps),
+                format!("{:.2}", p.report.throughput()),
+                format!("{:.1}", p.report.p50_s),
+                format!("{:.1}", p.report.p95_s),
+            ]);
+        }
+        result.table(&format!("{name} load sweep"), table);
+        peaks.push((name, peak_throughput(&sweep)));
+    }
+
+    let peak = |name: &str| {
+        peaks
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    };
+    let chatbot = peak("ShareGPT");
+    let hotpot = peak("ReAct/HotpotQA");
+    let webshop = peak("ReAct/WebShop");
+    result.note(format!(
+        "Peak sustainable throughput: ShareGPT {chatbot:.1}, ReAct/HotpotQA {hotpot:.1}, \
+         ReAct/WebShop {webshop:.1} QPS. Paper anchors: 6.4 / 2.6 / 1.2 QPS."
+    ));
+    result.check(
+        "chatbot-sustains-more-load",
+        chatbot > 1.3 * hotpot.max(webshop),
+        format!("ShareGPT peak {chatbot:.1} vs agents {hotpot:.1}/{webshop:.1} QPS"),
+    );
+    result.check(
+        "agents-within-paper-band",
+        (1.2..5.0).contains(&hotpot),
+        format!("ReAct/HotpotQA peak {hotpot:.1} QPS (paper: 2.6)"),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            serving_requests: 40,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

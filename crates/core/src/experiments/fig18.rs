@@ -1,0 +1,134 @@
+//! Fig. 18: accuracy vs cost (latency, FLOPs) across AI agent design
+//! points — the Pareto analysis.
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{accuracy_of, mean_latency_s, mean_of, single_batch_with};
+
+/// A named design point of the sweep.
+fn design_points() -> Vec<(AgentKind, &'static str, AgentConfig)> {
+    let base = AgentConfig::default_8b();
+    vec![
+        (AgentKind::Cot, "CoT", base),
+        (AgentKind::React, "ReAct it=3", base.with_max_iterations(3)),
+        (AgentKind::React, "ReAct it=7", base),
+        (AgentKind::React, "ReAct it=12", base.with_max_iterations(12)),
+        (AgentKind::Reflexion, "Reflexion t=2", base.with_max_trials(2)),
+        (AgentKind::Reflexion, "Reflexion t=4", base.with_max_trials(4)),
+        (AgentKind::Lats, "LATS c=3", base.with_lats_children(3)),
+        (AgentKind::Lats, "LATS c=8", base.with_lats_children(8)),
+        (AgentKind::LlmCompiler, "LLMCompiler", base),
+    ]
+}
+
+/// Runs the design-space sweep on every agentic benchmark.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig18",
+        "Accuracy and cost-efficiency of agent design points (Fig. 18)",
+    );
+
+    let mut hotpot: Vec<(String, AgentKind, f64, f64, f64)> = Vec::new();
+    for benchmark in Benchmark::AGENTIC {
+        let mut table = Table::with_columns(&[
+            "Design",
+            "Accuracy",
+            "Latency s",
+            "PFLOPs",
+            "Acc/lat (1/s)",
+            "Acc/PFLOP",
+        ]);
+        for (kind, label, config) in design_points() {
+            if !kind.supports(benchmark) {
+                continue;
+            }
+            let outcomes = single_batch_with(
+                kind,
+                benchmark,
+                scale,
+                EngineConfig::a100_llama8b(),
+                config,
+            );
+            let acc = accuracy_of(&outcomes);
+            let lat = mean_latency_s(&outcomes);
+            let pflops = mean_of(&outcomes, |o| o.flops) / 1e15;
+            table.row(vec![
+                label.to_string(),
+                format!("{acc:.2}"),
+                format!("{lat:.1}"),
+                format!("{pflops:.2}"),
+                format!("{:.4}", acc / lat.max(1e-9)),
+                format!("{:.3}", acc / pflops.max(1e-9)),
+            ]);
+            if benchmark == Benchmark::HotpotQa {
+                hotpot.push((label.to_string(), kind, acc, lat, pflops));
+            }
+        }
+        result.table(&format!("{benchmark} design space"), table);
+    }
+
+    let best = |kind: AgentKind| -> (f64, f64) {
+        hotpot
+            .iter()
+            .filter(|(_, k, ..)| *k == kind)
+            .map(|&(_, _, acc, lat, _)| (acc, lat))
+            .fold((0.0, 0.0), |a, b| if b.0 > a.0 { b } else { a })
+    };
+    let (lats_acc, lats_lat) = best(AgentKind::Lats);
+    let (react_acc, react_lat) = best(AgentKind::React);
+    let (reflexion_acc, _) = best(AgentKind::Reflexion);
+
+    result.check(
+        "lats-most-accurate-most-expensive",
+        lats_acc > react_acc && lats_acc > reflexion_acc && lats_lat > react_lat,
+        format!(
+            "HotpotQA: LATS acc {lats_acc:.2} @ {lats_lat:.0}s vs ReAct {react_acc:.2} @ \
+             {react_lat:.0}s"
+        ),
+    );
+    result.check(
+        "react-is-cost-efficient",
+        react_acc / react_lat.max(1e-9) > lats_acc / lats_lat.max(1e-9),
+        format!(
+            "accuracy-per-second: ReAct {:.4} vs LATS {:.4} (paper: ReAct has strong \
+             compute efficiency)",
+            react_acc / react_lat.max(1e-9),
+            lats_acc / lats_lat.max(1e-9)
+        ),
+    );
+    let react_points: Vec<&(String, AgentKind, f64, f64, f64)> = hotpot
+        .iter()
+        .filter(|(_, k, ..)| *k == AgentKind::React)
+        .collect();
+    let diminishing = react_points.len() >= 3 && {
+        let a3 = react_points[0].2;
+        let a7 = react_points[1].2;
+        let a12 = react_points[2].2;
+        (a7 - a3) >= (a12 - a7) - 0.02
+    };
+    result.check(
+        "diminishing-returns-along-budget",
+        diminishing,
+        "ReAct accuracy gains shrink as the iteration budget grows".into(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 12,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

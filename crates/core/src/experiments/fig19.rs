@@ -1,0 +1,99 @@
+//! Fig. 19: latency and accuracy vs ReAct's maximum iteration budget.
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{accuracy_of, mean_latency_s, p95_latency_s, single_batch_with};
+
+const BUDGETS: [u32; 7] = [1, 2, 3, 5, 7, 10, 15];
+
+/// Sweeps the iteration budget for ReAct on HotpotQA.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig19",
+        "Latency and accuracy under iteration-budget constraints (Fig. 19)",
+    );
+    let mut table = Table::with_columns(&[
+        "Budget",
+        "Accuracy",
+        "Avg latency s",
+        "p95 latency s",
+        "Acc/latency",
+    ]);
+
+    let mut series = Vec::new();
+    for budget in BUDGETS {
+        let outcomes = single_batch_with(
+            AgentKind::React,
+            Benchmark::HotpotQa,
+            scale,
+            EngineConfig::a100_llama8b(),
+            AgentConfig::default_8b().with_max_iterations(budget),
+        );
+        let acc = accuracy_of(&outcomes);
+        let avg = mean_latency_s(&outcomes);
+        let p95 = p95_latency_s(&outcomes);
+        table.row(vec![
+            budget.to_string(),
+            format!("{acc:.2}"),
+            format!("{avg:.1}"),
+            format!("{p95:.1}"),
+            format!("{:.4}", acc / avg.max(1e-9)),
+        ]);
+        series.push((budget, acc, avg, p95));
+    }
+    result.table("ReAct/HotpotQA iteration-budget sweep", table);
+
+    let by_budget = |b: u32| series.iter().find(|(x, ..)| *x == b).copied().unwrap();
+    let (_, acc1, _, _) = by_budget(1);
+    let (_, acc7, _, p95_7) = by_budget(7);
+    let (_, acc15, _, p95_15) = by_budget(15);
+    let best_acc = series.iter().map(|(_, a, ..)| *a).fold(0.0, f64::max);
+    let best_eff = series
+        .iter()
+        .map(|&(b, a, l, _)| (b, a / l.max(1e-9)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .map(|(b, _)| b)
+        .unwrap_or(0);
+
+    result.note(format!(
+        "Max accuracy {best_acc:.2}; peak cost-efficiency at budget {best_eff} \
+         (paper's blue diamond)."
+    ));
+    result.check(
+        "deeper-budgets-help-initially",
+        acc7 > acc1 + 0.05,
+        format!("accuracy {acc1:.2} @ 1 iter -> {acc7:.2} @ 7 iters"),
+    );
+    result.check(
+        "accuracy-saturates",
+        (acc15 - acc7).abs() < 0.08,
+        format!("accuracy {acc7:.2} @ 7 -> {acc15:.2} @ 15 (flat tail)"),
+    );
+    result.check(
+        "tail-latency-keeps-growing",
+        p95_15 > p95_7 * 1.15,
+        format!(
+            "p95 {p95_7:.1}s @ 7 -> {p95_15:.1}s @ 15 (outliers consume the full budget)"
+        ),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 25,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 20: latency and accuracy vs number of few-shot examples.
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{accuracy_of, mean_latency_s, single_batch_with};
+
+const FEWSHOTS: [u32; 7] = [0, 1, 2, 4, 6, 8, 12];
+
+/// Sweeps the few-shot example count for ReAct on HotpotQA.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig20",
+        "Latency and accuracy vs few-shot example count (Fig. 20)",
+    );
+    let mut table =
+        Table::with_columns(&["Few-shot", "Accuracy", "Avg latency s", "Acc/latency"]);
+
+    let mut series = Vec::new();
+    for n in FEWSHOTS {
+        let outcomes = single_batch_with(
+            AgentKind::React,
+            Benchmark::HotpotQa,
+            scale,
+            EngineConfig::a100_llama8b(),
+            AgentConfig::default_8b().with_fewshot(n),
+        );
+        let acc = accuracy_of(&outcomes);
+        let lat = mean_latency_s(&outcomes);
+        table.row(vec![
+            n.to_string(),
+            format!("{acc:.2}"),
+            format!("{lat:.1}"),
+            format!("{:.4}", acc / lat.max(1e-9)),
+        ]);
+        series.push((n, acc, lat));
+    }
+    result.table("ReAct/HotpotQA few-shot sweep", table);
+
+    let by_n = |n: u32| series.iter().find(|(x, ..)| *x == n).copied().unwrap();
+    let (_, acc0, lat0) = by_n(0);
+    let (_, acc4, lat4) = by_n(4);
+    let (_, acc12, _) = by_n(12);
+    let best_acc = series.iter().map(|(_, a, _)| *a).fold(0.0, f64::max);
+
+    result.check(
+        "examples-help-initially",
+        acc4 > acc0 + 0.04,
+        format!("accuracy {acc0:.2} @ 0-shot -> {acc4:.2} @ 4-shot"),
+    );
+    result.check(
+        "good-examples-cut-latency",
+        lat4 < lat0,
+        format!(
+            "latency {lat0:.1}s @ 0-shot -> {lat4:.1}s @ 4-shot (fewer reasoning steps \
+             outweigh the longer prompt)"
+        ),
+    );
+    result.check(
+        "excessive-prompting-regresses",
+        acc12 < best_acc + 1e-9 && acc12 <= acc4 + 0.04,
+        format!("accuracy {acc12:.2} @ 12-shot vs best {best_acc:.2} (diminishing/declining)"),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 25,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

@@ -1,0 +1,145 @@
+//! Fig. 21: accuracy-latency trade-offs under sequential (reflection
+//! depth) and parallel (expansion width) test-time scaling on HotpotQA.
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{accuracy_of, mean_latency_s, single_batch_with};
+
+fn sweep(
+    kind: AgentKind,
+    configs: &[(String, AgentConfig)],
+    scale: &Scale,
+) -> Vec<(String, f64, f64)> {
+    configs
+        .iter()
+        .map(|(label, config)| {
+            let outcomes = single_batch_with(
+                kind,
+                Benchmark::HotpotQa,
+                scale,
+                EngineConfig::a100_llama8b(),
+                *config,
+            );
+            (label.clone(), accuracy_of(&outcomes), mean_latency_s(&outcomes))
+        })
+        .collect()
+}
+
+fn table_of(points: &[(String, f64, f64)]) -> Table {
+    let mut t = Table::with_columns(&["Scale level", "Accuracy", "Latency s"]);
+    for (label, acc, lat) in points {
+        t.row(vec![
+            label.clone(),
+            format!("{acc:.2}"),
+            format!("{lat:.1}"),
+        ]);
+    }
+    t
+}
+
+/// Runs all three panels.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig21",
+        "Sequential vs parallel test-time scaling on HotpotQA (Fig. 21)",
+    );
+    let base = AgentConfig::default_8b();
+
+    // (a) Reflexion: reflection depth (max trials).
+    let reflexion_cfgs: Vec<(String, AgentConfig)> = [1u32, 2, 3, 4, 6]
+        .iter()
+        .map(|&t| (format!("trials={t}"), base.with_max_trials(t)))
+        .collect();
+    let reflexion = sweep(AgentKind::Reflexion, &reflexion_cfgs, scale);
+    result.table("(a) Reflexion — sequential scaling", table_of(&reflexion));
+
+    // (b) LATS: search depth (MCTS iteration budget).
+    let lats_depth_cfgs: Vec<(String, AgentConfig)> = [2u32, 4, 8, 12]
+        .iter()
+        .map(|&i| (format!("iterations={i}"), base.with_lats_iterations(i)))
+        .collect();
+    let lats_depth = sweep(AgentKind::Lats, &lats_depth_cfgs, scale);
+    result.table("(b) LATS — sequential scaling (search budget)", table_of(&lats_depth));
+
+    // (c) LATS: expansion width (children per node). The search budget is
+    // raised so narrow trees pay for their failed attempts — the regime in
+    // which the paper observes parallel width *reducing* latency.
+    let lats_width_cfgs: Vec<(String, AgentConfig)> = [1u32, 2, 4, 8, 16]
+        .iter()
+        .map(|&c| {
+            (
+                format!("children={c}"),
+                base.with_lats_children(c).with_lats_iterations(12),
+            )
+        })
+        .collect();
+    let lats_width = sweep(AgentKind::Lats, &lats_width_cfgs, scale);
+    result.table("(c) LATS — parallel scaling (expansion width)", table_of(&lats_width));
+
+    // Checks.
+    let first = &reflexion[0];
+    let last = &reflexion[reflexion.len() - 1];
+    let mid = &reflexion[2];
+    result.check(
+        "sequential-scaling-helps-at-growing-cost",
+        last.1 >= first.1 && last.2 > 1.5 * first.2,
+        format!(
+            "Reflexion: acc {:.2}->{:.2}, latency {:.0}s->{:.0}s across depth",
+            first.1, last.1, first.2, last.2
+        ),
+    );
+    let early_gain_per_s = (mid.1 - first.1) / (mid.2 - first.2).max(1e-9);
+    let late_gain_per_s = (last.1 - mid.1) / (last.2 - mid.2).max(1e-9);
+    result.check(
+        "sequential-marginal-gain-collapses",
+        late_gain_per_s < early_gain_per_s + 1e-9,
+        format!(
+            "accuracy per extra second: {early_gain_per_s:.4} early vs {late_gain_per_s:.4} \
+             late (paper: 31x more latency for the same marginal gain)"
+        ),
+    );
+    let narrow = &lats_width[0];
+    let wide = &lats_width[3]; // children=8
+    result.check(
+        "parallel-scaling-is-latency-free-accuracy",
+        wide.1 > narrow.1 + 0.05 && wide.2 < narrow.2 * 1.10,
+        format!(
+            "LATS width 1 -> 8: accuracy {:.2} -> {:.2} while latency stays \
+             {:.0}s -> {:.0}s (paper: +14.4pp and -196.3s; our width-cost model \
+             keeps latency flat-to-slightly-down rather than strongly down — \
+             see EXPERIMENTS.md)",
+            narrow.1, wide.1, narrow.2, wide.2
+        ),
+    );
+    let deep_seq = &reflexion[reflexion.len() - 1];
+    result.check(
+        "parallel-beats-sequential-at-equal-accuracy",
+        wide.1 > deep_seq.1 && wide.2 < deep_seq.2,
+        format!(
+            "LATS width 8 ({:.2} acc @ {:.0}s) dominates Reflexion depth 6 \
+             ({:.2} acc @ {:.0}s): exploring in parallel converges faster than \
+             reflecting sequentially",
+            wide.1, wide.2, deep_seq.1, deep_seq.2
+        ),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 25,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

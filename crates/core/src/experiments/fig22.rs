@@ -1,0 +1,175 @@
+//! Fig. 22: accuracy-cost trade-offs under test-time scaling across model
+//! sizes (Llama-3.1 8B vs 70B) on HotpotQA.
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{accuracy_of, mean_latency_s, mean_of, single_batch_with};
+
+/// One measured scaling point.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Label (agent + scaling level + model).
+    pub label: String,
+    /// Task accuracy.
+    pub accuracy: f64,
+    /// Mean end-to-end latency, seconds.
+    pub latency_s: f64,
+    /// Mean total tokens (input + output) per request.
+    pub tokens: f64,
+    /// Mean GPU energy per request, watt-hours.
+    pub energy_wh: f64,
+}
+
+/// Measures Reflexion (sequential) and LATS (parallel) scaling ladders on
+/// both model sizes. Shared with `table3`.
+pub fn scaling_points(scale: &Scale) -> Vec<(AgentKind, &'static str, ScalingPoint)> {
+    let mut out = Vec::new();
+    for (model_name, engine, base) in [
+        ("8B", EngineConfig::a100_llama8b(), AgentConfig::default_8b()),
+        (
+            "70B",
+            EngineConfig::a100x8_llama70b(),
+            AgentConfig::default_70b(),
+        ),
+    ] {
+        for trials in [1u32, 2, 4, 6] {
+            let cfg = base.with_max_trials(trials).with_max_iterations(10);
+            let outcomes = single_batch_with(
+                AgentKind::Reflexion,
+                Benchmark::HotpotQa,
+                scale,
+                engine.clone(),
+                cfg,
+            );
+            out.push((
+                AgentKind::Reflexion,
+                model_name,
+                point(format!("Reflexion t={trials} {model_name}"), &outcomes),
+            ));
+        }
+        for children in [2u32, 5, 8] {
+            let cfg = base.with_lats_children(children).with_lats_iterations(10);
+            let outcomes = single_batch_with(
+                AgentKind::Lats,
+                Benchmark::HotpotQa,
+                scale,
+                engine.clone(),
+                cfg,
+            );
+            out.push((
+                AgentKind::Lats,
+                model_name,
+                point(format!("LATS c={children} {model_name}"), &outcomes),
+            ));
+        }
+    }
+    out
+}
+
+fn point(label: String, outcomes: &[agentsim_serving::SingleOutcome]) -> ScalingPoint {
+    ScalingPoint {
+        label,
+        accuracy: accuracy_of(outcomes),
+        latency_s: mean_latency_s(outcomes),
+        tokens: mean_of(outcomes, |o| {
+            (o.trace.input_tokens() + o.trace.output_tokens()) as f64
+        }),
+        energy_wh: mean_of(outcomes, |o| o.energy_wh),
+    }
+}
+
+/// Runs the model-size study.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig22",
+        "Test-time scaling across model sizes, 8B vs 70B (Fig. 22)",
+    );
+    let points = scaling_points(scale);
+    let mut table = Table::with_columns(&[
+        "Point",
+        "Accuracy",
+        "Latency s",
+        "Tokens",
+        "Energy Wh",
+    ]);
+    for (_, _, p) in &points {
+        table.row(vec![
+            p.label.clone(),
+            format!("{:.2}", p.accuracy),
+            format!("{:.1}", p.latency_s),
+            format!("{:.0}", p.tokens),
+            format!("{:.2}", p.energy_wh),
+        ]);
+    }
+    result.table("Scaling ladders on HotpotQA (latency / tokens / energy)", table);
+
+    let best = |kind: AgentKind, model: &str| -> ScalingPoint {
+        points
+            .iter()
+            .filter(|(k, m, _)| *k == kind && *m == model)
+            .map(|(_, _, p)| p.clone())
+            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+            .expect("points exist")
+    };
+    let reflexion_8b = best(AgentKind::Reflexion, "8B");
+    let reflexion_70b = best(AgentKind::Reflexion, "70B");
+    let lats_8b = best(AgentKind::Lats, "8B");
+    let lats_70b = best(AgentKind::Lats, "70B");
+
+    result.check(
+        "bigger-model-more-accurate-per-strategy",
+        reflexion_70b.accuracy > reflexion_8b.accuracy && lats_70b.accuracy >= lats_8b.accuracy - 0.05,
+        format!(
+            "Reflexion: 8B {:.2} vs 70B {:.2}; LATS: 8B {:.2} vs 70B {:.2} \
+             (paper: 38/67 and 80/82)",
+            reflexion_8b.accuracy, reflexion_70b.accuracy, lats_8b.accuracy, lats_70b.accuracy
+        ),
+    );
+    result.check(
+        "parallel-scaling-closes-the-model-gap",
+        lats_8b.accuracy > reflexion_70b.accuracy - 0.08,
+        format!(
+            "LATS/8B {:.2} approaches Reflexion/70B {:.2} (paper: 8B + parallel scaling \
+             nears 70B performance)",
+            lats_8b.accuracy, reflexion_70b.accuracy
+        ),
+    );
+    result.check(
+        "small-model-is-more-energy-efficient",
+        lats_8b.energy_wh < lats_70b.energy_wh && reflexion_8b.energy_wh < reflexion_70b.energy_wh,
+        format!(
+            "energy: LATS 8B {:.1} vs 70B {:.1} Wh; Reflexion 8B {:.1} vs 70B {:.1} Wh \
+             (one GPU vs eight)",
+            lats_8b.energy_wh, lats_70b.energy_wh, reflexion_8b.energy_wh, reflexion_70b.energy_wh
+        ),
+    );
+    result.check(
+        "small-model-needs-more-tokens",
+        lats_8b.tokens > 0.8 * lats_70b.tokens,
+        format!(
+            "tokens at max accuracy: LATS 8B {:.0} vs 70B {:.0} (paper: 8B consumes more \
+             tokens to reach parity)",
+            lats_8b.tokens, lats_70b.tokens
+        ),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 20,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

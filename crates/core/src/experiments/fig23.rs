@@ -1,0 +1,71 @@
+//! Fig. 23: growth in ChatGPT weekly active users (public data series the
+//! paper plots to motivate its traffic scenarios).
+
+use agentsim_metrics::Table;
+
+use crate::figure::{FigureResult, Scale};
+
+/// `(month, year, weekly active users in millions, source)` — the public
+/// milestones the paper cites (its references 31, 35, 36 and 39-41).
+pub const WAU_SERIES: [(&str, u32, f64, &str); 6] = [
+    ("Nov", 2022, 0.0, "launch"),
+    ("Feb", 2023, 100.0, "Reuters: fastest-growing user base"),
+    ("Aug", 2024, 200.0, "Reuters"),
+    ("Dec", 2024, 300.0, "OpenAI Newsroom"),
+    ("Feb", 2025, 400.0, "Reuters"),
+    ("Apr", 2025, 500.0, "OpenAI funding update"),
+];
+
+/// Renders the adoption series.
+pub fn run(_scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "fig23",
+        "ChatGPT weekly-active-user growth (Fig. 23)",
+    );
+    let mut table = Table::with_columns(&["Date", "WAU (millions)", "Source"]);
+    for (month, year, wau, source) in WAU_SERIES {
+        table.row(vec![
+            format!("{month} {year}"),
+            format!("{wau:.0}"),
+            source.to_string(),
+        ]);
+    }
+    result.table("Public adoption milestones", table);
+
+    let monotone = WAU_SERIES.windows(2).all(|w| w[1].2 >= w[0].2);
+    result.check(
+        "adoption-grows-monotonically",
+        monotone,
+        "user base only grows across the cited milestones".into(),
+    );
+    // Acceleration: the last 100M took ~2 months; the second 100M took ~18.
+    let slow_phase_months = 18.0; // Feb 2023 -> Aug 2024 for +100M
+    let fast_phase_months = 2.0; // Feb 2025 -> Apr 2025 for +100M
+    result.check(
+        "adoption-accelerates",
+        fast_phase_months < slow_phase_months / 3.0,
+        format!(
+            "+100M users took ~{slow_phase_months:.0} months in 2023-24 vs \
+             ~{fast_phase_months:.0} months in 2025 (paper: marked acceleration, \
+             500M+ by April 2025)"
+        ),
+    );
+    result.note(
+        "The paper converts 500M WAU to ~71.4M queries/day (one query per daily \
+         user) for its Table III projections.",
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_complete_and_checked() {
+        let r = run(&Scale::quick());
+        assert!(r.all_checks_pass());
+        assert_eq!(r.tables[0].1.len(), 6);
+        assert_eq!(WAU_SERIES.last().unwrap().2, 500.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The experiment registry: one module per paper table/figure.
+//!
+//! | id | paper artifact | what it shows |
+//! |---|---|---|
+//! | `table1` | Table I | agent capability matrix |
+//! | `table2` | Table II | benchmark descriptions |
+//! | `fig04` | Fig. 4 | LLM/tool invocations per request |
+//! | `fig05` | Fig. 5 | latency breakdown (LLM/tool/overlap) |
+//! | `fig06` | Fig. 6 | GPU runtime breakdown + utilization |
+//! | `fig07` | Fig. 7 | latency distributions: chatbot vs agent |
+//! | `fig08` | Fig. 8 | input/output token composition |
+//! | `fig09` | Fig. 9 | context growth across iterations |
+//! | `fig10` | Fig. 10 | prefill/decode split ± prefix caching |
+//! | `fig11` | Fig. 11 | LLM latency ± prefix caching |
+//! | `fig12` | Fig. 12 | KV memory per request ± prefix caching |
+//! | `concurrency` | §IV-C text | sequential vs concurrent serving |
+//! | `fig14` | Fig. 14 | tail latency vs QPS: chatbot vs agent |
+//! | `fig15` | Fig. 15 | serving throughput ± prefix caching |
+//! | `fig16` | Fig. 16 | serving KV memory ± prefix caching |
+//! | `fig17` | Fig. 17 | KV pool size sweep (thrashing) |
+//! | `fig18` | Fig. 18 | accuracy-cost Pareto across designs |
+//! | `fig19` | Fig. 19 | iteration-budget sweep |
+//! | `fig20` | Fig. 20 | few-shot-count sweep |
+//! | `fig21` | Fig. 21 | sequential vs parallel scaling |
+//! | `fig22` | Fig. 22 | model-size effects (8B vs 70B) |
+//! | `fig23` | Fig. 23 | ChatGPT adoption series |
+//! | `table3` | Table III | energy & datacenter power projections |
+
+pub mod ablation_block;
+pub mod ablation_chunked;
+pub mod ablation_step;
+pub mod concurrency;
+pub mod ext_hardware;
+pub mod ext_mixed;
+pub mod ext_routing;
+pub mod validation;
+pub mod ext_scheduler;
+pub mod ext_static;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod fig23;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use crate::figure::{FigureResult, Scale};
+
+/// A registered experiment.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Registry id (`"fig04"`, `"table3"`, …).
+    pub id: &'static str,
+    /// What the paper calls it.
+    pub paper_ref: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    runner: fn(&Scale) -> FigureResult,
+}
+
+impl Experiment {
+    /// Runs the experiment at the given scale.
+    pub fn run(&self, scale: &Scale) -> FigureResult {
+        (self.runner)(scale)
+    }
+}
+
+macro_rules! experiment {
+    ($id:ident, $paper:expr, $title:expr) => {
+        Experiment {
+            id: stringify!($id),
+            paper_ref: $paper,
+            title: $title,
+            runner: $id::run,
+        }
+    };
+}
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        experiment!(table1, "Table I", "Agent capability matrix"),
+        experiment!(table2, "Table II", "Benchmark descriptions"),
+        experiment!(fig04, "Fig. 4", "LLM and tool invocations per request"),
+        experiment!(fig05, "Fig. 5", "Latency breakdown per agent"),
+        experiment!(fig06, "Fig. 6", "GPU runtime breakdown and utilization"),
+        experiment!(fig07, "Fig. 7", "Latency distribution: chatbot vs agent"),
+        experiment!(fig08, "Fig. 8", "Input/output token composition"),
+        experiment!(fig09, "Fig. 9", "Context growth across reasoning steps"),
+        experiment!(fig10, "Fig. 10", "Prefill/decode split with prefix caching"),
+        experiment!(fig11, "Fig. 11", "LLM inference latency with prefix caching"),
+        experiment!(fig12, "Fig. 12", "KV memory per request with prefix caching"),
+        experiment!(concurrency, "Sec. IV-C", "Sequential vs concurrent agent serving"),
+        experiment!(fig14, "Fig. 14", "Tail latency vs QPS: chatbot vs agent"),
+        experiment!(fig15, "Fig. 15", "Serving throughput with prefix caching"),
+        experiment!(fig16, "Fig. 16", "Serving KV memory with prefix caching"),
+        experiment!(fig17, "Fig. 17", "KV pool size sweep (cache thrashing)"),
+        experiment!(fig18, "Fig. 18", "Accuracy-cost Pareto across agent designs"),
+        experiment!(fig19, "Fig. 19", "Iteration budget sweep"),
+        experiment!(fig20, "Fig. 20", "Few-shot prompting sweep"),
+        experiment!(fig21, "Fig. 21", "Sequential vs parallel test-time scaling"),
+        experiment!(fig22, "Fig. 22", "Model size effects on test-time scaling"),
+        experiment!(fig23, "Fig. 23", "ChatGPT weekly-active-user growth"),
+        experiment!(table3, "Table III", "Energy and datacenter power projections"),
+        experiment!(
+            ablation_step,
+            "(ablation)",
+            "Roofline step model vs fixed per-token cost"
+        ),
+        experiment!(
+            ablation_block,
+            "(ablation)",
+            "KV block size vs prefix-cache effectiveness"
+        ),
+        experiment!(
+            ablation_chunked,
+            "(ablation)",
+            "Chunked prefill vs classic scheduling"
+        ),
+        experiment!(
+            ext_scheduler,
+            "(extension)",
+            "Agent-aware scheduling (deepest-first) vs FCFS"
+        ),
+        experiment!(
+            ext_hardware,
+            "(extension)",
+            "What-if: H100 hardware for agent serving"
+        ),
+        experiment!(
+            ext_mixed,
+            "(extension)",
+            "Multi-tenant interference: chatbot QoS under agent traffic"
+        ),
+        experiment!(
+            ext_routing,
+            "(extension)",
+            "Session routing across an agent-serving fleet"
+        ),
+        experiment!(
+            ext_static,
+            "(extension)",
+            "Static (Best-of-N) vs dynamic test-time scaling"
+        ),
+        experiment!(
+            validation,
+            "(validation)",
+            "Event loop vs closed-form predictions"
+        ),
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn experiment_by_id(id: &str) -> Option<Experiment> {
+    all_experiments().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_paper_artifacts() {
+        let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), 32);
+        for required in [
+            "table1", "table2", "table3", "fig04", "fig17", "fig22", "concurrency",
+        ] {
+            assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(experiment_by_id("fig04").is_some());
+        assert!(experiment_by_id("fig99").is_none());
+        assert_eq!(experiment_by_id("table3").unwrap().paper_ref, "Table III");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 32);
+    }
+}

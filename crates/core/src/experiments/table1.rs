@@ -1,0 +1,69 @@
+//! Table I: comparison of AI agent capabilities.
+
+use agentsim_agents::AgentKind;
+use agentsim_metrics::Table;
+
+use crate::figure::{FigureResult, Scale};
+
+/// Renders the capability matrix.
+pub fn run(_scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new("table1", "Comparison of AI agents (Table I)");
+    let mut table = Table::with_columns(&[
+        "Agent",
+        "Reasoning",
+        "Tool Use",
+        "Reflection",
+        "Tree Search",
+        "Structured Planning",
+    ]);
+    let mark = |b: bool| if b { "O" } else { "X" }.to_string();
+    for kind in AgentKind::ALL {
+        let c = kind.capabilities();
+        table.row(vec![
+            kind.to_string(),
+            mark(c.reasoning),
+            mark(c.tool_use),
+            mark(c.reflection),
+            mark(c.tree_search),
+            mark(c.structured_planning),
+        ]);
+    }
+    result.table("Capability matrix", table);
+    result.check(
+        "capability-ordering",
+        capability_chain_is_monotone(),
+        "CoT ⊂ ReAct ⊂ Reflexion ⊂ LATS capability sets".into(),
+    );
+    result
+}
+
+fn capability_chain_is_monotone() -> bool {
+    let count = |k: AgentKind| {
+        let c = k.capabilities();
+        [c.reasoning, c.tool_use, c.reflection, c.tree_search]
+            .iter()
+            .filter(|&&b| b)
+            .count()
+    };
+    count(AgentKind::Cot) < count(AgentKind::React)
+        && count(AgentKind::React) < count(AgentKind::Reflexion)
+        && count(AgentKind::Reflexion) < count(AgentKind::Lats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper() {
+        let r = run(&Scale::quick());
+        assert!(r.all_checks_pass());
+        let (_, table) = &r.tables[0];
+        assert_eq!(table.len(), 5);
+        // CoT row: reasoning only.
+        assert_eq!(table.rows()[0][1], "O");
+        assert_eq!(table.rows()[0][2], "X");
+        // LLMCompiler has structured planning.
+        assert_eq!(table.rows()[4][5], "O");
+    }
+}

@@ -1,0 +1,204 @@
+//! Table III: energy and datacenter-wide power demands of agent serving.
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::power::{
+    format_watts, PowerProjection, CHATGPT_QUERIES_PER_DAY, GOOGLE_QUERIES_PER_DAY,
+};
+use agentsim_metrics::Table;
+use agentsim_workloads::Benchmark;
+
+use crate::figure::{FigureResult, Scale};
+use crate::presets::{accuracy_of, mean_latency_s, mean_of, sharegpt_single, single_batch_with};
+
+struct Row {
+    model: &'static str,
+    name: &'static str,
+    accuracy: Option<f64>,
+    latency_s: f64,
+    wh_per_query: f64,
+}
+
+/// Measures the paper's Table III rows: ShareGPT baseline plus the
+/// highest-accuracy Reflexion (sequential) and LATS (parallel) design
+/// points on HotpotQA, for both model sizes.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "table3",
+        "Energy and power demands of agent serving on HotpotQA (Table III)",
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (model, engine, base) in [
+        ("8B", EngineConfig::a100_llama8b(), AgentConfig::default_8b()),
+        (
+            "70B",
+            EngineConfig::a100x8_llama70b(),
+            AgentConfig::default_70b(),
+        ),
+    ] {
+        let (chat_latency, chat_wh) = sharegpt_single(scale, &engine);
+        rows.push(Row {
+            model,
+            name: "ShareGPT",
+            accuracy: None,
+            latency_s: chat_latency,
+            wh_per_query: chat_wh,
+        });
+        // Highest-accuracy configurations (paper: selected from Fig. 22).
+        let reflexion = single_batch_with(
+            AgentKind::Reflexion,
+            Benchmark::HotpotQa,
+            scale,
+            engine.clone(),
+            base.with_max_trials(8).with_max_iterations(15),
+        );
+        rows.push(Row {
+            model,
+            name: "Reflexion",
+            accuracy: Some(accuracy_of(&reflexion)),
+            latency_s: mean_latency_s(&reflexion),
+            wh_per_query: mean_of(&reflexion, |o| o.energy_wh),
+        });
+        let lats = single_batch_with(
+            AgentKind::Lats,
+            Benchmark::HotpotQa,
+            scale,
+            engine.clone(),
+            base.with_lats_children(8).with_lats_iterations(12),
+        );
+        rows.push(Row {
+            model,
+            name: "LATS",
+            accuracy: Some(accuracy_of(&lats)),
+            latency_s: mean_latency_s(&lats),
+            wh_per_query: mean_of(&lats, |o| o.energy_wh),
+        });
+    }
+
+    let baseline = |model: &str| {
+        rows.iter()
+            .find(|r| r.model == model && r.name == "ShareGPT")
+            .map(|r| (r.latency_s, r.wh_per_query))
+            .expect("baseline present")
+    };
+
+    let mut table = Table::with_columns(&[
+        "Model",
+        "Workflow",
+        "Accuracy %",
+        "Latency s",
+        "Wh/query",
+        "x baseline",
+        "Power @71.4M q/d",
+        "Power @13.7B q/d",
+    ]);
+    for r in &rows {
+        let (_, base_wh) = baseline(r.model);
+        let projection = PowerProjection::new(r.wh_per_query);
+        table.row(vec![
+            r.model.to_string(),
+            r.name.to_string(),
+            r.accuracy
+                .map(|a| format!("{:.0}", a * 100.0))
+                .unwrap_or_else(|| "-".to_string()),
+            format!("{:.1}", r.latency_s),
+            format!("{:.2}", r.wh_per_query),
+            format!("{:.1}x", r.wh_per_query / base_wh),
+            format_watts(projection.watts(CHATGPT_QUERIES_PER_DAY)),
+            format_watts(projection.watts(GOOGLE_QUERIES_PER_DAY)),
+        ]);
+    }
+    result.table(
+        "Per-query energy and projected datacenter power (P = Wh/query x q/day / 24h)",
+        table,
+    );
+
+    let find = |model: &str, name: &str| {
+        rows.iter()
+            .find(|r| r.model == model && r.name == name)
+            .expect("row present")
+    };
+    let chat8 = find("8B", "ShareGPT");
+    let chat70 = find("70B", "ShareGPT");
+    let reflexion8 = find("8B", "Reflexion");
+    let reflexion70 = find("70B", "Reflexion");
+    let lats8 = find("8B", "LATS");
+    let lats70 = find("70B", "LATS");
+
+    result.check(
+        "sharegpt-baseline-energy-in-band",
+        (0.1..1.0).contains(&chat8.wh_per_query) && (1.0..6.0).contains(&chat70.wh_per_query),
+        format!(
+            "ShareGPT: 8B {:.2} Wh, 70B {:.2} Wh per query (paper: 0.32 / 2.55)",
+            chat8.wh_per_query, chat70.wh_per_query
+        ),
+    );
+    let mult8 = reflexion8.wh_per_query / chat8.wh_per_query;
+    let mult70 = reflexion70.wh_per_query / chat70.wh_per_query;
+    result.check(
+        "agentic-queries-cost-orders-more",
+        mult8 > 6.0 && mult70 > 3.0,
+        format!(
+            "Reflexion energy multiplier: 8B {mult8:.0}x, 70B {mult70:.0}x over single-turn \
+             (paper: 131x/137x; the gap is our shorter trajectories — see EXPERIMENTS.md)"
+        ),
+    );
+    result.check(
+        "lats-more-accurate-and-cheaper-than-reflexion",
+        lats8.accuracy > reflexion8.accuracy && lats8.wh_per_query < reflexion8.wh_per_query,
+        format!(
+            "8B: LATS {:.0}% @ {:.1} Wh vs Reflexion {:.0}% @ {:.1} Wh (paper: 80% @ 22.8 \
+             vs 38% @ 41.5)",
+            lats8.accuracy.unwrap_or(0.0) * 100.0,
+            lats8.wh_per_query,
+            reflexion8.accuracy.unwrap_or(0.0) * 100.0,
+            reflexion8.wh_per_query
+        ),
+    );
+    result.check(
+        "seventy-b-agents-approach-gigawatt-scale",
+        PowerProjection::new(reflexion70.wh_per_query).watts(GOOGLE_QUERIES_PER_DAY) > 1e9,
+        format!(
+            "Reflexion/70B at Google-scale traffic: {} (paper: ~198.9 GW)",
+            format_watts(
+                PowerProjection::new(reflexion70.wh_per_query).watts(GOOGLE_QUERIES_PER_DAY)
+            )
+        ),
+    );
+    result.check(
+        "big-model-agents-cost-more-absolute-energy",
+        reflexion70.wh_per_query > reflexion8.wh_per_query
+            && lats70.wh_per_query > lats8.wh_per_query,
+        format!(
+            "70B vs 8B energy: Reflexion {:.1} vs {:.1} Wh, LATS {:.1} vs {:.1} Wh",
+            reflexion70.wh_per_query,
+            reflexion8.wh_per_query,
+            lats70.wh_per_query,
+            lats8.wh_per_query
+        ),
+    );
+    result.note(
+        "Absolute Wh/query runs below the paper's testbed numbers (its Reflexion \
+         configurations reach 650-720 s per request on real APIs and servers); the \
+         ordering, multipliers and power-projection structure are what this \
+         reproduction preserves.",
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            samples: 15,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+        assert_eq!(r.tables[0].1.len(), 6);
+    }
+}

@@ -1,0 +1,41 @@
+//! Hardware and model cost models for the `agentsim` workspace.
+//!
+//! The paper measures agents on NVIDIA A100 GPUs serving Llama-3.1 8B/70B
+//! through vLLM. This crate replaces the physical hardware with an
+//! analytical substitute:
+//!
+//! * [`GpuSpec`] — peak FLOP/s, HBM bandwidth, and power envelope,
+//! * [`ModelSpec`] — transformer shape (layers, heads, KV heads, params)
+//!   from which weight bytes, KV-cache bytes/token, and FLOPs/token follow,
+//! * [`ClusterSpec`] — how many GPUs serve one model replica (tensor
+//!   parallelism),
+//! * [`PerfModel`] — a roofline model: prefill is compute-bound, decode is
+//!   bandwidth-bound, matching the published behaviour the paper leans on
+//!   (its Fig. 6 and 10),
+//! * [`EnergyModel`] — phase-dependent power draw integrated into
+//!   energy-per-request (its Table III).
+//!
+//! # Example
+//!
+//! ```
+//! use agentsim_gpu::{ClusterSpec, PerfModel};
+//!
+//! let cluster = ClusterSpec::a100_llama8b();
+//! let perf = PerfModel::new(cluster);
+//! // Decoding one token for one request reads all weights once: ~13 ms.
+//! let step = perf.decode_step(&[1024]);
+//! assert!(step.duration.as_secs_f64() > 0.005);
+//! assert!(step.duration.as_secs_f64() < 0.05);
+//! ```
+
+pub mod cluster;
+pub mod energy;
+pub mod model;
+pub mod perf;
+pub mod spec;
+
+pub use cluster::ClusterSpec;
+pub use energy::{EnergyMeter, EnergyModel, Phase};
+pub use model::ModelSpec;
+pub use perf::{PerfModel, StepCost};
+pub use spec::GpuSpec;

@@ -1,0 +1,190 @@
+//! Transformer model specifications.
+
+use std::fmt;
+
+/// Architectural shape of a decoder-only transformer checkpoint.
+///
+/// Everything the serving simulator needs — weight bytes, KV bytes per
+/// token, FLOPs per token — derives from these fields.
+///
+/// # Example
+///
+/// ```
+/// use agentsim_gpu::ModelSpec;
+///
+/// let m = ModelSpec::llama3_8b();
+/// // 2 (K+V) x 32 layers x 8 KV heads x 128 head dim x 2 bytes = 128 KiB.
+/// assert_eq!(m.kv_bytes_per_token(), 131_072);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Checkpoint name, e.g. `"Llama-3.1-8B-Instruct"`.
+    pub name: &'static str,
+    /// Total parameter count.
+    pub params: u64,
+    /// Number of transformer layers.
+    pub layers: u32,
+    /// Model (residual stream) width.
+    pub hidden: u32,
+    /// Number of attention (query) heads.
+    pub heads: u32,
+    /// Number of key/value heads (grouped-query attention).
+    pub kv_heads: u32,
+    /// Dimension of each attention head.
+    pub head_dim: u32,
+    /// Bytes per parameter / activation element (2 for FP16/BF16).
+    pub dtype_bytes: u32,
+    /// Maximum context window in tokens.
+    pub max_context: u32,
+}
+
+impl ModelSpec {
+    /// Llama-3.1-8B-Instruct — the paper's default backend LLM.
+    pub fn llama3_8b() -> Self {
+        ModelSpec {
+            name: "Llama-3.1-8B-Instruct",
+            params: 8_030_000_000,
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            kv_heads: 8,
+            head_dim: 128,
+            dtype_bytes: 2,
+            max_context: 131_072,
+        }
+    }
+
+    /// Llama-3.1-70B-Instruct — used in the paper's Section V model-size
+    /// study.
+    pub fn llama3_70b() -> Self {
+        ModelSpec {
+            name: "Llama-3.1-70B-Instruct",
+            params: 70_600_000_000,
+            layers: 80,
+            hidden: 8192,
+            heads: 64,
+            kv_heads: 8,
+            head_dim: 128,
+            dtype_bytes: 2,
+            max_context: 131_072,
+        }
+    }
+
+    /// Bytes of KV cache stored per token across all layers
+    /// (`2 x layers x kv_heads x head_dim x dtype_bytes`).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * self.layers as u64 * self.kv_heads as u64 * self.head_dim as u64
+            * self.dtype_bytes as u64
+    }
+
+    /// Bytes occupied by the model weights.
+    pub fn weight_bytes(&self) -> u64 {
+        self.params * self.dtype_bytes as u64
+    }
+
+    /// Dense FLOPs to process one token through the MLP/projection weights
+    /// (the classic `2 x params` estimate).
+    pub fn flops_per_token_dense(&self) -> f64 {
+        2.0 * self.params as f64
+    }
+
+    /// Attention FLOPs for one token attending over a context of
+    /// `context_len` tokens (`4 x layers x heads x head_dim x context`,
+    /// covering the QKᵀ and AV matmuls).
+    pub fn flops_per_token_attn(&self, context_len: u64) -> f64 {
+        4.0 * self.layers as f64
+            * self.heads as f64
+            * self.head_dim as f64
+            * context_len as f64
+    }
+
+    /// Total FLOPs to process one token at the given context length.
+    pub fn flops_per_token(&self, context_len: u64) -> f64 {
+        self.flops_per_token_dense() + self.flops_per_token_attn(context_len)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any dimension is zero or `kv_heads > heads`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.params == 0
+            || self.layers == 0
+            || self.hidden == 0
+            || self.heads == 0
+            || self.kv_heads == 0
+            || self.head_dim == 0
+            || self.dtype_bytes == 0
+            || self.max_context == 0
+        {
+            return Err(format!("{}: all dimensions must be positive", self.name));
+        }
+        if self.kv_heads > self.heads {
+            return Err(format!(
+                "{}: kv_heads ({}) exceeds heads ({})",
+                self.name, self.kv_heads, self.heads
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:.1}B params, {} layers, {} KiB KV/token)",
+            self.name,
+            self.params as f64 / 1e9,
+            self.layers,
+            self.kv_bytes_per_token() / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        ModelSpec::llama3_8b().validate().unwrap();
+        ModelSpec::llama3_70b().validate().unwrap();
+    }
+
+    #[test]
+    fn kv_bytes_match_architecture() {
+        // 8B: 2*32*8*128*2 = 128 KiB/token; 70B: 2*80*8*128*2 = 320 KiB/token.
+        assert_eq!(ModelSpec::llama3_8b().kv_bytes_per_token(), 131_072);
+        assert_eq!(ModelSpec::llama3_70b().kv_bytes_per_token(), 327_680);
+    }
+
+    #[test]
+    fn weight_bytes_are_fp16() {
+        let m = ModelSpec::llama3_8b();
+        assert_eq!(m.weight_bytes(), m.params * 2);
+        // ~16 GB (≈15 GiB): does not fit twice in a 40 GB A100.
+        assert!(m.weight_bytes() > 14 * (1u64 << 30));
+    }
+
+    #[test]
+    fn attention_flops_grow_with_context() {
+        let m = ModelSpec::llama3_8b();
+        assert!(m.flops_per_token(4096) > m.flops_per_token(1024));
+        assert_eq!(m.flops_per_token_attn(0), 0.0);
+    }
+
+    #[test]
+    fn dense_flops_dominate_short_contexts() {
+        let m = ModelSpec::llama3_8b();
+        assert!(m.flops_per_token_dense() > m.flops_per_token_attn(1000));
+    }
+
+    #[test]
+    fn validate_catches_gqa_inversion() {
+        let mut m = ModelSpec::llama3_8b();
+        m.kv_heads = 64;
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! GPU hardware specifications.
+
+use std::fmt;
+
+/// Peak capabilities and power envelope of one GPU.
+///
+/// The numbers are public spec-sheet values; the efficiency factors that
+/// translate peaks into achieved rates live in [`crate::PerfModel`].
+///
+/// # Example
+///
+/// ```
+/// use agentsim_gpu::GpuSpec;
+///
+/// let a100 = GpuSpec::a100_40gb();
+/// assert_eq!(a100.hbm_bytes, 40 * (1 << 30));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"NVIDIA A100-SXM4-40GB"`.
+    pub name: &'static str,
+    /// Peak dense FP16/BF16 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// HBM capacity in bytes.
+    pub hbm_bytes: u64,
+    /// Peak HBM bandwidth in bytes/s.
+    pub hbm_bandwidth: f64,
+    /// Power draw when idle (no kernels resident), in watts.
+    pub idle_power_w: f64,
+    /// Board power at full load (TDP), in watts.
+    pub peak_power_w: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100-SXM4-40GB — the GPU used throughout the paper
+    /// (GCP `a2-highgpu` instances).
+    pub fn a100_40gb() -> Self {
+        GpuSpec {
+            name: "NVIDIA A100-SXM4-40GB",
+            peak_flops: 312e12,
+            hbm_bytes: 40 * (1 << 30),
+            hbm_bandwidth: 1_555e9,
+            idle_power_w: 60.0,
+            peak_power_w: 400.0,
+        }
+    }
+
+    /// NVIDIA H100-SXM5-80GB — provided for what-if extensions beyond the
+    /// paper's testbed.
+    pub fn h100_80gb() -> Self {
+        GpuSpec {
+            name: "NVIDIA H100-SXM5-80GB",
+            peak_flops: 989e12,
+            hbm_bytes: 80 * (1 << 30),
+            hbm_bandwidth: 3_350e9,
+            idle_power_w: 75.0,
+            peak_power_w: 700.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if any field is non-positive or the
+    /// idle power exceeds the peak power.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.peak_flops <= 0.0 {
+            return Err(format!("{}: peak_flops must be positive", self.name));
+        }
+        if self.hbm_bytes == 0 {
+            return Err(format!("{}: hbm_bytes must be positive", self.name));
+        }
+        if self.hbm_bandwidth <= 0.0 {
+            return Err(format!("{}: hbm_bandwidth must be positive", self.name));
+        }
+        if self.idle_power_w < 0.0 || self.peak_power_w <= self.idle_power_w {
+            return Err(format!(
+                "{}: power envelope invalid (idle {} W, peak {} W)",
+                self.name, self.idle_power_w, self.peak_power_w
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for GpuSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:.0} TFLOPS, {} GiB @ {:.0} GB/s, {:.0}-{:.0} W)",
+            self.name,
+            self.peak_flops / 1e12,
+            self.hbm_bytes >> 30,
+            self.hbm_bandwidth / 1e9,
+            self.idle_power_w,
+            self.peak_power_w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        GpuSpec::a100_40gb().validate().unwrap();
+        GpuSpec::h100_80gb().validate().unwrap();
+    }
+
+    #[test]
+    fn a100_matches_spec_sheet() {
+        let g = GpuSpec::a100_40gb();
+        assert_eq!(g.peak_flops, 312e12);
+        assert_eq!(g.hbm_bandwidth, 1_555e9);
+        assert!(g.peak_power_w > g.idle_power_w);
+    }
+
+    #[test]
+    fn validate_catches_bad_power() {
+        let mut g = GpuSpec::a100_40gb();
+        g.peak_power_w = 10.0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = GpuSpec::a100_40gb().to_string();
+        assert!(s.contains("A100"));
+        assert!(s.contains("312"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the roofline and energy models.
+
+use agentsim_gpu::perf::PrefillItem;
+use agentsim_gpu::{ClusterSpec, EnergyMeter, EnergyModel, PerfModel, Phase};
+use agentsim_simkit::SimDuration;
+use proptest::prelude::*;
+
+fn perf() -> PerfModel {
+    PerfModel::new(ClusterSpec::a100_llama8b())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prefill_cost_is_monotone_in_tokens(a in 1u64..4000, b in 1u64..4000) {
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        let p = perf();
+        let cost_small = p.prefill(&[PrefillItem { new_tokens: small, cached_tokens: 0 }]);
+        let cost_large = p.prefill(&[PrefillItem { new_tokens: large, cached_tokens: 0 }]);
+        prop_assert!(cost_large.duration >= cost_small.duration);
+        prop_assert!(cost_large.flops >= cost_small.flops);
+    }
+
+    #[test]
+    fn caching_tokens_never_raises_prefill_cost(
+        total in 32u64..4000,
+        cached_frac in 0.0f64..1.0,
+    ) {
+        let cached = (total as f64 * cached_frac) as u64;
+        let p = perf();
+        let cold = p.prefill(&[PrefillItem { new_tokens: total, cached_tokens: 0 }]);
+        let warm = p.prefill(&[PrefillItem {
+            new_tokens: total - cached,
+            cached_tokens: cached,
+        }]);
+        prop_assert!(warm.duration <= cold.duration);
+        prop_assert!(warm.flops <= cold.flops);
+    }
+
+    #[test]
+    fn decode_step_cost_grows_with_batch_but_sublinearly(
+        batch in 2usize..128,
+        ctx in 64u64..8000,
+    ) {
+        let p = perf();
+        let one = p.decode_step(&[ctx]).duration.as_secs_f64();
+        let many = p.decode_step(&vec![ctx; batch]).duration.as_secs_f64();
+        prop_assert!(many >= one, "bigger batches take longer in absolute terms");
+        prop_assert!(
+            many < one * batch as f64,
+            "batching must amortize: {many} !< {one} * {batch}"
+        );
+    }
+
+    #[test]
+    fn longer_contexts_cost_more_decode(a in 16u64..16_000, b in 16u64..16_000) {
+        let (short, long) = if a <= b { (a, b) } else { (b, a) };
+        let p = perf();
+        prop_assert!(
+            p.decode_step(&[long]).duration >= p.decode_step(&[short]).duration
+        );
+    }
+
+    #[test]
+    fn energy_is_additive_and_phase_ordered(
+        prefill_s in 0.0f64..100.0,
+        decode_s in 0.0f64..100.0,
+        idle_s in 0.0f64..100.0,
+    ) {
+        let model = EnergyModel::new(&ClusterSpec::a100_llama8b());
+        let mut m = EnergyMeter::new(model.clone());
+        m.add(Phase::Prefill, SimDuration::from_secs_f64(prefill_s));
+        m.add(Phase::Decode, SimDuration::from_secs_f64(decode_s));
+        m.add(Phase::Idle, SimDuration::from_secs_f64(idle_s));
+        let expected = model.power_w(Phase::Prefill) * prefill_s
+            + model.power_w(Phase::Decode) * decode_s
+            + model.power_w(Phase::Idle) * idle_s;
+        // SimDuration rounds to whole microseconds, so allow the
+        // corresponding energy slack (≤ 0.5 us x ~700 W per phase).
+        prop_assert!((m.joules() - expected).abs() < 1e-2);
+        // Swapping decode time into prefill can only raise the bill.
+        let mut hotter = EnergyMeter::new(model.clone());
+        hotter.add(Phase::Prefill, SimDuration::from_secs_f64(prefill_s + decode_s));
+        hotter.add(Phase::Idle, SimDuration::from_secs_f64(idle_s));
+        prop_assert!(hotter.joules() >= m.joules() - 1e-6);
+    }
+
+    #[test]
+    fn step_costs_are_deterministic(tokens in 1u64..4000) {
+        let p = perf();
+        let a = p.prefill(&[PrefillItem { new_tokens: tokens, cached_tokens: 0 }]);
+        let b = p.prefill(&[PrefillItem { new_tokens: tokens, cached_tokens: 0 }]);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,668 @@
+//! The paged KV block manager.
+//!
+//! Models vLLM's block allocator with automatic prefix caching: sequences
+//! own block tables; full blocks are chain-hashed and registered in a
+//! prefix cache; unreferenced hashed blocks stay resident (evictable, LRU)
+//! until memory pressure reclaims them.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use agentsim_simkit::SimTime;
+
+use crate::block::{BlockId, BlockMeta, BlockState};
+use crate::hash::{chain_hash, chain_hashes, CHAIN_ROOT};
+use crate::stats::KvStats;
+use crate::tokens::{Token, TokenBuf};
+
+/// Sizing and policy of the KV pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Total physical blocks in the pool.
+    pub num_blocks: u32,
+    /// Tokens per block (vLLM default: 16).
+    pub block_size: u32,
+    /// Whether automatic prefix caching is enabled.
+    pub prefix_caching: bool,
+}
+
+impl KvConfig {
+    /// Blocks needed to hold `tokens` tokens.
+    pub fn blocks_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.block_size as usize)
+    }
+}
+
+/// Handle to a live sequence's block table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeqHandle(u64);
+
+/// Why an allocation could not be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough free or evictable blocks.
+    Insufficient {
+        /// Fresh blocks the request needed.
+        needed: usize,
+        /// Free + evictable blocks available.
+        available: usize,
+    },
+    /// The sequence handle is unknown (already freed?).
+    UnknownSequence,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Insufficient { needed, available } => write!(
+                f,
+                "insufficient KV blocks: needed {needed}, available {available}"
+            ),
+            AllocError::UnknownSequence => write!(f, "unknown sequence handle"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[derive(Debug)]
+struct SeqState {
+    blocks: Vec<BlockId>,
+    len_tokens: usize,
+    cached_tokens: usize,
+    /// Chain hash of the last *full* block (parent for the next one).
+    chain_tail: u64,
+    /// Tokens of the trailing partial block (needed to hash it on fill).
+    tail_tokens: Vec<Token>,
+}
+
+/// The paged KV-cache block manager. See the [crate docs](crate) for an
+/// overview and example.
+#[derive(Debug)]
+pub struct KvBlockManager {
+    config: KvConfig,
+    metas: Vec<BlockMeta>,
+    lru_ticks: Vec<u64>,
+    free: Vec<BlockId>,
+    /// chain hash -> resident block holding that content.
+    cache: HashMap<u64, BlockId>,
+    /// Evictable blocks ordered by last use (tick, block).
+    lru: BTreeSet<(u64, BlockId)>,
+    seqs: HashMap<u64, SeqState>,
+    next_seq: u64,
+    tick: u64,
+    stats: KvStats,
+}
+
+impl KvBlockManager {
+    /// Creates a pool per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks` or `block_size` is zero.
+    pub fn new(config: KvConfig) -> Self {
+        assert!(config.num_blocks > 0, "pool must have at least one block");
+        assert!(config.block_size > 0, "block size must be positive");
+        KvBlockManager {
+            config,
+            metas: (0..config.num_blocks).map(|_| BlockMeta::free()).collect(),
+            lru_ticks: vec![0; config.num_blocks as usize],
+            free: (0..config.num_blocks).rev().map(BlockId).collect(),
+            cache: HashMap::new(),
+            lru: BTreeSet::new(),
+            seqs: HashMap::new(),
+            next_seq: 0,
+            tick: 0,
+            stats: KvStats::default(),
+        }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> KvConfig {
+        self.config
+    }
+
+    /// Counts how many leading full blocks of `tokens` are already resident.
+    fn count_hits(&self, hashes: &[u64]) -> usize {
+        if !self.config.prefix_caching {
+            return 0;
+        }
+        hashes
+            .iter()
+            .take_while(|h| self.cache.contains_key(h))
+            .count()
+    }
+
+    /// Whether `allocate` for this prompt would currently succeed.
+    pub fn can_allocate(&self, tokens: &TokenBuf) -> bool {
+        let hashes = chain_hashes(tokens.as_slice(), self.config.block_size as usize);
+        let hits = self.count_hits(&hashes);
+        let total = self.config.blocks_for(tokens.len());
+        let needed = total - hits;
+        // Cached hit blocks may sit in the LRU; they are revived, not
+        // evicted, so they do not count as available for fresh allocation.
+        let revivable = hashes[..hits]
+            .iter()
+            .filter(|h| {
+                let id = self.cache[*h];
+                self.metas[id.0 as usize].state == BlockState::Cached
+            })
+            .count();
+        let available = self.free.len() + self.lru.len() - revivable;
+        needed <= available
+    }
+
+    /// Admits a sequence with the given prompt, reusing cached prefix
+    /// blocks where possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Insufficient`] if the pool cannot hold the
+    /// non-cached portion even after evicting every evictable block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn allocate(&mut self, tokens: &TokenBuf, now: SimTime) -> Result<SeqHandle, AllocError> {
+        assert!(!tokens.is_empty(), "cannot allocate an empty sequence");
+        let bs = self.config.block_size as usize;
+        let hashes = chain_hashes(tokens.as_slice(), bs);
+        if !self.can_allocate(tokens) {
+            let hits = self.count_hits(&hashes);
+            self.stats.rejections += 1;
+            return Err(AllocError::Insufficient {
+                needed: self.config.blocks_for(tokens.len()) - hits,
+                available: self.free.len() + self.lru.len(),
+            });
+        }
+
+        let hits = self.count_hits(&hashes);
+        let mut blocks = Vec::with_capacity(self.config.blocks_for(tokens.len()));
+
+        // Revive / share cached prefix blocks.
+        for h in &hashes[..hits] {
+            let id = self.cache[h];
+            // Remove the LRU entry keyed by the *old* tick before touching.
+            if self.metas[id.0 as usize].state == BlockState::Cached {
+                self.lru.remove(&(self.lru_ticks[id.0 as usize], id));
+                self.metas[id.0 as usize].state = BlockState::Active;
+            }
+            self.touch(id, now);
+            self.metas[id.0 as usize].ref_count += 1;
+            blocks.push(id);
+        }
+
+        // Fresh blocks for the remaining full blocks (hash known now — the
+        // prefill computing them makes the content immediately shareable).
+        for h in &hashes[hits..] {
+            let id = self.obtain_block(now)?;
+            let meta = &mut self.metas[id.0 as usize];
+            meta.state = BlockState::Active;
+            meta.ref_count = 1;
+            if self.config.prefix_caching {
+                meta.chain_hash = Some(*h);
+                self.cache.insert(*h, id);
+            }
+            blocks.push(id);
+        }
+
+        // Trailing partial block, if any.
+        let rem = tokens.len() % bs;
+        if rem != 0 {
+            let id = self.obtain_block(now)?;
+            let meta = &mut self.metas[id.0 as usize];
+            meta.state = BlockState::Active;
+            meta.ref_count = 1;
+            blocks.push(id);
+        }
+
+        // A fully cached prompt still recomputes its final token so the
+        // model has logits to sample from (vLLM behaviour).
+        let cached_tokens = (hits * bs).min(tokens.len().saturating_sub(1));
+        self.stats.hit_tokens += cached_tokens as u64;
+        self.stats.miss_tokens += (tokens.len() - cached_tokens) as u64;
+        self.stats.sequences += 1;
+
+        let handle = SeqHandle(self.next_seq);
+        self.next_seq += 1;
+        self.seqs.insert(
+            handle.0,
+            SeqState {
+                blocks,
+                len_tokens: tokens.len(),
+                cached_tokens,
+                chain_tail: hashes.last().copied().unwrap_or(CHAIN_ROOT),
+                tail_tokens: tokens.as_slice()[tokens.len() - rem..].to_vec(),
+            },
+        );
+        self.note_usage(now);
+        Ok(handle)
+    }
+
+    /// Appends one generated token to a live sequence, growing its block
+    /// table when a block boundary is crossed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Insufficient`] if a new block is needed and
+    /// none can be freed (the caller should preempt the sequence), or
+    /// [`AllocError::UnknownSequence`] for a stale handle.
+    pub fn append_token(
+        &mut self,
+        seq: SeqHandle,
+        token: Token,
+        now: SimTime,
+    ) -> Result<(), AllocError> {
+        let bs = self.config.block_size as usize;
+        let state = self
+            .seqs
+            .get(&seq.0)
+            .ok_or(AllocError::UnknownSequence)?;
+
+        let needs_block = state.len_tokens.is_multiple_of(bs);
+        let new_block = if needs_block {
+            Some(self.obtain_block(now)?)
+        } else {
+            None
+        };
+
+        let prefix_caching = self.config.prefix_caching;
+        let state = self.seqs.get_mut(&seq.0).expect("checked above");
+        if let Some(id) = new_block {
+            let meta = &mut self.metas[id.0 as usize];
+            meta.state = BlockState::Active;
+            meta.ref_count = 1;
+            state.blocks.push(id);
+        }
+        state.tail_tokens.push(token);
+        state.len_tokens += 1;
+
+        // Did the tail block just fill? Then hash and register it.
+        if state.len_tokens.is_multiple_of(bs) {
+            let h = chain_hash(state.chain_tail, &state.tail_tokens);
+            state.chain_tail = h;
+            state.tail_tokens.clear();
+            let id = *state.blocks.last().expect("tail block exists");
+            if prefix_caching {
+                self.metas[id.0 as usize].chain_hash = Some(h);
+                // Content collisions (another block already holds this
+                // chain) keep the existing entry.
+                self.cache.entry(h).or_insert(id);
+            }
+        }
+        self.note_usage(now);
+        Ok(())
+    }
+
+    /// Releases a sequence. Hashed blocks stay resident (evictable) when
+    /// prefix caching is on; everything else returns to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already freed.
+    pub fn free(&mut self, seq: SeqHandle, now: SimTime) {
+        let state = self
+            .seqs
+            .remove(&seq.0)
+            .expect("freeing an unknown sequence handle");
+        for id in state.blocks {
+            let meta = &mut self.metas[id.0 as usize];
+            assert!(meta.ref_count > 0, "double free of {id}");
+            meta.ref_count -= 1;
+            if meta.ref_count > 0 {
+                continue;
+            }
+            let registered = meta
+                .chain_hash
+                .is_some_and(|h| self.cache.get(&h) == Some(&id));
+            if self.config.prefix_caching && registered {
+                meta.state = BlockState::Cached;
+                self.touch(id, now);
+                self.lru.insert((self.lru_ticks[id.0 as usize], id));
+            } else {
+                if let Some(h) = meta.chain_hash.take() {
+                    if self.cache.get(&h) == Some(&id) {
+                        self.cache.remove(&h);
+                    }
+                }
+                meta.state = BlockState::Free;
+                self.free.push(id);
+            }
+        }
+        self.note_usage(now);
+    }
+
+    /// Prompt tokens of `seq` that were served from the prefix cache.
+    pub fn cached_tokens(&self, seq: &SeqHandle) -> usize {
+        self.seqs.get(&seq.0).map_or(0, |s| s.cached_tokens)
+    }
+
+    /// Current length (tokens) of a live sequence.
+    pub fn seq_len(&self, seq: &SeqHandle) -> usize {
+        self.seqs.get(&seq.0).map_or(0, |s| s.len_tokens)
+    }
+
+    /// Blocks referenced by live sequences.
+    pub fn used_blocks(&self) -> usize {
+        self.metas
+            .iter()
+            .filter(|m| m.state == BlockState::Active)
+            .count()
+    }
+
+    /// Blocks on the free list.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Unreferenced cached blocks (evictable).
+    pub fn evictable_blocks(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Live sequences.
+    pub fn live_sequences(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &KvStats {
+        &self.stats
+    }
+
+    fn obtain_block(&mut self, now: SimTime) -> Result<BlockId, AllocError> {
+        if let Some(id) = self.free.pop() {
+            self.touch(id, now);
+            return Ok(id);
+        }
+        // Evict the least-recently-used cached block.
+        if let Some(&(tick, id)) = self.lru.iter().next() {
+            self.lru.remove(&(tick, id));
+            let meta = &mut self.metas[id.0 as usize];
+            if let Some(h) = meta.chain_hash.take() {
+                if self.cache.get(&h) == Some(&id) {
+                    self.cache.remove(&h);
+                }
+            }
+            *meta = BlockMeta::free();
+            self.stats.evictions += 1;
+            self.touch(id, now);
+            return Ok(id);
+        }
+        Err(AllocError::Insufficient {
+            needed: 1,
+            available: 0,
+        })
+    }
+
+    fn touch(&mut self, id: BlockId, now: SimTime) {
+        self.tick += 1;
+        self.lru_ticks[id.0 as usize] = self.tick;
+        self.metas[id.0 as usize].last_used = now;
+    }
+
+    fn note_usage(&mut self, now: SimTime) {
+        let used = self.used_blocks() as u64;
+        self.stats.used_blocks.set(now, used);
+        self.stats
+            .resident_blocks
+            .set(now, used + self.lru.len() as u64);
+    }
+
+    /// Internal-consistency check used by tests: every block is in exactly
+    /// one of {free list, LRU set, active}, refcounts match liveness, and
+    /// the cache map points at resident hashed blocks.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.config.num_blocks as usize;
+        let mut seen = vec![0u8; n];
+        for id in &self.free {
+            seen[id.0 as usize] += 1;
+            if self.metas[id.0 as usize].state != BlockState::Free {
+                return Err(format!("{id} on free list but not Free"));
+            }
+        }
+        for &(_, id) in &self.lru {
+            seen[id.0 as usize] += 1;
+            let m = &self.metas[id.0 as usize];
+            if m.state != BlockState::Cached || m.ref_count != 0 {
+                return Err(format!("{id} in LRU but not an unreferenced cached block"));
+            }
+        }
+        for (i, m) in self.metas.iter().enumerate() {
+            match m.state {
+                BlockState::Active => {
+                    if m.ref_count == 0 {
+                        return Err(format!("blk#{i} active with zero refs"));
+                    }
+                    seen[i] += 1;
+                }
+                BlockState::Free | BlockState::Cached => {
+                    if m.ref_count != 0 {
+                        return Err(format!("blk#{i} {:?} with refs", m.state));
+                    }
+                }
+            }
+        }
+        if let Some(i) = seen.iter().position(|&c| c != 1) {
+            return Err(format!("blk#{i} in {} places", seen[i]));
+        }
+        for (h, id) in &self.cache {
+            if self.metas[id.0 as usize].chain_hash != Some(*h) {
+                return Err(format!("cache entry {h:#x} points at {id} without that hash"));
+            }
+            if self.metas[id.0 as usize].state == BlockState::Free {
+                return Err(format!("cache entry {h:#x} points at free {id}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(blocks: u32, caching: bool) -> KvBlockManager {
+        KvBlockManager::new(KvConfig {
+            num_blocks: blocks,
+            block_size: 16,
+            prefix_caching: caching,
+        })
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn cold_allocation_has_no_hits() {
+        let mut m = mgr(16, true);
+        let p = TokenBuf::from_segment(1, 48);
+        let s = m.allocate(&p, t(0)).unwrap();
+        assert_eq!(m.cached_tokens(&s), 0);
+        assert_eq!(m.used_blocks(), 3);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn freed_prefix_is_reused() {
+        let mut m = mgr(16, true);
+        let p = TokenBuf::from_segment(1, 64);
+        let s = m.allocate(&p, t(0)).unwrap();
+        m.free(s, t(1));
+        assert_eq!(m.evictable_blocks(), 4);
+        let s2 = m.allocate(&p, t(2)).unwrap();
+        // 64 tokens = 4 full blocks, all cached; final token recomputed.
+        assert_eq!(m.cached_tokens(&s2), 63);
+        assert_eq!(m.free_blocks(), 12); // the same 4 blocks are revived
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_sequences_share_active_prefix() {
+        let mut m = mgr(16, true);
+        let mut p1 = TokenBuf::from_segment(9, 32);
+        p1.push_segment(100, 16);
+        let mut p2 = TokenBuf::from_segment(9, 32);
+        p2.push_segment(200, 16);
+        let s1 = m.allocate(&p1, t(0)).unwrap();
+        let s2 = m.allocate(&p2, t(1)).unwrap();
+        // 2 shared prefix blocks + 2 distinct suffix blocks.
+        assert_eq!(m.used_blocks(), 4);
+        assert_eq!(m.cached_tokens(&s2), 32);
+        m.free(s1, t(2));
+        m.free(s2, t(3));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prefix_caching_off_never_hits() {
+        let mut m = mgr(16, false);
+        let p = TokenBuf::from_segment(1, 64);
+        let s = m.allocate(&p, t(0)).unwrap();
+        m.free(s, t(1));
+        assert_eq!(m.evictable_blocks(), 0);
+        assert_eq!(m.free_blocks(), 16);
+        let s2 = m.allocate(&p, t(2)).unwrap();
+        assert_eq!(m.cached_tokens(&s2), 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_reclaims_lru_blocks() {
+        let mut m = mgr(8, true);
+        let p1 = TokenBuf::from_segment(1, 64); // 4 blocks
+        let s1 = m.allocate(&p1, t(0)).unwrap();
+        m.free(s1, t(1));
+        let p2 = TokenBuf::from_segment(2, 64);
+        let s2 = m.allocate(&p2, t(2)).unwrap();
+        m.free(s2, t(3));
+        // Pool of 8 now holds 8 cached blocks; a third prompt evicts p1's.
+        let p3 = TokenBuf::from_segment(3, 64);
+        let _s3 = m.allocate(&p3, t(4)).unwrap();
+        assert_eq!(m.stats().evictions, 4);
+        // p1 no longer cached, p2 still is.
+        let hashes1 = chain_hashes(p1.as_slice(), 16);
+        assert_eq!(m.count_hits(&hashes1), 0);
+        let hashes2 = chain_hashes(p2.as_slice(), 16);
+        assert_eq!(m.count_hits(&hashes2), 4);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn allocation_fails_when_pool_exhausted() {
+        let mut m = mgr(4, true);
+        let p1 = TokenBuf::from_segment(1, 64);
+        let _s1 = m.allocate(&p1, t(0)).unwrap();
+        let p2 = TokenBuf::from_segment(2, 16);
+        let err = m.allocate(&p2, t(1)).unwrap_err();
+        assert!(matches!(err, AllocError::Insufficient { .. }));
+        assert_eq!(m.stats().rejections, 1);
+        assert!(!m.can_allocate(&p2));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn decode_growth_allocates_blocks_and_registers_hashes() {
+        let mut m = mgr(16, true);
+        let p = TokenBuf::from_segment(1, 24); // 1 full + 1 partial
+        let s = m.allocate(&p, t(0)).unwrap();
+        assert_eq!(m.used_blocks(), 2);
+
+        // Grow by 8 tokens: fills the partial block (now hashed).
+        let mut full = p.clone();
+        for i in 0..8u64 {
+            let tok = crate::tokens::segment_token(777, i);
+            full.extend([tok]);
+            m.append_token(s, tok, t(10 + i)).unwrap();
+        }
+        assert_eq!(m.seq_len(&s), 32);
+        assert_eq!(m.used_blocks(), 2);
+        m.free(s, t(100));
+
+        // A new prompt with the same 32 tokens hits both blocks.
+        let s2 = m.allocate(&full, t(101)).unwrap();
+        assert_eq!(m.cached_tokens(&s2), 31);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn decode_crossing_boundary_takes_new_block() {
+        let mut m = mgr(4, true);
+        let p = TokenBuf::from_segment(1, 16);
+        let s = m.allocate(&p, t(0)).unwrap();
+        assert_eq!(m.used_blocks(), 1);
+        m.append_token(s, 123, t(1)).unwrap();
+        assert_eq!(m.used_blocks(), 2);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn decode_oom_is_reported() {
+        let mut m = mgr(1, true);
+        let p = TokenBuf::from_segment(1, 16);
+        let s = m.allocate(&p, t(0)).unwrap();
+        let err = m.append_token(s, 1, t(1)).unwrap_err();
+        assert!(matches!(err, AllocError::Insufficient { .. }));
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut m = mgr(32, true);
+        let p = TokenBuf::from_segment(1, 64);
+        let s = m.allocate(&p, t(0)).unwrap();
+        m.free(s, t(1));
+        let _ = m.allocate(&p, t(2)).unwrap();
+        let st = m.stats();
+        assert_eq!(st.hit_tokens, 63);
+        assert_eq!(st.miss_tokens, 64 + 1);
+        assert!((st.hit_rate() - 63.0 / 128.0).abs() < 1e-12);
+        assert_eq!(st.sequences, 2);
+    }
+
+    #[test]
+    fn usage_tracker_sees_peak() {
+        let mut m = mgr(32, true);
+        let p = TokenBuf::from_segment(1, 160); // 10 blocks
+        let s = m.allocate(&p, t(0)).unwrap();
+        m.free(s, t(1_000_000));
+        assert_eq!(m.stats().used_blocks.peak(), 10);
+        let avg = m.stats().used_blocks.average(t(2_000_000));
+        assert!((avg - 5.0).abs() < 0.1, "avg {avg}");
+    }
+
+    #[test]
+    fn revived_block_not_counted_available() {
+        // Pool 4; cached prompt occupies all 4 evictable. A new prompt
+        // sharing 2 blocks + needing 2 fresh must succeed (evicting the
+        // 2 non-shared), exercising the revive-vs-evict accounting.
+        let mut m = mgr(4, true);
+        let mut p1 = TokenBuf::from_segment(1, 32);
+        p1.push_segment(2, 32);
+        let s1 = m.allocate(&p1, t(0)).unwrap();
+        m.free(s1, t(1));
+        let mut p2 = TokenBuf::from_segment(1, 32);
+        p2.push_segment(3, 32);
+        let s2 = m.allocate(&p2, t(2)).unwrap();
+        assert_eq!(m.cached_tokens(&s2), 32);
+        assert_eq!(m.stats().evictions, 2);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_prompt_panics() {
+        let mut m = mgr(4, true);
+        let _ = m.allocate(&TokenBuf::new(), t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown sequence handle")]
+    fn double_free_panics() {
+        let mut m = mgr(4, true);
+        let p = TokenBuf::from_segment(1, 16);
+        let s = m.allocate(&p, t(0)).unwrap();
+        m.free(s, t(1));
+        m.free(s, t(2));
+    }
+}

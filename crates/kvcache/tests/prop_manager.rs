@@ -1,0 +1,156 @@
+//! Property-based tests for the KV block manager: under arbitrary
+//! sequences of allocate / append / free operations, the pool never
+//! leaks, refcounts stay consistent, and prefix caching never changes
+//! *which* work completes — only how much of it is reused.
+
+use agentsim_kvcache::{AllocError, KvBlockManager, KvConfig, SeqHandle, TokenBuf};
+use agentsim_simkit::SimTime;
+use proptest::prelude::*;
+
+/// A scripted operation on the manager.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a prompt built from (seed, len) segments.
+    Alloc { seed: u64, tokens: u32 },
+    /// Append `n` generated tokens to the `k`-th live sequence.
+    Append { k: usize, n: u8 },
+    /// Free the `k`-th live sequence.
+    Free { k: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..6, 1u32..200).prop_map(|(seed, tokens)| Op::Alloc { seed, tokens }),
+        (0usize..8, 1u8..40).prop_map(|(k, n)| Op::Append { k, n }),
+        (0usize..8).prop_map(|k| Op::Free { k }),
+    ]
+}
+
+fn run_script(ops: &[Op], num_blocks: u32, prefix_caching: bool) -> (KvBlockManager, u64) {
+    let mut mgr = KvBlockManager::new(KvConfig {
+        num_blocks,
+        block_size: 16,
+        prefix_caching,
+    });
+    let mut live: Vec<SeqHandle> = Vec::new();
+    let mut clock = 0u64;
+    let mut total_appended = 0u64;
+    for op in ops {
+        clock += 1;
+        let now = SimTime::from_micros(clock);
+        match op {
+            Op::Alloc { seed, tokens } => {
+                let prompt = TokenBuf::from_segment(*seed, *tokens);
+                match mgr.allocate(&prompt, now) {
+                    Ok(h) => live.push(h),
+                    Err(AllocError::Insufficient { .. }) => {}
+                    Err(e) => panic!("unexpected alloc error: {e}"),
+                }
+            }
+            Op::Append { k, n } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let h = live[k % live.len()];
+                for i in 0..*n {
+                    match mgr.append_token(h, (clock << 8) ^ i as u64, now) {
+                        Ok(()) => total_appended += 1,
+                        Err(AllocError::Insufficient { .. }) => break,
+                        Err(e) => panic!("unexpected append error: {e}"),
+                    }
+                }
+            }
+            Op::Free { k } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let h = live.swap_remove(k % live.len());
+                mgr.free(h, now);
+            }
+        }
+        mgr.check_invariants().unwrap_or_else(|e| panic!("invariant broken after {op:?}: {e}"));
+    }
+    // Drain.
+    for h in live {
+        clock += 1;
+        mgr.free(h, SimTime::from_micros(clock));
+    }
+    mgr.check_invariants().expect("invariants after drain");
+    (mgr, total_appended)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_scripts(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        caching in any::<bool>(),
+    ) {
+        let (mgr, _) = run_script(&ops, 64, caching);
+        // After draining, no block is referenced.
+        prop_assert_eq!(mgr.live_sequences(), 0);
+        prop_assert_eq!(mgr.used_blocks(), 0);
+        // Every block is free or evictable.
+        prop_assert_eq!(mgr.free_blocks() + mgr.evictable_blocks(), 64);
+    }
+
+    #[test]
+    fn caching_never_loses_blocks(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        // The same script with caching on and off keeps the same total
+        // block count and admits at least as many hit tokens with caching.
+        let (on, _) = run_script(&ops, 48, true);
+        let (off, _) = run_script(&ops, 48, false);
+        prop_assert!(on.stats().hit_tokens >= off.stats().hit_tokens);
+        prop_assert_eq!(off.stats().hit_tokens, 0);
+    }
+
+    #[test]
+    fn repeated_identical_prompts_converge_to_high_hit_rates(
+        seed in 0u64..100,
+        len in 32u32..400,
+        repeats in 2usize..8,
+    ) {
+        let mut mgr = KvBlockManager::new(KvConfig {
+            num_blocks: 256,
+            block_size: 16,
+            prefix_caching: true,
+        });
+        let prompt = TokenBuf::from_segment(seed, len);
+        let mut last_cached = 0;
+        for i in 0..repeats {
+            let now = SimTime::from_micros(i as u64 + 1);
+            let h = mgr.allocate(&prompt, now).expect("fits");
+            last_cached = mgr.cached_tokens(&h);
+            mgr.free(h, now);
+        }
+        // All full blocks hit (minus the recompute-last-token rule).
+        let full_blocks = (len as usize / 16) * 16;
+        prop_assert_eq!(last_cached, full_blocks.min(len as usize - 1));
+    }
+
+    #[test]
+    fn without_caching_nothing_is_ever_evicted(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        // With prefix caching off, freed blocks return straight to the
+        // free list, so the LRU never has anything to evict.
+        let (mgr, _) = run_script(&ops, 32, false);
+        prop_assert_eq!(mgr.stats().evictions, 0);
+        prop_assert_eq!(mgr.evictable_blocks(), 0);
+    }
+
+    #[test]
+    fn scripts_are_deterministic(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let (a, appended_a) = run_script(&ops, 48, true);
+        let (b, appended_b) = run_script(&ops, 48, true);
+        prop_assert_eq!(appended_a, appended_b);
+        prop_assert_eq!(a.stats().hit_tokens, b.stats().hit_tokens);
+        prop_assert_eq!(a.stats().evictions, b.stats().evictions);
+        prop_assert_eq!(a.free_blocks(), b.free_blocks());
+    }
+}

@@ -1,0 +1,166 @@
+//! Engine configuration.
+
+use agentsim_gpu::ClusterSpec;
+
+/// Request admission order.
+///
+/// The paper's deployments use vLLM's FCFS; its Key Takeaway #7 calls for
+/// *agent-aware* dispatching. [`SchedulerPolicy::DeepestFirst`] is that
+/// sketch: requests carry a priority (the serving driver sets it to the
+/// session's completed LLM-call count), so sessions deep in their
+/// workflow — close to finishing and holding the most reusable cache
+/// state — are admitted first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// First-come-first-served (vLLM default).
+    #[default]
+    Fcfs,
+    /// Highest-priority first, FCFS within a priority level.
+    DeepestFirst,
+}
+
+/// Configuration of one serving engine replica.
+///
+/// # Example
+///
+/// ```
+/// use agentsim_llm::EngineConfig;
+///
+/// let cfg = EngineConfig::a100_llama8b();
+/// assert!(cfg.num_kv_blocks() > 1000, "a ~14 GiB pool holds many 16-token blocks");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Hardware + model replica description.
+    pub cluster: ClusterSpec,
+    /// Tokens per KV block (vLLM default 16).
+    pub block_size: u32,
+    /// Automatic prefix caching (vLLM `enable_prefix_caching`).
+    pub prefix_caching: bool,
+    /// Scheduler token budget per step (vLLM `max_num_batched_tokens`).
+    pub max_batch_tokens: u32,
+    /// Maximum concurrently running sequences (vLLM `max_num_seqs`).
+    pub max_running: u32,
+    /// Chunked prefill: co-schedule prefill chunks with decodes.
+    pub chunked_prefill: bool,
+    /// Request admission order.
+    pub scheduler: SchedulerPolicy,
+}
+
+impl EngineConfig {
+    /// The paper's default backend: one A100-40GB serving Llama-3.1-8B
+    /// with prefix caching enabled.
+    pub fn a100_llama8b() -> Self {
+        EngineConfig {
+            cluster: ClusterSpec::a100_llama8b(),
+            block_size: 16,
+            prefix_caching: true,
+            max_batch_tokens: 8192,
+            max_running: 256,
+            chunked_prefill: false,
+            scheduler: SchedulerPolicy::Fcfs,
+        }
+    }
+
+    /// The paper's large-model setup: eight A100-40GB serving
+    /// Llama-3.1-70B (tensor parallel 8).
+    pub fn a100x8_llama70b() -> Self {
+        EngineConfig {
+            cluster: ClusterSpec::a100x8_llama70b(),
+            ..EngineConfig::a100_llama8b()
+        }
+    }
+
+    /// Returns a copy with prefix caching toggled.
+    pub fn with_prefix_caching(mut self, enabled: bool) -> Self {
+        self.prefix_caching = enabled;
+        self
+    }
+
+    /// Returns a copy with the KV pool scaled to `fraction` of the model
+    /// weight size (the paper's Fig. 17 sweep: 0.1 … 2.0).
+    pub fn with_kv_fraction(mut self, fraction: f64) -> Self {
+        self.cluster = self.cluster.with_kv_memory_fraction(fraction);
+        self
+    }
+
+    /// Returns a copy with chunked prefill toggled.
+    pub fn with_chunked_prefill(mut self, enabled: bool) -> Self {
+        self.chunked_prefill = enabled;
+        self
+    }
+
+    /// Returns a copy with a different scheduler policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Bytes of KV cache stored per block.
+    pub fn kv_bytes_per_block(&self) -> u64 {
+        self.cluster.model.kv_bytes_per_token() * self.block_size as u64
+    }
+
+    /// Number of KV blocks the pool holds.
+    pub fn num_kv_blocks(&self) -> u32 {
+        (self.cluster.kv_pool_bytes() / self.kv_bytes_per_block()).max(1) as u32
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the cluster is invalid or any knob is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        self.cluster.validate()?;
+        if self.block_size == 0 {
+            return Err("block_size must be positive".into());
+        }
+        if self.max_batch_tokens == 0 {
+            return Err("max_batch_tokens must be positive".into());
+        }
+        if self.max_running == 0 {
+            return Err("max_running must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        EngineConfig::a100_llama8b().validate().unwrap();
+        EngineConfig::a100x8_llama70b().validate().unwrap();
+    }
+
+    #[test]
+    fn default_pool_sizes_are_plausible() {
+        // 8B: pool = 0.9 x 16 GB weights ≈ 14.5 GB over 128 KiB/token
+        // blocks of 16 tokens (2 MiB/block) ≈ ~6.9k blocks.
+        let cfg = EngineConfig::a100_llama8b();
+        let blocks = cfg.num_kv_blocks();
+        assert!((5_000..9_000).contains(&blocks), "blocks {blocks}");
+        // That is ~110k cacheable tokens.
+        let tokens = blocks * cfg.block_size;
+        assert!(tokens > 80_000, "tokens {tokens}");
+    }
+
+    #[test]
+    fn kv_fraction_sweep_shrinks_pool() {
+        let full = EngineConfig::a100_llama8b().with_kv_fraction(2.0);
+        let tiny = EngineConfig::a100_llama8b().with_kv_fraction(0.1);
+        assert!(tiny.num_kv_blocks() * 10 <= full.num_kv_blocks() + 10);
+    }
+
+    #[test]
+    fn builder_style_toggles() {
+        let cfg = EngineConfig::a100_llama8b()
+            .with_prefix_caching(false)
+            .with_chunked_prefill(true);
+        assert!(!cfg.prefix_caching);
+        assert!(cfg.chunked_prefill);
+    }
+}

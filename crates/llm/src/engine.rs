@@ -1,0 +1,1025 @@
+//! The step-loop serving engine.
+
+use std::collections::VecDeque;
+
+use agentsim_gpu::{EnergyModel, PerfModel};
+use agentsim_gpu::perf::PrefillItem;
+use agentsim_kvcache::tokens::generated_token;
+use agentsim_kvcache::{KvBlockManager, KvConfig, SeqHandle, TokenBuf};
+use agentsim_simkit::{SimDuration, SimTime};
+
+use crate::config::{EngineConfig, SchedulerPolicy};
+use crate::metrics::EngineMetrics;
+use crate::request::{LlmCompletion, RequestId};
+
+/// A queued (not yet scheduled) request.
+#[derive(Debug)]
+struct Waiting {
+    id: RequestId,
+    priority: u32,
+    prompt: TokenBuf,
+    target_out: u32,
+    generated: u32,
+    gen_seed: u64,
+    arrived: SimTime,
+    orig_prompt_tokens: u32,
+    // Carried across preemptions:
+    started: Option<SimTime>,
+    prefill_time: SimDuration,
+    decode_time: SimDuration,
+    flops: f64,
+    cached_tokens: u32,
+    preemptions: u32,
+}
+
+/// A sequence in the running (decode) set, or mid-prefill when chunked.
+#[derive(Debug)]
+struct Running {
+    id: RequestId,
+    priority: u32,
+    ctx: TokenBuf,
+    seq: SeqHandle,
+    target_out: u32,
+    generated: u32,
+    gen_seed: u64,
+    arrived: SimTime,
+    started: SimTime,
+    orig_prompt_tokens: u32,
+    prompt_tokens: u32,
+    /// Uncached prompt tokens still to prefill (chunked mode only).
+    prefill_remaining: u32,
+    prefill_time: SimDuration,
+    decode_time: SimDuration,
+    flops: f64,
+    cached_tokens: u32,
+    preemptions: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    Prefill,
+    Decode,
+    Mixed,
+}
+
+#[derive(Debug)]
+struct StepInProgress {
+    kind: StepKind,
+    ends: SimTime,
+    duration: SimDuration,
+    flops: f64,
+    /// Ids participating as prefill (chunk sizes), for attribution.
+    prefill_chunks: Vec<(RequestId, u32)>,
+}
+
+/// The discrete-event LLM serving engine. See the [crate docs](crate) for
+/// the driving protocol and an example.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    perf: PerfModel,
+    kv: KvBlockManager,
+    waiting: VecDeque<Waiting>,
+    running: Vec<Running>,
+    step: Option<StepInProgress>,
+    next_id: u64,
+    metrics: EngineMetrics,
+}
+
+impl Engine {
+    /// Builds an engine from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails.
+    pub fn new(config: EngineConfig) -> Self {
+        config.validate().expect("invalid engine config");
+        let kv = KvBlockManager::new(KvConfig {
+            num_blocks: config.num_kv_blocks(),
+            block_size: config.block_size,
+            prefix_caching: config.prefix_caching,
+        });
+        let energy = EnergyModel::new(&config.cluster);
+        Engine {
+            perf: PerfModel::new(config.cluster.clone()),
+            kv,
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            step: None,
+            next_id: 0,
+            metrics: EngineMetrics::new(energy),
+            config,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The KV block manager (for occupancy and hit-rate statistics).
+    pub fn kv(&self) -> &KvBlockManager {
+        &self.kv
+    }
+
+    /// Engine-level metrics accumulated so far.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// The roofline model in use.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// Requests waiting for admission.
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Sequences currently running (prefilling or decoding).
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Whether any request is queued, running, or mid-step.
+    pub fn has_work(&self) -> bool {
+        !self.waiting.is_empty() || !self.running.is_empty() || self.step.is_some()
+    }
+
+    /// Enqueues a request: generate `out_tokens` tokens after `prompt`.
+    ///
+    /// `gen_seed` identifies the output stream so that agents replaying
+    /// this output into a later prompt produce identical token ids
+    /// (prefix-cache hits across iterative calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty, `out_tokens` is zero, or the total
+    /// sequence exceeds the model's context window.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        prompt: TokenBuf,
+        out_tokens: u32,
+        gen_seed: u64,
+    ) -> RequestId {
+        self.submit_with_priority(now, prompt, out_tokens, gen_seed, 0)
+    }
+
+    /// Like [`Engine::submit`], with an explicit scheduling priority
+    /// (higher is served first under
+    /// [`SchedulerPolicy::DeepestFirst`]; ignored under FCFS).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Engine::submit`].
+    pub fn submit_with_priority(
+        &mut self,
+        now: SimTime,
+        prompt: TokenBuf,
+        out_tokens: u32,
+        gen_seed: u64,
+        priority: u32,
+    ) -> RequestId {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        assert!(out_tokens > 0, "out_tokens must be at least 1");
+        let total = prompt.len() + out_tokens as usize;
+        assert!(
+            total <= self.config.cluster.model.max_context as usize,
+            "sequence of {total} tokens exceeds the {}-token context window",
+            self.config.cluster.model.max_context
+        );
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.waiting.push_back(Waiting {
+            id,
+            priority,
+            orig_prompt_tokens: prompt.len() as u32,
+            prompt,
+            target_out: out_tokens,
+            generated: 0,
+            gen_seed,
+            arrived: now,
+            started: None,
+            prefill_time: SimDuration::ZERO,
+            decode_time: SimDuration::ZERO,
+            flops: 0.0,
+            cached_tokens: 0,
+            preemptions: 0,
+        });
+        id
+    }
+
+    /// If no step is in flight and there is work, forms the next step and
+    /// returns the simulated time at which it completes. The caller must
+    /// invoke [`Engine::complete_step`] exactly at that time.
+    ///
+    /// Returns `None` if a step is already in flight or there is nothing
+    /// runnable (e.g. all queued requests are blocked on KV memory held by
+    /// nothing — which panics, since that can never resolve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool cannot hold the head request even when idle and
+    /// fully evicted (the request can never run).
+    pub fn start_step_if_idle(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.step.is_some() {
+            return None;
+        }
+        let step = if self.config.chunked_prefill {
+            self.form_mixed_step(now)
+        } else {
+            self.form_classic_step(now)
+        };
+        if step.is_none()
+            && self.running.is_empty()
+            && !self.waiting.is_empty()
+        {
+            let head = self.waiting.front().expect("non-empty");
+            panic!(
+                "KV pool ({} blocks) can never admit {} with a {}-token prompt",
+                self.kv.config().num_blocks,
+                head.id,
+                head.prompt.len()
+            );
+        }
+        self.step = step;
+        self.step.as_ref().map(|s| s.ends)
+    }
+
+    /// Completes the in-flight step (which must end exactly `now`) and
+    /// returns any finished requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step is in flight or `now` is not its end time.
+    pub fn complete_step(&mut self, now: SimTime) -> Vec<LlmCompletion> {
+        let step = self.step.take().expect("no step in flight");
+        assert_eq!(step.ends, now, "complete_step called at the wrong time");
+
+        // Engine-level accounting.
+        self.metrics.flops += step.flops;
+        match step.kind {
+            StepKind::Prefill => {
+                self.metrics.prefill_busy += step.duration;
+                self.metrics.prefill_steps += 1;
+            }
+            StepKind::Decode => {
+                self.metrics.decode_busy += step.duration;
+                self.metrics.decode_steps += 1;
+            }
+            StepKind::Mixed => {
+                self.metrics.mixed_busy += step.duration;
+                self.metrics.mixed_steps += 1;
+            }
+        }
+
+        // Per-request attribution of step wall-time.
+        let chunked: Vec<RequestId> = step.prefill_chunks.iter().map(|(id, _)| *id).collect();
+        for r in &mut self.running {
+            if chunked.contains(&r.id) {
+                r.prefill_time += step.duration;
+            } else if step.kind != StepKind::Prefill && r.prefill_remaining == 0 {
+                r.decode_time += step.duration;
+            }
+        }
+
+        // Advance prefill progress for chunked participants.
+        for (id, chunk) in &step.prefill_chunks {
+            if let Some(r) = self.running.iter_mut().find(|r| r.id == *id) {
+                r.prefill_remaining = r.prefill_remaining.saturating_sub(*chunk);
+            }
+        }
+
+        let mut done = Vec::new();
+
+        // Sequences that just finished prefill produce their first token;
+        // decode participants produce one token each.
+        let mut idx = 0;
+        while idx < self.running.len() {
+            let was_chunk = chunked.contains(&self.running[idx].id);
+            let produces = if was_chunk {
+                // Prefill participants emit their first token only once
+                // the whole prompt has been processed.
+                self.running[idx].prefill_remaining == 0
+            } else {
+                // Decode participants emit one token; sequences stalled
+                // mid-prefill (chunked mode) or bystanders of a pure
+                // prefill step do not advance.
+                step.kind != StepKind::Prefill && self.running[idx].prefill_remaining == 0
+            };
+            if !produces {
+                idx += 1;
+                continue;
+            }
+            match self.produce_token(idx, now) {
+                TokenOutcome::Completed(c) => {
+                    done.push(c);
+                    // produce_token removed the entry; do not advance idx.
+                }
+                TokenOutcome::Continues => idx += 1,
+                TokenOutcome::SelfPreempted => {
+                    // The producing sequence itself was preempted; entry
+                    // removed, do not advance idx.
+                }
+            }
+        }
+        self.metrics.completed += done.len() as u64;
+        done
+    }
+
+    // ---- step formation -------------------------------------------------
+
+    /// Classic vLLM scheduling: a step is either a prefill batch (admitted
+    /// FCFS under the token budget) or one decode iteration.
+    fn form_classic_step(&mut self, now: SimTime) -> Option<StepInProgress> {
+        let admitted = self.admit(now, self.config.max_batch_tokens);
+        if !admitted.is_empty() {
+            let items: Vec<PrefillItem> = admitted
+                .iter()
+                .map(|&(_, new, cached)| PrefillItem {
+                    new_tokens: new as u64,
+                    cached_tokens: cached as u64,
+                })
+                .collect();
+            let cost = self.perf.prefill(&items);
+            // Newly admitted requests carry their whole uncached prompt as
+            // one "chunk"; they produce their first token at step end.
+            for (id, new, cached) in &admitted {
+                if let Some(r) = self.running.iter_mut().find(|r| r.id == *id) {
+                    r.flops += self.perf.prefill_flops(*new as u64, *cached as u64);
+                }
+            }
+            return Some(StepInProgress {
+                kind: StepKind::Prefill,
+                ends: now + cost.duration,
+                duration: cost.duration,
+                flops: cost.flops,
+                prefill_chunks: admitted.iter().map(|&(id, new, _)| (id, new)).collect(),
+            });
+        }
+        self.form_decode_step(now)
+    }
+
+    fn form_decode_step(&mut self, now: SimTime) -> Option<StepInProgress> {
+        let decoding: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|r| r.prefill_remaining == 0)
+            .map(|r| r.ctx.len() as u64)
+            .collect();
+        if decoding.is_empty() {
+            return None;
+        }
+        let cost = self.perf.decode_step(&decoding);
+        let model = &self.config.cluster.model;
+        for r in &mut self.running {
+            if r.prefill_remaining == 0 {
+                r.flops += model.flops_per_token(r.ctx.len() as u64);
+            }
+        }
+        Some(StepInProgress {
+            kind: StepKind::Decode,
+            ends: now + cost.duration,
+            duration: cost.duration,
+            flops: cost.flops,
+            prefill_chunks: Vec::new(),
+        })
+    }
+
+    /// Chunked-prefill scheduling: decodes run every step; leftover token
+    /// budget advances the oldest in-progress prefill.
+    fn form_mixed_step(&mut self, now: SimTime) -> Option<StepInProgress> {
+        let decoding: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|r| r.prefill_remaining == 0)
+            .map(|r| r.ctx.len() as u64)
+            .collect();
+        let budget = self
+            .config
+            .max_batch_tokens
+            .saturating_sub(decoding.len() as u32);
+
+        // Admit new requests while budget remains (they join mid-prefill).
+        if budget > 0 && self.running.iter().all(|r| r.prefill_remaining == 0) {
+            let _ = self.admit(now, budget);
+        }
+
+        // Advance the oldest in-progress prefill by one chunk.
+        let mut chunks: Vec<(RequestId, u32)> = Vec::new();
+        let mut remaining_budget = budget;
+        for r in &mut self.running {
+            if r.prefill_remaining > 0 && remaining_budget > 0 {
+                let chunk = r.prefill_remaining.min(remaining_budget);
+                remaining_budget -= chunk;
+                chunks.push((r.id, chunk));
+            }
+        }
+
+        if chunks.is_empty() && decoding.is_empty() {
+            return None;
+        }
+
+        let items: Vec<PrefillItem> = chunks
+            .iter()
+            .map(|&(id, chunk)| {
+                let r = self.running.iter().find(|r| r.id == id).expect("exists");
+                let already = (r.prompt_tokens - r.cached_tokens - r.prefill_remaining) as u64;
+                PrefillItem {
+                    new_tokens: chunk as u64,
+                    cached_tokens: r.cached_tokens as u64 + already,
+                }
+            })
+            .collect();
+        let cost = if chunks.is_empty() {
+            self.perf.decode_step(&decoding)
+        } else {
+            self.perf.mixed_step(&items, &decoding)
+        };
+        let model = self.config.cluster.model.clone();
+        for r in &mut self.running {
+            if r.prefill_remaining == 0 {
+                r.flops += model.flops_per_token(r.ctx.len() as u64);
+            }
+        }
+        for (item, &(id, _)) in items.iter().zip(&chunks) {
+            if let Some(r) = self.running.iter_mut().find(|r| r.id == id) {
+                r.flops += self
+                    .perf
+                    .prefill_flops(item.new_tokens, item.cached_tokens);
+            }
+        }
+        let kind = if chunks.is_empty() {
+            StepKind::Decode
+        } else {
+            StepKind::Mixed
+        };
+        Some(StepInProgress {
+            kind,
+            ends: now + cost.duration,
+            duration: cost.duration,
+            flops: cost.flops,
+            prefill_chunks: chunks,
+        })
+    }
+
+    /// FCFS admission under a token budget. Returns `(id, uncached,
+    /// cached)` for each admitted request; KV is allocated immediately.
+    fn admit(&mut self, now: SimTime, budget_tokens: u32) -> Vec<(RequestId, u32, u32)> {
+        let mut admitted = Vec::new();
+        let mut budget_used: u32 = 0;
+        loop {
+            // Under DeepestFirst, bring the best candidate to the front
+            // (highest priority; FCFS within a level).
+            if self.config.scheduler == SchedulerPolicy::DeepestFirst && self.waiting.len() > 1 {
+                let best = self
+                    .waiting
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, w)| (w.priority, std::cmp::Reverse((w.arrived, w.id))))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                if best != 0 {
+                    self.waiting.swap(0, best);
+                }
+            }
+            let Some(head) = self.waiting.front() else { break };
+            if self.running.len() >= self.config.max_running as usize {
+                break;
+            }
+            if !self.kv.can_allocate(&head.prompt) {
+                break; // FCFS head-of-line blocking on memory.
+            }
+            let seq = match self.kv.allocate(&head.prompt, now) {
+                Ok(seq) => seq,
+                Err(_) => break,
+            };
+            let cached = self.kv.cached_tokens(&seq) as u32;
+            let uncached = head.prompt.len() as u32 - cached;
+            // Budget check: a request may exceed the budget only if it is
+            // the sole occupant of the step (vLLM non-chunked behaviour).
+            if !admitted.is_empty() && budget_used + uncached > budget_tokens {
+                self.kv.free(seq, now);
+                break;
+            }
+            budget_used = budget_used.saturating_add(uncached);
+            let w = self.waiting.pop_front().expect("non-empty");
+            admitted.push((w.id, uncached, cached));
+            self.running.push(Running {
+                id: w.id,
+                priority: w.priority,
+                ctx: w.prompt,
+                seq,
+                target_out: w.target_out,
+                generated: w.generated,
+                gen_seed: w.gen_seed,
+                arrived: w.arrived,
+                started: w.started.unwrap_or(now),
+                orig_prompt_tokens: w.orig_prompt_tokens,
+                prompt_tokens: 0, // set below
+                prefill_remaining: uncached,
+                prefill_time: w.prefill_time,
+                decode_time: w.decode_time,
+                flops: w.flops,
+                cached_tokens: cached + w.cached_tokens,
+                preemptions: w.preemptions,
+            });
+            let r = self.running.last_mut().expect("just pushed");
+            r.prompt_tokens = r.ctx.len() as u32;
+            if budget_used >= budget_tokens {
+                break;
+            }
+        }
+        admitted
+    }
+
+    // ---- token production and preemption --------------------------------
+
+    /// Produces one token for `running[idx]`, preempting the newest other
+    /// sequence on KV exhaustion. Returns what happened to the entry.
+    fn produce_token(&mut self, idx: usize, now: SimTime) -> TokenOutcome {
+        loop {
+            let r = &self.running[idx];
+            let token = generated_token(r.gen_seed, r.generated as u64);
+            match self.kv.append_token(r.seq, token, now) {
+                Ok(()) => {
+                    let r = &mut self.running[idx];
+                    r.ctx.extend([token]);
+                    r.generated += 1;
+                    if r.generated >= r.target_out {
+                        let r = self.running.swap_remove(idx);
+                        self.kv.free(r.seq, now);
+                        return TokenOutcome::Completed(LlmCompletion {
+                            id: r.id,
+                            arrived: r.arrived,
+                            started: r.started,
+                            finished: now,
+                            prompt_tokens: r.orig_prompt_tokens,
+                            cached_tokens: r.cached_tokens.min(r.orig_prompt_tokens),
+                            output_tokens: r.generated,
+                            prefill_time: r.prefill_time,
+                            decode_time: r.decode_time,
+                            flops: r.flops,
+                            preemptions: r.preemptions,
+                        });
+                    }
+                    return TokenOutcome::Continues;
+                }
+                Err(_) => {
+                    // Preempt the newest sequence that is not this one.
+                    let victim = self
+                        .running
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != idx)
+                        .max_by_key(|(_, r)| (r.started, r.id))
+                        .map(|(i, _)| i);
+                    match victim {
+                        Some(v) => {
+                            self.preempt(v, now);
+                            if v < idx {
+                                // swap_remove moved the tail into v; idx may
+                                // have shifted if idx was the tail.
+                                if idx == self.running.len() {
+                                    return self.resume_after_self_move(v, now);
+                                }
+                            }
+                            continue;
+                        }
+                        None => {
+                            // Only this sequence remains and it cannot grow.
+                            self.preempt(idx, now);
+                            return TokenOutcome::SelfPreempted;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// After a `swap_remove` moved the producing sequence into slot `v`,
+    /// continue producing from its new index.
+    fn resume_after_self_move(&mut self, new_idx: usize, now: SimTime) -> TokenOutcome {
+        self.produce_token(new_idx, now)
+    }
+
+    /// Preempts `running[idx]`: frees its KV (hashed blocks stay cached)
+    /// and requeues it at the front with its context-so-far as the prompt
+    /// (recompute-style preemption).
+    fn preempt(&mut self, idx: usize, now: SimTime) {
+        let r = self.running.swap_remove(idx);
+        self.kv.free(r.seq, now);
+        self.metrics.preemptions += 1;
+        self.waiting.push_front(Waiting {
+            id: r.id,
+            priority: r.priority,
+            prompt: r.ctx,
+            target_out: r.target_out,
+            generated: r.generated,
+            gen_seed: r.gen_seed,
+            arrived: r.arrived,
+            orig_prompt_tokens: r.orig_prompt_tokens,
+            started: Some(r.started),
+            prefill_time: r.prefill_time,
+            decode_time: r.decode_time,
+            flops: r.flops,
+            cached_tokens: r.cached_tokens,
+            preemptions: r.preemptions + 1,
+        });
+    }
+}
+
+/// Result of producing one token for a running sequence.
+#[derive(Debug)]
+enum TokenOutcome {
+    /// The request finished and was removed; here is its record.
+    Completed(LlmCompletion),
+    /// The sequence continues decoding.
+    Continues,
+    /// The producing sequence itself was preempted and requeued.
+    SelfPreempted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EngineConfig, SchedulerPolicy};
+
+    /// Drives the engine until it has no work, returning completions and
+    /// the final simulated time.
+    fn drain(engine: &mut Engine, mut now: SimTime) -> (Vec<LlmCompletion>, SimTime) {
+        let mut done = Vec::new();
+        while let Some(end) = engine.start_step_if_idle(now) {
+            now = end;
+            done.extend(engine.complete_step(now));
+        }
+        (done, now)
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig::a100_llama8b()
+    }
+
+    #[test]
+    fn deepest_first_admits_high_priority_requests_first() {
+        // Keep the engine busy with a long prefill so three requests of
+        // different priority queue up, then observe admission order.
+        let mut e = Engine::new(small_config().with_scheduler(SchedulerPolicy::DeepestFirst));
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(0, 8000), 4, 0);
+        let step_end = e.start_step_if_idle(SimTime::ZERO).expect("step starts");
+
+        let t = SimTime::from_micros(1);
+        let low = e.submit_with_priority(t, TokenBuf::from_segment(1, 100), 4, 1, 0);
+        let high = e.submit_with_priority(t, TokenBuf::from_segment(2, 100), 4, 2, 9);
+        let mid = e.submit_with_priority(t, TokenBuf::from_segment(3, 100), 4, 3, 5);
+
+        let mut now = step_end;
+        let mut done = e.complete_step(now);
+        while let Some(end) = e.start_step_if_idle(now) {
+            now = end;
+            done.extend(e.complete_step(now));
+        }
+        let started = |id: RequestId| done.iter().find(|c| c.id == id).unwrap().started;
+        assert!(started(high) <= started(mid), "priority 9 before 5");
+        assert!(started(mid) <= started(low), "priority 5 before 0");
+    }
+
+    #[test]
+    fn fcfs_ignores_priorities() {
+        let mut e = Engine::new(small_config());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(0, 8000), 4, 0);
+        let step_end = e.start_step_if_idle(SimTime::ZERO).expect("step starts");
+        let t = SimTime::from_micros(1);
+        let first = e.submit_with_priority(t, TokenBuf::from_segment(1, 100), 4, 1, 0);
+        let second = e.submit_with_priority(t, TokenBuf::from_segment(2, 100), 4, 2, 9);
+        let mut now = step_end;
+        let mut done = e.complete_step(now);
+        while let Some(end) = e.start_step_if_idle(now) {
+            now = end;
+            done.extend(e.complete_step(now));
+        }
+        let started = |id: RequestId| done.iter().find(|c| c.id == id).unwrap().started;
+        assert!(
+            started(first) <= started(second),
+            "FCFS must keep arrival order regardless of priority"
+        );
+    }
+
+    #[test]
+    fn single_request_runs_to_completion() {
+        let mut e = Engine::new(small_config());
+        let id = e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 1000), 100, 7);
+        let (done, end) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done.len(), 1);
+        let c = &done[0];
+        assert_eq!(c.id, id);
+        assert_eq!(c.prompt_tokens, 1000);
+        assert_eq!(c.output_tokens, 100);
+        assert_eq!(c.cached_tokens, 0);
+        assert_eq!(c.finished, end);
+        assert!(c.prefill_time > SimDuration::ZERO);
+        assert!(c.decode_time > SimDuration::ZERO);
+        // 99 decode steps at ~13-15 ms + prefill ≈ 1.3-1.7 s.
+        let s = c.e2e_latency().as_secs_f64();
+        assert!((0.8..3.0).contains(&s), "latency {s}");
+        assert!(!e.has_work());
+        e.kv().check_invariants().unwrap();
+        assert_eq!(e.kv().live_sequences(), 0);
+    }
+
+    #[test]
+    fn decode_dominates_for_generation_heavy_requests() {
+        // CoT-style: moderate prompt, long output => decode >> prefill
+        // (paper Fig. 10, CoT bar).
+        let mut e = Engine::new(small_config());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 600), 400, 7);
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        let c = &done[0];
+        assert!(c.decode_time.as_secs_f64() > 10.0 * c.prefill_time.as_secs_f64());
+    }
+
+    #[test]
+    fn second_identical_prompt_hits_prefix_cache() {
+        let mut e = Engine::new(small_config());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 2048), 8, 7);
+        let (first, t1) = drain(&mut e, SimTime::ZERO);
+        e.submit(t1, TokenBuf::from_segment(1, 2048), 8, 8);
+        let (second, _) = drain(&mut e, t1);
+        assert_eq!(first[0].cached_tokens, 0);
+        assert!(second[0].cached_tokens > 1900, "cached {}", second[0].cached_tokens);
+        assert!(second[0].prefill_time < first[0].prefill_time);
+    }
+
+    #[test]
+    fn prefix_caching_disabled_never_hits() {
+        let mut e = Engine::new(small_config().with_prefix_caching(false));
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 2048), 8, 7);
+        let (_, t1) = drain(&mut e, SimTime::ZERO);
+        e.submit(t1, TokenBuf::from_segment(1, 2048), 8, 8);
+        let (second, _) = drain(&mut e, t1);
+        assert_eq!(second[0].cached_tokens, 0);
+    }
+
+    #[test]
+    fn concurrent_requests_batch_and_all_finish() {
+        let mut e = Engine::new(small_config());
+        for i in 0..8 {
+            e.submit(SimTime::ZERO, TokenBuf::from_segment(100 + i, 512), 64, i);
+        }
+        let (done, end) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done.len(), 8);
+        // Batched: total time far less than 8x a single request.
+        let mut solo = Engine::new(small_config());
+        solo.submit(SimTime::ZERO, TokenBuf::from_segment(100, 512), 64, 0);
+        let (_, solo_end) = drain(&mut solo, SimTime::ZERO);
+        assert!(
+            end.as_secs_f64() < 3.0 * solo_end.as_secs_f64(),
+            "batched {end}, solo {solo_end}"
+        );
+        e.kv().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fcfs_order_of_first_scheduling() {
+        let mut e = Engine::new(small_config());
+        let a = e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 5000), 4, 0);
+        let b = e.submit(SimTime::from_micros(1), TokenBuf::from_segment(2, 100), 4, 1);
+        let (done, _) = drain(&mut e, SimTime::from_micros(1));
+        let ca = done.iter().find(|c| c.id == a).unwrap();
+        let cb = done.iter().find(|c| c.id == b).unwrap();
+        assert!(ca.started <= cb.started, "FCFS violated");
+    }
+
+    #[test]
+    fn shared_prefix_across_concurrent_requests() {
+        // Agent-style: same instruction+fewshot prefix, distinct questions.
+        let mut e = Engine::new(small_config());
+        let mut prompts = Vec::new();
+        for i in 0..4u64 {
+            let mut p = TokenBuf::from_segment(0xCAFE, 1024); // shared prefix
+            p.push_segment(i + 1, 128);
+            prompts.push(p);
+        }
+        for (i, p) in prompts.into_iter().enumerate() {
+            e.submit(SimTime::ZERO, p, 16, i as u64);
+        }
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        let total_cached: u32 = done.iter().map(|c| c.cached_tokens).sum();
+        // Later requests reuse the first's prefix blocks.
+        assert!(total_cached >= 3 * 1000, "cached {total_cached}");
+    }
+
+    #[test]
+    fn metrics_partition_busy_time() {
+        let mut e = Engine::new(small_config());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 1024), 64, 7);
+        let (_, end) = drain(&mut e, SimTime::ZERO);
+        let m = e.metrics();
+        assert_eq!(m.prefill_steps, 1);
+        assert_eq!(m.decode_steps, 63);
+        assert_eq!(m.completed, 1);
+        assert!(m.flops > 0.0);
+        assert_eq!(m.busy() + m.idle_within(end), SimDuration::from_micros(end.as_micros()));
+    }
+
+    #[test]
+    fn tiny_kv_pool_forces_preemption_or_blocking_but_completes() {
+        // Pool sized ~2.5% of weights: a few hundred blocks.
+        let mut e = Engine::new(small_config().with_kv_fraction(0.025));
+        for i in 0..6u64 {
+            e.submit(SimTime::ZERO, TokenBuf::from_segment(50 + i, 800), 200, i);
+        }
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done.len(), 6, "all requests must eventually finish");
+        e.kv().check_invariants().unwrap();
+        assert_eq!(e.kv().live_sequences(), 0);
+    }
+
+    #[test]
+    fn chunked_prefill_overlaps_and_completes() {
+        let mut e = Engine::new(small_config().with_chunked_prefill(true));
+        for i in 0..4u64 {
+            e.submit(SimTime::ZERO, TokenBuf::from_segment(10 + i, 3000), 32, i);
+        }
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done.len(), 4);
+        assert!(e.metrics().mixed_steps > 0, "mixed steps should occur");
+        e.kv().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iterative_calls_reuse_history_including_generated_tokens() {
+        // An agent's second call includes the first call's prompt + output.
+        let mut e = Engine::new(small_config());
+        let prompt1 = TokenBuf::from_segment(1, 1024);
+        e.submit(SimTime::ZERO, prompt1.clone(), 64, 42);
+        let (done1, t1) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done1.len(), 1);
+
+        let mut prompt2 = prompt1;
+        for i in 0..64u64 {
+            prompt2.push_generated(42, i);
+        }
+        prompt2.push_segment(2, 200); // tool observation
+        e.submit(t1, prompt2, 64, 43);
+        let (done2, _) = drain(&mut e, t1);
+        // 1024 + 64 = 1088 history tokens; 68 full blocks = 1088 cached.
+        assert!(
+            done2[0].cached_tokens >= 1024,
+            "history should hit, cached {}",
+            done2[0].cached_tokens
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out_tokens")]
+    fn zero_output_rejected() {
+        let mut e = Engine::new(small_config());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 10), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "can never admit")]
+    fn impossible_prompt_panics() {
+        // 0.4% of weights ≈ 64 MB ≈ 32 blocks = 512 tokens; a 4096-token
+        // prompt can never fit.
+        let mut e = Engine::new(small_config().with_kv_fraction(0.004));
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 4096), 4, 0);
+        let _ = e.start_step_if_idle(SimTime::ZERO);
+    }
+
+    #[test]
+    fn seventy_b_is_slower_per_request() {
+        let mut e8 = Engine::new(EngineConfig::a100_llama8b());
+        e8.submit(SimTime::ZERO, TokenBuf::from_segment(1, 1000), 200, 0);
+        let (_, t8) = drain(&mut e8, SimTime::ZERO);
+        let mut e70 = Engine::new(EngineConfig::a100x8_llama70b());
+        e70.submit(SimTime::ZERO, TokenBuf::from_segment(1, 1000), 200, 0);
+        let (_, t70) = drain(&mut e70, SimTime::ZERO);
+        assert!(t70 > t8, "8B {t8} vs 70B {t70}");
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::config::EngineConfig;
+
+    fn drain(engine: &mut Engine, mut now: SimTime) -> (Vec<LlmCompletion>, SimTime) {
+        let mut done = Vec::new();
+        while let Some(end) = engine.start_step_if_idle(now) {
+            now = end;
+            done.extend(engine.complete_step(now));
+        }
+        (done, now)
+    }
+
+    #[test]
+    fn single_output_token_completes_at_prefill() {
+        // out_tokens == 1: the prefill step's first token finishes it.
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 100), 1, 0);
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].output_tokens, 1);
+        assert_eq!(done[0].decode_time, SimDuration::ZERO);
+        assert!(done[0].prefill_time > SimDuration::ZERO);
+        assert_eq!(e.metrics().decode_steps, 0);
+    }
+
+    #[test]
+    fn one_token_prompt_works() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 1), 4, 0);
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done[0].prompt_tokens, 1);
+        assert_eq!(done[0].output_tokens, 4);
+        e.kv().check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "context window")]
+    fn context_window_guard_rejects_oversized_requests() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 131_000), 200, 0);
+    }
+
+    #[test]
+    fn late_arrivals_join_the_running_batch() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 256), 64, 0);
+        // Run a few steps, then a second request arrives mid-flight.
+        let mut now = SimTime::ZERO;
+        for _ in 0..5 {
+            let end = e.start_step_if_idle(now).expect("work pending");
+            now = end;
+            let _ = e.complete_step(now);
+        }
+        let second = e.submit(now, TokenBuf::from_segment(2, 256), 8, 1);
+        let (done, _) = drain(&mut e, now);
+        assert!(done.iter().any(|c| c.id == second));
+        assert_eq!(e.metrics().completed, 2);
+    }
+
+    #[test]
+    fn preempted_request_reports_its_preemptions() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b().with_kv_fraction(0.02));
+        for i in 0..5u64 {
+            e.submit(SimTime::ZERO, TokenBuf::from_segment(10 + i, 700), 300, i);
+        }
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done.len(), 5);
+        let total_preemptions: u32 = done.iter().map(|c| c.preemptions).sum();
+        assert_eq!(total_preemptions as u64, e.metrics().preemptions);
+        // Every preempted request still produced exactly its target.
+        for c in &done {
+            assert_eq!(c.output_tokens, 300);
+        }
+        e.kv().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn queue_and_running_counters_track_lifecycle() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        assert!(!e.has_work());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 64), 4, 0);
+        assert_eq!(e.queue_len(), 1);
+        assert_eq!(e.running_len(), 0);
+        let end = e.start_step_if_idle(SimTime::ZERO).expect("prefill");
+        assert_eq!(e.queue_len(), 0);
+        assert_eq!(e.running_len(), 1);
+        let mut now = end;
+        let mut done = e.complete_step(now);
+        while done.is_empty() {
+            now = e.start_step_if_idle(now).expect("decoding");
+            done = e.complete_step(now);
+        }
+        assert_eq!(e.running_len(), 0);
+        assert!(!e.has_work());
+    }
+
+    #[test]
+    fn chunked_prefill_matches_classic_results() {
+        // Same requests, both schedulers: identical outputs, different
+        // step patterns.
+        let run = |chunked: bool| {
+            let mut e = Engine::new(
+                EngineConfig::a100_llama8b().with_chunked_prefill(chunked),
+            );
+            for i in 0..4u64 {
+                e.submit(SimTime::ZERO, TokenBuf::from_segment(i, 1200), 32, i);
+            }
+            let (mut done, end) = drain(&mut e, SimTime::ZERO);
+            done.sort_by_key(|c| c.id);
+            let outs: Vec<u32> = done.iter().map(|c| c.output_tokens).collect();
+            (outs, end, e.metrics().mixed_steps)
+        };
+        let (classic_outs, _, classic_mixed) = run(false);
+        let (chunked_outs, _, chunked_mixed) = run(true);
+        assert_eq!(classic_outs, chunked_outs);
+        assert_eq!(classic_mixed, 0);
+        assert!(chunked_mixed > 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Discrete-event LLM serving engine simulator.
+//!
+//! Models the serving stack the paper measures (vLLM 0.6.6 on A100s) at
+//! the granularity where its systems phenomena live — *engine steps*:
+//!
+//! * requests queue FCFS and are admitted when their (non-cached) prompt
+//!   fits the step token budget and the KV pool has room,
+//! * a step is either a **prefill** batch or a **decode** iteration over
+//!   all running sequences (continuous batching); optionally prefill
+//!   chunks co-run with decodes (chunked-prefill ablation),
+//! * step durations come from the [`agentsim_gpu`] roofline model, so
+//!   prefill is compute-bound and decode bandwidth-bound,
+//! * the KV pool is a real [`agentsim_kvcache`] block manager: prefix
+//!   hits shorten prefill, unreferenced blocks stay cached, memory
+//!   pressure preempts the youngest running sequence (recompute),
+//! * prefill-blocks-decode interference, queueing delays, and energy are
+//!   all emergent from the step loop.
+//!
+//! Drivers own simulated time: they call [`Engine::submit`], then
+//! [`Engine::start_step_if_idle`] to learn when the current step finishes,
+//! and [`Engine::complete_step`] at that instant.
+//!
+//! # Example
+//!
+//! ```
+//! use agentsim_llm::{Engine, EngineConfig};
+//! use agentsim_kvcache::TokenBuf;
+//! use agentsim_simkit::SimTime;
+//!
+//! let mut engine = Engine::new(EngineConfig::a100_llama8b());
+//! let mut now = SimTime::ZERO;
+//! engine.submit(now, TokenBuf::from_segment(1, 512), 64, 99);
+//!
+//! let mut done = Vec::new();
+//! while let Some(end) = engine.start_step_if_idle(now) {
+//!     now = end;
+//!     done.extend(engine.complete_step(now));
+//! }
+//! assert_eq!(done.len(), 1);
+//! assert_eq!(done[0].output_tokens, 64);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod request;
+
+pub use config::{EngineConfig, SchedulerPolicy};
+pub use engine::Engine;
+pub use metrics::EngineMetrics;
+pub use request::{LlmCompletion, RequestId};

@@ -1,0 +1,133 @@
+//! Engine-level accounting: GPU phase breakdown, energy, steps.
+
+use agentsim_gpu::{EnergyMeter, EnergyModel, Phase};
+use agentsim_simkit::{SimDuration, SimTime};
+
+/// Aggregate engine statistics over a run.
+///
+/// Busy time is recorded per phase as steps complete; idle time is derived
+/// at reporting time as `window - busy`, matching how the paper computes
+/// GPU utilization (its Fig. 6: fraction of time kernels are resident).
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    energy_model: EnergyModel,
+    /// Wall time spent in prefill steps.
+    pub prefill_busy: SimDuration,
+    /// Wall time spent in decode steps.
+    pub decode_busy: SimDuration,
+    /// Wall time spent in mixed (chunked-prefill) steps.
+    pub mixed_busy: SimDuration,
+    /// Number of prefill steps executed.
+    pub prefill_steps: u64,
+    /// Number of decode steps executed.
+    pub decode_steps: u64,
+    /// Number of mixed steps executed.
+    pub mixed_steps: u64,
+    /// Total FLOPs executed.
+    pub flops: f64,
+    /// Sequences preempted for lack of KV blocks.
+    pub preemptions: u64,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+impl EngineMetrics {
+    /// Creates empty metrics for a replica described by `energy_model`.
+    pub fn new(energy_model: EnergyModel) -> Self {
+        EngineMetrics {
+            energy_model,
+            prefill_busy: SimDuration::ZERO,
+            decode_busy: SimDuration::ZERO,
+            mixed_busy: SimDuration::ZERO,
+            prefill_steps: 0,
+            decode_steps: 0,
+            mixed_steps: 0,
+            flops: 0.0,
+            preemptions: 0,
+            completed: 0,
+        }
+    }
+
+    /// Total busy time (any phase).
+    pub fn busy(&self) -> SimDuration {
+        self.prefill_busy + self.decode_busy + self.mixed_busy
+    }
+
+    /// Idle time within a window ending at `end` (assumes the engine
+    /// existed from `t = 0`).
+    pub fn idle_within(&self, end: SimTime) -> SimDuration {
+        SimDuration::from_micros(end.as_micros()).saturating_sub(self.busy())
+    }
+
+    /// GPU utilization over a window: busy / window.
+    pub fn utilization(&self, end: SimTime) -> f64 {
+        let w = end.as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            (self.busy().as_secs_f64() / w).min(1.0)
+        }
+    }
+
+    /// Energy consumed over a window ending at `end`: busy phases at their
+    /// phase power plus the remainder at idle power. Mixed steps are
+    /// charged at prefill power (compute-saturated).
+    pub fn energy_within(&self, end: SimTime) -> EnergyMeter {
+        let mut meter = EnergyMeter::new(self.energy_model.clone());
+        meter.add(Phase::Prefill, self.prefill_busy + self.mixed_busy);
+        meter.add(Phase::Decode, self.decode_busy);
+        meter.add(Phase::Idle, self.idle_within(end));
+        meter
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentsim_gpu::ClusterSpec;
+
+    fn metrics() -> EngineMetrics {
+        EngineMetrics::new(EnergyModel::new(&ClusterSpec::a100_llama8b()))
+    }
+
+    #[test]
+    fn busy_and_idle_partition_window() {
+        let mut m = metrics();
+        m.prefill_busy = SimDuration::from_secs(1);
+        m.decode_busy = SimDuration::from_secs(3);
+        let end = SimTime::from_secs_f64(10.0);
+        assert_eq!(m.busy(), SimDuration::from_secs(4));
+        assert_eq!(m.idle_within(end), SimDuration::from_secs(6));
+        assert!((m.utilization(end) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_handles_zero_window() {
+        assert_eq!(metrics().utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn energy_accounts_all_phases() {
+        let mut m = metrics();
+        m.prefill_busy = SimDuration::from_secs(1);
+        m.decode_busy = SimDuration::from_secs(2);
+        let meter = m.energy_within(SimTime::from_secs_f64(5.0));
+        assert_eq!(meter.duration(Phase::Prefill), SimDuration::from_secs(1));
+        assert_eq!(meter.duration(Phase::Decode), SimDuration::from_secs(2));
+        assert_eq!(meter.duration(Phase::Idle), SimDuration::from_secs(2));
+        assert!(meter.watt_hours() > 0.0);
+    }
+
+    #[test]
+    fn busy_beyond_window_clamps_utilization() {
+        let mut m = metrics();
+        m.decode_busy = SimDuration::from_secs(10);
+        assert_eq!(m.utilization(SimTime::from_secs_f64(5.0)), 1.0);
+        assert_eq!(m.idle_within(SimTime::from_secs_f64(5.0)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,116 @@
+//! Request identities and completion records.
+
+use std::fmt;
+
+use agentsim_simkit::{SimDuration, SimTime};
+
+/// Engine-assigned request identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Everything the engine knows about a finished request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlmCompletion {
+    /// The request this record describes.
+    pub id: RequestId,
+    /// When the request entered the engine queue.
+    pub arrived: SimTime,
+    /// When it was first scheduled (admission into a prefill step).
+    pub started: SimTime,
+    /// When its last token was produced.
+    pub finished: SimTime,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Prompt tokens served from the prefix cache (no prefill compute).
+    pub cached_tokens: u32,
+    /// Tokens generated.
+    pub output_tokens: u32,
+    /// Wall-clock time spent in prefill steps this request participated in.
+    pub prefill_time: SimDuration,
+    /// Wall-clock time spent in decode steps this request participated in.
+    pub decode_time: SimDuration,
+    /// FLOPs attributed to this request (its share of each step).
+    pub flops: f64,
+    /// Times the request was preempted and recomputed.
+    pub preemptions: u32,
+}
+
+impl LlmCompletion {
+    /// Time from arrival to first scheduling.
+    pub fn queue_time(&self) -> SimDuration {
+        self.started.saturating_since(self.arrived)
+    }
+
+    /// Time from arrival to completion.
+    pub fn e2e_latency(&self) -> SimDuration {
+        self.finished.saturating_since(self.arrived)
+    }
+
+    /// Fraction of the prompt served from cache, in `[0, 1]`.
+    pub fn cache_hit_fraction(&self) -> f64 {
+        if self.prompt_tokens == 0 {
+            0.0
+        } else {
+            self.cached_tokens as f64 / self.prompt_tokens as f64
+        }
+    }
+}
+
+impl fmt::Display for LlmCompletion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}+{} tokens ({} cached) in {} (queue {}, prefill {}, decode {})",
+            self.id,
+            self.prompt_tokens,
+            self.output_tokens,
+            self.cached_tokens,
+            self.e2e_latency(),
+            self.queue_time(),
+            self.prefill_time,
+            self.decode_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LlmCompletion {
+        LlmCompletion {
+            id: RequestId(1),
+            arrived: SimTime::from_micros(100),
+            started: SimTime::from_micros(300),
+            finished: SimTime::from_micros(1_300),
+            prompt_tokens: 100,
+            cached_tokens: 40,
+            output_tokens: 20,
+            prefill_time: SimDuration::from_micros(200),
+            decode_time: SimDuration::from_micros(800),
+            flops: 1e12,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn derived_times() {
+        let c = sample();
+        assert_eq!(c.queue_time(), SimDuration::from_micros(200));
+        assert_eq!(c.e2e_latency(), SimDuration::from_micros(1_200));
+        assert!((c.cache_hit_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_ids_and_tokens() {
+        let s = sample().to_string();
+        assert!(s.contains("req#1"));
+        assert!(s.contains("100+20"));
+    }
+}

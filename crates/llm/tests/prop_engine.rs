@@ -1,0 +1,162 @@
+//! Property-based tests for the serving engine: arbitrary request mixes
+//! all complete, scheduling respects FCFS, accounting balances, and
+//! prefix caching changes cost but never results.
+
+use agentsim_kvcache::TokenBuf;
+use agentsim_llm::{Engine, EngineConfig, LlmCompletion};
+use agentsim_simkit::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Req {
+    seed: u64,
+    prompt_tokens: u32,
+    out_tokens: u32,
+    arrival_us: u64,
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    (0u64..8, 16u32..1500, 1u32..120, 0u64..2_000_000).prop_map(
+        |(seed, prompt_tokens, out_tokens, arrival_us)| Req {
+            seed,
+            prompt_tokens,
+            out_tokens,
+            arrival_us,
+        },
+    )
+}
+
+fn drive(engine: &mut Engine, reqs: &[Req]) -> Vec<LlmCompletion> {
+    let mut reqs: Vec<Req> = reqs.to_vec();
+    reqs.sort_by_key(|r| r.arrival_us);
+    let mut done = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut next = 0usize;
+    loop {
+        // Admit everything that has arrived.
+        while next < reqs.len() && SimTime::from_micros(reqs[next].arrival_us) <= now {
+            let r = &reqs[next];
+            engine.submit(
+                SimTime::from_micros(r.arrival_us).max(now),
+                TokenBuf::from_segment(r.seed, r.prompt_tokens),
+                r.out_tokens,
+                r.seed ^ 0xDEAD ^ next as u64,
+            );
+            next += 1;
+        }
+        if let Some(end) = engine.start_step_if_idle(now) {
+            now = end;
+            done.extend(engine.complete_step(now));
+            continue;
+        }
+        if next < reqs.len() {
+            now = SimTime::from_micros(reqs[next].arrival_us);
+            continue;
+        }
+        if !engine.has_work() {
+            return done;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_request_completes_exactly_once(
+        reqs in prop::collection::vec(req_strategy(), 1..24),
+    ) {
+        let mut engine = Engine::new(EngineConfig::a100_llama8b());
+        let done = drive(&mut engine, &reqs);
+        prop_assert_eq!(done.len(), reqs.len());
+        let mut ids: Vec<u64> = done.iter().map(|c| c.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), reqs.len());
+        prop_assert_eq!(engine.kv().live_sequences(), 0);
+        engine.kv().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn output_token_counts_are_exact(
+        reqs in prop::collection::vec(req_strategy(), 1..16),
+    ) {
+        let mut engine = Engine::new(EngineConfig::a100_llama8b());
+        let done = drive(&mut engine, &reqs);
+        let mut sorted = reqs.clone();
+        sorted.sort_by_key(|r| r.arrival_us);
+        for c in &done {
+            let r = &sorted[c.id.0 as usize];
+            prop_assert_eq!(c.output_tokens, r.out_tokens);
+            prop_assert_eq!(c.prompt_tokens, r.prompt_tokens);
+        }
+    }
+
+    #[test]
+    fn first_scheduling_is_fcfs(
+        reqs in prop::collection::vec(req_strategy(), 2..16),
+    ) {
+        let mut engine = Engine::new(EngineConfig::a100_llama8b());
+        let done = drive(&mut engine, &reqs);
+        // Submission order == id order; started times must be monotone in
+        // id (no preemption happens at this pool size).
+        let mut by_id = done.clone();
+        by_id.sort_by_key(|c| c.id);
+        for w in by_id.windows(2) {
+            prop_assert!(
+                w[0].started <= w[1].started,
+                "FCFS violated: {} started {} after {} started {}",
+                w[0].id, w[0].started, w[1].id, w[1].started
+            );
+        }
+    }
+
+    #[test]
+    fn time_is_monotone_and_accounting_balances(
+        reqs in prop::collection::vec(req_strategy(), 1..16),
+    ) {
+        let mut engine = Engine::new(EngineConfig::a100_llama8b());
+        let done = drive(&mut engine, &reqs);
+        let end = done.iter().map(|c| c.finished).max().expect("non-empty");
+        for c in &done {
+            prop_assert!(c.arrived <= c.started);
+            prop_assert!(c.started <= c.finished);
+            prop_assert!(c.prefill_time + c.decode_time <= c.e2e_latency() + SimDuration::from_micros(1));
+        }
+        let m = engine.metrics();
+        prop_assert!(m.busy() <= SimDuration::from_micros(end.as_micros()));
+        prop_assert_eq!(m.completed, reqs.len() as u64);
+        prop_assert!(m.flops > 0.0);
+    }
+
+    #[test]
+    fn prefix_caching_changes_cost_not_results(
+        reqs in prop::collection::vec(req_strategy(), 1..12),
+    ) {
+        let mut with = Engine::new(EngineConfig::a100_llama8b());
+        let mut without = Engine::new(EngineConfig::a100_llama8b().with_prefix_caching(false));
+        let a = drive(&mut with, &reqs);
+        let b = drive(&mut without, &reqs);
+        prop_assert_eq!(a.len(), b.len());
+        let total = |v: &[LlmCompletion]| -> u64 {
+            v.iter().map(|c| c.output_tokens as u64).sum()
+        };
+        prop_assert_eq!(total(&a), total(&b));
+        // Caching can only reduce FLOPs.
+        prop_assert!(with.metrics().flops <= without.metrics().flops * 1.000001);
+        // And never reports hits when disabled.
+        prop_assert_eq!(b.iter().map(|c| c.cached_tokens).max().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn tiny_pools_still_complete_everything(
+        reqs in prop::collection::vec(req_strategy(), 1..10),
+    ) {
+        // A pool of ~2.5% of weights forces queueing and preemption, but
+        // liveness must hold.
+        let mut engine = Engine::new(EngineConfig::a100_llama8b().with_kv_fraction(0.025));
+        let done = drive(&mut engine, &reqs);
+        prop_assert_eq!(done.len(), reqs.len());
+        engine.kv().check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,171 @@
+//! Fixed-width histograms for latency distributions.
+
+use std::fmt;
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the range
+/// clamped into the first/last bin.
+///
+/// # Example
+///
+/// ```
+/// use agentsim_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// h.record(0.5);
+/// h.record(1.5);
+/// h.record(1.7);
+/// assert_eq!(h.count(0), 1);
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Records one value (clamped into range).
+    pub fn record(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let idx = if value < self.lo {
+            0
+        } else if value >= self.hi {
+            bins - 1
+        } else {
+            (((value - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    /// Count in bin `idx`.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `(bin_start, bin_end, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c))
+    }
+
+    /// Fraction of mass at or above `value` (tail weight).
+    pub fn tail_fraction(&self, value: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let tail: u64 = self
+            .iter()
+            .filter(|&(start, _, _)| start >= value)
+            .map(|(_, _, c)| c)
+            .sum();
+        tail as f64 / total as f64
+    }
+
+    /// Renders an ASCII bar chart (one line per non-empty bin).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (start, end, c) in self.iter() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((c as f64 / max as f64) * width as f64).ceil() as usize);
+            out.push_str(&format!("{start:8.2}-{end:<8.2} {c:6} {bar}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram[{} bins over {}..{}, n={}]",
+            self.bins(),
+            self.lo,
+            self.hi,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for v in 0..100 {
+            h.record(v as f64);
+        }
+        for i in 0..10 {
+            assert_eq!(h.count(i), 10);
+        }
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-5.0);
+        h.record(50.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(4), 1);
+    }
+
+    #[test]
+    fn tail_fraction_measures_mass() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [1.0, 2.0, 8.5, 9.5] {
+            h.record(v);
+        }
+        assert!((h.tail_fraction(8.0) - 0.5).abs() < 1e-12);
+        assert_eq!(h.tail_fraction(20.0), 0.0);
+    }
+
+    #[test]
+    fn render_skips_empty_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(1.0);
+        let s = h.render(20);
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistics and reporting utilities for serving experiments.
+//!
+//! * [`Summary`] — streaming count/mean/min/max/variance,
+//! * [`Samples`] — exact percentiles over collected values (p50/p95/p99),
+//! * [`Histogram`] — fixed-width binning for latency distributions
+//!   (the paper's Fig. 7),
+//! * [`TimeSeries`] — time-weighted gauges (queue depth, batch size),
+//! * [`power`] — per-query energy → datacenter power projections
+//!   (its Table III),
+//! * [`Table`] — plain-text table rendering for the `figures` binary.
+//!
+//! # Example
+//!
+//! ```
+//! use agentsim_metrics::Samples;
+//!
+//! let mut s = Samples::new();
+//! for v in 1..=100 {
+//!     s.push(v as f64);
+//! }
+//! assert_eq!(s.percentile(50.0), 50.0);
+//! assert_eq!(s.percentile(95.0), 95.0);
+//! ```
+
+pub mod histogram;
+pub mod power;
+pub mod samples;
+pub mod summary;
+pub mod table;
+pub mod timeseries;
+
+pub use histogram::Histogram;
+pub use power::PowerProjection;
+pub use samples::Samples;
+pub use summary::Summary;
+pub use table::Table;
+pub use timeseries::TimeSeries;

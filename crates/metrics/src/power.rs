@@ -1,0 +1,124 @@
+//! Datacenter power projections (the paper's Table III).
+//!
+//! The projection is the paper's formula:
+//! `P = (Wh/query) x (queries/day) / 24 h`.
+
+use std::fmt;
+
+/// Daily query volume of today's ChatGPT traffic under the paper's
+/// conservative assumption (≈500 M weekly actives → 71.4 M queries/day).
+pub const CHATGPT_QUERIES_PER_DAY: f64 = 71.4e6;
+
+/// Daily query volume of Google-search-scale traffic (13.7 B/day).
+pub const GOOGLE_QUERIES_PER_DAY: f64 = 13.7e9;
+
+/// Scales per-query energy to a sustained datacenter power draw.
+///
+/// # Example
+///
+/// ```
+/// use agentsim_metrics::PowerProjection;
+///
+/// // The paper's ShareGPT/8B anchor: 0.32 Wh/query at 71.4M queries/day
+/// // is about a megawatt.
+/// let p = PowerProjection::new(0.32);
+/// let mw = p.watts(agentsim_metrics::power::CHATGPT_QUERIES_PER_DAY) / 1e6;
+/// assert!((0.8..1.2).contains(&mw), "{mw} MW");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerProjection {
+    wh_per_query: f64,
+}
+
+impl PowerProjection {
+    /// Creates a projection from per-query energy in watt-hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wh_per_query` is negative or not finite.
+    pub fn new(wh_per_query: f64) -> Self {
+        assert!(
+            wh_per_query.is_finite() && wh_per_query >= 0.0,
+            "invalid per-query energy {wh_per_query} Wh"
+        );
+        PowerProjection { wh_per_query }
+    }
+
+    /// Per-query energy in watt-hours.
+    pub fn wh_per_query(&self) -> f64 {
+        self.wh_per_query
+    }
+
+    /// Sustained power (watts) to serve `queries_per_day`.
+    pub fn watts(&self, queries_per_day: f64) -> f64 {
+        self.wh_per_query * queries_per_day / 24.0
+    }
+
+    /// Daily energy (GWh) to serve `queries_per_day`.
+    pub fn gwh_per_day(&self, queries_per_day: f64) -> f64 {
+        self.wh_per_query * queries_per_day / 1e9
+    }
+}
+
+/// Formats a wattage with an engineering prefix (`1.0 M`, `23.7 G`, …),
+/// mirroring the paper's Table III cells.
+pub fn format_watts(watts: f64) -> String {
+    if watts >= 1e9 {
+        format!("{:.1} GW", watts / 1e9)
+    } else if watts >= 1e6 {
+        format!("{:.1} MW", watts / 1e6)
+    } else if watts >= 1e3 {
+        format!("{:.1} kW", watts / 1e3)
+    } else {
+        format!("{watts:.1} W")
+    }
+}
+
+impl fmt::Display for PowerProjection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} Wh/query", self.wh_per_query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_sharegpt_8b_anchor() {
+        // Paper: 0.32 Wh/query -> 1.0 MW @ 71.4M qpd, 182.7 MW @ 13.7B qpd.
+        let p = PowerProjection::new(0.32);
+        assert!((p.watts(CHATGPT_QUERIES_PER_DAY) / 1e6 - 0.95).abs() < 0.1);
+        assert!((p.watts(GOOGLE_QUERIES_PER_DAY) / 1e6 - 182.7).abs() < 2.0);
+    }
+
+    #[test]
+    fn table3_reflexion_70b_anchor() {
+        // Paper: 348.41 Wh/query -> ~1.0 GW @ 71.4M, ~198.9 GW @ 13.7B.
+        let p = PowerProjection::new(348.41);
+        assert!((p.watts(CHATGPT_QUERIES_PER_DAY) / 1e9 - 1.04).abs() < 0.05);
+        assert!((p.watts(GOOGLE_QUERIES_PER_DAY) / 1e9 - 198.9).abs() < 2.0);
+    }
+
+    #[test]
+    fn daily_energy_matches_seattle_comparison() {
+        // Paper: Reflexion/70B at 71.4M queries/day ≈ 24.89 GWh/day.
+        let p = PowerProjection::new(348.41);
+        let gwh = p.gwh_per_day(CHATGPT_QUERIES_PER_DAY);
+        assert!((gwh - 24.89).abs() < 0.3, "{gwh} GWh/day");
+    }
+
+    #[test]
+    fn formatting_uses_engineering_prefixes() {
+        assert_eq!(format_watts(950.0), "950.0 W");
+        assert_eq!(format_watts(1.0e6), "1.0 MW");
+        assert_eq!(format_watts(23.7e9), "23.7 GW");
+        assert_eq!(format_watts(1.5e3), "1.5 kW");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid per-query energy")]
+    fn rejects_negative_energy() {
+        let _ = PowerProjection::new(-1.0);
+    }
+}

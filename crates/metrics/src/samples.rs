@@ -1,0 +1,175 @@
+//! Exact percentile computation over collected samples.
+
+use std::fmt;
+
+use crate::summary::Summary;
+
+/// A collected sample set with exact percentile queries.
+///
+/// Sorting is cached and invalidated on insertion, so repeated percentile
+/// queries over a finished run are cheap.
+///
+/// # Example
+///
+/// ```
+/// use agentsim_metrics::Samples;
+///
+/// let mut s: Samples = (1..=1000).map(|v| v as f64).collect();
+/// assert_eq!(s.percentile(50.0), 500.0);
+/// assert_eq!(s.percentile(99.0), 990.0);
+/// assert_eq!(s.median(), 500.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+    summary: Summary,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn push(&mut self, value: f64) {
+        self.summary.push(value);
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Streaming summary of the same observations.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// The `p`-th percentile (nearest-rank method), `p` in `[0, 100]`.
+    ///
+    /// Returns 0 for an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.values.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        self.values[rank - 1]
+    }
+
+    /// The 50th percentile.
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// The 95th percentile (the paper's tail-latency metric).
+    pub fn p95(&mut self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// The raw values in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            self.sorted = true;
+        }
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for Samples {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut copy = self.clone();
+        write!(
+            f,
+            "n={} p50={:.3} p95={:.3} max={:.3}",
+            copy.len(),
+            copy.median(),
+            copy.p95(),
+            copy.summary().max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s: Samples = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(1.0), 1.0);
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(95.0), 95.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        let mut s = Samples::new();
+        assert_eq!(s.p95(), 0.0);
+    }
+
+    #[test]
+    fn insertion_after_query_invalidates_cache() {
+        let mut s: Samples = [5.0, 1.0, 3.0].into_iter().collect();
+        assert_eq!(s.median(), 3.0);
+        s.push(0.0);
+        s.push(0.0);
+        assert_eq!(s.median(), 1.0);
+    }
+
+    #[test]
+    fn summary_agrees_with_values() {
+        let s: Samples = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.summary().count(), 3);
+        assert_eq!(s.summary().mean(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_range_checked() {
+        let mut s: Samples = [1.0].into_iter().collect();
+        let _ = s.percentile(101.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the statistics utilities.
+
+use agentsim_metrics::{Histogram, Samples, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn summary_merge_equals_concatenation(
+        a in prop::collection::vec(-1e6f64..1e6, 0..100),
+        b in prop::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut left: Summary = a.iter().copied().collect();
+        let right: Summary = b.iter().copied().collect();
+        left.merge(&right);
+        let whole: Summary = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(left.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((left.variance() - whole.variance()).abs() < 1e-3);
+            prop_assert_eq!(left.min(), whole.min());
+            prop_assert_eq!(left.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in prop::collection::vec(-1e6f64..1e6, 1..200),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let mut s: Samples = values.iter().copied().collect();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let vlo = s.percentile(lo);
+        let vhi = s.percentile(hi);
+        prop_assert!(vlo <= vhi, "percentile must be monotone: p{lo}={vlo} > p{hi}={vhi}");
+        prop_assert!(vlo >= s.summary().min());
+        prop_assert!(vhi <= s.summary().max());
+    }
+
+    #[test]
+    fn median_is_an_actual_sample(values in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let mut s: Samples = values.iter().copied().collect();
+        let m = s.median();
+        prop_assert!(values.contains(&m), "nearest-rank median must be a sample");
+    }
+
+    #[test]
+    fn histogram_conserves_mass(
+        values in prop::collection::vec(-50.0f64..150.0, 0..300),
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let binned: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(binned, values.len() as u64);
+    }
+
+    #[test]
+    fn tail_fraction_is_a_probability(
+        values in prop::collection::vec(0.0f64..100.0, 1..100),
+        cut in 0.0f64..100.0,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for &v in &values {
+            h.record(v);
+        }
+        let t = h.tail_fraction(cut);
+        prop_assert!((0.0..=1.0).contains(&t));
+        prop_assert!(h.tail_fraction(0.0) >= t, "tail shrinks with the cut");
+    }
+
+    #[test]
+    fn summary_scale_invariance(values in prop::collection::vec(1.0f64..1e3, 2..50)) {
+        let s: Summary = values.iter().copied().collect();
+        let doubled: Summary = values.iter().map(|v| v * 2.0).collect();
+        prop_assert!((doubled.mean() - 2.0 * s.mean()).abs() < 1e-9);
+        prop_assert!((doubled.std_dev() - 2.0 * s.std_dev()).abs() < 1e-6);
+    }
+}

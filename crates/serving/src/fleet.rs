@@ -1,0 +1,461 @@
+//! Multi-replica fleet serving: several engine replicas behind a router.
+//!
+//! The paper's datacenter projections (§VI) assume fleets of replicas;
+//! this module asks the follow-on systems question: *how should agent
+//! requests be routed across replicas?* Because an agent session's
+//! iterative calls share a growing prefix, routing is not
+//! load-balancing-neutral — sending call *k+1* to a different replica
+//! than call *k* forfeits the prefix-cache state the paper shows is
+//! critical (its Fig. 15).
+
+use std::collections::HashMap;
+
+use agentsim_agents::{build_agent, AgentConfig, AgentKind, AgentOp, AgentPolicy, LlmCallSpec, LlmOutput, OpResult};
+use agentsim_llm::{Engine, EngineConfig, LlmCompletion, RequestId};
+use agentsim_metrics::Samples;
+use agentsim_simkit::dist::{Exponential, Sample};
+use agentsim_simkit::{EventQueue, SimDuration, SimRng, SimTime};
+use agentsim_tools::{ToolCall, ToolExecutor, ToolResult};
+use agentsim_workloads::{Benchmark, TaskGenerator};
+
+/// How the router assigns each LLM call to a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// All calls of a session go to one replica (hash by session id):
+    /// keeps every iterative call's prefix warm.
+    SessionAffinity,
+    /// Calls rotate across replicas regardless of session: classic
+    /// stateless load balancing, destroys cross-call prefix reuse.
+    RoundRobin,
+    /// Each call goes to the replica with the fewest in-flight requests.
+    LeastLoaded,
+}
+
+impl std::fmt::Display for Routing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Routing::SessionAffinity => "session-affinity",
+            Routing::RoundRobin => "round-robin",
+            Routing::LeastLoaded => "least-loaded",
+        })
+    }
+}
+
+/// Configuration of a fleet run (agentic traffic).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-replica engine configuration.
+    pub engine: EngineConfig,
+    /// Number of replicas.
+    pub replicas: u32,
+    /// Routing policy.
+    pub routing: Routing,
+    /// Agent framework served.
+    pub kind: AgentKind,
+    /// Benchmark tasks are drawn from.
+    pub benchmark: Benchmark,
+    /// Agent configuration.
+    pub agent: AgentConfig,
+    /// Offered load, requests/second (fleet-wide).
+    pub qps: f64,
+    /// Requests to issue.
+    pub num_requests: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// ReAct/HotpotQA on `replicas` default 8B replicas.
+    pub fn react_hotpotqa(replicas: u32, routing: Routing, qps: f64, num_requests: u64) -> Self {
+        assert!(replicas > 0, "fleet needs at least one replica");
+        assert!(qps > 0.0, "offered load must be positive");
+        assert!(num_requests > 0, "need at least one request");
+        FleetConfig {
+            engine: EngineConfig::a100_llama8b(),
+            replicas,
+            routing,
+            kind: AgentKind::React,
+            benchmark: Benchmark::HotpotQa,
+            agent: AgentConfig::default_8b(),
+            qps,
+            num_requests,
+            seed: 0,
+        }
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Results of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Offered load.
+    pub offered_qps: f64,
+    /// Requests completed.
+    pub completed: u64,
+    /// End-to-end latencies (seconds).
+    pub latencies: Samples,
+    /// Median latency.
+    pub p50_s: f64,
+    /// Tail latency.
+    pub p95_s: f64,
+    /// Fleet-aggregate prefix-cache hit rate.
+    pub kv_hit_rate: f64,
+    /// Fleet-aggregate energy (Wh).
+    pub energy_wh: f64,
+    /// Per-replica utilization.
+    pub utilization: Vec<f64>,
+    /// Achieved throughput (requests/second).
+    pub throughput: f64,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(u64),
+    StepDone(usize),
+    ToolsDone(u64),
+}
+
+struct Session {
+    policy: Box<dyn AgentPolicy>,
+    rng: SimRng,
+    arrived: SimTime,
+    pending: Vec<(usize, RequestId, LlmCallSpec)>,
+    done: Vec<(RequestId, LlmCompletion)>,
+    scheduled_tools: Vec<ToolResult>,
+    overlap_tools: Option<(Vec<ToolCall>, f64)>,
+    op_start: SimTime,
+    calls_made: u32,
+}
+
+/// The fleet simulator. Build with [`FleetSim::new`], consume with
+/// [`FleetSim::run`].
+pub struct FleetSim {
+    config: FleetConfig,
+    engines: Vec<Engine>,
+    tools: ToolExecutor,
+    queue: EventQueue<Event>,
+    sessions: Vec<Option<Session>>,
+    owner: HashMap<(usize, RequestId), u64>,
+    root_rng: SimRng,
+    rr_counter: usize,
+    latencies: Vec<f64>,
+    completed: u64,
+    last_finish: SimTime,
+}
+
+impl std::fmt::Debug for FleetSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSim")
+            .field("replicas", &self.engines.len())
+            .field("routing", &self.config.routing)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetSim {
+    /// Builds the fleet (arrivals pre-scheduled).
+    pub fn new(config: FleetConfig) -> Self {
+        let engines = (0..config.replicas)
+            .map(|_| Engine::new(config.engine.clone()))
+            .collect();
+        let root_rng = SimRng::seed_from(config.seed ^ 0xF1EE7);
+        let mut queue = EventQueue::new();
+        let gaps = Exponential::with_rate(config.qps);
+        let mut arrival_rng = root_rng.fork(0xA221);
+        let mut t = SimTime::ZERO;
+        for i in 0..config.num_requests {
+            t += SimDuration::from_secs_f64(gaps.sample(&mut arrival_rng));
+            queue.push(t, Event::Arrival(i));
+        }
+        let sessions = (0..config.num_requests).map(|_| None).collect();
+        FleetSim {
+            engines,
+            tools: ToolExecutor::new(),
+            queue,
+            sessions,
+            owner: HashMap::new(),
+            root_rng,
+            rr_counter: 0,
+            latencies: Vec::new(),
+            completed: 0,
+            last_finish: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(mut self) -> FleetReport {
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                Event::Arrival(i) => self.on_arrival(i, now),
+                Event::StepDone(r) => self.on_step_done(r, now),
+                Event::ToolsDone(sid) => self.on_tools_done(sid, now),
+            }
+            for r in 0..self.engines.len() {
+                self.kick(r, now);
+            }
+        }
+        assert_eq!(self.completed, self.config.num_requests, "all must finish");
+        self.into_report()
+    }
+
+    fn route(&mut self, sid: u64) -> usize {
+        let n = self.engines.len();
+        match self.config.routing {
+            Routing::SessionAffinity => (sid as usize) % n,
+            Routing::RoundRobin => {
+                self.rr_counter = (self.rr_counter + 1) % n;
+                self.rr_counter
+            }
+            Routing::LeastLoaded => (0..n)
+                .min_by_key(|&r| self.engines[r].queue_len() + self.engines[r].running_len())
+                .expect("non-empty fleet"),
+        }
+    }
+
+    fn on_arrival(&mut self, i: u64, now: SimTime) {
+        let task = TaskGenerator::new(self.config.benchmark, self.config.seed).task(i);
+        let mut s = Session {
+            policy: build_agent(self.config.kind, &task, self.config.agent),
+            rng: self.root_rng.fork(i ^ 0xA6E7),
+            arrived: now,
+            pending: Vec::new(),
+            done: Vec::new(),
+            scheduled_tools: Vec::new(),
+            overlap_tools: None,
+            op_start: now,
+            calls_made: 0,
+        };
+        let op = s.policy.next(&OpResult::empty(), &mut s.rng);
+        self.sessions[i as usize] = Some(s);
+        self.dispatch(i, op, now);
+    }
+
+    fn dispatch(&mut self, sid: u64, op: AgentOp, now: SimTime) {
+        match op {
+            AgentOp::Llm(spec) => self.dispatch_llm(sid, vec![spec], now),
+            AgentOp::LlmBatch(specs) => self.dispatch_llm(sid, specs, now),
+            AgentOp::Tools(calls) => {
+                let tools = &self.tools;
+                let session = self.sessions[sid as usize].as_mut().expect("live");
+                session.op_start = now;
+                let mut rng = session.rng.fork(now.as_micros());
+                let results = tools.execute_batch(&calls, &mut rng);
+                let wall = results
+                    .iter()
+                    .map(|r| r.latency)
+                    .max()
+                    .unwrap_or(SimDuration::ZERO);
+                session.scheduled_tools = results;
+                self.queue.push(now + wall, Event::ToolsDone(sid));
+            }
+            AgentOp::OverlappedPlan { llm, tools, overlap } => {
+                let session = self.sessions[sid as usize].as_mut().expect("live");
+                session.overlap_tools = Some((tools, overlap));
+                self.dispatch_llm(sid, vec![llm], now);
+            }
+            AgentOp::Finish(_) => {
+                let session = self.sessions[sid as usize].take().expect("live");
+                self.latencies
+                    .push(now.saturating_since(session.arrived).as_secs_f64());
+                self.completed += 1;
+                self.last_finish = self.last_finish.max(now);
+            }
+        }
+    }
+
+    fn dispatch_llm(&mut self, sid: u64, specs: Vec<LlmCallSpec>, now: SimTime) {
+        let replica = self.route(sid);
+        let session = self.sessions[sid as usize].as_mut().expect("live");
+        session.op_start = now;
+        session.done.clear();
+        let priority = session.calls_made;
+        session.calls_made += specs.len() as u32;
+        for spec in specs {
+            let id = self.engines[replica].submit_with_priority(
+                now,
+                spec.prompt.clone(),
+                spec.out_tokens,
+                spec.gen_seed,
+                priority,
+            );
+            self.owner.insert((replica, id), sid);
+            session.pending.push((replica, id, spec));
+        }
+    }
+
+    fn on_step_done(&mut self, replica: usize, now: SimTime) {
+        for completion in self.engines[replica].complete_step(now) {
+            let sid = self
+                .owner
+                .remove(&(replica, completion.id))
+                .expect("owned completion");
+            let finished = {
+                let session = self.sessions[sid as usize].as_mut().expect("live");
+                session.done.push((completion.id, completion));
+                session.done.len() == session.pending.len()
+            };
+            if finished {
+                self.finish_llm_op(sid, now);
+            }
+        }
+    }
+
+    fn finish_llm_op(&mut self, sid: u64, now: SimTime) {
+        let session = self.sessions[sid as usize].as_mut().expect("live");
+        let pending = std::mem::take(&mut session.pending);
+        let done = std::mem::take(&mut session.done);
+        let mut outputs = Vec::with_capacity(pending.len());
+        for (_, id, spec) in &pending {
+            let completion = done
+                .iter()
+                .find(|(cid, _)| cid == id)
+                .map(|(_, c)| c.clone())
+                .expect("completed");
+            outputs.push(LlmOutput {
+                tokens: completion.output_tokens,
+                gen_seed: spec.gen_seed,
+            });
+        }
+        if let Some((calls, overlap)) = session.overlap_tools.take() {
+            let tools = &self.tools;
+            let mut rng = session.rng.fork(now.as_micros() ^ 0x0B);
+            let results = tools.execute_batch(&calls, &mut rng);
+            let wall = results
+                .iter()
+                .map(|r| r.latency)
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            let plan_time = now.saturating_since(session.op_start);
+            let credit = plan_time.mul_f64(overlap.clamp(0.0, 1.0));
+            let extra = wall.saturating_sub(credit);
+            session.scheduled_tools = results;
+            self.queue.push(now + extra, Event::ToolsDone(sid));
+            return;
+        }
+        let result = OpResult {
+            llm: outputs,
+            tools: Vec::new(),
+        };
+        let op = session.policy.next(&result, &mut session.rng);
+        self.dispatch(sid, op, now);
+    }
+
+    fn on_tools_done(&mut self, sid: u64, now: SimTime) {
+        let session = self.sessions[sid as usize].as_mut().expect("live");
+        let results = std::mem::take(&mut session.scheduled_tools);
+        let result = OpResult {
+            llm: Vec::new(),
+            tools: results,
+        };
+        let op = session.policy.next(&result, &mut session.rng);
+        self.dispatch(sid, op, now);
+    }
+
+    fn kick(&mut self, replica: usize, now: SimTime) {
+        if let Some(end) = self.engines[replica].start_step_if_idle(now) {
+            self.queue.push(end, Event::StepDone(replica));
+        }
+    }
+
+    fn into_report(self) -> FleetReport {
+        let mut latencies: Samples = self.latencies.iter().copied().collect();
+        let p50_s = latencies.median();
+        let p95_s = latencies.p95();
+        let (mut hits, mut lookups) = (0u64, 0u64);
+        let mut energy_wh = 0.0;
+        let mut utilization = Vec::with_capacity(self.engines.len());
+        for e in &self.engines {
+            let kv = e.kv().stats();
+            hits += kv.hit_tokens;
+            lookups += kv.hit_tokens + kv.miss_tokens;
+            energy_wh += e.metrics().energy_within(self.last_finish).watt_hours();
+            utilization.push(e.metrics().utilization(self.last_finish));
+        }
+        let makespan = self.last_finish.as_secs_f64();
+        FleetReport {
+            offered_qps: self.config.qps,
+            completed: self.completed,
+            p50_s,
+            p95_s,
+            kv_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            energy_wh,
+            utilization,
+            throughput: if makespan > 0.0 {
+                self.completed as f64 / makespan
+            } else {
+                0.0
+            },
+            latencies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(routing: Routing, replicas: u32) -> FleetReport {
+        FleetSim::new(FleetConfig::react_hotpotqa(replicas, routing, 2.0, 40).seed(3)).run()
+    }
+
+    #[test]
+    fn fleet_completes_all_requests() {
+        let r = run(Routing::SessionAffinity, 3);
+        assert_eq!(r.completed, 40);
+        assert_eq!(r.utilization.len(), 3);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn affinity_beats_round_robin_on_hit_rate() {
+        // Iterative calls only reuse their history prefix if they land on
+        // the same replica.
+        let affinity = run(Routing::SessionAffinity, 4);
+        let rr = run(Routing::RoundRobin, 4);
+        assert!(
+            affinity.kv_hit_rate > rr.kv_hit_rate + 0.1,
+            "affinity {:.2} vs round-robin {:.2}",
+            affinity.kv_hit_rate,
+            rr.kv_hit_rate
+        );
+    }
+
+    #[test]
+    fn all_policies_are_deterministic() {
+        for routing in [Routing::SessionAffinity, Routing::RoundRobin, Routing::LeastLoaded] {
+            let a = run(routing, 2);
+            let b = run(routing, 2);
+            assert_eq!(a.p95_s, b.p95_s, "{routing} must be deterministic");
+            assert_eq!(a.kv_hit_rate, b.kv_hit_rate);
+        }
+    }
+
+    #[test]
+    fn more_replicas_raise_capacity() {
+        let one = FleetSim::new(
+            FleetConfig::react_hotpotqa(1, Routing::SessionAffinity, 6.0, 60).seed(4),
+        )
+        .run();
+        let four = FleetSim::new(
+            FleetConfig::react_hotpotqa(4, Routing::SessionAffinity, 6.0, 60).seed(4),
+        )
+        .run();
+        assert!(
+            four.throughput > one.throughput,
+            "4 replicas {:.2} vs 1 replica {:.2} QPS",
+            four.throughput,
+            one.throughput
+        );
+        assert!(four.p95_s < one.p95_s);
+    }
+}

@@ -1,0 +1,41 @@
+//! Serving drivers: execute agent sessions against the simulated engine
+//! and tools, in two modes.
+//!
+//! * [`single`] — one request on a dedicated replica, producing a fully
+//!   attributed [`RequestTrace`] (the paper's §IV-A/B per-request
+//!   analysis: call counts, latency breakdown, GPU phase breakdown,
+//!   token growth, KV footprint, prefix-caching effects).
+//! * [`open_loop`] — many concurrent sessions arriving as a Poisson
+//!   process over one shared replica (its §IV-C serving analysis:
+//!   throughput, tail latency vs QPS, KV pressure, cache thrashing).
+//! * [`fleet`] — several replicas behind a router (session affinity vs
+//!   stateless balancing), extending the paper's §VI datacenter view.
+//!
+//! # Example
+//!
+//! ```
+//! use agentsim_serving::SingleRequest;
+//! use agentsim_agents::AgentKind;
+//! use agentsim_workloads::Benchmark;
+//!
+//! let outcome = SingleRequest::new(AgentKind::React, Benchmark::HotpotQa)
+//!     .seed(3)
+//!     .run();
+//! assert!(outcome.trace.llm_calls() >= 2);
+//! assert!(outcome.trace.tool_calls() >= 1);
+//! assert!(outcome.energy_wh > 0.0);
+//! ```
+
+pub mod fleet;
+pub mod open_loop;
+pub mod report;
+pub mod single;
+pub mod sweep;
+pub mod trace;
+
+pub use fleet::{FleetConfig, FleetReport, FleetSim, Routing};
+pub use open_loop::{ServingConfig, ServingSim, ServingWorkload};
+pub use report::ServingReport;
+pub use single::{SingleOutcome, SingleRequest};
+pub use sweep::{peak_throughput, qps_sweep, SweepPoint};
+pub use trace::{LlmCallRecord, RequestTrace};

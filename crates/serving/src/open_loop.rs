@@ -1,0 +1,664 @@
+//! Open-loop serving simulation: Poisson arrivals over a shared replica.
+//!
+//! Mirrors the paper's §IV-C methodology: requests arrive at a fixed QPS
+//! following a Poisson process, each served by an asynchronous worker
+//! that walks the agent workflow; all workers' LLM calls are batched by
+//! the shared engine (continuous batching with FCFS admission).
+
+use std::collections::HashMap;
+
+use agentsim_agents::{
+    build_agent, AgentConfig, AgentKind, AgentOp, AgentPolicy, LlmCallSpec, LlmOutput, OpResult,
+};
+use agentsim_llm::{Engine, EngineConfig, LlmCompletion, RequestId};
+use agentsim_simkit::dist::{Exponential, Sample};
+use agentsim_simkit::{EventQueue, SimDuration, SimRng, SimTime};
+use agentsim_tools::{ToolCall, ToolExecutor, ToolResult};
+use agentsim_workloads::{Benchmark, ShareGptGenerator, TaskGenerator};
+
+use crate::report::ServingReport;
+use crate::trace::{LlmCallRecord, RequestTrace};
+
+/// What kind of traffic the server receives.
+#[derive(Debug, Clone)]
+pub enum ServingWorkload {
+    /// Non-agentic single-turn chatbot traffic (ShareGPT).
+    Chatbot,
+    /// Agentic traffic: every request runs this agent on this benchmark.
+    Agent {
+        /// The agent framework.
+        kind: AgentKind,
+        /// The benchmark tasks are drawn from.
+        benchmark: Benchmark,
+        /// The agent configuration.
+        config: AgentConfig,
+    },
+    /// Multi-tenant mix: each arrival is an agent request with
+    /// probability `agent_fraction`, otherwise a chatbot request.
+    Mixed {
+        /// Fraction of arrivals that are agentic, in `[0, 1]`.
+        agent_fraction: f64,
+        /// The agent framework for agentic arrivals.
+        kind: AgentKind,
+        /// The benchmark for agentic arrivals.
+        benchmark: Benchmark,
+        /// The agent configuration.
+        config: AgentConfig,
+    },
+}
+
+impl ServingWorkload {
+    /// A ReAct-on-HotpotQA workload with default configuration (the
+    /// paper's canonical agent serving setup).
+    pub fn react_hotpotqa() -> Self {
+        ServingWorkload::Agent {
+            kind: AgentKind::React,
+            benchmark: Benchmark::HotpotQa,
+            config: AgentConfig::default(),
+        }
+    }
+}
+
+/// Configuration of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Engine (replica) configuration.
+    pub engine: EngineConfig,
+    /// Traffic description.
+    pub workload: ServingWorkload,
+    /// Offered load, requests per second.
+    pub qps: f64,
+    /// Requests to issue.
+    pub num_requests: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl ServingConfig {
+    /// A small default run: ReAct/HotpotQA at the given QPS.
+    pub fn new(workload: ServingWorkload, qps: f64, num_requests: u64) -> Self {
+        assert!(qps > 0.0, "offered load must be positive");
+        assert!(num_requests > 0, "need at least one request");
+        ServingConfig {
+            engine: EngineConfig::a100_llama8b(),
+            workload,
+            qps,
+            num_requests,
+            seed: 0,
+        }
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the engine configuration.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(u64),
+    EngineStepDone,
+    ToolsDone(u64),
+}
+
+struct Session {
+    policy: Option<Box<dyn AgentPolicy>>,
+    trace: RequestTrace,
+    rng: SimRng,
+    /// Outstanding LLM calls of the current op: id -> spec.
+    pending_llm: Vec<(RequestId, LlmCallSpec)>,
+    done_llm: Vec<(RequestId, LlmCompletion)>,
+    /// Tool results scheduled to land at a `ToolsDone` event.
+    scheduled_tools: Vec<ToolResult>,
+    /// Tools to launch when the overlapped planner call finishes.
+    overlap_tools: Option<(Vec<ToolCall>, f64)>,
+    op_start: SimTime,
+}
+
+/// The open-loop serving simulator. Create with [`ServingSim::new`] and
+/// consume with [`ServingSim::run`].
+pub struct ServingSim {
+    config: ServingConfig,
+    engine: Engine,
+    tools: ToolExecutor,
+    queue: EventQueue<Event>,
+    sessions: Vec<Option<Session>>,
+    request_owner: HashMap<RequestId, u64>,
+    root_rng: SimRng,
+    report_latencies: Vec<f64>,
+    agent_latencies: Vec<f64>,
+    chatbot_latencies: Vec<f64>,
+    llm_latencies: Vec<f64>,
+    completed: u64,
+    solved: u64,
+    last_finish: SimTime,
+    queue_depth: agentsim_metrics::TimeSeries,
+}
+
+impl ServingSim {
+    /// Builds the simulator (arrivals pre-scheduled).
+    pub fn new(config: ServingConfig) -> Self {
+        let engine = Engine::new(config.engine.clone());
+        let root_rng = SimRng::seed_from(config.seed ^ 0x5E61);
+        let mut queue = EventQueue::new();
+        let gaps = Exponential::with_rate(config.qps);
+        let mut arrival_rng = root_rng.fork(0xA221);
+        let mut t = SimTime::ZERO;
+        for i in 0..config.num_requests {
+            t += SimDuration::from_secs_f64(gaps.sample(&mut arrival_rng));
+            queue.push(t, Event::Arrival(i));
+        }
+        let sessions = (0..config.num_requests).map(|_| None).collect();
+        ServingSim {
+            engine,
+            tools: ToolExecutor::new(),
+            queue,
+            sessions,
+            request_owner: HashMap::new(),
+            root_rng,
+            report_latencies: Vec::new(),
+            agent_latencies: Vec::new(),
+            chatbot_latencies: Vec::new(),
+            llm_latencies: Vec::new(),
+            completed: 0,
+            solved: 0,
+            last_finish: SimTime::ZERO,
+            queue_depth: agentsim_metrics::TimeSeries::new(),
+            config,
+        }
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(mut self) -> ServingReport {
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                Event::Arrival(i) => self.on_arrival(i, now),
+                Event::EngineStepDone => self.on_step_done(now),
+                Event::ToolsDone(sid) => self.on_tools_done(sid, now),
+            }
+            self.kick_engine(now);
+        }
+        assert_eq!(
+            self.completed, self.config.num_requests,
+            "all requests must finish"
+        );
+        self.into_report()
+    }
+
+    fn on_arrival(&mut self, i: u64, now: SimTime) {
+        match self.config.workload.clone() {
+            ServingWorkload::Chatbot => self.arrive_chatbot(i, now),
+            ServingWorkload::Agent {
+                kind,
+                benchmark,
+                config,
+            } => self.arrive_agent(i, now, kind, benchmark, config),
+            ServingWorkload::Mixed {
+                agent_fraction,
+                kind,
+                benchmark,
+                config,
+            } => {
+                // Deterministic per-arrival class draw.
+                let mut class_rng = self.root_rng.fork(i ^ 0x111C);
+                if class_rng.chance(agent_fraction) {
+                    self.arrive_agent(i, now, kind, benchmark, config);
+                } else {
+                    self.arrive_chatbot(i, now);
+                }
+            }
+        }
+    }
+
+    fn arrive_chatbot(&mut self, i: u64, now: SimTime) {
+        let query = ShareGptGenerator::new(self.config.seed).query(i);
+        let mut s = Session {
+            policy: None,
+            trace: RequestTrace::new(
+                AgentKind::Cot, // label unused for chatbot
+                Benchmark::ShareGpt,
+                i,
+                now,
+            ),
+            rng: self.root_rng.fork(i ^ 0xC4A7),
+            pending_llm: Vec::new(),
+            done_llm: Vec::new(),
+            scheduled_tools: Vec::new(),
+            overlap_tools: None,
+            op_start: now,
+        };
+        let id = self
+            .engine
+            .submit(now, query.prompt.clone(), query.output_tokens, query.gen_seed);
+        self.request_owner.insert(id, i);
+        s.pending_llm.push((
+            id,
+            LlmCallSpec {
+                prompt: query.prompt,
+                out_tokens: query.output_tokens,
+                gen_seed: query.gen_seed,
+                kind: agentsim_agents::OutputKind::Answer,
+                breakdown: Default::default(),
+            },
+        ));
+        self.sessions[i as usize] = Some(s);
+    }
+
+    fn arrive_agent(
+        &mut self,
+        i: u64,
+        now: SimTime,
+        kind: AgentKind,
+        benchmark: Benchmark,
+        config: AgentConfig,
+    ) {
+        let task = TaskGenerator::new(benchmark, self.config.seed).task(i);
+        let mut s = Session {
+            policy: Some(build_agent(kind, &task, config)),
+            trace: RequestTrace::new(kind, benchmark, i, now),
+            rng: self.root_rng.fork(i ^ 0xA6E7),
+            pending_llm: Vec::new(),
+            done_llm: Vec::new(),
+            scheduled_tools: Vec::new(),
+            overlap_tools: None,
+            op_start: now,
+        };
+        let op = s
+            .policy
+            .as_mut()
+            .expect("agent session")
+            .next(&OpResult::empty(), &mut s.rng);
+        self.sessions[i as usize] = Some(s);
+        self.dispatch(i, op, now);
+    }
+
+    fn dispatch(&mut self, sid: u64, op: AgentOp, now: SimTime) {
+        match op {
+            AgentOp::Llm(spec) => self.dispatch_llm(sid, vec![spec], now),
+            AgentOp::LlmBatch(specs) => self.dispatch_llm(sid, specs, now),
+            AgentOp::Tools(calls) => {
+                let tools = &self.tools;
+                let session = self.sessions[sid as usize].as_mut().expect("live session");
+                session.op_start = now;
+                let mut rng = session.rng.fork(now.as_micros());
+                let results: Vec<ToolResult> = tools.execute_batch(&calls, &mut rng);
+                let wall = results
+                    .iter()
+                    .map(|r| r.latency)
+                    .max()
+                    .unwrap_or(SimDuration::ZERO);
+                session.trace.tool_wall += wall;
+                session.scheduled_tools = results;
+                self.queue.push(now + wall, Event::ToolsDone(sid));
+            }
+            AgentOp::OverlappedPlan {
+                llm,
+                tools,
+                overlap,
+            } => {
+                let session = self.sessions[sid as usize].as_mut().expect("live session");
+                session.overlap_tools = Some((tools, overlap));
+                self.dispatch_llm(sid, vec![llm], now);
+            }
+            AgentOp::Finish(outcome) => {
+                let session = self.sessions[sid as usize]
+                    .take()
+                    .expect("live session finishing");
+                let mut trace = session.trace;
+                trace.outcome = outcome;
+                trace.finished = now;
+                let latency = trace.e2e().as_secs_f64();
+                self.report_latencies.push(latency);
+                self.agent_latencies.push(latency);
+                self.completed += 1;
+                self.solved += outcome.solved as u64;
+                self.last_finish = self.last_finish.max(now);
+            }
+        }
+    }
+
+    fn dispatch_llm(&mut self, sid: u64, specs: Vec<LlmCallSpec>, now: SimTime) {
+        let session = self.sessions[sid as usize].as_mut().expect("live session");
+        session.op_start = now;
+        session.done_llm.clear();
+        // Agent-aware priority: sessions deeper into their workflow are
+        // closer to completion (and hold warmer cache state). Ignored by
+        // the FCFS policy.
+        let priority = session.trace.llm_calls() as u32;
+        for spec in specs {
+            let id = self.engine.submit_with_priority(
+                now,
+                spec.prompt.clone(),
+                spec.out_tokens,
+                spec.gen_seed,
+                priority,
+            );
+            self.request_owner.insert(id, sid);
+            session.pending_llm.push((id, spec));
+        }
+    }
+
+    fn on_step_done(&mut self, now: SimTime) {
+        let completions = self.engine.complete_step(now);
+        for completion in completions {
+            let sid = self
+                .request_owner
+                .remove(&completion.id)
+                .expect("completion belongs to a session");
+            self.llm_latencies
+                .push(completion.e2e_latency().as_secs_f64());
+            let finished_op = {
+                let session = self.sessions[sid as usize].as_mut().expect("live session");
+                session.done_llm.push((completion.id, completion));
+                session.done_llm.len() == session.pending_llm.len()
+            };
+            if finished_op {
+                self.finish_llm_op(sid, now);
+            }
+        }
+    }
+
+    /// All LLM calls of the current op completed: record them and advance
+    /// the session.
+    fn finish_llm_op(&mut self, sid: u64, now: SimTime) {
+        let session = self.sessions[sid as usize].as_mut().expect("live session");
+        let pending = std::mem::take(&mut session.pending_llm);
+        let done = std::mem::take(&mut session.done_llm);
+        let mut outputs = Vec::with_capacity(pending.len());
+        for (id, spec) in &pending {
+            let completion = done
+                .iter()
+                .find(|(cid, _)| cid == id)
+                .map(|(_, c)| c.clone())
+                .expect("every pending call completed");
+            let mut breakdown = spec.breakdown;
+            breakdown.output = completion.output_tokens;
+            outputs.push(LlmOutput {
+                tokens: completion.output_tokens,
+                gen_seed: spec.gen_seed,
+            });
+            session.trace.llm.push(LlmCallRecord {
+                completion,
+                kind: spec.kind,
+                breakdown,
+            });
+        }
+        let op_time = now.saturating_since(session.op_start);
+
+        // Chatbot sessions finish after their single call.
+        if session.policy.is_none() {
+            session.trace.llm_wall += op_time;
+            let session = self.sessions[sid as usize].take().expect("live session");
+            let mut trace = session.trace;
+            trace.finished = now;
+            let latency = trace.e2e().as_secs_f64();
+            self.report_latencies.push(latency);
+            self.chatbot_latencies.push(latency);
+            self.completed += 1;
+            self.last_finish = self.last_finish.max(now);
+            return;
+        }
+
+        // LLMCompiler overlapped plan: launch the planned tools with the
+        // overlap credit already elapsed during planning.
+        if let Some((calls, overlap)) = session.overlap_tools.take() {
+            let tools = &self.tools;
+            let mut rng = session.rng.fork(now.as_micros() ^ 0x0B);
+            let results: Vec<ToolResult> = tools.execute_batch(&calls, &mut rng);
+            let wall = results
+                .iter()
+                .map(|r| r.latency)
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            let credit = op_time.mul_f64(overlap.clamp(0.0, 1.0));
+            let overlapped = wall.min(credit);
+            let extra = wall.saturating_sub(credit);
+            session.trace.llm_wall += op_time.saturating_sub(overlapped);
+            session.trace.overlap_wall += overlapped;
+            session.trace.tool_wall += extra;
+            session.scheduled_tools = results;
+            self.queue.push(now + extra, Event::ToolsDone(sid));
+            return;
+        }
+
+        session.trace.llm_wall += op_time;
+        let result = OpResult {
+            llm: outputs,
+            tools: Vec::new(),
+        };
+        let op = session
+            .policy
+            .as_mut()
+            .expect("agent session")
+            .next(&result, &mut session.rng);
+        self.dispatch(sid, op, now);
+    }
+
+    fn on_tools_done(&mut self, sid: u64, now: SimTime) {
+        let session = self.sessions[sid as usize].as_mut().expect("live session");
+        let results = std::mem::take(&mut session.scheduled_tools);
+        session.trace.tools.extend(results.iter().cloned());
+        let result = OpResult {
+            llm: Vec::new(),
+            tools: results,
+        };
+        let op = session
+            .policy
+            .as_mut()
+            .expect("agent session")
+            .next(&result, &mut session.rng);
+        self.dispatch(sid, op, now);
+    }
+
+    fn kick_engine(&mut self, now: SimTime) {
+        self.queue_depth
+            .record(now, (self.engine.queue_len() + self.engine.running_len()) as f64);
+        if let Some(end) = self.engine.start_step_if_idle(now) {
+            self.queue.push(end, Event::EngineStepDone);
+        }
+    }
+
+    fn into_report(self) -> ServingReport {
+        let makespan = SimDuration::from_micros(self.last_finish.as_micros());
+        let mut latencies: agentsim_metrics::Samples =
+            self.report_latencies.iter().copied().collect();
+        let llm_latencies: agentsim_metrics::Samples =
+            self.llm_latencies.iter().copied().collect();
+        let agent_latencies: agentsim_metrics::Samples =
+            self.agent_latencies.iter().copied().collect();
+        let chatbot_latencies: agentsim_metrics::Samples =
+            self.chatbot_latencies.iter().copied().collect();
+        let p50_s = latencies.median();
+        let p95_s = latencies.p95();
+        let queue_depth_mean = self.queue_depth.time_weighted_mean(self.last_finish);
+        let queue_depth_max = self.queue_depth.max();
+        let metrics = self.engine.metrics();
+        let kv = self.engine.kv().stats();
+        let block_bytes = self.config.engine.kv_bytes_per_block();
+        ServingReport {
+            offered_qps: self.config.qps,
+            completed: self.completed,
+            solved: self.solved,
+            makespan,
+            p50_s,
+            p95_s,
+            energy_wh: metrics.energy_within(self.last_finish).watt_hours(),
+            utilization: metrics.utilization(self.last_finish),
+            kv_avg_bytes: kv.used_blocks.average(self.last_finish) * block_bytes as f64,
+            kv_max_bytes: kv.used_blocks.peak() * block_bytes,
+            kv_hit_rate: kv.hit_rate(),
+            preemptions: metrics.preemptions,
+            evictions: kv.evictions,
+            latencies,
+            llm_latencies,
+            agent_latencies,
+            chatbot_latencies,
+            queue_depth_mean,
+            queue_depth_max,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServingSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingSim")
+            .field("qps", &self.config.qps)
+            .field("num_requests", &self.config.num_requests)
+            .field("completed", &self.completed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chatbot(qps: f64, n: u64) -> ServingReport {
+        ServingSim::new(ServingConfig::new(ServingWorkload::Chatbot, qps, n).seed(1)).run()
+    }
+
+    fn react(qps: f64, n: u64) -> ServingReport {
+        ServingSim::new(ServingConfig::new(ServingWorkload::react_hotpotqa(), qps, n).seed(1))
+            .run()
+    }
+
+    #[test]
+    fn chatbot_completes_all_requests() {
+        let r = chatbot(1.0, 30);
+        assert_eq!(r.completed, 30);
+        assert!(r.p50_s > 1.0, "p50 {}", r.p50_s);
+        assert!(r.p95_s >= r.p50_s);
+        assert!(r.utilization > 0.0);
+        assert!(r.queue_depth_max >= 1.0, "at least one request was in flight");
+        assert!(r.queue_depth_mean > 0.0);
+        assert!(r.queue_depth_mean <= r.queue_depth_max);
+    }
+
+    #[test]
+    fn chatbot_latency_band_matches_fig7() {
+        // Paper Fig. 7: most ShareGPT responses complete in 3-7 s at low
+        // load on the A100/8B stack.
+        let mut r = chatbot(0.2, 40);
+        let p50 = r.latencies.median();
+        assert!((2.0..9.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn react_serving_completes_and_is_slower() {
+        let agent = react(0.2, 15);
+        let bot = chatbot(0.2, 15);
+        assert_eq!(agent.completed, 15);
+        assert!(
+            agent.p50_s > bot.p50_s,
+            "agent {} vs chatbot {}",
+            agent.p50_s,
+            bot.p50_s
+        );
+    }
+
+    #[test]
+    fn agent_latency_spread_exceeds_chatbot() {
+        // Fig. 7: agents show a much broader, heavier-tailed distribution
+        // (ShareGPT clusters in 3-7 s; ReAct spans tens of seconds).
+        let agent = react(0.1, 25);
+        let bot = chatbot(0.1, 25);
+        let spread = |r: &ServingReport| r.p95_s - r.p50_s;
+        assert!(
+            spread(&agent) > 1.2 * spread(&bot),
+            "agent spread {} vs chatbot {}",
+            spread(&agent),
+            spread(&bot)
+        );
+        assert!(
+            agent.p95_s > 1.4 * bot.p95_s,
+            "agent tail {} vs chatbot tail {}",
+            agent.p95_s,
+            bot.p95_s
+        );
+    }
+
+    #[test]
+    fn higher_load_raises_tail_latency() {
+        // Past the knee (~2.6 qps on this stack, matching the paper),
+        // queueing inflates the tail. Needs enough requests for a
+        // backlog to form.
+        let low = react(0.1, 30);
+        let high = react(6.0, 60);
+        assert!(
+            high.p50_s > low.p50_s + 3.0,
+            "p50 at 6 qps {} vs 0.1 qps {} (queueing delay)",
+            high.p50_s,
+            low.p50_s
+        );
+        assert!(high.p95_s > high.p50_s, "tail above median");
+    }
+
+    #[test]
+    fn concurrency_beats_sequential_execution() {
+        // §IV-C: concurrent execution yields large throughput gains
+        // because tool waits are overlapped with other requests.
+        let concurrent = react(1.0, 20);
+        // Sequential lower bound: sum of single-request latencies.
+        let single = crate::single::SingleRequest::new(AgentKind::React, Benchmark::HotpotQa)
+            .seed(1)
+            .run_batch(20);
+        let sequential_time: f64 = single.iter().map(|o| o.trace.e2e().as_secs_f64()).sum();
+        let seq_tput = 20.0 / sequential_time;
+        assert!(
+            concurrent.throughput() > 2.0 * seq_tput,
+            "concurrent {} vs sequential {}",
+            concurrent.throughput(),
+            seq_tput
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = react(0.5, 10);
+        let b = react(0.5, 10);
+        assert_eq!(a.p95_s, b.p95_s);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.preemptions, b.preemptions);
+    }
+
+    #[test]
+    fn mixed_workload_serves_both_classes() {
+        let workload = ServingWorkload::Mixed {
+            agent_fraction: 0.4,
+            kind: AgentKind::React,
+            benchmark: Benchmark::HotpotQa,
+            config: AgentConfig::default_8b(),
+        };
+        let r = ServingSim::new(ServingConfig::new(workload, 0.5, 30).seed(2)).run();
+        assert_eq!(r.completed, 30);
+        assert!(!r.agent_latencies.is_empty(), "some agents arrived");
+        assert!(!r.chatbot_latencies.is_empty(), "some chatbot requests arrived");
+        assert_eq!(
+            r.agent_latencies.len() + r.chatbot_latencies.len(),
+            30,
+            "every request is classified exactly once"
+        );
+        // Agent requests are much slower than chatbot ones even coexisting.
+        let agent_mean = r.agent_latencies.summary().mean();
+        let chat_mean = r.chatbot_latencies.summary().mean();
+        assert!(agent_mean > chat_mean, "agent {agent_mean} vs chatbot {chat_mean}");
+    }
+
+    #[test]
+    fn prefix_caching_raises_hit_rate_in_serving() {
+        let with = react(0.5, 15);
+        let cfg = ServingConfig::new(ServingWorkload::react_hotpotqa(), 0.5, 15)
+            .seed(1)
+            .engine(EngineConfig::a100_llama8b().with_prefix_caching(false));
+        let without = ServingSim::new(cfg).run();
+        assert!(with.kv_hit_rate > 0.3, "hit rate {}", with.kv_hit_rate);
+        assert_eq!(without.kv_hit_rate, 0.0);
+    }
+}

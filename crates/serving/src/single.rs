@@ -1,0 +1,415 @@
+//! Single-request runner: one agent session on a dedicated replica.
+
+use agentsim_agents::{build_agent, AgentConfig, AgentKind, AgentOp, LlmCallSpec, LlmOutput, OpResult};
+use agentsim_llm::{Engine, EngineConfig, RequestId};
+use agentsim_simkit::{SimDuration, SimRng, SimTime};
+use agentsim_tools::{ToolCall, ToolExecutor, ToolResult};
+use agentsim_workloads::{Benchmark, TaskGenerator};
+
+use crate::trace::{LlmCallRecord, RequestTrace};
+
+/// Builder for a single-request experiment.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct SingleRequest {
+    agent: AgentKind,
+    benchmark: Benchmark,
+    engine_config: EngineConfig,
+    agent_config: AgentConfig,
+    tools: ToolExecutor,
+    seed: u64,
+    task_index: u64,
+}
+
+/// Result of a single-request experiment: the trace plus replica-level
+/// measurements over the request's lifetime.
+#[derive(Debug, Clone)]
+pub struct SingleOutcome {
+    /// The request trace.
+    pub trace: RequestTrace,
+    /// GPU utilization over the request window (busy / window).
+    pub utilization: f64,
+    /// Engine wall time in prefill steps.
+    pub prefill_busy: SimDuration,
+    /// Engine wall time in decode steps.
+    pub decode_busy: SimDuration,
+    /// Engine idle time within the window (tool waits, gaps).
+    pub idle: SimDuration,
+    /// GPU energy over the window, watt-hours.
+    pub energy_wh: f64,
+    /// Peak KV-cache bytes referenced by live sequences.
+    pub kv_peak_bytes: u64,
+    /// Time-averaged KV-cache bytes.
+    pub kv_avg_bytes: f64,
+    /// Total FLOPs executed.
+    pub flops: f64,
+    /// Prefix-cache hit rate over prompt tokens.
+    pub kv_hit_rate: f64,
+}
+
+impl SingleRequest {
+    /// Creates a runner with the paper's default 8B engine and agent
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is not evaluated on `benchmark` (Table II).
+    pub fn new(agent: AgentKind, benchmark: Benchmark) -> Self {
+        assert!(
+            agent.supports(benchmark),
+            "{agent} is not evaluated on {benchmark}"
+        );
+        SingleRequest {
+            agent,
+            benchmark,
+            engine_config: EngineConfig::a100_llama8b(),
+            agent_config: AgentConfig::default_8b(),
+            tools: ToolExecutor::new(),
+            seed: 0,
+            task_index: 0,
+        }
+    }
+
+    /// Sets the experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects which task of the stream to run.
+    pub fn task_index(mut self, index: u64) -> Self {
+        self.task_index = index;
+        self
+    }
+
+    /// Replaces the engine configuration.
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.engine_config = config;
+        self
+    }
+
+    /// Replaces the agent configuration.
+    pub fn agent_config(mut self, config: AgentConfig) -> Self {
+        self.agent_config = config;
+        self
+    }
+
+    /// Replaces the tool executor (e.g. failure injection).
+    pub fn tool_executor(mut self, tools: ToolExecutor) -> Self {
+        self.tools = tools;
+        self
+    }
+
+    /// Runs the session to completion.
+    pub fn run(&self) -> SingleOutcome {
+        let task = TaskGenerator::new(self.benchmark, self.seed).task(self.task_index);
+        let mut policy = build_agent(self.agent, &task, self.agent_config);
+        let mut engine = Engine::new(self.engine_config.clone());
+        let root = SimRng::seed_from(self.seed).fork(self.task_index);
+        let mut agent_rng = root.fork(1);
+        let mut tool_rng = root.fork(2);
+
+        let mut now = SimTime::ZERO;
+        let mut trace = RequestTrace::new(self.agent, self.benchmark, task.id, now);
+        let mut last = OpResult::empty();
+
+        loop {
+            match policy.next(&last, &mut agent_rng) {
+                AgentOp::Llm(spec) => {
+                    let (end, records, outputs) = run_llm_specs(&mut engine, now, vec![spec]);
+                    trace.llm_wall += end.saturating_since(now);
+                    now = end;
+                    trace.llm.extend(records);
+                    last = OpResult {
+                        llm: outputs,
+                        tools: Vec::new(),
+                    };
+                }
+                AgentOp::LlmBatch(specs) => {
+                    let (end, records, outputs) = run_llm_specs(&mut engine, now, specs);
+                    trace.llm_wall += end.saturating_since(now);
+                    now = end;
+                    trace.llm.extend(records);
+                    last = OpResult {
+                        llm: outputs,
+                        tools: Vec::new(),
+                    };
+                }
+                AgentOp::Tools(calls) => {
+                    let (wall, results) = run_tools(&self.tools, &calls, &mut tool_rng);
+                    trace.tool_wall += wall;
+                    now += wall;
+                    trace.tools.extend(results.iter().cloned());
+                    last = OpResult {
+                        llm: Vec::new(),
+                        tools: results,
+                    };
+                }
+                AgentOp::OverlappedPlan {
+                    llm,
+                    tools,
+                    overlap,
+                } => {
+                    let op_start = now;
+                    let (llm_end, records, outputs) =
+                        run_llm_specs(&mut engine, now, vec![llm]);
+                    let plan_time = llm_end.saturating_since(op_start);
+                    let (tool_wall, results) = run_tools(&self.tools, &tools, &mut tool_rng);
+                    let credit = plan_time.mul_f64(overlap.clamp(0.0, 1.0));
+                    let overlapped = tool_wall.min(credit);
+                    let extra = tool_wall.saturating_sub(credit);
+                    trace.llm_wall += plan_time.saturating_sub(overlapped);
+                    trace.overlap_wall += overlapped;
+                    trace.tool_wall += extra;
+                    now = llm_end + extra;
+                    trace.llm.extend(records);
+                    trace.tools.extend(results.iter().cloned());
+                    last = OpResult {
+                        llm: outputs,
+                        tools: results,
+                    };
+                }
+                AgentOp::Finish(outcome) => {
+                    trace.outcome = outcome;
+                    trace.finished = now;
+                    break;
+                }
+            }
+        }
+
+        let metrics = engine.metrics();
+        let block_bytes = self.engine_config.kv_bytes_per_block();
+        let kv = engine.kv().stats();
+        SingleOutcome {
+            utilization: metrics.utilization(now),
+            prefill_busy: metrics.prefill_busy + metrics.mixed_busy,
+            decode_busy: metrics.decode_busy,
+            idle: metrics.idle_within(now),
+            energy_wh: metrics.energy_within(now).watt_hours(),
+            flops: metrics.flops,
+            kv_peak_bytes: kv.used_blocks.peak() * block_bytes,
+            kv_avg_bytes: kv.used_blocks.average(now) * block_bytes as f64,
+            kv_hit_rate: kv.hit_rate(),
+            trace,
+        }
+    }
+
+    /// Runs tasks `0..n` of the stream on fresh replicas, in parallel
+    /// across OS threads. Results are index-ordered and deterministic.
+    pub fn run_batch(&self, n: u64) -> Vec<SingleOutcome> {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n.max(1) as usize);
+        let mut results: Vec<Option<SingleOutcome>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let chunks = results.chunks_mut(n.max(1).div_ceil(threads as u64) as usize);
+            for (chunk_idx, chunk) in chunks.enumerate() {
+                let runner = self.clone();
+                let base = chunk_idx as u64 * n.max(1).div_ceil(threads as u64);
+                scope.spawn(move || {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        let mut r = runner.clone();
+                        r.task_index = base + i as u64;
+                        *slot = Some(r.run());
+                    }
+                });
+            }
+        });
+        results.into_iter().map(|r| r.expect("worker filled slot")).collect()
+    }
+}
+
+/// Submits `specs` and drives the engine until all complete. Returns the
+/// completion time, per-call records and the outputs for the policy.
+fn run_llm_specs(
+    engine: &mut Engine,
+    start: SimTime,
+    specs: Vec<LlmCallSpec>,
+) -> (SimTime, Vec<LlmCallRecord>, Vec<LlmOutput>) {
+    let mut meta: Vec<(RequestId, LlmCallSpec)> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let id = engine.submit(start, spec.prompt.clone(), spec.out_tokens, spec.gen_seed);
+        meta.push((id, spec));
+    }
+    let mut now = start;
+    let mut done: Vec<(RequestId, agentsim_llm::LlmCompletion)> = Vec::new();
+    while done.len() < meta.len() {
+        let end = engine
+            .start_step_if_idle(now)
+            .expect("engine must make progress on pending LLM calls");
+        now = end;
+        for c in engine.complete_step(now) {
+            done.push((c.id, c));
+        }
+    }
+    // Order records and outputs by submission order.
+    let mut records = Vec::with_capacity(meta.len());
+    let mut outputs = Vec::with_capacity(meta.len());
+    for (id, spec) in &meta {
+        let completion = done
+            .iter()
+            .find(|(cid, _)| cid == id)
+            .map(|(_, c)| c.clone())
+            .expect("completion recorded");
+        let mut breakdown = spec.breakdown;
+        breakdown.output = completion.output_tokens;
+        outputs.push(LlmOutput {
+            tokens: completion.output_tokens,
+            gen_seed: spec.gen_seed,
+        });
+        records.push(LlmCallRecord {
+            completion,
+            kind: spec.kind,
+            breakdown,
+        });
+    }
+    (now, records, outputs)
+}
+
+/// Executes a batch of tool calls concurrently; the wall time is the
+/// slowest call (latencies within a batch are correlated — see
+/// [`ToolExecutor::execute_batch`]).
+fn run_tools(
+    tools: &ToolExecutor,
+    calls: &[ToolCall],
+    rng: &mut SimRng,
+) -> (SimDuration, Vec<ToolResult>) {
+    let results: Vec<ToolResult> = tools.execute_batch(calls, rng);
+    let wall = results
+        .iter()
+        .map(|r| r.latency)
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    (wall, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cot_trace_shape() {
+        let o = SingleRequest::new(AgentKind::Cot, Benchmark::HotpotQa)
+            .seed(1)
+            .run();
+        assert_eq!(o.trace.llm_calls(), 1);
+        assert_eq!(o.trace.tool_calls(), 0);
+        assert_eq!(o.trace.tool_wall, SimDuration::ZERO);
+        // Single-inference request keeps the GPU busy almost throughout.
+        assert!(o.utilization > 0.9, "CoT utilization {}", o.utilization);
+        assert!(o.decode_busy > o.prefill_busy);
+    }
+
+    #[test]
+    fn react_interleaves_and_idles_the_gpu() {
+        let o = SingleRequest::new(AgentKind::React, Benchmark::HotpotQa)
+            .seed(2)
+            .run();
+        assert!(o.trace.llm_calls() >= 2);
+        assert!(o.trace.tool_calls() >= 1);
+        assert!(o.trace.tool_wall > SimDuration::ZERO);
+        // Fig. 6: Wikipedia waits idle the GPU substantially.
+        assert!(o.utilization < 0.9, "ReAct utilization {}", o.utilization);
+        assert!(o.idle > SimDuration::ZERO);
+        // Fig. 5 partition: e2e = llm + tool + overlap.
+        let sum = o.trace.llm_wall + o.trace.tool_wall + o.trace.overlap_wall;
+        assert_eq!(sum, o.trace.e2e());
+    }
+
+    #[test]
+    fn webshop_tools_are_cheap() {
+        let hotpot = SingleRequest::new(AgentKind::React, Benchmark::HotpotQa)
+            .seed(3)
+            .run();
+        let shop = SingleRequest::new(AgentKind::React, Benchmark::WebShop)
+            .seed(3)
+            .run();
+        let frac = |o: &SingleOutcome| {
+            o.trace.tool_wall.as_secs_f64() / o.trace.e2e().as_secs_f64().max(1e-9)
+        };
+        assert!(
+            frac(&hotpot) > frac(&shop) + 0.2,
+            "tool share hotpot {} vs webshop {}",
+            frac(&hotpot),
+            frac(&shop)
+        );
+    }
+
+    #[test]
+    fn iterative_calls_hit_prefix_cache() {
+        let o = SingleRequest::new(AgentKind::React, Benchmark::HotpotQa)
+            .seed(4)
+            .run();
+        if o.trace.llm_calls() >= 2 {
+            // Later calls share the growing history prefix.
+            let later_cached: u64 = o.trace.llm[1..]
+                .iter()
+                .map(|c| c.completion.cached_tokens as u64)
+                .sum();
+            assert!(later_cached > 0, "iterative prefix reuse expected");
+        }
+    }
+
+    #[test]
+    fn prefix_caching_off_recomputes_everything() {
+        let cfg = EngineConfig::a100_llama8b().with_prefix_caching(false);
+        let o = SingleRequest::new(AgentKind::React, Benchmark::HotpotQa)
+            .seed(4)
+            .engine_config(cfg)
+            .run();
+        assert_eq!(o.trace.cached_tokens(), 0);
+        assert_eq!(o.kv_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn overlapped_plan_accounts_partition() {
+        let o = SingleRequest::new(AgentKind::LlmCompiler, Benchmark::HotpotQa)
+            .seed(5)
+            .run();
+        assert!(o.trace.overlap_wall > SimDuration::ZERO, "planner/tool overlap");
+        let sum = o.trace.llm_wall + o.trace.tool_wall + o.trace.overlap_wall;
+        assert_eq!(sum, o.trace.e2e());
+    }
+
+    #[test]
+    fn run_batch_is_deterministic_and_ordered() {
+        let runner = SingleRequest::new(AgentKind::React, Benchmark::WebShop).seed(6);
+        let a = runner.run_batch(6);
+        let b = runner.run_batch(6);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.trace.task_id, y.trace.task_id);
+            assert_eq!(x.trace.e2e(), y.trace.e2e());
+        }
+        // Distinct tasks differ.
+        assert!(a.windows(2).any(|w| w[0].trace.e2e() != w[1].trace.e2e()));
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let cot = SingleRequest::new(AgentKind::Cot, Benchmark::HotpotQa)
+            .seed(7)
+            .run();
+        let reflexion = SingleRequest::new(AgentKind::Reflexion, Benchmark::HotpotQa)
+            .seed(7)
+            .run();
+        assert!(
+            reflexion.energy_wh > 2.0 * cot.energy_wh,
+            "reflexion {} Wh vs cot {} Wh",
+            reflexion.energy_wh,
+            cot.energy_wh
+        );
+    }
+
+    #[test]
+    fn lats_parallel_calls_batch_in_engine() {
+        let o = SingleRequest::new(AgentKind::Lats, Benchmark::HotpotQa)
+            .seed(8)
+            .run();
+        assert!(o.trace.llm_calls() > 15, "LATS made {}", o.trace.llm_calls());
+        // Parallel siblings share the parent prefix.
+        assert!(o.kv_hit_rate > 0.3, "LATS hit rate {}", o.kv_hit_rate);
+    }
+}

@@ -1,0 +1,126 @@
+//! QPS sweeps and peak-throughput (knee) detection.
+
+use agentsim_llm::EngineConfig;
+use agentsim_simkit::rng::splitmix64;
+
+use crate::open_loop::{ServingConfig, ServingSim, ServingWorkload};
+use crate::report::ServingReport;
+
+/// One point of a QPS sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered load.
+    pub qps: f64,
+    /// The run's report.
+    pub report: ServingReport,
+}
+
+/// Runs the workload at each offered load, in parallel across OS threads.
+/// Results are returned in the input order, deterministically.
+///
+/// # Panics
+///
+/// Panics if `qps_points` is empty or `num_requests` is zero.
+pub fn qps_sweep(
+    engine: &EngineConfig,
+    workload: &ServingWorkload,
+    qps_points: &[f64],
+    num_requests: u64,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    assert!(!qps_points.is_empty(), "sweep needs at least one point");
+    assert!(num_requests > 0, "sweep needs requests");
+    let mut out: Vec<Option<SweepPoint>> = qps_points.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, &qps) in out.iter_mut().zip(qps_points) {
+            let engine = engine.clone();
+            let workload = workload.clone();
+            scope.spawn(move || {
+                let cfg = ServingConfig::new(workload, qps, num_requests)
+                    .seed(splitmix64(seed ^ qps.to_bits()))
+                    .engine(engine);
+                *slot = Some(SweepPoint {
+                    qps,
+                    report: ServingSim::new(cfg).run(),
+                });
+            });
+        }
+    });
+    out.into_iter().map(|p| p.expect("point computed")).collect()
+}
+
+/// Peak throughput: the highest achieved throughput across the sweep —
+/// an estimate of serving capacity (the knee of the paper's Fig. 14
+/// curves). Past the knee, offering more load cannot raise the achieved
+/// rate, so the maximum over a sweep that spans the knee measures it.
+pub fn peak_throughput(points: &[SweepPoint]) -> f64 {
+    points
+        .iter()
+        .map(|p| p.report.throughput())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_ordered_and_complete() {
+        let points = qps_sweep(
+            &EngineConfig::a100_llama8b(),
+            &ServingWorkload::Chatbot,
+            &[0.5, 2.0],
+            12,
+            3,
+        );
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].qps, 0.5);
+        assert_eq!(points[1].qps, 2.0);
+        assert_eq!(points[0].report.completed, 12);
+    }
+
+    #[test]
+    fn overload_raises_tail_latency() {
+        let points = qps_sweep(
+            &EngineConfig::a100_llama8b(),
+            &ServingWorkload::Chatbot,
+            &[0.5, 20.0],
+            25,
+            4,
+        );
+        assert!(
+            points[1].report.p95_s > points[0].report.p95_s,
+            "overloaded p95 {} vs light p95 {}",
+            points[1].report.p95_s,
+            points[0].report.p95_s
+        );
+    }
+
+    #[test]
+    fn peak_throughput_finds_knee() {
+        let points = qps_sweep(
+            &EngineConfig::a100_llama8b(),
+            &ServingWorkload::Chatbot,
+            &[0.5, 50.0],
+            20,
+            5,
+        );
+        let peak = peak_throughput(&points);
+        assert!(peak > 0.0);
+        // 50 qps of chatbot far exceeds one A100's capacity: the sustained
+        // peak must be well below the top offer.
+        assert!(peak < 40.0, "peak {peak}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_sweep_rejected() {
+        let _ = qps_sweep(
+            &EngineConfig::a100_llama8b(),
+            &ServingWorkload::Chatbot,
+            &[],
+            1,
+            0,
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-request execution traces.
+
+use std::fmt;
+
+use agentsim_agents::{AgentKind, ContextBreakdown, OutputKind, TaskOutcome};
+use agentsim_llm::LlmCompletion;
+use agentsim_simkit::{SimDuration, SimTime};
+use agentsim_tools::ToolResult;
+use agentsim_workloads::Benchmark;
+
+/// One LLM call within a request, with its engine record and the context
+/// composition at call time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlmCallRecord {
+    /// Engine-side completion record.
+    pub completion: LlmCompletion,
+    /// The call's role in the workflow.
+    pub kind: OutputKind,
+    /// Input-token composition, with `output` filled in.
+    pub breakdown: ContextBreakdown,
+}
+
+/// Everything that happened while serving one agent request.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// The agent framework.
+    pub agent: AgentKind,
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Task identity within the generator stream.
+    pub task_id: u64,
+    /// When the request entered the system.
+    pub started: SimTime,
+    /// When the agent finished.
+    pub finished: SimTime,
+    /// All LLM calls, in completion order.
+    pub llm: Vec<LlmCallRecord>,
+    /// All tool results, in completion order.
+    pub tools: Vec<ToolResult>,
+    /// Wall time attributable to waiting on LLM inference.
+    pub llm_wall: SimDuration,
+    /// Wall time attributable to waiting on tools alone.
+    pub tool_wall: SimDuration,
+    /// Wall time where LLM inference and tool execution overlapped.
+    pub overlap_wall: SimDuration,
+    /// Final outcome.
+    pub outcome: TaskOutcome,
+}
+
+impl RequestTrace {
+    /// Creates an empty trace starting at `started`.
+    pub fn new(agent: AgentKind, benchmark: Benchmark, task_id: u64, started: SimTime) -> Self {
+        RequestTrace {
+            agent,
+            benchmark,
+            task_id,
+            started,
+            finished: started,
+            llm: Vec::new(),
+            tools: Vec::new(),
+            llm_wall: SimDuration::ZERO,
+            tool_wall: SimDuration::ZERO,
+            overlap_wall: SimDuration::ZERO,
+            outcome: TaskOutcome {
+                solved: false,
+                iterations: 0,
+            },
+        }
+    }
+
+    /// Number of LLM invocations (the paper's Fig. 4 metric).
+    pub fn llm_calls(&self) -> usize {
+        self.llm.len()
+    }
+
+    /// Number of tool invocations.
+    pub fn tool_calls(&self) -> usize {
+        self.tools.len()
+    }
+
+    /// End-to-end latency.
+    pub fn e2e(&self) -> SimDuration {
+        self.finished.saturating_since(self.started)
+    }
+
+    /// Total output tokens across LLM calls.
+    pub fn output_tokens(&self) -> u64 {
+        self.llm.iter().map(|c| c.completion.output_tokens as u64).sum()
+    }
+
+    /// Total input (prompt) tokens across LLM calls.
+    pub fn input_tokens(&self) -> u64 {
+        self.llm.iter().map(|c| c.completion.prompt_tokens as u64).sum()
+    }
+
+    /// Total prompt tokens served from the prefix cache.
+    pub fn cached_tokens(&self) -> u64 {
+        self.llm.iter().map(|c| c.completion.cached_tokens as u64).sum()
+    }
+
+    /// Prefix-cache hit fraction over all prompt tokens.
+    pub fn cache_hit_fraction(&self) -> f64 {
+        let input = self.input_tokens();
+        if input == 0 {
+            0.0
+        } else {
+            self.cached_tokens() as f64 / input as f64
+        }
+    }
+
+    /// Sum of per-call prefill wall time.
+    pub fn prefill_time(&self) -> SimDuration {
+        self.llm.iter().map(|c| c.completion.prefill_time).sum()
+    }
+
+    /// Sum of per-call decode wall time.
+    pub fn decode_time(&self) -> SimDuration {
+        self.llm.iter().map(|c| c.completion.decode_time).sum()
+    }
+
+    /// Total FLOPs attributed to the request.
+    pub fn flops(&self) -> f64 {
+        self.llm.iter().map(|c| c.completion.flops).sum()
+    }
+
+    /// Average context composition across LLM calls (Fig. 8).
+    pub fn mean_breakdown(&self) -> ContextBreakdown {
+        if self.llm.is_empty() {
+            return ContextBreakdown::default();
+        }
+        let n = self.llm.len() as u32;
+        let mut sum = ContextBreakdown::default();
+        for c in &self.llm {
+            sum.instruction += c.breakdown.instruction;
+            sum.fewshot += c.breakdown.fewshot;
+            sum.user += c.breakdown.user;
+            sum.llm_history += c.breakdown.llm_history;
+            sum.tool_history += c.breakdown.tool_history;
+            sum.output += c.breakdown.output;
+        }
+        ContextBreakdown {
+            instruction: sum.instruction / n,
+            fewshot: sum.fewshot / n,
+            user: sum.user / n,
+            llm_history: sum.llm_history / n,
+            tool_history: sum.tool_history / n,
+            output: sum.output / n,
+        }
+    }
+}
+
+impl fmt::Display for RequestTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}#{}: {} LLM + {} tool calls in {} ({}), llm {} tool {} overlap {}",
+            self.agent,
+            self.benchmark,
+            self.task_id,
+            self.llm_calls(),
+            self.tool_calls(),
+            self.e2e(),
+            if self.outcome.solved { "solved" } else { "failed" },
+            self.llm_wall,
+            self.tool_wall,
+            self.overlap_wall,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentsim_llm::RequestId;
+
+    fn record(prompt: u32, cached: u32, out: u32) -> LlmCallRecord {
+        LlmCallRecord {
+            completion: LlmCompletion {
+                id: RequestId(0),
+                arrived: SimTime::ZERO,
+                started: SimTime::ZERO,
+                finished: SimTime::from_secs_f64(1.0),
+                prompt_tokens: prompt,
+                cached_tokens: cached,
+                output_tokens: out,
+                prefill_time: SimDuration::from_millis(100),
+                decode_time: SimDuration::from_millis(900),
+                flops: 1e12,
+                preemptions: 0,
+            },
+            kind: OutputKind::Action,
+            breakdown: ContextBreakdown {
+                instruction: 100,
+                fewshot: 200,
+                user: 30,
+                llm_history: 50,
+                tool_history: 80,
+                output: out,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_over_calls() {
+        let mut t = RequestTrace::new(AgentKind::React, Benchmark::HotpotQa, 0, SimTime::ZERO);
+        t.llm.push(record(1000, 400, 50));
+        t.llm.push(record(1200, 1100, 60));
+        t.finished = SimTime::from_secs_f64(10.0);
+        assert_eq!(t.llm_calls(), 2);
+        assert_eq!(t.input_tokens(), 2200);
+        assert_eq!(t.cached_tokens(), 1500);
+        assert_eq!(t.output_tokens(), 110);
+        assert!((t.cache_hit_fraction() - 1500.0 / 2200.0).abs() < 1e-12);
+        assert_eq!(t.e2e(), SimDuration::from_secs(10));
+        assert_eq!(t.prefill_time(), SimDuration::from_millis(200));
+        assert_eq!(t.decode_time(), SimDuration::from_millis(1800));
+        assert_eq!(t.flops(), 2e12);
+    }
+
+    #[test]
+    fn mean_breakdown_averages() {
+        let mut t = RequestTrace::new(AgentKind::React, Benchmark::HotpotQa, 0, SimTime::ZERO);
+        t.llm.push(record(1000, 0, 50));
+        t.llm.push(record(1000, 0, 70));
+        let b = t.mean_breakdown();
+        assert_eq!(b.instruction, 100);
+        assert_eq!(b.output, 60);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = RequestTrace::new(AgentKind::Cot, Benchmark::Math, 1, SimTime::ZERO);
+        assert_eq!(t.cache_hit_fraction(), 0.0);
+        assert_eq!(t.mean_breakdown(), ContextBreakdown::default());
+        assert_eq!(t.e2e(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,451 @@
+//! Statistical distributions for workload and tool models.
+//!
+//! Implemented in-house (inverse-transform and Box–Muller methods) so the
+//! workspace does not need a `rand_distr` dependency. Every distribution
+//! implements [`Sample`], returning `f64` draws; discrete helpers are
+//! provided for the common "sample a token count" case.
+
+use std::fmt;
+
+use crate::rng::SimRng;
+
+/// A source of random `f64` draws.
+///
+/// Implementors are immutable; all state lives in the [`SimRng`].
+pub trait Sample: fmt::Debug {
+    /// Draws one value.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Draws one value and rounds it to a non-negative integer.
+    fn sample_count(&self, rng: &mut SimRng) -> u64 {
+        self.sample(rng).round().max(0.0) as u64
+    }
+}
+
+/// A fixed value (degenerate distribution) — useful for configuration knobs
+/// that may later become stochastic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Sample for Constant {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid uniform bounds [{lo}, {hi})"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// Exponential distribution — inter-arrival times of a Poisson process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate (events per
+    /// unit time). The mean is `1 / rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive, got {rate}"
+        );
+        Exponential { rate }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse transform; 1 - u avoids ln(0).
+        -(1.0 - rng.f64()).ln() / self.rate
+    }
+}
+
+/// Normal (Gaussian) distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "invalid normal parameters mean={mean} std_dev={std_dev}"
+        );
+        Normal { mean, std_dev }
+    }
+
+    fn standard(rng: &mut SimRng) -> f64 {
+        let u1 = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+        let u2 = rng.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Sample for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.mean + self.std_dev * Normal::standard(rng)
+    }
+}
+
+/// Log-normal distribution — heavy-tailed latencies and token lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the parameters of the underlying normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid log-normal parameters mu={mu} sigma={sigma}"
+        );
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal with the given arithmetic mean and coefficient
+    /// of variation (`std_dev / mean`). This is the natural way to specify
+    /// "a 1.2 s call with ±40% spread".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `cv < 0`.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0 && cv.is_finite() && cv >= 0.0,
+            "invalid log-normal spec mean={mean} cv={cv}"
+        );
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// The arithmetic mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
+}
+
+/// Categorical distribution over weighted alternatives; samples an index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "weights must not all be zero");
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Categorical { cumulative }
+    }
+
+    /// Draws an index in `[0, len)` with probability proportional to its
+    /// weight.
+    pub fn sample_index(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("weights are finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Zipf distribution on `{1, …, n}` — popularity skew (e.g. shared prompt
+/// prefixes, repeated queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "invalid zipf exponent {s}");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        Zipf {
+            cumulative: Categorical::new(&weights).cumulative,
+        }
+    }
+
+    /// Draws a rank in `[1, n]`.
+    pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        let i = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("weights are finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        };
+        i + 1
+    }
+}
+
+impl Sample for Zipf {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+}
+
+/// A log-normal clamped to `[lo, hi]` — practical for token counts that must
+/// stay within a context window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClampedLogNormal {
+    inner: LogNormal,
+    lo: f64,
+    hi: f64,
+}
+
+impl ClampedLogNormal {
+    /// Creates a clamped log-normal from mean, coefficient of variation and
+    /// inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`LogNormal::from_mean_cv`], or if
+    /// `lo > hi`.
+    pub fn from_mean_cv(mean: f64, cv: f64, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "invalid clamp bounds [{lo}, {hi}]");
+        ClampedLogNormal {
+            inner: LogNormal::from_mean_cv(mean, cv),
+            lo,
+            hi,
+        }
+    }
+}
+
+impl Sample for ClampedLogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(dist: &dyn Sample, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::seed_from(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::seed_from(0);
+        let d = Constant(5.5);
+        assert_eq!(d.sample(&mut rng), 5.5);
+        assert_eq!(d.sample_count(&mut rng), 6);
+    }
+
+    #[test]
+    fn uniform_mean_and_bounds() {
+        let d = Uniform::new(10.0, 20.0);
+        let m = mean_of(&d, 1, 20_000);
+        assert!((m - 15.0).abs() < 0.2, "mean {m}");
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..20.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let d = Exponential::with_rate(4.0);
+        let m = mean_of(&d, 3, 50_000);
+        assert!((m - 0.25).abs() < 0.01, "mean {m}");
+        assert_eq!(Exponential::with_mean(0.25).rate(), 4.0);
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let d = Exponential::with_mean(1.0);
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal::new(100.0, 15.0);
+        let m = mean_of(&d, 5, 50_000);
+        assert!((m - 100.0).abs() < 0.5, "mean {m}");
+        let mut rng = SimRng::seed_from(6);
+        let var = (0..50_000)
+            .map(|_| {
+                let x = d.sample(&mut rng) - 100.0;
+                x * x
+            })
+            .sum::<f64>()
+            / 50_000.0;
+        assert!((var.sqrt() - 15.0).abs() < 0.5, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn log_normal_mean_cv_round_trip() {
+        let d = LogNormal::from_mean_cv(1.2, 0.4);
+        assert!((d.mean() - 1.2).abs() < 1e-9);
+        let m = mean_of(&d, 7, 100_000);
+        assert!((m - 1.2).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let d = LogNormal::from_mean_cv(1.0, 1.0);
+        let mut rng = SimRng::seed_from(8);
+        let draws: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|&x| x > 0.0));
+        let mut sorted = draws.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[5_000];
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!(median < mean, "log-normal should be right-skewed");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let d = Categorical::new(&[1.0, 0.0, 3.0]);
+        let mut rng = SimRng::seed_from(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[d.sample_index(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let d = Zipf::new(100, 1.1);
+        let mut rng = SimRng::seed_from(10);
+        let mut first = 0usize;
+        for _ in 0..10_000 {
+            let r = d.sample_rank(&mut rng);
+            assert!((1..=100).contains(&r));
+            if r == 1 {
+                first += 1;
+            }
+        }
+        assert!(first > 1_500, "rank 1 drawn {first} times");
+    }
+
+    #[test]
+    fn clamped_log_normal_stays_in_bounds() {
+        let d = ClampedLogNormal::from_mean_cv(100.0, 2.0, 10.0, 300.0);
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..5_000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..=300.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sample_count_is_rounded_non_negative() {
+        let d = Normal::new(0.4, 0.01);
+        let mut rng = SimRng::seed_from(12);
+        assert_eq!(d.sample_count(&mut rng), 0);
+        let d = Normal::new(-5.0, 0.1);
+        assert_eq!(d.sample_count(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform bounds")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = Uniform::new(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn categorical_rejects_empty() {
+        let _ = Categorical::new(&[]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Deterministic future-event list.
+//!
+//! A thin wrapper over a binary heap keyed by `(SimTime, sequence)` so that
+//! events scheduled for the same instant pop in insertion order. This makes
+//! whole-simulation runs bit-for-bit reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A priority queue of future events ordered by simulated time.
+///
+/// Events at the same instant are delivered FIFO (by insertion order), which
+/// keeps simulations deterministic without requiring `E: Ord`.
+///
+/// # Example
+///
+/// ```
+/// use agentsim_simkit::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_micros(20), "late");
+/// q.push(SimTime::from_micros(10), "early");
+/// q.push(SimTime::from_micros(10), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (at, event) in iter {
+            self.push(at, event);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for t in [5u64, 1, 9, 3, 7] {
+            q.push(SimTime::from_micros(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(42);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(3)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let q: EventQueue<u32> = (0..5)
+            .map(|i| (SimTime::from_micros(i), i as u32))
+            .collect();
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

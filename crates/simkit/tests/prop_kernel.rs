@@ -1,0 +1,89 @@
+//! Property-based tests for the simulation kernel.
+
+use agentsim_simkit::dist::{Categorical, Exponential, LogNormal, Sample, Uniform, Zipf};
+use agentsim_simkit::{EventQueue, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn event_queue_pops_sorted_stable(
+        times in prop::collection::vec(0u64..1000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut prev: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((pt, pi)) = prev {
+                prop_assert!(t >= pt, "time order violated");
+                if t == pt {
+                    prop_assert!(i > pi, "FIFO tie-break violated");
+                }
+            }
+            prev = Some((t, i));
+        }
+    }
+
+    #[test]
+    fn time_arithmetic_is_consistent(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        let t = SimTime::from_micros(a);
+        let d = SimDuration::from_micros(b);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn forked_streams_are_reproducible(seed in any::<u64>(), key in any::<u64>()) {
+        let mut a = SimRng::seed_from(seed).fork(key);
+        let mut b = SimRng::seed_from(seed).fork(key);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distributions_stay_in_their_supports(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let u = Uniform::new(3.0, 9.0);
+        let e = Exponential::with_mean(2.0);
+        let l = LogNormal::from_mean_cv(5.0, 0.5);
+        let z = Zipf::new(20, 1.0);
+        for _ in 0..200 {
+            let x = u.sample(&mut rng);
+            prop_assert!((3.0..9.0).contains(&x));
+            prop_assert!(e.sample(&mut rng) > 0.0);
+            prop_assert!(l.sample(&mut rng) > 0.0);
+            let r = z.sample_rank(&mut rng);
+            prop_assert!((1..=20).contains(&r));
+        }
+    }
+
+    #[test]
+    fn categorical_never_picks_zero_weight(
+        weights in prop::collection::vec(0.0f64..10.0, 2..10),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let c = Categorical::new(&weights);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..300 {
+            let i = c.sample_index(&mut rng);
+            prop_assert!(weights[i] > 0.0, "picked index {i} with zero weight");
+        }
+    }
+
+    #[test]
+    fn duration_scaling_is_monotone(us in 1u64..1_000_000, f in 0.0f64..10.0) {
+        let d = SimDuration::from_micros(us);
+        let scaled = d.mul_f64(f);
+        if f >= 1.0 {
+            prop_assert!(scaled >= d);
+        } else {
+            prop_assert!(scaled <= d);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulated agent tools.
+//!
+//! The paper's agents call external tools — Wikipedia APIs (HotpotQA), web
+//! navigation (WebShop), Wolfram Alpha / a Python calculator (MATH) and a
+//! Python test executor (HumanEval). For the systems analysis only their
+//! *latency* and *response size* matter; this crate models each tool as a
+//! pair of calibrated distributions plus an optional failure process.
+//!
+//! Calibration anchors from the paper (§IV-A): Wikipedia calls average
+//! ≈1.2 s, WebShop's locally hosted pages respond in ≈20 ms.
+//!
+//! # Example
+//!
+//! ```
+//! use agentsim_tools::{ToolCall, ToolExecutor, ToolKind};
+//! use agentsim_simkit::SimRng;
+//!
+//! let exec = ToolExecutor::new();
+//! let mut rng = SimRng::seed_from(1);
+//! let result = exec.execute(&ToolCall::new(ToolKind::WikipediaSearch), &mut rng);
+//! assert!(result.latency.as_secs_f64() > 0.0);
+//! assert!(result.response_tokens > 0);
+//! ```
+
+pub mod catalog;
+pub mod executor;
+pub mod kind;
+pub mod spec;
+
+pub use catalog::ToolCatalog;
+pub use executor::{FailurePolicy, ToolCall, ToolExecutor, ToolResult};
+pub use kind::ToolKind;
+pub use spec::ToolSpec;

@@ -1,0 +1,101 @@
+//! Per-tool latency and response-size models.
+
+use agentsim_simkit::dist::{ClampedLogNormal, LogNormal, Sample};
+use agentsim_simkit::{SimDuration, SimRng};
+
+use crate::kind::ToolKind;
+
+/// Statistical model of one tool: how long a call takes and how many
+/// tokens its observation adds to the agent's context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolSpec {
+    /// Which tool this describes.
+    pub kind: ToolKind,
+    /// Call latency in seconds.
+    pub latency: LogNormal,
+    /// Tokens in the tool's response (the observation fed back to the LLM).
+    pub response_tokens: ClampedLogNormal,
+    /// Probability that a call fails (timeout, API error).
+    pub base_failure_rate: f64,
+}
+
+impl ToolSpec {
+    /// Builds a spec from mean latency (seconds), latency coefficient of
+    /// variation, mean response tokens, and failure rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of range (non-positive means,
+    /// negative cv, failure rate outside `[0, 1)`).
+    pub fn new(
+        kind: ToolKind,
+        mean_latency_s: f64,
+        latency_cv: f64,
+        mean_response_tokens: f64,
+        base_failure_rate: f64,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&base_failure_rate),
+            "failure rate must be in [0, 1), got {base_failure_rate}"
+        );
+        ToolSpec {
+            kind,
+            latency: LogNormal::from_mean_cv(mean_latency_s, latency_cv),
+            response_tokens: ClampedLogNormal::from_mean_cv(
+                mean_response_tokens,
+                0.6,
+                8.0,
+                mean_response_tokens * 4.0,
+            ),
+            base_failure_rate,
+        }
+    }
+
+    /// Samples a call latency.
+    pub fn sample_latency(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.latency.sample(rng))
+    }
+
+    /// Samples a response size in tokens.
+    pub fn sample_response_tokens(&self, rng: &mut SimRng) -> u32 {
+        self.response_tokens.sample_count(rng) as u32
+    }
+
+    /// Mean latency in seconds (for reporting).
+    pub fn mean_latency_s(&self) -> f64 {
+        self.latency.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_latency_centers_on_mean() {
+        let spec = ToolSpec::new(ToolKind::WikipediaSearch, 1.2, 0.45, 280.0, 0.01);
+        let mut rng = SimRng::seed_from(1);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| spec.sample_latency(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.2).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn response_tokens_bounded() {
+        let spec = ToolSpec::new(ToolKind::WebshopSearch, 0.02, 0.3, 200.0, 0.0);
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..2_000 {
+            let t = spec.sample_response_tokens(&mut rng);
+            assert!((8..=800).contains(&t), "tokens {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failure rate")]
+    fn failure_rate_validated() {
+        let _ = ToolSpec::new(ToolKind::PythonCalc, 0.05, 0.3, 20.0, 1.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Deterministic task generation.
+
+use agentsim_simkit::dist::{ClampedLogNormal, Normal, Sample};
+use agentsim_simkit::SimRng;
+
+use crate::benchmark::Benchmark;
+use crate::segments::user_seed;
+use crate::task::Task;
+
+/// Generates the task stream of one benchmark.
+///
+/// `task(i)` is a pure function of `(benchmark, seed, i)`: sweeps can
+/// regenerate any subset without replaying the whole stream.
+///
+/// # Example
+///
+/// ```
+/// use agentsim_workloads::{Benchmark, TaskGenerator};
+///
+/// let g = TaskGenerator::new(Benchmark::Math, 7);
+/// let tasks: Vec<_> = g.tasks(3).collect();
+/// assert_eq!(tasks.len(), 3);
+/// assert_eq!(tasks[1], g.task(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskGenerator {
+    benchmark: Benchmark,
+    seed: u64,
+    difficulty: Normal,
+    user_tokens: ClampedLogNormal,
+}
+
+impl TaskGenerator {
+    /// Creates a generator for `benchmark` rooted at `seed`.
+    pub fn new(benchmark: Benchmark, seed: u64) -> Self {
+        let mean_u = benchmark.mean_user_tokens();
+        TaskGenerator {
+            benchmark,
+            seed,
+            difficulty: Normal::new(benchmark.mean_difficulty(), 0.18),
+            user_tokens: ClampedLogNormal::from_mean_cv(mean_u, 0.45, 8.0, mean_u * 5.0),
+        }
+    }
+
+    /// The benchmark being generated.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The `index`-th task of the stream.
+    pub fn task(&self, index: u64) -> Task {
+        let mut rng = SimRng::seed_from(self.seed).fork(index);
+        let difficulty = self.difficulty.sample(&mut rng).clamp(0.05, 0.98);
+        // Harder tasks require more evidence: 1..=5 hops scaled by
+        // difficulty with some noise.
+        let base_hops = 1.0 + difficulty * 3.5 + rng.range_f64(-0.5, 0.5);
+        let hops = base_hops.round().clamp(1.0, 6.0) as u32;
+        Task {
+            benchmark: self.benchmark,
+            id: index,
+            difficulty,
+            hops,
+            user_tokens: self.user_tokens.sample_count(&mut rng).max(4) as u32,
+            user_seed: user_seed(self.benchmark, self.seed.rotate_left(13) ^ index),
+        }
+    }
+
+    /// The first `n` tasks.
+    pub fn tasks(&self, n: u64) -> impl Iterator<Item = Task> + '_ {
+        (0..n).map(move |i| self.task(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_are_pure_functions_of_index() {
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 1);
+        assert_eq!(g.task(5), g.task(5));
+        assert_ne!(g.task(5), g.task(6));
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a = TaskGenerator::new(Benchmark::HotpotQa, 1).task(0);
+        let b = TaskGenerator::new(Benchmark::HotpotQa, 2).task(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn difficulty_and_hops_in_range() {
+        let g = TaskGenerator::new(Benchmark::Math, 3);
+        for t in g.tasks(500) {
+            assert!((0.05..=0.98).contains(&t.difficulty));
+            assert!((1..=6).contains(&t.hops));
+            assert!(t.user_tokens >= 4);
+        }
+    }
+
+    #[test]
+    fn mean_difficulty_matches_benchmark() {
+        let g = TaskGenerator::new(Benchmark::HumanEval, 4);
+        let mean: f64 = g.tasks(2_000).map(|t| t.difficulty).sum::<f64>() / 2_000.0;
+        assert!(
+            (mean - Benchmark::HumanEval.mean_difficulty()).abs() < 0.03,
+            "mean {mean}"
+        );
+    }
+
+    #[test]
+    fn harder_tasks_have_more_hops_on_average() {
+        let g = TaskGenerator::new(Benchmark::HotpotQa, 5);
+        let (mut easy, mut hard) = (Vec::new(), Vec::new());
+        for t in g.tasks(2_000) {
+            if t.difficulty < 0.4 {
+                easy.push(t.hops as f64);
+            } else if t.difficulty > 0.7 {
+                hard.push(t.hops as f64);
+            }
+        }
+        let m = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(m(&hard) > m(&easy) + 0.8);
+    }
+
+    #[test]
+    fn user_token_lengths_track_benchmark_mean() {
+        for b in [Benchmark::HotpotQa, Benchmark::HumanEval] {
+            let g = TaskGenerator::new(b, 6);
+            let mean: f64 =
+                g.tasks(3_000).map(|t| t.user_tokens as f64).sum::<f64>() / 3_000.0;
+            let target = b.mean_user_tokens();
+            assert!(
+                (mean - target).abs() / target < 0.15,
+                "{b}: mean {mean} vs {target}"
+            );
+        }
+    }
+}

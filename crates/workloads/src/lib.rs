@@ -1,0 +1,38 @@
+//! Synthetic benchmark workloads.
+//!
+//! The paper evaluates agents on four agentic benchmarks (HotpotQA,
+//! WebShop, MATH, HumanEval) plus the non-agentic ShareGPT chatbot
+//! workload. For the systems analysis, a benchmark is characterized by:
+//!
+//! * the *user query length* distribution (tokens),
+//! * the latent *difficulty* distribution (drives how many reasoning
+//!   iterations an agent needs),
+//! * the *tools* available (and hence the tool-latency profile),
+//! * fixed *prompt furniture*: instruction and few-shot segments shared by
+//!   every request of a benchmark (the prefix-cache workhorse).
+//!
+//! Task generation is a pure function of `(benchmark, seed, index)`, so
+//! sweeps can regenerate any subset deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use agentsim_workloads::{Benchmark, TaskGenerator};
+//!
+//! let generator = TaskGenerator::new(Benchmark::HotpotQa, 42);
+//! let task = generator.task(0);
+//! assert_eq!(task.benchmark, Benchmark::HotpotQa);
+//! assert!(task.difficulty > 0.0 && task.difficulty < 1.0);
+//! assert_eq!(task.user_tokens, generator.task(0).user_tokens, "pure function");
+//! ```
+
+pub mod benchmark;
+pub mod generator;
+pub mod segments;
+pub mod sharegpt;
+pub mod task;
+
+pub use benchmark::Benchmark;
+pub use generator::TaskGenerator;
+pub use sharegpt::{ShareGptGenerator, ShareGptQuery};
+pub use task::Task;

@@ -1,0 +1,109 @@
+//! Shared prompt furniture: instruction and few-shot token segments.
+//!
+//! Every request of a benchmark shares the same instruction and few-shot
+//! example segments (per agent framework). Because segments are pure
+//! functions of their seeds, these shared prefixes hash to identical KV
+//! blocks — which is what makes prefix caching effective on agent traffic
+//! (the paper's §IV-B).
+
+use agentsim_simkit::rng::hash_key;
+
+use crate::benchmark::Benchmark;
+
+/// Tokens in the benchmark's base instruction block.
+pub fn instruction_tokens(benchmark: Benchmark) -> u32 {
+    match benchmark {
+        Benchmark::HotpotQa => 180,
+        Benchmark::WebShop => 220,
+        Benchmark::Math => 160,
+        Benchmark::HumanEval => 140,
+        Benchmark::ShareGpt => 30, // short system prompt
+    }
+}
+
+/// Tokens per few-shot example.
+pub fn fewshot_example_tokens(benchmark: Benchmark) -> u32 {
+    match benchmark {
+        Benchmark::HotpotQa => 190,
+        Benchmark::WebShop => 260,
+        Benchmark::Math => 150,
+        Benchmark::HumanEval => 170,
+        Benchmark::ShareGpt => 0,
+    }
+}
+
+/// Default number of few-shot examples in each agent's prompt.
+pub const DEFAULT_FEWSHOT: u32 = 4;
+
+/// Segment seed for the instruction block of `(benchmark, agent tag)`.
+///
+/// The agent tag distinguishes frameworks (ReAct and Reflexion ship
+/// different instructions) so their prefixes do not alias.
+pub fn instruction_seed(benchmark: Benchmark, agent_tag: u64) -> u64 {
+    hash_key(b"instruction", benchmark_ordinal(benchmark) ^ (agent_tag << 8))
+}
+
+/// Segment seed for few-shot example `idx` of `(benchmark, agent tag)`.
+pub fn fewshot_seed(benchmark: Benchmark, agent_tag: u64, idx: u32) -> u64 {
+    hash_key(
+        b"fewshot",
+        benchmark_ordinal(benchmark) ^ (agent_tag << 8) ^ ((idx as u64) << 32),
+    )
+}
+
+/// Segment seed for the user query of task `task_id`.
+pub fn user_seed(benchmark: Benchmark, task_id: u64) -> u64 {
+    hash_key(b"user", benchmark_ordinal(benchmark) ^ (task_id << 4))
+}
+
+fn benchmark_ordinal(b: Benchmark) -> u64 {
+    match b {
+        Benchmark::HotpotQa => 1,
+        Benchmark::WebShop => 2,
+        Benchmark::Math => 3,
+        Benchmark::HumanEval => 4,
+        Benchmark::ShareGpt => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(
+            instruction_seed(Benchmark::HotpotQa, 1),
+            instruction_seed(Benchmark::HotpotQa, 1)
+        );
+    }
+
+    #[test]
+    fn seeds_distinguish_benchmark_agent_and_index() {
+        let a = instruction_seed(Benchmark::HotpotQa, 1);
+        assert_ne!(a, instruction_seed(Benchmark::WebShop, 1));
+        assert_ne!(a, instruction_seed(Benchmark::HotpotQa, 2));
+        assert_ne!(
+            fewshot_seed(Benchmark::Math, 1, 0),
+            fewshot_seed(Benchmark::Math, 1, 1)
+        );
+        assert_ne!(
+            user_seed(Benchmark::Math, 10),
+            user_seed(Benchmark::Math, 11)
+        );
+    }
+
+    #[test]
+    fn initial_prompt_is_around_a_thousand_tokens() {
+        // Paper Fig. 9: initial inputs are typically ~1,000 tokens.
+        for b in Benchmark::AGENTIC {
+            let total = instruction_tokens(b)
+                + DEFAULT_FEWSHOT * fewshot_example_tokens(b)
+                + b.mean_user_tokens() as u32;
+            assert!(
+                (700..1700).contains(&total),
+                "{b}: initial prompt {total} tokens"
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Individual benchmark tasks.
+
+use std::fmt;
+
+use agentsim_kvcache::TokenBuf;
+
+use crate::benchmark::Benchmark;
+
+/// One benchmark instance an agent must solve.
+///
+/// `difficulty` is the latent hardness in `(0, 1)` that the cognition
+/// model consumes: harder tasks need more evidence/iterations. `hops` is
+/// the number of distinct pieces of evidence required (multi-hop structure
+/// for HotpotQA, page visits for WebShop, sub-derivations for MATH,
+/// test-fix cycles for HumanEval).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// The benchmark this task belongs to.
+    pub benchmark: Benchmark,
+    /// Index within the generated stream (stable identity).
+    pub id: u64,
+    /// Latent difficulty in `(0, 1)`.
+    pub difficulty: f64,
+    /// Evidence pieces / sub-goals required (at least 1).
+    pub hops: u32,
+    /// User-query length in tokens.
+    pub user_tokens: u32,
+    /// Segment seed of the user query.
+    pub user_seed: u64,
+}
+
+impl Task {
+    /// The user-query token segment.
+    pub fn user_segment(&self) -> TokenBuf {
+        TokenBuf::from_segment(self.user_seed, self.user_tokens)
+    }
+
+    /// A deterministic per-task RNG key (fold with a stage label).
+    pub fn rng_key(&self) -> u64 {
+        self.user_seed ^ self.id.rotate_left(17)
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{} (difficulty {:.2}, {} hops, {} query tokens)",
+            self.benchmark, self.id, self.difficulty, self.hops, self.user_tokens
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Task {
+        Task {
+            benchmark: Benchmark::HotpotQa,
+            id: 3,
+            difficulty: 0.5,
+            hops: 2,
+            user_tokens: 30,
+            user_seed: 99,
+        }
+    }
+
+    #[test]
+    fn user_segment_has_declared_length() {
+        assert_eq!(task().user_segment().len(), 30);
+    }
+
+    #[test]
+    fn user_segment_is_stable() {
+        assert_eq!(task().user_segment(), task().user_segment());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = task().to_string();
+        assert!(s.contains("HotpotQA#3"));
+        assert!(s.contains("2 hops"));
+    }
+}

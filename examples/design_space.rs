@@ -1,0 +1,107 @@
+//! Design-space exploration: sweep agent configurations on one benchmark
+//! and print the accuracy/cost frontier — the paper's Fig. 18 analysis,
+//! exposed as a library workflow you can adapt to your own agent designs.
+//!
+//! ```sh
+//! cargo run --release --example design_space [benchmark]
+//! ```
+//! where `benchmark` is one of `hotpotqa`, `webshop`, `math`, `humaneval`
+//! (default: hotpotqa).
+
+use agent_infra_sim::prelude::*;
+use agentsim_serving::SingleRequest;
+
+const SAMPLES: u64 = 30;
+
+struct Point {
+    label: String,
+    accuracy: f64,
+    latency_s: f64,
+    pflops: f64,
+}
+
+fn measure(kind: AgentKind, benchmark: Benchmark, label: &str, config: AgentConfig) -> Point {
+    let outcomes = SingleRequest::new(kind, benchmark)
+        .seed(3)
+        .agent_config(config)
+        .run_batch(SAMPLES);
+    let n = outcomes.len() as f64;
+    Point {
+        label: label.to_string(),
+        accuracy: outcomes.iter().filter(|o| o.trace.outcome.solved).count() as f64 / n,
+        latency_s: outcomes.iter().map(|o| o.trace.e2e().as_secs_f64()).sum::<f64>() / n,
+        pflops: outcomes.iter().map(|o| o.flops).sum::<f64>() / n / 1e15,
+    }
+}
+
+fn parse_benchmark(arg: Option<String>) -> Benchmark {
+    match arg.as_deref() {
+        Some("webshop") => Benchmark::WebShop,
+        Some("math") => Benchmark::Math,
+        Some("humaneval") => Benchmark::HumanEval,
+        Some("hotpotqa") | None => Benchmark::HotpotQa,
+        Some(other) => {
+            eprintln!("unknown benchmark `{other}`; using hotpotqa");
+            Benchmark::HotpotQa
+        }
+    }
+}
+
+fn main() {
+    let benchmark = parse_benchmark(std::env::args().nth(1));
+    let base = AgentConfig::default_8b();
+
+    let candidates: Vec<(AgentKind, String, AgentConfig)> = vec![
+        (AgentKind::Cot, "CoT".into(), base),
+        (AgentKind::React, "ReAct it=3".into(), base.with_max_iterations(3)),
+        (AgentKind::React, "ReAct it=7".into(), base),
+        (AgentKind::React, "ReAct it=12".into(), base.with_max_iterations(12)),
+        (AgentKind::Reflexion, "Reflexion t=2".into(), base.with_max_trials(2)),
+        (AgentKind::Reflexion, "Reflexion t=4".into(), base.with_max_trials(4)),
+        (AgentKind::Lats, "LATS c=3".into(), base.with_lats_children(3)),
+        (AgentKind::Lats, "LATS c=8".into(), base.with_lats_children(8)),
+        (AgentKind::LlmCompiler, "LLMCompiler".into(), base),
+    ];
+
+    let mut points: Vec<Point> = candidates
+        .into_iter()
+        .filter(|(kind, _, _)| kind.supports(benchmark))
+        .map(|(kind, label, config)| measure(kind, benchmark, &label, config))
+        .collect();
+
+    let mut table = Table::with_columns(&[
+        "design",
+        "accuracy",
+        "latency s",
+        "PFLOPs",
+        "acc/s",
+        "acc/PFLOP",
+        "pareto",
+    ]);
+    points.sort_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).expect("finite"));
+    for p in &points {
+        // A point is Pareto-optimal if no other point has both higher
+        // accuracy and lower latency.
+        let on_frontier = !points
+            .iter()
+            .any(|q| q.accuracy > p.accuracy && q.latency_s < p.latency_s);
+        table.row(vec![
+            p.label.clone(),
+            format!("{:.2}", p.accuracy),
+            format!("{:.1}", p.latency_s),
+            format!("{:.2}", p.pflops),
+            format!("{:.4}", p.accuracy / p.latency_s.max(1e-9)),
+            format!("{:.3}", p.accuracy / p.pflops.max(1e-9)),
+            if on_frontier { "*" } else { "" }.to_string(),
+        ]);
+    }
+
+    println!("Design space on {benchmark} ({SAMPLES} tasks/point, 8B backend):\n");
+    println!("{table}");
+    println!("(*) = on the accuracy-latency Pareto frontier.");
+    println!(
+        "\nPaper's takeaway: accuracy improves with compute but with sharply \
+         diminishing returns — pick configurations near the frontier, not \
+         at maximum scale."
+    );
+}

@@ -1,0 +1,67 @@
+//! Failure drill: inject tool failures at increasing rates and watch the
+//! agent degrade — accuracy, latency, and wasted energy. Agents never
+//! wedge: a failed call lands a short error observation in the context
+//! and the workflow retries or re-plans.
+//!
+//! ```sh
+//! cargo run --release --example failure_drill
+//! ```
+
+use agent_infra_sim::prelude::*;
+use agentsim_serving::SingleRequest;
+use agentsim_tools::{FailurePolicy, ToolExecutor};
+
+const SAMPLES: u64 = 30;
+
+fn drill(kind: AgentKind, rate_multiplier: f64) -> (f64, f64, f64, f64) {
+    let tools = ToolExecutor::new().failure_policy(FailurePolicy {
+        rate_multiplier,
+        failure_latency_multiplier: 2.5, // timeouts take longer than successes
+    });
+    let outcomes = SingleRequest::new(kind, Benchmark::HotpotQa)
+        .seed(13)
+        .tool_executor(tools)
+        .run_batch(SAMPLES);
+    let n = outcomes.len() as f64;
+    let accuracy = outcomes.iter().filter(|o| o.trace.outcome.solved).count() as f64 / n;
+    let latency = outcomes.iter().map(|o| o.trace.e2e().as_secs_f64()).sum::<f64>() / n;
+    let energy = outcomes.iter().map(|o| o.energy_wh).sum::<f64>() / n;
+    let failed_calls = outcomes
+        .iter()
+        .map(|o| o.trace.tools.iter().filter(|t| t.failed).count() as f64)
+        .sum::<f64>()
+        / n;
+    (accuracy, latency, energy, failed_calls)
+}
+
+fn main() {
+    // Base failure rates are ~1% (Wikipedia); multipliers scale them.
+    let multipliers = [0.0, 1.0, 10.0, 30.0, 100.0];
+
+    for kind in [AgentKind::React, AgentKind::LlmCompiler] {
+        let mut table = Table::with_columns(&[
+            "failure rate",
+            "accuracy",
+            "latency s",
+            "Wh/query",
+            "failed calls/req",
+        ]);
+        for &m in &multipliers {
+            let (acc, lat, wh, failed) = drill(kind, m);
+            table.row(vec![
+                format!("{:.0}%", m * 1.0), // base rate is ~1%
+                format!("{acc:.2}"),
+                format!("{lat:.1}"),
+                format!("{wh:.2}"),
+                format!("{failed:.1}"),
+            ]);
+        }
+        println!("=== {kind} on HotpotQA under Wikipedia failures\n{table}");
+    }
+
+    println!(
+        "Takeaway: tool failures waste the whole iteration that issued them — \
+         the agent pays the (slower) failed call, re-thinks, and retries, so \
+         infrastructure cost rises exactly as task success falls."
+    );
+}

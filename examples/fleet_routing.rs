@@ -1,0 +1,57 @@
+//! Fleet routing: serve agent traffic on a multi-replica fleet and
+//! compare routing policies. The punchline: stateless load balancing
+//! quietly destroys the prefix-cache reuse that makes agent serving
+//! affordable — iterative calls must return to the replica that holds
+//! their history.
+//!
+//! ```sh
+//! cargo run --release --example fleet_routing
+//! ```
+
+use agent_infra_sim::prelude::*;
+use agentsim_serving::{FleetConfig, FleetSim, Routing};
+
+fn main() {
+    let replicas = 4;
+    let qps = 6.0;
+    let requests = 150;
+
+    println!(
+        "ReAct/HotpotQA on {replicas}x A100/8B replicas at {qps} QPS \
+         ({requests} requests)\n"
+    );
+
+    let mut table = Table::with_columns(&[
+        "routing",
+        "tput",
+        "p50 s",
+        "p95 s",
+        "hit rate",
+        "energy Wh",
+        "util (min..max)",
+    ]);
+    for routing in [Routing::SessionAffinity, Routing::LeastLoaded, Routing::RoundRobin] {
+        let report = FleetSim::new(
+            FleetConfig::react_hotpotqa(replicas, routing, qps, requests).seed(17),
+        )
+        .run();
+        let umin = report.utilization.iter().copied().fold(1.0f64, f64::min);
+        let umax = report.utilization.iter().copied().fold(0.0f64, f64::max);
+        table.row(vec![
+            routing.to_string(),
+            format!("{:.2}", report.throughput),
+            format!("{:.1}", report.p50_s),
+            format!("{:.1}", report.p95_s),
+            format!("{:.2}", report.kv_hit_rate),
+            format!("{:.1}", report.energy_wh),
+            format!("{umin:.2}..{umax:.2}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Session affinity keeps each session's iterative calls on one replica, \
+         preserving the cross-call prefix hits the paper's Fig. 15 shows are \
+         worth multiples of serving capacity. Round-robin balances load \
+         perfectly — and recomputes every context from scratch."
+    );
+}

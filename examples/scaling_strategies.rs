@@ -1,0 +1,100 @@
+//! Test-time scaling strategies and their infrastructure bill: sequential
+//! (Reflexion reflection depth) vs parallel (LATS expansion width), on
+//! both model sizes, ending with the paper's Table III datacenter power
+//! projection.
+//!
+//! ```sh
+//! cargo run --release --example scaling_strategies
+//! ```
+
+use agent_infra_sim::prelude::*;
+use agentsim_metrics::power::{
+    format_watts, PowerProjection, CHATGPT_QUERIES_PER_DAY, GOOGLE_QUERIES_PER_DAY,
+};
+use agentsim_serving::SingleRequest;
+
+const SAMPLES: u64 = 30;
+
+fn measure(
+    kind: AgentKind,
+    engine: &EngineConfig,
+    config: AgentConfig,
+) -> (f64, f64, f64) {
+    let outcomes = SingleRequest::new(kind, Benchmark::HotpotQa)
+        .seed(5)
+        .engine_config(engine.clone())
+        .agent_config(config)
+        .run_batch(SAMPLES);
+    let n = outcomes.len() as f64;
+    let acc = outcomes.iter().filter(|o| o.trace.outcome.solved).count() as f64 / n;
+    let lat = outcomes.iter().map(|o| o.trace.e2e().as_secs_f64()).sum::<f64>() / n;
+    let wh = outcomes.iter().map(|o| o.energy_wh).sum::<f64>() / n;
+    (acc, lat, wh)
+}
+
+fn main() {
+    for (model, engine, base) in [
+        ("Llama-3.1-8B on 1x A100", EngineConfig::a100_llama8b(), AgentConfig::default_8b()),
+        (
+            "Llama-3.1-70B on 8x A100",
+            EngineConfig::a100x8_llama70b(),
+            AgentConfig::default_70b(),
+        ),
+    ] {
+        println!("==== {model} ====\n");
+
+        let mut seq = Table::with_columns(&["reflection trials", "accuracy", "latency s", "Wh/query"]);
+        for trials in [1u32, 2, 4, 6] {
+            let (acc, lat, wh) = measure(
+                AgentKind::Reflexion,
+                &engine,
+                base.with_max_trials(trials).with_max_iterations(10),
+            );
+            seq.row(vec![
+                trials.to_string(),
+                format!("{acc:.2}"),
+                format!("{lat:.1}"),
+                format!("{wh:.2}"),
+            ]);
+        }
+        println!("Sequential scaling (Reflexion):\n{seq}");
+
+        let mut par = Table::with_columns(&["LATS children", "accuracy", "latency s", "Wh/query"]);
+        for children in [1u32, 2, 4, 8, 16] {
+            let (acc, lat, wh) = measure(
+                AgentKind::Lats,
+                &engine,
+                base.with_lats_children(children).with_lats_iterations(12),
+            );
+            par.row(vec![
+                children.to_string(),
+                format!("{acc:.2}"),
+                format!("{lat:.1}"),
+                format!("{wh:.2}"),
+            ]);
+        }
+        println!("Parallel scaling (LATS):\n{par}");
+    }
+
+    // Datacenter arithmetic (Table III): take one representative agentic
+    // energy figure and project.
+    let (_, _, wh) = measure(
+        AgentKind::Lats,
+        &EngineConfig::a100_llama8b(),
+        AgentConfig::default_8b().with_lats_children(8).with_lats_iterations(12),
+    );
+    let projection = PowerProjection::new(wh);
+    println!("==== Datacenter projection for LATS/8B at {wh:.2} Wh/query ====");
+    println!(
+        "  today's ChatGPT traffic (71.4M queries/day):  {}",
+        format_watts(projection.watts(CHATGPT_QUERIES_PER_DAY))
+    );
+    println!(
+        "  Google-search-scale traffic (13.7B/day):      {}",
+        format_watts(projection.watts(GOOGLE_QUERIES_PER_DAY))
+    );
+    println!(
+        "  daily energy at search scale:                 {:.1} GWh/day",
+        projection.gwh_per_day(GOOGLE_QUERIES_PER_DAY)
+    );
+}

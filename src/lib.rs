@@ -1,0 +1,23 @@
+//! # agent-infra-sim
+//!
+//! A simulation-based reproduction of *"The Cost of Dynamic Reasoning:
+//! Demystifying AI Agents and Test-Time Scaling from an AI Infrastructure
+//! Perspective"* (HPCA 2026).
+//!
+//! This facade crate re-exports the [`agentsim`] experiment API. See the
+//! repository `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory, and the `examples/` directory for runnable entry points.
+//!
+//! # Example
+//!
+//! ```
+//! use agent_infra_sim::prelude::*;
+//!
+//! // Run a single ReAct request on a simulated A100 + Llama-3.1-8B stack.
+//! let outcome = SingleRequest::new(AgentKind::React, Benchmark::HotpotQa)
+//!     .seed(7)
+//!     .run();
+//! assert!(outcome.trace.llm_calls() >= 1);
+//! ```
+
+pub use agentsim::*;

@@ -1,0 +1,88 @@
+//! Failure-injection integration tests: tool errors and timeouts must
+//! degrade agents gracefully, never wedge them.
+
+use agent_infra_sim::prelude::*;
+use agentsim_serving::SingleRequest;
+use agentsim_tools::{FailurePolicy, ToolExecutor};
+
+fn flaky_executor(rate_multiplier: f64) -> ToolExecutor {
+    ToolExecutor::new().failure_policy(FailurePolicy {
+        rate_multiplier,
+        failure_latency_multiplier: 2.5,
+    })
+}
+
+#[test]
+fn agents_survive_total_tool_outage() {
+    // Every tool call fails; agents must still terminate with an answer
+    // attempt (almost certainly wrong).
+    for kind in [AgentKind::React, AgentKind::Reflexion, AgentKind::Lats] {
+        let o = SingleRequest::new(kind, Benchmark::HotpotQa)
+            .seed(5)
+            .tool_executor(flaky_executor(1_000.0))
+            .run();
+        assert!(o.trace.tool_calls() >= 1, "{kind} must have tried tools");
+        assert!(
+            o.trace.tools.iter().all(|t| t.failed),
+            "{kind}: outage means every call fails"
+        );
+    }
+}
+
+#[test]
+fn failure_rate_degrades_accuracy() {
+    let accuracy = |mult: f64| {
+        let outcomes = SingleRequest::new(AgentKind::React, Benchmark::HotpotQa)
+            .seed(6)
+            .tool_executor(flaky_executor(mult))
+            .run_batch(40);
+        outcomes.iter().filter(|o| o.trace.outcome.solved).count() as f64 / 40.0
+    };
+    let healthy = accuracy(0.0);
+    let broken = accuracy(1_000.0);
+    assert!(
+        healthy > broken + 0.1,
+        "healthy {healthy} vs total outage {broken}"
+    );
+}
+
+#[test]
+fn failed_calls_inflate_latency() {
+    let mean_latency = |mult: f64| {
+        let outcomes = SingleRequest::new(AgentKind::React, Benchmark::HotpotQa)
+            .seed(7)
+            .tool_executor(flaky_executor(mult))
+            .run_batch(25);
+        outcomes
+            .iter()
+            .map(|o| o.trace.e2e().as_secs_f64())
+            .sum::<f64>()
+            / 25.0
+    };
+    let healthy = mean_latency(0.0);
+    let degraded = mean_latency(1_000.0);
+    // Timeouts are slower per call AND failures force more iterations.
+    assert!(
+        degraded > healthy,
+        "degraded {degraded:.1}s should exceed healthy {healthy:.1}s"
+    );
+}
+
+#[test]
+fn failures_do_not_break_determinism_or_accounting() {
+    let run = || {
+        SingleRequest::new(AgentKind::LlmCompiler, Benchmark::HotpotQa)
+            .seed(8)
+            .tool_executor(flaky_executor(30.0))
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.trace.e2e(), b.trace.e2e());
+    assert_eq!(a.trace.tool_calls(), b.trace.tool_calls());
+    // Accounting still partitions e2e.
+    assert_eq!(
+        a.trace.llm_wall + a.trace.tool_wall + a.trace.overlap_wall,
+        a.trace.e2e()
+    );
+}
