@@ -75,11 +75,7 @@ impl AgentPolicy for BestOfN {
                 let specs: Vec<LlmCallSpec> = (0..self.samples)
                     .map(|_| LlmCallSpec {
                         prompt: prompt.clone(),
-                        out_tokens: sample_output_tokens(
-                            AgentKind::Cot,
-                            OutputKind::Answer,
-                            rng,
-                        ),
+                        out_tokens: sample_output_tokens(AgentKind::Cot, OutputKind::Answer, rng),
                         gen_seed: self.seeds.next(),
                         kind: OutputKind::Answer,
                         breakdown,
@@ -89,11 +85,9 @@ impl AgentPolicy for BestOfN {
             }
             State::AwaitSamples => {
                 self.state = State::Done;
-                let capability = self.cognition.static_capability(
-                    &self.task,
-                    self.config.fewshot,
-                    self.samples,
-                );
+                let capability =
+                    self.cognition
+                        .static_capability(&self.task, self.config.fewshot, self.samples);
                 AgentOp::Finish(TaskOutcome {
                     solved: Cognition::solves(&self.task, capability),
                     iterations: 1,

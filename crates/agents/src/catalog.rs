@@ -105,7 +105,10 @@ impl AgentKind {
             (self, benchmark),
             (_, Benchmark::ShareGpt)
                 | (AgentKind::Cot | AgentKind::BestOfN, Benchmark::WebShop)
-                | (AgentKind::LlmCompiler, Benchmark::Math | Benchmark::HumanEval)
+                | (
+                    AgentKind::LlmCompiler,
+                    Benchmark::Math | Benchmark::HumanEval
+                )
         )
     }
 
@@ -187,7 +190,10 @@ mod tests {
 
     #[test]
     fn best_of_n_is_a_static_baseline() {
-        assert!(!AgentKind::ALL.contains(&AgentKind::BestOfN), "not in Table I");
+        assert!(
+            !AgentKind::ALL.contains(&AgentKind::BestOfN),
+            "not in Table I"
+        );
         let c = AgentKind::BestOfN.capabilities();
         assert!(c.reasoning && !c.tool_use && !c.reflection);
         assert!(!AgentKind::BestOfN.supports(Benchmark::WebShop));

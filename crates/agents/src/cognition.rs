@@ -93,9 +93,7 @@ impl Cognition {
         boost: f64,
         breadth: u32,
     ) -> f64 {
-        let base = self.quality
-            * Self::fewshot_factor(fewshot)
-            * (1.30 - 0.90 * task.difficulty);
+        let base = self.quality * Self::fewshot_factor(fewshot) * (1.30 - 0.90 * task.difficulty);
         let evid = 0.20 + 0.80 * evidence_frac.clamp(0.0, 1.0);
         let raw = (base * evid * boost).clamp(0.0, 0.97);
         let exponent = 1.0 + 0.8 * ((breadth.max(1) - 1) as f64).powf(0.7);
@@ -113,10 +111,8 @@ impl Cognition {
             Benchmark::HumanEval => 0.75,
             Benchmark::ShareGpt => 1.0,
         };
-        let base = self.quality
-            * Self::fewshot_factor(fewshot)
-            * (1.0 - 0.85 * task.difficulty)
-            * no_tool;
+        let base =
+            self.quality * Self::fewshot_factor(fewshot) * (1.0 - 0.85 * task.difficulty) * no_tool;
         base.clamp(0.0, self.ceiling(task))
     }
 
@@ -246,8 +242,7 @@ mod tests {
         let hard = task(Benchmark::Math, 0.8);
         assert!(c.gather_prob(&easy, 4, 1.0) > c.gather_prob(&hard, 4, 1.0));
         assert!(
-            c.answer_capability(&easy, 4, 1.0, 1.0, 1)
-                > c.answer_capability(&hard, 4, 1.0, 1.0, 1)
+            c.answer_capability(&easy, 4, 1.0, 1.0, 1) > c.answer_capability(&hard, 4, 1.0, 1.0, 1)
         );
         assert!(c.ceiling(&easy) > c.ceiling(&hard));
     }

@@ -71,8 +71,11 @@ impl LlmCompiler {
     /// tool invocations").
     fn planned_tools(&self, rng: &mut SimRng) -> Vec<ToolCall> {
         let missing = self.inner.task.hops.saturating_sub(self.evidence).max(1);
-        let speculative =
-            if Self::dag_effectiveness(self.inner.task.benchmark) < 0.9 { 2 } else { 1 };
+        let speculative = if Self::dag_effectiveness(self.inner.task.benchmark) < 0.9 {
+            2
+        } else {
+            1
+        };
         let count = (missing + speculative).min(6);
         (0..count).map(|_| self.inner.pick_tool(rng)).collect()
     }
@@ -107,11 +110,11 @@ impl AgentPolicy for LlmCompiler {
                 let plan = last.llm.first().expect("planner result");
                 self.inner.ctx.append_llm_output(plan.gen_seed, plan.tokens);
                 let eff = Self::dag_effectiveness(self.inner.task.benchmark);
-                let p = self
-                    .inner
-                    .cognition
-                    .gather_prob(&self.inner.task, self.inner.config.fewshot, 1.0)
-                    * eff;
+                let p = self.inner.cognition.gather_prob(
+                    &self.inner.task,
+                    self.inner.config.fewshot,
+                    1.0,
+                ) * eff;
                 for obs in &last.tools {
                     self.inner.ctx.append_tool(obs);
                     if !obs.failed && self.evidence < self.inner.task.hops && rng.chance(p) {
@@ -119,11 +122,10 @@ impl AgentPolicy for LlmCompiler {
                     }
                 }
                 self.phase = Phase::AwaitJoiner;
-                AgentOp::Llm(self.inner.llm_call(
-                    OutputKind::Answer,
-                    AgentKind::LlmCompiler,
-                    rng,
-                ))
+                AgentOp::Llm(
+                    self.inner
+                        .llm_call(OutputKind::Answer, AgentKind::LlmCompiler, rng),
+                )
             }
             Phase::AwaitJoiner => {
                 let out = last.llm.first().expect("joiner result");

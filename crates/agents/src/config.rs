@@ -133,7 +133,10 @@ impl AgentConfig {
             return Err("LATS parameters must be at least 1".into());
         }
         if !(self.model_quality > 0.0 && self.model_quality < 1.0) {
-            return Err(format!("model quality {} out of (0, 1)", self.model_quality));
+            return Err(format!(
+                "model quality {} out of (0, 1)",
+                self.model_quality
+            ));
         }
         Ok(())
     }

@@ -63,7 +63,9 @@ impl AgentPolicy for Cot {
             }
             State::AwaitAnswer => {
                 self.state = State::Done;
-                let capability = self.cognition.cot_capability(&self.task, self.config.fewshot);
+                let capability = self
+                    .cognition
+                    .cot_capability(&self.task, self.config.fewshot);
                 AgentOp::Finish(TaskOutcome {
                     solved: Cognition::solves(&self.task, capability),
                     iterations: 1,
@@ -134,7 +136,10 @@ mod tests {
         }
         let easy_rate = easy_ok as f64 / easy_n as f64;
         let hard_rate = hard_ok as f64 / hard_n as f64;
-        assert!(easy_rate > hard_rate, "easy {easy_rate} vs hard {hard_rate}");
+        assert!(
+            easy_rate > hard_rate,
+            "easy {easy_rate} vs hard {hard_rate}"
+        );
     }
 
     #[test]

@@ -136,8 +136,7 @@ impl Lats {
             .enumerate()
             .filter(|(_, n)| !n.exhausted)
             .max_by(|(_, a), (_, b)| {
-                (a.evidence, a.value.to_bits())
-                    .cmp(&(b.evidence, b.value.to_bits()))
+                (a.evidence, a.value.to_bits()).cmp(&(b.evidence, b.value.to_bits()))
             })
             .map(|(i, _)| i)
             .unwrap_or(0)
@@ -241,9 +240,7 @@ impl AgentPolicy for Lats {
                     .gather_prob(&self.task, self.config.fewshot, boost);
                 for (child, obs) in self.pending_children.clone().iter().zip(&last.tools) {
                     self.nodes[*child].ctx.append_tool(obs);
-                    if !obs.failed
-                        && self.nodes[*child].evidence < self.task.hops
-                        && rng.chance(p)
+                    if !obs.failed && self.nodes[*child].evidence < self.task.hops && rng.chance(p)
                     {
                         self.nodes[*child].evidence += 1;
                     }
@@ -272,7 +269,9 @@ impl AgentPolicy for Lats {
             }
             Phase::AwaitEvals => {
                 for (&child, out) in self.pending_children.clone().iter().zip(&last.llm) {
-                    self.nodes[child].ctx.append_llm_output(out.gen_seed, out.tokens);
+                    self.nodes[child]
+                        .ctx
+                        .append_llm_output(out.gen_seed, out.tokens);
                     let frac = self.nodes[child].evidence as f64 / self.task.hops.max(1) as f64;
                     self.nodes[child].value = self.cognition.node_value(frac, rng);
                     self.backpropagate(child);
@@ -287,9 +286,7 @@ impl AgentPolicy for Lats {
                     .nodes
                     .iter()
                     .enumerate()
-                    .filter(|(_, n)| {
-                        !n.exhausted && n.evidence >= self.task.hops && n.visits >= 2
-                    })
+                    .filter(|(_, n)| !n.exhausted && n.evidence >= self.task.hops && n.visits >= 2)
                     .max_by(|(_, a), (_, b)| {
                         a.value.partial_cmp(&b.value).expect("values are finite")
                     })
@@ -385,7 +382,9 @@ impl AgentPolicy for Lats {
             Phase::AwaitAnswer => {
                 let out = last.llm.first().expect("answer result");
                 let node = self.answering_node;
-                self.nodes[node].ctx.append_llm_output(out.gen_seed, out.tokens);
+                self.nodes[node]
+                    .ctx
+                    .append_llm_output(out.gen_seed, out.tokens);
                 let frac = self.nodes[node].evidence as f64 / self.task.hops.max(1) as f64;
                 let capability = self.cognition.answer_capability(
                     &self.task,
@@ -493,7 +492,10 @@ mod tests {
         };
         let narrow = acc(1);
         let wide = acc(8);
-        assert!(wide > narrow + 0.08, "1 child {narrow} vs 8 children {wide}");
+        assert!(
+            wide > narrow + 0.08,
+            "1 child {narrow} vs 8 children {wide}"
+        );
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub(crate) fn run_to_completion(agent: &mut dyn AgentPolicy, seed: u64) -> TestT
                     tools: results,
                 };
             }
-            AgentOp::OverlappedPlan { llm, tools: calls, .. } => {
+            AgentOp::OverlappedPlan {
+                llm, tools: calls, ..
+            } => {
                 trace.llm_calls += 1;
                 trace.tool_calls += calls.len();
                 trace.output_tokens += llm.out_tokens as u64;

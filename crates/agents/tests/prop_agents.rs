@@ -86,20 +86,28 @@ fn execute(
                     );
                 }
                 tool_calls += calls.len();
-                let results: Vec<ToolResult> =
-                    calls.iter().map(|c| tools.execute(c, &mut tool_rng)).collect();
+                let results: Vec<ToolResult> = calls
+                    .iter()
+                    .map(|c| tools.execute(c, &mut tool_rng))
+                    .collect();
                 last = OpResult {
                     llm: Vec::new(),
                     tools: results,
                 };
             }
-            AgentOp::OverlappedPlan { llm, tools: calls, overlap } => {
+            AgentOp::OverlappedPlan {
+                llm,
+                tools: calls,
+                overlap,
+            } => {
                 assert!((0.0..=1.0).contains(&overlap));
                 assert!(!calls.is_empty());
                 llm_calls += 1;
                 tool_calls += calls.len();
-                let results: Vec<ToolResult> =
-                    calls.iter().map(|c| tools.execute(c, &mut tool_rng)).collect();
+                let results: Vec<ToolResult> = calls
+                    .iter()
+                    .map(|c| tools.execute(c, &mut tool_rng))
+                    .collect();
                 last = OpResult {
                     llm: vec![LlmOutput {
                         tokens: llm.out_tokens,

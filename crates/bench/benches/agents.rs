@@ -57,5 +57,10 @@ fn bench_lats_width(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_sessions, bench_serving_run, bench_lats_width);
+criterion_group!(
+    benches,
+    bench_single_sessions,
+    bench_serving_run,
+    bench_lats_width
+);
 criterion_main!(benches);

@@ -59,6 +59,63 @@ fn bench_batched_decode(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_step_formation_large_batch(c: &mut Criterion) {
+    // Step formation and completion at high occupancy: a deep waiting
+    // queue feeding a full running set. This is the path the incremental
+    // (O(active-set)) scheduler rewrite targets; before it, cost grew
+    // quadratically with the batch size.
+    let mut group = c.benchmark_group("engine/step_formation");
+    group.sample_size(10);
+    for batch in [64u64, 128, 256] {
+        group.bench_function(format!("running_{batch}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new(EngineConfig::a100_llama8b());
+                    for i in 0..batch {
+                        e.submit(SimTime::ZERO, TokenBuf::from_segment(i, 256), 24, i);
+                    }
+                    e
+                },
+                |mut e| drain(&mut e),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_deepest_first_admission(c: &mut Criterion) {
+    // DeepestFirst admission with a deep priority-diverse waiting queue:
+    // the sort-once admission path versus the old rescan-per-admission.
+    use agentsim_llm::SchedulerPolicy;
+    let mut group = c.benchmark_group("engine/deepest_first_admission");
+    group.sample_size(10);
+    for queue in [128u64, 512] {
+        group.bench_function(format!("waiting_{queue}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new(
+                        EngineConfig::a100_llama8b().with_scheduler(SchedulerPolicy::DeepestFirst),
+                    );
+                    for i in 0..queue {
+                        e.submit_with_priority(
+                            SimTime::ZERO,
+                            TokenBuf::from_segment(i, 128),
+                            8,
+                            i,
+                            (i % 17) as u32,
+                        );
+                    }
+                    e
+                },
+                |mut e| drain(&mut e),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn bench_prefix_caching_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/prefix_caching");
     for (name, caching) in [("on", true), ("off", false)] {
@@ -93,6 +150,8 @@ criterion_group!(
     benches,
     bench_single_request,
     bench_batched_decode,
+    bench_step_formation_large_batch,
+    bench_deepest_first_admission,
     bench_prefix_caching_overhead
 );
 criterion_main!(benches);

@@ -10,7 +10,14 @@ use agentsim::Scale;
 
 fn bench_fast_experiments(c: &mut Criterion) {
     // The cheap, single-request-based artifacts.
-    let fast = ["table1", "table2", "fig23", "ablation_step", "fig04", "fig08"];
+    let fast = [
+        "table1",
+        "table2",
+        "fig23",
+        "ablation_step",
+        "fig04",
+        "fig08",
+    ];
     let mut group = c.benchmark_group("figures/fast");
     group.sample_size(10);
     let scale = Scale {
@@ -18,7 +25,10 @@ fn bench_fast_experiments(c: &mut Criterion) {
         serving_requests: 15,
         seed: 7,
     };
-    for e in all_experiments().into_iter().filter(|e| fast.contains(&e.id)) {
+    for e in all_experiments()
+        .into_iter()
+        .filter(|e| fast.contains(&e.id))
+    {
         group.bench_function(e.id, |b| b.iter(|| black_box(e.run(&scale))));
     }
     group.finish();
@@ -34,7 +44,10 @@ fn bench_serving_experiments(c: &mut Criterion) {
         serving_requests: 15,
         seed: 7,
     };
-    for e in all_experiments().into_iter().filter(|e| heavy.contains(&e.id)) {
+    for e in all_experiments()
+        .into_iter()
+        .filter(|e| heavy.contains(&e.id))
+    {
         group.bench_function(e.id, |b| b.iter(|| black_box(e.run(&scale))));
     }
     group.finish();

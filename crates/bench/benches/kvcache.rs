@@ -55,7 +55,9 @@ fn bench_decode_append(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut mgr = KvBlockManager::new(cfg(1024));
-                let h = mgr.allocate(&TokenBuf::from_segment(1, 64), SimTime::ZERO).unwrap();
+                let h = mgr
+                    .allocate(&TokenBuf::from_segment(1, 64), SimTime::ZERO)
+                    .unwrap();
                 (mgr, h)
             },
             |(mut mgr, h)| {

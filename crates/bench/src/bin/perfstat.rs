@@ -1,0 +1,334 @@
+//! Wall-clock performance regression harness for the simulator itself.
+//!
+//! Times a fixed set of simulator-stressing scenarios (high-QPS agent
+//! serving, a deep LATS request, a Fig. 14-style QPS sweep) and writes
+//! `BENCH_engine.json` at the repository root with baseline/current pairs:
+//!
+//! ```sh
+//! cargo run -p agentsim-bench --release --bin perfstat                # measure
+//! cargo run -p agentsim-bench --release --bin perfstat -- --rebaseline
+//! cargo run -p agentsim-bench --release --bin perfstat -- --check    # CI smoke
+//! ```
+//!
+//! The first run (no `BENCH_engine.json` yet, or `--rebaseline`) records
+//! the measurements as the baseline. Later runs keep the stored baseline
+//! and report the speedup of the current build against it, so an
+//! accidental algorithmic regression shows up as a speedup well below 1.
+//! Each scenario also records a determinism fingerprint (completions,
+//! solved count, latency percentiles, hit rate, preemptions) so a perf
+//! change that alters simulation results is immediately visible.
+//!
+//! `--check` runs every scenario at a tiny scale, verifies fingerprints
+//! are reproducible within the process, and does not touch
+//! `BENCH_engine.json`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::{EngineConfig, SchedulerPolicy};
+use agentsim_serving::{
+    qps_sweep, ServingConfig, ServingReport, ServingSim, ServingWorkload, SingleRequest,
+};
+use agentsim_workloads::Benchmark;
+
+const OUTPUT: &str = "BENCH_engine.json";
+
+/// Timing repetitions per scenario; the minimum is reported.
+const REPS: usize = 3;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    Rebaseline,
+    Check,
+}
+
+/// Compact determinism fingerprint of a scenario's simulation output.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    completed: u64,
+    solved: u64,
+    p50_us: u64,
+    p95_us: u64,
+    kv_hit_ppm: u64,
+    preemptions: u64,
+}
+
+impl Fingerprint {
+    fn of_report(r: &ServingReport) -> Self {
+        Fingerprint {
+            completed: r.completed,
+            solved: r.solved,
+            p50_us: (r.p50_s * 1e6).round() as u64,
+            p95_us: (r.p95_s * 1e6).round() as u64,
+            kv_hit_ppm: (r.kv_hit_rate * 1e6).round() as u64,
+            preemptions: r.preemptions,
+        }
+    }
+}
+
+struct Scenario {
+    name: &'static str,
+    description: &'static str,
+    run: fn(check: bool) -> Fingerprint,
+}
+
+fn react_workload() -> ServingWorkload {
+    ServingWorkload::Agent {
+        kind: AgentKind::React,
+        benchmark: Benchmark::HotpotQa,
+        config: AgentConfig::default_8b(),
+    }
+}
+
+/// High offered load: a deep waiting queue and a full running set every
+/// step, stressing admission and step formation/completion.
+fn react_high_qps(check: bool) -> Fingerprint {
+    let n = if check { 10 } else { 1200 };
+    let cfg = ServingConfig::new(react_workload(), 40.0, n).seed(7);
+    Fingerprint::of_report(&ServingSim::new(cfg).run())
+}
+
+/// Same load under DeepestFirst, stressing priority admission.
+fn react_deepest_first(check: bool) -> Fingerprint {
+    let n = if check { 10 } else { 1200 };
+    let cfg = ServingConfig::new(react_workload(), 40.0, n)
+        .seed(7)
+        .engine(EngineConfig::a100_llama8b().with_scheduler(SchedulerPolicy::DeepestFirst));
+    Fingerprint::of_report(&ServingSim::new(cfg).run())
+}
+
+/// One deep LATS tree: hundreds of iterative LLM calls over a growing
+/// shared context, stressing prompt hashing and prefix-cache allocation.
+fn lats_single(check: bool) -> Fingerprint {
+    let runner = SingleRequest::new(AgentKind::Lats, Benchmark::HotpotQa).seed(8);
+    let n = if check { 1 } else { 32 };
+    let outcomes = runner.run_batch(n);
+    let solved = outcomes.iter().filter(|o| o.trace.outcome.solved).count() as u64;
+    let e2e_us: u64 = outcomes.iter().map(|o| o.trace.e2e().as_micros()).sum();
+    let calls: u64 = outcomes.iter().map(|o| o.trace.llm_calls() as u64).sum();
+    let hit_ppm = (outcomes.iter().map(|o| o.kv_hit_rate).sum::<f64>() / outcomes.len() as f64
+        * 1e6)
+        .round() as u64;
+    Fingerprint {
+        completed: outcomes.len() as u64,
+        solved,
+        p50_us: e2e_us / outcomes.len() as u64,
+        p95_us: calls,
+        kv_hit_ppm: hit_ppm,
+        preemptions: 0,
+    }
+}
+
+/// A small Fig. 14-style capacity sweep (mixed traffic over load points).
+fn fig14_sweep(check: bool) -> Fingerprint {
+    let points: &[f64] = if check {
+        &[0.5]
+    } else {
+        &[0.5, 2.0, 4.0, 8.0, 16.0, 32.0]
+    };
+    let n = if check { 8 } else { 200 };
+    let workload = ServingWorkload::Mixed {
+        agent_fraction: 0.5,
+        kind: AgentKind::React,
+        benchmark: Benchmark::HotpotQa,
+        config: AgentConfig::default_8b(),
+    };
+    let sweep = qps_sweep(&EngineConfig::a100_llama8b(), &workload, points, n, 11);
+    let last = &sweep.last().expect("non-empty sweep").report;
+    let mut fp = Fingerprint::of_report(last);
+    fp.completed = sweep.iter().map(|p| p.report.completed).sum();
+    fp.solved = sweep.iter().map(|p| p.report.solved).sum();
+    fp
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "react_high_qps",
+            description: "ReAct/HotpotQA serving at 40 qps x 1200 requests (FCFS)",
+            run: react_high_qps,
+        },
+        Scenario {
+            name: "react_deepest_first",
+            description: "same load under the DeepestFirst scheduler",
+            run: react_deepest_first,
+        },
+        Scenario {
+            name: "lats_single",
+            description: "32 LATS tree-search requests on dedicated replicas",
+            run: lats_single,
+        },
+        Scenario {
+            name: "fig14_sweep",
+            description: "mixed-traffic QPS sweep, 6 load points x 200 requests",
+            run: fig14_sweep,
+        },
+    ]
+}
+
+/// Locates the repository root (directory containing `Cargo.toml` with a
+/// workspace) by walking up from the current directory.
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+/// Pulls `"<name>"`-scoped `"baseline_s": <v>` entries out of a previous
+/// `BENCH_engine.json`. The file is our own output (one key per line), so
+/// a line scanner is sufficient and avoids a JSON dependency.
+fn read_baselines(path: &Path) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            if let Some(name) = rest.split('"').next() {
+                current = Some(name.to_string());
+            }
+        } else if let Some(rest) = line.strip_prefix("\"baseline_s\": ") {
+            if let (Some(name), Ok(v)) =
+                (current.clone(), rest.trim_end_matches(',').parse::<f64>())
+            {
+                out.push((name, v));
+            }
+        }
+    }
+    out
+}
+
+struct Measurement {
+    name: &'static str,
+    description: &'static str,
+    seconds: f64,
+    fingerprint: Fingerprint,
+}
+
+fn measure(s: &Scenario) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut fingerprint = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let fp = (s.run)(false);
+        best = best.min(t0.elapsed().as_secs_f64());
+        if let Some(prev) = &fingerprint {
+            assert_eq!(prev, &fp, "{}: nondeterministic fingerprint", s.name);
+        }
+        fingerprint = Some(fp);
+    }
+    Measurement {
+        name: s.name,
+        description: s.description,
+        seconds: best,
+        fingerprint: fingerprint.expect("at least one rep"),
+    }
+}
+
+fn write_json(path: &Path, rows: &[(Measurement, f64)]) -> std::io::Result<()> {
+    let mut s = String::from("{\n  \"generated_by\": \"perfstat\",\n  \"scenarios\": [\n");
+    for (i, (m, baseline)) in rows.iter().enumerate() {
+        let f = &m.fingerprint;
+        let _ = write!(
+            s,
+            "    {{\n      \"name\": \"{}\",\n      \"description\": \"{}\",\n      \
+             \"baseline_s\": {:.6},\n      \"current_s\": {:.6},\n      \
+             \"speedup\": {:.3},\n      \"fingerprint\": {{\n        \
+             \"completed\": {},\n        \"solved\": {},\n        \
+             \"p50_us\": {},\n        \"p95_us\": {},\n        \
+             \"kv_hit_ppm\": {},\n        \"preemptions\": {}\n      }}\n    }}{}\n",
+            m.name,
+            m.description,
+            baseline,
+            m.seconds,
+            baseline / m.seconds,
+            f.completed,
+            f.solved,
+            f.p50_us,
+            f.p95_us,
+            f.kv_hit_ppm,
+            f.preemptions,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let mode = match std::env::args().nth(1).as_deref() {
+        Some("--check") => Mode::Check,
+        Some("--rebaseline") => Mode::Rebaseline,
+        Some(other) => {
+            eprintln!("unknown flag {other}; use --check or --rebaseline");
+            std::process::exit(2);
+        }
+        None => Mode::Measure,
+    };
+
+    if mode == Mode::Check {
+        for s in scenarios() {
+            let t0 = Instant::now();
+            let a = (s.run)(true);
+            let b = (s.run)(true);
+            assert_eq!(a, b, "{}: check-scale fingerprint must be stable", s.name);
+            println!(
+                "check {:<22} ok ({:.2}s) {:?}",
+                s.name,
+                t0.elapsed().as_secs_f64(),
+                a
+            );
+        }
+        println!("perfstat --check passed");
+        return;
+    }
+
+    let out_path = repo_root().join(OUTPUT);
+    let baselines = if mode == Mode::Rebaseline {
+        Vec::new()
+    } else {
+        read_baselines(&out_path)
+    };
+
+    let mut rows = Vec::new();
+    for s in scenarios() {
+        print!("{:<22} ", s.name);
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        let m = measure(&s);
+        let baseline = baselines
+            .iter()
+            .find(|(n, _)| n == m.name)
+            .map(|&(_, v)| v)
+            .unwrap_or(m.seconds);
+        println!(
+            "{:>8.3}s  baseline {:>8.3}s  speedup {:>5.2}x",
+            m.seconds,
+            baseline,
+            baseline / m.seconds
+        );
+        rows.push((m, baseline));
+    }
+
+    if let Err(e) = write_json(&out_path, &rows) {
+        eprintln!("could not write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out_path.display());
+}

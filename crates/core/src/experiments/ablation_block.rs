@@ -18,12 +18,8 @@ pub fn run(scale: &Scale) -> FigureResult {
         "ablation_block",
         "Ablation: KV block size vs prefix-cache effectiveness",
     );
-    let mut table = Table::with_columns(&[
-        "Block size",
-        "Hit rate",
-        "Peak KV blocks",
-        "Mean latency s",
-    ]);
+    let mut table =
+        Table::with_columns(&["Block size", "Hit rate", "Peak KV blocks", "Mean latency s"]);
 
     let mut rows = Vec::new();
     for block_size in BLOCK_SIZES {
@@ -35,8 +31,8 @@ pub fn run(scale: &Scale) -> FigureResult {
             .run_batch(scale.samples);
         let n = outcomes.len() as f64;
         let hit = outcomes.iter().map(|o| o.kv_hit_rate).sum::<f64>() / n;
-        let peak =
-            outcomes.iter().map(|o| o.kv_peak_bytes).max().unwrap_or(0) / engine.kv_bytes_per_block();
+        let peak = outcomes.iter().map(|o| o.kv_peak_bytes).max().unwrap_or(0)
+            / engine.kv_bytes_per_block();
         let lat = outcomes
             .iter()
             .map(|o| o.trace.e2e().as_secs_f64())
@@ -52,7 +48,12 @@ pub fn run(scale: &Scale) -> FigureResult {
     }
     result.table("ReAct/HotpotQA across block sizes", table);
 
-    let hit_of = |bs: u32| rows.iter().find(|(b, ..)| *b == bs).map(|(_, h, _)| *h).unwrap();
+    let hit_of = |bs: u32| {
+        rows.iter()
+            .find(|(b, ..)| *b == bs)
+            .map(|(_, h, _)| *h)
+            .unwrap()
+    };
     result.check(
         "finer-blocks-hit-no-worse",
         hit_of(8) >= hit_of(64) - 0.02,

@@ -16,14 +16,8 @@ pub fn run(scale: &Scale) -> FigureResult {
         "ablation_chunked",
         "Ablation: chunked prefill vs classic scheduling",
     );
-    let mut table = Table::with_columns(&[
-        "Scheduler",
-        "QPS",
-        "tput",
-        "p50 s",
-        "p95 s",
-        "mixed steps",
-    ]);
+    let mut table =
+        Table::with_columns(&["Scheduler", "QPS", "tput", "p50 s", "p95 s", "mixed steps"]);
 
     let mut p95 = Vec::new();
     for (name, chunked) in [("classic", false), ("chunked", true)] {

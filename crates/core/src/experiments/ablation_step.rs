@@ -44,7 +44,13 @@ pub fn run(_scale: &Scale) -> FigureResult {
         table,
     );
 
-    let at = |b: usize| speedups.iter().find(|(x, _)| *x == b).map(|(_, s)| *s).unwrap();
+    let at = |b: usize| {
+        speedups
+            .iter()
+            .find(|(x, _)| *x == b)
+            .map(|(_, s)| *s)
+            .unwrap()
+    };
     result.check(
         "weight-reads-amortize",
         at(64) > 10.0,

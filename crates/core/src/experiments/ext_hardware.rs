@@ -35,15 +35,13 @@ pub fn run(scale: &Scale) -> FigureResult {
         "ext_hardware",
         "Extension: A100 vs H100 for agent serving (8B model)",
     );
-    let mut table = Table::with_columns(&[
-        "GPU",
-        "Workload",
-        "Latency s",
-        "Wh/query",
-    ]);
+    let mut table = Table::with_columns(&["GPU", "Workload", "Latency s", "Wh/query"]);
 
     let mut cells = Vec::new();
-    for (gpu, engine) in [("A100-40GB", EngineConfig::a100_llama8b()), ("H100-80GB", h100_llama8b())] {
+    for (gpu, engine) in [
+        ("A100-40GB", EngineConfig::a100_llama8b()),
+        ("H100-80GB", h100_llama8b()),
+    ] {
         let (chat_lat, chat_wh) = sharegpt_single(scale, &engine);
         table.row(vec![
             gpu.to_string(),
@@ -56,7 +54,9 @@ pub fn run(scale: &Scale) -> FigureResult {
             Benchmark::HotpotQa,
             scale,
             engine.clone(),
-            AgentConfig::default_8b().with_max_trials(8).with_max_iterations(15),
+            AgentConfig::default_8b()
+                .with_max_trials(8)
+                .with_max_iterations(15),
         );
         let agent_lat = mean_latency_s(&reflexion);
         let agent_wh = mean_of(&reflexion, |o| o.energy_wh);
@@ -70,12 +70,21 @@ pub fn run(scale: &Scale) -> FigureResult {
     }
     result.table("Per-query cost across GPU generations", table);
 
-    let a100 = cells.iter().find(|(g, ..)| *g == "A100-40GB").expect("a100 row");
-    let h100 = cells.iter().find(|(g, ..)| *g == "H100-80GB").expect("h100 row");
+    let a100 = cells
+        .iter()
+        .find(|(g, ..)| *g == "A100-40GB")
+        .expect("a100 row");
+    let h100 = cells
+        .iter()
+        .find(|(g, ..)| *g == "H100-80GB")
+        .expect("h100 row");
     result.check(
         "h100-speeds-up-agents",
         h100.3 < a100.3,
-        format!("Reflexion latency: H100 {:.1}s vs A100 {:.1}s", h100.3, a100.3),
+        format!(
+            "Reflexion latency: H100 {:.1}s vs A100 {:.1}s",
+            h100.3, a100.3
+        ),
     );
     let energy_gain = a100.2 / h100.2;
     let agent_multiplier = a100.2 / a100.1;

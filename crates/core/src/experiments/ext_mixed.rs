@@ -37,9 +37,10 @@ pub fn run(scale: &Scale) -> FigureResult {
                 config: AgentConfig::default_8b(),
             }
         };
-        let mut report =
-            ServingSim::new(ServingConfig::new(workload, qps, scale.serving_requests).seed(scale.seed))
-                .run();
+        let mut report = ServingSim::new(
+            ServingConfig::new(workload, qps, scale.serving_requests).seed(scale.seed),
+        )
+        .run();
         let (chat_p50, chat_p95) = if agent_fraction == 0.0 {
             (report.p50_s, report.p95_s)
         } else {

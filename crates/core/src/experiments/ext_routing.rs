@@ -18,17 +18,15 @@ pub fn run(scale: &Scale) -> FigureResult {
     );
     let replicas = 4;
     let qps = 6.0; // ~4x one replica's knee
-    let mut table = Table::with_columns(&[
-        "Routing",
-        "tput",
-        "p50 s",
-        "p95 s",
-        "hit rate",
-        "energy Wh",
-    ]);
+    let mut table =
+        Table::with_columns(&["Routing", "tput", "p50 s", "p95 s", "hit rate", "energy Wh"]);
 
     let mut rows = Vec::new();
-    for routing in [Routing::SessionAffinity, Routing::LeastLoaded, Routing::RoundRobin] {
+    for routing in [
+        Routing::SessionAffinity,
+        Routing::LeastLoaded,
+        Routing::RoundRobin,
+    ] {
         let cfg = FleetConfig::react_hotpotqa(replicas, routing, qps, scale.serving_requests * 2)
             .seed(scale.seed);
         let report = FleetSim::new(cfg).run();

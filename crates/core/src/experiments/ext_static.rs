@@ -20,13 +20,8 @@ pub fn run(scale: &Scale) -> FigureResult {
         "ext_static",
         "Extension: static (Best-of-N) vs dynamic (agentic) test-time scaling",
     );
-    let mut table = Table::with_columns(&[
-        "Strategy",
-        "Accuracy",
-        "Latency s",
-        "Energy Wh",
-        "Acc/Wh",
-    ]);
+    let mut table =
+        Table::with_columns(&["Strategy", "Accuracy", "Latency s", "Energy Wh", "Acc/Wh"]);
 
     let mut static_points = Vec::new();
     for n in [1u32, 2, 4, 8, 16, 32] {

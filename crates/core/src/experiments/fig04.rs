@@ -61,9 +61,7 @@ pub fn run(scale: &Scale) -> FigureResult {
     result.check(
         "agents-many-more-calls",
         tool_agents > 4.0 * cot,
-        format!(
-            "tool-augmented agents average {tool_agents:.1} calls vs CoT {cot} (paper: 9.2x)"
-        ),
+        format!("tool-augmented agents average {tool_agents:.1} calls vs CoT {cot} (paper: 9.2x)"),
     );
     result.check(
         "lats-dominates",

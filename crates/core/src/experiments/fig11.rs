@@ -28,13 +28,8 @@ pub fn run(scale: &Scale) -> FigureResult {
         for agent in agents_for(benchmark) {
             let llm_time = |caching: bool| {
                 let engine = EngineConfig::a100_llama8b().with_prefix_caching(caching);
-                let outcomes = single_batch_with(
-                    agent,
-                    benchmark,
-                    scale,
-                    engine,
-                    AgentConfig::default_8b(),
-                );
+                let outcomes =
+                    single_batch_with(agent, benchmark, scale, engine, AgentConfig::default_8b());
                 mean_of(&outcomes, |o| {
                     (o.trace.prefill_time() + o.trace.decode_time()).as_secs_f64()
                 })

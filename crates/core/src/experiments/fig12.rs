@@ -17,13 +17,8 @@ pub fn run(scale: &Scale) -> FigureResult {
         "fig12",
         "GPU memory for KV cache per request, with and without prefix caching (Fig. 12)",
     );
-    let mut table = Table::with_columns(&[
-        "Benchmark",
-        "Agent",
-        "KV GiB (off)",
-        "KV GiB (on)",
-        "Saved",
-    ]);
+    let mut table =
+        Table::with_columns(&["Benchmark", "Agent", "KV GiB (off)", "KV GiB (on)", "Saved"]);
 
     let mut cot_kv = 0.0f64;
     let mut agent_kv_sum = 0.0;
@@ -33,13 +28,8 @@ pub fn run(scale: &Scale) -> FigureResult {
         for agent in agents_for(benchmark) {
             let peak_kv = |caching: bool| {
                 let engine = EngineConfig::a100_llama8b().with_prefix_caching(caching);
-                let outcomes = single_batch_with(
-                    agent,
-                    benchmark,
-                    scale,
-                    engine,
-                    AgentConfig::default_8b(),
-                );
+                let outcomes =
+                    single_batch_with(agent, benchmark, scale, engine, AgentConfig::default_8b());
                 mean_of(&outcomes, |o| o.kv_peak_bytes as f64)
             };
             let off = peak_kv(false);

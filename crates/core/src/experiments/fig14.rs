@@ -29,11 +29,7 @@ pub fn run(scale: &Scale) -> FigureResult {
 
     let mut peaks = Vec::new();
     for (name, workload, points) in [
-        (
-            "ShareGPT",
-            ServingWorkload::Chatbot,
-            &chatbot_points[..],
-        ),
+        ("ShareGPT", ServingWorkload::Chatbot, &chatbot_points[..]),
         (
             "ReAct/HotpotQA",
             agent_workload(Benchmark::HotpotQa),
@@ -45,7 +41,13 @@ pub fn run(scale: &Scale) -> FigureResult {
             &agent_points[..],
         ),
     ] {
-        let sweep = qps_sweep(&engine, &workload, points, scale.serving_requests, scale.seed);
+        let sweep = qps_sweep(
+            &engine,
+            &workload,
+            points,
+            scale.serving_requests,
+            scale.seed,
+        );
         let mut table = Table::with_columns(&["QPS", "tput", "p50 s", "p95 s"]);
         for p in &sweep {
             table.row(vec![

@@ -77,7 +77,10 @@ pub fn run(scale: &Scale) -> FigureResult {
     result.check(
         "tail-latency-inflates-under-pressure",
         tiny.p95_s > 1.1 * full.p95_s,
-        format!("p95 {:.1}s at 10% vs {:.1}s at 200%", tiny.p95_s, full.p95_s),
+        format!(
+            "p95 {:.1}s at 10% vs {:.1}s at 200%",
+            tiny.p95_s, full.p95_s
+        ),
     );
     result.check(
         "moderate-pool-still-degrades",

@@ -16,9 +16,21 @@ fn design_points() -> Vec<(AgentKind, &'static str, AgentConfig)> {
         (AgentKind::Cot, "CoT", base),
         (AgentKind::React, "ReAct it=3", base.with_max_iterations(3)),
         (AgentKind::React, "ReAct it=7", base),
-        (AgentKind::React, "ReAct it=12", base.with_max_iterations(12)),
-        (AgentKind::Reflexion, "Reflexion t=2", base.with_max_trials(2)),
-        (AgentKind::Reflexion, "Reflexion t=4", base.with_max_trials(4)),
+        (
+            AgentKind::React,
+            "ReAct it=12",
+            base.with_max_iterations(12),
+        ),
+        (
+            AgentKind::Reflexion,
+            "Reflexion t=2",
+            base.with_max_trials(2),
+        ),
+        (
+            AgentKind::Reflexion,
+            "Reflexion t=4",
+            base.with_max_trials(4),
+        ),
         (AgentKind::Lats, "LATS c=3", base.with_lats_children(3)),
         (AgentKind::Lats, "LATS c=8", base.with_lats_children(8)),
         (AgentKind::LlmCompiler, "LLMCompiler", base),
@@ -46,13 +58,8 @@ pub fn run(scale: &Scale) -> FigureResult {
             if !kind.supports(benchmark) {
                 continue;
             }
-            let outcomes = single_batch_with(
-                kind,
-                benchmark,
-                scale,
-                EngineConfig::a100_llama8b(),
-                config,
-            );
+            let outcomes =
+                single_batch_with(kind, benchmark, scale, EngineConfig::a100_llama8b(), config);
             let acc = accuracy_of(&outcomes);
             let lat = mean_latency_s(&outcomes);
             let pflops = mean_of(&outcomes, |o| o.flops) / 1e15;

@@ -76,9 +76,7 @@ pub fn run(scale: &Scale) -> FigureResult {
     result.check(
         "tail-latency-keeps-growing",
         p95_15 > p95_7 * 1.15,
-        format!(
-            "p95 {p95_7:.1}s @ 7 -> {p95_15:.1}s @ 15 (outliers consume the full budget)"
-        ),
+        format!("p95 {p95_7:.1}s @ 7 -> {p95_15:.1}s @ 15 (outliers consume the full budget)"),
     );
     result
 }

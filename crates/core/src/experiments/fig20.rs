@@ -16,8 +16,7 @@ pub fn run(scale: &Scale) -> FigureResult {
         "fig20",
         "Latency and accuracy vs few-shot example count (Fig. 20)",
     );
-    let mut table =
-        Table::with_columns(&["Few-shot", "Accuracy", "Avg latency s", "Acc/latency"]);
+    let mut table = Table::with_columns(&["Few-shot", "Accuracy", "Avg latency s", "Acc/latency"]);
 
     let mut series = Vec::new();
     for n in FEWSHOTS {

@@ -24,7 +24,11 @@ fn sweep(
                 EngineConfig::a100_llama8b(),
                 *config,
             );
-            (label.clone(), accuracy_of(&outcomes), mean_latency_s(&outcomes))
+            (
+                label.clone(),
+                accuracy_of(&outcomes),
+                mean_latency_s(&outcomes),
+            )
         })
         .collect()
 }
@@ -63,7 +67,10 @@ pub fn run(scale: &Scale) -> FigureResult {
         .map(|&i| (format!("iterations={i}"), base.with_lats_iterations(i)))
         .collect();
     let lats_depth = sweep(AgentKind::Lats, &lats_depth_cfgs, scale);
-    result.table("(b) LATS — sequential scaling (search budget)", table_of(&lats_depth));
+    result.table(
+        "(b) LATS — sequential scaling (search budget)",
+        table_of(&lats_depth),
+    );
 
     // (c) LATS: expansion width (children per node). The search budget is
     // raised so narrow trees pay for their failed attempts — the regime in
@@ -78,7 +85,10 @@ pub fn run(scale: &Scale) -> FigureResult {
         })
         .collect();
     let lats_width = sweep(AgentKind::Lats, &lats_width_cfgs, scale);
-    result.table("(c) LATS — parallel scaling (expansion width)", table_of(&lats_width));
+    result.table(
+        "(c) LATS — parallel scaling (expansion width)",
+        table_of(&lats_width),
+    );
 
     // Checks.
     let first = &reflexion[0];

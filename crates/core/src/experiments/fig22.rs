@@ -29,7 +29,11 @@ pub struct ScalingPoint {
 pub fn scaling_points(scale: &Scale) -> Vec<(AgentKind, &'static str, ScalingPoint)> {
     let mut out = Vec::new();
     for (model_name, engine, base) in [
-        ("8B", EngineConfig::a100_llama8b(), AgentConfig::default_8b()),
+        (
+            "8B",
+            EngineConfig::a100_llama8b(),
+            AgentConfig::default_8b(),
+        ),
         (
             "70B",
             EngineConfig::a100x8_llama70b(),
@@ -89,13 +93,7 @@ pub fn run(scale: &Scale) -> FigureResult {
         "Test-time scaling across model sizes, 8B vs 70B (Fig. 22)",
     );
     let points = scaling_points(scale);
-    let mut table = Table::with_columns(&[
-        "Point",
-        "Accuracy",
-        "Latency s",
-        "Tokens",
-        "Energy Wh",
-    ]);
+    let mut table = Table::with_columns(&["Point", "Accuracy", "Latency s", "Tokens", "Energy Wh"]);
     for (_, _, p) in &points {
         table.row(vec![
             p.label.clone(),
@@ -105,7 +103,10 @@ pub fn run(scale: &Scale) -> FigureResult {
             format!("{:.2}", p.energy_wh),
         ]);
     }
-    result.table("Scaling ladders on HotpotQA (latency / tokens / energy)", table);
+    result.table(
+        "Scaling ladders on HotpotQA (latency / tokens / energy)",
+        table,
+    );
 
     let best = |kind: AgentKind, model: &str| -> ScalingPoint {
         points
@@ -122,7 +123,8 @@ pub fn run(scale: &Scale) -> FigureResult {
 
     result.check(
         "bigger-model-more-accurate-per-strategy",
-        reflexion_70b.accuracy > reflexion_8b.accuracy && lats_70b.accuracy >= lats_8b.accuracy - 0.05,
+        reflexion_70b.accuracy > reflexion_8b.accuracy
+            && lats_70b.accuracy >= lats_8b.accuracy - 0.05,
         format!(
             "Reflexion: 8B {:.2} vs 70B {:.2}; LATS: 8B {:.2} vs 70B {:.2} \
              (paper: 38/67 and 80/82)",

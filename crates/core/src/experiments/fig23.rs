@@ -18,10 +18,7 @@ pub const WAU_SERIES: [(&str, u32, f64, &str); 6] = [
 
 /// Renders the adoption series.
 pub fn run(_scale: &Scale) -> FigureResult {
-    let mut result = FigureResult::new(
-        "fig23",
-        "ChatGPT weekly-active-user growth (Fig. 23)",
-    );
+    let mut result = FigureResult::new("fig23", "ChatGPT weekly-active-user growth (Fig. 23)");
     let mut table = Table::with_columns(&["Date", "WAU (millions)", "Source"]);
     for (month, year, wau, source) in WAU_SERIES {
         table.row(vec![

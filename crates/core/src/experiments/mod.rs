@@ -33,7 +33,6 @@ pub mod concurrency;
 pub mod ext_hardware;
 pub mod ext_mixed;
 pub mod ext_routing;
-pub mod validation;
 pub mod ext_scheduler;
 pub mod ext_static;
 pub mod fig04;
@@ -58,6 +57,7 @@ pub mod fig23;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod validation;
 
 use crate::figure::{FigureResult, Scale};
 
@@ -103,20 +103,40 @@ pub fn all_experiments() -> Vec<Experiment> {
         experiment!(fig08, "Fig. 8", "Input/output token composition"),
         experiment!(fig09, "Fig. 9", "Context growth across reasoning steps"),
         experiment!(fig10, "Fig. 10", "Prefill/decode split with prefix caching"),
-        experiment!(fig11, "Fig. 11", "LLM inference latency with prefix caching"),
-        experiment!(fig12, "Fig. 12", "KV memory per request with prefix caching"),
-        experiment!(concurrency, "Sec. IV-C", "Sequential vs concurrent agent serving"),
+        experiment!(
+            fig11,
+            "Fig. 11",
+            "LLM inference latency with prefix caching"
+        ),
+        experiment!(
+            fig12,
+            "Fig. 12",
+            "KV memory per request with prefix caching"
+        ),
+        experiment!(
+            concurrency,
+            "Sec. IV-C",
+            "Sequential vs concurrent agent serving"
+        ),
         experiment!(fig14, "Fig. 14", "Tail latency vs QPS: chatbot vs agent"),
         experiment!(fig15, "Fig. 15", "Serving throughput with prefix caching"),
         experiment!(fig16, "Fig. 16", "Serving KV memory with prefix caching"),
         experiment!(fig17, "Fig. 17", "KV pool size sweep (cache thrashing)"),
-        experiment!(fig18, "Fig. 18", "Accuracy-cost Pareto across agent designs"),
+        experiment!(
+            fig18,
+            "Fig. 18",
+            "Accuracy-cost Pareto across agent designs"
+        ),
         experiment!(fig19, "Fig. 19", "Iteration budget sweep"),
         experiment!(fig20, "Fig. 20", "Few-shot prompting sweep"),
         experiment!(fig21, "Fig. 21", "Sequential vs parallel test-time scaling"),
         experiment!(fig22, "Fig. 22", "Model size effects on test-time scaling"),
         experiment!(fig23, "Fig. 23", "ChatGPT weekly-active-user growth"),
-        experiment!(table3, "Table III", "Energy and datacenter power projections"),
+        experiment!(
+            table3,
+            "Table III",
+            "Energy and datacenter power projections"
+        ),
         experiment!(
             ablation_step,
             "(ablation)",
@@ -179,7 +199,13 @@ mod tests {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         assert_eq!(ids.len(), 32);
         for required in [
-            "table1", "table2", "table3", "fig04", "fig17", "fig22", "concurrency",
+            "table1",
+            "table2",
+            "table3",
+            "fig04",
+            "fig17",
+            "fig22",
+            "concurrency",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

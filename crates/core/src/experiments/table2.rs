@@ -23,7 +23,9 @@ pub fn run(_scale: &Scale) -> FigureResult {
     result.table("Benchmark catalog", table);
     result.check(
         "omissions-match-paper",
-        !agents_for(Benchmark::WebShop).iter().any(|a| a.to_string() == "CoT")
+        !agents_for(Benchmark::WebShop)
+            .iter()
+            .any(|a| a.to_string() == "CoT")
             && !agents_for(Benchmark::Math)
                 .iter()
                 .any(|a| a.to_string() == "LLMCompiler"),

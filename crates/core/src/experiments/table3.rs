@@ -30,7 +30,11 @@ pub fn run(scale: &Scale) -> FigureResult {
 
     let mut rows: Vec<Row> = Vec::new();
     for (model, engine, base) in [
-        ("8B", EngineConfig::a100_llama8b(), AgentConfig::default_8b()),
+        (
+            "8B",
+            EngineConfig::a100_llama8b(),
+            AgentConfig::default_8b(),
+        ),
         (
             "70B",
             EngineConfig::a100x8_llama70b(),

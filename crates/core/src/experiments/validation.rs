@@ -42,7 +42,12 @@ pub fn run(scale: &Scale) -> FigureResult {
             .as_secs_f64();
     }
     let mut engine = Engine::new(cfg);
-    engine.submit(SimTime::ZERO, TokenBuf::from_segment(1, prompt_tokens), out_tokens, 1);
+    engine.submit(
+        SimTime::ZERO,
+        TokenBuf::from_segment(1, prompt_tokens),
+        out_tokens,
+        1,
+    );
     let mut now = SimTime::ZERO;
     while let Some(end) = engine.start_step_if_idle(now) {
         now = end;
@@ -94,7 +99,8 @@ pub fn run(scale: &Scale) -> FigureResult {
     // 3. Energy identity: busy+idle partition times the phase powers.
     let m = engine.metrics();
     let meter = m.energy_within(now);
-    let expected_j = m.prefill_busy.as_secs_f64() * meter.model().power_w(agentsim_gpu::Phase::Prefill)
+    let expected_j = m.prefill_busy.as_secs_f64()
+        * meter.model().power_w(agentsim_gpu::Phase::Prefill)
         + m.decode_busy.as_secs_f64() * meter.model().power_w(agentsim_gpu::Phase::Decode)
         + m.idle_within(now).as_secs_f64() * meter.model().power_w(agentsim_gpu::Phase::Idle);
     let energy_err = (meter.joules() - expected_j).abs() / expected_j.max(1e-9);

@@ -1,0 +1,286 @@
+//! Minimal drop-in for the `criterion` benchmark harness so the workspace
+//! builds and benches run fully offline.
+//!
+//! Supports the subset this repo uses: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs a
+//! short calibration pass, then `sample_size` timed samples, and prints
+//! min/median/mean per-iteration times.
+//!
+//! `--bench` (passed by `cargo bench`) is accepted and ignored. A `--test`
+//! flag (passed by `cargo test --benches`) runs each benchmark exactly
+//! once so benches stay cheap under the test profile. Any other non-flag
+//! argument is treated as a substring filter on benchmark ids.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// routine invocation regardless of variant, which keeps timing honest for
+/// the sizes used here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id, 100, self.filter.as_deref(), self.test_mode, f);
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.criterion.filter.as_deref(),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; owns the timing loops.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    durations: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        let iters = calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        self.iters_per_sample = iters;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iters_per_sample = 1;
+        let samples = if self.test_mode { 1 } else { self.samples };
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// Picks an iteration count so one sample takes roughly a millisecond.
+fn calibrate(mut routine: impl FnMut()) -> u64 {
+    let start = Instant::now();
+    routine();
+    let once = start.elapsed().max(Duration::from_nanos(1));
+    let target = Duration::from_millis(1);
+    ((target.as_nanos() / once.as_nanos()).clamp(1, 10_000)) as u64
+}
+
+fn run_benchmark<F>(id: &str, samples: usize, filter: Option<&str>, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples,
+        test_mode,
+        durations: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("bench {id}: ok (test mode)");
+        return;
+    }
+    if bencher.durations.is_empty() {
+        println!("bench {id}: no samples");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .durations
+        .iter()
+        .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "bench {id}: min {} median {} mean {} ({} samples)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        per_iter.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_function("f", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            test_mode: true,
+        };
+        let mut ran = false;
+        c.bench_function("abc", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut total = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| total += x, BatchSize::SmallInput)
+        });
+        assert_eq!(total, 21);
+    }
+}

@@ -154,7 +154,11 @@ impl ClusterSpec {
 
 impl fmt::Display for ClusterSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x {} serving {}", self.gpu_count, self.gpu.name, self.model.name)
+        write!(
+            f,
+            "{}x {} serving {}",
+            self.gpu_count, self.gpu.name, self.model.name
+        )
     }
 }
 

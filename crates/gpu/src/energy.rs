@@ -213,7 +213,10 @@ mod tests {
         meter.add(Phase::Prefill, SimDuration::from_millis(200));
         meter.add(Phase::Decode, SimDuration::from_secs(4));
         let wh = meter.watt_hours();
-        assert!((0.2..0.5).contains(&wh), "query energy {wh} Wh (paper: 0.32)");
+        assert!(
+            (0.2..0.5).contains(&wh),
+            "query energy {wh} Wh (paper: 0.32)"
+        );
     }
 
     #[test]

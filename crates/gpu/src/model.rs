@@ -73,7 +73,9 @@ impl ModelSpec {
     /// Bytes of KV cache stored per token across all layers
     /// (`2 x layers x kv_heads x head_dim x dtype_bytes`).
     pub fn kv_bytes_per_token(&self) -> u64 {
-        2 * self.layers as u64 * self.kv_heads as u64 * self.head_dim as u64
+        2 * self.layers as u64
+            * self.kv_heads as u64
+            * self.head_dim as u64
             * self.dtype_bytes as u64
     }
 
@@ -92,10 +94,7 @@ impl ModelSpec {
     /// `context_len` tokens (`4 x layers x heads x head_dim x context`,
     /// covering the QKᵀ and AV matmuls).
     pub fn flops_per_token_attn(&self, context_len: u64) -> f64 {
-        4.0 * self.layers as f64
-            * self.heads as f64
-            * self.head_dim as f64
-            * context_len as f64
+        4.0 * self.layers as f64 * self.heads as f64 * self.head_dim as f64 * context_len as f64
     }
 
     /// Total FLOPs to process one token at the given context length.

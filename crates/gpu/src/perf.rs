@@ -105,11 +105,7 @@ impl PerfModel {
         // Token i (0-based within the new chunk) attends over past + i + 1
         // positions; summing gives past*new + new*(new+1)/2.
         let attended = past as f64 * new as f64 + new as f64 * (new as f64 + 1.0) / 2.0;
-        let attn = 4.0
-            * m.layers as f64
-            * m.heads as f64
-            * m.head_dim as f64
-            * attended;
+        let attn = 4.0 * m.layers as f64 * m.heads as f64 * m.head_dim as f64 * attended;
         dense + attn
     }
 

@@ -11,7 +11,7 @@ use std::fmt;
 use agentsim_simkit::SimTime;
 
 use crate::block::{BlockId, BlockMeta, BlockState};
-use crate::hash::{chain_hash, chain_hashes, CHAIN_ROOT};
+use crate::hash::{chain_hash, CHAIN_ROOT};
 use crate::stats::KvStats;
 use crate::tokens::{Token, TokenBuf};
 
@@ -91,6 +91,9 @@ pub struct KvBlockManager {
     seqs: HashMap<u64, SeqState>,
     next_seq: u64,
     tick: u64,
+    /// Blocks currently in [`BlockState::Active`], maintained at every
+    /// state transition so usage tracking never scans the pool.
+    active: usize,
     stats: KvStats,
 }
 
@@ -113,6 +116,7 @@ impl KvBlockManager {
             seqs: HashMap::new(),
             next_seq: 0,
             tick: 0,
+            active: 0,
             stats: KvStats::default(),
         }
     }
@@ -135,7 +139,7 @@ impl KvBlockManager {
 
     /// Whether `allocate` for this prompt would currently succeed.
     pub fn can_allocate(&self, tokens: &TokenBuf) -> bool {
-        let hashes = chain_hashes(tokens.as_slice(), self.config.block_size as usize);
+        let hashes = tokens.chain_hashes_cached(self.config.block_size as usize);
         let hits = self.count_hits(&hashes);
         let total = self.config.blocks_for(tokens.len());
         let needed = total - hits;
@@ -166,7 +170,9 @@ impl KvBlockManager {
     pub fn allocate(&mut self, tokens: &TokenBuf, now: SimTime) -> Result<SeqHandle, AllocError> {
         assert!(!tokens.is_empty(), "cannot allocate an empty sequence");
         let bs = self.config.block_size as usize;
-        let hashes = chain_hashes(tokens.as_slice(), bs);
+        // The memoized hashes are fresh after this call, so the nested
+        // `can_allocate` below only takes a second shared borrow.
+        let hashes = tokens.chain_hashes_cached(bs);
         if !self.can_allocate(tokens) {
             let hits = self.count_hits(&hashes);
             self.stats.rejections += 1;
@@ -186,6 +192,7 @@ impl KvBlockManager {
             if self.metas[id.0 as usize].state == BlockState::Cached {
                 self.lru.remove(&(self.lru_ticks[id.0 as usize], id));
                 self.metas[id.0 as usize].state = BlockState::Active;
+                self.active += 1;
             }
             self.touch(id, now);
             self.metas[id.0 as usize].ref_count += 1;
@@ -199,8 +206,9 @@ impl KvBlockManager {
             let meta = &mut self.metas[id.0 as usize];
             meta.state = BlockState::Active;
             meta.ref_count = 1;
+            self.active += 1;
             if self.config.prefix_caching {
-                meta.chain_hash = Some(*h);
+                self.metas[id.0 as usize].chain_hash = Some(*h);
                 self.cache.insert(*h, id);
             }
             blocks.push(id);
@@ -213,6 +221,7 @@ impl KvBlockManager {
             let meta = &mut self.metas[id.0 as usize];
             meta.state = BlockState::Active;
             meta.ref_count = 1;
+            self.active += 1;
             blocks.push(id);
         }
 
@@ -254,10 +263,7 @@ impl KvBlockManager {
         now: SimTime,
     ) -> Result<(), AllocError> {
         let bs = self.config.block_size as usize;
-        let state = self
-            .seqs
-            .get(&seq.0)
-            .ok_or(AllocError::UnknownSequence)?;
+        let state = self.seqs.get(&seq.0).ok_or(AllocError::UnknownSequence)?;
 
         let needs_block = state.len_tokens.is_multiple_of(bs);
         let new_block = if needs_block {
@@ -267,6 +273,9 @@ impl KvBlockManager {
         };
 
         let prefix_caching = self.config.prefix_caching;
+        if new_block.is_some() {
+            self.active += 1;
+        }
         let state = self.seqs.get_mut(&seq.0).expect("checked above");
         if let Some(id) = new_block {
             let meta = &mut self.metas[id.0 as usize];
@@ -312,6 +321,7 @@ impl KvBlockManager {
             if meta.ref_count > 0 {
                 continue;
             }
+            self.active -= 1;
             let registered = meta
                 .chain_hash
                 .is_some_and(|h| self.cache.get(&h) == Some(&id));
@@ -344,10 +354,7 @@ impl KvBlockManager {
 
     /// Blocks referenced by live sequences.
     pub fn used_blocks(&self) -> usize {
-        self.metas
-            .iter()
-            .filter(|m| m.state == BlockState::Active)
-            .count()
+        self.active
     }
 
     /// Blocks on the free list.
@@ -446,9 +453,22 @@ impl KvBlockManager {
         if let Some(i) = seen.iter().position(|&c| c != 1) {
             return Err(format!("blk#{i} in {} places", seen[i]));
         }
+        let active_scan = self
+            .metas
+            .iter()
+            .filter(|m| m.state == BlockState::Active)
+            .count();
+        if active_scan != self.active {
+            return Err(format!(
+                "active counter {} != scan {active_scan}",
+                self.active
+            ));
+        }
         for (h, id) in &self.cache {
             if self.metas[id.0 as usize].chain_hash != Some(*h) {
-                return Err(format!("cache entry {h:#x} points at {id} without that hash"));
+                return Err(format!(
+                    "cache entry {h:#x} points at {id} without that hash"
+                ));
             }
             if self.metas[id.0 as usize].state == BlockState::Free {
                 return Err(format!("cache entry {h:#x} points at free {id}"));
@@ -461,6 +481,7 @@ impl KvBlockManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hash::chain_hashes;
 
     fn mgr(blocks: u32, caching: bool) -> KvBlockManager {
         KvBlockManager::new(KvConfig {

@@ -5,12 +5,30 @@
 //! prompts built from the same segments produce identical token streams —
 //! which is exactly what prefix caching needs to detect sharing.
 
+use std::cell::{Ref, RefCell};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use agentsim_simkit::rng::splitmix64;
 
+use crate::hash::{chain_hash, CHAIN_ROOT};
+
 /// An opaque token content id.
 pub type Token = u64;
+
+/// Memoized chain hashes of the stream's leading full blocks.
+///
+/// Token streams are append-only (except [`TokenBuf::truncate`]), so block
+/// hashes computed once stay valid for the stream's whole life: appends
+/// only ever add *new* full blocks behind the ones already hashed. The
+/// cache is filled lazily by [`TokenBuf::chain_hashes_cached`] and extended
+/// incrementally from the last cached hash, making repeated hashing of a
+/// growing stream O(new tokens) instead of O(total tokens).
+#[derive(Debug, Clone)]
+struct HashCache {
+    block_size: usize,
+    hashes: Vec<u64>,
+}
 
 /// An owned, growable token stream.
 ///
@@ -36,21 +54,25 @@ pub type Token = u64;
 /// };
 /// assert_eq!(prompt, same);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TokenBuf {
     tokens: Vec<Token>,
+    /// Lazily filled block-hash prefix cache; identity is `tokens` alone
+    /// (equality/hashing ignore it, `Clone` carries it along).
+    hash_cache: RefCell<Option<HashCache>>,
 }
 
 impl TokenBuf {
     /// Creates an empty stream.
     pub fn new() -> Self {
-        TokenBuf { tokens: Vec::new() }
+        TokenBuf::default()
     }
 
     /// Creates an empty stream with reserved capacity.
     pub fn with_capacity(capacity: usize) -> Self {
         TokenBuf {
             tokens: Vec::with_capacity(capacity),
+            hash_cache: RefCell::new(None),
         }
     }
 
@@ -101,6 +123,68 @@ impl TokenBuf {
     /// Truncates to the first `len` tokens (no-op if already shorter).
     pub fn truncate(&mut self, len: usize) {
         self.tokens.truncate(len);
+        // Hashes of surviving full blocks stay valid; drop the rest.
+        if let Some(cache) = self.hash_cache.get_mut() {
+            cache.hashes.truncate(len / cache.block_size);
+        }
+    }
+
+    /// The chain hashes of every leading *full* block, memoized.
+    ///
+    /// Equivalent to [`crate::hash::chain_hashes`]`(self.as_slice(),
+    /// block_size)` but O(tokens appended since the last call) instead of
+    /// O(all tokens): the cache persists across calls (and across
+    /// `Clone`) and is extended incrementally from the last cached hash.
+    /// Switching `block_size` between calls discards and rebuilds it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn chain_hashes_cached(&self, block_size: usize) -> Ref<'_, [u64]> {
+        assert!(block_size > 0, "block size must be positive");
+        let want = self.tokens.len() / block_size;
+        let fresh = self
+            .hash_cache
+            .borrow()
+            .as_ref()
+            .is_some_and(|c| c.block_size == block_size && c.hashes.len() == want);
+        if !fresh {
+            let mut slot = self.hash_cache.borrow_mut();
+            let cache = match slot.as_mut() {
+                Some(c) if c.block_size == block_size => c,
+                _ => slot.insert(HashCache {
+                    block_size,
+                    hashes: Vec::with_capacity(want),
+                }),
+            };
+            let mut parent = cache.hashes.last().copied().unwrap_or(CHAIN_ROOT);
+            for block in cache.hashes.len()..want {
+                parent = chain_hash(
+                    parent,
+                    &self.tokens[block * block_size..(block + 1) * block_size],
+                );
+                cache.hashes.push(parent);
+            }
+        }
+        Ref::map(self.hash_cache.borrow(), |c| {
+            c.as_ref().map_or(&[][..], |i| i.hashes.as_slice())
+        })
+    }
+}
+
+// Equality, ordering and hashing are defined by the token stream alone;
+// the memoized hash cache is derived state.
+impl PartialEq for TokenBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.tokens == other.tokens
+    }
+}
+
+impl Eq for TokenBuf {}
+
+impl Hash for TokenBuf {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.tokens.hash(state);
     }
 }
 
@@ -112,15 +196,16 @@ impl Extend<Token> for TokenBuf {
 
 impl FromIterator<Token> for TokenBuf {
     fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Self {
-        TokenBuf {
-            tokens: iter.into_iter().collect(),
-        }
+        TokenBuf::from(iter.into_iter().collect::<Vec<Token>>())
     }
 }
 
 impl From<Vec<Token>> for TokenBuf {
     fn from(tokens: Vec<Token>) -> Self {
-        TokenBuf { tokens }
+        TokenBuf {
+            tokens,
+            hash_cache: RefCell::new(None),
+        }
     }
 }
 
@@ -212,6 +297,9 @@ mod tests {
 
     #[test]
     fn display_reports_length() {
-        assert_eq!(TokenBuf::from_segment(1, 3).to_string(), "TokenBuf[3 tokens]");
+        assert_eq!(
+            TokenBuf::from_segment(1, 3).to_string(),
+            "TokenBuf[3 tokens]"
+        );
     }
 }

@@ -68,7 +68,8 @@ fn run_script(ops: &[Op], num_blocks: u32, prefix_caching: bool) -> (KvBlockMana
                 mgr.free(h, now);
             }
         }
-        mgr.check_invariants().unwrap_or_else(|e| panic!("invariant broken after {op:?}: {e}"));
+        mgr.check_invariants()
+            .unwrap_or_else(|e| panic!("invariant broken after {op:?}: {e}"));
     }
     // Drain.
     for h in live {

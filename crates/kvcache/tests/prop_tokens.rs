@@ -1,0 +1,97 @@
+//! Property-based tests for the memoized chain-hash cache on [`TokenBuf`]:
+//! under arbitrary sequences of append / truncate / clone operations,
+//! interleaved with cache reads at varying block sizes, the memoized
+//! hashes must equal a from-scratch [`chain_hashes`] over the same stream.
+
+use agentsim_kvcache::hash::chain_hashes;
+use agentsim_kvcache::TokenBuf;
+use proptest::prelude::*;
+
+/// A scripted operation on the stream.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append a (seed, len) segment.
+    Segment { seed: u64, len: u32 },
+    /// Append `n` generated tokens of stream `seed`.
+    Generated { seed: u64, n: u8 },
+    /// Append another whole segment-stream.
+    Buf { seed: u64, len: u32 },
+    /// Truncate to `keep` tokens (no-op when already shorter).
+    Truncate { keep: u16 },
+    /// Replace the stream with a clone of itself (the cache must carry).
+    CloneSwap,
+    /// Read the memoized hashes at this block size and check them.
+    Check { block_size: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..16, 0u32..200).prop_map(|(seed, len)| Op::Segment { seed, len }),
+        (0u64..16, 0u8..64).prop_map(|(seed, n)| Op::Generated { seed, n }),
+        (0u64..16, 1u32..100).prop_map(|(seed, len)| Op::Buf { seed, len }),
+        (0u16..600).prop_map(|keep| Op::Truncate { keep }),
+        Just(Op::CloneSwap),
+        (1u8..40).prop_map(|block_size| Op::Check { block_size }),
+    ]
+}
+
+fn check(buf: &TokenBuf, block_size: usize) {
+    let cached = buf.chain_hashes_cached(block_size);
+    let fresh = chain_hashes(buf.as_slice(), block_size);
+    assert_eq!(
+        &*cached,
+        &fresh[..],
+        "memoized hashes diverged at block size {block_size} with {} tokens",
+        buf.len()
+    );
+}
+
+proptest! {
+    #[test]
+    fn memoized_hashes_match_from_scratch(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        final_bs in 1usize..40,
+    ) {
+        let mut buf = TokenBuf::new();
+        let mut gen_index = 0u64;
+        for op in &ops {
+            match op {
+                Op::Segment { seed, len } => buf.push_segment(*seed, *len),
+                Op::Generated { seed, n } => {
+                    for _ in 0..*n {
+                        buf.push_generated(*seed, gen_index);
+                        gen_index += 1;
+                    }
+                }
+                Op::Buf { seed, len } => {
+                    let other = TokenBuf::from_segment(*seed, *len);
+                    buf.push_buf(&other);
+                }
+                Op::Truncate { keep } => buf.truncate(*keep as usize),
+                Op::CloneSwap => buf = buf.clone(),
+                Op::Check { block_size } => check(&buf, *block_size as usize),
+            }
+        }
+        check(&buf, final_bs);
+        // Repeated reads at the same size hit the warm cache.
+        check(&buf, final_bs);
+    }
+
+    #[test]
+    fn cache_survives_incremental_growth(len0 in 0u32..300, grow in 1u32..300, bs in 1usize..40) {
+        // Warm the cache, extend the stream, and verify the extension is
+        // hashed correctly on top of the retained prefix hashes.
+        let mut buf = TokenBuf::from_segment(1, len0);
+        check(&buf, bs);
+        buf.push_segment(2, grow);
+        check(&buf, bs);
+    }
+
+    #[test]
+    fn switching_block_size_rebuilds(len in 1u32..400, a in 1usize..40, b in 1usize..40) {
+        let buf = TokenBuf::from_segment(3, len);
+        check(&buf, a);
+        check(&buf, b);
+        check(&buf, a);
+    }
+}

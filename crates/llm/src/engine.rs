@@ -1,9 +1,9 @@
 //! The step-loop serving engine.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-use agentsim_gpu::{EnergyModel, PerfModel};
 use agentsim_gpu::perf::PrefillItem;
+use agentsim_gpu::{EnergyModel, PerfModel};
 use agentsim_kvcache::tokens::generated_token;
 use agentsim_kvcache::{KvBlockManager, KvConfig, SeqHandle, TokenBuf};
 use agentsim_simkit::{SimDuration, SimTime};
@@ -232,10 +232,7 @@ impl Engine {
         } else {
             self.form_classic_step(now)
         };
-        if step.is_none()
-            && self.running.is_empty()
-            && !self.waiting.is_empty()
-        {
+        if step.is_none() && self.running.is_empty() && !self.waiting.is_empty() {
             let head = self.waiting.front().expect("non-empty");
             panic!(
                 "KV pool ({} blocks) can never admit {} with a {}-token prompt",
@@ -275,20 +272,15 @@ impl Engine {
             }
         }
 
-        // Per-request attribution of step wall-time.
-        let chunked: Vec<RequestId> = step.prefill_chunks.iter().map(|(id, _)| *id).collect();
+        // Per-request attribution of step wall-time and prefill progress,
+        // in one pass over the running set (ids are unique per step).
+        let chunk_of: HashMap<RequestId, u32> = step.prefill_chunks.iter().copied().collect();
         for r in &mut self.running {
-            if chunked.contains(&r.id) {
+            if let Some(&chunk) = chunk_of.get(&r.id) {
                 r.prefill_time += step.duration;
+                r.prefill_remaining = r.prefill_remaining.saturating_sub(chunk);
             } else if step.kind != StepKind::Prefill && r.prefill_remaining == 0 {
                 r.decode_time += step.duration;
-            }
-        }
-
-        // Advance prefill progress for chunked participants.
-        for (id, chunk) in &step.prefill_chunks {
-            if let Some(r) = self.running.iter_mut().find(|r| r.id == *id) {
-                r.prefill_remaining = r.prefill_remaining.saturating_sub(*chunk);
             }
         }
 
@@ -298,7 +290,7 @@ impl Engine {
         // decode participants produce one token each.
         let mut idx = 0;
         while idx < self.running.len() {
-            let was_chunk = chunked.contains(&self.running[idx].id);
+            let was_chunk = chunk_of.contains_key(&self.running[idx].id);
             let produces = if was_chunk {
                 // Prefill participants emit their first token only once
                 // the whole prompt has been processed.
@@ -346,10 +338,11 @@ impl Engine {
             let cost = self.perf.prefill(&items);
             // Newly admitted requests carry their whole uncached prompt as
             // one "chunk"; they produce their first token at step end.
-            for (id, new, cached) in &admitted {
-                if let Some(r) = self.running.iter_mut().find(|r| r.id == *id) {
-                    r.flops += self.perf.prefill_flops(*new as u64, *cached as u64);
-                }
+            // `admit` pushed them onto the tail of `running` in order.
+            let tail = self.running.len() - admitted.len();
+            for (r, &(id, new, cached)) in self.running[tail..].iter_mut().zip(&admitted) {
+                debug_assert_eq!(r.id, id);
+                r.flops += self.perf.prefill_flops(new as u64, cached as u64);
             }
             return Some(StepInProgress {
                 kind: StepKind::Prefill,
@@ -407,14 +400,23 @@ impl Engine {
             let _ = self.admit(now, budget);
         }
 
-        // Advance the oldest in-progress prefill by one chunk.
+        // Advance in-progress prefills, oldest first, one pass: record the
+        // chunk, its perf-model item, and the owner's index together.
         let mut chunks: Vec<(RequestId, u32)> = Vec::new();
+        let mut chunk_idx: Vec<usize> = Vec::new();
+        let mut items: Vec<PrefillItem> = Vec::new();
         let mut remaining_budget = budget;
-        for r in &mut self.running {
+        for (i, r) in self.running.iter().enumerate() {
             if r.prefill_remaining > 0 && remaining_budget > 0 {
                 let chunk = r.prefill_remaining.min(remaining_budget);
                 remaining_budget -= chunk;
+                let already = (r.prompt_tokens - r.cached_tokens - r.prefill_remaining) as u64;
+                items.push(PrefillItem {
+                    new_tokens: chunk as u64,
+                    cached_tokens: r.cached_tokens as u64 + already,
+                });
                 chunks.push((r.id, chunk));
+                chunk_idx.push(i);
             }
         }
 
@@ -422,34 +424,19 @@ impl Engine {
             return None;
         }
 
-        let items: Vec<PrefillItem> = chunks
-            .iter()
-            .map(|&(id, chunk)| {
-                let r = self.running.iter().find(|r| r.id == id).expect("exists");
-                let already = (r.prompt_tokens - r.cached_tokens - r.prefill_remaining) as u64;
-                PrefillItem {
-                    new_tokens: chunk as u64,
-                    cached_tokens: r.cached_tokens as u64 + already,
-                }
-            })
-            .collect();
         let cost = if chunks.is_empty() {
             self.perf.decode_step(&decoding)
         } else {
             self.perf.mixed_step(&items, &decoding)
         };
-        let model = self.config.cluster.model.clone();
+        let model = &self.config.cluster.model;
         for r in &mut self.running {
             if r.prefill_remaining == 0 {
                 r.flops += model.flops_per_token(r.ctx.len() as u64);
             }
         }
-        for (item, &(id, _)) in items.iter().zip(&chunks) {
-            if let Some(r) = self.running.iter_mut().find(|r| r.id == id) {
-                r.flops += self
-                    .perf
-                    .prefill_flops(item.new_tokens, item.cached_tokens);
-            }
+        for (item, &i) in items.iter().zip(&chunk_idx) {
+            self.running[i].flops += self.perf.prefill_flops(item.new_tokens, item.cached_tokens);
         }
         let kind = if chunks.is_empty() {
             StepKind::Decode
@@ -468,24 +455,18 @@ impl Engine {
     /// FCFS admission under a token budget. Returns `(id, uncached,
     /// cached)` for each admitted request; KV is allocated immediately.
     fn admit(&mut self, now: SimTime, budget_tokens: u32) -> Vec<(RequestId, u32, u32)> {
+        // Under DeepestFirst, order the whole queue once (highest priority
+        // first; FCFS within a level). The key is a total order (ids are
+        // unique), so popping the sorted front yields exactly the sequence
+        // of per-admission maxima the previous rescan-per-admission found.
+        if self.config.scheduler == SchedulerPolicy::DeepestFirst && self.waiting.len() > 1 {
+            self.waiting
+                .make_contiguous()
+                .sort_unstable_by_key(|w| (std::cmp::Reverse(w.priority), w.arrived, w.id));
+        }
         let mut admitted = Vec::new();
         let mut budget_used: u32 = 0;
-        loop {
-            // Under DeepestFirst, bring the best candidate to the front
-            // (highest priority; FCFS within a level).
-            if self.config.scheduler == SchedulerPolicy::DeepestFirst && self.waiting.len() > 1 {
-                let best = self
-                    .waiting
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, w)| (w.priority, std::cmp::Reverse((w.arrived, w.id))))
-                    .map(|(i, _)| i)
-                    .expect("non-empty");
-                if best != 0 {
-                    self.waiting.swap(0, best);
-                }
-            }
-            let Some(head) = self.waiting.front() else { break };
+        while let Some(head) = self.waiting.front() {
             if self.running.len() >= self.config.max_running as usize {
                 break;
             }
@@ -748,7 +729,11 @@ mod tests {
         e.submit(t1, TokenBuf::from_segment(1, 2048), 8, 8);
         let (second, _) = drain(&mut e, t1);
         assert_eq!(first[0].cached_tokens, 0);
-        assert!(second[0].cached_tokens > 1900, "cached {}", second[0].cached_tokens);
+        assert!(
+            second[0].cached_tokens > 1900,
+            "cached {}",
+            second[0].cached_tokens
+        );
         assert!(second[0].prefill_time < first[0].prefill_time);
     }
 
@@ -785,7 +770,12 @@ mod tests {
     fn fcfs_order_of_first_scheduling() {
         let mut e = Engine::new(small_config());
         let a = e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 5000), 4, 0);
-        let b = e.submit(SimTime::from_micros(1), TokenBuf::from_segment(2, 100), 4, 1);
+        let b = e.submit(
+            SimTime::from_micros(1),
+            TokenBuf::from_segment(2, 100),
+            4,
+            1,
+        );
         let (done, _) = drain(&mut e, SimTime::from_micros(1));
         let ca = done.iter().find(|c| c.id == a).unwrap();
         let cb = done.iter().find(|c| c.id == b).unwrap();
@@ -821,7 +811,10 @@ mod tests {
         assert_eq!(m.decode_steps, 63);
         assert_eq!(m.completed, 1);
         assert!(m.flops > 0.0);
-        assert_eq!(m.busy() + m.idle_within(end), SimDuration::from_micros(end.as_micros()));
+        assert_eq!(
+            m.busy() + m.idle_within(end),
+            SimDuration::from_micros(end.as_micros())
+        );
     }
 
     #[test]
@@ -1005,9 +998,7 @@ mod edge_tests {
         // Same requests, both schedulers: identical outputs, different
         // step patterns.
         let run = |chunked: bool| {
-            let mut e = Engine::new(
-                EngineConfig::a100_llama8b().with_chunked_prefill(chunked),
-            );
+            let mut e = Engine::new(EngineConfig::a100_llama8b().with_chunked_prefill(chunked));
             for i in 0..4u64 {
                 e.submit(SimTime::ZERO, TokenBuf::from_segment(i, 1200), 32, i);
             }

@@ -128,6 +128,9 @@ mod tests {
         let mut m = metrics();
         m.decode_busy = SimDuration::from_secs(10);
         assert_eq!(m.utilization(SimTime::from_secs_f64(5.0)), 1.0);
-        assert_eq!(m.idle_within(SimTime::from_secs_f64(5.0)), SimDuration::ZERO);
+        assert_eq!(
+            m.idle_within(SimTime::from_secs_f64(5.0)),
+            SimDuration::ZERO
+        );
     }
 }

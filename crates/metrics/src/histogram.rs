@@ -72,10 +72,13 @@ impl Histogram {
     /// `(bin_start, bin_end, count)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
-        self.counts
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c))
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            (
+                self.lo + i as f64 * width,
+                self.lo + (i + 1) as f64 * width,
+                c,
+            )
+        })
     }
 
     /// Fraction of mass at or above `value` (tail weight).

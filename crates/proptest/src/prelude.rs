@@ -1,0 +1,9 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Path alias so `prop::collection::vec` / `prop::sample::select` resolve
+/// after a prelude glob import, as with the real crate.
+pub use crate as prop;

@@ -1,0 +1,256 @@
+//! Value-generation strategies.
+
+use std::ops::Range;
+
+use crate::test_runner::CaseRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value from the stream.
+    fn generate(&self, rng: &mut CaseRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait StrategyObj<V> {
+    fn generate_obj(&self, rng: &mut CaseRng) -> V;
+}
+
+impl<S: Strategy> StrategyObj<S::Value> for S {
+    fn generate_obj(&self, rng: &mut CaseRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn StrategyObj<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut CaseRng) -> V {
+        self.0.generate_obj(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut CaseRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut CaseRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Uniform choice among same-typed strategies (see `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut CaseRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "whole domain" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(rng: &mut CaseRng) -> Self;
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut CaseRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut CaseRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut CaseRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut CaseRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut CaseRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+macro_rules! range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut CaseRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as u64 - self.start as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+range_strategy_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut CaseRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut CaseRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        // Guard against rounding up onto the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut CaseRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = CaseRng::for_case("ranges", 0);
+        for _ in 0..2000 {
+            let a = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&a));
+            let b = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&b));
+            let c = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&c));
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let s = crate::prop_oneof![
+            (0u64..4).prop_map(|x| x * 10),
+            (100u64..104).prop_map(|x| x),
+        ];
+        let mut rng = CaseRng::for_case("union", 1);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v % 10 == 0 && v < 40 || (100..104).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = CaseRng::for_case("tuple", 0);
+        let (a, b, c) = (0u8..2, 10u64..20, 0.0f64..1.0).generate(&mut rng);
+        assert!(a < 2 && (10..20).contains(&b) && (0.0..1.0).contains(&c));
+    }
+
+    #[test]
+    fn just_repeats() {
+        let mut rng = CaseRng::for_case("just", 0);
+        assert_eq!(Just(7u32).generate(&mut rng), 7);
+    }
+}

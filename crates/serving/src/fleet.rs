@@ -10,7 +10,9 @@
 
 use std::collections::HashMap;
 
-use agentsim_agents::{build_agent, AgentConfig, AgentKind, AgentOp, AgentPolicy, LlmCallSpec, LlmOutput, OpResult};
+use agentsim_agents::{
+    build_agent, AgentConfig, AgentKind, AgentOp, AgentPolicy, LlmCallSpec, LlmOutput, OpResult,
+};
 use agentsim_llm::{Engine, EngineConfig, LlmCompletion, RequestId};
 use agentsim_metrics::Samples;
 use agentsim_simkit::dist::{Exponential, Sample};
@@ -254,7 +256,11 @@ impl FleetSim {
                 session.scheduled_tools = results;
                 self.queue.push(now + wall, Event::ToolsDone(sid));
             }
-            AgentOp::OverlappedPlan { llm, tools, overlap } => {
+            AgentOp::OverlappedPlan {
+                llm,
+                tools,
+                overlap,
+            } => {
                 let session = self.sessions[sid as usize].as_mut().expect("live");
                 session.overlap_tools = Some((tools, overlap));
                 self.dispatch_llm(sid, vec![llm], now);
@@ -276,10 +282,13 @@ impl FleetSim {
         session.done.clear();
         let priority = session.calls_made;
         session.calls_made += specs.len() as u32;
-        for spec in specs {
+        for mut spec in specs {
+            // Move the prompt (and its memoized hashes) into the engine;
+            // the retained spec only needs its metadata.
+            let prompt = std::mem::take(&mut spec.prompt);
             let id = self.engines[replica].submit_with_priority(
                 now,
-                spec.prompt.clone(),
+                prompt,
                 spec.out_tokens,
                 spec.gen_seed,
                 priority,
@@ -309,14 +318,10 @@ impl FleetSim {
     fn finish_llm_op(&mut self, sid: u64, now: SimTime) {
         let session = self.sessions[sid as usize].as_mut().expect("live");
         let pending = std::mem::take(&mut session.pending);
-        let done = std::mem::take(&mut session.done);
+        let mut done: HashMap<RequestId, LlmCompletion> = session.done.drain(..).collect();
         let mut outputs = Vec::with_capacity(pending.len());
         for (_, id, spec) in &pending {
-            let completion = done
-                .iter()
-                .find(|(cid, _)| cid == id)
-                .map(|(_, c)| c.clone())
-                .expect("completed");
+            let completion = done.remove(id).expect("completed");
             outputs.push(LlmOutput {
                 tokens: completion.output_tokens,
                 gen_seed: spec.gen_seed,
@@ -432,7 +437,11 @@ mod tests {
 
     #[test]
     fn all_policies_are_deterministic() {
-        for routing in [Routing::SessionAffinity, Routing::RoundRobin, Routing::LeastLoaded] {
+        for routing in [
+            Routing::SessionAffinity,
+            Routing::RoundRobin,
+            Routing::LeastLoaded,
+        ] {
             let a = run(routing, 2);
             let b = run(routing, 2);
             assert_eq!(a.p95_s, b.p95_s, "{routing} must be deterministic");

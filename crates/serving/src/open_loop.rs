@@ -193,7 +193,9 @@ impl ServingSim {
     }
 
     fn on_arrival(&mut self, i: u64, now: SimTime) {
-        match self.config.workload.clone() {
+        // Every workload payload is `Copy`, so classify in place instead
+        // of cloning the whole workload per arrival.
+        match self.config.workload {
             ServingWorkload::Chatbot => self.arrive_chatbot(i, now),
             ServingWorkload::Agent {
                 kind,
@@ -234,14 +236,17 @@ impl ServingSim {
             overlap_tools: None,
             op_start: now,
         };
+        // The prompt moves into the engine (the spec never reads it back),
+        // so the engine reuses its memoized block hashes instead of
+        // re-hashing a copy.
         let id = self
             .engine
-            .submit(now, query.prompt.clone(), query.output_tokens, query.gen_seed);
+            .submit(now, query.prompt, query.output_tokens, query.gen_seed);
         self.request_owner.insert(id, i);
         s.pending_llm.push((
             id,
             LlmCallSpec {
-                prompt: query.prompt,
+                prompt: Default::default(),
                 out_tokens: query.output_tokens,
                 gen_seed: query.gen_seed,
                 kind: agentsim_agents::OutputKind::Answer,
@@ -332,10 +337,13 @@ impl ServingSim {
         // closer to completion (and hold warmer cache state). Ignored by
         // the FCFS policy.
         let priority = session.trace.llm_calls() as u32;
-        for spec in specs {
+        for mut spec in specs {
+            // Move the prompt (and its memoized hashes) into the engine;
+            // the retained spec only needs its metadata.
+            let prompt = std::mem::take(&mut spec.prompt);
             let id = self.engine.submit_with_priority(
                 now,
-                spec.prompt.clone(),
+                prompt,
                 spec.out_tokens,
                 spec.gen_seed,
                 priority,
@@ -370,14 +378,10 @@ impl ServingSim {
     fn finish_llm_op(&mut self, sid: u64, now: SimTime) {
         let session = self.sessions[sid as usize].as_mut().expect("live session");
         let pending = std::mem::take(&mut session.pending_llm);
-        let done = std::mem::take(&mut session.done_llm);
+        let mut done: HashMap<RequestId, LlmCompletion> = session.done_llm.drain(..).collect();
         let mut outputs = Vec::with_capacity(pending.len());
-        for (id, spec) in &pending {
-            let completion = done
-                .iter()
-                .find(|(cid, _)| cid == id)
-                .map(|(_, c)| c.clone())
-                .expect("every pending call completed");
+        for (id, spec) in pending {
+            let completion = done.remove(&id).expect("every pending call completed");
             let mut breakdown = spec.breakdown;
             breakdown.output = completion.output_tokens;
             outputs.push(LlmOutput {
@@ -458,8 +462,10 @@ impl ServingSim {
     }
 
     fn kick_engine(&mut self, now: SimTime) {
-        self.queue_depth
-            .record(now, (self.engine.queue_len() + self.engine.running_len()) as f64);
+        self.queue_depth.record(
+            now,
+            (self.engine.queue_len() + self.engine.running_len()) as f64,
+        );
         if let Some(end) = self.engine.start_step_if_idle(now) {
             self.queue.push(end, Event::EngineStepDone);
         }
@@ -469,8 +475,7 @@ impl ServingSim {
         let makespan = SimDuration::from_micros(self.last_finish.as_micros());
         let mut latencies: agentsim_metrics::Samples =
             self.report_latencies.iter().copied().collect();
-        let llm_latencies: agentsim_metrics::Samples =
-            self.llm_latencies.iter().copied().collect();
+        let llm_latencies: agentsim_metrics::Samples = self.llm_latencies.iter().copied().collect();
         let agent_latencies: agentsim_metrics::Samples =
             self.agent_latencies.iter().copied().collect();
         let chatbot_latencies: agentsim_metrics::Samples =
@@ -525,8 +530,7 @@ mod tests {
     }
 
     fn react(qps: f64, n: u64) -> ServingReport {
-        ServingSim::new(ServingConfig::new(ServingWorkload::react_hotpotqa(), qps, n).seed(1))
-            .run()
+        ServingSim::new(ServingConfig::new(ServingWorkload::react_hotpotqa(), qps, n).seed(1)).run()
     }
 
     #[test]
@@ -536,7 +540,10 @@ mod tests {
         assert!(r.p50_s > 1.0, "p50 {}", r.p50_s);
         assert!(r.p95_s >= r.p50_s);
         assert!(r.utilization > 0.0);
-        assert!(r.queue_depth_max >= 1.0, "at least one request was in flight");
+        assert!(
+            r.queue_depth_max >= 1.0,
+            "at least one request was in flight"
+        );
         assert!(r.queue_depth_mean > 0.0);
         assert!(r.queue_depth_mean <= r.queue_depth_max);
     }
@@ -639,7 +646,10 @@ mod tests {
         let r = ServingSim::new(ServingConfig::new(workload, 0.5, 30).seed(2)).run();
         assert_eq!(r.completed, 30);
         assert!(!r.agent_latencies.is_empty(), "some agents arrived");
-        assert!(!r.chatbot_latencies.is_empty(), "some chatbot requests arrived");
+        assert!(
+            !r.chatbot_latencies.is_empty(),
+            "some chatbot requests arrived"
+        );
         assert_eq!(
             r.agent_latencies.len() + r.chatbot_latencies.len(),
             30,
@@ -648,7 +658,10 @@ mod tests {
         // Agent requests are much slower than chatbot ones even coexisting.
         let agent_mean = r.agent_latencies.summary().mean();
         let chat_mean = r.chatbot_latencies.summary().mean();
-        assert!(agent_mean > chat_mean, "agent {agent_mean} vs chatbot {chat_mean}");
+        assert!(
+            agent_mean > chat_mean,
+            "agent {agent_mean} vs chatbot {chat_mean}"
+        );
     }
 
     #[test]

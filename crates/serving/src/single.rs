@@ -1,6 +1,10 @@
 //! Single-request runner: one agent session on a dedicated replica.
 
-use agentsim_agents::{build_agent, AgentConfig, AgentKind, AgentOp, LlmCallSpec, LlmOutput, OpResult};
+use std::collections::HashMap;
+
+use agentsim_agents::{
+    build_agent, AgentConfig, AgentKind, AgentOp, LlmCallSpec, LlmOutput, OpResult,
+};
 use agentsim_llm::{Engine, EngineConfig, RequestId};
 use agentsim_simkit::{SimDuration, SimRng, SimTime};
 use agentsim_tools::{ToolCall, ToolExecutor, ToolResult};
@@ -152,8 +156,7 @@ impl SingleRequest {
                     overlap,
                 } => {
                     let op_start = now;
-                    let (llm_end, records, outputs) =
-                        run_llm_specs(&mut engine, now, vec![llm]);
+                    let (llm_end, records, outputs) = run_llm_specs(&mut engine, now, vec![llm]);
                     let plan_time = llm_end.saturating_since(op_start);
                     let (tool_wall, results) = run_tools(&self.tools, &tools, &mut tool_rng);
                     let credit = plan_time.mul_f64(overlap.clamp(0.0, 1.0));
@@ -217,7 +220,10 @@ impl SingleRequest {
                 });
             }
         });
-        results.into_iter().map(|r| r.expect("worker filled slot")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("worker filled slot"))
+            .collect()
     }
 }
 
@@ -229,30 +235,29 @@ fn run_llm_specs(
     specs: Vec<LlmCallSpec>,
 ) -> (SimTime, Vec<LlmCallRecord>, Vec<LlmOutput>) {
     let mut meta: Vec<(RequestId, LlmCallSpec)> = Vec::with_capacity(specs.len());
-    for spec in specs {
-        let id = engine.submit(start, spec.prompt.clone(), spec.out_tokens, spec.gen_seed);
+    for mut spec in specs {
+        // Move the prompt into the engine so its memoized block hashes
+        // carry over; the retained spec only needs its metadata.
+        let prompt = std::mem::take(&mut spec.prompt);
+        let id = engine.submit(start, prompt, spec.out_tokens, spec.gen_seed);
         meta.push((id, spec));
     }
     let mut now = start;
-    let mut done: Vec<(RequestId, agentsim_llm::LlmCompletion)> = Vec::new();
+    let mut done: HashMap<RequestId, agentsim_llm::LlmCompletion> = HashMap::new();
     while done.len() < meta.len() {
         let end = engine
             .start_step_if_idle(now)
             .expect("engine must make progress on pending LLM calls");
         now = end;
         for c in engine.complete_step(now) {
-            done.push((c.id, c));
+            done.insert(c.id, c);
         }
     }
     // Order records and outputs by submission order.
     let mut records = Vec::with_capacity(meta.len());
     let mut outputs = Vec::with_capacity(meta.len());
-    for (id, spec) in &meta {
-        let completion = done
-            .iter()
-            .find(|(cid, _)| cid == id)
-            .map(|(_, c)| c.clone())
-            .expect("completion recorded");
+    for (id, spec) in meta {
+        let completion = done.remove(&id).expect("completion recorded");
         let mut breakdown = spec.breakdown;
         breakdown.output = completion.output_tokens;
         outputs.push(LlmOutput {
@@ -368,7 +373,10 @@ mod tests {
         let o = SingleRequest::new(AgentKind::LlmCompiler, Benchmark::HotpotQa)
             .seed(5)
             .run();
-        assert!(o.trace.overlap_wall > SimDuration::ZERO, "planner/tool overlap");
+        assert!(
+            o.trace.overlap_wall > SimDuration::ZERO,
+            "planner/tool overlap"
+        );
         let sum = o.trace.llm_wall + o.trace.tool_wall + o.trace.overlap_wall;
         assert_eq!(sum, o.trace.e2e());
     }
@@ -408,7 +416,11 @@ mod tests {
         let o = SingleRequest::new(AgentKind::Lats, Benchmark::HotpotQa)
             .seed(8)
             .run();
-        assert!(o.trace.llm_calls() > 15, "LATS made {}", o.trace.llm_calls());
+        assert!(
+            o.trace.llm_calls() > 15,
+            "LATS made {}",
+            o.trace.llm_calls()
+        );
         // Parallel siblings share the parent prefix.
         assert!(o.kv_hit_rate > 0.3, "LATS hit rate {}", o.kv_hit_rate);
     }

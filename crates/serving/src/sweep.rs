@@ -15,8 +15,10 @@ pub struct SweepPoint {
     pub report: ServingReport,
 }
 
-/// Runs the workload at each offered load, in parallel across OS threads.
-/// Results are returned in the input order, deterministically.
+/// Runs the workload at each offered load, in parallel across at most
+/// `available_parallelism` OS threads. Results are returned in the input
+/// order; each point's seed depends only on `(seed, qps)`, so the result
+/// is deterministic regardless of how points are spread over threads.
 ///
 /// # Panics
 ///
@@ -30,23 +32,33 @@ pub fn qps_sweep(
 ) -> Vec<SweepPoint> {
     assert!(!qps_points.is_empty(), "sweep needs at least one point");
     assert!(num_requests > 0, "sweep needs requests");
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(qps_points.len());
+    let per_thread = qps_points.len().div_ceil(threads);
     let mut out: Vec<Option<SweepPoint>> = qps_points.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
-        for (slot, &qps) in out.iter_mut().zip(qps_points) {
-            let engine = engine.clone();
-            let workload = workload.clone();
+        for (slots, points) in out
+            .chunks_mut(per_thread)
+            .zip(qps_points.chunks(per_thread))
+        {
             scope.spawn(move || {
-                let cfg = ServingConfig::new(workload, qps, num_requests)
-                    .seed(splitmix64(seed ^ qps.to_bits()))
-                    .engine(engine);
-                *slot = Some(SweepPoint {
-                    qps,
-                    report: ServingSim::new(cfg).run(),
-                });
+                for (slot, &qps) in slots.iter_mut().zip(points) {
+                    let cfg = ServingConfig::new(workload.clone(), qps, num_requests)
+                        .seed(splitmix64(seed ^ qps.to_bits()))
+                        .engine(engine.clone());
+                    *slot = Some(SweepPoint {
+                        qps,
+                        report: ServingSim::new(cfg).run(),
+                    });
+                }
             });
         }
     });
-    out.into_iter().map(|p| p.expect("point computed")).collect()
+    out.into_iter()
+        .map(|p| p.expect("point computed"))
+        .collect()
 }
 
 /// Peak throughput: the highest achieved throughput across the sweep —

@@ -85,17 +85,26 @@ impl RequestTrace {
 
     /// Total output tokens across LLM calls.
     pub fn output_tokens(&self) -> u64 {
-        self.llm.iter().map(|c| c.completion.output_tokens as u64).sum()
+        self.llm
+            .iter()
+            .map(|c| c.completion.output_tokens as u64)
+            .sum()
     }
 
     /// Total input (prompt) tokens across LLM calls.
     pub fn input_tokens(&self) -> u64 {
-        self.llm.iter().map(|c| c.completion.prompt_tokens as u64).sum()
+        self.llm
+            .iter()
+            .map(|c| c.completion.prompt_tokens as u64)
+            .sum()
     }
 
     /// Total prompt tokens served from the prefix cache.
     pub fn cached_tokens(&self) -> u64 {
-        self.llm.iter().map(|c| c.completion.cached_tokens as u64).sum()
+        self.llm
+            .iter()
+            .map(|c| c.completion.cached_tokens as u64)
+            .sum()
     }
 
     /// Prefix-cache hit fraction over all prompt tokens.
@@ -160,7 +169,11 @@ impl fmt::Display for RequestTrace {
             self.llm_calls(),
             self.tool_calls(),
             self.e2e(),
-            if self.outcome.solved { "solved" } else { "failed" },
+            if self.outcome.solved {
+                "solved"
+            } else {
+                "failed"
+            },
             self.llm_wall,
             self.tool_wall,
             self.overlap_wall,

@@ -5,12 +5,10 @@
 //! let independent components (each request, each tool call) draw from
 //! decorrelated sequences without sharing mutable state.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A seedable random number generator for simulations.
 ///
-/// Wraps [`rand::rngs::SmallRng`] and adds domain-separated forking: a parent
+/// Wraps an in-tree xoshiro256++ core (no external dependency, so the
+/// workspace builds offline) and adds domain-separated forking: a parent
 /// stream can mint child streams keyed by an arbitrary `u64` (e.g. a request
 /// id), and the child sequence is a pure function of `(root seed, key path)`.
 ///
@@ -28,7 +26,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
     seed: u64,
 }
 
@@ -36,7 +34,7 @@ impl SimRng {
     /// Creates a generator from a root seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            inner: Xoshiro256PlusPlus::seed_from_u64(splitmix64(seed)),
             seed,
         }
     }
@@ -57,12 +55,13 @@ impl SimRng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        self.inner.next_u64()
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -85,7 +84,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "invalid range [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform `usize` draw in `[0, n)`.
@@ -95,7 +94,20 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot pick an index from an empty range");
-        self.inner.random_range(0..n)
+        self.below(n as u64) as usize
+    }
+
+    /// Unbiased uniform draw in `[0, n)` (Lemire's multiply-shift method).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        loop {
+            let x = self.inner.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n || low >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
@@ -116,6 +128,49 @@ impl SimRng {
     /// Panics if `items` is empty.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.index(items.len())]
+    }
+}
+
+/// The xoshiro256++ generator (Blackman & Vigna) backing [`SimRng`].
+///
+/// Small, fast, and statistically strong; vendored in-tree so the
+/// workspace has zero external runtime dependencies.
+#[derive(Debug, Clone)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expands a 64-bit seed into the 256-bit state with a SplitMix64
+    /// stream (the seeding procedure the xoshiro authors recommend).
+    fn seed_from_u64(seed: u64) -> Self {
+        const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *word = z ^ (z >> 31);
+        }
+        if s == [0; 4] {
+            s[0] = 1; // the all-zero state is a fixed point
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 }
 
@@ -159,7 +214,10 @@ mod tests {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 4, "streams should be decorrelated, {same} collisions");
+        assert!(
+            same < 4,
+            "streams should be decorrelated, {same} collisions"
+        );
     }
 
     #[test]

@@ -269,10 +269,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
-        assert_eq!(
-            SimDuration::from_millis(3),
-            SimDuration::from_micros(3_000)
-        );
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
         assert_eq!(
             SimDuration::from_secs_f64(0.000_001),
             SimDuration::from_micros(1)

@@ -131,8 +131,7 @@ impl ToolExecutor {
                     }
                 };
                 // ...plus small per-call jitter.
-                let failed =
-                    rng.chance(spec.base_failure_rate * self.failures.rate_multiplier);
+                let failed = rng.chance(spec.base_failure_rate * self.failures.rate_multiplier);
                 let mut latency = base.mul_f64(jitter.sample(rng));
                 let response_tokens = if failed {
                     latency = latency.mul_f64(self.failures.failure_latency_multiplier);
@@ -202,7 +201,11 @@ mod tests {
         let exec = ToolExecutor::new().failure_policy(FailurePolicy::disabled());
         let mut rng = SimRng::seed_from(6);
         for _ in 0..2_000 {
-            assert!(!exec.execute(&ToolCall::new(ToolKind::WolframQuery), &mut rng).failed);
+            assert!(
+                !exec
+                    .execute(&ToolCall::new(ToolKind::WolframQuery), &mut rng)
+                    .failed
+            );
         }
     }
 

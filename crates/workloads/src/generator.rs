@@ -128,8 +128,7 @@ mod tests {
     fn user_token_lengths_track_benchmark_mean() {
         for b in [Benchmark::HotpotQa, Benchmark::HumanEval] {
             let g = TaskGenerator::new(b, 6);
-            let mean: f64 =
-                g.tasks(3_000).map(|t| t.user_tokens as f64).sum::<f64>() / 3_000.0;
+            let mean: f64 = g.tasks(3_000).map(|t| t.user_tokens as f64).sum::<f64>() / 3_000.0;
             let target = b.mean_user_tokens();
             assert!(
                 (mean - target).abs() / target < 0.15,

@@ -40,7 +40,10 @@ pub const DEFAULT_FEWSHOT: u32 = 4;
 /// The agent tag distinguishes frameworks (ReAct and Reflexion ship
 /// different instructions) so their prefixes do not alias.
 pub fn instruction_seed(benchmark: Benchmark, agent_tag: u64) -> u64 {
-    hash_key(b"instruction", benchmark_ordinal(benchmark) ^ (agent_tag << 8))
+    hash_key(
+        b"instruction",
+        benchmark_ordinal(benchmark) ^ (agent_tag << 8),
+    )
 }
 
 /// Segment seed for few-shot example `idx` of `(benchmark, agent tag)`.

@@ -29,7 +29,11 @@ fn measure(kind: AgentKind, benchmark: Benchmark, label: &str, config: AgentConf
     Point {
         label: label.to_string(),
         accuracy: outcomes.iter().filter(|o| o.trace.outcome.solved).count() as f64 / n,
-        latency_s: outcomes.iter().map(|o| o.trace.e2e().as_secs_f64()).sum::<f64>() / n,
+        latency_s: outcomes
+            .iter()
+            .map(|o| o.trace.e2e().as_secs_f64())
+            .sum::<f64>()
+            / n,
         pflops: outcomes.iter().map(|o| o.flops).sum::<f64>() / n / 1e15,
     }
 }
@@ -53,13 +57,37 @@ fn main() {
 
     let candidates: Vec<(AgentKind, String, AgentConfig)> = vec![
         (AgentKind::Cot, "CoT".into(), base),
-        (AgentKind::React, "ReAct it=3".into(), base.with_max_iterations(3)),
+        (
+            AgentKind::React,
+            "ReAct it=3".into(),
+            base.with_max_iterations(3),
+        ),
         (AgentKind::React, "ReAct it=7".into(), base),
-        (AgentKind::React, "ReAct it=12".into(), base.with_max_iterations(12)),
-        (AgentKind::Reflexion, "Reflexion t=2".into(), base.with_max_trials(2)),
-        (AgentKind::Reflexion, "Reflexion t=4".into(), base.with_max_trials(4)),
-        (AgentKind::Lats, "LATS c=3".into(), base.with_lats_children(3)),
-        (AgentKind::Lats, "LATS c=8".into(), base.with_lats_children(8)),
+        (
+            AgentKind::React,
+            "ReAct it=12".into(),
+            base.with_max_iterations(12),
+        ),
+        (
+            AgentKind::Reflexion,
+            "Reflexion t=2".into(),
+            base.with_max_trials(2),
+        ),
+        (
+            AgentKind::Reflexion,
+            "Reflexion t=4".into(),
+            base.with_max_trials(4),
+        ),
+        (
+            AgentKind::Lats,
+            "LATS c=3".into(),
+            base.with_lats_children(3),
+        ),
+        (
+            AgentKind::Lats,
+            "LATS c=8".into(),
+            base.with_lats_children(8),
+        ),
         (AgentKind::LlmCompiler, "LLMCompiler".into(), base),
     ];
 

@@ -24,7 +24,11 @@ fn drill(kind: AgentKind, rate_multiplier: f64) -> (f64, f64, f64, f64) {
         .run_batch(SAMPLES);
     let n = outcomes.len() as f64;
     let accuracy = outcomes.iter().filter(|o| o.trace.outcome.solved).count() as f64 / n;
-    let latency = outcomes.iter().map(|o| o.trace.e2e().as_secs_f64()).sum::<f64>() / n;
+    let latency = outcomes
+        .iter()
+        .map(|o| o.trace.e2e().as_secs_f64())
+        .sum::<f64>()
+        / n;
     let energy = outcomes.iter().map(|o| o.energy_wh).sum::<f64>() / n;
     let failed_calls = outcomes
         .iter()

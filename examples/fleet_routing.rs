@@ -30,11 +30,14 @@ fn main() {
         "energy Wh",
         "util (min..max)",
     ]);
-    for routing in [Routing::SessionAffinity, Routing::LeastLoaded, Routing::RoundRobin] {
-        let report = FleetSim::new(
-            FleetConfig::react_hotpotqa(replicas, routing, qps, requests).seed(17),
-        )
-        .run();
+    for routing in [
+        Routing::SessionAffinity,
+        Routing::LeastLoaded,
+        Routing::RoundRobin,
+    ] {
+        let report =
+            FleetSim::new(FleetConfig::react_hotpotqa(replicas, routing, qps, requests).seed(17))
+                .run();
         let umin = report.utilization.iter().copied().fold(1.0f64, f64::min);
         let umax = report.utilization.iter().copied().fold(0.0f64, f64::max);
         table.row(vec![

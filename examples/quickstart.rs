@@ -59,7 +59,11 @@ fn main() {
     println!("  energy               {:.3} Wh", outcome.energy_wh);
     println!(
         "  task outcome         {} after {} iterations",
-        if trace.outcome.solved { "solved" } else { "failed" },
+        if trace.outcome.solved {
+            "solved"
+        } else {
+            "failed"
+        },
         trace.outcome.iterations
     );
 

@@ -15,11 +15,7 @@ use agentsim_serving::SingleRequest;
 
 const SAMPLES: u64 = 30;
 
-fn measure(
-    kind: AgentKind,
-    engine: &EngineConfig,
-    config: AgentConfig,
-) -> (f64, f64, f64) {
+fn measure(kind: AgentKind, engine: &EngineConfig, config: AgentConfig) -> (f64, f64, f64) {
     let outcomes = SingleRequest::new(kind, Benchmark::HotpotQa)
         .seed(5)
         .engine_config(engine.clone())
@@ -27,14 +23,22 @@ fn measure(
         .run_batch(SAMPLES);
     let n = outcomes.len() as f64;
     let acc = outcomes.iter().filter(|o| o.trace.outcome.solved).count() as f64 / n;
-    let lat = outcomes.iter().map(|o| o.trace.e2e().as_secs_f64()).sum::<f64>() / n;
+    let lat = outcomes
+        .iter()
+        .map(|o| o.trace.e2e().as_secs_f64())
+        .sum::<f64>()
+        / n;
     let wh = outcomes.iter().map(|o| o.energy_wh).sum::<f64>() / n;
     (acc, lat, wh)
 }
 
 fn main() {
     for (model, engine, base) in [
-        ("Llama-3.1-8B on 1x A100", EngineConfig::a100_llama8b(), AgentConfig::default_8b()),
+        (
+            "Llama-3.1-8B on 1x A100",
+            EngineConfig::a100_llama8b(),
+            AgentConfig::default_8b(),
+        ),
         (
             "Llama-3.1-70B on 8x A100",
             EngineConfig::a100x8_llama70b(),
@@ -43,7 +47,8 @@ fn main() {
     ] {
         println!("==== {model} ====\n");
 
-        let mut seq = Table::with_columns(&["reflection trials", "accuracy", "latency s", "Wh/query"]);
+        let mut seq =
+            Table::with_columns(&["reflection trials", "accuracy", "latency s", "Wh/query"]);
         for trials in [1u32, 2, 4, 6] {
             let (acc, lat, wh) = measure(
                 AgentKind::Reflexion,
@@ -81,7 +86,9 @@ fn main() {
     let (_, _, wh) = measure(
         AgentKind::Lats,
         &EngineConfig::a100_llama8b(),
-        AgentConfig::default_8b().with_lats_children(8).with_lats_iterations(12),
+        AgentConfig::default_8b()
+            .with_lats_children(8)
+            .with_lats_iterations(12),
     );
     let projection = PowerProjection::new(wh);
     println!("==== Datacenter projection for LATS/8B at {wh:.2} Wh/query ====");

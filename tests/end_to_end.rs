@@ -58,7 +58,10 @@ fn energy_latency_utilization_triangle_holds() {
     let idle_w = 60.0;
     let peak_w = 400.0;
     assert!(o.energy_wh >= idle_w * window_h * 0.99, "below idle floor");
-    assert!(o.energy_wh <= peak_w * window_h * 1.01, "above peak ceiling");
+    assert!(
+        o.energy_wh <= peak_w * window_h * 1.01,
+        "above peak ceiling"
+    );
     assert!((0.0..=1.0).contains(&o.utilization));
 }
 
