@@ -34,6 +34,7 @@ pub mod ext_hardware;
 pub mod ext_mixed;
 pub mod ext_routing;
 pub mod ext_scheduler;
+pub mod ext_spans;
 pub mod ext_static;
 pub mod fig04;
 pub mod fig05;
@@ -173,6 +174,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Session routing across an agent-serving fleet"
         ),
         experiment!(
+            ext_spans,
+            "(extension)",
+            "Latency breakdown rebuilt from lifecycle spans"
+        ),
+        experiment!(
             ext_static,
             "(extension)",
             "Static (Best-of-N) vs dynamic test-time scaling"
@@ -197,7 +203,7 @@ mod tests {
     #[test]
     fn registry_covers_all_paper_artifacts() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 32);
+        assert_eq!(ids.len(), 33);
         for required in [
             "table1",
             "table2",
@@ -223,6 +229,6 @@ mod tests {
         let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 32);
+        assert_eq!(ids.len(), 33);
     }
 }

@@ -10,6 +10,7 @@ use agentsim_simkit::{SimDuration, SimTime};
 
 use crate::config::{EngineConfig, SchedulerPolicy};
 use crate::metrics::EngineMetrics;
+use crate::observer::{EngineEvent, EngineObserver, StepKind};
 use crate::request::{LlmCompletion, RequestId};
 
 /// A queued (not yet scheduled) request.
@@ -55,16 +56,10 @@ struct Running {
     preemptions: u32,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StepKind {
-    Prefill,
-    Decode,
-    Mixed,
-}
-
 #[derive(Debug)]
 struct StepInProgress {
     kind: StepKind,
+    started: SimTime,
     ends: SimTime,
     duration: SimDuration,
     flops: f64,
@@ -84,6 +79,7 @@ pub struct Engine {
     step: Option<StepInProgress>,
     next_id: u64,
     metrics: EngineMetrics,
+    observer: Option<Box<dyn EngineObserver>>,
 }
 
 impl Engine {
@@ -108,8 +104,26 @@ impl Engine {
             step: None,
             next_id: 0,
             metrics: EngineMetrics::new(energy),
+            observer: None,
             config,
         }
+    }
+
+    /// Attaches an observer that receives every [`EngineEvent`]. Replaces
+    /// any previous observer. With no observer attached, event
+    /// construction is skipped entirely (zero overhead).
+    pub fn set_observer(&mut self, observer: Box<dyn EngineObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the current observer, if any.
+    pub fn clear_observer(&mut self) -> Option<Box<dyn EngineObserver>> {
+        self.observer.take()
+    }
+
+    /// Whether an observer is attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
     }
 
     /// The engine configuration.
@@ -192,10 +206,11 @@ impl Engine {
         );
         let id = RequestId(self.next_id);
         self.next_id += 1;
+        let prompt_tokens = prompt.len() as u32;
         self.waiting.push_back(Waiting {
             id,
             priority,
-            orig_prompt_tokens: prompt.len() as u32,
+            orig_prompt_tokens: prompt_tokens,
             prompt,
             target_out: out_tokens,
             generated: 0,
@@ -208,6 +223,15 @@ impl Engine {
             cached_tokens: 0,
             preemptions: 0,
         });
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_event(&EngineEvent::Submitted {
+                id,
+                at: now,
+                prompt_tokens,
+                out_tokens,
+                priority,
+            });
+        }
         id
     }
 
@@ -284,6 +308,36 @@ impl Engine {
             }
         }
 
+        // Emit the step's batch composition and occupancy snapshot before
+        // token production removes completions and preempts victims.
+        if self.observer.is_some() {
+            let decode: Vec<RequestId> = if step.kind == StepKind::Prefill {
+                Vec::new()
+            } else {
+                self.running
+                    .iter()
+                    .filter(|r| r.prefill_remaining == 0 && !chunk_of.contains_key(&r.id))
+                    .map(|r| r.id)
+                    .collect()
+            };
+            let event = EngineEvent::StepCompleted {
+                kind: step.kind,
+                started: step.started,
+                ended: now,
+                flops: step.flops,
+                prefill: &step.prefill_chunks,
+                decode: &decode,
+                kv_used_blocks: self.kv.used_blocks() as u64,
+                kv_total_blocks: self.kv.config().num_blocks as u64,
+                running: self.running.len() as u32,
+                waiting: self.waiting.len() as u32,
+            };
+            self.observer
+                .as_deref_mut()
+                .expect("observer checked above")
+                .on_event(&event);
+        }
+
         let mut done = Vec::new();
 
         // Sequences that just finished prefill produce their first token;
@@ -307,6 +361,12 @@ impl Engine {
             }
             match self.produce_token(idx, now) {
                 TokenOutcome::Completed(c) => {
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.on_event(&EngineEvent::Completed {
+                            at: now,
+                            completion: &c,
+                        });
+                    }
                     done.push(c);
                     // produce_token removed the entry; do not advance idx.
                 }
@@ -346,6 +406,7 @@ impl Engine {
             }
             return Some(StepInProgress {
                 kind: StepKind::Prefill,
+                started: now,
                 ends: now + cost.duration,
                 duration: cost.duration,
                 flops: cost.flops,
@@ -374,6 +435,7 @@ impl Engine {
         }
         Some(StepInProgress {
             kind: StepKind::Decode,
+            started: now,
             ends: now + cost.duration,
             duration: cost.duration,
             flops: cost.flops,
@@ -445,6 +507,7 @@ impl Engine {
         };
         Some(StepInProgress {
             kind,
+            started: now,
             ends: now + cost.duration,
             duration: cost.duration,
             flops: cost.flops,
@@ -509,6 +572,15 @@ impl Engine {
             });
             let r = self.running.last_mut().expect("just pushed");
             r.prompt_tokens = r.ctx.len() as u32;
+            if let Some(obs) = self.observer.as_deref_mut() {
+                let &(id, new_tokens, cached_tokens) = admitted.last().expect("just admitted");
+                obs.on_event(&EngineEvent::Admitted {
+                    id,
+                    at: now,
+                    new_tokens,
+                    cached_tokens,
+                });
+            }
             if budget_used >= budget_tokens {
                 break;
             }
@@ -593,6 +665,13 @@ impl Engine {
         let r = self.running.swap_remove(idx);
         self.kv.free(r.seq, now);
         self.metrics.preemptions += 1;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_event(&EngineEvent::Preempted {
+                id: r.id,
+                at: now,
+                generated: r.generated,
+            });
+        }
         self.waiting.push_front(Waiting {
             id: r.id,
             priority: r.priority,
@@ -881,6 +960,90 @@ mod tests {
         let mut e = Engine::new(small_config().with_kv_fraction(0.004));
         e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 4096), 4, 0);
         let _ = e.start_step_if_idle(SimTime::ZERO);
+    }
+
+    /// Collects a compact transcript of every observed event.
+    #[derive(Debug, Default)]
+    struct EventLog {
+        entries: std::rc::Rc<std::cell::RefCell<Vec<String>>>,
+    }
+
+    impl EngineObserver for EventLog {
+        fn on_event(&mut self, event: &EngineEvent<'_>) {
+            let line = match *event {
+                EngineEvent::Submitted { id, .. } => format!("submit {id}"),
+                EngineEvent::Admitted { id, .. } => format!("admit {id}"),
+                EngineEvent::StepCompleted { kind, .. } => format!("step {kind}"),
+                EngineEvent::Preempted { id, .. } => format!("preempt {id}"),
+                EngineEvent::Completed { completion, .. } => {
+                    format!("complete {}", completion.id)
+                }
+            };
+            self.entries.borrow_mut().push(line);
+        }
+    }
+
+    #[test]
+    fn observer_sees_full_lifecycle_in_order() {
+        let mut e = Engine::new(small_config());
+        let log = EventLog::default();
+        let entries = log.entries.clone();
+        e.set_observer(Box::new(log));
+        let id = e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 512), 3, 7);
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done.len(), 1);
+
+        let lines = entries.borrow();
+        assert_eq!(lines[0], format!("submit {id}"));
+        assert_eq!(lines[1], format!("admit {id}"));
+        assert_eq!(lines[2], "step prefill");
+        // 2 decode steps follow (first token at prefill end), then the
+        // completion fires at the final decode step.
+        assert_eq!(lines.last().unwrap(), &format!("complete {id}"));
+        assert_eq!(
+            lines.iter().filter(|l| *l == "step decode").count() as u64,
+            e.metrics().decode_steps
+        );
+        assert!(e.has_observer());
+        assert!(e.clear_observer().is_some());
+        assert!(!e.has_observer());
+    }
+
+    #[test]
+    fn observer_sees_preemptions_and_readmissions() {
+        let mut e = Engine::new(small_config().with_kv_fraction(0.02));
+        let log = EventLog::default();
+        let entries = log.entries.clone();
+        e.set_observer(Box::new(log));
+        for i in 0..5u64 {
+            e.submit(SimTime::ZERO, TokenBuf::from_segment(10 + i, 700), 300, i);
+        }
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done.len(), 5);
+        let lines = entries.borrow();
+        let preempts = lines.iter().filter(|l| l.starts_with("preempt")).count();
+        assert_eq!(preempts as u64, e.metrics().preemptions);
+        assert!(preempts > 0, "tiny pool must preempt");
+        // Every preempted request is later re-admitted: admits > requests.
+        let admits = lines.iter().filter(|l| l.starts_with("admit")).count();
+        assert!(admits > 5, "admits {admits}");
+    }
+
+    #[test]
+    fn observer_does_not_change_results() {
+        let run = |observe: bool| {
+            let mut e = Engine::new(small_config().with_kv_fraction(0.025));
+            if observe {
+                e.set_observer(Box::new(EventLog::default()));
+            }
+            for i in 0..6u64 {
+                e.submit(SimTime::ZERO, TokenBuf::from_segment(50 + i, 800), 200, i);
+            }
+            let (mut done, end) = drain(&mut e, SimTime::ZERO);
+            done.sort_by_key(|c| c.id);
+            (done, end)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

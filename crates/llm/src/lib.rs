@@ -43,9 +43,11 @@
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod observer;
 pub mod request;
 
 pub use config::{EngineConfig, SchedulerPolicy};
 pub use engine::Engine;
 pub use metrics::EngineMetrics;
+pub use observer::{EngineEvent, EngineObserver, StepKind};
 pub use request::{LlmCompletion, RequestId};

@@ -42,7 +42,13 @@ impl Histogram {
     }
 
     /// Records one value (clamped into range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite (NaN would otherwise fail both
+    /// range comparisons and be silently miscounted in the first bin).
     pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "histogram values must be finite");
         let bins = self.counts.len();
         let idx = if value < self.lo {
             0
@@ -82,17 +88,31 @@ impl Histogram {
     }
 
     /// Fraction of mass at or above `value` (tail weight).
+    ///
+    /// Bins entirely at or above `value` count in full; a bin straddled
+    /// mid-bin contributes pro rata by the covered width (assuming mass
+    /// is uniform within the bin). Without the straddled share, a
+    /// threshold just past a bin start would drop that whole bin and
+    /// quantize the tail to bin boundaries.
     pub fn tail_fraction(&self, value: f64) -> f64 {
         let total = self.total();
         if total == 0 {
             return 0.0;
         }
-        let tail: u64 = self
+        let tail: f64 = self
             .iter()
-            .filter(|&(start, _, _)| start >= value)
-            .map(|(_, _, c)| c)
+            .map(|(start, end, c)| {
+                if start >= value {
+                    c as f64
+                } else if end > value {
+                    // Straddled bin: the share of its width above `value`.
+                    c as f64 * (end - value) / (end - start)
+                } else {
+                    0.0
+                }
+            })
             .sum();
-        tail as f64 / total as f64
+        tail / total as f64
     }
 
     /// Renders an ASCII bar chart (one line per non-empty bin).
@@ -155,6 +175,52 @@ mod tests {
         }
         assert!((h.tail_fraction(8.0) - 0.5).abs() < 1e-12);
         assert_eq!(h.tail_fraction(20.0), 0.0);
+    }
+
+    #[test]
+    fn tail_fraction_includes_straddled_bin_pro_rata() {
+        // Four values all inside bin [8, 9). A mid-bin threshold used to
+        // drop the whole bin (tail quantized to 0); pro-rata keeps the
+        // covered share: (9 - 8.5) / 1 of the bin's 4 observations.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [8.1, 8.2, 8.6, 8.9] {
+            h.record(v);
+        }
+        assert!((h.tail_fraction(8.5) - 0.5).abs() < 1e-12);
+        // Threshold exactly on a bin edge keeps full-bin semantics.
+        assert!((h.tail_fraction(8.0) - 1.0).abs() < 1e-12);
+        assert!((h.tail_fraction(9.0) - 0.0).abs() < 1e-12);
+        // Thresholds below the range cover everything.
+        assert!((h.tail_fraction(-1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_fraction_is_monotone_in_threshold() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        let mut prev = 1.0;
+        for i in 0..=100 {
+            let t = i as f64 / 10.0;
+            let f = h.tail_fraction(t);
+            assert!(f <= prev + 1e-12, "tail_fraction({t}) = {f} > {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_rejected() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(f64::INFINITY);
     }
 
     #[test]

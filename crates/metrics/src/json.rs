@@ -1,0 +1,280 @@
+//! Minimal JSON utilities for the exporters: string escaping and a
+//! dependency-free validity checker.
+//!
+//! The workspace builds fully offline (no serde), yet the observability
+//! exporters emit Chrome `trace_event` JSON and JSONL event logs that CI
+//! must be able to verify are well-formed. [`validate`] is a strict
+//! recursive-descent parser over the JSON grammar (RFC 8259) that checks
+//! syntax without building a document tree.
+//!
+//! # Example
+//!
+//! ```
+//! use agentsim_metrics::json;
+//!
+//! json::validate(r#"{"a": [1, 2.5e-3, "x\n", true, null]}"#).unwrap();
+//! assert!(json::validate("{broken").is_err());
+//! assert_eq!(json::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+//! ```
+
+/// Escapes a string for embedding inside a JSON string literal (without
+/// the surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Checks that `text` is exactly one well-formed JSON value (with
+/// optional surrounding whitespace). Returns the byte offset and a
+/// description on the first error.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, msg: &str) -> String {
+        format!("byte {}: {}", self.pos, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.error("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.error("bad escape sequence")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits()?,
+            _ => return Err(self.error("expected digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+
+    fn digits(&mut self) -> Result<(), String> {
+        let mut any = false;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            any = true;
+        }
+        if any {
+            Ok(())
+        } else {
+            Err(self.error("expected digit"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            "-0.5e+10",
+            "\"\"",
+            r#""é\n""#,
+            "[]",
+            "{}",
+            "[1, [2, {\"a\": null}], \"b\"]",
+            r#"{"traceEvents": [{"name": "x", "ph": "X", "ts": 1.5, "dur": 2}]}"#,
+            "  {\n\t\"k\" : [ ] }  ",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"ctrl \u{0}\"",
+            "[1] trailing",
+            "NaN",
+        ] {
+            assert!(validate(doc).is_err(), "accepted invalid {doc:?}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_validate() {
+        let nasty = "he said \"hi\\bye\"\nctrl:\u{1} tab\t";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        validate(&doc).unwrap();
+    }
+}

@@ -5,6 +5,8 @@
 //! * [`Histogram`] — fixed-width binning for latency distributions
 //!   (the paper's Fig. 7),
 //! * [`TimeSeries`] — time-weighted gauges (queue depth, batch size),
+//! * [`json`] — escape helper and a dependency-free JSON validity
+//!   checker backing the trace exporters,
 //! * [`power`] — per-query energy → datacenter power projections
 //!   (its Table III),
 //! * [`Table`] — plain-text table rendering for the `figures` binary.
@@ -23,6 +25,7 @@
 //! ```
 
 pub mod histogram;
+pub mod json;
 pub mod power;
 pub mod samples;
 pub mod summary;

@@ -190,6 +190,21 @@ impl FleetSim {
         }
     }
 
+    /// Attaches one fresh [`crate::SpanRecorder`] per replica (as each
+    /// engine's observer) and returns the handles, indexed by replica.
+    /// Combine them with [`crate::chrome_trace`] for a single trace file
+    /// with one process track per replica.
+    pub fn attach_recorders(&mut self) -> Vec<crate::SpanRecorder> {
+        self.engines
+            .iter_mut()
+            .map(|engine| {
+                let recorder = crate::SpanRecorder::new();
+                engine.set_observer(Box::new(recorder.clone()));
+                recorder
+            })
+            .collect()
+    }
+
     /// Runs to completion and reports.
     pub fn run(mut self) -> FleetReport {
         while let Some((now, event)) = self.queue.pop() {
@@ -211,8 +226,12 @@ impl FleetSim {
         match self.config.routing {
             Routing::SessionAffinity => (sid as usize) % n,
             Routing::RoundRobin => {
-                self.rr_counter = (self.rr_counter + 1) % n;
-                self.rr_counter
+                // Post-increment: the first dispatch lands on replica 0.
+                // (Pre-incrementing skewed dispatch order so replica 0 was
+                // systematically served last.)
+                let replica = self.rr_counter % n;
+                self.rr_counter = (replica + 1) % n;
+                replica
             }
             Routing::LeastLoaded => (0..n)
                 .min_by_key(|&r| self.engines[r].queue_len() + self.engines[r].running_len())
@@ -411,6 +430,35 @@ mod tests {
 
     fn run(routing: Routing, replicas: u32) -> FleetReport {
         FleetSim::new(FleetConfig::react_hotpotqa(replicas, routing, 2.0, 40).seed(3)).run()
+    }
+
+    #[test]
+    fn round_robin_dispatch_order_starts_at_replica_zero() {
+        let mut sim = FleetSim::new(FleetConfig::react_hotpotqa(3, Routing::RoundRobin, 1.0, 3));
+        let order: Vec<usize> = (0..7).map(|sid| sim.route(sid)).collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2, 0], "post-increment rotation");
+    }
+
+    #[test]
+    fn session_affinity_pins_sessions_to_replicas() {
+        let mut sim = FleetSim::new(FleetConfig::react_hotpotqa(
+            4,
+            Routing::SessionAffinity,
+            1.0,
+            3,
+        ));
+        for sid in 0..16u64 {
+            assert_eq!(sim.route(sid), (sid % 4) as usize);
+            // Repeated calls of the same session stay put.
+            assert_eq!(sim.route(sid), (sid % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn least_loaded_picks_an_idle_replica_first() {
+        let mut sim = FleetSim::new(FleetConfig::react_hotpotqa(3, Routing::LeastLoaded, 1.0, 3));
+        // All replicas idle: ties break toward the lowest index.
+        assert_eq!(sim.route(9), 0);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   throughput, tail latency vs QPS, KV pressure, cache thrashing).
 //! * [`fleet`] — several replicas behind a router (session affinity vs
 //!   stateless balancing), extending the paper's §VI datacenter view.
+//! * [`observe`] — step-level observability: attach a [`SpanRecorder`]
+//!   to any of the above and export per-request lifecycle spans, engine
+//!   time-series, and Chrome-trace / JSONL files.
 //!
 //! # Example
 //!
@@ -27,6 +30,7 @@
 //! ```
 
 pub mod fleet;
+pub mod observe;
 pub mod open_loop;
 pub mod report;
 pub mod single;
@@ -34,6 +38,7 @@ pub mod sweep;
 pub mod trace;
 
 pub use fleet::{FleetConfig, FleetReport, FleetSim, Routing};
+pub use observe::{chrome_trace, Phase, RequestSpan, Segment, SpanRecorder, StepRecord};
 pub use open_loop::{ServingConfig, ServingSim, ServingWorkload};
 pub use report::ServingReport;
 pub use single::{SingleOutcome, SingleRequest};

@@ -175,6 +175,15 @@ impl ServingSim {
         }
     }
 
+    /// Attaches a fresh [`crate::SpanRecorder`] as the engine's observer
+    /// and returns a handle to read spans/series/exports after
+    /// [`ServingSim::run`]. Replaces any previously attached observer.
+    pub fn attach_recorder(&mut self) -> crate::SpanRecorder {
+        let recorder = crate::SpanRecorder::new();
+        self.engine.set_observer(Box::new(recorder.clone()));
+        recorder
+    }
+
     /// Runs to completion and reports.
     pub fn run(mut self) -> ServingReport {
         while let Some((now, event)) = self.queue.pop() {

@@ -65,7 +65,16 @@ pub fn qps_sweep(
 /// an estimate of serving capacity (the knee of the paper's Fig. 14
 /// curves). Past the knee, offering more load cannot raise the achieved
 /// rate, so the maximum over a sweep that spans the knee measures it.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, matching [`qps_sweep`]'s contract (a
+/// silent `0.0` sentinel would read as "the server has no capacity").
 pub fn peak_throughput(points: &[SweepPoint]) -> f64 {
+    assert!(
+        !points.is_empty(),
+        "peak_throughput needs at least one sweep point"
+    );
     points
         .iter()
         .map(|p| p.report.throughput())
@@ -122,6 +131,14 @@ mod tests {
         // 50 qps of chatbot far exceeds one A100's capacity: the sustained
         // peak must be well below the top offer.
         assert!(peak < 40.0, "peak {peak}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sweep point")]
+    fn empty_peak_throughput_rejected() {
+        // An empty sweep must fail loudly, like `qps_sweep` itself does —
+        // returning 0.0 would read as "the server has no capacity".
+        let _ = peak_throughput(&[]);
     }
 
     #[test]
