@@ -1,0 +1,279 @@
+//! Extension: disaggregated prefill/decode serving as a what-if against
+//! the colocated baseline, at iso-GPU count.
+//!
+//! The paper shows agentic traffic is prefill-heavy — every ReAct
+//! iteration re-reads the growing history (its Figs. 9–10) — and that
+//! tail latency collapses once prefill bursts share a replica with
+//! decode (Fig. 14). Splitwise-style disaggregation is the
+//! infrastructure response: dedicate a pool to prefill, migrate each
+//! request's KV blocks over an interconnect at its first token, decode
+//! on an isolated pool. This experiment prices that trade on the
+//! paper's workload: decode-side TPOT p99 improves (prefill
+//! interference is gone by construction), TTFT pays a KV-transfer toll
+//! that grows as the link slows, and the transfer is an explicit phase
+//! that sums exactly into end-to-end latency.
+
+use agentsim_gpu::LinkSpec;
+use agentsim_llm::EngineConfig;
+use agentsim_metrics::Table;
+use agentsim_serving::{DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload};
+
+use crate::figure::{FigureResult, Scale};
+
+/// TTFT SLO for goodput accounting (seconds).
+const TTFT_SLO_S: f64 = 2.0;
+/// TPOT SLO for goodput accounting (seconds per token).
+const TPOT_SLO_S: f64 = 0.02;
+
+fn phase(report: &DisaggReport, name: &str) -> f64 {
+    report
+        .phase_totals()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| *s)
+        .expect("known phase")
+}
+
+fn row(table: &mut Table, topo: &str, qps: f64, report: &DisaggReport) {
+    let mut ttft = report.ttft();
+    let mut tpot = report.tpot();
+    table.row(vec![
+        format!("{qps:.2}"),
+        topo.to_string(),
+        format!("{:.2}", report.throughput()),
+        format!("{:.3}", ttft.p95()),
+        format!("{:.1}", tpot.percentile(99.0) * 1e3),
+        format!("{:.2}", report.goodput(TTFT_SLO_S, TPOT_SLO_S)),
+        format!("{:.1}", report.p95_s),
+        format!("{}", report.migrated_calls),
+    ]);
+}
+
+/// Compares colocated vs disaggregated serving at iso-GPU count, then
+/// prices the interconnect and exercises the 70B tensor-parallel preset.
+pub fn run(scale: &Scale) -> FigureResult {
+    let mut result = FigureResult::new(
+        "ext_disagg",
+        "Extension: disaggregated prefill/decode serving vs colocated, iso-GPU",
+    );
+    let n = scale.serving_requests;
+    let workload = DisaggWorkload::react_hotpotqa;
+
+    // Panel 1: QPS sweep, 2 colocated replicas vs 1 prefill + 1 decode.
+    let qps_points = [0.5, 1.0, 2.0, 3.0];
+    let mut table = Table::with_columns(&[
+        "QPS",
+        "topology",
+        "tput",
+        "ttft p95 s",
+        "tpot p99 ms",
+        "goodput",
+        "p95 s",
+        "migrations",
+    ]);
+    let mut sweep = Vec::new();
+    for &qps in &qps_points {
+        let colocated =
+            DisaggSim::new(DisaggConfig::colocated(workload(), 2, qps, n).seed(scale.seed)).run();
+        let disagg = DisaggSim::new(DisaggConfig::new(workload(), qps, n).seed(scale.seed)).run();
+        row(&mut table, "colocated 2x", qps, &colocated);
+        row(&mut table, "disagg 1P+1D", qps, &disagg);
+        sweep.push((qps, colocated, disagg));
+    }
+    result.table(
+        &format!("ReAct/HotpotQA, 2 GPUs either way, {n} requests, NVLink transfers"),
+        table,
+    );
+
+    // The crossover claim: under prefill-heavy agentic load, the decode
+    // pool's isolation shows up as a better inter-token tail.
+    let (hi_qps, hi_colocated, hi_disagg) = sweep
+        .iter()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("non-empty sweep");
+    let colocated_tpot = {
+        let mut t = hi_colocated.tpot();
+        t.percentile(99.0)
+    };
+    let disagg_tpot = {
+        let mut t = hi_disagg.tpot();
+        t.percentile(99.0)
+    };
+    result.check(
+        "disagg-improves-decode-tpot-tail",
+        disagg_tpot < colocated_tpot,
+        format!(
+            "tpot p99 at {hi_qps} QPS: disagg {:.1} ms vs colocated {:.1} ms — \
+             prefill bursts no longer stall running decodes",
+            disagg_tpot * 1e3,
+            colocated_tpot * 1e3
+        ),
+    );
+    result.check(
+        "decode-pool-isolation-eliminates-stall",
+        phase(hi_disagg, "stall") == 0.0 && phase(hi_colocated, "stall") > 0.0,
+        format!(
+            "stall phase at {hi_qps} QPS: disagg {:.2} s vs colocated {:.2} s",
+            phase(hi_disagg, "stall"),
+            phase(hi_colocated, "stall")
+        ),
+    );
+    let phases_total: f64 = hi_disagg.phase_totals().iter().map(|(_, s)| s).sum();
+    let e2e_total: f64 = hi_disagg.calls.iter().map(|c| c.e2e().as_secs_f64()).sum();
+    result.check(
+        "transfer-phase-partitions-e2e-exactly",
+        phase(hi_disagg, "transfer") > 0.0 && (phases_total - e2e_total).abs() < 1e-9,
+        format!(
+            "queue+prefill+transfer+decode+stall = {phases_total:.6} s vs \
+             summed e2e {e2e_total:.6} s (transfer {:.3} s)",
+            phase(hi_disagg, "transfer")
+        ),
+    );
+
+    // Panel 2: the interconnect tax. Same load, links from free to slow.
+    let link_qps = 1.0;
+    let mut links_table =
+        Table::with_columns(&["link", "ttft p95 s", "transfer s", "transfer wait s"]);
+    let mut by_link = Vec::new();
+    for link in [
+        LinkSpec::zero_cost(),
+        LinkSpec::nvlink4(),
+        LinkSpec::rdma_400g(),
+        LinkSpec::pcie_gen4(),
+    ] {
+        let name = link.name;
+        let report = DisaggSim::new(
+            DisaggConfig::new(workload(), link_qps, n)
+                .seed(scale.seed)
+                .link(link),
+        )
+        .run();
+        let mut ttft = report.ttft();
+        links_table.row(vec![
+            name.to_string(),
+            format!("{:.4}", ttft.p95()),
+            format!("{:.3}", phase(&report, "transfer")),
+            format!("{:.3}", report.transfer_wait.as_secs_f64()),
+        ]);
+        by_link.push((name, report));
+    }
+    result.table(
+        &format!("KV-transfer link sensitivity at {link_qps} QPS (1P+1D)"),
+        links_table,
+    );
+    let ttft_p95 = |name: &str| {
+        let report = &by_link
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("link ran")
+            .1;
+        let mut t = report.ttft();
+        t.p95()
+    };
+    result.check(
+        "kv-transfer-taxes-ttft",
+        ttft_p95("pcie_gen4") > ttft_p95("zero_cost"),
+        format!(
+            "ttft p95: pcie {:.4} s vs free link {:.4} s — the migration toll \
+             lands on time-to-first-token",
+            ttft_p95("pcie_gen4"),
+            ttft_p95("zero_cost")
+        ),
+    );
+    let transfer_secs = |name: &str| {
+        phase(
+            &by_link.iter().find(|(n, _)| *n == name).unwrap().1,
+            "transfer",
+        )
+    };
+    result.check(
+        "slower-links-spend-longer-in-transfer",
+        transfer_secs("pcie_gen4") > transfer_secs("nvlink4")
+            && transfer_secs("nvlink4") >= transfer_secs("zero_cost"),
+        format!(
+            "transfer phase: pcie {:.3} s > nvlink {:.3} s >= free {:.3} s",
+            transfer_secs("pcie_gen4"),
+            transfer_secs("nvlink4"),
+            transfer_secs("zero_cost")
+        ),
+    );
+
+    // Panel 3: the 70B tensor-parallel preset, end to end. Fewer
+    // requests — each 70B call is ~an order of magnitude slower.
+    let n70 = (n / 4).max(6);
+    let qps70 = 0.2;
+    let engine70 = EngineConfig::a100x8_llama70b();
+    let colocated70 = DisaggSim::new(
+        DisaggConfig::colocated(workload(), 2, qps70, n70)
+            .seed(scale.seed)
+            .engine(engine70.clone()),
+    )
+    .run();
+    let disagg70 = DisaggSim::new(
+        DisaggConfig::new(workload(), qps70, n70)
+            .seed(scale.seed)
+            .engine(engine70),
+    )
+    .run();
+    let mut table70 = Table::with_columns(&[
+        "QPS",
+        "topology",
+        "tput",
+        "ttft p95 s",
+        "tpot p99 ms",
+        "goodput",
+        "p95 s",
+        "migrations",
+    ]);
+    row(&mut table70, "colocated 2x", qps70, &colocated70);
+    row(&mut table70, "disagg 1P+1D", qps70, &disagg70);
+    result.table(
+        &format!("Llama-70B on A100x8 nodes (tensor-parallel), {n70} requests"),
+        table70,
+    );
+    let phases70: f64 = disagg70.phase_totals().iter().map(|(_, s)| s).sum();
+    let e2e70: f64 = disagg70.calls.iter().map(|c| c.e2e().as_secs_f64()).sum();
+    result.check(
+        "llama70b-disagg-serves-end-to-end",
+        colocated70.completed == n70
+            && disagg70.completed == n70
+            && disagg70.migrated_calls > 0
+            && (phases70 - e2e70).abs() < 1e-9,
+        format!(
+            "70B: {} + {} sessions completed, {} migrations, phase partition \
+             residual {:.1e}",
+            colocated70.completed,
+            disagg70.completed,
+            disagg70.migrated_calls,
+            (phases70 - e2e70).abs()
+        ),
+    );
+
+    result.note(format!(
+        "Iso-GPU crossover on prefill-heavy agentic load: disaggregation buys \
+         its decode-tail win (tpot p99 {:.1} -> {:.1} ms at {hi_qps} QPS) by \
+         paying for KV migration on TTFT; with NVLink the toll is microseconds, \
+         with PCIe it is visible ({:.4} vs {:.4} s p95). Transfer time is a \
+         first-class span phase, so the trade is directly auditable per call.",
+        colocated_tpot * 1e3,
+        disagg_tpot * 1e3,
+        ttft_p95("pcie_gen4"),
+        ttft_p95("zero_cost"),
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_pass_at_quick_scale() {
+        let scale = Scale {
+            serving_requests: 24,
+            ..Scale::quick()
+        };
+        let r = run(&scale);
+        assert!(r.all_checks_pass(), "failing: {:?}", r.failing_checks());
+    }
+}

@@ -30,6 +30,7 @@ pub mod ablation_block;
 pub mod ablation_chunked;
 pub mod ablation_step;
 pub mod concurrency;
+pub mod ext_disagg;
 pub mod ext_hardware;
 pub mod ext_mixed;
 pub mod ext_routing;
@@ -179,6 +180,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Latency breakdown rebuilt from lifecycle spans"
         ),
         experiment!(
+            ext_disagg,
+            "(extension)",
+            "Disaggregated prefill/decode serving vs colocated, iso-GPU"
+        ),
+        experiment!(
             ext_static,
             "(extension)",
             "Static (Best-of-N) vs dynamic test-time scaling"
@@ -203,7 +209,7 @@ mod tests {
     #[test]
     fn registry_covers_all_paper_artifacts() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 33);
+        assert_eq!(ids.len(), 34);
         for required in [
             "table1",
             "table2",
@@ -229,6 +235,6 @@ mod tests {
         let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 33);
+        assert_eq!(ids.len(), 34);
     }
 }

@@ -1,0 +1,199 @@
+//! Disaggregated-serving configuration: pool sizes, interconnect, and
+//! routing policies.
+
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_gpu::LinkSpec;
+use agentsim_llm::EngineConfig;
+use agentsim_workloads::Benchmark;
+
+/// What kind of traffic the disaggregated cluster receives. Mirrors the
+/// colocated drivers so a what-if comparison changes *only* the serving
+/// topology.
+#[derive(Debug, Clone)]
+pub enum DisaggWorkload {
+    /// Non-agentic single-turn chatbot traffic (ShareGPT).
+    Chatbot,
+    /// Agentic traffic: every request runs this agent on this benchmark.
+    Agent {
+        /// The agent framework.
+        kind: AgentKind,
+        /// The benchmark tasks are drawn from.
+        benchmark: Benchmark,
+        /// The agent configuration.
+        config: AgentConfig,
+    },
+}
+
+impl DisaggWorkload {
+    /// A ReAct-on-HotpotQA workload with default configuration (the
+    /// paper's canonical agent serving setup; prefill-heavy because every
+    /// iteration re-reads the growing history).
+    pub fn react_hotpotqa() -> Self {
+        DisaggWorkload::Agent {
+            kind: AgentKind::React,
+            benchmark: Benchmark::HotpotQa,
+            config: AgentConfig::default(),
+        }
+    }
+}
+
+/// How a call is assigned to a replica within one pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolRouting {
+    /// Rotate across the pool's replicas.
+    RoundRobin,
+    /// Pick the replica with the least work in flight (queued + running;
+    /// for decode pools, KV transfers still in the air count too).
+    LeastLoaded,
+}
+
+impl std::fmt::Display for PoolRouting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PoolRouting::RoundRobin => "round-robin",
+            PoolRouting::LeastLoaded => "least-loaded",
+        })
+    }
+}
+
+/// Configuration of one disaggregated (or colocated-baseline) run.
+#[derive(Debug, Clone)]
+pub struct DisaggConfig {
+    /// Per-replica engine configuration. The driver overrides the role
+    /// per pool ([`agentsim_llm::EngineRole::Prefill`] /
+    /// [`agentsim_llm::EngineRole::Decode`]), or leaves every replica
+    /// [`agentsim_llm::EngineRole::Colocated`] when `decode_replicas`
+    /// is zero.
+    pub engine: EngineConfig,
+    /// Replicas in the prefill pool (every replica, in colocated mode).
+    pub prefill_replicas: u32,
+    /// Replicas in the decode pool. Zero selects the colocated baseline:
+    /// no role split, no transfers, same driver and arrivals.
+    pub decode_replicas: u32,
+    /// The KV-migration interconnect (one ingress link per decode
+    /// replica). Ignored in colocated mode.
+    pub link: LinkSpec,
+    /// How new calls pick a prefill replica.
+    pub prefill_routing: PoolRouting,
+    /// How migrated calls pick a decode replica.
+    pub decode_routing: PoolRouting,
+    /// Traffic description.
+    pub workload: DisaggWorkload,
+    /// Offered load, requests per second.
+    pub qps: f64,
+    /// Requests (sessions) to issue.
+    pub num_requests: u64,
+    /// Root seed. Shares the colocated drivers' derivation so a
+    /// disaggregated and a colocated run at the same seed see identical
+    /// arrival processes and task draws.
+    pub seed: u64,
+}
+
+impl DisaggConfig {
+    /// A 1-prefill + 1-decode split over NVLink, default 8B replicas.
+    pub fn new(workload: DisaggWorkload, qps: f64, num_requests: u64) -> Self {
+        assert!(qps > 0.0, "offered load must be positive");
+        assert!(num_requests > 0, "need at least one request");
+        DisaggConfig {
+            engine: EngineConfig::a100_llama8b(),
+            prefill_replicas: 1,
+            decode_replicas: 1,
+            link: LinkSpec::nvlink4(),
+            prefill_routing: PoolRouting::RoundRobin,
+            decode_routing: PoolRouting::LeastLoaded,
+            workload,
+            qps,
+            num_requests,
+            seed: 0,
+        }
+    }
+
+    /// The colocated baseline at iso-GPU count: `replicas` role-free
+    /// engines, no transfers, same arrivals. What-if comparisons hold
+    /// everything else fixed.
+    pub fn colocated(workload: DisaggWorkload, replicas: u32, qps: f64, num_requests: u64) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        let mut cfg = DisaggConfig::new(workload, qps, num_requests);
+        cfg.prefill_replicas = replicas;
+        cfg.decode_replicas = 0;
+        cfg
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the per-replica engine configuration (role is ignored;
+    /// the driver assigns roles per pool).
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets pool sizes: `prefill` + `decode` replicas.
+    pub fn pools(mut self, prefill: u32, decode: u32) -> Self {
+        assert!(prefill > 0, "need at least one prefill replica");
+        self.prefill_replicas = prefill;
+        self.decode_replicas = decode;
+        self
+    }
+
+    /// Sets the KV-migration interconnect.
+    pub fn link(mut self, link: LinkSpec) -> Self {
+        link.validate();
+        self.link = link;
+        self
+    }
+
+    /// Sets the prefill-side routing policy.
+    pub fn prefill_routing(mut self, routing: PoolRouting) -> Self {
+        self.prefill_routing = routing;
+        self
+    }
+
+    /// Sets the decode-side routing policy.
+    pub fn decode_routing(mut self, routing: PoolRouting) -> Self {
+        self.decode_routing = routing;
+        self
+    }
+
+    /// Whether this run is the colocated baseline (no role split).
+    pub fn is_colocated(&self) -> bool {
+        self.decode_replicas == 0
+    }
+
+    /// Total GPUs-worth of replicas (the iso-GPU budget of a what-if).
+    pub fn total_replicas(&self) -> u32 {
+        self.prefill_replicas + self.decode_replicas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_split_one_one_over_nvlink() {
+        let cfg = DisaggConfig::new(DisaggWorkload::Chatbot, 1.0, 10);
+        assert_eq!(cfg.prefill_replicas, 1);
+        assert_eq!(cfg.decode_replicas, 1);
+        assert!(!cfg.is_colocated());
+        assert_eq!(cfg.total_replicas(), 2);
+        assert_eq!(cfg.link.name, LinkSpec::nvlink4().name);
+    }
+
+    #[test]
+    fn colocated_mode_has_no_decode_pool() {
+        let cfg = DisaggConfig::colocated(DisaggWorkload::Chatbot, 2, 1.0, 10);
+        assert!(cfg.is_colocated());
+        assert_eq!(cfg.total_replicas(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prefill replica")]
+    fn empty_prefill_pool_rejected() {
+        let _ = DisaggConfig::new(DisaggWorkload::Chatbot, 1.0, 1).pools(0, 1);
+    }
+}

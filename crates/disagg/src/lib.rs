@@ -1,0 +1,33 @@
+//! # agentsim-disagg
+//!
+//! Disaggregated prefill/decode serving (Splitwise/DistServe-style) for
+//! the agent-infrastructure simulator:
+//!
+//! - **Role-split pools** — requests prefill on a dedicated prefill
+//!   pool whose engines release each sequence at its first token, then
+//!   decode on a separate pool that admits mid-life requests with
+//!   pre-populated KV ([`agentsim_llm::EngineRole`]).
+//! - **KV-transfer interconnect** — migrated KV blocks move over a
+//!   modeled link (NVLink/PCIe/RDMA presets in [`agentsim_gpu::LinkSpec`])
+//!   with per-link bandwidth, latency, and FIFO serialization queueing
+//!   ([`TransferScheduler`]).
+//! - **What-if baseline** — the colocated configuration
+//!   ([`DisaggConfig::colocated`]) runs through the *same* driver with
+//!   the same arrivals and task draws, so colocated-vs-disaggregated
+//!   comparisons at iso-GPU count change nothing but topology.
+//!
+//! The driver is [`DisaggSim`]; it reports a [`DisaggReport`] whose
+//! per-call [`CallRecord`]s partition end-to-end latency exactly into
+//! queue / prefill / transfer / decode / stall ([`CallSpan`]).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod report;
+pub mod sim;
+pub mod transfer;
+
+pub use config::{DisaggConfig, DisaggWorkload, PoolRouting};
+pub use report::{CallRecord, CallSpan, DisaggReport};
+pub use sim::DisaggSim;
+pub use transfer::{PendingTransfer, TransferScheduler};

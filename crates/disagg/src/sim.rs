@@ -1,0 +1,712 @@
+//! The disaggregated-serving driver: prefill pool → KV transfer →
+//! decode pool, with the colocated baseline as the degenerate case.
+//!
+//! Mirrors the colocated drivers' event loop and RNG derivation exactly
+//! (same root constants, same arrival process, same per-session forks),
+//! so a disaggregated run and a colocated run at the same seed differ
+//! *only* in serving topology — the what-if experiments compare nothing
+//! else.
+
+use std::collections::HashMap;
+
+use agentsim_agents::{
+    build_agent, AgentConfig, AgentKind, AgentOp, AgentPolicy, LlmCallSpec, LlmOutput, OpResult,
+};
+use agentsim_llm::{Engine, EngineObserver, EngineRole, LlmCompletion, MigratedRequest, RequestId};
+use agentsim_metrics::Samples;
+use agentsim_simkit::dist::{Exponential, Sample};
+use agentsim_simkit::{EventQueue, SimDuration, SimRng, SimTime};
+use agentsim_tools::{ToolCall, ToolExecutor, ToolResult};
+use agentsim_workloads::{Benchmark, ShareGptGenerator, TaskGenerator};
+
+use crate::config::{DisaggConfig, DisaggWorkload, PoolRouting};
+use crate::report::{CallRecord, DisaggReport};
+use crate::transfer::TransferScheduler;
+
+#[derive(Debug)]
+enum Event {
+    Arrival(u64),
+    PrefillStep(usize),
+    DecodeStep(usize),
+    TransferDone(u64),
+    ToolsDone(u64),
+}
+
+struct Session {
+    /// `None` for chatbot sessions (single call, no policy).
+    policy: Option<Box<dyn AgentPolicy>>,
+    rng: SimRng,
+    arrived: SimTime,
+    /// Outstanding calls of the current op: `(call id, spec)`.
+    pending: Vec<(u64, LlmCallSpec)>,
+    /// Output token counts of finished calls of the current op.
+    done: HashMap<u64, u32>,
+    scheduled_tools: Vec<ToolResult>,
+    overlap_tools: Option<(Vec<ToolCall>, f64)>,
+    op_start: SimTime,
+    calls_made: u32,
+}
+
+/// One call's record under construction (prefill leg, then optionally a
+/// transfer and a decode leg).
+struct CallState {
+    session: u64,
+    prefill_replica: usize,
+    decode_replica: Option<usize>,
+    decode_submitted: Option<SimTime>,
+    transfer_wait: SimDuration,
+    /// Prefill leg, captured at migration time (`None` until then; local
+    /// completions fill the record directly).
+    migration: Option<MigratedRequest>,
+}
+
+/// The disaggregated serving simulator. Build with [`DisaggSim::new`],
+/// consume with [`DisaggSim::run`].
+pub struct DisaggSim {
+    config: DisaggConfig,
+    prefill_engines: Vec<Engine>,
+    decode_engines: Vec<Engine>,
+    transfers: TransferScheduler,
+    /// Transfer id → call id.
+    transfer_owner: HashMap<u64, u64>,
+    tools: ToolExecutor,
+    queue: EventQueue<Event>,
+    sessions: Vec<Option<Session>>,
+    calls: Vec<CallState>,
+    finished_calls: Vec<CallRecord>,
+    prefill_owner: HashMap<(usize, RequestId), u64>,
+    decode_owner: HashMap<(usize, RequestId), u64>,
+    root_rng: SimRng,
+    rr_prefill: usize,
+    rr_decode: usize,
+    latencies: Vec<f64>,
+    completed: u64,
+    solved: u64,
+    last_finish: SimTime,
+}
+
+impl std::fmt::Debug for DisaggSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DisaggSim")
+            .field("prefill_replicas", &self.prefill_engines.len())
+            .field("decode_replicas", &self.decode_engines.len())
+            .field("qps", &self.config.qps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DisaggSim {
+    /// Builds the simulator (arrivals pre-scheduled).
+    pub fn new(config: DisaggConfig) -> Self {
+        let prefill_role = if config.is_colocated() {
+            EngineRole::Colocated
+        } else {
+            EngineRole::Prefill
+        };
+        let prefill_engines = (0..config.prefill_replicas)
+            .map(|_| Engine::new(config.engine.clone().with_role(prefill_role)))
+            .collect();
+        let decode_engines = (0..config.decode_replicas)
+            .map(|_| Engine::new(config.engine.clone().with_role(EngineRole::Decode)))
+            .collect();
+        let transfers =
+            TransferScheduler::new(config.link.clone(), config.decode_replicas as usize);
+        // Same root/arrival derivation as the colocated open-loop driver:
+        // identical seeds ⇒ identical arrival processes.
+        let root_rng = SimRng::seed_from(config.seed ^ 0x5E61);
+        let mut queue = EventQueue::new();
+        let gaps = Exponential::with_rate(config.qps);
+        let mut arrival_rng = root_rng.fork(0xA221);
+        let mut t = SimTime::ZERO;
+        for i in 0..config.num_requests {
+            t += SimDuration::from_secs_f64(gaps.sample(&mut arrival_rng));
+            queue.push(t, Event::Arrival(i));
+        }
+        let sessions = (0..config.num_requests).map(|_| None).collect();
+        DisaggSim {
+            prefill_engines,
+            decode_engines,
+            transfers,
+            transfer_owner: HashMap::new(),
+            tools: ToolExecutor::new(),
+            queue,
+            sessions,
+            calls: Vec::new(),
+            finished_calls: Vec::new(),
+            prefill_owner: HashMap::new(),
+            decode_owner: HashMap::new(),
+            root_rng,
+            rr_prefill: 0,
+            rr_decode: 0,
+            latencies: Vec::new(),
+            completed: 0,
+            solved: 0,
+            last_finish: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// Replaces prefill replica `replica`'s engine observer (for span
+    /// recorders or invariant checkers).
+    pub fn set_prefill_observer(&mut self, replica: usize, observer: Box<dyn EngineObserver>) {
+        self.prefill_engines[replica].set_observer(observer);
+    }
+
+    /// Replaces decode replica `replica`'s engine observer.
+    pub fn set_decode_observer(&mut self, replica: usize, observer: Box<dyn EngineObserver>) {
+        self.decode_engines[replica].set_observer(observer);
+    }
+
+    /// Pool sizes as `(prefill, decode)` (for observer attachment).
+    pub fn pool_sizes(&self) -> (usize, usize) {
+        (self.prefill_engines.len(), self.decode_engines.len())
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(mut self) -> DisaggReport {
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                Event::Arrival(i) => self.on_arrival(i, now),
+                Event::PrefillStep(p) => self.on_prefill_step(p, now),
+                Event::DecodeStep(d) => self.on_decode_step(d, now),
+                Event::TransferDone(tid) => self.on_transfer_done(tid, now),
+                Event::ToolsDone(sid) => self.on_tools_done(sid, now),
+            }
+            self.kick_all(now);
+        }
+        assert_eq!(
+            self.completed, self.config.num_requests,
+            "all requests must finish"
+        );
+        assert_eq!(self.transfers.outstanding(), 0, "no transfer left behind");
+        self.into_report()
+    }
+
+    fn on_arrival(&mut self, i: u64, now: SimTime) {
+        match self.config.workload {
+            DisaggWorkload::Chatbot => self.arrive_chatbot(i, now),
+            DisaggWorkload::Agent {
+                kind,
+                benchmark,
+                config,
+            } => self.arrive_agent(i, now, kind, benchmark, config),
+        }
+    }
+
+    fn arrive_chatbot(&mut self, i: u64, now: SimTime) {
+        let query = ShareGptGenerator::new(self.config.seed).query(i);
+        let mut s = Session {
+            policy: None,
+            rng: self.root_rng.fork(i ^ 0xC4A7),
+            arrived: now,
+            pending: Vec::new(),
+            done: HashMap::new(),
+            scheduled_tools: Vec::new(),
+            overlap_tools: None,
+            op_start: now,
+            calls_made: 0,
+        };
+        let spec = LlmCallSpec {
+            prompt: Default::default(),
+            out_tokens: query.output_tokens,
+            gen_seed: query.gen_seed,
+            kind: agentsim_agents::OutputKind::Answer,
+            breakdown: Default::default(),
+        };
+        let call = self.submit_call(i, now, query.prompt, query.output_tokens, query.gen_seed, 0);
+        s.pending.push((call, spec));
+        self.sessions[i as usize] = Some(s);
+    }
+
+    fn arrive_agent(
+        &mut self,
+        i: u64,
+        now: SimTime,
+        kind: AgentKind,
+        benchmark: Benchmark,
+        config: AgentConfig,
+    ) {
+        let task = TaskGenerator::new(benchmark, self.config.seed).task(i);
+        let mut s = Session {
+            policy: Some(build_agent(kind, &task, config)),
+            rng: self.root_rng.fork(i ^ 0xA6E7),
+            arrived: now,
+            pending: Vec::new(),
+            done: HashMap::new(),
+            scheduled_tools: Vec::new(),
+            overlap_tools: None,
+            op_start: now,
+            calls_made: 0,
+        };
+        let op = s
+            .policy
+            .as_mut()
+            .expect("agent session")
+            .next(&OpResult::empty(), &mut s.rng);
+        self.sessions[i as usize] = Some(s);
+        self.dispatch(i, op, now);
+    }
+
+    fn route_prefill(&mut self) -> usize {
+        let n = self.prefill_engines.len();
+        match self.config.prefill_routing {
+            PoolRouting::RoundRobin => {
+                let replica = self.rr_prefill % n;
+                self.rr_prefill = (replica + 1) % n;
+                replica
+            }
+            PoolRouting::LeastLoaded => (0..n)
+                .min_by_key(|&p| {
+                    self.prefill_engines[p].queue_len() + self.prefill_engines[p].running_len()
+                })
+                .expect("non-empty prefill pool"),
+        }
+    }
+
+    fn route_decode(&mut self) -> usize {
+        let n = self.decode_engines.len();
+        match self.config.decode_routing {
+            PoolRouting::RoundRobin => {
+                let replica = self.rr_decode % n;
+                self.rr_decode = (replica + 1) % n;
+                replica
+            }
+            PoolRouting::LeastLoaded => (0..n)
+                .min_by_key(|&d| {
+                    self.decode_engines[d].queue_len()
+                        + self.decode_engines[d].running_len()
+                        + self.transfers.in_flight(d) as usize
+                })
+                .expect("non-empty decode pool"),
+        }
+    }
+
+    /// Submits one LLM call to the prefill pool and registers its state.
+    fn submit_call(
+        &mut self,
+        sid: u64,
+        now: SimTime,
+        prompt: agentsim_kvcache::TokenBuf,
+        out_tokens: u32,
+        gen_seed: u64,
+        priority: u32,
+    ) -> u64 {
+        let replica = self.route_prefill();
+        let id = self.prefill_engines[replica]
+            .submit_with_priority(now, prompt, out_tokens, gen_seed, priority);
+        let call = self.calls.len() as u64;
+        self.calls.push(CallState {
+            session: sid,
+            prefill_replica: replica,
+            decode_replica: None,
+            decode_submitted: None,
+            transfer_wait: SimDuration::ZERO,
+            migration: None,
+        });
+        self.prefill_owner.insert((replica, id), call);
+        call
+    }
+
+    fn dispatch(&mut self, sid: u64, op: AgentOp, now: SimTime) {
+        match op {
+            AgentOp::Llm(spec) => self.dispatch_llm(sid, vec![spec], now),
+            AgentOp::LlmBatch(specs) => self.dispatch_llm(sid, specs, now),
+            AgentOp::Tools(calls) => {
+                let tools = &self.tools;
+                let session = self.sessions[sid as usize].as_mut().expect("live session");
+                session.op_start = now;
+                let mut rng = session.rng.fork(now.as_micros());
+                let results: Vec<ToolResult> = tools.execute_batch(&calls, &mut rng);
+                let wall = results
+                    .iter()
+                    .map(|r| r.latency)
+                    .max()
+                    .unwrap_or(SimDuration::ZERO);
+                session.scheduled_tools = results;
+                self.queue.push(now + wall, Event::ToolsDone(sid));
+            }
+            AgentOp::OverlappedPlan {
+                llm,
+                tools,
+                overlap,
+            } => {
+                let session = self.sessions[sid as usize].as_mut().expect("live session");
+                session.overlap_tools = Some((tools, overlap));
+                self.dispatch_llm(sid, vec![llm], now);
+            }
+            AgentOp::Finish(outcome) => {
+                let session = self.sessions[sid as usize]
+                    .take()
+                    .expect("live session finishing");
+                self.latencies
+                    .push(now.saturating_since(session.arrived).as_secs_f64());
+                self.completed += 1;
+                self.solved += outcome.solved as u64;
+                self.last_finish = self.last_finish.max(now);
+            }
+        }
+    }
+
+    fn dispatch_llm(&mut self, sid: u64, specs: Vec<LlmCallSpec>, now: SimTime) {
+        let priority = {
+            let session = self.sessions[sid as usize].as_mut().expect("live session");
+            session.op_start = now;
+            session.done.clear();
+            let priority = session.calls_made;
+            session.calls_made += specs.len() as u32;
+            priority
+        };
+        for mut spec in specs {
+            let prompt = std::mem::take(&mut spec.prompt);
+            let call = self.submit_call(sid, now, prompt, spec.out_tokens, spec.gen_seed, priority);
+            let session = self.sessions[sid as usize].as_mut().expect("live session");
+            session.pending.push((call, spec));
+        }
+    }
+
+    fn on_prefill_step(&mut self, replica: usize, now: SimTime) {
+        // Local completions: colocated mode, or single-token outputs that
+        // never leave the prefill pool.
+        let completions = self.prefill_engines[replica].complete_step(now);
+        for completion in completions {
+            let call = self
+                .prefill_owner
+                .remove(&(replica, completion.id))
+                .expect("prefill completion belongs to a call");
+            self.finish_local_call(call, &completion, now);
+        }
+        // Migrations: first token produced, KV ready to move.
+        for migration in self.prefill_engines[replica].take_migrations() {
+            let call = self
+                .prefill_owner
+                .remove(&(replica, migration.id))
+                .expect("migration belongs to a call");
+            let dst = self.route_decode();
+            let state = &mut self.calls[call as usize];
+            state.decode_replica = Some(dst);
+            let (tid, arrival) = self.transfers.schedule(now, dst, migration);
+            self.transfer_owner.insert(tid, call);
+            self.queue.push(arrival, Event::TransferDone(tid));
+        }
+    }
+
+    fn on_transfer_done(&mut self, tid: u64, now: SimTime) {
+        let call = self
+            .transfer_owner
+            .remove(&tid)
+            .expect("transfer belongs to a call");
+        let pt = self.transfers.complete(tid);
+        let id = self.decode_engines[pt.dst].submit_prefilled(now, &pt.migration);
+        let state = &mut self.calls[call as usize];
+        state.decode_submitted = Some(now);
+        state.transfer_wait = pt.transfer.wait;
+        state.migration = Some(pt.migration);
+        self.decode_owner.insert((pt.dst, id), call);
+    }
+
+    fn on_decode_step(&mut self, replica: usize, now: SimTime) {
+        let completions = self.decode_engines[replica].complete_step(now);
+        for completion in completions {
+            let call = self
+                .decode_owner
+                .remove(&(replica, completion.id))
+                .expect("decode completion belongs to a call");
+            self.finish_migrated_call(call, &completion, now);
+        }
+    }
+
+    /// A call that completed without leaving the prefill pool.
+    fn finish_local_call(&mut self, call: u64, completion: &LlmCompletion, now: SimTime) {
+        let state = &self.calls[call as usize];
+        // First token lands at the end of the prefill phase; clamp for
+        // single-token calls whose first token is also the last.
+        let released = (completion.started + completion.prefill_time).min(completion.finished);
+        self.finished_calls.push(CallRecord {
+            session: state.session,
+            prefill_replica: state.prefill_replica as u32,
+            decode_replica: None,
+            arrived: completion.arrived,
+            prefill_started: completion.started,
+            released,
+            decode_submitted: None,
+            decode_started: None,
+            finished: completion.finished,
+            prompt_tokens: completion.prompt_tokens,
+            cached_tokens: completion.cached_tokens,
+            output_tokens: completion.output_tokens,
+            prefill_time: completion.prefill_time,
+            decode_time: completion.decode_time,
+            transfer_wait: SimDuration::ZERO,
+            kv_bytes: 0,
+            preemptions: completion.preemptions,
+        });
+        self.finish_call_in_session(call, completion.output_tokens, now);
+    }
+
+    /// A call that prefilled, migrated, and decoded to completion.
+    fn finish_migrated_call(&mut self, call: u64, completion: &LlmCompletion, now: SimTime) {
+        let state = &self.calls[call as usize];
+        let m = state.migration.as_ref().expect("migrated call has a leg");
+        debug_assert!(
+            completion.prefill_time.is_zero(),
+            "decode pools never run prefill steps"
+        );
+        self.finished_calls.push(CallRecord {
+            session: state.session,
+            prefill_replica: state.prefill_replica as u32,
+            decode_replica: state.decode_replica.map(|d| d as u32),
+            arrived: m.arrived,
+            prefill_started: m.started,
+            released: m.released,
+            decode_submitted: state.decode_submitted,
+            decode_started: Some(completion.started),
+            finished: completion.finished,
+            prompt_tokens: m.prompt_tokens,
+            cached_tokens: m.cached_tokens,
+            output_tokens: completion.output_tokens,
+            prefill_time: m.prefill_time,
+            decode_time: completion.decode_time,
+            transfer_wait: state.transfer_wait,
+            kv_bytes: m.kv_bytes,
+            preemptions: m.preemptions + completion.preemptions,
+        });
+        self.finish_call_in_session(call, completion.output_tokens, now);
+    }
+
+    /// Session bookkeeping shared by both completion paths.
+    fn finish_call_in_session(&mut self, call: u64, output_tokens: u32, now: SimTime) {
+        let sid = self.calls[call as usize].session;
+        let finished_op = {
+            let session = self.sessions[sid as usize].as_mut().expect("live session");
+            session.done.insert(call, output_tokens);
+            session.done.len() == session.pending.len()
+        };
+        if finished_op {
+            self.finish_llm_op(sid, now);
+        }
+    }
+
+    /// All LLM calls of the current op completed: advance the session.
+    fn finish_llm_op(&mut self, sid: u64, now: SimTime) {
+        let session = self.sessions[sid as usize].as_mut().expect("live session");
+        let pending = std::mem::take(&mut session.pending);
+        let mut done = std::mem::take(&mut session.done);
+        let mut outputs = Vec::with_capacity(pending.len());
+        for (call, spec) in &pending {
+            let tokens = done.remove(call).expect("every pending call completed");
+            outputs.push(LlmOutput {
+                tokens,
+                gen_seed: spec.gen_seed,
+            });
+        }
+
+        // Chatbot sessions finish after their single call.
+        if session.policy.is_none() {
+            let session = self.sessions[sid as usize].take().expect("live session");
+            self.latencies
+                .push(now.saturating_since(session.arrived).as_secs_f64());
+            self.completed += 1;
+            self.last_finish = self.last_finish.max(now);
+            return;
+        }
+
+        // LLMCompiler overlapped plan: launch the planned tools with the
+        // overlap credit already elapsed during planning.
+        if let Some((calls, overlap)) = session.overlap_tools.take() {
+            let tools = &self.tools;
+            let mut rng = session.rng.fork(now.as_micros() ^ 0x0B);
+            let results: Vec<ToolResult> = tools.execute_batch(&calls, &mut rng);
+            let wall = results
+                .iter()
+                .map(|r| r.latency)
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            let plan_time = now.saturating_since(session.op_start);
+            let credit = plan_time.mul_f64(overlap.clamp(0.0, 1.0));
+            let extra = wall.saturating_sub(credit);
+            session.scheduled_tools = results;
+            self.queue.push(now + extra, Event::ToolsDone(sid));
+            return;
+        }
+
+        let result = OpResult {
+            llm: outputs,
+            tools: Vec::new(),
+        };
+        let op = session
+            .policy
+            .as_mut()
+            .expect("agent session")
+            .next(&result, &mut session.rng);
+        self.dispatch(sid, op, now);
+    }
+
+    fn on_tools_done(&mut self, sid: u64, now: SimTime) {
+        let session = self.sessions[sid as usize].as_mut().expect("live session");
+        let results = std::mem::take(&mut session.scheduled_tools);
+        let result = OpResult {
+            llm: Vec::new(),
+            tools: results,
+        };
+        let op = session
+            .policy
+            .as_mut()
+            .expect("agent session")
+            .next(&result, &mut session.rng);
+        self.dispatch(sid, op, now);
+    }
+
+    fn kick_all(&mut self, now: SimTime) {
+        for p in 0..self.prefill_engines.len() {
+            if let Some(end) = self.prefill_engines[p].start_step_if_idle(now) {
+                self.queue.push(end, Event::PrefillStep(p));
+            }
+        }
+        for d in 0..self.decode_engines.len() {
+            if let Some(end) = self.decode_engines[d].start_step_if_idle(now) {
+                self.queue.push(end, Event::DecodeStep(d));
+            }
+        }
+    }
+
+    fn into_report(self) -> DisaggReport {
+        let mut latencies: Samples = self.latencies.iter().copied().collect();
+        let p50_s = latencies.median();
+        let p95_s = latencies.p95();
+        let (mut hits, mut lookups) = (0u64, 0u64);
+        let mut energy_wh = 0.0;
+        let mut preemptions = 0u64;
+        let mut prefill_utilization = Vec::with_capacity(self.prefill_engines.len());
+        let mut decode_utilization = Vec::with_capacity(self.decode_engines.len());
+        for e in &self.prefill_engines {
+            let kv = e.kv().stats();
+            hits += kv.hit_tokens;
+            lookups += kv.hit_tokens + kv.miss_tokens;
+            energy_wh += e.metrics().energy_within(self.last_finish).watt_hours();
+            preemptions += e.metrics().preemptions;
+            prefill_utilization.push(e.metrics().utilization(self.last_finish));
+        }
+        for e in &self.decode_engines {
+            energy_wh += e.metrics().energy_within(self.last_finish).watt_hours();
+            preemptions += e.metrics().preemptions;
+            decode_utilization.push(e.metrics().utilization(self.last_finish));
+        }
+        let migrated_calls = self.finished_calls.iter().filter(|c| c.migrated()).count() as u64;
+        debug_assert_eq!(migrated_calls, self.transfers.completed());
+        DisaggReport {
+            offered_qps: self.config.qps,
+            prefill_replicas: self.config.prefill_replicas,
+            decode_replicas: self.config.decode_replicas,
+            completed: self.completed,
+            solved: self.solved,
+            makespan: SimDuration::from_micros(self.last_finish.as_micros()),
+            latencies,
+            p50_s,
+            p95_s,
+            calls: self.finished_calls,
+            migrated_calls,
+            transferred_bytes: self.transfers.total_bytes(),
+            transfer_wait: self.transfers.total_wait(),
+            prefill_utilization,
+            decode_utilization,
+            energy_wh,
+            kv_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            preemptions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentsim_gpu::LinkSpec;
+
+    fn react(qps: f64, n: u64) -> DisaggReport {
+        DisaggSim::new(DisaggConfig::new(DisaggWorkload::react_hotpotqa(), qps, n).seed(1)).run()
+    }
+
+    #[test]
+    fn disagg_run_completes_and_migrates() {
+        let r = react(0.5, 10);
+        assert_eq!(r.completed, 10);
+        assert!(r.migrated_calls > 0, "multi-token calls must migrate");
+        assert!(r.transferred_bytes > 0);
+        assert_eq!(
+            r.transferred_bytes,
+            r.calls.iter().map(|c| c.kv_bytes).sum::<u64>(),
+            "link bytes match per-call KV footprints"
+        );
+        // Every migrated call's span partitions e2e exactly.
+        for c in &r.calls {
+            assert_eq!(c.span().total(), c.e2e(), "call of session {}", c.session);
+            if c.migrated() {
+                assert!(c.span().transfer > SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn colocated_mode_never_transfers() {
+        let cfg = DisaggConfig::colocated(DisaggWorkload::react_hotpotqa(), 2, 0.5, 10).seed(1);
+        let r = DisaggSim::new(cfg).run();
+        assert_eq!(r.completed, 10);
+        assert_eq!(r.migrated_calls, 0);
+        assert_eq!(r.transferred_bytes, 0);
+        assert!(r.decode_utilization.is_empty());
+        for c in &r.calls {
+            assert!(!c.migrated());
+            assert_eq!(c.span().transfer, SimDuration::ZERO);
+            assert_eq!(c.span().total(), c.e2e());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = react(0.5, 8);
+        let b = react(0.5, 8);
+        assert_eq!(a.p95_s.to_bits(), b.p95_s.to_bits());
+        assert_eq!(a.transferred_bytes, b.transferred_bytes);
+        assert_eq!(a.calls, b.calls);
+    }
+
+    #[test]
+    fn slower_links_lengthen_ttft() {
+        let base = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 0.5, 10).seed(2);
+        let fast = DisaggSim::new(base.clone().link(LinkSpec::nvlink4())).run();
+        let slow_spec = LinkSpec {
+            name: "slow",
+            bandwidth_bytes_per_s: 1e8, // 100 MB/s: painfully slow on purpose
+            latency: SimDuration::from_millis(5),
+        };
+        let slow = DisaggSim::new(base.link(slow_spec)).run();
+        let (mut f, mut s) = (fast.ttft(), slow.ttft());
+        assert!(
+            s.median() > f.median(),
+            "slow-link ttft {} vs fast {}",
+            s.median(),
+            f.median()
+        );
+        // The extra time is visible in the transfer phase, not smeared
+        // into queue/decode.
+        let transfer = |r: &DisaggReport| {
+            r.phase_totals()
+                .iter()
+                .find(|(n, _)| *n == "transfer")
+                .unwrap()
+                .1
+        };
+        assert!(transfer(&slow) > transfer(&fast) * 10.0);
+    }
+
+    #[test]
+    fn chatbot_traffic_is_served_too() {
+        let cfg = DisaggConfig::new(DisaggWorkload::Chatbot, 1.0, 12).seed(3);
+        let r = DisaggSim::new(cfg).run();
+        assert_eq!(r.completed, 12);
+        assert_eq!(r.calls.len(), 12, "one call per chatbot request");
+    }
+}

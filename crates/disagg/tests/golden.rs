@@ -1,0 +1,115 @@
+//! Golden determinism tests: pinned `DisaggReport` fingerprints for the
+//! disaggregated split and the colocated baseline.
+//!
+//! The disaggregated simulator must stay bit-deterministic for a given
+//! configuration and seed: any drift here means an engine, transfer, or
+//! routing change altered simulation semantics, not just speed.
+//!
+//! Floats are pinned via `f64::to_bits` — exact equality, no tolerance.
+
+use agentsim_disagg::{DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload};
+
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    completed: u64,
+    migrated: u64,
+    transferred_bytes: u64,
+    p95_bits: u64,
+    ttft_p95_bits: u64,
+    tpot_p99_bits: u64,
+}
+
+impl Fingerprint {
+    fn of(r: &DisaggReport) -> Self {
+        let mut ttft = r.ttft();
+        let mut tpot = r.tpot();
+        Fingerprint {
+            completed: r.completed,
+            migrated: r.migrated_calls,
+            transferred_bytes: r.transferred_bytes,
+            p95_bits: r.p95_s.to_bits(),
+            ttft_p95_bits: ttft.p95().to_bits(),
+            tpot_p99_bits: tpot.percentile(99.0).to_bits(),
+        }
+    }
+}
+
+fn run(cfg: DisaggConfig) -> Fingerprint {
+    Fingerprint::of(&DisaggSim::new(cfg).run())
+}
+
+fn disagg_cfg() -> DisaggConfig {
+    DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 1.0, 16).seed(0xD15A)
+}
+
+fn colocated_cfg() -> DisaggConfig {
+    DisaggConfig::colocated(DisaggWorkload::react_hotpotqa(), 2, 1.0, 16).seed(0xD15A)
+}
+
+macro_rules! golden {
+    ($test:ident, $cfg:expr, $completed:literal, $migrated:literal, $bytes:literal,
+     $p95:literal, $ttft:literal, $tpot:literal) => {
+        #[test]
+        fn $test() {
+            let got = run($cfg);
+            let want = Fingerprint {
+                completed: $completed,
+                migrated: $migrated,
+                transferred_bytes: $bytes,
+                p95_bits: $p95,
+                ttft_p95_bits: $ttft,
+                tpot_p99_bits: $tpot,
+            };
+            assert_eq!(
+                got, want,
+                "disagg fingerprint drifted — an engine, transfer, or routing \
+                 change altered simulation semantics (run \
+                 `print_disagg_fingerprints` to see current values)"
+            );
+        }
+    };
+}
+
+// Capture helper: `cargo test -p agentsim-disagg --test golden \
+// print_disagg_fingerprints -- --ignored --nocapture` prints the
+// constants in the macro's argument order.
+golden!(
+    disagg_1p1d,
+    disagg_cfg(),
+    16,
+    85,
+    18614321152,
+    0x4032c7dc486ad2dd,
+    0x3fb12c16df3f9618,
+    0x3f90baa582dbe7f3
+);
+golden!(
+    colocated_baseline,
+    colocated_cfg(),
+    16,
+    0,
+    0,
+    0x403261c9f72f76e6,
+    0x3fba8f6cefed6345,
+    0x3f956fb8f57f737e
+);
+
+#[test]
+#[ignore]
+fn print_disagg_fingerprints() {
+    for (name, cfg) in [
+        ("disagg_1p1d", disagg_cfg()),
+        ("colocated", colocated_cfg()),
+    ] {
+        let f = run(cfg);
+        println!(
+            "{name}: {}, {}, {}, {:#x}, {:#x}, {:#x}",
+            f.completed,
+            f.migrated,
+            f.transferred_bytes,
+            f.p95_bits,
+            f.ttft_p95_bits,
+            f.tpot_p99_bits
+        );
+    }
+}

@@ -13,7 +13,10 @@
 //!   bandwidth-bound, matching the published behaviour the paper leans on
 //!   (its Fig. 6 and 10),
 //! * [`EnergyModel`] — phase-dependent power draw integrated into
-//!   energy-per-request (its Table III).
+//!   energy-per-request (its Table III),
+//! * [`LinkSpec`] / [`interconnect::Link`] — interconnect presets
+//!   (NVLink/PCIe/RDMA) with FIFO serialization, pricing KV migration in
+//!   disaggregated prefill/decode serving.
 //!
 //! # Example
 //!
@@ -30,12 +33,14 @@
 
 pub mod cluster;
 pub mod energy;
+pub mod interconnect;
 pub mod model;
 pub mod perf;
 pub mod spec;
 
 pub use cluster::ClusterSpec;
 pub use energy::{EnergyMeter, EnergyModel, Phase};
+pub use interconnect::{Link, LinkSpec, Transfer};
 pub use model::ModelSpec;
 pub use perf::{PerfModel, StepCost};
 pub use spec::GpuSpec;

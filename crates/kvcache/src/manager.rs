@@ -168,6 +168,52 @@ impl KvBlockManager {
     ///
     /// Panics if `tokens` is empty.
     pub fn allocate(&mut self, tokens: &TokenBuf, now: SimTime) -> Result<SeqHandle, AllocError> {
+        self.admit(tokens, now, false)
+    }
+
+    /// Admits a sequence whose KV content was computed elsewhere and
+    /// transferred in (disaggregated serving). Blocks are allocated and
+    /// hashed exactly as [`Self::allocate`] would — resident blocks with
+    /// matching content are shared rather than duplicated — but the tokens
+    /// are accounted as *imported*, not as prefix-cache hits or misses,
+    /// because no local prefill compute is implied either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Insufficient`] like [`Self::allocate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn import(&mut self, tokens: &TokenBuf, now: SimTime) -> Result<SeqHandle, AllocError> {
+        self.admit(tokens, now, true)
+    }
+
+    /// Releases a sequence whose KV is migrating to another pool, counting
+    /// its tokens as exported. Returns the sequence length in tokens (the
+    /// KV footprint being shipped). Block disposal is identical to
+    /// [`Self::free`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already freed.
+    pub fn export(&mut self, seq: SeqHandle, now: SimTime) -> usize {
+        let len = self
+            .seqs
+            .get(&seq.0)
+            .expect("exporting an unknown sequence handle")
+            .len_tokens;
+        self.stats.exported_tokens += len as u64;
+        self.free(seq, now);
+        len
+    }
+
+    fn admit(
+        &mut self,
+        tokens: &TokenBuf,
+        now: SimTime,
+        imported: bool,
+    ) -> Result<SeqHandle, AllocError> {
         assert!(!tokens.is_empty(), "cannot allocate an empty sequence");
         let bs = self.config.block_size as usize;
         // The memoized hashes are fresh after this call, so the nested
@@ -228,8 +274,12 @@ impl KvBlockManager {
         // A fully cached prompt still recomputes its final token so the
         // model has logits to sample from (vLLM behaviour).
         let cached_tokens = (hits * bs).min(tokens.len().saturating_sub(1));
-        self.stats.hit_tokens += cached_tokens as u64;
-        self.stats.miss_tokens += (tokens.len() - cached_tokens) as u64;
+        if imported {
+            self.stats.imported_tokens += tokens.len() as u64;
+        } else {
+            self.stats.hit_tokens += cached_tokens as u64;
+            self.stats.miss_tokens += (tokens.len() - cached_tokens) as u64;
+        }
         self.stats.sequences += 1;
 
         let handle = SeqHandle(self.next_seq);
@@ -668,6 +718,60 @@ mod tests {
         assert_eq!(m.cached_tokens(&s2), 32);
         assert_eq!(m.stats().evictions, 2);
         m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn import_accounts_tokens_without_hits_or_misses() {
+        let mut m = mgr(16, true);
+        let p = TokenBuf::from_segment(1, 40); // 2 full + 1 partial block
+        let s = m.import(&p, t(0)).unwrap();
+        assert_eq!(m.used_blocks(), 3);
+        assert_eq!(m.seq_len(&s), 40);
+        let st = m.stats();
+        assert_eq!(st.imported_tokens, 40);
+        assert_eq!(st.hit_tokens, 0);
+        assert_eq!(st.miss_tokens, 0);
+        assert_eq!(st.sequences, 1);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn import_shares_resident_blocks() {
+        let mut m = mgr(16, true);
+        let p = TokenBuf::from_segment(1, 64);
+        let s1 = m.allocate(&p, t(0)).unwrap();
+        // The same content imported concurrently shares the 4 full blocks
+        // (only the partial-tail rule differs: 64 is block-aligned).
+        let s2 = m.import(&p, t(1)).unwrap();
+        assert_eq!(m.used_blocks(), 4);
+        assert_eq!(m.stats().imported_tokens, 64);
+        m.free(s1, t(2));
+        m.free(s2, t(3));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn export_counts_footprint_and_frees() {
+        let mut m = mgr(16, true);
+        let p = TokenBuf::from_segment(1, 48);
+        let s = m.allocate(&p, t(0)).unwrap();
+        let len = m.export(s, t(1));
+        assert_eq!(len, 48);
+        assert_eq!(m.stats().exported_tokens, 48);
+        assert_eq!(m.live_sequences(), 0);
+        // Hashed blocks stay evictable, exactly as `free` leaves them.
+        assert_eq!(m.evictable_blocks(), 3);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn import_rejection_is_counted() {
+        let mut m = mgr(2, true);
+        let p = TokenBuf::from_segment(1, 64);
+        let err = m.import(&p, t(0)).unwrap_err();
+        assert!(matches!(err, AllocError::Insufficient { .. }));
+        assert_eq!(m.stats().rejections, 1);
+        assert_eq!(m.stats().imported_tokens, 0);
     }
 
     #[test]

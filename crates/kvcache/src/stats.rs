@@ -63,6 +63,13 @@ pub struct KvStats {
     pub sequences: u64,
     /// Allocation attempts rejected for lack of blocks.
     pub rejections: u64,
+    /// Tokens admitted via [`crate::KvBlockManager::import`]: their KV was
+    /// computed elsewhere (disaggregated prefill) and transferred in, so
+    /// they count as neither hits nor misses.
+    pub imported_tokens: u64,
+    /// Tokens whose KV left this pool via
+    /// [`crate::KvBlockManager::export`] for decode elsewhere.
+    pub exported_tokens: u64,
     /// Time-weighted active (referenced) block occupancy.
     pub used_blocks: UsageTracker,
     /// Time-weighted resident occupancy (active + evictable cached).

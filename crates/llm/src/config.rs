@@ -19,6 +19,29 @@ pub enum SchedulerPolicy {
     DeepestFirst,
 }
 
+/// Which lifecycle stages of a request this engine executes.
+///
+/// Disaggregated serving (Splitwise-style) splits the fleet into a
+/// prefill pool and a decode pool so compute-bound prefills stop stalling
+/// the bandwidth-bound decode batch — the paper's central interference
+/// pathology (its Figs. 5/13/14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineRole {
+    /// Ordinary engine: prefills and decodes every request it admits.
+    #[default]
+    Colocated,
+    /// Prefill pool member: releases each request at its first token
+    /// ([`EngineEvent::Migrated`](crate::EngineEvent::Migrated)) instead
+    /// of decoding it to completion. Single-token requests still complete
+    /// locally — there is nothing left to decode elsewhere.
+    Prefill,
+    /// Decode pool member: admits mid-life requests with pre-populated KV
+    /// via [`Engine::submit_prefilled`](crate::Engine::submit_prefilled).
+    /// Plain submissions still work (it is a full engine), but a pure
+    /// disaggregated driver never sends any.
+    Decode,
+}
+
 /// Configuration of one serving engine replica.
 ///
 /// # Example
@@ -45,6 +68,8 @@ pub struct EngineConfig {
     pub chunked_prefill: bool,
     /// Request admission order.
     pub scheduler: SchedulerPolicy,
+    /// Which request lifecycle stages this engine executes.
+    pub role: EngineRole,
 }
 
 impl EngineConfig {
@@ -59,6 +84,7 @@ impl EngineConfig {
             max_running: 256,
             chunked_prefill: false,
             scheduler: SchedulerPolicy::Fcfs,
+            role: EngineRole::Colocated,
         }
     }
 
@@ -93,6 +119,12 @@ impl EngineConfig {
     /// Returns a copy with a different scheduler policy.
     pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Returns a copy with a different engine role.
+    pub fn with_role(mut self, role: EngineRole) -> Self {
+        self.role = role;
         self
     }
 

@@ -8,10 +8,10 @@ use agentsim_kvcache::tokens::generated_token;
 use agentsim_kvcache::{KvBlockManager, KvConfig, SeqHandle, TokenBuf};
 use agentsim_simkit::{SimDuration, SimTime};
 
-use crate::config::{EngineConfig, SchedulerPolicy};
+use crate::config::{EngineConfig, EngineRole, SchedulerPolicy};
 use crate::metrics::EngineMetrics;
 use crate::observer::{EngineEvent, EngineObserver, StepKind};
-use crate::request::{LlmCompletion, RequestId};
+use crate::request::{LlmCompletion, MigratedRequest, RequestId};
 
 /// A queued (not yet scheduled) request.
 #[derive(Debug)]
@@ -24,6 +24,9 @@ struct Waiting {
     gen_seed: u64,
     arrived: SimTime,
     orig_prompt_tokens: u32,
+    /// KV content already exists elsewhere: admit via KV import, skipping
+    /// prefill entirely (disaggregated decode pools).
+    imported: bool,
     // Carried across preemptions:
     started: Option<SimTime>,
     prefill_time: SimDuration,
@@ -49,6 +52,7 @@ struct Running {
     prompt_tokens: u32,
     /// Uncached prompt tokens still to prefill (chunked mode only).
     prefill_remaining: u32,
+    imported: bool,
     prefill_time: SimDuration,
     decode_time: SimDuration,
     flops: f64,
@@ -80,6 +84,9 @@ pub struct Engine {
     next_id: u64,
     metrics: EngineMetrics,
     observer: Option<Box<dyn EngineObserver>>,
+    /// Requests released at first token (prefill role), awaiting pickup
+    /// via [`Engine::take_migrations`].
+    migrations: Vec<MigratedRequest>,
 }
 
 impl Engine {
@@ -105,6 +112,7 @@ impl Engine {
             next_id: 0,
             metrics: EngineMetrics::new(energy),
             observer: None,
+            migrations: Vec::new(),
             config,
         }
     }
@@ -216,6 +224,7 @@ impl Engine {
             generated: 0,
             gen_seed,
             arrived: now,
+            imported: false,
             started: None,
             prefill_time: SimDuration::ZERO,
             decode_time: SimDuration::ZERO,
@@ -233,6 +242,73 @@ impl Engine {
             });
         }
         id
+    }
+
+    /// Enqueues a mid-life request whose KV content was prefilled elsewhere
+    /// and transferred in (disaggregated decode pools): `migrated.ctx` is
+    /// the full context (prompt + first token), admitted via KV *import* —
+    /// no prefill compute happens on this engine, and the request joins the
+    /// decode set directly.
+    ///
+    /// Returns the fresh id assigned on this engine (the id inside
+    /// `migrated` belongs to the prefill engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is empty, no output tokens remain, or the
+    /// total sequence exceeds the model's context window.
+    pub fn submit_prefilled(&mut self, now: SimTime, migrated: &MigratedRequest) -> RequestId {
+        assert!(
+            !migrated.ctx.is_empty(),
+            "migrated context must be non-empty"
+        );
+        assert!(
+            migrated.remaining_tokens() > 0,
+            "migrated request has no output tokens left to decode"
+        );
+        let total = migrated.ctx.len() + migrated.remaining_tokens() as usize;
+        assert!(
+            total <= self.config.cluster.model.max_context as usize,
+            "sequence of {total} tokens exceeds the {}-token context window",
+            self.config.cluster.model.max_context
+        );
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let prompt_tokens = migrated.ctx.len() as u32;
+        self.waiting.push_back(Waiting {
+            id,
+            priority: migrated.priority,
+            orig_prompt_tokens: migrated.prompt_tokens,
+            prompt: migrated.ctx.clone(),
+            target_out: migrated.target_out,
+            generated: migrated.generated,
+            gen_seed: migrated.gen_seed,
+            arrived: now,
+            imported: true,
+            started: None,
+            prefill_time: SimDuration::ZERO,
+            decode_time: SimDuration::ZERO,
+            flops: 0.0,
+            cached_tokens: 0,
+            preemptions: 0,
+        });
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_event(&EngineEvent::Submitted {
+                id,
+                at: now,
+                prompt_tokens,
+                out_tokens: migrated.target_out,
+                priority: migrated.priority,
+            });
+        }
+        id
+    }
+
+    /// Drains the requests this (prefill-role) engine released at their
+    /// first token since the last call. The driver transfers their KV and
+    /// resubmits them on a decode engine via [`Engine::submit_prefilled`].
+    pub fn take_migrations(&mut self) -> Vec<MigratedRequest> {
+        std::mem::take(&mut self.migrations)
     }
 
     /// If no step is in flight and there is work, forms the next step and
@@ -375,6 +451,20 @@ impl Engine {
                     // The producing sequence itself was preempted; entry
                     // removed, do not advance idx.
                 }
+                TokenOutcome::Migrated(m) => {
+                    self.metrics.migrated += 1;
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.on_event(&EngineEvent::Migrated {
+                            id: m.id,
+                            at: now,
+                            generated: m.generated,
+                            kv_blocks: m.kv_blocks,
+                            kv_bytes: m.kv_bytes,
+                        });
+                    }
+                    self.migrations.push(m);
+                    // Entry removed; do not advance idx.
+                }
             }
         }
         self.metrics.completed += done.len() as u64;
@@ -398,11 +488,16 @@ impl Engine {
             let cost = self.perf.prefill(&items);
             // Newly admitted requests carry their whole uncached prompt as
             // one "chunk"; they produce their first token at step end.
-            // `admit` pushed them onto the tail of `running` in order.
-            let tail = self.running.len() - admitted.len();
-            for (r, &(id, new, cached)) in self.running[tail..].iter_mut().zip(&admitted) {
-                debug_assert_eq!(r.id, id);
-                r.flops += self.perf.prefill_flops(new as u64, cached as u64);
+            // Imported admissions may interleave with them in `running`,
+            // so attribute by id rather than by tail position.
+            let chunk_of: HashMap<RequestId, (u32, u32)> = admitted
+                .iter()
+                .map(|&(id, new, cached)| (id, (new, cached)))
+                .collect();
+            for r in &mut self.running {
+                if let Some(&(new, cached)) = chunk_of.get(&r.id) {
+                    r.flops += self.perf.prefill_flops(new as u64, cached as u64);
+                }
             }
             return Some(StepInProgress {
                 kind: StepKind::Prefill,
@@ -446,21 +541,27 @@ impl Engine {
     /// Chunked-prefill scheduling: decodes run every step; leftover token
     /// budget advances the oldest in-progress prefill.
     fn form_mixed_step(&mut self, now: SimTime) -> Option<StepInProgress> {
+        let decode_count = self
+            .running
+            .iter()
+            .filter(|r| r.prefill_remaining == 0)
+            .count() as u32;
+        let budget = self.config.max_batch_tokens.saturating_sub(decode_count);
+
+        // Admit new requests while budget remains (they join mid-prefill).
+        if budget > 0 && self.running.iter().all(|r| r.prefill_remaining == 0) {
+            let _ = self.admit(now, budget);
+        }
+
+        // The decode set is re-derived after admission: ordinary admits
+        // enter mid-prefill (excluded), while imported admits arrive with
+        // their KV complete and decode immediately.
         let decoding: Vec<u64> = self
             .running
             .iter()
             .filter(|r| r.prefill_remaining == 0)
             .map(|r| r.ctx.len() as u64)
             .collect();
-        let budget = self
-            .config
-            .max_batch_tokens
-            .saturating_sub(decoding.len() as u32);
-
-        // Admit new requests while budget remains (they join mid-prefill).
-        if budget > 0 && self.running.iter().all(|r| r.prefill_remaining == 0) {
-            let _ = self.admit(now, budget);
-        }
 
         // Advance in-progress prefills, oldest first, one pass: record the
         // chunk, its perf-model item, and the owner's index together.
@@ -516,7 +617,11 @@ impl Engine {
     }
 
     /// FCFS admission under a token budget. Returns `(id, uncached,
-    /// cached)` for each admitted request; KV is allocated immediately.
+    /// cached)` for each admitted request *that needs prefill*; KV is
+    /// allocated immediately. Imported requests (KV transferred in) are
+    /// also admitted here — they consume a running slot and KV blocks but
+    /// no token budget, join the decode set directly, and do not appear in
+    /// the returned list.
     fn admit(&mut self, now: SimTime, budget_tokens: u32) -> Vec<(RequestId, u32, u32)> {
         // Under DeepestFirst, order the whole queue once (highest priority
         // first; FCFS within a level). The key is a total order (ids are
@@ -535,6 +640,47 @@ impl Engine {
             }
             if !self.kv.can_allocate(&head.prompt) {
                 break; // FCFS head-of-line blocking on memory.
+            }
+            if head.imported {
+                let seq = match self.kv.import(&head.prompt, now) {
+                    Ok(seq) => seq,
+                    Err(_) => break,
+                };
+                let w = self.waiting.pop_front().expect("non-empty");
+                let cached = w.prompt.len() as u32;
+                self.metrics.imported += 1;
+                self.running.push(Running {
+                    id: w.id,
+                    priority: w.priority,
+                    ctx: w.prompt,
+                    seq,
+                    target_out: w.target_out,
+                    generated: w.generated,
+                    gen_seed: w.gen_seed,
+                    arrived: w.arrived,
+                    started: w.started.unwrap_or(now),
+                    orig_prompt_tokens: w.orig_prompt_tokens,
+                    prompt_tokens: 0, // set below
+                    prefill_remaining: 0,
+                    imported: true,
+                    prefill_time: w.prefill_time,
+                    decode_time: w.decode_time,
+                    flops: w.flops,
+                    cached_tokens: cached,
+                    preemptions: w.preemptions,
+                });
+                let r = self.running.last_mut().expect("just pushed");
+                r.prompt_tokens = r.ctx.len() as u32;
+                let id = r.id;
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_event(&EngineEvent::Admitted {
+                        id,
+                        at: now,
+                        new_tokens: 0,
+                        cached_tokens: cached,
+                    });
+                }
+                continue;
             }
             let seq = match self.kv.allocate(&head.prompt, now) {
                 Ok(seq) => seq,
@@ -564,6 +710,7 @@ impl Engine {
                 orig_prompt_tokens: w.orig_prompt_tokens,
                 prompt_tokens: 0, // set below
                 prefill_remaining: uncached,
+                imported: false,
                 prefill_time: w.prefill_time,
                 decode_time: w.decode_time,
                 flops: w.flops,
@@ -616,6 +763,33 @@ impl Engine {
                             decode_time: r.decode_time,
                             flops: r.flops,
                             preemptions: r.preemptions,
+                        });
+                    }
+                    if self.config.role == EngineRole::Prefill {
+                        // Prefill pool: the first token ends this engine's
+                        // involvement. Export the KV (footprint sizes the
+                        // interconnect transfer) and release the request.
+                        let r = self.running.swap_remove(idx);
+                        let tokens = self.kv.export(r.seq, now);
+                        let kv_blocks = self.kv.config().blocks_for(tokens) as u32;
+                        let kv_bytes = kv_blocks as u64 * self.config.kv_bytes_per_block();
+                        return TokenOutcome::Migrated(MigratedRequest {
+                            id: r.id,
+                            arrived: r.arrived,
+                            started: r.started,
+                            released: now,
+                            prompt_tokens: r.orig_prompt_tokens,
+                            cached_tokens: r.cached_tokens.min(r.orig_prompt_tokens),
+                            priority: r.priority,
+                            ctx: r.ctx,
+                            generated: r.generated,
+                            target_out: r.target_out,
+                            gen_seed: r.gen_seed,
+                            prefill_time: r.prefill_time,
+                            flops: r.flops,
+                            preemptions: r.preemptions,
+                            kv_blocks,
+                            kv_bytes,
                         });
                     }
                     return TokenOutcome::Continues;
@@ -681,6 +855,9 @@ impl Engine {
             gen_seed: r.gen_seed,
             arrived: r.arrived,
             orig_prompt_tokens: r.orig_prompt_tokens,
+            // Imported KV is re-fetched on re-admission (still no local
+            // prefill): decode pools never run prefill steps.
+            imported: r.imported,
             started: Some(r.started),
             prefill_time: r.prefill_time,
             decode_time: r.decode_time,
@@ -700,6 +877,8 @@ enum TokenOutcome {
     Continues,
     /// The producing sequence itself was preempted and requeued.
     SelfPreempted,
+    /// A prefill-role engine released the request at its first token.
+    Migrated(MigratedRequest),
 }
 
 #[cfg(test)]
@@ -978,6 +1157,7 @@ mod tests {
                 EngineEvent::Completed { completion, .. } => {
                     format!("complete {}", completion.id)
                 }
+                EngineEvent::Migrated { id, .. } => format!("migrate {id}"),
             };
             self.entries.borrow_mut().push(line);
         }
@@ -1154,6 +1334,89 @@ mod edge_tests {
         }
         assert_eq!(e.running_len(), 0);
         assert!(!e.has_work());
+    }
+
+    #[test]
+    fn prefill_role_releases_at_first_token() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Prefill));
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 512), 64, 7);
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        assert!(done.is_empty(), "prefill role must not complete locally");
+        let migrations = e.take_migrations();
+        assert_eq!(migrations.len(), 1);
+        let m = &migrations[0];
+        assert_eq!(m.generated, 1);
+        assert_eq!(m.target_out, 64);
+        assert_eq!(m.remaining_tokens(), 63);
+        assert_eq!(m.ctx.len(), 513, "prompt plus the first token");
+        assert_eq!(m.prompt_tokens, 512);
+        assert!(m.prefill_time > SimDuration::ZERO);
+        let blocks = e.kv().config().blocks_for(513) as u32;
+        assert_eq!(m.kv_blocks, blocks);
+        assert_eq!(m.kv_bytes, blocks as u64 * e.config().kv_bytes_per_block());
+        assert_eq!(e.metrics().migrated, 1);
+        assert_eq!(e.metrics().decode_steps, 0, "no decode on the prefill pool");
+        assert_eq!(e.kv().stats().exported_tokens, 513);
+        assert_eq!(e.kv().live_sequences(), 0);
+        assert!(!e.has_work());
+        assert!(e.take_migrations().is_empty(), "drained");
+        e.kv().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prefill_role_completes_single_token_requests_locally() {
+        // out_tokens == 1: nothing is left to decode elsewhere.
+        let mut e = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Prefill));
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 100), 1, 0);
+        let (done, _) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].output_tokens, 1);
+        assert!(e.take_migrations().is_empty());
+        assert_eq!(e.metrics().migrated, 0);
+    }
+
+    #[test]
+    fn migrated_request_resumes_on_decode_engine() {
+        // Colocated reference run.
+        let mut reference = Engine::new(EngineConfig::a100_llama8b());
+        reference.submit(SimTime::ZERO, TokenBuf::from_segment(1, 512), 8, 7);
+        let (ref_done, _) = drain(&mut reference, SimTime::ZERO);
+
+        // Prefill half.
+        let mut p = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Prefill));
+        p.submit(SimTime::ZERO, TokenBuf::from_segment(1, 512), 8, 7);
+        let (_, released_at) = drain(&mut p, SimTime::ZERO);
+        let m = p.take_migrations().pop().expect("one migration");
+
+        // Decode half resumes it with imported KV.
+        let mut d = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Decode));
+        let id = d.submit_prefilled(released_at, &m);
+        let (done, _) = drain(&mut d, released_at);
+        assert_eq!(done.len(), 1);
+        let c = &done[0];
+        assert_eq!(c.id, id);
+        assert_eq!(c.output_tokens, 8, "total including the prefill-side token");
+        assert_eq!(
+            c.prefill_time,
+            SimDuration::ZERO,
+            "decode pool never prefills"
+        );
+        assert!(c.decode_time > SimDuration::ZERO);
+        assert_eq!(d.metrics().prefill_steps, 0);
+        assert_eq!(d.metrics().mixed_steps, 0);
+        assert_eq!(d.metrics().imported, 1);
+        assert_eq!(d.kv().stats().imported_tokens, 513);
+        assert_eq!(d.kv().stats().miss_tokens, 0);
+        // 7 decode-side tokens => 7 decode steps.
+        assert_eq!(d.metrics().decode_steps, 7);
+        // Same deterministic token stream as the colocated run.
+        assert_eq!(ref_done[0].output_tokens, c.output_tokens);
+        e_kv_clean(&d);
+    }
+
+    fn e_kv_clean(e: &Engine) {
+        e.kv().check_invariants().unwrap();
+        assert_eq!(e.kv().live_sequences(), 0);
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub mod metrics;
 pub mod observer;
 pub mod request;
 
-pub use config::{EngineConfig, SchedulerPolicy};
+pub use config::{EngineConfig, EngineRole, SchedulerPolicy};
 pub use engine::Engine;
 pub use metrics::EngineMetrics;
-pub use observer::{EngineEvent, EngineObserver, StepKind};
-pub use request::{LlmCompletion, RequestId};
+pub use observer::{EngineEvent, EngineObserver, FanoutObserver, StepKind};
+pub use request::{LlmCompletion, MigratedRequest, RequestId};

@@ -29,6 +29,11 @@ pub struct EngineMetrics {
     pub preemptions: u64,
     /// Requests completed.
     pub completed: u64,
+    /// Requests released at first token for decode elsewhere (prefill
+    /// role only).
+    pub migrated: u64,
+    /// Mid-life requests admitted with imported KV (decode role).
+    pub imported: u64,
 }
 
 impl EngineMetrics {
@@ -45,6 +50,8 @@ impl EngineMetrics {
             flops: 0.0,
             preemptions: 0,
             completed: 0,
+            migrated: 0,
+            imported: 0,
         }
     }
 

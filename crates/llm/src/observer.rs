@@ -146,6 +146,23 @@ pub enum EngineEvent<'a> {
         /// The full engine-side completion record.
         completion: &'a LlmCompletion,
     },
+    /// A prefill-role engine released the request at its first token for
+    /// decode on another pool
+    /// ([`Engine::take_migrations`](crate::Engine::take_migrations) hands
+    /// the caller the full [`crate::MigratedRequest`] record). Terminal on
+    /// this engine, like [`EngineEvent::Completed`].
+    Migrated {
+        /// The released request.
+        id: RequestId,
+        /// Release time (end of the step that produced the first token).
+        at: SimTime,
+        /// Tokens generated before release (always 1: the first token).
+        generated: u32,
+        /// KV blocks the sequence occupied at release.
+        kv_blocks: u32,
+        /// KV bytes that must move to the decode pool.
+        kv_bytes: u64,
+    },
 }
 
 impl EngineEvent<'_> {
@@ -155,7 +172,8 @@ impl EngineEvent<'_> {
             EngineEvent::Submitted { at, .. }
             | EngineEvent::Admitted { at, .. }
             | EngineEvent::Preempted { at, .. }
-            | EngineEvent::Completed { at, .. } => at,
+            | EngineEvent::Completed { at, .. }
+            | EngineEvent::Migrated { at, .. } => at,
             EngineEvent::StepCompleted { ended, .. } => ended,
         }
     }
@@ -168,6 +186,7 @@ impl EngineEvent<'_> {
             EngineEvent::StepCompleted { .. } => "step",
             EngineEvent::Preempted { .. } => "preempt",
             EngineEvent::Completed { .. } => "complete",
+            EngineEvent::Migrated { .. } => "migrate",
         }
     }
 }
@@ -181,6 +200,42 @@ impl EngineEvent<'_> {
 pub trait EngineObserver: std::fmt::Debug {
     /// Called for every engine event, in emission order.
     fn on_event(&mut self, event: &EngineEvent<'_>);
+}
+
+/// Broadcasts every event to several observers, in insertion order.
+///
+/// The engine holds a single observer slot; wrap independent sinks (say,
+/// an in-memory span recorder plus a streaming JSONL writer) in a fanout
+/// to attach them together.
+#[derive(Debug, Default)]
+pub struct FanoutObserver {
+    observers: Vec<Box<dyn EngineObserver>>,
+}
+
+impl FanoutObserver {
+    /// Creates an empty fanout.
+    pub fn new() -> Self {
+        FanoutObserver::default()
+    }
+
+    /// Adds `observer` to the broadcast list, builder-style.
+    pub fn with(mut self, observer: Box<dyn EngineObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Adds `observer` to the broadcast list.
+    pub fn push(&mut self, observer: Box<dyn EngineObserver>) {
+        self.observers.push(observer);
+    }
+}
+
+impl EngineObserver for FanoutObserver {
+    fn on_event(&mut self, event: &EngineEvent<'_>) {
+        for observer in &mut self.observers {
+            observer.on_event(event);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -241,5 +296,45 @@ mod tests {
         };
         assert_eq!(e.at(), SimTime::from_micros(25));
         assert_eq!(e.name(), "step");
+
+        let e = EngineEvent::Migrated {
+            id: RequestId(3),
+            at: SimTime::from_micros(50),
+            generated: 1,
+            kv_blocks: 9,
+            kv_bytes: 9 << 21,
+        };
+        assert_eq!(e.at(), SimTime::from_micros(50));
+        assert_eq!(e.name(), "migrate");
+    }
+
+    #[test]
+    fn fanout_broadcasts_in_insertion_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Debug)]
+        struct Tagger(u8, Rc<RefCell<Vec<u8>>>);
+        impl EngineObserver for Tagger {
+            fn on_event(&mut self, _: &EngineEvent<'_>) {
+                self.1.borrow_mut().push(self.0);
+            }
+        }
+
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut fanout = FanoutObserver::new()
+            .with(Box::new(Tagger(1, seen.clone())))
+            .with(Box::new(Tagger(2, seen.clone())));
+        fanout.on_event(&EngineEvent::Preempted {
+            id: RequestId(0),
+            at: SimTime::ZERO,
+            generated: 0,
+        });
+        fanout.on_event(&EngineEvent::Preempted {
+            id: RequestId(0),
+            at: SimTime::ZERO,
+            generated: 0,
+        });
+        assert_eq!(*seen.borrow(), vec![1, 2, 1, 2]);
     }
 }

@@ -1,7 +1,8 @@
-//! Request identities and completion records.
+//! Request identities, completion records, and migration records.
 
 use std::fmt;
 
+use agentsim_kvcache::TokenBuf;
 use agentsim_simkit::{SimDuration, SimTime};
 
 /// Engine-assigned request identifier.
@@ -59,6 +60,64 @@ impl LlmCompletion {
         } else {
             self.cached_tokens as f64 / self.prompt_tokens as f64
         }
+    }
+}
+
+/// A request released by a prefill-role engine at its first token,
+/// carrying everything a decode pool needs to continue it via
+/// [`Engine::submit_prefilled`](crate::Engine::submit_prefilled).
+///
+/// Produced by [`Engine::take_migrations`](crate::Engine::take_migrations)
+/// on engines configured with
+/// [`EngineRole::Prefill`](crate::EngineRole::Prefill). The KV footprint
+/// (`kv_blocks` / `kv_bytes`) sizes the interconnect transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigratedRequest {
+    /// The request's id on the *prefill* engine. Resubmission on a decode
+    /// engine assigns a fresh id; the driver correlates the two.
+    pub id: RequestId,
+    /// When the request entered the prefill engine's queue.
+    pub arrived: SimTime,
+    /// When it was first scheduled on the prefill engine.
+    pub started: SimTime,
+    /// When the prefill engine released it (first token produced).
+    pub released: SimTime,
+    /// Original prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Prompt tokens served from the prefill-side prefix cache.
+    pub cached_tokens: u32,
+    /// Scheduling priority the request carried.
+    pub priority: u32,
+    /// Full context at release: prompt plus the generated first token.
+    /// This is the KV content that must reach the decode pool.
+    pub ctx: TokenBuf,
+    /// Tokens generated before release (always 1).
+    pub generated: u32,
+    /// Total requested output tokens (including the one already produced).
+    pub target_out: u32,
+    /// Deterministic seed that continues the same token stream.
+    pub gen_seed: u64,
+    /// Wall time the request spent in prefill steps.
+    pub prefill_time: SimDuration,
+    /// FLOPs attributed on the prefill engine.
+    pub flops: f64,
+    /// Preemptions suffered on the prefill engine.
+    pub preemptions: u32,
+    /// KV blocks occupied at release.
+    pub kv_blocks: u32,
+    /// KV bytes to transfer (block-granular, like the occupancy).
+    pub kv_bytes: u64,
+}
+
+impl MigratedRequest {
+    /// Time from arrival to first scheduling on the prefill engine.
+    pub fn queue_time(&self) -> SimDuration {
+        self.started.saturating_since(self.arrived)
+    }
+
+    /// Output tokens still to generate on the decode pool.
+    pub fn remaining_tokens(&self) -> u32 {
+        self.target_out - self.generated
     }
 }
 

@@ -13,6 +13,10 @@
 //! * [`observe`] — step-level observability: attach a [`SpanRecorder`]
 //!   to any of the above and export per-request lifecycle spans, engine
 //!   time-series, and Chrome-trace / JSONL files.
+//! * [`disagg`] (re-export of `agentsim-disagg`) — Splitwise-style
+//!   disaggregated prefill/decode pools with a modeled KV-transfer
+//!   interconnect, plus the colocated baseline through the same driver
+//!   for iso-GPU what-if comparisons.
 //!
 //! # Example
 //!
@@ -29,18 +33,27 @@
 //! assert!(outcome.energy_wh > 0.0);
 //! ```
 
+pub use agentsim_disagg as disagg;
+
 pub mod fleet;
 pub mod observe;
 pub mod open_loop;
 pub mod report;
 pub mod single;
+pub mod stream;
 pub mod sweep;
 pub mod trace;
 
+pub use disagg::{CallRecord, CallSpan, DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload};
 pub use fleet::{FleetConfig, FleetReport, FleetSim, Routing};
-pub use observe::{chrome_trace, Phase, RequestSpan, Segment, SpanRecorder, StepRecord};
+pub use observe::{
+    chrome_trace, stitch_disagg_span, Phase, RequestSpan, Segment, SpanRecorder, StepRecord,
+};
 pub use open_loop::{ServingConfig, ServingSim, ServingWorkload};
 pub use report::ServingReport;
 pub use single::{SingleOutcome, SingleRequest};
-pub use sweep::{peak_throughput, qps_sweep, SweepPoint};
+pub use stream::SpanStreamWriter;
+pub use sweep::{
+    peak_throughput, qps_sweep, qps_sweep_observed, ObservedSweepPoint, PhaseBreakdown, SweepPoint,
+};
 pub use trace::{LlmCallRecord, RequestTrace};

@@ -59,6 +59,10 @@ pub enum Phase {
     Prefill,
     /// Participating in a decode iteration.
     Decode,
+    /// KV blocks in flight between a prefill and a decode pool
+    /// (disaggregated serving; appears only in stitched spans — see
+    /// [`stitch_disagg_span`]).
+    Transfer,
     /// Admitted but not advancing (mid-prefill stall in chunked mode, or
     /// a decode-ready bystander of a pure prefill step).
     Stall,
@@ -71,6 +75,7 @@ impl Phase {
             Phase::Queue => "queue",
             Phase::Prefill => "prefill",
             Phase::Decode => "decode",
+            Phase::Transfer => "transfer",
             Phase::Stall => "stall",
         }
     }
@@ -97,12 +102,12 @@ impl Segment {
 
 /// Where a span currently is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SpanState {
+pub(crate) enum SpanState {
     /// In the waiting queue since the given time.
     Queued(SimTime),
     /// In the running set; attributed up to the given time.
     Running(SimTime),
-    /// Completed.
+    /// Completed (or migrated off this engine).
     Done,
 }
 
@@ -132,6 +137,8 @@ pub struct RequestSpan {
     pub prefill_time: SimDuration,
     /// Total wall time in decode steps it participated in.
     pub decode_time: SimDuration,
+    /// KV-migration time (non-zero only in stitched disaggregated spans).
+    pub transfer_time: SimDuration,
     /// Total admitted-but-not-advancing time.
     pub stall_time: SimDuration,
     /// Times the request was preempted.
@@ -140,13 +147,16 @@ pub struct RequestSpan {
     pub cached_tokens: u32,
     /// Tokens generated (from the completion).
     pub output_tokens: u32,
+    /// Whether the span ended by migrating to a decode pool rather than
+    /// by completing (prefill-role engines).
+    pub migrated: bool,
     /// Phase timeline, merged and in time order.
     pub segments: Vec<Segment>,
-    state: SpanState,
+    pub(crate) state: SpanState,
 }
 
 impl RequestSpan {
-    fn new(id: RequestId, at: SimTime, prompt_tokens: u32, target_out: u32) -> Self {
+    pub(crate) fn new(id: RequestId, at: SimTime, prompt_tokens: u32, target_out: u32) -> Self {
         RequestSpan {
             id,
             submitted: at,
@@ -157,10 +167,12 @@ impl RequestSpan {
             queue_time: SimDuration::ZERO,
             prefill_time: SimDuration::ZERO,
             decode_time: SimDuration::ZERO,
+            transfer_time: SimDuration::ZERO,
             stall_time: SimDuration::ZERO,
             preemptions: 0,
             cached_tokens: 0,
             output_tokens: 0,
+            migrated: false,
             segments: Vec::new(),
             state: SpanState::Queued(at),
         }
@@ -179,7 +191,11 @@ impl RequestSpan {
     /// Sum of all attributed phase durations. For a finished span this
     /// equals [`RequestSpan::e2e`] exactly.
     pub fn attributed(&self) -> SimDuration {
-        self.queue_time + self.prefill_time + self.decode_time + self.stall_time
+        self.queue_time
+            + self.prefill_time
+            + self.decode_time
+            + self.transfer_time
+            + self.stall_time
     }
 
     /// Queue time from submission to first admission only.
@@ -188,7 +204,7 @@ impl RequestSpan {
             .map_or(SimDuration::ZERO, |a| a.saturating_since(self.submitted))
     }
 
-    fn push_segment(&mut self, phase: Phase, start: SimTime, end: SimTime) {
+    pub(crate) fn push_segment(&mut self, phase: Phase, start: SimTime, end: SimTime) {
         if end <= start {
             return;
         }
@@ -197,6 +213,7 @@ impl RequestSpan {
             Phase::Queue => self.queue_time += dur,
             Phase::Prefill => self.prefill_time += dur,
             Phase::Decode => self.decode_time += dur,
+            Phase::Transfer => self.transfer_time += dur,
             Phase::Stall => self.stall_time += dur,
         }
         if let Some(last) = self.segments.last_mut() {
@@ -210,7 +227,7 @@ impl RequestSpan {
 
     /// Attributes `[started, ended]` to `phase`, charging any gap since
     /// the last attribution mark as stall.
-    fn mark_phase(&mut self, phase: Phase, started: SimTime, ended: SimTime) {
+    pub(crate) fn mark_phase(&mut self, phase: Phase, started: SimTime, ended: SimTime) {
         let SpanState::Running(mark) = self.state else {
             panic!("{}: {phase:?} attribution while not running", self.id);
         };
@@ -423,6 +440,32 @@ impl RecorderInner {
                     completion.decode_time.as_micros()
                 ));
             }
+            EngineEvent::Migrated {
+                id,
+                at,
+                generated,
+                kv_blocks,
+                kv_bytes,
+            } => {
+                let span = self.span_mut(id);
+                let SpanState::Running(mark) = span.state else {
+                    panic!("{id}: migrated while not running");
+                };
+                span.push_segment(Phase::Stall, mark, at);
+                span.finished = Some(at);
+                span.output_tokens = generated;
+                span.migrated = true;
+                span.state = SpanState::Done;
+                self.log_line(format_args!(
+                    "{{\"event\":\"migrate\",\"t_us\":{},\"id\":{},\"generated\":{},\
+                     \"kv_blocks\":{},\"kv_bytes\":{}}}",
+                    at.as_micros(),
+                    id.0,
+                    generated,
+                    kv_blocks,
+                    kv_bytes
+                ));
+            }
         }
     }
 }
@@ -574,6 +617,61 @@ pub fn chrome_trace(recorders: &[(&str, &SpanRecorder)]) -> String {
     out
 }
 
+/// Joins a prefill-side span (ended by migration) and the decode-side
+/// span of the same request into one end-to-end span with an explicit
+/// [`Phase::Transfer`] segment covering the KV migration.
+///
+/// `prefill` must have ended in migration and `decode` must have been
+/// submitted at or after the migration instant (the transfer arrival).
+/// The stitched span's phase durations telescope exactly: for a finished
+/// decode span, `attributed() == e2e()` still holds, with the transfer
+/// charged as its own phase.
+pub fn stitch_disagg_span(prefill: &RequestSpan, decode: &RequestSpan) -> RequestSpan {
+    assert!(
+        prefill.migrated,
+        "{}: prefill-side span did not end in migration",
+        prefill.id
+    );
+    let released = prefill
+        .finished
+        .expect("migrated span always has a finish time");
+    assert!(
+        decode.submitted >= released,
+        "{}: decode submission precedes migration",
+        prefill.id
+    );
+    let mut segments = prefill.segments.clone();
+    if decode.submitted > released {
+        segments.push(Segment {
+            phase: Phase::Transfer,
+            start: released,
+            end: decode.submitted,
+        });
+    }
+    segments.extend(decode.segments.iter().copied());
+    RequestSpan {
+        id: prefill.id,
+        submitted: prefill.submitted,
+        prompt_tokens: prefill.prompt_tokens,
+        target_out: decode.target_out.max(prefill.target_out),
+        first_admitted: prefill.first_admitted,
+        finished: decode.finished,
+        queue_time: prefill.queue_time + decode.queue_time,
+        prefill_time: prefill.prefill_time + decode.prefill_time,
+        decode_time: prefill.decode_time + decode.decode_time,
+        transfer_time: decode.submitted.saturating_since(released),
+        stall_time: prefill.stall_time + decode.stall_time,
+        preemptions: prefill.preemptions + decode.preemptions,
+        cached_tokens: prefill.cached_tokens,
+        // The decode-side completion already counts the token produced at
+        // prefill release (generation resumes from it), so it is the total.
+        output_tokens: decode.output_tokens.max(prefill.output_tokens),
+        migrated: false,
+        segments,
+        state: decode.state,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -707,5 +805,49 @@ mod tests {
         let combined = chrome_trace(&[("replica0", &recorder), ("replica1", &recorder)]);
         json::validate(&combined).unwrap();
         assert!(combined.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn migrated_span_stitches_into_exact_five_phase_partition() {
+        use agentsim_llm::EngineRole;
+        use agentsim_simkit::SimDuration;
+
+        let mut prefill = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Prefill));
+        let p_rec = SpanRecorder::new();
+        prefill.set_observer(Box::new(p_rec.clone()));
+        prefill.submit(SimTime::ZERO, TokenBuf::from_segment(1, 513), 8, 0);
+        drain(&mut prefill, SimTime::ZERO);
+
+        let migrations = prefill.take_migrations();
+        assert_eq!(migrations.len(), 1);
+        let p_span = &p_rec.spans()[0];
+        assert!(p_span.migrated);
+        assert_eq!(p_span.attributed(), p_span.e2e().unwrap());
+        assert_eq!(p_span.transfer_time, SimDuration::ZERO);
+
+        // KV transfer takes 100µs, then the decode pool takes over.
+        let handoff = migrations[0].released + SimDuration::from_micros(100);
+        let mut decode = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Decode));
+        let d_rec = SpanRecorder::new();
+        decode.set_observer(Box::new(d_rec.clone()));
+        decode.submit_prefilled(handoff, &migrations[0]);
+        drain(&mut decode, handoff);
+
+        let d_span = &d_rec.spans()[0];
+        assert!(d_span.is_complete() && !d_span.migrated);
+        assert_eq!(d_span.prefill_time, SimDuration::ZERO);
+
+        let stitched = stitch_disagg_span(p_span, d_span);
+        assert_eq!(stitched.output_tokens, 8);
+        assert_eq!(stitched.transfer_time, SimDuration::from_micros(100));
+        assert_eq!(stitched.attributed(), stitched.e2e().unwrap());
+        assert!(
+            stitched.segments.iter().any(
+                |s| s.phase == Phase::Transfer && s.duration() == SimDuration::from_micros(100)
+            ),
+            "stitched timeline must carry an explicit transfer segment"
+        );
+        // The migrate event reached the prefill-side JSONL log.
+        assert!(p_rec.events_jsonl().contains("\"migrate\""));
     }
 }

@@ -184,6 +184,13 @@ impl ServingSim {
         recorder
     }
 
+    /// Attaches an arbitrary engine observer (replacing any prior one).
+    /// Use [`agentsim_llm::FanoutObserver`] to combine several sinks —
+    /// e.g. a recorder plus a streaming [`crate::SpanStreamWriter`].
+    pub fn set_observer(&mut self, observer: Box<dyn agentsim_llm::EngineObserver>) {
+        self.engine.set_observer(observer);
+    }
+
     /// Runs to completion and reports.
     pub fn run(mut self) -> ServingReport {
         while let Some((now, event)) = self.queue.pop() {

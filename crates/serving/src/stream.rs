@@ -1,0 +1,379 @@
+//! Streaming span export: constant-memory JSONL emission.
+//!
+//! [`SpanRecorder`](crate::SpanRecorder) keeps every span and a growing
+//! event log in memory — right for post-hoc analysis, wrong for long
+//! sweeps where a run retires hundreds of thousands of requests. A
+//! [`SpanStreamWriter`] runs the same per-request phase-attribution state
+//! machine but holds only the *live* spans: the moment a request retires
+//! (completes, or migrates off a prefill-role engine) its finished span
+//! is serialized as one JSON line to the underlying writer and dropped.
+//! Memory is `O(concurrent requests)` instead of `O(total requests)`.
+//!
+//! Each emitted line carries the full five-phase partition
+//! (`queue/prefill/decode/transfer/stall`, microseconds) plus the merged
+//! segment timeline, so downstream tooling can rebuild tail breakdowns
+//! without replaying the run.
+//!
+//! I/O errors never panic the simulation: the first error is captured,
+//! subsequent writes are skipped, and [`SpanStreamWriter::io_error`]
+//! reports it at the end of the run.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use agentsim_llm::{EngineEvent, EngineObserver, RequestId};
+
+use crate::observe::{Phase, RequestSpan, SpanState};
+
+struct StreamInner {
+    out: Box<dyn Write>,
+    live: HashMap<RequestId, RequestSpan>,
+    written: u64,
+    peak_live: usize,
+    io_error: Option<io::Error>,
+    line: String,
+}
+
+// `Box<dyn Write>` has no Debug; describe the observable state instead.
+impl std::fmt::Debug for SpanStreamWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("SpanStreamWriter")
+            .field("live", &inner.live.len())
+            .field("written", &inner.written)
+            .field("peak_live", &inner.peak_live)
+            .field("io_error", &inner.io_error)
+            .finish()
+    }
+}
+
+impl StreamInner {
+    fn retire(&mut self, span: RequestSpan) {
+        self.line.clear();
+        let finished = span.finished.expect("retired span always has an end");
+        let _ = write!(
+            self.line,
+            "{{\"id\":{},\"migrated\":{},\"submitted_us\":{},\"finished_us\":{},\
+             \"prompt_tokens\":{},\"cached_tokens\":{},\"output_tokens\":{},\
+             \"queue_us\":{},\"prefill_us\":{},\"decode_us\":{},\"transfer_us\":{},\
+             \"stall_us\":{},\"preemptions\":{},\"segments\":[",
+            span.id.0,
+            span.migrated,
+            span.submitted.as_micros(),
+            finished.as_micros(),
+            span.prompt_tokens,
+            span.cached_tokens,
+            span.output_tokens,
+            span.queue_time.as_micros(),
+            span.prefill_time.as_micros(),
+            span.decode_time.as_micros(),
+            span.transfer_time.as_micros(),
+            span.stall_time.as_micros(),
+            span.preemptions,
+        );
+        for (i, seg) in span.segments.iter().enumerate() {
+            let _ = write!(
+                self.line,
+                "{}{{\"phase\":\"{}\",\"start_us\":{},\"end_us\":{}}}",
+                if i == 0 { "" } else { "," },
+                seg.phase.name(),
+                seg.start.as_micros(),
+                seg.end.as_micros(),
+            );
+        }
+        self.line.push_str("]}\n");
+        if self.io_error.is_none() {
+            if let Err(e) = self.out.write_all(self.line.as_bytes()) {
+                self.io_error = Some(e);
+            } else {
+                self.written += 1;
+            }
+        }
+    }
+
+    fn live_mut(&mut self, id: RequestId) -> &mut RequestSpan {
+        self.live
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unobserved request {id}"))
+    }
+
+    fn apply(&mut self, event: &EngineEvent<'_>) {
+        match *event {
+            EngineEvent::Submitted {
+                id,
+                at,
+                prompt_tokens,
+                out_tokens,
+                ..
+            } => {
+                let prev = self
+                    .live
+                    .insert(id, RequestSpan::new(id, at, prompt_tokens, out_tokens));
+                assert!(prev.is_none(), "{id}: submitted twice");
+                self.peak_live = self.peak_live.max(self.live.len());
+            }
+            EngineEvent::Admitted { id, at, .. } => {
+                let span = self.live_mut(id);
+                let SpanState::Queued(since) = span.state else {
+                    panic!("{id}: admitted while not queued");
+                };
+                span.push_segment(Phase::Queue, since, at);
+                if span.first_admitted.is_none() {
+                    span.first_admitted = Some(at);
+                }
+                span.state = SpanState::Running(at);
+            }
+            EngineEvent::StepCompleted {
+                started,
+                ended,
+                prefill,
+                decode,
+                ..
+            } => {
+                for &(id, _) in prefill {
+                    self.live_mut(id).mark_phase(Phase::Prefill, started, ended);
+                }
+                for &id in decode {
+                    self.live_mut(id).mark_phase(Phase::Decode, started, ended);
+                }
+                for span in self.live.values_mut() {
+                    if let SpanState::Running(mark) = span.state {
+                        if mark < ended {
+                            span.push_segment(Phase::Stall, mark, ended);
+                            span.state = SpanState::Running(ended);
+                        }
+                    }
+                }
+            }
+            EngineEvent::Preempted { id, at, .. } => {
+                let span = self.live_mut(id);
+                let SpanState::Running(mark) = span.state else {
+                    panic!("{id}: preempted while not running");
+                };
+                span.push_segment(Phase::Stall, mark, at);
+                span.preemptions += 1;
+                span.state = SpanState::Queued(at);
+            }
+            EngineEvent::Completed { at, completion } => {
+                let mut span = self
+                    .live
+                    .remove(&completion.id)
+                    .unwrap_or_else(|| panic!("unobserved request {}", completion.id));
+                let SpanState::Running(mark) = span.state else {
+                    panic!("{}: completed while not running", completion.id);
+                };
+                span.push_segment(Phase::Stall, mark, at);
+                span.finished = Some(at);
+                span.cached_tokens = completion.cached_tokens;
+                span.output_tokens = completion.output_tokens;
+                span.state = SpanState::Done;
+                self.retire(span);
+            }
+            EngineEvent::Migrated {
+                id, at, generated, ..
+            } => {
+                let mut span = self
+                    .live
+                    .remove(&id)
+                    .unwrap_or_else(|| panic!("unobserved request {id}"));
+                let SpanState::Running(mark) = span.state else {
+                    panic!("{id}: migrated while not running");
+                };
+                span.push_segment(Phase::Stall, mark, at);
+                span.finished = Some(at);
+                span.output_tokens = generated;
+                span.migrated = true;
+                span.state = SpanState::Done;
+                self.retire(span);
+            }
+        }
+    }
+}
+
+/// A clonable [`EngineObserver`] that streams each retired request span
+/// as one JSON line and keeps only live spans in memory. See the
+/// [module docs](self).
+#[derive(Clone)]
+pub struct SpanStreamWriter {
+    inner: Rc<RefCell<StreamInner>>,
+}
+
+impl SpanStreamWriter {
+    /// Wraps an arbitrary byte sink (a `File`, a `BufWriter`, a
+    /// `Vec<u8>`, …).
+    pub fn new(out: Box<dyn Write>) -> Self {
+        SpanStreamWriter {
+            inner: Rc::new(RefCell::new(StreamInner {
+                out,
+                live: HashMap::new(),
+                written: 0,
+                peak_live: 0,
+                io_error: None,
+                line: String::new(),
+            })),
+        }
+    }
+
+    /// Streams to a newly created (truncated) file, buffered.
+    pub fn to_file(path: &std::path::Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(SpanStreamWriter::new(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// Spans retired (lines successfully written) so far.
+    pub fn written(&self) -> u64 {
+        self.inner.borrow().written
+    }
+
+    /// Requests currently in flight (spans held in memory).
+    pub fn live(&self) -> usize {
+        self.inner.borrow().live.len()
+    }
+
+    /// High-water mark of concurrently held spans — the writer's actual
+    /// memory footprint, independent of run length.
+    pub fn peak_live(&self) -> usize {
+        self.inner.borrow().peak_live
+    }
+
+    /// A description of the first write error, if any occurred. Once a
+    /// write fails, later spans are dropped rather than retried.
+    pub fn io_error(&self) -> Option<String> {
+        self.inner.borrow().io_error.as_ref().map(|e| e.to_string())
+    }
+
+    /// Flushes the underlying writer (call at end of run; buffered sinks
+    /// may otherwise hold the tail).
+    pub fn flush(&self) -> io::Result<()> {
+        self.inner.borrow_mut().out.flush()
+    }
+}
+
+impl EngineObserver for SpanStreamWriter {
+    fn on_event(&mut self, event: &EngineEvent<'_>) {
+        self.inner.borrow_mut().apply(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::SpanRecorder;
+    use crate::open_loop::{ServingConfig, ServingSim, ServingWorkload};
+    use agentsim_kvcache::TokenBuf;
+    use agentsim_llm::{Engine, EngineConfig, EngineRole, FanoutObserver};
+    use agentsim_metrics::json;
+    use agentsim_simkit::SimTime;
+
+    /// A `Write` target the test can inspect after the writer is boxed.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn drain(engine: &mut Engine, mut now: SimTime) {
+        while let Some(end) = engine.start_step_if_idle(now) {
+            now = end;
+            engine.complete_step(now);
+        }
+    }
+
+    #[test]
+    fn streams_one_valid_line_per_retired_span_and_matches_recorder() {
+        let buf = SharedBuf::default();
+        let writer = SpanStreamWriter::new(Box::new(buf.clone()));
+        let recorder = SpanRecorder::new();
+
+        let cfg = ServingConfig::new(ServingWorkload::react_hotpotqa(), 1.0, 4).seed(7);
+        let mut sim = ServingSim::new(cfg);
+        sim.set_observer(Box::new(
+            FanoutObserver::new()
+                .with(Box::new(writer.clone()))
+                .with(Box::new(recorder.clone())),
+        ));
+        sim.run();
+
+        assert_eq!(writer.live(), 0, "all spans must retire");
+        assert!(writer.peak_live() >= 1);
+        assert!(writer.io_error().is_none());
+
+        let bytes = buf.0.borrow().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let spans = recorder.spans();
+        assert_eq!(lines.len() as u64, writer.written());
+        assert_eq!(lines.len(), spans.len());
+
+        for line in &lines {
+            json::validate(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // Streamed phase totals agree with the in-memory recorder.
+        for span in &spans {
+            let needle = format!(
+                "\"id\":{},\"migrated\":false,\"submitted_us\":{}",
+                span.id.0,
+                span.submitted.as_micros()
+            );
+            let line = lines
+                .iter()
+                .find(|l| l.contains(&needle))
+                .unwrap_or_else(|| panic!("no streamed line for {}", span.id));
+            assert!(line.contains(&format!("\"queue_us\":{}", span.queue_time.as_micros())));
+            assert!(line.contains(&format!("\"prefill_us\":{}", span.prefill_time.as_micros())));
+            assert!(line.contains(&format!("\"decode_us\":{}", span.decode_time.as_micros())));
+            assert!(line.contains(&format!("\"stall_us\":{}", span.stall_time.as_micros())));
+        }
+    }
+
+    #[test]
+    fn migrated_spans_retire_with_the_migrated_flag() {
+        let buf = SharedBuf::default();
+        let writer = SpanStreamWriter::new(Box::new(buf.clone()));
+        let mut e = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Prefill));
+        e.set_observer(Box::new(writer.clone()));
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 513), 8, 0);
+        drain(&mut e, SimTime::ZERO);
+
+        assert_eq!(writer.written(), 1);
+        assert_eq!(writer.live(), 0);
+        let bytes = buf.0.borrow().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("\"migrated\":true"));
+        assert!(text.contains("\"transfer_us\":0"));
+        json::validate(text.trim()).unwrap();
+    }
+
+    #[test]
+    fn write_failures_are_captured_not_propagated() {
+        #[derive(Debug)]
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let writer = SpanStreamWriter::new(Box::new(Broken));
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        e.set_observer(Box::new(writer.clone()));
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 64), 4, 0);
+        drain(&mut e, SimTime::ZERO);
+
+        assert_eq!(writer.written(), 0);
+        assert_eq!(writer.live(), 0, "spans still retire on I/O failure");
+        assert!(writer.io_error().unwrap().contains("disk full"));
+    }
+}
