@@ -1,0 +1,215 @@
+//! Fleet-serving smoke driver: runs every routing policy under both
+//! client models (open-loop Poisson and closed-loop multi-turn) and
+//! pins the resulting `FleetReport` fingerprints.
+//!
+//! ```sh
+//! cargo run -p agentsim-bench --release --bin fleetstat            # print
+//! cargo run -p agentsim-bench --release --bin fleetstat -- --check # CI smoke
+//! ```
+//!
+//! The default mode prints the six fingerprints in the source-constant
+//! format (the capture helper for updating the table below after an
+//! intentional semantics change). `--check` recomputes all six and
+//! fails loudly on any drift: the fleet must stay bit-deterministic for
+//! a given `(routing, client, seed)` across refactors, and the shared
+//! session-driver core must keep serving both client models through
+//! the very same code path.
+
+use agentsim_serving::{ClientModel, FleetConfig, FleetReport, FleetSim, Routing};
+use agentsim_simkit::SimDuration;
+
+/// The six pinned configurations: all routings under both client models.
+fn matrix() -> Vec<(&'static str, Routing, ClientModel)> {
+    let routings = [
+        ("affinity", Routing::SessionAffinity),
+        ("round-robin", Routing::RoundRobin),
+        ("least-loaded", Routing::LeastLoaded),
+    ];
+    let mut cells = Vec::new();
+    for (name, routing) in routings {
+        cells.push((name, routing, ClientModel::OpenLoopPoisson));
+    }
+    for (name, routing) in routings {
+        cells.push((
+            name,
+            routing,
+            ClientModel::ClosedLoop {
+                concurrency: 4,
+                think_time: SimDuration::from_secs(2),
+            },
+        ));
+    }
+    cells
+}
+
+fn client_name(client: &ClientModel) -> &'static str {
+    match client {
+        ClientModel::OpenLoopPoisson => "open",
+        ClientModel::ClosedLoop { .. } => "closed",
+        ClientModel::TraceReplay { .. } => "trace",
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    completed: u64,
+    max_live: u64,
+    p50_bits: u64,
+    p95_bits: u64,
+    kv_hit_bits: u64,
+    throughput_bits: u64,
+}
+
+impl Fingerprint {
+    fn of(r: &FleetReport) -> Self {
+        Fingerprint {
+            completed: r.completed,
+            max_live: r.max_live_sessions,
+            p50_bits: r.p50_s.to_bits(),
+            p95_bits: r.p95_s.to_bits(),
+            kv_hit_bits: r.kv_hit_rate.to_bits(),
+            throughput_bits: r.throughput.to_bits(),
+        }
+    }
+}
+
+fn run(routing: Routing, client: ClientModel) -> FleetReport {
+    // Same shape as the golden_fleet integration tests: enough load on 3
+    // replicas that routing decisions interleave with queueing.
+    let cfg = FleetConfig::react_hotpotqa(3, routing, 4.0, 30)
+        .seed(0xF1E7)
+        .client(client);
+    FleetSim::new(cfg).run()
+}
+
+/// `(label, client, completed, max_live, p50, p95, hit, tput)` — capture
+/// with the default (print) mode after any intentional semantics change.
+type GoldenRow = (&'static str, &'static str, u64, u64, u64, u64, u64, u64);
+const GOLDEN: [GoldenRow; 6] = [
+    (
+        "affinity",
+        "open",
+        30,
+        30,
+        0x40269e2b6ae7d567,
+        0x40318bfa6defc7a4,
+        0x3febc9a23153bc01,
+        0x3ff387d1986e41db,
+    ),
+    (
+        "round-robin",
+        "open",
+        30,
+        30,
+        0x40257fc6759ab6d0,
+        0x4034f7e5753a3ec0,
+        0x3fe64fa1a26e9c5e,
+        0x3ff0e2a52355c778,
+    ),
+    (
+        "least-loaded",
+        "open",
+        30,
+        28,
+        0x4023ead948dc11e4,
+        0x40333586ca89fc6e,
+        0x3fe6aefbf64ebe9a,
+        0x3ff34593cf11fc89,
+    ),
+    (
+        "affinity",
+        "closed",
+        30,
+        4,
+        0x4020cae05ccc89b1,
+        0x4031620f0a5efe93,
+        0x3feb811be54eb5cb,
+        0x3fd2c64eba21b7ab,
+    ),
+    (
+        "round-robin",
+        "closed",
+        30,
+        4,
+        0x40213f3387160957,
+        0x4032d55bbbe878fb,
+        0x3fe7b4ee68d154d4,
+        0x3fd26835e0c0cbeb,
+    ),
+    (
+        "least-loaded",
+        "closed",
+        30,
+        4,
+        0x40229a9da597d49d,
+        0x4031c656366d7a57,
+        0x3fe809fbeddfd1c4,
+        0x3fd2c053556a27f5,
+    ),
+];
+
+fn main() {
+    let check = match std::env::args().nth(1).as_deref() {
+        Some("--check") => true,
+        Some(other) => {
+            eprintln!("unknown flag {other}; use --check");
+            std::process::exit(2);
+        }
+        None => false,
+    };
+
+    let mut drifted = 0u32;
+    for (label, routing, client) in matrix() {
+        let cname = client_name(&client);
+        let population = match &client {
+            ClientModel::ClosedLoop { concurrency, .. } => Some(*concurrency as u64),
+            _ => None,
+        };
+        let report = run(routing, client);
+        let f = Fingerprint::of(&report);
+        if let Some(p) = population {
+            assert!(
+                f.max_live <= p,
+                "{label}/{cname}: {} live sessions exceed the {p}-user population",
+                f.max_live
+            );
+        }
+        if check {
+            let want = GOLDEN
+                .iter()
+                .find(|(l, c, ..)| *l == label && *c == cname)
+                .expect("golden row present");
+            let expected = Fingerprint {
+                completed: want.2,
+                max_live: want.3,
+                p50_bits: want.4,
+                p95_bits: want.5,
+                kv_hit_bits: want.6,
+                throughput_bits: want.7,
+            };
+            if f != expected {
+                drifted += 1;
+                eprintln!("{label}/{cname} drifted:\n  got  {f:#x?}\n  want {expected:#x?}");
+            } else {
+                println!("{label}/{cname}: ok");
+            }
+        } else {
+            println!(
+                "(\"{label}\", \"{cname}\", {}, {}, {:#x}, {:#x}, {:#x}, {:#x}),",
+                f.completed, f.max_live, f.p50_bits, f.p95_bits, f.kv_hit_bits, f.throughput_bits
+            );
+        }
+    }
+
+    if check {
+        if drifted > 0 {
+            eprintln!(
+                "{drifted} fleet fingerprint(s) drifted — a routing, client-model, or \
+                 engine change altered simulation semantics (run fleetstat without \
+                 flags to print current values)"
+            );
+            std::process::exit(1);
+        }
+        println!("fleetstat --check passed");
+    }
+}

@@ -30,6 +30,7 @@ pub mod ablation_block;
 pub mod ablation_chunked;
 pub mod ablation_step;
 pub mod concurrency;
+pub mod ext_closed_loop;
 pub mod ext_disagg;
 pub mod ext_hardware;
 pub mod ext_mixed;
@@ -175,6 +176,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Session routing across an agent-serving fleet"
         ),
         experiment!(
+            ext_closed_loop,
+            "(extension)",
+            "Open-loop vs closed-loop clients on an agent fleet"
+        ),
+        experiment!(
             ext_spans,
             "(extension)",
             "Latency breakdown rebuilt from lifecycle spans"
@@ -209,7 +215,7 @@ mod tests {
     #[test]
     fn registry_covers_all_paper_artifacts() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 34);
+        assert_eq!(ids.len(), 35);
         for required in [
             "table1",
             "table2",
@@ -235,6 +241,6 @@ mod tests {
         let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 34);
+        assert_eq!(ids.len(), 35);
     }
 }

@@ -4,6 +4,7 @@
 use agentsim_agents::{AgentConfig, AgentKind};
 use agentsim_gpu::LinkSpec;
 use agentsim_llm::EngineConfig;
+use agentsim_session::ClientModel;
 use agentsim_workloads::Benchmark;
 
 /// What kind of traffic the disaggregated cluster receives. Mirrors the
@@ -87,6 +88,8 @@ pub struct DisaggConfig {
     /// disaggregated and a colocated run at the same seed see identical
     /// arrival processes and task draws.
     pub seed: u64,
+    /// Who submits the turns, and when.
+    pub client: ClientModel,
 }
 
 impl DisaggConfig {
@@ -105,6 +108,7 @@ impl DisaggConfig {
             qps,
             num_requests,
             seed: 0,
+            client: ClientModel::OpenLoopPoisson,
         }
     }
 
@@ -156,6 +160,12 @@ impl DisaggConfig {
     /// Sets the decode-side routing policy.
     pub fn decode_routing(mut self, routing: PoolRouting) -> Self {
         self.decode_routing = routing;
+        self
+    }
+
+    /// Replaces the client model.
+    pub fn client(mut self, client: ClientModel) -> Self {
+        self.client = client;
         self
     }
 

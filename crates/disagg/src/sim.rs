@@ -2,22 +2,24 @@
 //! decode pool, with the colocated baseline as the degenerate case.
 //!
 //! Mirrors the colocated drivers' event loop and RNG derivation exactly
-//! (same root constants, same arrival process, same per-session forks),
-//! so a disaggregated run and a colocated run at the same seed differ
-//! *only* in serving topology — the what-if experiments compare nothing
-//! else.
+//! (same root constants, same arrival process, same per-session forks —
+//! all via [`agentsim_session`]), so a disaggregated run and a colocated
+//! run at the same seed differ *only* in serving topology — the what-if
+//! experiments compare nothing else. The session state machine itself is
+//! the shared [`SessionRunner`]; only the two-pool call lifecycle
+//! (prefill leg, transfer, decode leg) lives here.
 
 use std::collections::HashMap;
 
-use agentsim_agents::{
-    build_agent, AgentConfig, AgentKind, AgentOp, AgentPolicy, LlmCallSpec, LlmOutput, OpResult,
-};
-use agentsim_llm::{Engine, EngineObserver, EngineRole, LlmCompletion, MigratedRequest, RequestId};
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::{Engine, EngineObserver, EngineRole, LlmCompletion, RequestId};
 use agentsim_metrics::Samples;
-use agentsim_simkit::dist::{Exponential, Sample};
+use agentsim_session::{
+    seeds, Arrival, ArrivalProcess, CallDone, SessionCmd, SessionRunner, ToolRng,
+};
 use agentsim_simkit::{EventQueue, SimDuration, SimRng, SimTime};
-use agentsim_tools::{ToolCall, ToolExecutor, ToolResult};
-use agentsim_workloads::{Benchmark, ShareGptGenerator, TaskGenerator};
+use agentsim_tools::ToolExecutor;
+use agentsim_workloads::{ShareGptGenerator, TaskGenerator};
 
 use crate::config::{DisaggConfig, DisaggWorkload, PoolRouting};
 use crate::report::{CallRecord, DisaggReport};
@@ -25,39 +27,26 @@ use crate::transfer::TransferScheduler;
 
 #[derive(Debug)]
 enum Event {
-    Arrival(u64),
+    Arrival(Arrival),
     PrefillStep(usize),
     DecodeStep(usize),
     TransferDone(u64),
     ToolsDone(u64),
 }
 
-struct Session {
-    /// `None` for chatbot sessions (single call, no policy).
-    policy: Option<Box<dyn AgentPolicy>>,
-    rng: SimRng,
-    arrived: SimTime,
-    /// Outstanding calls of the current op: `(call id, spec)`.
-    pending: Vec<(u64, LlmCallSpec)>,
-    /// Output token counts of finished calls of the current op.
-    done: HashMap<u64, u32>,
-    scheduled_tools: Vec<ToolResult>,
-    overlap_tools: Option<(Vec<ToolCall>, f64)>,
-    op_start: SimTime,
-    calls_made: u32,
-}
-
 /// One call's record under construction (prefill leg, then optionally a
 /// transfer and a decode leg).
 struct CallState {
     session: u64,
+    /// The call's index within its session's current LLM op.
+    seq: u32,
     prefill_replica: usize,
     decode_replica: Option<usize>,
     decode_submitted: Option<SimTime>,
     transfer_wait: SimDuration,
     /// Prefill leg, captured at migration time (`None` until then; local
     /// completions fill the record directly).
-    migration: Option<MigratedRequest>,
+    migration: Option<agentsim_llm::MigratedRequest>,
 }
 
 /// The disaggregated serving simulator. Build with [`DisaggSim::new`],
@@ -71,7 +60,8 @@ pub struct DisaggSim {
     transfer_owner: HashMap<u64, u64>,
     tools: ToolExecutor,
     queue: EventQueue<Event>,
-    sessions: Vec<Option<Session>>,
+    client: Box<dyn ArrivalProcess>,
+    sessions: Vec<Option<SessionRunner>>,
     calls: Vec<CallState>,
     finished_calls: Vec<CallRecord>,
     prefill_owner: HashMap<(usize, RequestId), u64>,
@@ -96,7 +86,8 @@ impl std::fmt::Debug for DisaggSim {
 }
 
 impl DisaggSim {
-    /// Builds the simulator (arrivals pre-scheduled).
+    /// Builds the simulator (the first arrivals are scheduled; the rest
+    /// chain lazily as the run progresses).
     pub fn new(config: DisaggConfig) -> Self {
         let prefill_role = if config.is_colocated() {
             EngineRole::Colocated
@@ -113,16 +104,19 @@ impl DisaggSim {
             TransferScheduler::new(config.link.clone(), config.decode_replicas as usize);
         // Same root/arrival derivation as the colocated open-loop driver:
         // identical seeds ⇒ identical arrival processes.
-        let root_rng = SimRng::seed_from(config.seed ^ 0x5E61);
+        let root_rng = SimRng::seed_from(config.seed ^ seeds::SERVING_ROOT);
+        let mut client = config.client.build(
+            config.qps,
+            config.num_requests,
+            root_rng.fork(seeds::ARRIVALS),
+        );
         let mut queue = EventQueue::new();
-        let gaps = Exponential::with_rate(config.qps);
-        let mut arrival_rng = root_rng.fork(0xA221);
-        let mut t = SimTime::ZERO;
-        for i in 0..config.num_requests {
-            t += SimDuration::from_secs_f64(gaps.sample(&mut arrival_rng));
-            queue.push(t, Event::Arrival(i));
+        for a in client.initial() {
+            queue.push(a.at, Event::Arrival(a));
         }
-        let sessions = (0..config.num_requests).map(|_| None).collect();
+        let sessions = (0..config.client.sessions(config.num_requests))
+            .map(|_| None)
+            .collect();
         DisaggSim {
             prefill_engines,
             decode_engines,
@@ -130,6 +124,7 @@ impl DisaggSim {
             transfer_owner: HashMap::new(),
             tools: ToolExecutor::new(),
             queue,
+            client,
             sessions,
             calls: Vec::new(),
             finished_calls: Vec::new(),
@@ -166,85 +161,76 @@ impl DisaggSim {
     pub fn run(mut self) -> DisaggReport {
         while let Some((now, event)) = self.queue.pop() {
             match event {
-                Event::Arrival(i) => self.on_arrival(i, now),
+                Event::Arrival(a) => self.on_arrival(a, now),
                 Event::PrefillStep(p) => self.on_prefill_step(p, now),
                 Event::DecodeStep(d) => self.on_decode_step(d, now),
                 Event::TransferDone(tid) => self.on_transfer_done(tid, now),
-                Event::ToolsDone(sid) => self.on_tools_done(sid, now),
+                Event::ToolsDone(sid) => {
+                    let cmd = self.sessions[sid as usize]
+                        .as_mut()
+                        .expect("live session")
+                        .on_tools_done(&self.tools, now);
+                    self.exec(sid, cmd, now);
+                }
             }
             self.kick_all(now);
         }
-        assert_eq!(
-            self.completed, self.config.num_requests,
-            "all requests must finish"
-        );
+        let expected = self.config.client.total_turns(self.config.num_requests);
+        assert_eq!(self.completed, expected, "all turns must finish");
         assert_eq!(self.transfers.outstanding(), 0, "no transfer left behind");
         self.into_report()
     }
 
-    fn on_arrival(&mut self, i: u64, now: SimTime) {
-        match self.config.workload {
-            DisaggWorkload::Chatbot => self.arrive_chatbot(i, now),
+    fn on_arrival(&mut self, a: Arrival, now: SimTime) {
+        // Chain the next arrival first, so it precedes any event this
+        // one schedules at the same instant.
+        if let Some(next) = self.client.after_arrival(now) {
+            self.queue.push(next.at, Event::Arrival(next));
+        }
+        let (runner, cmd) = match self.config.workload {
+            DisaggWorkload::Chatbot => self.start_chatbot(a.turn, now),
             DisaggWorkload::Agent {
                 kind,
                 benchmark,
                 config,
-            } => self.arrive_agent(i, now, kind, benchmark, config),
-        }
+            } => self.start_agent(a.turn, now, kind, benchmark, config),
+        };
+        let slot = &mut self.sessions[a.session as usize];
+        assert!(slot.is_none(), "session {} already live", a.session);
+        *slot = Some(runner);
+        self.exec(a.session, cmd, now);
     }
 
-    fn arrive_chatbot(&mut self, i: u64, now: SimTime) {
-        let query = ShareGptGenerator::new(self.config.seed).query(i);
-        let mut s = Session {
-            policy: None,
-            rng: self.root_rng.fork(i ^ 0xC4A7),
-            arrived: now,
-            pending: Vec::new(),
-            done: HashMap::new(),
-            scheduled_tools: Vec::new(),
-            overlap_tools: None,
-            op_start: now,
-            calls_made: 0,
-        };
-        let spec = LlmCallSpec {
-            prompt: Default::default(),
-            out_tokens: query.output_tokens,
-            gen_seed: query.gen_seed,
-            kind: agentsim_agents::OutputKind::Answer,
-            breakdown: Default::default(),
-        };
-        let call = self.submit_call(i, now, query.prompt, query.output_tokens, query.gen_seed, 0);
-        s.pending.push((call, spec));
-        self.sessions[i as usize] = Some(s);
+    fn start_chatbot(&mut self, turn: u64, now: SimTime) -> (SessionRunner, SessionCmd) {
+        let query = ShareGptGenerator::new(self.config.seed).query(turn);
+        SessionRunner::chatbot(
+            query.prompt,
+            query.output_tokens,
+            query.gen_seed,
+            turn,
+            self.root_rng.fork(turn ^ seeds::CHATBOT_SESSION),
+            now,
+        )
     }
 
-    fn arrive_agent(
+    fn start_agent(
         &mut self,
-        i: u64,
+        turn: u64,
         now: SimTime,
         kind: AgentKind,
-        benchmark: Benchmark,
+        benchmark: agentsim_workloads::Benchmark,
         config: AgentConfig,
-    ) {
-        let task = TaskGenerator::new(benchmark, self.config.seed).task(i);
-        let mut s = Session {
-            policy: Some(build_agent(kind, &task, config)),
-            rng: self.root_rng.fork(i ^ 0xA6E7),
-            arrived: now,
-            pending: Vec::new(),
-            done: HashMap::new(),
-            scheduled_tools: Vec::new(),
-            overlap_tools: None,
-            op_start: now,
-            calls_made: 0,
-        };
-        let op = s
-            .policy
-            .as_mut()
-            .expect("agent session")
-            .next(&OpResult::empty(), &mut s.rng);
-        self.sessions[i as usize] = Some(s);
-        self.dispatch(i, op, now);
+    ) -> (SessionRunner, SessionCmd) {
+        let task = TaskGenerator::new(benchmark, self.config.seed).task(turn);
+        SessionRunner::agent(
+            kind,
+            &task,
+            config,
+            self.root_rng.fork(turn ^ seeds::AGENT_SESSION),
+            ToolRng::ForkByTime,
+            &self.tools,
+            now,
+        )
     }
 
     fn route_prefill(&mut self) -> usize {
@@ -281,86 +267,47 @@ impl DisaggSim {
         }
     }
 
-    /// Submits one LLM call to the prefill pool and registers its state.
-    fn submit_call(
-        &mut self,
-        sid: u64,
-        now: SimTime,
-        prompt: agentsim_kvcache::TokenBuf,
-        out_tokens: u32,
-        gen_seed: u64,
-        priority: u32,
-    ) -> u64 {
-        let replica = self.route_prefill();
-        let id = self.prefill_engines[replica]
-            .submit_with_priority(now, prompt, out_tokens, gen_seed, priority);
-        let call = self.calls.len() as u64;
-        self.calls.push(CallState {
-            session: sid,
-            prefill_replica: replica,
-            decode_replica: None,
-            decode_submitted: None,
-            transfer_wait: SimDuration::ZERO,
-            migration: None,
-        });
-        self.prefill_owner.insert((replica, id), call);
-        call
-    }
-
-    fn dispatch(&mut self, sid: u64, op: AgentOp, now: SimTime) {
-        match op {
-            AgentOp::Llm(spec) => self.dispatch_llm(sid, vec![spec], now),
-            AgentOp::LlmBatch(specs) => self.dispatch_llm(sid, specs, now),
-            AgentOp::Tools(calls) => {
-                let tools = &self.tools;
-                let session = self.sessions[sid as usize].as_mut().expect("live session");
-                session.op_start = now;
-                let mut rng = session.rng.fork(now.as_micros());
-                let results: Vec<ToolResult> = tools.execute_batch(&calls, &mut rng);
-                let wall = results
-                    .iter()
-                    .map(|r| r.latency)
-                    .max()
-                    .unwrap_or(SimDuration::ZERO);
-                session.scheduled_tools = results;
-                self.queue.push(now + wall, Event::ToolsDone(sid));
+    /// Executes a session command against the two-pool topology.
+    fn exec(&mut self, sid: u64, cmd: SessionCmd, now: SimTime) {
+        match cmd {
+            SessionCmd::Llm(op) => {
+                for (seq, c) in op.calls.into_iter().enumerate() {
+                    let replica = self.route_prefill();
+                    let id = self.prefill_engines[replica].submit_with_priority(
+                        now,
+                        c.prompt,
+                        c.out_tokens,
+                        c.gen_seed,
+                        op.priority,
+                    );
+                    let call = self.calls.len() as u64;
+                    self.calls.push(CallState {
+                        session: sid,
+                        seq: seq as u32,
+                        prefill_replica: replica,
+                        decode_replica: None,
+                        decode_submitted: None,
+                        transfer_wait: SimDuration::ZERO,
+                        migration: None,
+                    });
+                    self.prefill_owner.insert((replica, id), call);
+                }
             }
-            AgentOp::OverlappedPlan {
-                llm,
-                tools,
-                overlap,
-            } => {
-                let session = self.sessions[sid as usize].as_mut().expect("live session");
-                session.overlap_tools = Some((tools, overlap));
-                self.dispatch_llm(sid, vec![llm], now);
+            SessionCmd::Tools { wake } => {
+                self.queue.push(wake, Event::ToolsDone(sid));
             }
-            AgentOp::Finish(outcome) => {
-                let session = self.sessions[sid as usize]
+            SessionCmd::Finish(outcome) => {
+                let runner = self.sessions[sid as usize]
                     .take()
                     .expect("live session finishing");
-                self.latencies
-                    .push(now.saturating_since(session.arrived).as_secs_f64());
+                self.latencies.push(runner.trace().e2e().as_secs_f64());
                 self.completed += 1;
                 self.solved += outcome.solved as u64;
                 self.last_finish = self.last_finish.max(now);
+                if let Some(next) = self.client.after_finish(sid, now) {
+                    self.queue.push(next.at, Event::Arrival(next));
+                }
             }
-        }
-    }
-
-    fn dispatch_llm(&mut self, sid: u64, specs: Vec<LlmCallSpec>, now: SimTime) {
-        let priority = {
-            let session = self.sessions[sid as usize].as_mut().expect("live session");
-            session.op_start = now;
-            session.done.clear();
-            let priority = session.calls_made;
-            session.calls_made += specs.len() as u32;
-            priority
-        };
-        for mut spec in specs {
-            let prompt = std::mem::take(&mut spec.prompt);
-            let call = self.submit_call(sid, now, prompt, spec.out_tokens, spec.gen_seed, priority);
-            let session = self.sessions[sid as usize].as_mut().expect("live session");
-            session.pending.push((call, spec));
         }
     }
 
@@ -473,87 +420,19 @@ impl DisaggSim {
         self.finish_call_in_session(call, completion.output_tokens, now);
     }
 
-    /// Session bookkeeping shared by both completion paths.
+    /// Session bookkeeping shared by both completion paths. The session
+    /// level only needs the output-token count — per-leg engine records
+    /// are already stitched into [`CallRecord`]s.
     fn finish_call_in_session(&mut self, call: u64, output_tokens: u32, now: SimTime) {
-        let sid = self.calls[call as usize].session;
-        let finished_op = {
-            let session = self.sessions[sid as usize].as_mut().expect("live session");
-            session.done.insert(call, output_tokens);
-            session.done.len() == session.pending.len()
-        };
-        if finished_op {
-            self.finish_llm_op(sid, now);
-        }
-    }
-
-    /// All LLM calls of the current op completed: advance the session.
-    fn finish_llm_op(&mut self, sid: u64, now: SimTime) {
-        let session = self.sessions[sid as usize].as_mut().expect("live session");
-        let pending = std::mem::take(&mut session.pending);
-        let mut done = std::mem::take(&mut session.done);
-        let mut outputs = Vec::with_capacity(pending.len());
-        for (call, spec) in &pending {
-            let tokens = done.remove(call).expect("every pending call completed");
-            outputs.push(LlmOutput {
-                tokens,
-                gen_seed: spec.gen_seed,
-            });
-        }
-
-        // Chatbot sessions finish after their single call.
-        if session.policy.is_none() {
-            let session = self.sessions[sid as usize].take().expect("live session");
-            self.latencies
-                .push(now.saturating_since(session.arrived).as_secs_f64());
-            self.completed += 1;
-            self.last_finish = self.last_finish.max(now);
-            return;
-        }
-
-        // LLMCompiler overlapped plan: launch the planned tools with the
-        // overlap credit already elapsed during planning.
-        if let Some((calls, overlap)) = session.overlap_tools.take() {
-            let tools = &self.tools;
-            let mut rng = session.rng.fork(now.as_micros() ^ 0x0B);
-            let results: Vec<ToolResult> = tools.execute_batch(&calls, &mut rng);
-            let wall = results
-                .iter()
-                .map(|r| r.latency)
-                .max()
-                .unwrap_or(SimDuration::ZERO);
-            let plan_time = now.saturating_since(session.op_start);
-            let credit = plan_time.mul_f64(overlap.clamp(0.0, 1.0));
-            let extra = wall.saturating_sub(credit);
-            session.scheduled_tools = results;
-            self.queue.push(now + extra, Event::ToolsDone(sid));
-            return;
-        }
-
-        let result = OpResult {
-            llm: outputs,
-            tools: Vec::new(),
-        };
-        let op = session
-            .policy
+        let state = &self.calls[call as usize];
+        let (sid, seq) = (state.session, state.seq);
+        let cmd = self.sessions[sid as usize]
             .as_mut()
-            .expect("agent session")
-            .next(&result, &mut session.rng);
-        self.dispatch(sid, op, now);
-    }
-
-    fn on_tools_done(&mut self, sid: u64, now: SimTime) {
-        let session = self.sessions[sid as usize].as_mut().expect("live session");
-        let results = std::mem::take(&mut session.scheduled_tools);
-        let result = OpResult {
-            llm: Vec::new(),
-            tools: results,
-        };
-        let op = session
-            .policy
-            .as_mut()
-            .expect("agent session")
-            .next(&result, &mut session.rng);
-        self.dispatch(sid, op, now);
+            .expect("live session")
+            .on_call_done(seq, CallDone::tokens_only(output_tokens), &self.tools, now);
+        if let Some(cmd) = cmd {
+            self.exec(sid, cmd, now);
+        }
     }
 
     fn kick_all(&mut self, now: SimTime) {
@@ -624,6 +503,7 @@ impl DisaggSim {
 mod tests {
     use super::*;
     use agentsim_gpu::LinkSpec;
+    use agentsim_session::ClientModel;
 
     fn react(qps: f64, n: u64) -> DisaggReport {
         DisaggSim::new(DisaggConfig::new(DisaggWorkload::react_hotpotqa(), qps, n).seed(1)).run()
@@ -708,5 +588,20 @@ mod tests {
         let r = DisaggSim::new(cfg).run();
         assert_eq!(r.completed, 12);
         assert_eq!(r.calls.len(), 12, "one call per chatbot request");
+    }
+
+    #[test]
+    fn closed_loop_runs_through_the_disagg_topology() {
+        let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 1.0, 12)
+            .seed(4)
+            .client(ClientModel::ClosedLoop {
+                concurrency: 3,
+                think_time: SimDuration::from_secs(1),
+            });
+        let r = DisaggSim::new(cfg).run();
+        assert_eq!(r.completed, 12);
+        assert!(r.migrated_calls > 0, "turns still migrate");
+        // Session ids stay within the population under closed loop.
+        assert!(r.calls.iter().all(|c| c.session < 3));
     }
 }

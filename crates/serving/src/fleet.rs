@@ -6,18 +6,21 @@
 //! iterative calls share a growing prefix, routing is not
 //! load-balancing-neutral — sending call *k+1* to a different replica
 //! than call *k* forfeits the prefix-cache state the paper shows is
-//! critical (its Fig. 15).
+//! critical (its Fig. 15). Closed-loop clients sharpen the question
+//! further: a user population re-submitting turns under stable session
+//! ids gives affinity routing cross-*turn* state to preserve, not just
+//! cross-call.
 
 use std::collections::HashMap;
 
-use agentsim_agents::{
-    build_agent, AgentConfig, AgentKind, AgentOp, AgentPolicy, LlmCallSpec, LlmOutput, OpResult,
-};
-use agentsim_llm::{Engine, EngineConfig, LlmCompletion, RequestId};
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::{Engine, EngineConfig, RequestId};
 use agentsim_metrics::Samples;
-use agentsim_simkit::dist::{Exponential, Sample};
-use agentsim_simkit::{EventQueue, SimDuration, SimRng, SimTime};
-use agentsim_tools::{ToolCall, ToolExecutor, ToolResult};
+use agentsim_session::{
+    seeds, Arrival, ArrivalProcess, CallDone, ClientModel, SessionCmd, SessionRunner, ToolRng,
+};
+use agentsim_simkit::{EventQueue, SimRng, SimTime};
+use agentsim_tools::ToolExecutor;
 use agentsim_workloads::{Benchmark, TaskGenerator};
 
 /// How the router assigns each LLM call to a replica.
@@ -58,12 +61,14 @@ pub struct FleetConfig {
     pub benchmark: Benchmark,
     /// Agent configuration.
     pub agent: AgentConfig,
-    /// Offered load, requests/second (fleet-wide).
+    /// Offered load, requests/second (fleet-wide, open-loop clients).
     pub qps: f64,
-    /// Requests to issue.
+    /// Turns to issue.
     pub num_requests: u64,
     /// Root seed.
     pub seed: u64,
+    /// Who submits the turns, and when.
+    pub client: ClientModel,
 }
 
 impl FleetConfig {
@@ -82,12 +87,19 @@ impl FleetConfig {
             qps,
             num_requests,
             seed: 0,
+            client: ClientModel::OpenLoopPoisson,
         }
     }
 
     /// Sets the root seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the client model.
+    pub fn client(mut self, client: ClientModel) -> Self {
+        self.client = client;
         self
     }
 }
@@ -113,25 +125,16 @@ pub struct FleetReport {
     pub utilization: Vec<f64>,
     /// Achieved throughput (requests/second).
     pub throughput: f64,
+    /// Peak number of simultaneously live sessions (bounded by the
+    /// population under a closed-loop client).
+    pub max_live_sessions: u64,
 }
 
 #[derive(Debug)]
 enum Event {
-    Arrival(u64),
+    Arrival(Arrival),
     StepDone(usize),
     ToolsDone(u64),
-}
-
-struct Session {
-    policy: Box<dyn AgentPolicy>,
-    rng: SimRng,
-    arrived: SimTime,
-    pending: Vec<(usize, RequestId, LlmCallSpec)>,
-    done: Vec<(RequestId, LlmCompletion)>,
-    scheduled_tools: Vec<ToolResult>,
-    overlap_tools: Option<(Vec<ToolCall>, f64)>,
-    op_start: SimTime,
-    calls_made: u32,
 }
 
 /// The fleet simulator. Build with [`FleetSim::new`], consume with
@@ -141,13 +144,16 @@ pub struct FleetSim {
     engines: Vec<Engine>,
     tools: ToolExecutor,
     queue: EventQueue<Event>,
-    sessions: Vec<Option<Session>>,
-    owner: HashMap<(usize, RequestId), u64>,
+    client: Box<dyn ArrivalProcess>,
+    sessions: Vec<Option<SessionRunner>>,
+    owner: HashMap<(usize, RequestId), (u64, u32)>,
     root_rng: SimRng,
     rr_counter: usize,
     latencies: Vec<f64>,
     completed: u64,
     last_finish: SimTime,
+    live: u64,
+    max_live: u64,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -160,25 +166,30 @@ impl std::fmt::Debug for FleetSim {
 }
 
 impl FleetSim {
-    /// Builds the fleet (arrivals pre-scheduled).
+    /// Builds the fleet (the first arrivals are scheduled; the rest
+    /// chain lazily as the run progresses).
     pub fn new(config: FleetConfig) -> Self {
         let engines = (0..config.replicas)
             .map(|_| Engine::new(config.engine.clone()))
             .collect();
-        let root_rng = SimRng::seed_from(config.seed ^ 0xF1EE7);
+        let root_rng = SimRng::seed_from(config.seed ^ seeds::FLEET_ROOT);
+        let mut client = config.client.build(
+            config.qps,
+            config.num_requests,
+            root_rng.fork(seeds::ARRIVALS),
+        );
         let mut queue = EventQueue::new();
-        let gaps = Exponential::with_rate(config.qps);
-        let mut arrival_rng = root_rng.fork(0xA221);
-        let mut t = SimTime::ZERO;
-        for i in 0..config.num_requests {
-            t += SimDuration::from_secs_f64(gaps.sample(&mut arrival_rng));
-            queue.push(t, Event::Arrival(i));
+        for a in client.initial() {
+            queue.push(a.at, Event::Arrival(a));
         }
-        let sessions = (0..config.num_requests).map(|_| None).collect();
+        let sessions = (0..config.client.sessions(config.num_requests))
+            .map(|_| None)
+            .collect();
         FleetSim {
             engines,
             tools: ToolExecutor::new(),
             queue,
+            client,
             sessions,
             owner: HashMap::new(),
             root_rng,
@@ -186,6 +197,8 @@ impl FleetSim {
             latencies: Vec::new(),
             completed: 0,
             last_finish: SimTime::ZERO,
+            live: 0,
+            max_live: 0,
             config,
         }
     }
@@ -209,15 +222,22 @@ impl FleetSim {
     pub fn run(mut self) -> FleetReport {
         while let Some((now, event)) = self.queue.pop() {
             match event {
-                Event::Arrival(i) => self.on_arrival(i, now),
+                Event::Arrival(a) => self.on_arrival(a, now),
                 Event::StepDone(r) => self.on_step_done(r, now),
-                Event::ToolsDone(sid) => self.on_tools_done(sid, now),
+                Event::ToolsDone(sid) => {
+                    let cmd = self.sessions[sid as usize]
+                        .as_mut()
+                        .expect("live session")
+                        .on_tools_done(&self.tools, now);
+                    self.exec(sid, cmd, now);
+                }
             }
             for r in 0..self.engines.len() {
                 self.kick(r, now);
             }
         }
-        assert_eq!(self.completed, self.config.num_requests, "all must finish");
+        let expected = self.config.client.total_turns(self.config.num_requests);
+        assert_eq!(self.completed, expected, "all turns must finish");
         self.into_report()
     }
 
@@ -239,146 +259,76 @@ impl FleetSim {
         }
     }
 
-    fn on_arrival(&mut self, i: u64, now: SimTime) {
-        let task = TaskGenerator::new(self.config.benchmark, self.config.seed).task(i);
-        let mut s = Session {
-            policy: build_agent(self.config.kind, &task, self.config.agent),
-            rng: self.root_rng.fork(i ^ 0xA6E7),
-            arrived: now,
-            pending: Vec::new(),
-            done: Vec::new(),
-            scheduled_tools: Vec::new(),
-            overlap_tools: None,
-            op_start: now,
-            calls_made: 0,
-        };
-        let op = s.policy.next(&OpResult::empty(), &mut s.rng);
-        self.sessions[i as usize] = Some(s);
-        self.dispatch(i, op, now);
-    }
-
-    fn dispatch(&mut self, sid: u64, op: AgentOp, now: SimTime) {
-        match op {
-            AgentOp::Llm(spec) => self.dispatch_llm(sid, vec![spec], now),
-            AgentOp::LlmBatch(specs) => self.dispatch_llm(sid, specs, now),
-            AgentOp::Tools(calls) => {
-                let tools = &self.tools;
-                let session = self.sessions[sid as usize].as_mut().expect("live");
-                session.op_start = now;
-                let mut rng = session.rng.fork(now.as_micros());
-                let results = tools.execute_batch(&calls, &mut rng);
-                let wall = results
-                    .iter()
-                    .map(|r| r.latency)
-                    .max()
-                    .unwrap_or(SimDuration::ZERO);
-                session.scheduled_tools = results;
-                self.queue.push(now + wall, Event::ToolsDone(sid));
-            }
-            AgentOp::OverlappedPlan {
-                llm,
-                tools,
-                overlap,
-            } => {
-                let session = self.sessions[sid as usize].as_mut().expect("live");
-                session.overlap_tools = Some((tools, overlap));
-                self.dispatch_llm(sid, vec![llm], now);
-            }
-            AgentOp::Finish(_) => {
-                let session = self.sessions[sid as usize].take().expect("live");
-                self.latencies
-                    .push(now.saturating_since(session.arrived).as_secs_f64());
-                self.completed += 1;
-                self.last_finish = self.last_finish.max(now);
-            }
+    fn on_arrival(&mut self, a: Arrival, now: SimTime) {
+        // Chain the next arrival first, so it precedes any event this
+        // one schedules at the same instant.
+        if let Some(next) = self.client.after_arrival(now) {
+            self.queue.push(next.at, Event::Arrival(next));
         }
+        let task = TaskGenerator::new(self.config.benchmark, self.config.seed).task(a.turn);
+        let (runner, cmd) = SessionRunner::agent(
+            self.config.kind,
+            &task,
+            self.config.agent,
+            self.root_rng.fork(a.turn ^ seeds::AGENT_SESSION),
+            ToolRng::ForkByTime,
+            &self.tools,
+            now,
+        );
+        let slot = &mut self.sessions[a.session as usize];
+        assert!(slot.is_none(), "session {} already live", a.session);
+        *slot = Some(runner);
+        self.live += 1;
+        self.max_live = self.max_live.max(self.live);
+        self.exec(a.session, cmd, now);
     }
 
-    fn dispatch_llm(&mut self, sid: u64, specs: Vec<LlmCallSpec>, now: SimTime) {
-        let replica = self.route(sid);
-        let session = self.sessions[sid as usize].as_mut().expect("live");
-        session.op_start = now;
-        session.done.clear();
-        let priority = session.calls_made;
-        session.calls_made += specs.len() as u32;
-        for mut spec in specs {
-            // Move the prompt (and its memoized hashes) into the engine;
-            // the retained spec only needs its metadata.
-            let prompt = std::mem::take(&mut spec.prompt);
-            let id = self.engines[replica].submit_with_priority(
-                now,
-                prompt,
-                spec.out_tokens,
-                spec.gen_seed,
-                priority,
-            );
-            self.owner.insert((replica, id), sid);
-            session.pending.push((replica, id, spec));
+    /// Executes a session command against the routed fleet.
+    fn exec(&mut self, sid: u64, cmd: SessionCmd, now: SimTime) {
+        match cmd {
+            SessionCmd::Llm(op) => {
+                let replica = self.route(sid);
+                for (seq, call) in op.calls.into_iter().enumerate() {
+                    let id = self.engines[replica].submit_with_priority(
+                        now,
+                        call.prompt,
+                        call.out_tokens,
+                        call.gen_seed,
+                        op.priority,
+                    );
+                    self.owner.insert((replica, id), (sid, seq as u32));
+                }
+            }
+            SessionCmd::Tools { wake } => {
+                self.queue.push(wake, Event::ToolsDone(sid));
+            }
+            SessionCmd::Finish(_) => {
+                let runner = self.sessions[sid as usize].take().expect("live session");
+                self.latencies.push(runner.trace().e2e().as_secs_f64());
+                self.completed += 1;
+                self.live -= 1;
+                self.last_finish = self.last_finish.max(now);
+                if let Some(next) = self.client.after_finish(sid, now) {
+                    self.queue.push(next.at, Event::Arrival(next));
+                }
+            }
         }
     }
 
     fn on_step_done(&mut self, replica: usize, now: SimTime) {
         for completion in self.engines[replica].complete_step(now) {
-            let sid = self
+            let (sid, seq) = self
                 .owner
                 .remove(&(replica, completion.id))
                 .expect("owned completion");
-            let finished = {
-                let session = self.sessions[sid as usize].as_mut().expect("live");
-                session.done.push((completion.id, completion));
-                session.done.len() == session.pending.len()
-            };
-            if finished {
-                self.finish_llm_op(sid, now);
+            let cmd = self.sessions[sid as usize]
+                .as_mut()
+                .expect("live session")
+                .on_call_done(seq, CallDone::from_completion(completion), &self.tools, now);
+            if let Some(cmd) = cmd {
+                self.exec(sid, cmd, now);
             }
         }
-    }
-
-    fn finish_llm_op(&mut self, sid: u64, now: SimTime) {
-        let session = self.sessions[sid as usize].as_mut().expect("live");
-        let pending = std::mem::take(&mut session.pending);
-        let mut done: HashMap<RequestId, LlmCompletion> = session.done.drain(..).collect();
-        let mut outputs = Vec::with_capacity(pending.len());
-        for (_, id, spec) in &pending {
-            let completion = done.remove(id).expect("completed");
-            outputs.push(LlmOutput {
-                tokens: completion.output_tokens,
-                gen_seed: spec.gen_seed,
-            });
-        }
-        if let Some((calls, overlap)) = session.overlap_tools.take() {
-            let tools = &self.tools;
-            let mut rng = session.rng.fork(now.as_micros() ^ 0x0B);
-            let results = tools.execute_batch(&calls, &mut rng);
-            let wall = results
-                .iter()
-                .map(|r| r.latency)
-                .max()
-                .unwrap_or(SimDuration::ZERO);
-            let plan_time = now.saturating_since(session.op_start);
-            let credit = plan_time.mul_f64(overlap.clamp(0.0, 1.0));
-            let extra = wall.saturating_sub(credit);
-            session.scheduled_tools = results;
-            self.queue.push(now + extra, Event::ToolsDone(sid));
-            return;
-        }
-        let result = OpResult {
-            llm: outputs,
-            tools: Vec::new(),
-        };
-        let op = session.policy.next(&result, &mut session.rng);
-        self.dispatch(sid, op, now);
-    }
-
-    fn on_tools_done(&mut self, sid: u64, now: SimTime) {
-        let session = self.sessions[sid as usize].as_mut().expect("live");
-        let results = std::mem::take(&mut session.scheduled_tools);
-        let result = OpResult {
-            llm: Vec::new(),
-            tools: results,
-        };
-        let op = session.policy.next(&result, &mut session.rng);
-        self.dispatch(sid, op, now);
     }
 
     fn kick(&mut self, replica: usize, now: SimTime) {
@@ -420,6 +370,7 @@ impl FleetSim {
                 0.0
             },
             latencies,
+            max_live_sessions: self.max_live,
         }
     }
 }
@@ -427,9 +378,20 @@ impl FleetSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use agentsim_simkit::SimDuration;
 
     fn run(routing: Routing, replicas: u32) -> FleetReport {
         FleetSim::new(FleetConfig::react_hotpotqa(replicas, routing, 2.0, 40).seed(3)).run()
+    }
+
+    fn run_closed(routing: Routing, replicas: u32, concurrency: u32, turns: u64) -> FleetReport {
+        let cfg = FleetConfig::react_hotpotqa(replicas, routing, 2.0, turns)
+            .seed(3)
+            .client(ClientModel::ClosedLoop {
+                concurrency,
+                think_time: SimDuration::from_secs(2),
+            });
+        FleetSim::new(cfg).run()
     }
 
     #[test]
@@ -514,5 +476,40 @@ mod tests {
             one.throughput
         );
         assert!(four.p95_s < one.p95_s);
+    }
+
+    #[test]
+    fn closed_loop_concurrency_never_exceeds_population() {
+        let r = run_closed(Routing::SessionAffinity, 2, 3, 18);
+        assert_eq!(r.completed, 18);
+        assert!(
+            r.max_live_sessions <= 3,
+            "live sessions {} exceeded the population",
+            r.max_live_sessions
+        );
+        assert!(r.max_live_sessions >= 1);
+    }
+
+    #[test]
+    fn closed_loop_is_deterministic() {
+        let a = run_closed(Routing::LeastLoaded, 2, 4, 16);
+        let b = run_closed(Routing::LeastLoaded, 2, 4, 16);
+        assert_eq!(a.p95_s.to_bits(), b.p95_s.to_bits());
+        assert_eq!(a.kv_hit_rate.to_bits(), b.kv_hit_rate.to_bits());
+        assert_eq!(a.max_live_sessions, b.max_live_sessions);
+    }
+
+    #[test]
+    fn closed_loop_affinity_beats_round_robin_on_hit_rate() {
+        // Multi-turn session reuse gives affinity routing cross-turn
+        // replica state to exploit; round-robin scatters it.
+        let affinity = run_closed(Routing::SessionAffinity, 4, 8, 40);
+        let rr = run_closed(Routing::RoundRobin, 4, 8, 40);
+        assert!(
+            affinity.kv_hit_rate > rr.kv_hit_rate + 0.1,
+            "affinity {:.2} vs round-robin {:.2}",
+            affinity.kv_hit_rate,
+            rr.kv_hit_rate
+        );
     }
 }

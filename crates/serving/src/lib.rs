@@ -1,12 +1,14 @@
 //! Serving drivers: execute agent sessions against the simulated engine
-//! and tools, in two modes.
+//! and tools. All of them step the shared [`SessionRunner`] core and
+//! take their traffic from a pluggable [`ClientModel`] (open-loop
+//! Poisson, closed-loop think-time populations, trace replay).
 //!
 //! * [`single`] — one request on a dedicated replica, producing a fully
 //!   attributed [`RequestTrace`] (the paper's §IV-A/B per-request
 //!   analysis: call counts, latency breakdown, GPU phase breakdown,
 //!   token growth, KV footprint, prefix-caching effects).
-//! * [`open_loop`] — many concurrent sessions arriving as a Poisson
-//!   process over one shared replica (its §IV-C serving analysis:
+//! * [`open_loop`] — many concurrent sessions over one shared replica,
+//!   open-loop Poisson by default (its §IV-C serving analysis:
 //!   throughput, tail latency vs QPS, KV pressure, cache thrashing).
 //! * [`fleet`] — several replicas behind a router (session affinity vs
 //!   stateless balancing), extending the paper's §VI datacenter view.
@@ -34,6 +36,7 @@
 //! ```
 
 pub use agentsim_disagg as disagg;
+pub use agentsim_session as session;
 
 pub mod fleet;
 pub mod observe;
@@ -42,7 +45,10 @@ pub mod report;
 pub mod single;
 pub mod stream;
 pub mod sweep;
-pub mod trace;
+
+/// Per-request execution traces (now shared driver infrastructure in
+/// [`agentsim_session`]; re-exported here for path stability).
+pub use agentsim_session::trace;
 
 pub use disagg::{CallRecord, CallSpan, DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload};
 pub use fleet::{FleetConfig, FleetReport, FleetSim, Routing};
@@ -51,6 +57,7 @@ pub use observe::{
 };
 pub use open_loop::{ServingConfig, ServingSim, ServingWorkload};
 pub use report::ServingReport;
+pub use session::{Arrival, ArrivalProcess, ClientModel, SessionCmd, SessionRunner};
 pub use single::{SingleOutcome, SingleRequest};
 pub use stream::SpanStreamWriter;
 pub use sweep::{

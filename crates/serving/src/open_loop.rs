@@ -1,23 +1,28 @@
-//! Open-loop serving simulation: Poisson arrivals over a shared replica.
+//! Shared-replica serving simulation driven by a pluggable client model.
 //!
-//! Mirrors the paper's §IV-C methodology: requests arrive at a fixed QPS
-//! following a Poisson process, each served by an asynchronous worker
-//! that walks the agent workflow; all workers' LLM calls are batched by
-//! the shared engine (continuous batching with FCFS admission).
+//! Mirrors the paper's §IV-C methodology: requests arrive following the
+//! configured [`ClientModel`] (open-loop Poisson by default), each served
+//! by an asynchronous worker that walks the agent workflow; all workers'
+//! LLM calls are batched by the shared engine (continuous batching with
+//! FCFS admission).
+//!
+//! The per-session state machine lives in
+//! [`agentsim_session::SessionRunner`]; this driver only owns what is
+//! specific to a single shared replica: the engine, the event queue, and
+//! report aggregation.
 
 use std::collections::HashMap;
 
-use agentsim_agents::{
-    build_agent, AgentConfig, AgentKind, AgentOp, AgentPolicy, LlmCallSpec, LlmOutput, OpResult,
+use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_llm::{Engine, EngineConfig, RequestId};
+use agentsim_session::{
+    seeds, Arrival, ArrivalProcess, CallDone, ClientModel, SessionCmd, SessionRunner, ToolRng,
 };
-use agentsim_llm::{Engine, EngineConfig, LlmCompletion, RequestId};
-use agentsim_simkit::dist::{Exponential, Sample};
 use agentsim_simkit::{EventQueue, SimDuration, SimRng, SimTime};
-use agentsim_tools::{ToolCall, ToolExecutor, ToolResult};
+use agentsim_tools::ToolExecutor;
 use agentsim_workloads::{Benchmark, ShareGptGenerator, TaskGenerator};
 
 use crate::report::ServingReport;
-use crate::trace::{LlmCallRecord, RequestTrace};
 
 /// What kind of traffic the server receives.
 #[derive(Debug, Clone)]
@@ -59,23 +64,27 @@ impl ServingWorkload {
     }
 }
 
-/// Configuration of one open-loop run.
+/// Configuration of one serving run.
 #[derive(Debug, Clone)]
 pub struct ServingConfig {
     /// Engine (replica) configuration.
     pub engine: EngineConfig,
     /// Traffic description.
     pub workload: ServingWorkload,
-    /// Offered load, requests per second.
+    /// Offered load, requests per second (open-loop clients only;
+    /// closed-loop load is set by population and think time).
     pub qps: f64,
-    /// Requests to issue.
+    /// Turns to issue.
     pub num_requests: u64,
     /// Root seed.
     pub seed: u64,
+    /// Who submits the turns, and when.
+    pub client: ClientModel,
 }
 
 impl ServingConfig {
-    /// A small default run: ReAct/HotpotQA at the given QPS.
+    /// A small default run: the given workload under an open-loop
+    /// Poisson client at `qps`.
     pub fn new(workload: ServingWorkload, qps: f64, num_requests: u64) -> Self {
         assert!(qps > 0.0, "offered load must be positive");
         assert!(num_requests > 0, "need at least one request");
@@ -85,6 +94,7 @@ impl ServingConfig {
             qps,
             num_requests,
             seed: 0,
+            client: ClientModel::OpenLoopPoisson,
         }
     }
 
@@ -99,38 +109,32 @@ impl ServingConfig {
         self.engine = engine;
         self
     }
+
+    /// Replaces the client model.
+    pub fn client(mut self, client: ClientModel) -> Self {
+        self.client = client;
+        self
+    }
 }
 
 #[derive(Debug)]
 enum Event {
-    Arrival(u64),
+    Arrival(Arrival),
     EngineStepDone,
     ToolsDone(u64),
 }
 
-struct Session {
-    policy: Option<Box<dyn AgentPolicy>>,
-    trace: RequestTrace,
-    rng: SimRng,
-    /// Outstanding LLM calls of the current op: id -> spec.
-    pending_llm: Vec<(RequestId, LlmCallSpec)>,
-    done_llm: Vec<(RequestId, LlmCompletion)>,
-    /// Tool results scheduled to land at a `ToolsDone` event.
-    scheduled_tools: Vec<ToolResult>,
-    /// Tools to launch when the overlapped planner call finishes.
-    overlap_tools: Option<(Vec<ToolCall>, f64)>,
-    op_start: SimTime,
-}
-
-/// The open-loop serving simulator. Create with [`ServingSim::new`] and
-/// consume with [`ServingSim::run`].
+/// The serving simulator. Create with [`ServingSim::new`] and consume
+/// with [`ServingSim::run`].
 pub struct ServingSim {
     config: ServingConfig,
     engine: Engine,
     tools: ToolExecutor,
     queue: EventQueue<Event>,
-    sessions: Vec<Option<Session>>,
-    request_owner: HashMap<RequestId, u64>,
+    client: Box<dyn ArrivalProcess>,
+    sessions: Vec<Option<SessionRunner>>,
+    /// In-flight engine request -> (session slot, call seq within op).
+    request_owner: HashMap<RequestId, (u64, u32)>,
     root_rng: SimRng,
     report_latencies: Vec<f64>,
     agent_latencies: Vec<f64>,
@@ -143,23 +147,28 @@ pub struct ServingSim {
 }
 
 impl ServingSim {
-    /// Builds the simulator (arrivals pre-scheduled).
+    /// Builds the simulator (the first arrivals are scheduled; the rest
+    /// chain lazily as the run progresses).
     pub fn new(config: ServingConfig) -> Self {
         let engine = Engine::new(config.engine.clone());
-        let root_rng = SimRng::seed_from(config.seed ^ 0x5E61);
+        let root_rng = SimRng::seed_from(config.seed ^ seeds::SERVING_ROOT);
+        let mut client = config.client.build(
+            config.qps,
+            config.num_requests,
+            root_rng.fork(seeds::ARRIVALS),
+        );
         let mut queue = EventQueue::new();
-        let gaps = Exponential::with_rate(config.qps);
-        let mut arrival_rng = root_rng.fork(0xA221);
-        let mut t = SimTime::ZERO;
-        for i in 0..config.num_requests {
-            t += SimDuration::from_secs_f64(gaps.sample(&mut arrival_rng));
-            queue.push(t, Event::Arrival(i));
+        for a in client.initial() {
+            queue.push(a.at, Event::Arrival(a));
         }
-        let sessions = (0..config.num_requests).map(|_| None).collect();
+        let sessions = (0..config.client.sessions(config.num_requests))
+            .map(|_| None)
+            .collect();
         ServingSim {
             engine,
             tools: ToolExecutor::new(),
             queue,
+            client,
             sessions,
             request_owner: HashMap::new(),
             root_rng,
@@ -195,286 +204,148 @@ impl ServingSim {
     pub fn run(mut self) -> ServingReport {
         while let Some((now, event)) = self.queue.pop() {
             match event {
-                Event::Arrival(i) => self.on_arrival(i, now),
+                Event::Arrival(a) => self.on_arrival(a, now),
                 Event::EngineStepDone => self.on_step_done(now),
-                Event::ToolsDone(sid) => self.on_tools_done(sid, now),
+                Event::ToolsDone(sid) => {
+                    let cmd = self.sessions[sid as usize]
+                        .as_mut()
+                        .expect("live session")
+                        .on_tools_done(&self.tools, now);
+                    self.exec(sid, cmd, now);
+                }
             }
             self.kick_engine(now);
         }
-        assert_eq!(
-            self.completed, self.config.num_requests,
-            "all requests must finish"
-        );
+        let expected = self.config.client.total_turns(self.config.num_requests);
+        assert_eq!(self.completed, expected, "all turns must finish");
         self.into_report()
     }
 
-    fn on_arrival(&mut self, i: u64, now: SimTime) {
+    fn on_arrival(&mut self, a: Arrival, now: SimTime) {
+        // Chain the next arrival first, so it precedes any event this
+        // one schedules at the same instant.
+        if let Some(next) = self.client.after_arrival(now) {
+            self.queue.push(next.at, Event::Arrival(next));
+        }
         // Every workload payload is `Copy`, so classify in place instead
         // of cloning the whole workload per arrival.
-        match self.config.workload {
-            ServingWorkload::Chatbot => self.arrive_chatbot(i, now),
+        let (runner, cmd) = match self.config.workload {
+            ServingWorkload::Chatbot => self.start_chatbot(a.turn, now),
             ServingWorkload::Agent {
                 kind,
                 benchmark,
                 config,
-            } => self.arrive_agent(i, now, kind, benchmark, config),
+            } => self.start_agent(a.turn, now, kind, benchmark, config),
             ServingWorkload::Mixed {
                 agent_fraction,
                 kind,
                 benchmark,
                 config,
             } => {
-                // Deterministic per-arrival class draw.
-                let mut class_rng = self.root_rng.fork(i ^ 0x111C);
+                // Deterministic per-turn class draw.
+                let mut class_rng = self.root_rng.fork(a.turn ^ seeds::MIXED_CLASS);
                 if class_rng.chance(agent_fraction) {
-                    self.arrive_agent(i, now, kind, benchmark, config);
+                    self.start_agent(a.turn, now, kind, benchmark, config)
                 } else {
-                    self.arrive_chatbot(i, now);
+                    self.start_chatbot(a.turn, now)
                 }
             }
-        }
-    }
-
-    fn arrive_chatbot(&mut self, i: u64, now: SimTime) {
-        let query = ShareGptGenerator::new(self.config.seed).query(i);
-        let mut s = Session {
-            policy: None,
-            trace: RequestTrace::new(
-                AgentKind::Cot, // label unused for chatbot
-                Benchmark::ShareGpt,
-                i,
-                now,
-            ),
-            rng: self.root_rng.fork(i ^ 0xC4A7),
-            pending_llm: Vec::new(),
-            done_llm: Vec::new(),
-            scheduled_tools: Vec::new(),
-            overlap_tools: None,
-            op_start: now,
         };
-        // The prompt moves into the engine (the spec never reads it back),
-        // so the engine reuses its memoized block hashes instead of
-        // re-hashing a copy.
-        let id = self
-            .engine
-            .submit(now, query.prompt, query.output_tokens, query.gen_seed);
-        self.request_owner.insert(id, i);
-        s.pending_llm.push((
-            id,
-            LlmCallSpec {
-                prompt: Default::default(),
-                out_tokens: query.output_tokens,
-                gen_seed: query.gen_seed,
-                kind: agentsim_agents::OutputKind::Answer,
-                breakdown: Default::default(),
-            },
-        ));
-        self.sessions[i as usize] = Some(s);
+        let slot = &mut self.sessions[a.session as usize];
+        assert!(slot.is_none(), "session {} already live", a.session);
+        *slot = Some(runner);
+        self.exec(a.session, cmd, now);
     }
 
-    fn arrive_agent(
+    fn start_chatbot(&mut self, turn: u64, now: SimTime) -> (SessionRunner, SessionCmd) {
+        let query = ShareGptGenerator::new(self.config.seed).query(turn);
+        SessionRunner::chatbot(
+            query.prompt,
+            query.output_tokens,
+            query.gen_seed,
+            turn,
+            self.root_rng.fork(turn ^ seeds::CHATBOT_SESSION),
+            now,
+        )
+    }
+
+    fn start_agent(
         &mut self,
-        i: u64,
+        turn: u64,
         now: SimTime,
         kind: AgentKind,
         benchmark: Benchmark,
         config: AgentConfig,
-    ) {
-        let task = TaskGenerator::new(benchmark, self.config.seed).task(i);
-        let mut s = Session {
-            policy: Some(build_agent(kind, &task, config)),
-            trace: RequestTrace::new(kind, benchmark, i, now),
-            rng: self.root_rng.fork(i ^ 0xA6E7),
-            pending_llm: Vec::new(),
-            done_llm: Vec::new(),
-            scheduled_tools: Vec::new(),
-            overlap_tools: None,
-            op_start: now,
-        };
-        let op = s
-            .policy
-            .as_mut()
-            .expect("agent session")
-            .next(&OpResult::empty(), &mut s.rng);
-        self.sessions[i as usize] = Some(s);
-        self.dispatch(i, op, now);
+    ) -> (SessionRunner, SessionCmd) {
+        let task = TaskGenerator::new(benchmark, self.config.seed).task(turn);
+        SessionRunner::agent(
+            kind,
+            &task,
+            config,
+            self.root_rng.fork(turn ^ seeds::AGENT_SESSION),
+            ToolRng::ForkByTime,
+            &self.tools,
+            now,
+        )
     }
 
-    fn dispatch(&mut self, sid: u64, op: AgentOp, now: SimTime) {
-        match op {
-            AgentOp::Llm(spec) => self.dispatch_llm(sid, vec![spec], now),
-            AgentOp::LlmBatch(specs) => self.dispatch_llm(sid, specs, now),
-            AgentOp::Tools(calls) => {
-                let tools = &self.tools;
-                let session = self.sessions[sid as usize].as_mut().expect("live session");
-                session.op_start = now;
-                let mut rng = session.rng.fork(now.as_micros());
-                let results: Vec<ToolResult> = tools.execute_batch(&calls, &mut rng);
-                let wall = results
-                    .iter()
-                    .map(|r| r.latency)
-                    .max()
-                    .unwrap_or(SimDuration::ZERO);
-                session.trace.tool_wall += wall;
-                session.scheduled_tools = results;
-                self.queue.push(now + wall, Event::ToolsDone(sid));
+    /// Executes a session command against this driver's engine and
+    /// event queue.
+    fn exec(&mut self, sid: u64, cmd: SessionCmd, now: SimTime) {
+        match cmd {
+            SessionCmd::Llm(op) => {
+                for (seq, call) in op.calls.into_iter().enumerate() {
+                    let id = self.engine.submit_with_priority(
+                        now,
+                        call.prompt,
+                        call.out_tokens,
+                        call.gen_seed,
+                        op.priority,
+                    );
+                    self.request_owner.insert(id, (sid, seq as u32));
+                }
             }
-            AgentOp::OverlappedPlan {
-                llm,
-                tools,
-                overlap,
-            } => {
-                let session = self.sessions[sid as usize].as_mut().expect("live session");
-                session.overlap_tools = Some((tools, overlap));
-                self.dispatch_llm(sid, vec![llm], now);
+            SessionCmd::Tools { wake } => {
+                self.queue.push(wake, Event::ToolsDone(sid));
             }
-            AgentOp::Finish(outcome) => {
-                let session = self.sessions[sid as usize]
+            SessionCmd::Finish(outcome) => {
+                let runner = self.sessions[sid as usize]
                     .take()
                     .expect("live session finishing");
-                let mut trace = session.trace;
-                trace.outcome = outcome;
-                trace.finished = now;
-                let latency = trace.e2e().as_secs_f64();
+                let latency = runner.trace().e2e().as_secs_f64();
                 self.report_latencies.push(latency);
-                self.agent_latencies.push(latency);
+                if runner.is_agent() {
+                    self.agent_latencies.push(latency);
+                    self.solved += outcome.solved as u64;
+                } else {
+                    self.chatbot_latencies.push(latency);
+                }
                 self.completed += 1;
-                self.solved += outcome.solved as u64;
                 self.last_finish = self.last_finish.max(now);
+                if let Some(next) = self.client.after_finish(sid, now) {
+                    self.queue.push(next.at, Event::Arrival(next));
+                }
             }
-        }
-    }
-
-    fn dispatch_llm(&mut self, sid: u64, specs: Vec<LlmCallSpec>, now: SimTime) {
-        let session = self.sessions[sid as usize].as_mut().expect("live session");
-        session.op_start = now;
-        session.done_llm.clear();
-        // Agent-aware priority: sessions deeper into their workflow are
-        // closer to completion (and hold warmer cache state). Ignored by
-        // the FCFS policy.
-        let priority = session.trace.llm_calls() as u32;
-        for mut spec in specs {
-            // Move the prompt (and its memoized hashes) into the engine;
-            // the retained spec only needs its metadata.
-            let prompt = std::mem::take(&mut spec.prompt);
-            let id = self.engine.submit_with_priority(
-                now,
-                prompt,
-                spec.out_tokens,
-                spec.gen_seed,
-                priority,
-            );
-            self.request_owner.insert(id, sid);
-            session.pending_llm.push((id, spec));
         }
     }
 
     fn on_step_done(&mut self, now: SimTime) {
         let completions = self.engine.complete_step(now);
         for completion in completions {
-            let sid = self
+            let (sid, seq) = self
                 .request_owner
                 .remove(&completion.id)
                 .expect("completion belongs to a session");
             self.llm_latencies
                 .push(completion.e2e_latency().as_secs_f64());
-            let finished_op = {
-                let session = self.sessions[sid as usize].as_mut().expect("live session");
-                session.done_llm.push((completion.id, completion));
-                session.done_llm.len() == session.pending_llm.len()
-            };
-            if finished_op {
-                self.finish_llm_op(sid, now);
+            let cmd = self.sessions[sid as usize]
+                .as_mut()
+                .expect("live session")
+                .on_call_done(seq, CallDone::from_completion(completion), &self.tools, now);
+            if let Some(cmd) = cmd {
+                self.exec(sid, cmd, now);
             }
         }
-    }
-
-    /// All LLM calls of the current op completed: record them and advance
-    /// the session.
-    fn finish_llm_op(&mut self, sid: u64, now: SimTime) {
-        let session = self.sessions[sid as usize].as_mut().expect("live session");
-        let pending = std::mem::take(&mut session.pending_llm);
-        let mut done: HashMap<RequestId, LlmCompletion> = session.done_llm.drain(..).collect();
-        let mut outputs = Vec::with_capacity(pending.len());
-        for (id, spec) in pending {
-            let completion = done.remove(&id).expect("every pending call completed");
-            let mut breakdown = spec.breakdown;
-            breakdown.output = completion.output_tokens;
-            outputs.push(LlmOutput {
-                tokens: completion.output_tokens,
-                gen_seed: spec.gen_seed,
-            });
-            session.trace.llm.push(LlmCallRecord {
-                completion,
-                kind: spec.kind,
-                breakdown,
-            });
-        }
-        let op_time = now.saturating_since(session.op_start);
-
-        // Chatbot sessions finish after their single call.
-        if session.policy.is_none() {
-            session.trace.llm_wall += op_time;
-            let session = self.sessions[sid as usize].take().expect("live session");
-            let mut trace = session.trace;
-            trace.finished = now;
-            let latency = trace.e2e().as_secs_f64();
-            self.report_latencies.push(latency);
-            self.chatbot_latencies.push(latency);
-            self.completed += 1;
-            self.last_finish = self.last_finish.max(now);
-            return;
-        }
-
-        // LLMCompiler overlapped plan: launch the planned tools with the
-        // overlap credit already elapsed during planning.
-        if let Some((calls, overlap)) = session.overlap_tools.take() {
-            let tools = &self.tools;
-            let mut rng = session.rng.fork(now.as_micros() ^ 0x0B);
-            let results: Vec<ToolResult> = tools.execute_batch(&calls, &mut rng);
-            let wall = results
-                .iter()
-                .map(|r| r.latency)
-                .max()
-                .unwrap_or(SimDuration::ZERO);
-            let credit = op_time.mul_f64(overlap.clamp(0.0, 1.0));
-            let overlapped = wall.min(credit);
-            let extra = wall.saturating_sub(credit);
-            session.trace.llm_wall += op_time.saturating_sub(overlapped);
-            session.trace.overlap_wall += overlapped;
-            session.trace.tool_wall += extra;
-            session.scheduled_tools = results;
-            self.queue.push(now + extra, Event::ToolsDone(sid));
-            return;
-        }
-
-        session.trace.llm_wall += op_time;
-        let result = OpResult {
-            llm: outputs,
-            tools: Vec::new(),
-        };
-        let op = session
-            .policy
-            .as_mut()
-            .expect("agent session")
-            .next(&result, &mut session.rng);
-        self.dispatch(sid, op, now);
-    }
-
-    fn on_tools_done(&mut self, sid: u64, now: SimTime) {
-        let session = self.sessions[sid as usize].as_mut().expect("live session");
-        let results = std::mem::take(&mut session.scheduled_tools);
-        session.trace.tools.extend(results.iter().cloned());
-        let result = OpResult {
-            llm: Vec::new(),
-            tools: results,
-        };
-        let op = session
-            .policy
-            .as_mut()
-            .expect("agent session")
-            .next(&result, &mut session.rng);
-        self.dispatch(sid, op, now);
     }
 
     fn kick_engine(&mut self, now: SimTime) {
@@ -689,5 +560,46 @@ mod tests {
         let without = ServingSim::new(cfg).run();
         assert!(with.kv_hit_rate > 0.3, "hit rate {}", with.kv_hit_rate);
         assert_eq!(without.kv_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn closed_loop_completes_exact_turn_budget() {
+        let cfg = ServingConfig::new(ServingWorkload::react_hotpotqa(), 1.0, 24)
+            .seed(3)
+            .client(ClientModel::ClosedLoop {
+                concurrency: 4,
+                think_time: SimDuration::from_secs(2),
+            });
+        let r = ServingSim::new(cfg).run();
+        assert_eq!(r.completed, 24);
+        assert!(r.p50_s > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_deterministic_given_seed() {
+        let run = || {
+            let cfg = ServingConfig::new(ServingWorkload::react_hotpotqa(), 1.0, 16)
+                .seed(5)
+                .client(ClientModel::ClosedLoop {
+                    concurrency: 3,
+                    think_time: SimDuration::from_secs(1),
+                });
+            ServingSim::new(cfg).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.p95_s.to_bits(), b.p95_s.to_bits());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.solved, b.solved);
+    }
+
+    #[test]
+    fn trace_replay_follows_recorded_gaps() {
+        let gaps: Vec<SimDuration> = (0..12).map(|_| SimDuration::from_millis(500)).collect();
+        let cfg = ServingConfig::new(ServingWorkload::Chatbot, 1.0, 1)
+            .seed(1)
+            .client(ClientModel::TraceReplay { gaps });
+        let r = ServingSim::new(cfg).run();
+        assert_eq!(r.completed, 12, "trace length overrides num_requests");
     }
 }

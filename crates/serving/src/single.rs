@@ -1,16 +1,13 @@
 //! Single-request runner: one agent session on a dedicated replica.
 
-use std::collections::HashMap;
-
-use agentsim_agents::{
-    build_agent, AgentConfig, AgentKind, AgentOp, LlmCallSpec, LlmOutput, OpResult,
-};
+use agentsim_agents::{AgentConfig, AgentKind};
 use agentsim_llm::{Engine, EngineConfig, RequestId};
+use agentsim_session::{seeds, CallDone, SessionCmd, SessionRunner, ToolRng};
 use agentsim_simkit::{SimDuration, SimRng, SimTime};
-use agentsim_tools::{ToolCall, ToolExecutor, ToolResult};
+use agentsim_tools::ToolExecutor;
 use agentsim_workloads::{Benchmark, TaskGenerator};
 
-use crate::trace::{LlmCallRecord, RequestTrace};
+use crate::trace::RequestTrace;
 
 /// Builder for a single-request experiment.
 ///
@@ -108,76 +105,65 @@ impl SingleRequest {
     /// Runs the session to completion.
     pub fn run(&self) -> SingleOutcome {
         let task = TaskGenerator::new(self.benchmark, self.seed).task(self.task_index);
-        let mut policy = build_agent(self.agent, &task, self.agent_config);
         let mut engine = Engine::new(self.engine_config.clone());
         let root = SimRng::seed_from(self.seed).fork(self.task_index);
-        let mut agent_rng = root.fork(1);
-        let mut tool_rng = root.fork(2);
 
         let mut now = SimTime::ZERO;
-        let mut trace = RequestTrace::new(self.agent, self.benchmark, task.id, now);
-        let mut last = OpResult::empty();
+        let (mut runner, mut cmd) = SessionRunner::agent(
+            self.agent,
+            &task,
+            self.agent_config,
+            root.fork(seeds::SINGLE_AGENT),
+            ToolRng::Stream(root.fork(seeds::SINGLE_TOOLS)),
+            &self.tools,
+            now,
+        );
 
+        // Synchronous loop: the session is alone on the replica, so each
+        // command runs to completion before the next is requested.
         loop {
-            match policy.next(&last, &mut agent_rng) {
-                AgentOp::Llm(spec) => {
-                    let (end, records, outputs) = run_llm_specs(&mut engine, now, vec![spec]);
-                    trace.llm_wall += end.saturating_since(now);
-                    now = end;
-                    trace.llm.extend(records);
-                    last = OpResult {
-                        llm: outputs,
-                        tools: Vec::new(),
-                    };
+            match cmd {
+                SessionCmd::Llm(op) => {
+                    let ids: Vec<RequestId> = op
+                        .calls
+                        .into_iter()
+                        .map(|c| {
+                            engine.submit_with_priority(
+                                now,
+                                c.prompt,
+                                c.out_tokens,
+                                c.gen_seed,
+                                op.priority,
+                            )
+                        })
+                        .collect();
+                    let mut outstanding = ids.len();
+                    let mut next = None;
+                    while outstanding > 0 {
+                        let end = engine
+                            .start_step_if_idle(now)
+                            .expect("engine must make progress on pending LLM calls");
+                        now = end;
+                        for c in engine.complete_step(now) {
+                            let seq = ids.iter().position(|id| *id == c.id).expect("own call");
+                            outstanding -= 1;
+                            if let Some(cmd) = runner.on_call_done(
+                                seq as u32,
+                                CallDone::from_completion(c),
+                                &self.tools,
+                                now,
+                            ) {
+                                next = Some(cmd);
+                            }
+                        }
+                    }
+                    cmd = next.expect("op complete once all calls landed");
                 }
-                AgentOp::LlmBatch(specs) => {
-                    let (end, records, outputs) = run_llm_specs(&mut engine, now, specs);
-                    trace.llm_wall += end.saturating_since(now);
-                    now = end;
-                    trace.llm.extend(records);
-                    last = OpResult {
-                        llm: outputs,
-                        tools: Vec::new(),
-                    };
+                SessionCmd::Tools { wake } => {
+                    now = wake;
+                    cmd = runner.on_tools_done(&self.tools, now);
                 }
-                AgentOp::Tools(calls) => {
-                    let (wall, results) = run_tools(&self.tools, &calls, &mut tool_rng);
-                    trace.tool_wall += wall;
-                    now += wall;
-                    trace.tools.extend(results.iter().cloned());
-                    last = OpResult {
-                        llm: Vec::new(),
-                        tools: results,
-                    };
-                }
-                AgentOp::OverlappedPlan {
-                    llm,
-                    tools,
-                    overlap,
-                } => {
-                    let op_start = now;
-                    let (llm_end, records, outputs) = run_llm_specs(&mut engine, now, vec![llm]);
-                    let plan_time = llm_end.saturating_since(op_start);
-                    let (tool_wall, results) = run_tools(&self.tools, &tools, &mut tool_rng);
-                    let credit = plan_time.mul_f64(overlap.clamp(0.0, 1.0));
-                    let overlapped = tool_wall.min(credit);
-                    let extra = tool_wall.saturating_sub(credit);
-                    trace.llm_wall += plan_time.saturating_sub(overlapped);
-                    trace.overlap_wall += overlapped;
-                    trace.tool_wall += extra;
-                    now = llm_end + extra;
-                    trace.llm.extend(records);
-                    trace.tools.extend(results.iter().cloned());
-                    last = OpResult {
-                        llm: outputs,
-                        tools: results,
-                    };
-                }
-                AgentOp::Finish(outcome) => {
-                    trace.outcome = outcome;
-                    trace.finished = now;
-                    break;
-                }
+                SessionCmd::Finish(_) => break,
             }
         }
 
@@ -194,7 +180,7 @@ impl SingleRequest {
             kv_peak_bytes: kv.used_blocks.peak() * block_bytes,
             kv_avg_bytes: kv.used_blocks.average(now) * block_bytes as f64,
             kv_hit_rate: kv.hit_rate(),
-            trace,
+            trace: runner.into_trace(),
         }
     }
 
@@ -225,69 +211,6 @@ impl SingleRequest {
             .map(|r| r.expect("worker filled slot"))
             .collect()
     }
-}
-
-/// Submits `specs` and drives the engine until all complete. Returns the
-/// completion time, per-call records and the outputs for the policy.
-fn run_llm_specs(
-    engine: &mut Engine,
-    start: SimTime,
-    specs: Vec<LlmCallSpec>,
-) -> (SimTime, Vec<LlmCallRecord>, Vec<LlmOutput>) {
-    let mut meta: Vec<(RequestId, LlmCallSpec)> = Vec::with_capacity(specs.len());
-    for mut spec in specs {
-        // Move the prompt into the engine so its memoized block hashes
-        // carry over; the retained spec only needs its metadata.
-        let prompt = std::mem::take(&mut spec.prompt);
-        let id = engine.submit(start, prompt, spec.out_tokens, spec.gen_seed);
-        meta.push((id, spec));
-    }
-    let mut now = start;
-    let mut done: HashMap<RequestId, agentsim_llm::LlmCompletion> = HashMap::new();
-    while done.len() < meta.len() {
-        let end = engine
-            .start_step_if_idle(now)
-            .expect("engine must make progress on pending LLM calls");
-        now = end;
-        for c in engine.complete_step(now) {
-            done.insert(c.id, c);
-        }
-    }
-    // Order records and outputs by submission order.
-    let mut records = Vec::with_capacity(meta.len());
-    let mut outputs = Vec::with_capacity(meta.len());
-    for (id, spec) in meta {
-        let completion = done.remove(&id).expect("completion recorded");
-        let mut breakdown = spec.breakdown;
-        breakdown.output = completion.output_tokens;
-        outputs.push(LlmOutput {
-            tokens: completion.output_tokens,
-            gen_seed: spec.gen_seed,
-        });
-        records.push(LlmCallRecord {
-            completion,
-            kind: spec.kind,
-            breakdown,
-        });
-    }
-    (now, records, outputs)
-}
-
-/// Executes a batch of tool calls concurrently; the wall time is the
-/// slowest call (latencies within a batch are correlated — see
-/// [`ToolExecutor::execute_batch`]).
-fn run_tools(
-    tools: &ToolExecutor,
-    calls: &[ToolCall],
-    rng: &mut SimRng,
-) -> (SimDuration, Vec<ToolResult>) {
-    let results: Vec<ToolResult> = tools.execute_batch(calls, rng);
-    let wall = results
-        .iter()
-        .map(|r| r.latency)
-        .max()
-        .unwrap_or(SimDuration::ZERO);
-    (wall, results)
 }
 
 #[cfg(test)]
