@@ -20,12 +20,21 @@
 //! its end-to-end latency (the transfer phase nonzero exactly for
 //! migrated calls), that both report JSON summaries parse, and that the
 //! streamed span lines are valid JSON; it writes nothing permanent.
+//!
+//! `--autoscale` replays a pinned one-flip schedule over a 2P+2D split
+//! (the `autoscale_flip_schedule` golden) and checks the report
+//! fingerprint bit for bit, the flip's drain/gap telescoping, and the
+//! five-phase partition across the role change; it writes nothing.
 
 use std::path::PathBuf;
 
+use agentsim_gpu::FlipCostModel;
 use agentsim_metrics::json;
-use agentsim_serving::{DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload, SpanStreamWriter};
-use agentsim_simkit::SimDuration;
+use agentsim_serving::{
+    AutoscalePolicy, DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload, FlipDirection,
+    SpanStreamWriter,
+};
+use agentsim_simkit::{SimDuration, SimTime};
 
 /// Builds the two iso-GPU configurations compared throughout.
 fn configs(requests: u64) -> (DisaggConfig, DisaggConfig) {
@@ -104,6 +113,65 @@ fn verify_stream(label: &str, writer: &SpanStreamWriter, path: &std::path::Path)
     assert_eq!(lines, writer.written(), "{label}: line count");
 }
 
+/// Replays the pinned one-flip schedule (the `autoscale_flip_schedule`
+/// golden configuration) and checks its fingerprint bit for bit.
+fn autoscale_check() {
+    let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 1.0, 16)
+        .seed(0xD15A)
+        .pools(2, 2)
+        .flip_cost(FlipCostModel::warm())
+        .autoscale(AutoscalePolicy::Schedule(vec![(
+            SimTime::from_secs_f64(8.0),
+            FlipDirection::PrefillToDecode,
+        )]));
+    let report = DisaggSim::new(cfg).run();
+    verify_partition("autoscale", &report);
+
+    assert_eq!(report.flips.len(), 1, "the scheduled flip must execute");
+    let flip = &report.flips[0];
+    assert_eq!(flip.direction, FlipDirection::PrefillToDecode);
+    assert!(
+        flip.requested <= flip.drained && flip.drained <= flip.completed,
+        "flip timestamps must telescope"
+    );
+    assert_eq!(
+        flip.flip_gap(),
+        FlipCostModel::warm().flip_time(),
+        "reconfiguration gap must match the cost model"
+    );
+
+    // The pinned fingerprint of `autoscale_flip_schedule` in
+    // crates/disagg/tests/golden.rs — bit-exact, no tolerance.
+    let mut ttft = report.ttft();
+    let mut tpot = report.tpot();
+    let got = (
+        report.completed,
+        report.migrated_calls,
+        report.transferred_bytes,
+        report.p95_s.to_bits(),
+        ttft.p95().to_bits(),
+        tpot.percentile(99.0).to_bits(),
+    );
+    let want = (
+        16u64,
+        89u64,
+        20497563648u64,
+        0x403430316a055758u64,
+        0x3fb1b25f633ce63au64,
+        0x3f8fb69984a0e411u64,
+    );
+    assert_eq!(
+        got, want,
+        "autoscale fingerprint drifted from the pinned golden"
+    );
+    println!(
+        "autoscale: {} calls, 1 flip (drain {:.3} s, gap {:.3} s), fingerprint ok",
+        report.calls.len(),
+        flip.drain_time().as_secs_f64(),
+        flip.flip_gap().as_secs_f64(),
+    );
+}
+
 /// Locates the repository root (directory containing a workspace
 /// `Cargo.toml`) by walking up from the current directory.
 fn repo_root() -> PathBuf {
@@ -126,8 +194,13 @@ fn repo_root() -> PathBuf {
 fn main() {
     let check = match std::env::args().nth(1).as_deref() {
         Some("--check") => true,
+        Some("--autoscale") => {
+            autoscale_check();
+            println!("disaggstat --autoscale passed");
+            return;
+        }
         Some(other) => {
-            eprintln!("unknown flag {other}; use --check");
+            eprintln!("unknown flag {other}; use --check or --autoscale");
             std::process::exit(2);
         }
         None => false,

@@ -30,6 +30,7 @@ pub mod ablation_block;
 pub mod ablation_chunked;
 pub mod ablation_step;
 pub mod concurrency;
+pub mod ext_autoscale;
 pub mod ext_closed_loop;
 pub mod ext_disagg;
 pub mod ext_hardware;
@@ -191,6 +192,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Disaggregated prefill/decode serving vs colocated, iso-GPU"
         ),
         experiment!(
+            ext_autoscale,
+            "(extension)",
+            "Autoscaled prefill/decode pools vs static splits, iso-GPU"
+        ),
+        experiment!(
             ext_static,
             "(extension)",
             "Static (Best-of-N) vs dynamic test-time scaling"
@@ -215,7 +221,7 @@ mod tests {
     #[test]
     fn registry_covers_all_paper_artifacts() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 35);
+        assert_eq!(ids.len(), 36);
         for required in [
             "table1",
             "table2",
@@ -241,6 +247,6 @@ mod tests {
         let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 35);
+        assert_eq!(ids.len(), 36);
     }
 }

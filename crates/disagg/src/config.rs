@@ -2,10 +2,12 @@
 //! routing policies.
 
 use agentsim_agents::{AgentConfig, AgentKind};
-use agentsim_gpu::LinkSpec;
+use agentsim_gpu::{FlipCostModel, LinkSpec};
 use agentsim_llm::EngineConfig;
 use agentsim_session::ClientModel;
 use agentsim_workloads::Benchmark;
+
+use crate::autoscale::AutoscalePolicy;
 
 /// What kind of traffic the disaggregated cluster receives. Mirrors the
 /// colocated drivers so a what-if comparison changes *only* the serving
@@ -19,6 +21,20 @@ pub enum DisaggWorkload {
         /// The agent framework.
         kind: AgentKind,
         /// The benchmark tasks are drawn from.
+        benchmark: Benchmark,
+        /// The agent configuration.
+        config: AgentConfig,
+    },
+    /// A blend: each arrival is an agent session with probability
+    /// `agent_fraction`, otherwise a chatbot request. Uses the same
+    /// per-turn class draw as the colocated driver's mixed workload, so
+    /// the identical seed classifies identically.
+    Mixed {
+        /// Probability that an arrival is an agent session.
+        agent_fraction: f64,
+        /// The agent framework for agent arrivals.
+        kind: AgentKind,
+        /// The benchmark agent tasks are drawn from.
         benchmark: Benchmark,
         /// The agent configuration.
         config: AgentConfig,
@@ -90,6 +106,11 @@ pub struct DisaggConfig {
     pub seed: u64,
     /// Who submits the turns, and when.
     pub client: ClientModel,
+    /// Pool autoscaling policy ([`AutoscalePolicy::Disabled`] keeps the
+    /// static split).
+    pub autoscale: AutoscalePolicy,
+    /// The reconfiguration gap a replica pays per role flip.
+    pub flip_cost: FlipCostModel,
 }
 
 impl DisaggConfig {
@@ -109,6 +130,8 @@ impl DisaggConfig {
             num_requests,
             seed: 0,
             client: ClientModel::OpenLoopPoisson,
+            autoscale: AutoscalePolicy::Disabled,
+            flip_cost: FlipCostModel::warm(),
         }
     }
 
@@ -169,6 +192,20 @@ impl DisaggConfig {
         self
     }
 
+    /// Sets the pool-autoscaling policy. Requires a decode pool — the
+    /// colocated baseline has no roles to flip.
+    pub fn autoscale(mut self, policy: AutoscalePolicy) -> Self {
+        self.autoscale = policy;
+        self
+    }
+
+    /// Sets the per-flip reconfiguration cost model.
+    pub fn flip_cost(mut self, model: FlipCostModel) -> Self {
+        model.validate().expect("invalid flip cost model");
+        self.flip_cost = model;
+        self
+    }
+
     /// Whether this run is the colocated baseline (no role split).
     pub fn is_colocated(&self) -> bool {
         self.decode_replicas == 0
@@ -205,5 +242,17 @@ mod tests {
     #[should_panic(expected = "at least one prefill replica")]
     fn empty_prefill_pool_rejected() {
         let _ = DisaggConfig::new(DisaggWorkload::Chatbot, 1.0, 1).pools(0, 1);
+    }
+
+    #[test]
+    fn autoscale_defaults_off_with_warm_flips() {
+        let cfg = DisaggConfig::new(DisaggWorkload::Chatbot, 1.0, 10);
+        assert!(matches!(cfg.autoscale, AutoscalePolicy::Disabled));
+        assert_eq!(cfg.flip_cost, FlipCostModel::warm());
+        let cfg = cfg
+            .autoscale(AutoscalePolicy::Pinned)
+            .flip_cost(FlipCostModel::zero());
+        assert!(matches!(cfg.autoscale, AutoscalePolicy::Pinned));
+        assert!(cfg.flip_cost.flip_time().is_zero());
     }
 }

@@ -6,6 +6,8 @@ use std::fmt;
 use agentsim_metrics::{json, Samples};
 use agentsim_simkit::{SimDuration, SimTime};
 
+use crate::autoscale::FlipDirection;
+
 /// Everything the driver knows about one finished LLM call, across both
 /// pools. Timestamps telescope: [`CallRecord::span`] partitions the
 /// end-to-end latency exactly into queue / prefill / transfer / decode /
@@ -14,11 +16,15 @@ use agentsim_simkit::{SimDuration, SimTime};
 pub struct CallRecord {
     /// The session (request) this call belongs to.
     pub session: u64,
-    /// Prefill-pool replica that served the prompt.
+    /// Replica (global index) that served the prompt — a prefill-pool
+    /// member at routing time, or any replica in colocated mode.
     pub prefill_replica: u32,
-    /// Decode-pool replica that continued generation (`None` when the
+    /// Replica (global index) that continued generation (`None` when the
     /// call finished on the prefill side: single-token outputs, or any
-    /// call in colocated mode).
+    /// call in colocated mode). Under pool autoscaling an index names
+    /// the physical replica, not a within-pool slot — the same index can
+    /// appear as a prefill server earlier in the run and a decode server
+    /// later.
     pub decode_replica: Option<u32>,
     /// When the call entered the prefill replica's queue.
     pub arrived: SimTime,
@@ -159,6 +165,38 @@ impl CallRecord {
     }
 }
 
+/// One completed role flip under pool autoscaling.
+///
+/// Timestamps telescope: `requested` (controller decision) ≤ `drained`
+/// (last in-flight request and inbound transfer gone) ≤ `completed`
+/// (`drained` + the flip-cost gap; the replica serves its new role from
+/// here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipRecord {
+    /// The flipped replica (global index).
+    pub replica: u32,
+    /// Which way it flipped.
+    pub direction: FlipDirection,
+    /// When the controller requested the flip (drain start).
+    pub requested: SimTime,
+    /// When the replica finished draining.
+    pub drained: SimTime,
+    /// When the replica joined the target pool.
+    pub completed: SimTime,
+}
+
+impl FlipRecord {
+    /// Time spent draining in-flight work.
+    pub fn drain_time(&self) -> SimDuration {
+        self.drained.saturating_since(self.requested)
+    }
+
+    /// Idle reconfiguration gap (the flip-cost model's price).
+    pub fn flip_gap(&self) -> SimDuration {
+        self.completed.saturating_since(self.drained)
+    }
+}
+
 /// What a disaggregated (or colocated-baseline) run measured.
 #[derive(Debug, Clone)]
 pub struct DisaggReport {
@@ -198,6 +236,9 @@ pub struct DisaggReport {
     pub kv_hit_rate: f64,
     /// Preemptions across both pools.
     pub preemptions: u64,
+    /// Completed role flips, in completion order (empty without
+    /// autoscaling).
+    pub flips: Vec<FlipRecord>,
 }
 
 impl DisaggReport {
@@ -275,7 +316,7 @@ impl DisaggReport {
              \"p50_s\":{},\"p95_s\":{},\"ttft_p50_s\":{},\"ttft_p95_s\":{},\
              \"tpot_p50_s\":{},\"tpot_p99_s\":{},\"calls\":{},\"migrated_calls\":{},\
              \"transferred_bytes\":{},\"transfer_wait_s\":{},\"energy_wh\":{},\
-             \"kv_hit_rate\":{},\"preemptions\":{},\"phases_s\":{{",
+             \"kv_hit_rate\":{},\"preemptions\":{},\"flips\":{},\"phases_s\":{{",
             self.offered_qps,
             self.prefill_replicas,
             self.decode_replicas,
@@ -296,6 +337,7 @@ impl DisaggReport {
             self.energy_wh,
             self.kv_hit_rate,
             self.preemptions,
+            self.flips.len(),
         );
         for (i, (name, secs)) in phases.iter().enumerate() {
             if i > 0 {
@@ -429,7 +471,21 @@ mod tests {
             energy_wh: 1.0,
             kv_hit_rate: 0.3,
             preemptions: 0,
+            flips: vec![],
         }
+    }
+
+    #[test]
+    fn flip_record_telescopes() {
+        let f = FlipRecord {
+            replica: 2,
+            direction: FlipDirection::PrefillToDecode,
+            requested: us(1_000),
+            drained: us(3_500),
+            completed: us(3_750),
+        };
+        assert_eq!(f.drain_time(), SimDuration::from_micros(2_500));
+        assert_eq!(f.flip_gap(), SimDuration::from_micros(250));
     }
 
     #[test]

@@ -8,6 +8,20 @@
 //! experiments compare nothing else. The session state machine itself is
 //! the shared [`SessionRunner`]; only the two-pool call lifecycle
 //! (prefill leg, transfer, decode leg) lives here.
+//!
+//! ## Pool membership and autoscaling
+//!
+//! Replicas live in one flat vector (initial prefill pool first, then
+//! the decode pool); the *pools* are member lists over global replica
+//! indices. With autoscaling disabled the lists never change and the
+//! driver is bit-identical to the static-split code path. With a
+//! [`PoolController`] installed, the driver snapshots pool demand after
+//! every event; when the controller requests a flip the least-loaded
+//! source-pool replica leaves its member list and drains — it refuses
+//! new submissions, finishes or migrates in-flight work, and waits for
+//! committed inbound KV transfers to land — then pays the
+//! [`agentsim_gpu::FlipCostModel`] gap and joins the other pool. One
+//! flip runs at a time, and a pool is never drained below one replica.
 
 use std::collections::HashMap;
 
@@ -21,21 +35,24 @@ use agentsim_simkit::{EventQueue, SimDuration, SimRng, SimTime};
 use agentsim_tools::ToolExecutor;
 use agentsim_workloads::{ShareGptGenerator, TaskGenerator};
 
+use crate::autoscale::{FlipDirection, PoolController};
 use crate::config::{DisaggConfig, DisaggWorkload, PoolRouting};
-use crate::report::{CallRecord, DisaggReport};
+use crate::report::{CallRecord, DisaggReport, FlipRecord};
 use crate::transfer::TransferScheduler;
 
 #[derive(Debug)]
 enum Event {
     Arrival(Arrival),
-    PrefillStep(usize),
-    DecodeStep(usize),
+    /// Replica `r` (global index) finishes its in-progress engine step.
+    Step(usize),
     TransferDone(u64),
     ToolsDone(u64),
+    /// Replica `r` finishes its role-flip reconfiguration gap.
+    FlipDone(usize),
 }
 
 /// One call's record under construction (prefill leg, then optionally a
-/// transfer and a decode leg).
+/// transfer and a decode leg). Replica indices are global.
 struct CallState {
     session: u64,
     /// The call's index within its session's current LLM op.
@@ -45,16 +62,40 @@ struct CallState {
     decode_submitted: Option<SimTime>,
     transfer_wait: SimDuration,
     /// Prefill leg, captured at migration time (`None` until then; local
-    /// completions fill the record directly).
+    /// completions fill the record directly). Doubles as the completion
+    /// discriminator: a finished request whose call has a migration
+    /// finished its *decode* leg.
     migration: Option<agentsim_llm::MigratedRequest>,
+}
+
+/// A role flip in progress: the victim has left its pool's member list
+/// and is draining (or, once `drained` is set, sitting out the
+/// reconfiguration gap until its [`Event::FlipDone`]).
+struct FlipInProgress {
+    replica: usize,
+    direction: FlipDirection,
+    requested: SimTime,
+    drained: Option<SimTime>,
 }
 
 /// The disaggregated serving simulator. Build with [`DisaggSim::new`],
 /// consume with [`DisaggSim::run`].
 pub struct DisaggSim {
     config: DisaggConfig,
-    prefill_engines: Vec<Engine>,
-    decode_engines: Vec<Engine>,
+    /// Every replica: the initial prefill pool at `0..P`, the initial
+    /// decode pool at `P..P+D`. Autoscaling moves replicas between the
+    /// member lists below; the vector itself never changes.
+    replicas: Vec<Engine>,
+    /// Live prefill-pool members (global indices, ascending).
+    prefill_members: Vec<usize>,
+    /// Live decode-pool members (global indices, ascending).
+    decode_members: Vec<usize>,
+    /// Size of the initial prefill pool (for observer attachment and
+    /// reporting).
+    initial_prefill: usize,
+    controller: Option<Box<dyn PoolController>>,
+    flip: Option<FlipInProgress>,
+    flips: Vec<FlipRecord>,
     transfers: TransferScheduler,
     /// Transfer id → call id.
     transfer_owner: HashMap<u64, u64>,
@@ -64,8 +105,10 @@ pub struct DisaggSim {
     sessions: Vec<Option<SessionRunner>>,
     calls: Vec<CallState>,
     finished_calls: Vec<CallRecord>,
-    prefill_owner: HashMap<(usize, RequestId), u64>,
-    decode_owner: HashMap<(usize, RequestId), u64>,
+    /// `(global replica, engine request id)` → call id, for both legs
+    /// (engine request ids are per-engine and never reused, so a key is
+    /// never live twice).
+    owner: HashMap<(usize, RequestId), u64>,
     root_rng: SimRng,
     rr_prefill: usize,
     rr_decode: usize,
@@ -78,9 +121,10 @@ pub struct DisaggSim {
 impl std::fmt::Debug for DisaggSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DisaggSim")
-            .field("prefill_replicas", &self.prefill_engines.len())
-            .field("decode_replicas", &self.decode_engines.len())
+            .field("prefill_members", &self.prefill_members.len())
+            .field("decode_members", &self.decode_members.len())
             .field("qps", &self.config.qps)
+            .field("flips", &self.flips.len())
             .finish_non_exhaustive()
     }
 }
@@ -88,20 +132,31 @@ impl std::fmt::Debug for DisaggSim {
 impl DisaggSim {
     /// Builds the simulator (the first arrivals are scheduled; the rest
     /// chain lazily as the run progresses).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration enables autoscaling in colocated
+    /// mode — a role-free pool has nothing to flip.
     pub fn new(config: DisaggConfig) -> Self {
         let prefill_role = if config.is_colocated() {
             EngineRole::Colocated
         } else {
             EngineRole::Prefill
         };
-        let prefill_engines = (0..config.prefill_replicas)
+        let p = config.prefill_replicas as usize;
+        let d = config.decode_replicas as usize;
+        let mut replicas: Vec<Engine> = (0..p)
             .map(|_| Engine::new(config.engine.clone().with_role(prefill_role)))
             .collect();
-        let decode_engines = (0..config.decode_replicas)
-            .map(|_| Engine::new(config.engine.clone().with_role(EngineRole::Decode)))
-            .collect();
-        let transfers =
-            TransferScheduler::new(config.link.clone(), config.decode_replicas as usize);
+        replicas.extend(
+            (0..d).map(|_| Engine::new(config.engine.clone().with_role(EngineRole::Decode))),
+        );
+        let controller = config.autoscale.build();
+        assert!(
+            controller.is_none() || !config.is_colocated(),
+            "pool autoscaling requires a decode pool (colocated mode has no roles to flip)"
+        );
+        let transfers = TransferScheduler::new(config.link.clone(), p + d);
         // Same root/arrival derivation as the colocated open-loop driver:
         // identical seeds ⇒ identical arrival processes.
         let root_rng = SimRng::seed_from(config.seed ^ seeds::SERVING_ROOT);
@@ -118,8 +173,13 @@ impl DisaggSim {
             .map(|_| None)
             .collect();
         DisaggSim {
-            prefill_engines,
-            decode_engines,
+            replicas,
+            prefill_members: (0..p).collect(),
+            decode_members: (p..p + d).collect(),
+            initial_prefill: p,
+            controller,
+            flip: None,
+            flips: Vec::new(),
             transfers,
             transfer_owner: HashMap::new(),
             tools: ToolExecutor::new(),
@@ -128,8 +188,7 @@ impl DisaggSim {
             sessions,
             calls: Vec::new(),
             finished_calls: Vec::new(),
-            prefill_owner: HashMap::new(),
-            decode_owner: HashMap::new(),
+            owner: HashMap::new(),
             root_rng,
             rr_prefill: 0,
             rr_decode: 0,
@@ -141,20 +200,35 @@ impl DisaggSim {
         }
     }
 
-    /// Replaces prefill replica `replica`'s engine observer (for span
-    /// recorders or invariant checkers).
+    /// Replaces the engine observer of initial-prefill-pool replica
+    /// `replica` (for span recorders or invariant checkers).
     pub fn set_prefill_observer(&mut self, replica: usize, observer: Box<dyn EngineObserver>) {
-        self.prefill_engines[replica].set_observer(observer);
+        assert!(replica < self.initial_prefill, "not a prefill replica");
+        self.replicas[replica].set_observer(observer);
     }
 
-    /// Replaces decode replica `replica`'s engine observer.
+    /// Replaces the engine observer of initial-decode-pool replica
+    /// `replica`.
     pub fn set_decode_observer(&mut self, replica: usize, observer: Box<dyn EngineObserver>) {
-        self.decode_engines[replica].set_observer(observer);
+        self.replicas[self.initial_prefill + replica].set_observer(observer);
     }
 
-    /// Pool sizes as `(prefill, decode)` (for observer attachment).
+    /// Replaces replica `replica`'s engine observer, by global index
+    /// (under autoscaling the pool a replica serves varies over the run;
+    /// the observer stream carries the role timeline via
+    /// [`agentsim_llm::EngineEvent::RoleChanged`]).
+    pub fn set_replica_observer(&mut self, replica: usize, observer: Box<dyn EngineObserver>) {
+        self.replicas[replica].set_observer(observer);
+    }
+
+    /// Initial pool sizes as `(prefill, decode)` (for observer
+    /// attachment; autoscaling changes live membership but not the
+    /// replica count).
     pub fn pool_sizes(&self) -> (usize, usize) {
-        (self.prefill_engines.len(), self.decode_engines.len())
+        (
+            self.initial_prefill,
+            self.replicas.len() - self.initial_prefill,
+        )
     }
 
     /// Runs to completion and reports.
@@ -162,8 +236,7 @@ impl DisaggSim {
         while let Some((now, event)) = self.queue.pop() {
             match event {
                 Event::Arrival(a) => self.on_arrival(a, now),
-                Event::PrefillStep(p) => self.on_prefill_step(p, now),
-                Event::DecodeStep(d) => self.on_decode_step(d, now),
+                Event::Step(r) => self.on_step(r, now),
                 Event::TransferDone(tid) => self.on_transfer_done(tid, now),
                 Event::ToolsDone(sid) => {
                     let cmd = self.sessions[sid as usize]
@@ -172,12 +245,19 @@ impl DisaggSim {
                         .on_tools_done(&self.tools, now);
                     self.exec(sid, cmd, now);
                 }
+                Event::FlipDone(r) => self.on_flip_done(r, now),
             }
+            self.maybe_autoscale(now);
             self.kick_all(now);
         }
         let expected = self.config.client.total_turns(self.config.num_requests);
         assert_eq!(self.completed, expected, "all turns must finish");
         assert_eq!(self.transfers.outstanding(), 0, "no transfer left behind");
+        assert!(self.flip.is_none(), "no flip left in progress");
+        for e in &self.replicas {
+            assert_eq!(e.kv().live_sequences(), 0, "KV sequence leaked");
+            e.kv().check_invariants().expect("KV invariants at run end");
+        }
         self.into_report()
     }
 
@@ -194,6 +274,21 @@ impl DisaggSim {
                 benchmark,
                 config,
             } => self.start_agent(a.turn, now, kind, benchmark, config),
+            DisaggWorkload::Mixed {
+                agent_fraction,
+                kind,
+                benchmark,
+                config,
+            } => {
+                // Same per-turn class draw as the colocated driver's
+                // mixed workload: identical seeds classify identically.
+                let mut class_rng = self.root_rng.fork(a.turn ^ seeds::MIXED_CLASS);
+                if class_rng.chance(agent_fraction) {
+                    self.start_agent(a.turn, now, kind, benchmark, config)
+                } else {
+                    self.start_chatbot(a.turn, now)
+                }
+            }
         };
         let slot = &mut self.sessions[a.session as usize];
         assert!(slot.is_none(), "session {} already live", a.session);
@@ -234,34 +329,36 @@ impl DisaggSim {
     }
 
     fn route_prefill(&mut self) -> usize {
-        let n = self.prefill_engines.len();
+        let members = &self.prefill_members;
         match self.config.prefill_routing {
             PoolRouting::RoundRobin => {
-                let replica = self.rr_prefill % n;
-                self.rr_prefill = (replica + 1) % n;
-                replica
+                let k = self.rr_prefill % members.len();
+                self.rr_prefill = (k + 1) % members.len();
+                members[k]
             }
-            PoolRouting::LeastLoaded => (0..n)
-                .min_by_key(|&p| {
-                    self.prefill_engines[p].queue_len() + self.prefill_engines[p].running_len()
-                })
+            PoolRouting::LeastLoaded => members
+                .iter()
+                .copied()
+                .min_by_key(|&r| self.replicas[r].queue_len() + self.replicas[r].running_len())
                 .expect("non-empty prefill pool"),
         }
     }
 
     fn route_decode(&mut self) -> usize {
-        let n = self.decode_engines.len();
+        let members = &self.decode_members;
         match self.config.decode_routing {
             PoolRouting::RoundRobin => {
-                let replica = self.rr_decode % n;
-                self.rr_decode = (replica + 1) % n;
-                replica
+                let k = self.rr_decode % members.len();
+                self.rr_decode = (k + 1) % members.len();
+                members[k]
             }
-            PoolRouting::LeastLoaded => (0..n)
-                .min_by_key(|&d| {
-                    self.decode_engines[d].queue_len()
-                        + self.decode_engines[d].running_len()
-                        + self.transfers.in_flight(d) as usize
+            PoolRouting::LeastLoaded => members
+                .iter()
+                .copied()
+                .min_by_key(|&r| {
+                    self.replicas[r].queue_len()
+                        + self.replicas[r].running_len()
+                        + self.transfers.in_flight(r) as usize
                 })
                 .expect("non-empty decode pool"),
         }
@@ -273,7 +370,7 @@ impl DisaggSim {
             SessionCmd::Llm(op) => {
                 for (seq, c) in op.calls.into_iter().enumerate() {
                     let replica = self.route_prefill();
-                    let id = self.prefill_engines[replica].submit_with_priority(
+                    let id = self.replicas[replica].submit_with_priority(
                         now,
                         c.prompt,
                         c.out_tokens,
@@ -290,7 +387,7 @@ impl DisaggSim {
                         transfer_wait: SimDuration::ZERO,
                         migration: None,
                     });
-                    self.prefill_owner.insert((replica, id), call);
+                    self.owner.insert((replica, id), call);
                 }
             }
             SessionCmd::Tools { wake } => {
@@ -311,21 +408,26 @@ impl DisaggSim {
         }
     }
 
-    fn on_prefill_step(&mut self, replica: usize, now: SimTime) {
-        // Local completions: colocated mode, or single-token outputs that
-        // never leave the prefill pool.
-        let completions = self.prefill_engines[replica].complete_step(now);
+    fn on_step(&mut self, replica: usize, now: SimTime) {
+        // Completions: a call with a migration finished its decode leg;
+        // one without finished locally (colocated mode, single-token
+        // outputs, or any call on a colocated-role replica).
+        let completions = self.replicas[replica].complete_step(now);
         for completion in completions {
             let call = self
-                .prefill_owner
+                .owner
                 .remove(&(replica, completion.id))
-                .expect("prefill completion belongs to a call");
-            self.finish_local_call(call, &completion, now);
+                .expect("completion belongs to a call");
+            if self.calls[call as usize].migration.is_some() {
+                self.finish_migrated_call(call, &completion, now);
+            } else {
+                self.finish_local_call(call, &completion, now);
+            }
         }
         // Migrations: first token produced, KV ready to move.
-        for migration in self.prefill_engines[replica].take_migrations() {
+        for migration in self.replicas[replica].take_migrations() {
             let call = self
-                .prefill_owner
+                .owner
                 .remove(&(replica, migration.id))
                 .expect("migration belongs to a call");
             let dst = self.route_decode();
@@ -343,23 +445,14 @@ impl DisaggSim {
             .remove(&tid)
             .expect("transfer belongs to a call");
         let pt = self.transfers.complete(tid);
-        let id = self.decode_engines[pt.dst].submit_prefilled(now, &pt.migration);
+        // A draining destination still accepts this: the KV was committed
+        // to it before the drain began, and a flip waits for it to land.
+        let id = self.replicas[pt.dst].submit_prefilled(now, &pt.migration);
         let state = &mut self.calls[call as usize];
         state.decode_submitted = Some(now);
         state.transfer_wait = pt.transfer.wait;
         state.migration = Some(pt.migration);
-        self.decode_owner.insert((pt.dst, id), call);
-    }
-
-    fn on_decode_step(&mut self, replica: usize, now: SimTime) {
-        let completions = self.decode_engines[replica].complete_step(now);
-        for completion in completions {
-            let call = self
-                .decode_owner
-                .remove(&(replica, completion.id))
-                .expect("decode completion belongs to a call");
-            self.finish_migrated_call(call, &completion, now);
-        }
+        self.owner.insert((pt.dst, id), call);
     }
 
     /// A call that completed without leaving the prefill pool.
@@ -435,15 +528,121 @@ impl DisaggSim {
         }
     }
 
-    fn kick_all(&mut self, now: SimTime) {
-        for p in 0..self.prefill_engines.len() {
-            if let Some(end) = self.prefill_engines[p].start_step_if_idle(now) {
-                self.queue.push(end, Event::PrefillStep(p));
+    /// Advances the autoscaler: finishes detecting a drain in progress,
+    /// or asks the controller whether to start a new flip. No-op (and
+    /// bit-exactly free) with autoscaling disabled.
+    fn maybe_autoscale(&mut self, now: SimTime) {
+        if self.flip.is_none() && self.controller.is_some() {
+            let obs = self.observation(now);
+            let decision = self.controller.as_mut().expect("controller").observe(&obs);
+            if let Some(direction) = decision {
+                self.start_flip(direction, now);
             }
         }
-        for d in 0..self.decode_engines.len() {
-            if let Some(end) = self.decode_engines[d].start_step_if_idle(now) {
-                self.queue.push(end, Event::DecodeStep(d));
+        // Drain detection runs in the same pass, so a flip of an
+        // already-idle replica completes without waiting for another
+        // event.
+        if let Some(flip) = &self.flip {
+            if flip.drained.is_none() {
+                let r = flip.replica;
+                if !self.replicas[r].has_work() && self.transfers.in_flight(r) == 0 {
+                    self.flip.as_mut().expect("flip in progress").drained = Some(now);
+                    let at = now + self.config.flip_cost.flip_time();
+                    self.queue.push(at, Event::FlipDone(r));
+                }
+            }
+        }
+    }
+
+    /// Snapshot of live pool demand for the controller.
+    fn observation(&self, now: SimTime) -> crate::autoscale::PoolObservation {
+        let (mut pq, mut pr) = (0usize, 0usize);
+        for &r in &self.prefill_members {
+            pq += self.replicas[r].queue_len();
+            pr += self.replicas[r].running_len();
+        }
+        let (mut dq, mut dr, mut tif) = (0usize, 0usize, 0usize);
+        for &r in &self.decode_members {
+            dq += self.replicas[r].queue_len();
+            dr += self.replicas[r].running_len();
+            tif += self.transfers.in_flight(r) as usize;
+        }
+        crate::autoscale::PoolObservation {
+            now,
+            prefill_replicas: self.prefill_members.len(),
+            decode_replicas: self.decode_members.len(),
+            flip_in_progress: self.flip.is_some(),
+            prefill_queue: pq,
+            prefill_running: pr,
+            decode_queue: dq,
+            decode_running: dr,
+            transfers_in_flight: tif,
+        }
+    }
+
+    /// Starts draining the least-loaded source-pool replica toward the
+    /// other pool. Infeasible requests (source pool at one replica) are
+    /// dropped, deterministically.
+    fn start_flip(&mut self, direction: FlipDirection, now: SimTime) {
+        let source = match direction {
+            FlipDirection::PrefillToDecode => &self.prefill_members,
+            FlipDirection::DecodeToPrefill => &self.decode_members,
+        };
+        if source.len() <= 1 {
+            return;
+        }
+        // Least-loaded victim drains fastest; ties break to the lowest
+        // index so the choice is deterministic.
+        let victim = source
+            .iter()
+            .copied()
+            .min_by_key(|&r| {
+                (
+                    self.replicas[r].queue_len()
+                        + self.replicas[r].running_len()
+                        + self.transfers.in_flight(r) as usize,
+                    r,
+                )
+            })
+            .expect("non-empty source pool");
+        match direction {
+            FlipDirection::PrefillToDecode => self.prefill_members.retain(|&r| r != victim),
+            FlipDirection::DecodeToPrefill => self.decode_members.retain(|&r| r != victim),
+        }
+        self.replicas[victim].begin_drain();
+        self.flip = Some(FlipInProgress {
+            replica: victim,
+            direction,
+            requested: now,
+            drained: None,
+        });
+    }
+
+    /// The reconfiguration gap ended: the drained replica joins the
+    /// target pool in its new role.
+    fn on_flip_done(&mut self, replica: usize, now: SimTime) {
+        let flip = self.flip.take().expect("flip completion without a flip");
+        assert_eq!(flip.replica, replica, "flip completion for wrong replica");
+        let (role, members) = match flip.direction {
+            FlipDirection::PrefillToDecode => (EngineRole::Decode, &mut self.decode_members),
+            FlipDirection::DecodeToPrefill => (EngineRole::Prefill, &mut self.prefill_members),
+        };
+        self.replicas[replica].finish_drain(now, role);
+        let pos = members.partition_point(|&r| r < replica);
+        members.insert(pos, replica);
+        self.flips.push(FlipRecord {
+            replica: replica as u32,
+            direction: flip.direction,
+            requested: flip.requested,
+            drained: flip.drained.expect("flip completed before draining"),
+            completed: now,
+        });
+    }
+
+    fn kick_all(&mut self, now: SimTime) {
+        for r in 0..self.replicas.len() {
+            if let Some(end) = self.replicas[r].start_step_if_idle(now) {
+                self.queue.push(end, Event::Step(r));
             }
         }
     }
@@ -452,22 +651,32 @@ impl DisaggSim {
         let mut latencies: Samples = self.latencies.iter().copied().collect();
         let p50_s = latencies.median();
         let p95_s = latencies.p95();
+        // Integer tallies are order-free; decode-role engines import KV
+        // without prefix lookups, so counting every replica matches the
+        // prefill-pool-only sum of the static-split driver.
         let (mut hits, mut lookups) = (0u64, 0u64);
-        let mut energy_wh = 0.0;
         let mut preemptions = 0u64;
-        let mut prefill_utilization = Vec::with_capacity(self.prefill_engines.len());
-        let mut decode_utilization = Vec::with_capacity(self.decode_engines.len());
-        for e in &self.prefill_engines {
+        for e in &self.replicas {
             let kv = e.kv().stats();
             hits += kv.hit_tokens;
             lookups += kv.hit_tokens + kv.miss_tokens;
-            energy_wh += e.metrics().energy_within(self.last_finish).watt_hours();
             preemptions += e.metrics().preemptions;
+        }
+        // Float sums follow final pool membership in ascending-index
+        // order — with autoscaling disabled that is exactly the
+        // prefill-then-decode order of the static-split driver, keeping
+        // energy bit-identical.
+        let mut energy_wh = 0.0;
+        let mut prefill_utilization = Vec::with_capacity(self.prefill_members.len());
+        let mut decode_utilization = Vec::with_capacity(self.decode_members.len());
+        for &r in &self.prefill_members {
+            let e = &self.replicas[r];
+            energy_wh += e.metrics().energy_within(self.last_finish).watt_hours();
             prefill_utilization.push(e.metrics().utilization(self.last_finish));
         }
-        for e in &self.decode_engines {
+        for &r in &self.decode_members {
+            let e = &self.replicas[r];
             energy_wh += e.metrics().energy_within(self.last_finish).watt_hours();
-            preemptions += e.metrics().preemptions;
             decode_utilization.push(e.metrics().utilization(self.last_finish));
         }
         let migrated_calls = self.finished_calls.iter().filter(|c| c.migrated()).count() as u64;
@@ -495,6 +704,7 @@ impl DisaggSim {
                 hits as f64 / lookups as f64
             },
             preemptions,
+            flips: self.flips,
         }
     }
 }
@@ -502,7 +712,8 @@ impl DisaggSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use agentsim_gpu::LinkSpec;
+    use crate::autoscale::AutoscalePolicy;
+    use agentsim_gpu::{FlipCostModel, LinkSpec};
     use agentsim_session::ClientModel;
 
     fn react(qps: f64, n: u64) -> DisaggReport {
@@ -603,5 +814,100 @@ mod tests {
         assert!(r.migrated_calls > 0, "turns still migrate");
         // Session ids stay within the population under closed loop.
         assert!(r.calls.iter().all(|c| c.session < 3));
+    }
+
+    #[test]
+    fn pinned_controller_matches_disabled_bit_for_bit() {
+        let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 0.8, 10)
+            .seed(9)
+            .pools(2, 2);
+        let disabled = DisaggSim::new(cfg.clone()).run();
+        let pinned = DisaggSim::new(cfg.autoscale(AutoscalePolicy::Pinned)).run();
+        assert_eq!(disabled.calls, pinned.calls);
+        assert_eq!(disabled.p95_s.to_bits(), pinned.p95_s.to_bits());
+        assert_eq!(disabled.energy_wh.to_bits(), pinned.energy_wh.to_bits());
+        assert!(pinned.flips.is_empty());
+    }
+
+    #[test]
+    fn scheduled_flip_moves_a_replica_and_telescopes() {
+        let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 0.8, 12)
+            .seed(6)
+            .pools(2, 2)
+            .flip_cost(FlipCostModel::warm())
+            .autoscale(AutoscalePolicy::Schedule(vec![(
+                SimTime::from_secs_f64(2.0),
+                FlipDirection::PrefillToDecode,
+            )]));
+        let r = DisaggSim::new(cfg).run();
+        assert_eq!(r.completed, 12, "no request lost across the flip");
+        assert_eq!(r.flips.len(), 1, "the scheduled flip fired");
+        let f = &r.flips[0];
+        assert_eq!(f.direction, FlipDirection::PrefillToDecode);
+        assert!(f.replica < 2, "victim came from the prefill pool");
+        assert!(f.requested >= SimTime::from_secs_f64(2.0));
+        assert!(f.drained >= f.requested, "drain takes non-negative time");
+        assert_eq!(
+            f.completed.saturating_since(f.drained),
+            FlipCostModel::warm().flip_time(),
+            "reconfiguration gap follows the cost model exactly"
+        );
+        // Flipped decode pool gains a member; utilization vectors track
+        // final membership.
+        assert_eq!(r.prefill_utilization.len(), 1);
+        assert_eq!(r.decode_utilization.len(), 3);
+        // All spans still partition end-to-end exactly.
+        for c in &r.calls {
+            assert_eq!(c.span().total(), c.e2e());
+        }
+    }
+
+    #[test]
+    fn infeasible_schedule_entries_are_dropped() {
+        // 1P+1D: both pools are at the one-replica floor, so neither
+        // direction is feasible; the run must not stall or panic.
+        let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 0.8, 8)
+            .seed(7)
+            .autoscale(AutoscalePolicy::Schedule(vec![
+                (SimTime::from_secs_f64(1.0), FlipDirection::PrefillToDecode),
+                (SimTime::from_secs_f64(2.0), FlipDirection::DecodeToPrefill),
+            ]));
+        let r = DisaggSim::new(cfg).run();
+        assert_eq!(r.completed, 8);
+        assert!(r.flips.is_empty(), "floor-protected pools never flip");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a decode pool")]
+    fn autoscaling_the_colocated_baseline_panics() {
+        let cfg = DisaggConfig::colocated(DisaggWorkload::Chatbot, 2, 1.0, 4)
+            .autoscale(AutoscalePolicy::Pinned);
+        let _ = DisaggSim::new(cfg);
+    }
+
+    #[test]
+    fn hysteresis_flips_under_sustained_prefill_pressure() {
+        use crate::autoscale::HysteresisConfig;
+        // ReAct traffic is prefill-heavy; with a hair-trigger band the
+        // controller should pull a decode replica over.
+        let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 2.0, 24)
+            .seed(8)
+            .pools(1, 3)
+            .flip_cost(FlipCostModel::zero())
+            .autoscale(AutoscalePolicy::Hysteresis(HysteresisConfig {
+                high: 1.2,
+                low: 0.1,
+                dwell: SimDuration::ZERO,
+                ..HysteresisConfig::default()
+            }));
+        let r = DisaggSim::new(cfg).run();
+        assert_eq!(r.completed, 24);
+        assert!(
+            r.flips
+                .iter()
+                .any(|f| f.direction == FlipDirection::DecodeToPrefill),
+            "sustained prefill pressure must pull a decode replica over (flips: {:?})",
+            r.flips
+        );
     }
 }

@@ -1,12 +1,15 @@
 //! The KV-transfer scheduler: moves migrated sequences' KV blocks from
 //! the prefill pool to a decode replica over a modeled interconnect.
 //!
-//! Each decode replica owns one ingress [`Link`] (its NVLink/PCIe/RDMA
-//! port); transfers targeting the same replica serialize FIFO on that
-//! link, so a prefill burst shows up as *transfer queueing*, not as a
-//! magic infinite-bandwidth hop. The scheduler hands the driver an
-//! arrival time for each migration and keeps conservation totals the
-//! tests check against the prefill-side KV footprint.
+//! Each replica owns one ingress [`Link`] (its NVLink/PCIe/RDMA port),
+//! keyed by *global* replica index so pool autoscaling can retarget a
+//! flipped replica without relabeling links; transfers targeting the
+//! same replica serialize FIFO on that link, so a prefill burst shows up
+//! as *transfer queueing*, not as a magic infinite-bandwidth hop. Links
+//! of replicas that never receive a migration stay idle and contribute
+//! nothing. The scheduler hands the driver an arrival time for each
+//! migration and keeps conservation totals the tests check against the
+//! prefill-side KV footprint.
 
 use std::collections::HashMap;
 
@@ -17,7 +20,7 @@ use agentsim_simkit::{SimDuration, SimTime};
 /// A migration in flight: where it is going and on what schedule.
 #[derive(Debug, Clone)]
 pub struct PendingTransfer {
-    /// Destination decode replica index.
+    /// Destination replica index (global).
     pub dst: usize,
     /// The migrated request (KV payload + resume state).
     pub migration: MigratedRequest,
@@ -25,7 +28,7 @@ pub struct PendingTransfer {
     pub transfer: Transfer,
 }
 
-/// Schedules KV migrations onto per-decode-replica ingress links.
+/// Schedules KV migrations onto per-replica ingress links.
 #[derive(Debug)]
 pub struct TransferScheduler {
     links: Vec<Link>,
@@ -37,14 +40,13 @@ pub struct TransferScheduler {
 }
 
 impl TransferScheduler {
-    /// One ingress link per decode replica, all with the same spec.
-    pub fn new(spec: LinkSpec, decode_replicas: usize) -> Self {
+    /// One ingress link per replica (global index), all with the same
+    /// spec.
+    pub fn new(spec: LinkSpec, replicas: usize) -> Self {
         TransferScheduler {
-            links: (0..decode_replicas)
-                .map(|_| Link::new(spec.clone()))
-                .collect(),
+            links: (0..replicas).map(|_| Link::new(spec.clone())).collect(),
             pending: HashMap::new(),
-            in_flight: vec![0; decode_replicas],
+            in_flight: vec![0; replicas],
             next_id: 0,
             total_bytes: 0,
             completed: 0,
@@ -93,8 +95,9 @@ impl TransferScheduler {
         pt
     }
 
-    /// Transfers currently in the air toward decode replica `dst`
-    /// (decode-side least-loaded routing counts these as imminent work).
+    /// Transfers currently in the air toward replica `dst` (decode-side
+    /// least-loaded routing counts these as imminent work, and a
+    /// draining replica may not flip until this reaches zero).
     pub fn in_flight(&self, dst: usize) -> u32 {
         self.in_flight[dst]
     }

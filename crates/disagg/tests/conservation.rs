@@ -70,6 +70,7 @@ impl EngineObserver for TallyObserver {
                 t.migrated_bytes += kv_bytes;
             }
             EngineEvent::Preempted { .. } => {}
+            EngineEvent::RoleChanged { .. } => {}
         }
     }
 }

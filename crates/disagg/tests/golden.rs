@@ -7,7 +7,11 @@
 //!
 //! Floats are pinned via `f64::to_bits` — exact equality, no tolerance.
 
-use agentsim_disagg::{DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload};
+use agentsim_disagg::{
+    AutoscalePolicy, DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload, FlipDirection,
+};
+use agentsim_gpu::FlipCostModel;
+use agentsim_simkit::SimTime;
 
 #[derive(Debug, PartialEq, Eq)]
 struct Fingerprint {
@@ -44,6 +48,19 @@ fn disagg_cfg() -> DisaggConfig {
 
 fn colocated_cfg() -> DisaggConfig {
     DisaggConfig::colocated(DisaggWorkload::react_hotpotqa(), 2, 1.0, 16).seed(0xD15A)
+}
+
+/// A deterministic one-flip schedule over a 2P+2D split: at t=8s a
+/// prefill replica drains and joins the decode pool.
+fn flip_cfg() -> DisaggConfig {
+    DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 1.0, 16)
+        .seed(0xD15A)
+        .pools(2, 2)
+        .flip_cost(FlipCostModel::warm())
+        .autoscale(AutoscalePolicy::Schedule(vec![(
+            SimTime::from_secs_f64(8.0),
+            FlipDirection::PrefillToDecode,
+        )]))
 }
 
 macro_rules! golden {
@@ -93,6 +110,44 @@ golden!(
     0x3fba8f6cefed6345,
     0x3f956fb8f57f737e
 );
+golden!(
+    autoscale_flip_schedule,
+    flip_cfg(),
+    16,
+    89,
+    20497563648,
+    0x403430316a055758,
+    0x3fb1b25f633ce63a,
+    0x3f8fb69984a0e411
+);
+
+/// The flip-schedule golden really does flip (the fingerprint alone
+/// cannot tell a dropped schedule from an executed one).
+#[test]
+fn autoscale_flip_schedule_executes_exactly_one_flip() {
+    let r = DisaggSim::new(flip_cfg()).run();
+    assert_eq!(r.flips.len(), 1);
+    let f = &r.flips[0];
+    assert_eq!(f.direction, FlipDirection::PrefillToDecode);
+    assert!(f.requested >= SimTime::from_secs_f64(8.0));
+    assert_eq!(
+        f.completed.saturating_since(f.drained),
+        FlipCostModel::warm().flip_time()
+    );
+}
+
+/// The four static-split goldens above must also be reproduced when the
+/// full controller plumbing runs but never flips: the pinned controller
+/// proves autoscaling's observation path is bit-exactly free.
+#[test]
+fn pinned_controller_reproduces_static_split_goldens() {
+    let pinned = run(disagg_cfg().autoscale(AutoscalePolicy::Pinned));
+    let golden = run(disagg_cfg());
+    assert_eq!(pinned, golden, "pinned controller perturbed the run");
+
+    let report = DisaggSim::new(disagg_cfg().autoscale(AutoscalePolicy::Pinned)).run();
+    assert!(report.flips.is_empty(), "pinned controller must never flip");
+}
 
 #[test]
 #[ignore]
@@ -100,6 +155,7 @@ fn print_disagg_fingerprints() {
     for (name, cfg) in [
         ("disagg_1p1d", disagg_cfg()),
         ("colocated", colocated_cfg()),
+        ("flip_2p2d", flip_cfg()),
     ] {
         let f = run(cfg);
         println!(

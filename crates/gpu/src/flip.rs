@@ -1,0 +1,152 @@
+//! The cost of flipping a replica between serving roles.
+//!
+//! Pool autoscaling (Splitwise-style "mixed pool" rebalancing) moves a
+//! replica between the prefill and decode pools at runtime. The flip is
+//! not free: in the conservative deployment the replica reloads model
+//! weights from host memory (cold flip), while an optimized deployment
+//! keeps weights resident and only pays a scheduler/runtime
+//! reconfiguration pause (warm flip). [`FlipCostModel`] prices that
+//! pause; the serving driver keeps the replica idle for
+//! [`FlipCostModel::flip_time`] between drain completion and rejoining
+//! the target pool.
+//!
+//! # Example
+//!
+//! ```
+//! use agentsim_gpu::{ClusterSpec, FlipCostModel};
+//!
+//! let cold = FlipCostModel::pcie_reload(&ClusterSpec::a100_llama8b());
+//! let warm = FlipCostModel::warm();
+//! // Reloading ~16 GiB of weights over PCIe dwarfs a warm reconfig.
+//! assert!(cold.flip_time() > warm.flip_time());
+//! assert!(FlipCostModel::zero().flip_time().is_zero());
+//! ```
+
+use agentsim_simkit::SimDuration;
+
+use crate::cluster::ClusterSpec;
+
+/// Prices the idle gap a replica pays when it changes serving roles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlipCostModel {
+    /// Stable preset name (used in reports and traces).
+    pub name: &'static str,
+    /// Bytes that must be (re)loaded before the replica can serve in its
+    /// new role — model weights for a cold flip, zero for a warm one.
+    pub reload_bytes: u64,
+    /// Sustained bandwidth of the reload path in bytes per second
+    /// (ignored when `reload_bytes == 0`).
+    pub bandwidth_bytes_per_s: f64,
+    /// Fixed reconfiguration overhead paid by every flip regardless of
+    /// reload size (scheduler restart, KV-pool reshape, CUDA graph
+    /// capture).
+    pub overhead: SimDuration,
+}
+
+impl FlipCostModel {
+    /// Cold flip: reload the cluster's full weights over a PCIe Gen4 x16
+    /// host link (~24 GB/s sustained) plus a one-second runtime restart.
+    pub fn pcie_reload(cluster: &ClusterSpec) -> Self {
+        FlipCostModel {
+            name: "pcie_reload",
+            reload_bytes: cluster.model.weight_bytes(),
+            bandwidth_bytes_per_s: 24e9,
+            overhead: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Warm flip: weights stay resident; the replica only pays a 250 ms
+    /// scheduler/KV-pool reconfiguration pause.
+    pub fn warm() -> Self {
+        FlipCostModel {
+            name: "warm",
+            reload_bytes: 0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+            overhead: SimDuration::from_millis(250),
+        }
+    }
+
+    /// Free flips (what-if upper bound, and differential tests).
+    pub fn zero() -> Self {
+        FlipCostModel {
+            name: "zero",
+            reload_bytes: 0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+            overhead: SimDuration::ZERO,
+        }
+    }
+
+    /// The idle gap between finishing the drain and serving in the new
+    /// role.
+    pub fn flip_time(&self) -> SimDuration {
+        let reload_s = if self.reload_bytes == 0 {
+            0.0
+        } else {
+            self.reload_bytes as f64 / self.bandwidth_bytes_per_s
+        };
+        self.overhead + SimDuration::from_secs_f64(reload_s)
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the bandwidth is non-positive or NaN while
+    /// bytes must move, or the overhead would not be representable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.reload_bytes > 0
+            && !(self.bandwidth_bytes_per_s.is_finite() && self.bandwidth_bytes_per_s > 0.0)
+        {
+            return Err(format!(
+                "flip model '{}' moves {} bytes but has bandwidth {}",
+                self.name, self.reload_bytes, self.bandwidth_bytes_per_s
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        FlipCostModel::pcie_reload(&ClusterSpec::a100_llama8b())
+            .validate()
+            .unwrap();
+        FlipCostModel::warm().validate().unwrap();
+        FlipCostModel::zero().validate().unwrap();
+    }
+
+    #[test]
+    fn cold_flip_is_reload_dominated() {
+        let cluster = ClusterSpec::a100_llama8b();
+        let cold = FlipCostModel::pcie_reload(&cluster);
+        let reload_s = cluster.model.weight_bytes() as f64 / 24e9;
+        let total = cold.flip_time().as_secs_f64();
+        assert!((total - (reload_s + 1.0)).abs() < 1e-6, "flip {total}s");
+        // ~16 GiB over 24 GB/s is several hundred ms on top of overhead.
+        assert!(total > 1.5, "cold flip {total}s");
+    }
+
+    #[test]
+    fn warm_flip_is_overhead_only() {
+        assert_eq!(
+            FlipCostModel::warm().flip_time(),
+            SimDuration::from_millis(250)
+        );
+        assert!(FlipCostModel::zero().flip_time().is_zero());
+    }
+
+    #[test]
+    fn invalid_bandwidth_rejected() {
+        let bad = FlipCostModel {
+            name: "bad",
+            reload_bytes: 1,
+            bandwidth_bytes_per_s: 0.0,
+            overhead: SimDuration::ZERO,
+        };
+        assert!(bad.validate().is_err());
+    }
+}

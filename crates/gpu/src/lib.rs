@@ -16,7 +16,9 @@
 //!   energy-per-request (its Table III),
 //! * [`LinkSpec`] / [`interconnect::Link`] — interconnect presets
 //!   (NVLink/PCIe/RDMA) with FIFO serialization, pricing KV migration in
-//!   disaggregated prefill/decode serving.
+//!   disaggregated prefill/decode serving,
+//! * [`FlipCostModel`] — the idle gap a replica pays to change serving
+//!   roles under pool autoscaling (cold weight reload vs. warm reconfig).
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@
 
 pub mod cluster;
 pub mod energy;
+pub mod flip;
 pub mod interconnect;
 pub mod model;
 pub mod perf;
@@ -40,6 +43,7 @@ pub mod spec;
 
 pub use cluster::ClusterSpec;
 pub use energy::{EnergyMeter, EnergyModel, Phase};
+pub use flip::FlipCostModel;
 pub use interconnect::{Link, LinkSpec, Transfer};
 pub use model::ModelSpec;
 pub use perf::{PerfModel, StepCost};

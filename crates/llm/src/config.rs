@@ -42,6 +42,17 @@ pub enum EngineRole {
     Decode,
 }
 
+impl EngineRole {
+    /// Stable lowercase name (used by exporters and traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineRole::Colocated => "colocated",
+            EngineRole::Prefill => "prefill",
+            EngineRole::Decode => "decode",
+        }
+    }
+}
+
 /// Configuration of one serving engine replica.
 ///
 /// # Example

@@ -87,6 +87,9 @@ pub struct Engine {
     /// Requests released at first token (prefill role), awaiting pickup
     /// via [`Engine::take_migrations`].
     migrations: Vec<MigratedRequest>,
+    /// Mid role-flip: refuse new submissions while in-flight work drains
+    /// (see [`Engine::begin_drain`] / [`Engine::finish_drain`]).
+    draining: bool,
 }
 
 impl Engine {
@@ -113,6 +116,7 @@ impl Engine {
             metrics: EngineMetrics::new(energy),
             observer: None,
             migrations: Vec::new(),
+            draining: false,
             config,
         }
     }
@@ -169,6 +173,56 @@ impl Engine {
         !self.waiting.is_empty() || !self.running.is_empty() || self.step.is_some()
     }
 
+    // ---- role flips (pool autoscaling) ----------------------------------
+
+    /// Starts draining for a role flip: from now on the engine refuses
+    /// fresh submissions ([`Engine::submit`] panics, and the driver must
+    /// route around it via [`Engine::admits_new_work`]) while in-flight
+    /// work runs to completion. Committed inbound migrations are still
+    /// accepted via [`Engine::submit_prefilled`] — KV already in flight on
+    /// the interconnect must land. Idempotent.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether the engine is mid-drain for a role flip.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether the engine accepts fresh submissions (not draining).
+    pub fn admits_new_work(&self) -> bool {
+        !self.draining
+    }
+
+    /// Completes a drain: the engine flips to `role` and admits new work
+    /// again. Emits [`EngineEvent::RoleChanged`] so observers can draw
+    /// role timelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not draining, still has queued/running
+    /// work, or holds untaken migrations — a flip while requests are live
+    /// would strand them with the wrong role's scheduling.
+    pub fn finish_drain(&mut self, now: SimTime, role: EngineRole) {
+        assert!(self.draining, "finish_drain without begin_drain");
+        assert!(!self.has_work(), "cannot flip roles with work in flight");
+        assert!(
+            self.migrations.is_empty(),
+            "cannot flip roles with untaken migrations"
+        );
+        let from = self.config.role;
+        self.config.role = role;
+        self.draining = false;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_event(&EngineEvent::RoleChanged {
+                at: now,
+                from,
+                to: role,
+            });
+        }
+    }
+
     /// Enqueues a request: generate `out_tokens` tokens after `prompt`.
     ///
     /// `gen_seed` identifies the output stream so that agents replaying
@@ -204,6 +258,7 @@ impl Engine {
         gen_seed: u64,
         priority: u32,
     ) -> RequestId {
+        assert!(!self.draining, "draining engine refuses new submissions");
         assert!(!prompt.is_empty(), "prompt must be non-empty");
         assert!(out_tokens > 0, "out_tokens must be at least 1");
         let total = prompt.len() + out_tokens as usize;
@@ -1158,6 +1213,9 @@ mod tests {
                     format!("complete {}", completion.id)
                 }
                 EngineEvent::Migrated { id, .. } => format!("migrate {id}"),
+                EngineEvent::RoleChanged { from, to, .. } => {
+                    format!("role {from:?}->{to:?}")
+                }
             };
             self.entries.borrow_mut().push(line);
         }
@@ -1417,6 +1475,93 @@ mod edge_tests {
     fn e_kv_clean(e: &Engine) {
         e.kv().check_invariants().unwrap();
         assert_eq!(e.kv().live_sequences(), 0);
+    }
+
+    #[test]
+    fn drain_then_flip_switches_roles_cleanly() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Prefill));
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 512), 64, 7);
+        assert!(e.admits_new_work());
+        e.begin_drain();
+        assert!(e.is_draining());
+        assert!(!e.admits_new_work());
+        // In-flight work still runs: the request migrates out as usual.
+        let (_, t) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(e.take_migrations().len(), 1);
+        e.finish_drain(t, EngineRole::Decode);
+        assert!(!e.is_draining());
+        assert_eq!(e.config().role, EngineRole::Decode);
+        e_kv_clean(&e);
+    }
+
+    #[test]
+    #[should_panic(expected = "refuses new submissions")]
+    fn draining_engine_rejects_submissions() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        e.begin_drain();
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 10), 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "work in flight")]
+    fn flip_with_live_work_panics() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 10), 4, 0);
+        e.begin_drain();
+        e.finish_drain(SimTime::ZERO, EngineRole::Prefill);
+    }
+
+    #[test]
+    #[should_panic(expected = "untaken migrations")]
+    fn flip_with_untaken_migrations_panics() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Prefill));
+        e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 512), 64, 7);
+        e.begin_drain();
+        let (_, t) = drain(&mut e, SimTime::ZERO);
+        e.finish_drain(t, EngineRole::Decode);
+    }
+
+    #[test]
+    fn draining_decode_engine_still_accepts_committed_migrations() {
+        // KV already in flight on the interconnect must land even if the
+        // destination started draining meanwhile.
+        let mut p = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Prefill));
+        p.submit(SimTime::ZERO, TokenBuf::from_segment(1, 512), 8, 7);
+        let (_, released_at) = drain(&mut p, SimTime::ZERO);
+        let m = p.take_migrations().pop().expect("one migration");
+
+        let mut d = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Decode));
+        d.begin_drain();
+        let id = d.submit_prefilled(released_at, &m);
+        let (done, t) = drain(&mut d, released_at);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        d.finish_drain(t, EngineRole::Prefill);
+        assert_eq!(d.config().role, EngineRole::Prefill);
+        e_kv_clean(&d);
+    }
+
+    #[test]
+    fn finish_drain_emits_role_changed() {
+        use crate::observer::EngineObserver;
+        #[derive(Debug, Default)]
+        struct RoleLog(std::rc::Rc<std::cell::RefCell<Vec<String>>>);
+        impl EngineObserver for RoleLog {
+            fn on_event(&mut self, event: &EngineEvent<'_>) {
+                if let EngineEvent::RoleChanged { at, from, to } = *event {
+                    self.0
+                        .borrow_mut()
+                        .push(format!("{}us {from:?}->{to:?}", at.as_micros()));
+                }
+            }
+        }
+        let mut e = Engine::new(EngineConfig::a100_llama8b().with_role(EngineRole::Prefill));
+        let log = RoleLog::default();
+        let seen = log.0.clone();
+        e.set_observer(Box::new(log));
+        e.begin_drain();
+        e.finish_drain(SimTime::from_micros(5), EngineRole::Decode);
+        assert_eq!(*seen.borrow(), vec!["5us Prefill->Decode".to_string()]);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 use agentsim_simkit::SimTime;
 
+use crate::config::EngineRole;
 use crate::request::{LlmCompletion, RequestId};
 
 /// What kind of work a completed engine step performed.
@@ -163,6 +164,19 @@ pub enum EngineEvent<'a> {
         /// KV bytes that must move to the decode pool.
         kv_bytes: u64,
     },
+    /// The engine finished draining and switched serving roles (pool
+    /// autoscaling). Emitted by
+    /// [`Engine::finish_drain`](crate::Engine::finish_drain) once the
+    /// engine is empty, so every request observed before this event ran
+    /// under `from` and every one after runs under `to`.
+    RoleChanged {
+        /// When the flip took effect.
+        at: SimTime,
+        /// The role the engine drained out of.
+        from: EngineRole,
+        /// The role it serves from now on.
+        to: EngineRole,
+    },
 }
 
 impl EngineEvent<'_> {
@@ -173,7 +187,8 @@ impl EngineEvent<'_> {
             | EngineEvent::Admitted { at, .. }
             | EngineEvent::Preempted { at, .. }
             | EngineEvent::Completed { at, .. }
-            | EngineEvent::Migrated { at, .. } => at,
+            | EngineEvent::Migrated { at, .. }
+            | EngineEvent::RoleChanged { at, .. } => at,
             EngineEvent::StepCompleted { ended, .. } => ended,
         }
     }
@@ -187,6 +202,7 @@ impl EngineEvent<'_> {
             EngineEvent::Preempted { .. } => "preempt",
             EngineEvent::Completed { .. } => "complete",
             EngineEvent::Migrated { .. } => "migrate",
+            EngineEvent::RoleChanged { .. } => "role",
         }
     }
 }
@@ -306,6 +322,14 @@ mod tests {
         };
         assert_eq!(e.at(), SimTime::from_micros(50));
         assert_eq!(e.name(), "migrate");
+
+        let e = EngineEvent::RoleChanged {
+            at: SimTime::from_micros(77),
+            from: EngineRole::Prefill,
+            to: EngineRole::Decode,
+        };
+        assert_eq!(e.at(), SimTime::from_micros(77));
+        assert_eq!(e.name(), "role");
     }
 
     #[test]

@@ -21,6 +21,18 @@ pub trait Strategy {
         Map { source: self, f }
     }
 
+    /// Chains generation: each source value picks the strategy the final
+    /// value is drawn from, so one draw can parameterize the next (e.g.
+    /// a drawn length choosing how many elements to generate).
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+        U: Strategy,
+    {
+        FlatMap { source: self, f }
+    }
+
     /// Erases the strategy's concrete type.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -76,6 +88,24 @@ where
     type Value = U;
     fn generate(&self, rng: &mut CaseRng) -> U {
         (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+    U: Strategy,
+{
+    type Value = U::Value;
+    fn generate(&self, rng: &mut CaseRng) -> U::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
     }
 }
 
@@ -252,5 +282,20 @@ mod tests {
     fn just_repeats() {
         let mut rng = CaseRng::for_case("just", 0);
         assert_eq!(Just(7u32).generate(&mut rng), 7);
+    }
+
+    #[test]
+    fn flat_map_parameterizes_the_second_draw() {
+        // The first draw picks a length; the second draws a vec of
+        // exactly that length.
+        let s = (1usize..5).prop_flat_map(|len| {
+            crate::collection::vec(0u64..10, len..len + 1).prop_map(move |v| (len, v))
+        });
+        let mut rng = CaseRng::for_case("flat_map", 0);
+        for _ in 0..200 {
+            let (len, v) = s.generate(&mut rng);
+            assert_eq!(v.len(), len);
+            assert!(v.iter().all(|&x| x < 10));
+        }
     }
 }

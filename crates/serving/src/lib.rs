@@ -50,7 +50,10 @@ pub mod sweep;
 /// [`agentsim_session`]; re-exported here for path stability).
 pub use agentsim_session::trace;
 
-pub use disagg::{CallRecord, CallSpan, DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload};
+pub use disagg::{
+    AutoscalePolicy, CallRecord, CallSpan, DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload,
+    FlipDirection, FlipRecord, HysteresisConfig,
+};
 pub use fleet::{FleetConfig, FleetReport, FleetSim, Routing};
 pub use observe::{
     chrome_trace, stitch_disagg_span, Phase, RequestSpan, Segment, SpanRecorder, StepRecord,

@@ -466,6 +466,17 @@ impl RecorderInner {
                     kv_bytes
                 ));
             }
+            EngineEvent::RoleChanged { at, from, to } => {
+                // Pool autoscaling flipped this engine's role; no span is
+                // touched (the engine is empty by contract), but the log
+                // keeps the role timeline.
+                self.log_line(format_args!(
+                    "{{\"event\":\"role\",\"t_us\":{},\"from\":\"{}\",\"to\":\"{}\"}}",
+                    at.as_micros(),
+                    from.name(),
+                    to.name()
+                ));
+            }
         }
     }
 }

@@ -189,6 +189,9 @@ impl StreamInner {
                 span.state = SpanState::Done;
                 self.retire(span);
             }
+            // Role flips carry no per-request span; the engine is empty
+            // by contract when one fires.
+            EngineEvent::RoleChanged { .. } => {}
         }
     }
 }
