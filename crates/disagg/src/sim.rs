@@ -23,13 +23,15 @@
 //! [`agentsim_gpu::FlipCostModel`] gap and joins the other pool. One
 //! flip runs at a time, and a pool is never drained below one replica.
 
+mod par;
+
 use std::collections::HashMap;
 
 use agentsim_agents::{AgentConfig, AgentKind};
-use agentsim_llm::{Engine, EngineObserver, EngineRole, LlmCompletion, RequestId};
+use agentsim_llm::{Engine, EngineObserver, EngineRole, LlmCompletion, MigratedRequest, RequestId};
 use agentsim_metrics::Samples;
 use agentsim_session::{
-    seeds, Arrival, ArrivalProcess, CallDone, SessionCmd, SessionRunner, ToolRng,
+    seeds, Arrival, ArrivalProcess, CallDone, SessionCmd, SessionRunner, ShardPool, ToolRng,
 };
 use agentsim_simkit::{EventQueue, SimDuration, SimRng, SimTime};
 use agentsim_tools::ToolExecutor;
@@ -116,6 +118,11 @@ pub struct DisaggSim {
     completed: u64,
     solved: u64,
     last_finish: SimTime,
+    /// Reused completion buffer for [`Engine::complete_step_into`] — the
+    /// step handler is the hot path and must not allocate per step.
+    step_scratch: Vec<LlmCompletion>,
+    /// Reused migration buffer for [`Engine::take_migrations_into`].
+    migration_scratch: Vec<MigratedRequest>,
 }
 
 impl std::fmt::Debug for DisaggSim {
@@ -196,6 +203,8 @@ impl DisaggSim {
             completed: 0,
             solved: 0,
             last_finish: SimTime::ZERO,
+            step_scratch: Vec::new(),
+            migration_scratch: Vec::new(),
             config,
         }
     }
@@ -233,35 +242,45 @@ impl DisaggSim {
 
     /// Runs to completion and reports.
     pub fn run(mut self) -> DisaggReport {
+        let threads = (self.config.threads as usize).min(self.replicas.len());
+        if threads > 1 {
+            return self.run_parallel(threads);
+        }
         while let Some((now, event)) = self.queue.pop() {
             match event {
-                Event::Arrival(a) => self.on_arrival(a, now),
+                Event::Arrival(a) => self.on_arrival(None, a, now),
                 Event::Step(r) => self.on_step(r, now),
-                Event::TransferDone(tid) => self.on_transfer_done(tid, now),
+                Event::TransferDone(tid) => self.on_transfer_done(None, tid, now),
                 Event::ToolsDone(sid) => {
                     let cmd = self.sessions[sid as usize]
                         .as_mut()
                         .expect("live session")
                         .on_tools_done(&self.tools, now);
-                    self.exec(sid, cmd, now);
+                    self.exec(None, sid, cmd, now);
                 }
-                Event::FlipDone(r) => self.on_flip_done(r, now),
+                Event::FlipDone(r) => self.on_flip_done(None, r, now),
             }
-            self.maybe_autoscale(now);
+            self.maybe_autoscale(None, now);
             self.kick_all(now);
         }
         let expected = self.config.client.total_turns(self.config.num_requests);
         assert_eq!(self.completed, expected, "all turns must finish");
+        self.check_end_state();
+        self.into_report()
+    }
+
+    /// End-of-run invariants shared by the sequential and parallel
+    /// drivers (the latter checks after the pool hands the engines back).
+    fn check_end_state(&self) {
         assert_eq!(self.transfers.outstanding(), 0, "no transfer left behind");
         assert!(self.flip.is_none(), "no flip left in progress");
         for e in &self.replicas {
             assert_eq!(e.kv().live_sequences(), 0, "KV sequence leaked");
             e.kv().check_invariants().expect("KV invariants at run end");
         }
-        self.into_report()
     }
 
-    fn on_arrival(&mut self, a: Arrival, now: SimTime) {
+    fn on_arrival(&mut self, pool: Option<&mut ShardPool>, a: Arrival, now: SimTime) {
         // Chain the next arrival first, so it precedes any event this
         // one schedules at the same instant.
         if let Some(next) = self.client.after_arrival(now) {
@@ -293,7 +312,7 @@ impl DisaggSim {
         let slot = &mut self.sessions[a.session as usize];
         assert!(slot.is_none(), "session {} already live", a.session);
         *slot = Some(runner);
-        self.exec(a.session, cmd, now);
+        self.exec(pool, a.session, cmd, now);
     }
 
     fn start_chatbot(&mut self, turn: u64, now: SimTime) -> (SessionRunner, SessionCmd) {
@@ -328,7 +347,18 @@ impl DisaggSim {
         )
     }
 
-    fn route_prefill(&mut self) -> usize {
+    /// Work a routing policy sees on `replica`: the pool mirror in
+    /// parallel runs, the engine itself otherwise. Both count
+    /// `queued + running`, and the mirror is delta-exact, so the two
+    /// sources agree at every routing decision.
+    fn replica_load(&self, pool: Option<&ShardPool>, replica: usize) -> usize {
+        match pool {
+            Some(pool) => pool.load(replica),
+            None => self.replicas[replica].queue_len() + self.replicas[replica].running_len(),
+        }
+    }
+
+    fn route_prefill(&mut self, pool: Option<&ShardPool>) -> usize {
         let members = &self.prefill_members;
         match self.config.prefill_routing {
             PoolRouting::RoundRobin => {
@@ -339,12 +369,12 @@ impl DisaggSim {
             PoolRouting::LeastLoaded => members
                 .iter()
                 .copied()
-                .min_by_key(|&r| self.replicas[r].queue_len() + self.replicas[r].running_len())
+                .min_by_key(|&r| self.replica_load(pool, r))
                 .expect("non-empty prefill pool"),
         }
     }
 
-    fn route_decode(&mut self) -> usize {
+    fn route_decode(&mut self, pool: Option<&ShardPool>) -> usize {
         let members = &self.decode_members;
         match self.config.decode_routing {
             PoolRouting::RoundRobin => {
@@ -355,28 +385,34 @@ impl DisaggSim {
             PoolRouting::LeastLoaded => members
                 .iter()
                 .copied()
-                .min_by_key(|&r| {
-                    self.replicas[r].queue_len()
-                        + self.replicas[r].running_len()
-                        + self.transfers.in_flight(r) as usize
-                })
+                .min_by_key(|&r| self.replica_load(pool, r) + self.transfers.in_flight(r) as usize)
                 .expect("non-empty decode pool"),
         }
     }
 
     /// Executes a session command against the two-pool topology.
-    fn exec(&mut self, sid: u64, cmd: SessionCmd, now: SimTime) {
+    fn exec(&mut self, mut pool: Option<&mut ShardPool>, sid: u64, cmd: SessionCmd, now: SimTime) {
         match cmd {
             SessionCmd::Llm(op) => {
                 for (seq, c) in op.calls.into_iter().enumerate() {
-                    let replica = self.route_prefill();
-                    let id = self.replicas[replica].submit_with_priority(
-                        now,
-                        c.prompt,
-                        c.out_tokens,
-                        c.gen_seed,
-                        op.priority,
-                    );
+                    let replica = self.route_prefill(pool.as_deref());
+                    let id = match pool.as_deref_mut() {
+                        Some(pool) => pool.submit(
+                            replica,
+                            now,
+                            c.prompt,
+                            c.out_tokens,
+                            c.gen_seed,
+                            op.priority,
+                        ),
+                        None => self.replicas[replica].submit_with_priority(
+                            now,
+                            c.prompt,
+                            c.out_tokens,
+                            c.gen_seed,
+                            op.priority,
+                        ),
+                    };
                     let call = self.calls.len() as u64;
                     self.calls.push(CallState {
                         session: sid,
@@ -412,34 +448,62 @@ impl DisaggSim {
         // Completions: a call with a migration finished its decode leg;
         // one without finished locally (colocated mode, single-token
         // outputs, or any call on a colocated-role replica).
-        let completions = self.replicas[replica].complete_step(now);
-        for completion in completions {
-            let call = self
-                .owner
-                .remove(&(replica, completion.id))
-                .expect("completion belongs to a call");
-            if self.calls[call as usize].migration.is_some() {
-                self.finish_migrated_call(call, &completion, now);
-            } else {
-                self.finish_local_call(call, &completion, now);
-            }
+        let mut completions = std::mem::take(&mut self.step_scratch);
+        self.replicas[replica].complete_step_into(now, &mut completions);
+        for completion in completions.drain(..) {
+            self.finish_completion(None, replica, &completion, now);
         }
+        self.step_scratch = completions;
         // Migrations: first token produced, KV ready to move.
-        for migration in self.replicas[replica].take_migrations() {
-            let call = self
-                .owner
-                .remove(&(replica, migration.id))
-                .expect("migration belongs to a call");
-            let dst = self.route_decode();
-            let state = &mut self.calls[call as usize];
-            state.decode_replica = Some(dst);
-            let (tid, arrival) = self.transfers.schedule(now, dst, migration);
-            self.transfer_owner.insert(tid, call);
-            self.queue.push(arrival, Event::TransferDone(tid));
+        let mut migrations = std::mem::take(&mut self.migration_scratch);
+        self.replicas[replica].take_migrations_into(&mut migrations);
+        for migration in migrations.drain(..) {
+            self.start_migration(None, replica, migration, now);
+        }
+        self.migration_scratch = migrations;
+    }
+
+    /// Routes one finished engine request to the right completion path.
+    fn finish_completion(
+        &mut self,
+        pool: Option<&mut ShardPool>,
+        replica: usize,
+        completion: &LlmCompletion,
+        now: SimTime,
+    ) {
+        let call = self
+            .owner
+            .remove(&(replica, completion.id))
+            .expect("completion belongs to a call");
+        if self.calls[call as usize].migration.is_some() {
+            self.finish_migrated_call(pool, call, completion, now);
+        } else {
+            self.finish_local_call(pool, call, completion, now);
         }
     }
 
-    fn on_transfer_done(&mut self, tid: u64, now: SimTime) {
+    /// Picks a decode replica for a freshly migrated request and puts its
+    /// KV on the wire.
+    fn start_migration(
+        &mut self,
+        pool: Option<&ShardPool>,
+        replica: usize,
+        migration: MigratedRequest,
+        now: SimTime,
+    ) {
+        let call = self
+            .owner
+            .remove(&(replica, migration.id))
+            .expect("migration belongs to a call");
+        let dst = self.route_decode(pool);
+        let state = &mut self.calls[call as usize];
+        state.decode_replica = Some(dst);
+        let (tid, arrival) = self.transfers.schedule(now, dst, migration);
+        self.transfer_owner.insert(tid, call);
+        self.queue.push(arrival, Event::TransferDone(tid));
+    }
+
+    fn on_transfer_done(&mut self, pool: Option<&mut ShardPool>, tid: u64, now: SimTime) {
         let call = self
             .transfer_owner
             .remove(&tid)
@@ -447,7 +511,10 @@ impl DisaggSim {
         let pt = self.transfers.complete(tid);
         // A draining destination still accepts this: the KV was committed
         // to it before the drain began, and a flip waits for it to land.
-        let id = self.replicas[pt.dst].submit_prefilled(now, &pt.migration);
+        let id = match pool {
+            Some(pool) => pool.submit_prefilled(pt.dst, now, pt.migration.clone()),
+            None => self.replicas[pt.dst].submit_prefilled(now, &pt.migration),
+        };
         let state = &mut self.calls[call as usize];
         state.decode_submitted = Some(now);
         state.transfer_wait = pt.transfer.wait;
@@ -456,7 +523,13 @@ impl DisaggSim {
     }
 
     /// A call that completed without leaving the prefill pool.
-    fn finish_local_call(&mut self, call: u64, completion: &LlmCompletion, now: SimTime) {
+    fn finish_local_call(
+        &mut self,
+        pool: Option<&mut ShardPool>,
+        call: u64,
+        completion: &LlmCompletion,
+        now: SimTime,
+    ) {
         let state = &self.calls[call as usize];
         // First token lands at the end of the prefill phase; clamp for
         // single-token calls whose first token is also the last.
@@ -480,11 +553,17 @@ impl DisaggSim {
             kv_bytes: 0,
             preemptions: completion.preemptions,
         });
-        self.finish_call_in_session(call, completion.output_tokens, now);
+        self.finish_call_in_session(pool, call, completion.output_tokens, now);
     }
 
     /// A call that prefilled, migrated, and decoded to completion.
-    fn finish_migrated_call(&mut self, call: u64, completion: &LlmCompletion, now: SimTime) {
+    fn finish_migrated_call(
+        &mut self,
+        pool: Option<&mut ShardPool>,
+        call: u64,
+        completion: &LlmCompletion,
+        now: SimTime,
+    ) {
         let state = &self.calls[call as usize];
         let m = state.migration.as_ref().expect("migrated call has a leg");
         debug_assert!(
@@ -510,13 +589,19 @@ impl DisaggSim {
             kv_bytes: m.kv_bytes,
             preemptions: m.preemptions + completion.preemptions,
         });
-        self.finish_call_in_session(call, completion.output_tokens, now);
+        self.finish_call_in_session(pool, call, completion.output_tokens, now);
     }
 
     /// Session bookkeeping shared by both completion paths. The session
     /// level only needs the output-token count — per-leg engine records
     /// are already stitched into [`CallRecord`]s.
-    fn finish_call_in_session(&mut self, call: u64, output_tokens: u32, now: SimTime) {
+    fn finish_call_in_session(
+        &mut self,
+        pool: Option<&mut ShardPool>,
+        call: u64,
+        output_tokens: u32,
+        now: SimTime,
+    ) {
         let state = &self.calls[call as usize];
         let (sid, seq) = (state.session, state.seq);
         let cmd = self.sessions[sid as usize]
@@ -524,19 +609,25 @@ impl DisaggSim {
             .expect("live session")
             .on_call_done(seq, CallDone::tokens_only(output_tokens), &self.tools, now);
         if let Some(cmd) = cmd {
-            self.exec(sid, cmd, now);
+            self.exec(pool, sid, cmd, now);
         }
     }
 
     /// Advances the autoscaler: finishes detecting a drain in progress,
     /// or asks the controller whether to start a new flip. No-op (and
     /// bit-exactly free) with autoscaling disabled.
-    fn maybe_autoscale(&mut self, now: SimTime) {
+    ///
+    /// In parallel runs the caller must have resolved every in-flight
+    /// kick before the controller observes (the waiting/running *split*
+    /// is only mirror-exact once pending admissions have landed); the
+    /// drain check needs no such sync — `load` and `busy` are delta-exact
+    /// at all times.
+    fn maybe_autoscale(&mut self, mut pool: Option<&mut ShardPool>, now: SimTime) {
         if self.flip.is_none() && self.controller.is_some() {
-            let obs = self.observation(now);
+            let obs = self.observation(pool.as_deref(), now);
             let decision = self.controller.as_mut().expect("controller").observe(&obs);
             if let Some(direction) = decision {
-                self.start_flip(direction, now);
+                self.start_flip(pool.as_deref_mut(), direction, now);
             }
         }
         // Drain detection runs in the same pass, so a flip of an
@@ -545,7 +636,11 @@ impl DisaggSim {
         if let Some(flip) = &self.flip {
             if flip.drained.is_none() {
                 let r = flip.replica;
-                if !self.replicas[r].has_work() && self.transfers.in_flight(r) == 0 {
+                let idle = match pool.as_deref() {
+                    Some(pool) => pool.load(r) == 0 && !pool.busy(r),
+                    None => !self.replicas[r].has_work(),
+                };
+                if idle && self.transfers.in_flight(r) == 0 {
                     self.flip.as_mut().expect("flip in progress").drained = Some(now);
                     let at = now + self.config.flip_cost.flip_time();
                     self.queue.push(at, Event::FlipDone(r));
@@ -555,16 +650,28 @@ impl DisaggSim {
     }
 
     /// Snapshot of live pool demand for the controller.
-    fn observation(&self, now: SimTime) -> crate::autoscale::PoolObservation {
+    fn observation(
+        &self,
+        pool: Option<&ShardPool>,
+        now: SimTime,
+    ) -> crate::autoscale::PoolObservation {
+        let queue_of = |r: usize| match pool {
+            Some(pool) => pool.queue_len(r),
+            None => self.replicas[r].queue_len(),
+        };
+        let running_of = |r: usize| match pool {
+            Some(pool) => pool.running_len(r),
+            None => self.replicas[r].running_len(),
+        };
         let (mut pq, mut pr) = (0usize, 0usize);
         for &r in &self.prefill_members {
-            pq += self.replicas[r].queue_len();
-            pr += self.replicas[r].running_len();
+            pq += queue_of(r);
+            pr += running_of(r);
         }
         let (mut dq, mut dr, mut tif) = (0usize, 0usize, 0usize);
         for &r in &self.decode_members {
-            dq += self.replicas[r].queue_len();
-            dr += self.replicas[r].running_len();
+            dq += queue_of(r);
+            dr += running_of(r);
             tif += self.transfers.in_flight(r) as usize;
         }
         crate::autoscale::PoolObservation {
@@ -583,7 +690,7 @@ impl DisaggSim {
     /// Starts draining the least-loaded source-pool replica toward the
     /// other pool. Infeasible requests (source pool at one replica) are
     /// dropped, deterministically.
-    fn start_flip(&mut self, direction: FlipDirection, now: SimTime) {
+    fn start_flip(&mut self, pool: Option<&mut ShardPool>, direction: FlipDirection, now: SimTime) {
         let source = match direction {
             FlipDirection::PrefillToDecode => &self.prefill_members,
             FlipDirection::DecodeToPrefill => &self.decode_members,
@@ -598,9 +705,7 @@ impl DisaggSim {
             .copied()
             .min_by_key(|&r| {
                 (
-                    self.replicas[r].queue_len()
-                        + self.replicas[r].running_len()
-                        + self.transfers.in_flight(r) as usize,
+                    self.replica_load(pool.as_deref(), r) + self.transfers.in_flight(r) as usize,
                     r,
                 )
             })
@@ -609,7 +714,10 @@ impl DisaggSim {
             FlipDirection::PrefillToDecode => self.prefill_members.retain(|&r| r != victim),
             FlipDirection::DecodeToPrefill => self.decode_members.retain(|&r| r != victim),
         }
-        self.replicas[victim].begin_drain();
+        match pool {
+            Some(pool) => pool.begin_drain(victim),
+            None => self.replicas[victim].begin_drain(),
+        }
         self.flip = Some(FlipInProgress {
             replica: victim,
             direction,
@@ -620,14 +728,17 @@ impl DisaggSim {
 
     /// The reconfiguration gap ended: the drained replica joins the
     /// target pool in its new role.
-    fn on_flip_done(&mut self, replica: usize, now: SimTime) {
+    fn on_flip_done(&mut self, pool: Option<&mut ShardPool>, replica: usize, now: SimTime) {
         let flip = self.flip.take().expect("flip completion without a flip");
         assert_eq!(flip.replica, replica, "flip completion for wrong replica");
         let (role, members) = match flip.direction {
             FlipDirection::PrefillToDecode => (EngineRole::Decode, &mut self.decode_members),
             FlipDirection::DecodeToPrefill => (EngineRole::Prefill, &mut self.prefill_members),
         };
-        self.replicas[replica].finish_drain(now, role);
+        match pool {
+            Some(pool) => pool.finish_drain(replica, now, role),
+            None => self.replicas[replica].finish_drain(now, role),
+        }
         let pos = members.partition_point(|&r| r < replica);
         members.insert(pos, replica);
         self.flips.push(FlipRecord {

@@ -1,0 +1,104 @@
+//! Parallel disaggregated execution: the coordinator loop.
+//!
+//! Same event loop as [`DisaggSim::run`], with engine stepping offloaded
+//! to an [`agentsim_session::ShardPool`]. Routing, transfers, and the
+//! autoscaler all stay on this thread and read the pool's delta-exact
+//! load mirrors; step-done events keep their sequential queue rank
+//! through reserved slots. See the [`agentsim_session::shard`] module
+//! docs for the full determinism argument.
+//!
+//! The one extra sync rule beyond the fleet driver: before the
+//! controller takes a [`PoolObservation`](crate::autoscale::PoolObservation),
+//! every in-flight kick is resolved. The *sum* `waiting + running` is
+//! exact at all times (admissions conserve it), but the controller reads
+//! the split, and the mirror only learns a step's admissions when the
+//! step resolves. Draining the pending kicks first reproduces the
+//! sequential engine state bit-exactly. Drain detection and routing need
+//! no such barrier.
+
+use agentsim_session::ShardPool;
+
+use super::{DisaggReport, DisaggSim, Event};
+
+impl DisaggSim {
+    pub(super) fn run_parallel(mut self, threads: usize) -> DisaggReport {
+        assert!(
+            self.replicas.iter().all(|e| !e.has_observer()),
+            "parallel disagg execution does not support engine observers; use threads(1)"
+        );
+        let lookahead = self.replicas[0].perf().min_step_duration();
+        let replicas = self.replicas.len();
+        let engines = std::mem::take(&mut self.replicas);
+        let mut pool = ShardPool::spawn(engines, threads, lookahead);
+        loop {
+            // Bank any resolutions that are already in, so the pop gate
+            // below sees the tightest pending-kick window.
+            while let Some(r) = pool.try_resolve() {
+                self.queue
+                    .push_reserved(r.slot, r.ends, Event::Step(r.replica));
+            }
+            let Some(key) = self.queue.peek_key() else {
+                if !pool.has_pending() {
+                    break;
+                }
+                let r = pool.wait_resolve();
+                self.queue
+                    .push_reserved(r.slot, r.ends, Event::Step(r.replica));
+                continue;
+            };
+            if !pool.safe_before(key) {
+                let r = pool.wait_resolve();
+                self.queue
+                    .push_reserved(r.slot, r.ends, Event::Step(r.replica));
+                continue;
+            }
+            let (now, event) = self.queue.pop().expect("peeked head");
+            match event {
+                Event::Arrival(a) => self.on_arrival(Some(&mut pool), a, now),
+                Event::Step(replica) => {
+                    let out = pool.take_step(replica);
+                    for completion in &out.completions {
+                        self.finish_completion(Some(&mut pool), replica, completion, now);
+                    }
+                    for migration in out.migrations {
+                        self.start_migration(Some(&pool), replica, migration, now);
+                    }
+                }
+                Event::TransferDone(tid) => self.on_transfer_done(Some(&mut pool), tid, now),
+                Event::ToolsDone(sid) => {
+                    let cmd = self.sessions[sid as usize]
+                        .as_mut()
+                        .expect("live session")
+                        .on_tools_done(&self.tools, now);
+                    self.exec(Some(&mut pool), sid, cmd, now);
+                }
+                Event::FlipDone(r) => self.on_flip_done(Some(&mut pool), r, now),
+            }
+            // Resolve every in-flight kick before the controller looks at
+            // the pools (see the module docs); the same gate the
+            // sequential driver uses for calling observe() at all.
+            if self.controller.is_some() && self.flip.is_none() {
+                while pool.has_pending() {
+                    let r = pool.wait_resolve();
+                    self.queue
+                        .push_reserved(r.slot, r.ends, Event::Step(r.replica));
+                }
+            }
+            self.maybe_autoscale(Some(&mut pool), now);
+            // Same kick sweep as the sequential loop: wants_kick is true
+            // exactly when start_step_if_idle would form a step, so the
+            // reserved queue ranks match the sequential push order.
+            for replica in 0..replicas {
+                if pool.wants_kick(replica) {
+                    let slot = self.queue.reserve_slot();
+                    pool.kick(replica, now, slot);
+                }
+            }
+        }
+        let expected = self.config.client.total_turns(self.config.num_requests);
+        assert_eq!(self.completed, expected, "all turns must finish");
+        self.replicas = pool.shutdown();
+        self.check_end_state();
+        self.into_report()
+    }
+}

@@ -13,9 +13,8 @@
 //!    disaggregation with free transfers changes *where* work runs, not
 //!    *what* is computed.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use agentsim_disagg::{DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload};
 use agentsim_gpu::LinkSpec;
@@ -38,11 +37,11 @@ struct Tally {
 }
 
 #[derive(Debug, Clone)]
-struct TallyObserver(Rc<RefCell<Tally>>);
+struct TallyObserver(Arc<Mutex<Tally>>);
 
 impl EngineObserver for TallyObserver {
     fn on_event(&mut self, event: &EngineEvent<'_>) {
-        let mut t = self.0.borrow_mut();
+        let mut t = self.0.lock().unwrap();
         match *event {
             EngineEvent::Submitted { id, .. } => t.submitted.push(id),
             EngineEvent::Admitted { id, new_tokens, .. } => {
@@ -75,7 +74,7 @@ impl EngineObserver for TallyObserver {
     }
 }
 
-type Tallies = Vec<Rc<RefCell<Tally>>>;
+type Tallies = Vec<Arc<Mutex<Tally>>>;
 
 /// Runs `cfg` with a tally on every replica; returns the report plus the
 /// prefill-pool and decode-pool tallies.
@@ -85,12 +84,12 @@ fn run_tallied(cfg: DisaggConfig) -> (DisaggReport, Tallies, Tallies) {
     let mut prefill = Vec::with_capacity(np);
     let mut decode = Vec::with_capacity(nd);
     for p in 0..np {
-        let tally = Rc::new(RefCell::new(Tally::default()));
+        let tally = Arc::new(Mutex::new(Tally::default()));
         sim.set_prefill_observer(p, Box::new(TallyObserver(tally.clone())));
         prefill.push(tally);
     }
     for d in 0..nd {
-        let tally = Rc::new(RefCell::new(Tally::default()));
+        let tally = Arc::new(Mutex::new(Tally::default()));
         sim.set_decode_observer(d, Box::new(TallyObserver(tally.clone())));
         decode.push(tally);
     }
@@ -108,7 +107,7 @@ fn every_request_prefills_exactly_once_and_terminates_exactly_once() {
     let mut submitted = 0usize;
     let mut terminals = 0usize;
     for t in &prefill {
-        let t = t.borrow();
+        let t = t.lock().unwrap();
         submitted += t.submitted.len();
         terminals += t.completed.len() + t.migrated.len();
         // Each prefill-side request prefills fresh tokens at least once
@@ -140,7 +139,7 @@ fn every_request_prefills_exactly_once_and_terminates_exactly_once() {
     let mut decode_submitted = 0usize;
     let mut decode_completed = 0usize;
     for t in &decode {
-        let t = t.borrow();
+        let t = t.lock().unwrap();
         assert_eq!(t.prefill_step_tokens, 0, "decode pool ran prefill work");
         assert!(t.prefill_admissions.is_empty(), "decode pool prefilled");
         decode_submitted += t.submitted.len();
@@ -157,7 +156,10 @@ fn transferred_bytes_match_prefill_side_kv_footprint() {
         .seed(5)
         .link(LinkSpec::pcie_gen4());
     let (report, prefill, _) = run_tallied(cfg);
-    let released: u64 = prefill.iter().map(|t| t.borrow().migrated_bytes).sum();
+    let released: u64 = prefill
+        .iter()
+        .map(|t| t.lock().unwrap().migrated_bytes)
+        .sum();
     assert!(released > 0);
     assert_eq!(
         released, report.transferred_bytes,
@@ -180,7 +182,7 @@ fn decode_pool_occupancy_never_exceeds_capacity() {
     let (report, prefill, decode) = run_tallied(cfg);
     assert_eq!(report.completed, 20);
     for t in prefill.iter().chain(decode.iter()) {
-        let t = t.borrow();
+        let t = t.lock().unwrap();
         assert!(t.steps > 0);
         assert_eq!(t.occupancy_violations, 0, "KV occupancy exceeded capacity");
     }

@@ -11,8 +11,7 @@
 //! draining victim kept accepting committed KV imports right up to its
 //! role change.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use agentsim_disagg::{
     AutoscalePolicy, DisaggConfig, DisaggSim, DisaggWorkload, FlipDirection, TransferScheduler,
@@ -98,7 +97,7 @@ struct FlipLog {
 }
 
 #[derive(Debug, Clone)]
-struct FlipLogObserver(Rc<RefCell<FlipLog>>);
+struct FlipLogObserver(Arc<Mutex<FlipLog>>);
 
 impl EngineObserver for FlipLogObserver {
     fn on_event(&mut self, event: &EngineEvent<'_>) {
@@ -106,10 +105,10 @@ impl EngineObserver for FlipLogObserver {
             EngineEvent::Admitted {
                 at, new_tokens: 0, ..
             } => {
-                self.0.borrow_mut().imports.push(at);
+                self.0.lock().unwrap().imports.push(at);
             }
             EngineEvent::RoleChanged { at, from, to } => {
-                self.0.borrow_mut().role_changes.push((at, from, to));
+                self.0.lock().unwrap().role_changes.push((at, from, to));
             }
             _ => {}
         }
@@ -134,9 +133,9 @@ fn flip_scheduled_into_a_migration_storm_completes_cleanly() {
             FlipDirection::DecodeToPrefill,
         )]));
     let mut sim = DisaggSim::new(cfg);
-    let logs: Vec<Rc<RefCell<FlipLog>>> = (0..3)
+    let logs: Vec<Arc<Mutex<FlipLog>>> = (0..3)
         .map(|r| {
-            let log = Rc::new(RefCell::new(FlipLog::default()));
+            let log = Arc::new(Mutex::new(FlipLog::default()));
             sim.set_replica_observer(r, Box::new(FlipLogObserver(log.clone())));
             log
         })
@@ -148,7 +147,7 @@ fn flip_scheduled_into_a_migration_storm_completes_cleanly() {
 
     // The victim's observer stream shows the role change at exactly the
     // recorded completion time...
-    let log = logs[flip.replica as usize].borrow();
+    let log = logs[flip.replica as usize].lock().unwrap();
     assert_eq!(log.role_changes.len(), 1);
     let (at, from, to) = log.role_changes[0];
     assert_eq!(at, flip.completed);

@@ -1,0 +1,182 @@
+//! Differential tests for the parallel disaggregated driver: every
+//! thread count must reproduce the sequential run **bit-for-bit**,
+//! across pool routings, client models, and autoscaling controllers.
+//!
+//! The disagg driver is the hardest case for conservative sync: KV
+//! transfers and role flips couple replicas across shards, and the
+//! autoscaler observes the waiting/running split of every engine. All of
+//! it must come out bit-identical. Per-call records are compared in
+//! full, floats via `f64::to_bits` — exact equality, no tolerance.
+
+use agentsim_disagg::{
+    AutoscalePolicy, DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload, FlipDirection,
+    FlipRecord, HysteresisConfig, PoolRouting,
+};
+use agentsim_gpu::FlipCostModel;
+use agentsim_session::ClientModel;
+use agentsim_simkit::{SimDuration, SimTime};
+
+/// Everything a disagg run reports, floats pinned to bit patterns and
+/// the full per-call record set included.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    completed: u64,
+    solved: u64,
+    migrated_calls: u64,
+    transferred_bytes: u64,
+    preemptions: u64,
+    makespan: SimDuration,
+    transfer_wait: SimDuration,
+    p50_bits: u64,
+    p95_bits: u64,
+    kv_hit_bits: u64,
+    energy_bits: u64,
+    prefill_util_bits: Vec<u64>,
+    decode_util_bits: Vec<u64>,
+    flips: Vec<FlipRecord>,
+    calls: Vec<agentsim_disagg::CallRecord>,
+}
+
+impl Fingerprint {
+    fn of(r: &DisaggReport) -> Self {
+        Fingerprint {
+            completed: r.completed,
+            solved: r.solved,
+            migrated_calls: r.migrated_calls,
+            transferred_bytes: r.transferred_bytes,
+            preemptions: r.preemptions,
+            makespan: r.makespan,
+            transfer_wait: r.transfer_wait,
+            p50_bits: r.p50_s.to_bits(),
+            p95_bits: r.p95_s.to_bits(),
+            kv_hit_bits: r.kv_hit_rate.to_bits(),
+            energy_bits: r.energy_wh.to_bits(),
+            prefill_util_bits: r.prefill_utilization.iter().map(|u| u.to_bits()).collect(),
+            decode_util_bits: r.decode_utilization.iter().map(|u| u.to_bits()).collect(),
+            flips: r.flips.clone(),
+            calls: r.calls.clone(),
+        }
+    }
+}
+
+fn assert_matches_sequential(label: &str, cfg: DisaggConfig, threads: u32) {
+    let sequential = Fingerprint::of(&DisaggSim::new(cfg.clone()).run());
+    let parallel = Fingerprint::of(&DisaggSim::new(cfg.threads(threads)).run());
+    assert_eq!(
+        sequential, parallel,
+        "threads({threads}) diverged from sequential under {label}"
+    );
+}
+
+/// Static 2P+2D split across every (prefill, decode) routing pairing.
+fn routing_grid(threads: u32) {
+    for (pr, dr) in [
+        (PoolRouting::RoundRobin, PoolRouting::LeastLoaded),
+        (PoolRouting::RoundRobin, PoolRouting::RoundRobin),
+        (PoolRouting::LeastLoaded, PoolRouting::LeastLoaded),
+    ] {
+        let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 1.5, 24)
+            .seed(0xD1A6)
+            .pools(2, 2)
+            .prefill_routing(pr)
+            .decode_routing(dr);
+        assert_matches_sequential(&format!("{pr}/{dr}"), cfg, threads);
+    }
+}
+
+#[test]
+fn routing_grid_two_threads() {
+    routing_grid(2);
+}
+
+#[test]
+fn routing_grid_four_threads() {
+    routing_grid(4);
+}
+
+#[test]
+fn routing_grid_eight_threads() {
+    // More threads than replicas: clamped, still bit-identical.
+    routing_grid(8);
+}
+
+#[test]
+fn client_models_match_across_threads() {
+    let trace: Vec<SimDuration> = (0..24)
+        .map(|i| SimDuration::from_secs_f64([0.05, 0.5, 0.12, 0.9][i % 4]))
+        .collect();
+    let clients: Vec<(&str, ClientModel)> = vec![
+        (
+            "closed-loop",
+            ClientModel::ClosedLoop {
+                concurrency: 5,
+                think_time: SimDuration::from_secs_f64(0.4),
+            },
+        ),
+        ("trace-replay", ClientModel::TraceReplay { gaps: trace }),
+    ];
+    for (name, client) in clients {
+        for threads in [2, 4] {
+            let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 1.2, 20)
+                .seed(0xC11E)
+                .pools(2, 2)
+                .client(client.clone());
+            assert_matches_sequential(name, cfg, threads);
+        }
+    }
+}
+
+#[test]
+fn colocated_baseline_matches_across_threads() {
+    for threads in [2, 4, 8] {
+        let cfg =
+            DisaggConfig::colocated(DisaggWorkload::react_hotpotqa(), 4, 2.0, 24).seed(0xC010);
+        assert_matches_sequential("colocated", cfg, threads);
+    }
+}
+
+/// A scheduled flip exercises the full drain/flip path: victim
+/// selection, drain detection, the reconfiguration gap, and pool
+/// re-entry must all land on identical timestamps.
+#[test]
+fn scheduled_flip_matches_across_threads() {
+    for threads in [2, 4, 8] {
+        let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 0.8, 16)
+            .seed(6)
+            .pools(2, 2)
+            .flip_cost(FlipCostModel::warm())
+            .autoscale(AutoscalePolicy::Schedule(vec![
+                (SimTime::from_secs_f64(2.0), FlipDirection::PrefillToDecode),
+                (SimTime::from_secs_f64(9.0), FlipDirection::DecodeToPrefill),
+            ]));
+        assert_matches_sequential("scheduled flips", cfg, threads);
+    }
+}
+
+/// The hysteresis controller reads the waiting/running split of every
+/// replica after every event — the strictest consumer of mirror state.
+#[test]
+fn hysteresis_controller_matches_across_threads() {
+    for threads in [2, 4] {
+        let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 2.0, 24)
+            .seed(8)
+            .pools(1, 3)
+            .flip_cost(FlipCostModel::zero())
+            .autoscale(AutoscalePolicy::Hysteresis(HysteresisConfig {
+                high: 1.2,
+                low: 0.1,
+                dwell: SimDuration::ZERO,
+                ..HysteresisConfig::default()
+            }));
+        assert_matches_sequential("hysteresis", cfg, threads);
+    }
+}
+
+#[test]
+fn pinned_controller_matches_across_threads() {
+    let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 1.5, 16)
+        .seed(3)
+        .pools(2, 2)
+        .autoscale(AutoscalePolicy::Pinned);
+    assert_matches_sequential("pinned", cfg, 4);
+}

@@ -366,6 +366,13 @@ impl Engine {
         std::mem::take(&mut self.migrations)
     }
 
+    /// Like [`take_migrations`](Self::take_migrations), but appends into a
+    /// caller-provided buffer so hot loops can reuse one allocation across
+    /// steps.
+    pub fn take_migrations_into(&mut self, out: &mut Vec<MigratedRequest>) {
+        out.append(&mut self.migrations);
+    }
+
     /// If no step is in flight and there is work, forms the next step and
     /// returns the simulated time at which it completes. The caller must
     /// invoke [`Engine::complete_step`] exactly at that time.
@@ -407,6 +414,15 @@ impl Engine {
     ///
     /// Panics if no step is in flight or `now` is not its end time.
     pub fn complete_step(&mut self, now: SimTime) -> Vec<LlmCompletion> {
+        let mut done = Vec::new();
+        self.complete_step_into(now, &mut done);
+        done
+    }
+
+    /// Like [`complete_step`](Self::complete_step), but appends finished
+    /// requests into a caller-provided buffer so hot loops can reuse one
+    /// allocation across steps.
+    pub fn complete_step_into(&mut self, now: SimTime, done: &mut Vec<LlmCompletion>) {
         let step = self.step.take().expect("no step in flight");
         assert_eq!(step.ends, now, "complete_step called at the wrong time");
 
@@ -469,7 +485,7 @@ impl Engine {
                 .on_event(&event);
         }
 
-        let mut done = Vec::new();
+        let done_before = done.len();
 
         // Sequences that just finished prefill produce their first token;
         // decode participants produce one token each.
@@ -522,8 +538,7 @@ impl Engine {
                 }
             }
         }
-        self.metrics.completed += done.len() as u64;
-        done
+        self.metrics.completed += (done.len() - done_before) as u64;
     }
 
     // ---- step formation -------------------------------------------------
@@ -923,6 +938,13 @@ impl Engine {
     }
 }
 
+// The parallel fleet drivers move engines onto worker threads; this fails
+// to compile if a non-`Send` field (e.g. an `Rc`) sneaks into `Engine`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+};
+
 /// Result of producing one token for a running sequence.
 #[derive(Debug)]
 enum TokenOutcome {
@@ -1199,7 +1221,7 @@ mod tests {
     /// Collects a compact transcript of every observed event.
     #[derive(Debug, Default)]
     struct EventLog {
-        entries: std::rc::Rc<std::cell::RefCell<Vec<String>>>,
+        entries: std::sync::Arc<std::sync::Mutex<Vec<String>>>,
     }
 
     impl EngineObserver for EventLog {
@@ -1217,7 +1239,7 @@ mod tests {
                     format!("role {from:?}->{to:?}")
                 }
             };
-            self.entries.borrow_mut().push(line);
+            self.entries.lock().unwrap().push(line);
         }
     }
 
@@ -1231,7 +1253,7 @@ mod tests {
         let (done, _) = drain(&mut e, SimTime::ZERO);
         assert_eq!(done.len(), 1);
 
-        let lines = entries.borrow();
+        let lines = entries.lock().unwrap();
         assert_eq!(lines[0], format!("submit {id}"));
         assert_eq!(lines[1], format!("admit {id}"));
         assert_eq!(lines[2], "step prefill");
@@ -1258,7 +1280,7 @@ mod tests {
         }
         let (done, _) = drain(&mut e, SimTime::ZERO);
         assert_eq!(done.len(), 5);
-        let lines = entries.borrow();
+        let lines = entries.lock().unwrap();
         let preempts = lines.iter().filter(|l| l.starts_with("preempt")).count();
         assert_eq!(preempts as u64, e.metrics().preemptions);
         assert!(preempts > 0, "tiny pool must preempt");
@@ -1545,12 +1567,13 @@ mod edge_tests {
     fn finish_drain_emits_role_changed() {
         use crate::observer::EngineObserver;
         #[derive(Debug, Default)]
-        struct RoleLog(std::rc::Rc<std::cell::RefCell<Vec<String>>>);
+        struct RoleLog(std::sync::Arc<std::sync::Mutex<Vec<String>>>);
         impl EngineObserver for RoleLog {
             fn on_event(&mut self, event: &EngineEvent<'_>) {
                 if let EngineEvent::RoleChanged { at, from, to } = *event {
                     self.0
-                        .borrow_mut()
+                        .lock()
+                        .unwrap()
                         .push(format!("{}us {from:?}->{to:?}", at.as_micros()));
                 }
             }
@@ -1561,7 +1584,10 @@ mod edge_tests {
         e.set_observer(Box::new(log));
         e.begin_drain();
         e.finish_drain(SimTime::from_micros(5), EngineRole::Decode);
-        assert_eq!(*seen.borrow(), vec!["5us Prefill->Decode".to_string()]);
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec!["5us Prefill->Decode".to_string()]
+        );
     }
 
     #[test]

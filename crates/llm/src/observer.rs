@@ -213,7 +213,12 @@ impl EngineEvent<'_> {
 /// Implementations must not assume anything about inter-event wall-clock
 /// spacing; they receive events synchronously from inside the engine's
 /// submit/step methods.
-pub trait EngineObserver: std::fmt::Debug {
+///
+/// The `Send` bound exists so an [`Engine`](crate::Engine) carrying an
+/// observer can migrate to a worker thread in the parallel fleet drivers.
+/// Shared-state observers should hold `Arc<Mutex<..>>` rather than
+/// `Rc<RefCell<..>>`.
+pub trait EngineObserver: std::fmt::Debug + Send {
     /// Called for every engine event, in emission order.
     fn on_event(&mut self, event: &EngineEvent<'_>);
 }
@@ -334,18 +339,17 @@ mod tests {
 
     #[test]
     fn fanout_broadcasts_in_insertion_order() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         #[derive(Debug)]
-        struct Tagger(u8, Rc<RefCell<Vec<u8>>>);
+        struct Tagger(u8, Arc<Mutex<Vec<u8>>>);
         impl EngineObserver for Tagger {
             fn on_event(&mut self, _: &EngineEvent<'_>) {
-                self.1.borrow_mut().push(self.0);
+                self.1.lock().unwrap().push(self.0);
             }
         }
 
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         let mut fanout = FanoutObserver::new()
             .with(Box::new(Tagger(1, seen.clone())))
             .with(Box::new(Tagger(2, seen.clone())));
@@ -359,6 +363,6 @@ mod tests {
             at: SimTime::ZERO,
             generated: 0,
         });
-        assert_eq!(*seen.borrow(), vec![1, 2, 1, 2]);
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 1, 2]);
     }
 }

@@ -11,10 +11,12 @@
 //! ids gives affinity routing cross-*turn* state to preserve, not just
 //! cross-call.
 
+mod par;
+
 use std::collections::HashMap;
 
 use agentsim_agents::{AgentConfig, AgentKind};
-use agentsim_llm::{Engine, EngineConfig, RequestId};
+use agentsim_llm::{Engine, EngineConfig, LlmCompletion, RequestId};
 use agentsim_metrics::Samples;
 use agentsim_session::{
     seeds, Arrival, ArrivalProcess, CallDone, ClientModel, SessionCmd, SessionRunner, ToolRng,
@@ -69,6 +71,8 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Who submits the turns, and when.
     pub client: ClientModel,
+    /// Worker threads for the parallel driver (`1` = sequential path).
+    pub threads: u32,
 }
 
 impl FleetConfig {
@@ -88,6 +92,7 @@ impl FleetConfig {
             num_requests,
             seed: 0,
             client: ClientModel::OpenLoopPoisson,
+            threads: 1,
         }
     }
 
@@ -100,6 +105,15 @@ impl FleetConfig {
     /// Replaces the client model.
     pub fn client(mut self, client: ClientModel) -> Self {
         self.client = client;
+        self
+    }
+
+    /// Shards replicas across `threads` worker threads. `1` (the default)
+    /// is the sequential path; any other count produces bit-identical
+    /// reports — see the [`agentsim_session::shard`] module docs.
+    pub fn threads(mut self, threads: u32) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
         self
     }
 }
@@ -154,6 +168,8 @@ pub struct FleetSim {
     last_finish: SimTime,
     live: u64,
     max_live: u64,
+    /// Reused per-step completion buffer (sequential path hot loop).
+    step_scratch: Vec<LlmCompletion>,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -199,6 +215,7 @@ impl FleetSim {
             last_finish: SimTime::ZERO,
             live: 0,
             max_live: 0,
+            step_scratch: Vec::new(),
             config,
         }
     }
@@ -220,6 +237,10 @@ impl FleetSim {
 
     /// Runs to completion and reports.
     pub fn run(mut self) -> FleetReport {
+        let threads = (self.config.threads as usize).min(self.engines.len());
+        if threads > 1 {
+            return self.run_parallel(threads);
+        }
         while let Some((now, event)) = self.queue.pop() {
             match event {
                 Event::Arrival(a) => self.on_arrival(a, now),
@@ -241,8 +262,18 @@ impl FleetSim {
         self.into_report()
     }
 
+    #[cfg(test)]
     fn route(&mut self, sid: u64) -> usize {
-        let n = self.engines.len();
+        self.route_with(None, sid)
+    }
+
+    /// Routes one LLM op. The parallel path passes its [`ShardPool`] so
+    /// least-loaded reads the coordinator's exact load mirrors instead of
+    /// the (moved-away) engines.
+    ///
+    /// [`ShardPool`]: agentsim_session::ShardPool
+    fn route_with(&mut self, pool: Option<&agentsim_session::ShardPool>, sid: u64) -> usize {
+        let n = self.config.replicas as usize;
         match self.config.routing {
             Routing::SessionAffinity => (sid as usize) % n,
             Routing::RoundRobin => {
@@ -254,12 +285,24 @@ impl FleetSim {
                 replica
             }
             Routing::LeastLoaded => (0..n)
-                .min_by_key(|&r| self.engines[r].queue_len() + self.engines[r].running_len())
+                .min_by_key(|&r| match pool {
+                    Some(pool) => pool.load(r),
+                    None => self.engines[r].queue_len() + self.engines[r].running_len(),
+                })
                 .expect("non-empty fleet"),
         }
     }
 
     fn on_arrival(&mut self, a: Arrival, now: SimTime) {
+        self.on_arrival_with(None, a, now)
+    }
+
+    fn on_arrival_with(
+        &mut self,
+        pool: Option<&mut agentsim_session::ShardPool>,
+        a: Arrival,
+        now: SimTime,
+    ) {
         // Chain the next arrival first, so it precedes any event this
         // one schedules at the same instant.
         if let Some(next) = self.client.after_arrival(now) {
@@ -280,22 +323,42 @@ impl FleetSim {
         *slot = Some(runner);
         self.live += 1;
         self.max_live = self.max_live.max(self.live);
-        self.exec(a.session, cmd, now);
+        self.exec_with(pool, a.session, cmd, now);
     }
 
     /// Executes a session command against the routed fleet.
     fn exec(&mut self, sid: u64, cmd: SessionCmd, now: SimTime) {
+        self.exec_with(None, sid, cmd, now)
+    }
+
+    fn exec_with(
+        &mut self,
+        mut pool: Option<&mut agentsim_session::ShardPool>,
+        sid: u64,
+        cmd: SessionCmd,
+        now: SimTime,
+    ) {
         match cmd {
             SessionCmd::Llm(op) => {
-                let replica = self.route(sid);
+                let replica = self.route_with(pool.as_deref(), sid);
                 for (seq, call) in op.calls.into_iter().enumerate() {
-                    let id = self.engines[replica].submit_with_priority(
-                        now,
-                        call.prompt,
-                        call.out_tokens,
-                        call.gen_seed,
-                        op.priority,
-                    );
+                    let id = match pool.as_deref_mut() {
+                        Some(pool) => pool.submit(
+                            replica,
+                            now,
+                            call.prompt,
+                            call.out_tokens,
+                            call.gen_seed,
+                            op.priority,
+                        ),
+                        None => self.engines[replica].submit_with_priority(
+                            now,
+                            call.prompt,
+                            call.out_tokens,
+                            call.gen_seed,
+                            op.priority,
+                        ),
+                    };
                     self.owner.insert((replica, id), (sid, seq as u32));
                 }
             }
@@ -316,7 +379,9 @@ impl FleetSim {
     }
 
     fn on_step_done(&mut self, replica: usize, now: SimTime) {
-        for completion in self.engines[replica].complete_step(now) {
+        let mut completions = std::mem::take(&mut self.step_scratch);
+        self.engines[replica].complete_step_into(now, &mut completions);
+        for completion in completions.drain(..) {
             let (sid, seq) = self
                 .owner
                 .remove(&(replica, completion.id))
@@ -329,6 +394,7 @@ impl FleetSim {
                 self.exec(sid, cmd, now);
             }
         }
+        self.step_scratch = completions;
     }
 
     fn kick(&mut self, replica: usize, now: SimTime) {

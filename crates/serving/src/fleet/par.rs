@@ -1,0 +1,94 @@
+//! Parallel fleet execution: the coordinator loop.
+//!
+//! Same event loop as [`FleetSim::run`], with engine stepping offloaded
+//! to an [`agentsim_session::ShardPool`]. Ordering decisions stay on this
+//! thread; step-done events keep their sequential queue rank through
+//! reserved slots. See the [`agentsim_session::shard`] module docs for
+//! the full determinism argument.
+
+use agentsim_session::ShardPool;
+
+use super::{Event, FleetReport, FleetSim};
+
+impl FleetSim {
+    pub(super) fn run_parallel(mut self, threads: usize) -> FleetReport {
+        assert!(
+            self.engines.iter().all(|e| !e.has_observer()),
+            "parallel fleet execution does not support engine observers; use threads(1)"
+        );
+        let lookahead = self.engines[0].perf().min_step_duration();
+        let replicas = self.engines.len();
+        let engines = std::mem::take(&mut self.engines);
+        let mut pool = ShardPool::spawn(engines, threads, lookahead);
+        loop {
+            // Bank any resolutions that are already in, so the pop gate
+            // below sees the tightest pending-kick window.
+            while let Some(r) = pool.try_resolve() {
+                self.queue
+                    .push_reserved(r.slot, r.ends, Event::StepDone(r.replica));
+            }
+            let Some(key) = self.queue.peek_key() else {
+                if !pool.has_pending() {
+                    break;
+                }
+                let r = pool.wait_resolve();
+                self.queue
+                    .push_reserved(r.slot, r.ends, Event::StepDone(r.replica));
+                continue;
+            };
+            if !pool.safe_before(key) {
+                let r = pool.wait_resolve();
+                self.queue
+                    .push_reserved(r.slot, r.ends, Event::StepDone(r.replica));
+                continue;
+            }
+            let (now, event) = self.queue.pop().expect("peeked head");
+            match event {
+                Event::Arrival(a) => self.on_arrival_with(Some(&mut pool), a, now),
+                Event::StepDone(replica) => {
+                    let out = pool.take_step(replica);
+                    debug_assert!(out.migrations.is_empty(), "fleet replicas never migrate");
+                    for completion in out.completions {
+                        let (sid, seq) = self
+                            .owner
+                            .remove(&(replica, completion.id))
+                            .expect("owned completion");
+                        let cmd = self.sessions[sid as usize]
+                            .as_mut()
+                            .expect("live session")
+                            .on_call_done(
+                                seq,
+                                agentsim_session::CallDone::from_completion(completion),
+                                &self.tools,
+                                now,
+                            );
+                        if let Some(cmd) = cmd {
+                            self.exec_with(Some(&mut pool), sid, cmd, now);
+                        }
+                    }
+                }
+                Event::ToolsDone(sid) => {
+                    let cmd = self.sessions[sid as usize]
+                        .as_mut()
+                        .expect("live session")
+                        .on_tools_done(&self.tools, now);
+                    self.exec_with(Some(&mut pool), sid, cmd, now);
+                }
+            }
+            // Same kick sweep as the sequential loop: replicas that would
+            // not form a step are skipped there too (start_step_if_idle
+            // returns None), so restricting to wants_kick preserves the
+            // queue's push order exactly.
+            for replica in 0..replicas {
+                if pool.wants_kick(replica) {
+                    let slot = self.queue.reserve_slot();
+                    pool.kick(replica, now, slot);
+                }
+            }
+        }
+        let expected = self.config.client.total_turns(self.config.num_requests);
+        assert_eq!(self.completed, expected, "all turns must finish");
+        self.engines = pool.shutdown();
+        self.into_report()
+    }
+}

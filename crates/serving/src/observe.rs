@@ -15,7 +15,7 @@
 //!   `chrome://tracing` or Perfetto) and a JSONL event log
 //!   ([`events_jsonl`](SpanRecorder::events_jsonl)).
 //!
-//! The recorder is a cheap clonable handle (`Rc<RefCell<..>>`): attach
+//! The recorder is a cheap clonable handle (`Arc<Mutex<..>>`): attach
 //! one clone to the engine as its observer and keep another to read the
 //! results after the run. [`ServingSim::attach_recorder`] and
 //! [`FleetSim::attach_recorders`] do exactly that.
@@ -42,9 +42,8 @@
 //! agentsim_metrics::json::validate(&recorder.chrome_trace()).unwrap();
 //! ```
 
-use std::cell::RefCell;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use agentsim_llm::{EngineEvent, EngineObserver, RequestId, StepKind};
 use agentsim_metrics::{json, TimeSeries};
@@ -485,7 +484,7 @@ impl RecorderInner {
 /// records, and engine time-series. See the [module docs](self).
 #[derive(Debug, Clone, Default)]
 pub struct SpanRecorder {
-    inner: Rc<RefCell<RecorderInner>>,
+    inner: Arc<Mutex<RecorderInner>>,
 }
 
 impl SpanRecorder {
@@ -496,47 +495,47 @@ impl SpanRecorder {
 
     /// All observed request spans, in request-id order.
     pub fn spans(&self) -> Vec<RequestSpan> {
-        self.inner.borrow().spans.clone()
+        self.inner.lock().unwrap().spans.clone()
     }
 
     /// All completed step records, in time order.
     pub fn steps(&self) -> Vec<StepRecord> {
-        self.inner.borrow().steps.clone()
+        self.inner.lock().unwrap().steps.clone()
     }
 
     /// KV block occupancy sampled at every step completion.
     pub fn kv_used_blocks(&self) -> TimeSeries {
-        self.inner.borrow().kv_used_blocks.clone()
+        self.inner.lock().unwrap().kv_used_blocks.clone()
     }
 
     /// Total KV pool size in blocks (0 until the first step completes).
     pub fn kv_total_blocks(&self) -> u64 {
-        self.inner.borrow().kv_total_blocks
+        self.inner.lock().unwrap().kv_total_blocks
     }
 
     /// Running-set depth sampled at every step completion.
     pub fn running_depth(&self) -> TimeSeries {
-        self.inner.borrow().running_depth.clone()
+        self.inner.lock().unwrap().running_depth.clone()
     }
 
     /// Waiting-queue depth sampled at every step completion.
     pub fn waiting_depth(&self) -> TimeSeries {
-        self.inner.borrow().waiting_depth.clone()
+        self.inner.lock().unwrap().waiting_depth.clone()
     }
 
     /// Prefill tokens per step (batch composition).
     pub fn batch_prefill_tokens(&self) -> TimeSeries {
-        self.inner.borrow().batch_prefill_tokens.clone()
+        self.inner.lock().unwrap().batch_prefill_tokens.clone()
     }
 
     /// Decode participants per step (batch composition).
     pub fn batch_decode_seqs(&self) -> TimeSeries {
-        self.inner.borrow().batch_decode_seqs.clone()
+        self.inner.lock().unwrap().batch_decode_seqs.clone()
     }
 
     /// The JSONL event log: one JSON object per line, in emission order.
     pub fn events_jsonl(&self) -> String {
-        self.inner.borrow().jsonl.clone()
+        self.inner.lock().unwrap().jsonl.clone()
     }
 
     /// Chrome `trace_event` JSON for this recorder alone (process 0).
@@ -552,7 +551,7 @@ impl SpanRecorder {
 
 impl EngineObserver for SpanRecorder {
     fn on_event(&mut self, event: &EngineEvent<'_>) {
-        self.inner.borrow_mut().apply(event);
+        self.inner.lock().unwrap().apply(event);
     }
 }
 
@@ -569,7 +568,7 @@ pub fn chrome_trace(recorders: &[(&str, &SpanRecorder)]) -> String {
         out.push_str(line);
     };
     for (pid, &(label, recorder)) in recorders.iter().enumerate() {
-        let inner = recorder.inner.borrow();
+        let inner = recorder.inner.lock().unwrap();
         push(
             &mut out,
             &mut first,

@@ -18,18 +18,17 @@
 //! subsequent writes are skipped, and [`SpanStreamWriter::io_error`]
 //! reports it at the end of the run.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{self, Write};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use agentsim_llm::{EngineEvent, EngineObserver, RequestId};
 
 use crate::observe::{Phase, RequestSpan, SpanState};
 
 struct StreamInner {
-    out: Box<dyn Write>,
+    out: Box<dyn Write + Send>,
     live: HashMap<RequestId, RequestSpan>,
     written: u64,
     peak_live: usize,
@@ -37,10 +36,10 @@ struct StreamInner {
     line: String,
 }
 
-// `Box<dyn Write>` has no Debug; describe the observable state instead.
+// `Box<dyn Write + Send>` has no Debug; describe the observable state instead.
 impl std::fmt::Debug for SpanStreamWriter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         f.debug_struct("SpanStreamWriter")
             .field("live", &inner.live.len())
             .field("written", &inner.written)
@@ -201,15 +200,15 @@ impl StreamInner {
 /// [module docs](self).
 #[derive(Clone)]
 pub struct SpanStreamWriter {
-    inner: Rc<RefCell<StreamInner>>,
+    inner: Arc<Mutex<StreamInner>>,
 }
 
 impl SpanStreamWriter {
     /// Wraps an arbitrary byte sink (a `File`, a `BufWriter`, a
     /// `Vec<u8>`, …).
-    pub fn new(out: Box<dyn Write>) -> Self {
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
         SpanStreamWriter {
-            inner: Rc::new(RefCell::new(StreamInner {
+            inner: Arc::new(Mutex::new(StreamInner {
                 out,
                 live: HashMap::new(),
                 written: 0,
@@ -228,36 +227,41 @@ impl SpanStreamWriter {
 
     /// Spans retired (lines successfully written) so far.
     pub fn written(&self) -> u64 {
-        self.inner.borrow().written
+        self.inner.lock().unwrap().written
     }
 
     /// Requests currently in flight (spans held in memory).
     pub fn live(&self) -> usize {
-        self.inner.borrow().live.len()
+        self.inner.lock().unwrap().live.len()
     }
 
     /// High-water mark of concurrently held spans — the writer's actual
     /// memory footprint, independent of run length.
     pub fn peak_live(&self) -> usize {
-        self.inner.borrow().peak_live
+        self.inner.lock().unwrap().peak_live
     }
 
     /// A description of the first write error, if any occurred. Once a
     /// write fails, later spans are dropped rather than retried.
     pub fn io_error(&self) -> Option<String> {
-        self.inner.borrow().io_error.as_ref().map(|e| e.to_string())
+        self.inner
+            .lock()
+            .unwrap()
+            .io_error
+            .as_ref()
+            .map(|e| e.to_string())
     }
 
     /// Flushes the underlying writer (call at end of run; buffered sinks
     /// may otherwise hold the tail).
     pub fn flush(&self) -> io::Result<()> {
-        self.inner.borrow_mut().out.flush()
+        self.inner.lock().unwrap().out.flush()
     }
 }
 
 impl EngineObserver for SpanStreamWriter {
     fn on_event(&mut self, event: &EngineEvent<'_>) {
-        self.inner.borrow_mut().apply(event);
+        self.inner.lock().unwrap().apply(event);
     }
 }
 
@@ -273,10 +277,10 @@ mod tests {
 
     /// A `Write` target the test can inspect after the writer is boxed.
     #[derive(Clone, Default)]
-    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
     impl Write for SharedBuf {
         fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-            self.0.borrow_mut().extend_from_slice(buf);
+            self.0.lock().unwrap().extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> io::Result<()> {
@@ -310,7 +314,7 @@ mod tests {
         assert!(writer.peak_live() >= 1);
         assert!(writer.io_error().is_none());
 
-        let bytes = buf.0.borrow().clone();
+        let bytes = buf.0.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         let spans = recorder.spans();
@@ -349,7 +353,7 @@ mod tests {
 
         assert_eq!(writer.written(), 1);
         assert_eq!(writer.live(), 0);
-        let bytes = buf.0.borrow().clone();
+        let bytes = buf.0.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.contains("\"migrated\":true"));
         assert!(text.contains("\"transfer_us\":0"));

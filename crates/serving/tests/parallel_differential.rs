@@ -1,0 +1,116 @@
+//! Differential tests for the parallel fleet driver: every thread count
+//! must reproduce the sequential run **bit-for-bit**, across routing
+//! policies and client models.
+//!
+//! This is the contract `FleetConfig::threads` promises — conservative
+//! sync plus reserved queue slots make thread count a pure performance
+//! knob. Floats are compared via `f64::to_bits`: exact equality, no
+//! tolerance.
+
+use agentsim_serving::{FleetConfig, FleetReport, FleetSim, Routing};
+use agentsim_session::ClientModel;
+use agentsim_simkit::SimDuration;
+
+/// Every externally visible number a fleet run produces, floats pinned
+/// to their bit patterns.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    completed: u64,
+    max_live_sessions: u64,
+    p50_bits: u64,
+    p95_bits: u64,
+    kv_hit_bits: u64,
+    energy_bits: u64,
+    throughput_bits: u64,
+    utilization_bits: Vec<u64>,
+}
+
+impl Fingerprint {
+    fn of(r: &FleetReport) -> Self {
+        Fingerprint {
+            completed: r.completed,
+            max_live_sessions: r.max_live_sessions,
+            p50_bits: r.p50_s.to_bits(),
+            p95_bits: r.p95_s.to_bits(),
+            kv_hit_bits: r.kv_hit_rate.to_bits(),
+            energy_bits: r.energy_wh.to_bits(),
+            throughput_bits: r.throughput.to_bits(),
+            utilization_bits: r.utilization.iter().map(|u| u.to_bits()).collect(),
+        }
+    }
+}
+
+/// A replayable arrival trace with bursts and lulls (gaps cycle through
+/// a fixed pattern), long enough to keep four replicas contended.
+fn trace_gaps() -> Vec<SimDuration> {
+    let pattern = [0.05, 0.40, 0.10, 0.02, 0.65, 0.15];
+    (0..36)
+        .map(|i| SimDuration::from_secs_f64(pattern[i % pattern.len()]))
+        .collect()
+}
+
+fn clients() -> Vec<(&'static str, ClientModel)> {
+    vec![
+        ("open-loop", ClientModel::OpenLoopPoisson),
+        (
+            "closed-loop",
+            ClientModel::ClosedLoop {
+                concurrency: 6,
+                think_time: SimDuration::from_secs_f64(0.5),
+            },
+        ),
+        (
+            "trace-replay",
+            ClientModel::TraceReplay { gaps: trace_gaps() },
+        ),
+    ]
+}
+
+/// Runs the full `routing × client` grid sequentially, then again at
+/// `threads`, and demands identical fingerprints cell by cell.
+fn assert_threads_match_sequential(threads: u32) {
+    for routing in [
+        Routing::SessionAffinity,
+        Routing::RoundRobin,
+        Routing::LeastLoaded,
+    ] {
+        for (client_name, client) in clients() {
+            let cfg = FleetConfig::react_hotpotqa(4, routing, 3.0, 36)
+                .seed(0xD1FF)
+                .client(client);
+            let sequential = Fingerprint::of(&FleetSim::new(cfg.clone()).run());
+            let parallel = Fingerprint::of(&FleetSim::new(cfg.threads(threads)).run());
+            assert_eq!(
+                sequential, parallel,
+                "threads({threads}) diverged from sequential under {routing} / {client_name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_threads_are_bit_identical() {
+    assert_threads_match_sequential(2);
+}
+
+#[test]
+fn four_threads_are_bit_identical() {
+    assert_threads_match_sequential(4);
+}
+
+#[test]
+fn eight_threads_are_bit_identical() {
+    // More threads than the 4 replicas: the pool must clamp and still
+    // agree bit-for-bit.
+    assert_threads_match_sequential(8);
+}
+
+#[test]
+fn one_replica_per_worker_matches() {
+    // Minimal shard layout: every worker owns exactly one replica, so
+    // all cross-replica ordering flows through the coordinator.
+    let cfg = FleetConfig::react_hotpotqa(2, Routing::LeastLoaded, 2.5, 20).seed(7);
+    let sequential = Fingerprint::of(&FleetSim::new(cfg.clone()).run());
+    let parallel = Fingerprint::of(&FleetSim::new(cfg.threads(2)).run());
+    assert_eq!(sequential, parallel);
+}

@@ -23,8 +23,10 @@
 pub mod client;
 pub mod runner;
 pub mod seeds;
+pub mod shard;
 pub mod trace;
 
 pub use client::{Arrival, ArrivalProcess, ClientModel};
 pub use runner::{CallDone, LlmOp, LlmSubmit, SessionCmd, SessionRunner, ToolRng};
+pub use shard::{Resolved, ShardPool, StepOutput};
 pub use trace::{LlmCallRecord, RequestTrace};

@@ -1,0 +1,641 @@
+//! Sharded engine execution with deterministic conservative sync.
+//!
+//! [`ShardPool`] partitions a fleet's replicas across worker threads and
+//! lets a single-threaded coordinator keep running the *exact* sequential
+//! event loop while the expensive part — engine step execution — happens
+//! in parallel. The design invariant is bit-identical output: a parallel
+//! run must produce the same `FleetReport`/`DisaggReport` (down to f64
+//! bit patterns) as `threads(1)` at any thread count.
+//!
+//! # How determinism is preserved
+//!
+//! The sequential drivers push a step-done event into the
+//! [`EventQueue`](agentsim_simkit::EventQueue) at the moment the step is
+//! *kicked*, which fixes its FIFO rank among same-instant events. The
+//! parallel coordinator does the same thing without knowing the step's end
+//! time yet: it [reserves](agentsim_simkit::EventQueue::reserve_slot) the
+//! next sequence number at kick time, sends the step to the owning shard,
+//! and redeems the reservation when the worker's resolution arrives. The
+//! queue order is therefore identical to the sequential run *by
+//! construction* — workers only compute, they never order.
+//!
+//! Popping is gated conservatively: the head event `(T, q)` may only be
+//! delivered once every unresolved kick `(t, s)` satisfies
+//! `(t + L, s) > (T, q)`, where `L` is the engine's
+//! [`min_step_duration`](agentsim_gpu-like floor, passed in as
+//! `lookahead`): a hard lower bound on any step's duration. Until then the
+//! coordinator blocks on the next resolution. Because every step lasts at
+//! least `L`, no unresolved step can end early enough to belong before the
+//! head.
+//!
+//! The coordinator never reads engine state directly; it maintains exact
+//! mirrors of the per-replica waiting/running counts (updated by
+//! submission, resolution, and step-done deltas) which is all the routing
+//! policies and autoscale controllers consume. Replicas are assigned to
+//! shards by `replica_index % threads` — a pure function of the index, so
+//! shard membership (and thus behaviour) never depends on thread timing.
+//!
+//! Engine observers are not supported in parallel mode: a worker resolves
+//! a step eagerly at kick time, before mid-step submissions from the
+//! coordinator's timeline have been forwarded, so an observer would see a
+//! smaller waiting queue than in the sequential run. This reorder is
+//! invisible to reports (preempted requests re-enter at the queue front
+//! and new submissions at the back, in both orders), but an observer
+//! stream would differ; drivers assert no observer is attached.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use agentsim_kvcache::TokenBuf;
+use agentsim_llm::{Engine, EngineRole, LlmCompletion, MigratedRequest, RequestId};
+use agentsim_simkit::{SimDuration, SimTime, SlotId};
+
+/// Commands a coordinator sends to one shard, in timeline order.
+enum ShardCmd {
+    /// Mirror of [`Engine::submit_with_priority`].
+    Submit {
+        replica: usize,
+        now: SimTime,
+        prompt: TokenBuf,
+        out_tokens: u32,
+        gen_seed: u64,
+        priority: u32,
+    },
+    /// Mirror of [`Engine::submit_prefilled`].
+    SubmitPrefilled {
+        replica: usize,
+        now: SimTime,
+        migrated: MigratedRequest,
+    },
+    /// Start the next step and resolve it (end time, completions,
+    /// migrations) immediately.
+    StartStep {
+        replica: usize,
+        now: SimTime,
+        slot: SlotId,
+    },
+    /// Mirror of [`Engine::begin_drain`].
+    BeginDrain { replica: usize },
+    /// Mirror of [`Engine::finish_drain`].
+    FinishDrain {
+        replica: usize,
+        now: SimTime,
+        role: EngineRole,
+    },
+    /// Stop the worker; it returns its engines through its join handle.
+    Shutdown,
+}
+
+/// What a worker reports back to the coordinator.
+enum WorkerMsg {
+    Step(StepResolution),
+    /// The worker panicked; the coordinator should join the threads to
+    /// re-raise the payload instead of blocking forever.
+    Died,
+}
+
+/// A worker's answer to [`ShardCmd::StartStep`].
+struct StepResolution {
+    replica: usize,
+    slot: SlotId,
+    ends: SimTime,
+    admitted: usize,
+    preempted: usize,
+    completions: Vec<LlmCompletion>,
+    migrations: Vec<MigratedRequest>,
+}
+
+/// The completions and migrations of one resolved step, handed to the
+/// driver when the step-done event pops.
+#[derive(Debug, Default)]
+pub struct StepOutput {
+    /// Requests that finished during the step.
+    pub completions: Vec<LlmCompletion>,
+    /// Requests a prefill-role engine released at their first token.
+    pub migrations: Vec<MigratedRequest>,
+}
+
+/// A resolved step the driver must now schedule: redeem `slot` at `ends`
+/// with the driver's own step-done event.
+#[derive(Debug)]
+pub struct Resolved {
+    /// Which replica's step resolved.
+    pub replica: usize,
+    /// When the step ends.
+    pub ends: SimTime,
+    /// The queue reservation made at kick time.
+    pub slot: SlotId,
+}
+
+/// An in-flight kick: the reservation point that gates popping.
+struct PendingKick {
+    at: SimTime,
+    seq: u64,
+}
+
+/// Owns the worker threads and the coordinator-side mirrors of engine
+/// state. See the [module docs](self) for the synchronization protocol.
+pub struct ShardPool {
+    cmd_tx: Vec<mpsc::Sender<ShardCmd>>,
+    res_rx: mpsc::Receiver<WorkerMsg>,
+    handles: Vec<JoinHandle<Vec<(usize, Engine)>>>,
+    threads: usize,
+    lookahead: SimDuration,
+    /// Kicks not yet resolved, in reservation (= send) order.
+    pending: VecDeque<PendingKick>,
+    /// Resolved outputs awaiting their step-done pop, per replica.
+    staged: Vec<Option<StepOutput>>,
+    // -- exact mirrors of per-replica engine state --
+    busy: Vec<bool>,
+    waiting: Vec<usize>,
+    running: Vec<usize>,
+    preempt_credit: Vec<usize>,
+    next_id: Vec<u64>,
+}
+
+impl ShardPool {
+    /// Moves `engines` onto `threads` worker threads (replica `i` lives on
+    /// shard `i % threads`) and returns the coordinator handle.
+    ///
+    /// `lookahead` must be a hard lower bound on the duration of any step
+    /// those engines can produce (see `PerfModel::min_step_duration`).
+    pub fn spawn(engines: Vec<Engine>, threads: usize, lookahead: SimDuration) -> ShardPool {
+        let replicas = engines.len();
+        let threads = threads.clamp(1, replicas.max(1));
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "zero lookahead gives no parallelism"
+        );
+        let (res_tx, res_rx) = mpsc::channel();
+        let mut cmd_tx = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        let mut sharded: Vec<Vec<(usize, Engine)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (idx, engine) in engines.into_iter().enumerate() {
+            sharded[idx % threads].push((idx, engine));
+        }
+        for shard in sharded {
+            let (tx, rx) = mpsc::channel();
+            let res_tx = res_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                let notify = res_tx.clone();
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_worker(shard, rx, res_tx, lookahead)
+                })) {
+                    Ok(engines) => engines,
+                    Err(payload) => {
+                        // Wake a coordinator blocked on the result channel
+                        // so it joins us and re-raises the panic.
+                        let _ = notify.send(WorkerMsg::Died);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }));
+            cmd_tx.push(tx);
+        }
+        ShardPool {
+            cmd_tx,
+            res_rx,
+            handles,
+            threads,
+            lookahead,
+            pending: VecDeque::new(),
+            staged: (0..replicas).map(|_| None).collect(),
+            busy: vec![false; replicas],
+            waiting: vec![0; replicas],
+            running: vec![0; replicas],
+            preempt_credit: vec![0; replicas],
+            next_id: vec![0; replicas],
+        }
+    }
+
+    fn shard_of(&self, replica: usize) -> &mpsc::Sender<ShardCmd> {
+        &self.cmd_tx[replica % self.threads]
+    }
+
+    fn send(&mut self, replica: usize, cmd: ShardCmd) {
+        if self.shard_of(replica).send(cmd).is_err() {
+            self.propagate_panic();
+        }
+    }
+
+    /// Mirrors [`Engine::submit_with_priority`] on `replica`, returning
+    /// the id the engine will assign (ids are sequential per engine, so
+    /// the coordinator knows them without a round trip).
+    pub fn submit(
+        &mut self,
+        replica: usize,
+        now: SimTime,
+        prompt: TokenBuf,
+        out_tokens: u32,
+        gen_seed: u64,
+        priority: u32,
+    ) -> RequestId {
+        self.send(
+            replica,
+            ShardCmd::Submit {
+                replica,
+                now,
+                prompt,
+                out_tokens,
+                gen_seed,
+                priority,
+            },
+        );
+        self.waiting[replica] += 1;
+        let id = RequestId(self.next_id[replica]);
+        self.next_id[replica] += 1;
+        id
+    }
+
+    /// Mirrors [`Engine::submit_prefilled`] on `replica`.
+    pub fn submit_prefilled(
+        &mut self,
+        replica: usize,
+        now: SimTime,
+        migrated: MigratedRequest,
+    ) -> RequestId {
+        self.send(
+            replica,
+            ShardCmd::SubmitPrefilled {
+                replica,
+                now,
+                migrated,
+            },
+        );
+        self.waiting[replica] += 1;
+        let id = RequestId(self.next_id[replica]);
+        self.next_id[replica] += 1;
+        id
+    }
+
+    /// Whether a kick of `replica` would form a step right now — the exact
+    /// condition under which the sequential driver's `start_step_if_idle`
+    /// returns `Some`.
+    pub fn wants_kick(&self, replica: usize) -> bool {
+        !self.busy[replica] && self.waiting[replica] + self.running[replica] > 0
+    }
+
+    /// Kicks `replica` at `now` under the queue reservation `slot`.
+    /// The caller must have checked [`wants_kick`](Self::wants_kick).
+    pub fn kick(&mut self, replica: usize, now: SimTime, slot: SlotId) {
+        debug_assert!(self.wants_kick(replica));
+        self.busy[replica] = true;
+        self.pending.push_back(PendingKick {
+            at: now,
+            seq: slot.seq(),
+        });
+        self.send(replica, ShardCmd::StartStep { replica, now, slot });
+    }
+
+    /// Mirrors [`Engine::begin_drain`] on `replica`.
+    pub fn begin_drain(&mut self, replica: usize) {
+        self.send(replica, ShardCmd::BeginDrain { replica });
+    }
+
+    /// Mirrors [`Engine::finish_drain`] on `replica`.
+    pub fn finish_drain(&mut self, replica: usize, now: SimTime, role: EngineRole) {
+        self.send(replica, ShardCmd::FinishDrain { replica, now, role });
+    }
+
+    /// Whether any kicked step is still unresolved.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Whether the queue head with ordering key `key = (time, seq)` can be
+    /// delivered now: no unresolved kick could produce a step-done that
+    /// sorts at or before it.
+    pub fn safe_before(&self, key: (SimTime, u64)) -> bool {
+        match self.pending.front() {
+            // Kicks resolve in reservation order of their *lower bounds*:
+            // kick times are non-decreasing and seqs increasing, so the
+            // front holds the minimal (t + L, s).
+            Some(kick) => (kick.at + self.lookahead, kick.seq) > key,
+            None => true,
+        }
+    }
+
+    /// Applies an already-received resolution; returns the event the
+    /// driver must schedule.
+    fn apply(&mut self, res: StepResolution) -> Resolved {
+        let pos = self
+            .pending
+            .iter()
+            .position(|k| k.seq == res.slot.seq())
+            .expect("resolution for unknown kick");
+        let kick = self.pending.remove(pos).expect("position just found");
+        assert!(
+            res.ends >= kick.at + self.lookahead,
+            "step duration under the lookahead floor: kicked {} ended {}",
+            kick.at,
+            res.ends
+        );
+        // Admissions move waiting -> running at step start; preemptions
+        // (running -> waiting) and completions are deferred to the pop so
+        // mirrors match what the sequential driver would observe mid-step.
+        self.waiting[res.replica] -= res.admitted;
+        self.running[res.replica] += res.admitted;
+        self.preempt_credit[res.replica] = res.preempted;
+        let prev = self.staged[res.replica].replace(StepOutput {
+            completions: res.completions,
+            migrations: res.migrations,
+        });
+        debug_assert!(prev.is_none(), "two staged steps on one replica");
+        Resolved {
+            replica: res.replica,
+            ends: res.ends,
+            slot: res.slot,
+        }
+    }
+
+    /// Receives one resolution without blocking, if any is ready.
+    pub fn try_resolve(&mut self) -> Option<Resolved> {
+        match self.res_rx.try_recv() {
+            Ok(WorkerMsg::Step(res)) => Some(self.apply(res)),
+            Ok(WorkerMsg::Died) => self.propagate_panic(),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => self.propagate_panic(),
+        }
+    }
+
+    /// Blocks until the next resolution arrives. Must only be called while
+    /// [`has_pending`](Self::has_pending) is true.
+    pub fn wait_resolve(&mut self) -> Resolved {
+        assert!(self.has_pending(), "waiting with no kick in flight");
+        match self.res_rx.recv() {
+            Ok(WorkerMsg::Step(res)) => self.apply(res),
+            Ok(WorkerMsg::Died) => self.propagate_panic(),
+            Err(_) => self.propagate_panic(),
+        }
+    }
+
+    /// Hands the driver the completions and migrations of `replica`'s
+    /// resolved step when its step-done event pops, and settles the
+    /// deferred mirror deltas.
+    pub fn take_step(&mut self, replica: usize) -> StepOutput {
+        let out = self.staged[replica]
+            .take()
+            .expect("step-done popped before resolution");
+        self.busy[replica] = false;
+        let preempted = std::mem::take(&mut self.preempt_credit[replica]);
+        self.running[replica] -= out.completions.len() + out.migrations.len() + preempted;
+        self.waiting[replica] += preempted;
+        out
+    }
+
+    /// Mirror of the replica's waiting-queue depth.
+    pub fn queue_len(&self, replica: usize) -> usize {
+        self.waiting[replica]
+    }
+
+    /// Mirror of the replica's running-set depth.
+    pub fn running_len(&self, replica: usize) -> usize {
+        self.running[replica]
+    }
+
+    /// Mirror of `queue_len + running_len` — the routing load metric.
+    /// Exact even while steps are unresolved: admissions conserve the sum.
+    pub fn load(&self, replica: usize) -> usize {
+        self.waiting[replica] + self.running[replica]
+    }
+
+    /// Whether a step is in flight on `replica` (kicked, resolution not
+    /// yet popped).
+    pub fn busy(&self, replica: usize) -> bool {
+        self.busy[replica]
+    }
+
+    /// Shuts the workers down and reassembles the engines in replica
+    /// order. All kicks must have been resolved and taken.
+    pub fn shutdown(mut self) -> Vec<Engine> {
+        assert!(self.pending.is_empty(), "shutdown with steps in flight");
+        for tx in &self.cmd_tx {
+            // A worker that already panicked has hung up; join below
+            // surfaces the panic.
+            let _ = tx.send(ShardCmd::Shutdown);
+        }
+        let mut indexed: Vec<(usize, Engine)> = Vec::new();
+        for handle in self.handles.drain(..) {
+            match handle.join() {
+                Ok(engines) => indexed.extend(engines),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        indexed.sort_by_key(|&(idx, _)| idx);
+        indexed.into_iter().map(|(_, engine)| engine).collect()
+    }
+
+    /// A worker died: join the threads to re-raise its panic on the
+    /// coordinator.
+    fn propagate_panic(&mut self) -> ! {
+        for tx in &self.cmd_tx {
+            let _ = tx.send(ShardCmd::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        unreachable!("a worker disconnected without panicking");
+    }
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("threads", &self.threads)
+            .field("replicas", &self.busy.len())
+            .field("lookahead", &self.lookahead)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+/// Looks up a shard member by global replica index. Members are
+/// `first, first + stride, first + 2*stride, ...` (the `% threads`
+/// partition), so the local index is a division, not a search.
+fn engine_mut(engines: &mut [(usize, Engine)], replica: usize) -> &mut Engine {
+    let first = engines[0].0;
+    let stride = if engines.len() >= 2 {
+        engines[1].0 - engines[0].0
+    } else {
+        1
+    };
+    let (idx, engine) = &mut engines[(replica - first) / stride];
+    debug_assert_eq!(*idx, replica);
+    engine
+}
+
+/// One shard's event loop: execute engine commands in the order the
+/// coordinator's timeline produced them.
+fn run_worker(
+    mut engines: Vec<(usize, Engine)>,
+    rx: mpsc::Receiver<ShardCmd>,
+    tx: mpsc::Sender<WorkerMsg>,
+    lookahead: SimDuration,
+) -> Vec<(usize, Engine)> {
+    for cmd in rx {
+        match cmd {
+            ShardCmd::Submit {
+                replica,
+                now,
+                prompt,
+                out_tokens,
+                gen_seed,
+                priority,
+            } => {
+                engine_mut(&mut engines, replica)
+                    .submit_with_priority(now, prompt, out_tokens, gen_seed, priority);
+            }
+            ShardCmd::SubmitPrefilled {
+                replica,
+                now,
+                migrated,
+            } => {
+                engine_mut(&mut engines, replica).submit_prefilled(now, &migrated);
+            }
+            ShardCmd::StartStep { replica, now, slot } => {
+                let e = engine_mut(&mut engines, replica);
+                let q_before = e.queue_len();
+                let ends = e
+                    .start_step_if_idle(now)
+                    .expect("kicked replica must form a step");
+                debug_assert!(ends >= now + lookahead);
+                let admitted = q_before - e.queue_len();
+                let q_post = e.queue_len();
+                // Resolving eagerly — before later mid-step submissions
+                // arrive — is safe: preemptions re-enter at the queue
+                // front and submissions at the back, so the final waiting
+                // order is the same in either interleaving.
+                let completions = e.complete_step(ends);
+                let preempted = e.queue_len() - q_post;
+                let migrations = e.take_migrations();
+                if tx
+                    .send(WorkerMsg::Step(StepResolution {
+                        replica,
+                        slot,
+                        ends,
+                        admitted,
+                        preempted,
+                        completions,
+                        migrations,
+                    }))
+                    .is_err()
+                {
+                    // Coordinator is gone (it panicked); stop quietly.
+                    break;
+                }
+            }
+            ShardCmd::BeginDrain { replica } => engine_mut(&mut engines, replica).begin_drain(),
+            ShardCmd::FinishDrain { replica, now, role } => {
+                engine_mut(&mut engines, replica).finish_drain(now, role)
+            }
+            ShardCmd::Shutdown => break,
+        }
+    }
+    engines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentsim_llm::EngineConfig;
+    use agentsim_simkit::EventQueue;
+
+    fn engines(n: usize) -> Vec<Engine> {
+        (0..n)
+            .map(|_| Engine::new(EngineConfig::a100_llama8b()))
+            .collect()
+    }
+
+    fn floor() -> SimDuration {
+        Engine::new(EngineConfig::a100_llama8b())
+            .perf()
+            .min_step_duration()
+    }
+
+    #[test]
+    fn mirrors_track_a_full_request_lifecycle() {
+        let mut pool = ShardPool::spawn(engines(2), 2, floor());
+        let mut queue: EventQueue<usize> = EventQueue::new();
+
+        let id = pool.submit(0, SimTime::ZERO, TokenBuf::from_segment(1, 64), 4, 7, 0);
+        assert_eq!(id, RequestId(0));
+        assert_eq!(pool.load(0), 1);
+        assert_eq!(pool.load(1), 0);
+        assert!(pool.wants_kick(0));
+        assert!(!pool.wants_kick(1));
+
+        let mut completions = Vec::new();
+        let mut now = SimTime::ZERO;
+        while completions.is_empty() {
+            while pool.wants_kick(0) {
+                let slot = queue.reserve_slot();
+                pool.kick(0, now, slot);
+            }
+            let resolved = pool.wait_resolve();
+            queue.push_reserved(resolved.slot, resolved.ends, resolved.replica);
+            let (at, replica) = queue.pop().expect("a step-done is scheduled");
+            now = at;
+            assert!(now >= SimTime::ZERO + floor());
+            let out = pool.take_step(replica);
+            completions.extend(out.completions);
+        }
+        assert_eq!(completions[0].id, RequestId(0));
+        assert_eq!(completions[0].output_tokens, 4);
+        assert_eq!(pool.load(0), 0);
+        assert!(!pool.busy(0));
+
+        let back = pool.shutdown();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].metrics().completed, 1);
+        assert_eq!(back[1].metrics().completed, 0);
+    }
+
+    #[test]
+    fn safe_before_gates_on_the_earliest_unresolved_kick() {
+        let mut pool = ShardPool::spawn(engines(1), 1, floor());
+        let mut queue: EventQueue<()> = EventQueue::new();
+        pool.submit(0, SimTime::ZERO, TokenBuf::from_segment(1, 64), 2, 0, 0);
+        let slot = queue.reserve_slot();
+        let kick_seq = slot.seq();
+        pool.kick(0, SimTime::ZERO, slot);
+
+        // An event before the kick's floor is deliverable; one at the
+        // floor is not (the unresolved step could end exactly there and
+        // reserved an earlier seq).
+        let before = SimTime::ZERO + floor() - SimDuration::from_micros(1);
+        assert!(pool.safe_before((before, kick_seq + 1)));
+        assert!(!pool.safe_before((SimTime::ZERO + floor(), kick_seq + 1)));
+
+        let resolved = pool.wait_resolve();
+        assert!(pool.safe_before((SimTime::MAX, u64::MAX)));
+        queue.push_reserved(resolved.slot, resolved.ends, ());
+        let (mut now, ()) = queue.pop().expect("step-done scheduled");
+        pool.take_step(0);
+        // Drain remaining decode steps so shutdown sees no pending work.
+        while pool.wants_kick(0) {
+            let slot = queue.reserve_slot();
+            pool.kick(0, now, slot);
+            let r = pool.wait_resolve();
+            now = r.ends;
+            pool.take_step(r.replica);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "can never admit")]
+    fn worker_panics_propagate_to_the_coordinator() {
+        // A prompt that can never fit the KV pool panics on the worker;
+        // the coordinator must re-raise it, not hang.
+        let cfg = EngineConfig::a100_llama8b().with_kv_fraction(0.004);
+        let mut pool = ShardPool::spawn(vec![Engine::new(cfg)], 1, floor());
+        let mut queue: EventQueue<()> = EventQueue::new();
+        pool.submit(0, SimTime::ZERO, TokenBuf::from_segment(1, 4096), 4, 0, 0);
+        let slot = queue.reserve_slot();
+        pool.kick(0, SimTime::ZERO, slot);
+        let _ = pool.wait_resolve();
+    }
+}
