@@ -65,7 +65,7 @@ fn run_split(
 
 fn tpot_p99(report: &DisaggReport) -> f64 {
     let mut tpot = report.tpot();
-    tpot.percentile(99.0)
+    tpot.try_percentile(99.0).unwrap_or(f64::NAN)
 }
 
 /// Compares the hysteresis controller against all static 4-GPU splits on
@@ -126,7 +126,7 @@ pub fn run(scale: &Scale) -> FigureResult {
                     format!("{qps:.1}"),
                     format!("static {}P+{}D", split.0, split.1),
                     format!("{:.1}", tpot * 1e3),
-                    format!("{:.3}", ttft.p95()),
+                    format!("{:.3}", ttft.try_p95().unwrap_or(f64::NAN)),
                     format!("{:.1}", report.p95_s),
                     "-".to_string(),
                 ]);
@@ -148,7 +148,7 @@ pub fn run(scale: &Scale) -> FigureResult {
                 format!("{qps:.1}"),
                 "autoscale (hysteresis)".to_string(),
                 format!("{:.1}", tpot * 1e3),
-                format!("{:.3}", ttft.p95()),
+                format!("{:.3}", ttft.try_p95().unwrap_or(f64::NAN)),
                 format!("{:.1}", report.p95_s),
                 format!("{}", report.flips.len()),
             ]);

@@ -41,8 +41,8 @@ fn row(table: &mut Table, topo: &str, qps: f64, report: &DisaggReport) {
         format!("{qps:.2}"),
         topo.to_string(),
         format!("{:.2}", report.throughput()),
-        format!("{:.3}", ttft.p95()),
-        format!("{:.1}", tpot.percentile(99.0) * 1e3),
+        format!("{:.3}", ttft.try_p95().unwrap_or(f64::NAN)),
+        format!("{:.1}", tpot.try_percentile(99.0).unwrap_or(f64::NAN) * 1e3),
         format!("{:.2}", report.goodput(TTFT_SLO_S, TPOT_SLO_S)),
         format!("{:.1}", report.p95_s),
         format!("{}", report.migrated_calls),
@@ -151,7 +151,7 @@ pub fn run(scale: &Scale) -> FigureResult {
         let mut ttft = report.ttft();
         links_table.row(vec![
             name.to_string(),
-            format!("{:.4}", ttft.p95()),
+            format!("{:.4}", ttft.try_p95().unwrap_or(f64::NAN)),
             format!("{:.3}", phase(&report, "transfer")),
             format!("{:.3}", report.transfer_wait.as_secs_f64()),
         ]);

@@ -45,14 +45,14 @@ pub fn run(scale: &Scale) -> FigureResult {
             (report.p50_s, report.p95_s)
         } else {
             (
-                report.chatbot_latencies.median(),
-                report.chatbot_latencies.p95(),
+                report.chatbot_latencies.try_median().unwrap_or(f64::NAN),
+                report.chatbot_latencies.try_p95().unwrap_or(f64::NAN),
             )
         };
         let agent_p50 = if agent_fraction == 0.0 {
             0.0
         } else {
-            report.agent_latencies.median()
+            report.agent_latencies.try_median().unwrap_or(f64::NAN)
         };
         table.row(vec![
             format!("{:.0}%", agent_fraction * 100.0),

@@ -35,6 +35,7 @@ pub mod ext_closed_loop;
 pub mod ext_disagg;
 pub mod ext_hardware;
 pub mod ext_mixed;
+pub mod ext_overload;
 pub mod ext_routing;
 pub mod ext_scheduler;
 pub mod ext_spans;
@@ -197,6 +198,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Autoscaled prefill/decode pools vs static splits, iso-GPU"
         ),
         experiment!(
+            ext_overload,
+            "(extension)",
+            "Congestion collapse vs adaptive admission control"
+        ),
+        experiment!(
             ext_static,
             "(extension)",
             "Static (Best-of-N) vs dynamic test-time scaling"
@@ -221,7 +227,7 @@ mod tests {
     #[test]
     fn registry_covers_all_paper_artifacts() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 36);
+        assert_eq!(ids.len(), 37);
         for required in [
             "table1",
             "table2",
@@ -247,6 +253,6 @@ mod tests {
         let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 36);
+        assert_eq!(ids.len(), 37);
     }
 }

@@ -61,13 +61,15 @@ pub fn mean_latency_s(outcomes: &[SingleOutcome]) -> f64 {
     mean_of(outcomes, |o| o.trace.e2e().as_secs_f64())
 }
 
-/// 95th-percentile end-to-end latency in seconds.
+/// 95th-percentile end-to-end latency in seconds (`NaN` for an empty
+/// batch — a percentile of nothing is not a number, and figure tables
+/// render it as such rather than a fabricated 0).
 pub fn p95_latency_s(outcomes: &[SingleOutcome]) -> f64 {
     let mut samples: agentsim_metrics::Samples = outcomes
         .iter()
         .map(|o| o.trace.e2e().as_secs_f64())
         .collect();
-    samples.p95()
+    samples.try_p95().unwrap_or(f64::NAN)
 }
 
 /// Runs `scale.samples` single-turn ShareGPT queries, one at a time on a

@@ -4,7 +4,8 @@
 use agentsim_agents::{AgentConfig, AgentKind};
 use agentsim_gpu::{FlipCostModel, LinkSpec};
 use agentsim_llm::EngineConfig;
-use agentsim_session::ClientModel;
+use agentsim_session::{validate_load, ClientModel, QueueDiscipline};
+use agentsim_simkit::SimDuration;
 use agentsim_workloads::Benchmark;
 
 use crate::autoscale::AutoscalePolicy;
@@ -115,13 +116,28 @@ pub struct DisaggConfig {
     /// sequential driver; higher counts shard replicas across threads
     /// with conservative sync. Reports are bit-identical either way.
     pub threads: u32,
+    /// Coordinator-side admission gate: the most prefill-leg calls
+    /// allowed in flight at once. New LLM ops queue at the coordinator
+    /// until capacity frees; `None` (the default) submits immediately and
+    /// is bit-identical to the pre-gate driver. Must be at least 1.
+    pub max_inflight_prefill: Option<u32>,
+    /// Ordering of the coordinator dispatch queue (only meaningful with
+    /// an admission gate, which is what makes the queue non-empty).
+    /// [`QueueDiscipline::DeadlineDrop`] additionally sheds sessions
+    /// whose deadline already passed at dequeue time, before they cost
+    /// any GPU work.
+    pub discipline: QueueDiscipline,
+    /// Per-session deadline, measured from the session's arrival. The
+    /// disaggregated driver never cancels work already on an engine —
+    /// the deadline acts purely at the coordinator dispatch queue, so it
+    /// requires [`QueueDiscipline::DeadlineDrop`] (and vice versa).
+    pub deadline: Option<SimDuration>,
 }
 
 impl DisaggConfig {
     /// A 1-prefill + 1-decode split over NVLink, default 8B replicas.
     pub fn new(workload: DisaggWorkload, qps: f64, num_requests: u64) -> Self {
-        assert!(qps > 0.0, "offered load must be positive");
-        assert!(num_requests > 0, "need at least one request");
+        validate_load(qps, num_requests);
         DisaggConfig {
             engine: EngineConfig::a100_llama8b(),
             prefill_replicas: 1,
@@ -137,6 +153,9 @@ impl DisaggConfig {
             autoscale: AutoscalePolicy::Disabled,
             flip_cost: FlipCostModel::warm(),
             threads: 1,
+            max_inflight_prefill: None,
+            discipline: QueueDiscipline::Fifo,
+            deadline: None,
         }
     }
 
@@ -219,6 +238,48 @@ impl DisaggConfig {
         self
     }
 
+    /// Caps prefill-leg calls in flight; further ops queue at the
+    /// coordinator until capacity frees.
+    pub fn max_inflight_prefill(mut self, limit: u32) -> Self {
+        assert!(limit >= 1, "the admission gate needs capacity for a call");
+        self.max_inflight_prefill = Some(limit);
+        self
+    }
+
+    /// Sets the coordinator dispatch-queue discipline.
+    pub fn discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Sets the per-session deadline (from arrival) honoured by
+    /// [`QueueDiscipline::DeadlineDrop`].
+    pub fn deadline(mut self, deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero(), "a deadline must be positive");
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Cross-field validation, called by the simulator constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`QueueDiscipline::DeadlineDrop`] is configured
+    /// without a deadline, or a deadline without `DeadlineDrop` — this
+    /// driver has no cancellation path, so a deadline nothing reads (or
+    /// a drop rule with nothing to compare against) is a config error.
+    pub fn validate_overload(&self) {
+        match (self.discipline, self.deadline) {
+            (QueueDiscipline::DeadlineDrop, None) => {
+                panic!("DeadlineDrop needs a deadline to compare against")
+            }
+            (QueueDiscipline::Fifo | QueueDiscipline::Lifo, Some(_)) => {
+                panic!("a disagg deadline is only acted on by DeadlineDrop")
+            }
+            _ => {}
+        }
+    }
+
     /// Whether this run is the colocated baseline (no role split).
     pub fn is_colocated(&self) -> bool {
         self.decode_replicas == 0
@@ -255,6 +316,43 @@ mod tests {
     #[should_panic(expected = "at least one prefill replica")]
     fn empty_prefill_pool_rejected() {
         let _ = DisaggConfig::new(DisaggWorkload::Chatbot, 1.0, 1).pools(0, 1);
+    }
+
+    #[test]
+    fn overload_knobs_default_off() {
+        let cfg = DisaggConfig::new(DisaggWorkload::Chatbot, 1.0, 10);
+        assert!(cfg.max_inflight_prefill.is_none());
+        assert!(cfg.deadline.is_none());
+        assert_eq!(cfg.discipline, QueueDiscipline::Fifo);
+        cfg.validate_overload();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a deadline")]
+    fn deadline_drop_without_deadline_rejected() {
+        DisaggConfig::new(DisaggWorkload::Chatbot, 1.0, 10)
+            .discipline(QueueDiscipline::DeadlineDrop)
+            .validate_overload();
+    }
+
+    #[test]
+    #[should_panic(expected = "only acted on by DeadlineDrop")]
+    fn deadline_without_deadline_drop_rejected() {
+        DisaggConfig::new(DisaggWorkload::Chatbot, 1.0, 10)
+            .deadline(SimDuration::from_secs(10))
+            .validate_overload();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite qps")]
+    fn non_finite_load_rejected() {
+        let _ = DisaggConfig::new(DisaggWorkload::Chatbot, f64::NAN, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity for a call")]
+    fn zero_wide_gate_rejected() {
+        let _ = DisaggConfig::new(DisaggWorkload::Chatbot, 1.0, 10).max_inflight_prefill(0);
     }
 
     #[test]

@@ -210,6 +210,13 @@ pub struct DisaggReport {
     pub completed: u64,
     /// Sessions whose task was solved.
     pub solved: u64,
+    /// Sessions shed at the coordinator admission gate (their turn never
+    /// ran; `completed + abandoned` covers every issued turn).
+    pub abandoned: u64,
+    /// Ops removed from the dispatch queue unserved. Equals `abandoned`
+    /// today (one queued op per session at a time); reported separately
+    /// so the two stay distinguishable if that changes.
+    pub dropped: u64,
     /// Time from first arrival to last completion.
     pub makespan: SimDuration,
     /// Per-session end-to-end latencies (seconds).
@@ -310,9 +317,17 @@ impl DisaggReport {
         let mut ttft = self.ttft();
         let mut tpot = self.tpot();
         let phases = self.phase_totals();
+        // Percentiles over possibly empty sets (an all-shed run has no
+        // calls; chatbot runs have no multi-token TPOT samples) must
+        // degrade to null, not panic.
+        let json_f64 = |v: Option<f64>| match v {
+            Some(v) if v.is_finite() => format!("{v}"),
+            _ => "null".to_owned(),
+        };
         let mut out = format!(
             "{{\"offered_qps\":{},\"prefill_replicas\":{},\"decode_replicas\":{},\
-             \"completed\":{},\"solved\":{},\"makespan_s\":{},\"throughput\":{},\
+             \"completed\":{},\"solved\":{},\"abandoned\":{},\"dropped\":{},\
+             \"makespan_s\":{},\"throughput\":{},\
              \"p50_s\":{},\"p95_s\":{},\"ttft_p50_s\":{},\"ttft_p95_s\":{},\
              \"tpot_p50_s\":{},\"tpot_p99_s\":{},\"calls\":{},\"migrated_calls\":{},\
              \"transferred_bytes\":{},\"transfer_wait_s\":{},\"energy_wh\":{},\
@@ -322,14 +337,16 @@ impl DisaggReport {
             self.decode_replicas,
             self.completed,
             self.solved,
+            self.abandoned,
+            self.dropped,
             self.makespan.as_secs_f64(),
             self.throughput(),
-            self.p50_s,
-            self.p95_s,
-            ttft.median(),
-            ttft.p95(),
-            tpot.median(),
-            tpot.percentile(99.0),
+            json_f64(Some(self.p50_s)),
+            json_f64(Some(self.p95_s)),
+            json_f64(ttft.try_median()),
+            json_f64(ttft.try_p95()),
+            json_f64(tpot.try_median()),
+            json_f64(tpot.try_percentile(99.0)),
             self.calls.len(),
             self.migrated_calls,
             self.transferred_bytes,
@@ -364,8 +381,8 @@ impl fmt::Display for DisaggReport {
             self.offered_qps,
             self.throughput(),
             self.p95_s,
-            ttft.p95(),
-            tpot.percentile(99.0) * 1e3,
+            ttft.try_p95().unwrap_or(f64::NAN),
+            tpot.try_percentile(99.0).unwrap_or(f64::NAN) * 1e3,
             self.migrated_calls,
             self.transferred_bytes as f64 / 1e6
         )
@@ -458,6 +475,8 @@ mod tests {
             decode_replicas: 1,
             completed: 4,
             solved: 2,
+            abandoned: 0,
+            dropped: 0,
             makespan: SimDuration::from_secs(2),
             latencies: [1.0, 2.0].into_iter().collect(),
             p50_s: 1.5,

@@ -74,6 +74,9 @@ impl DisaggSim {
                 }
                 Event::FlipDone(r) => self.on_flip_done(Some(&mut pool), r, now),
             }
+            // Same once-per-event admission drain as the sequential loop
+            // (coordinator state only, so the decisions replay exactly).
+            self.drain_dispatch(Some(&mut pool), now);
             // Resolve every in-flight kick before the controller looks at
             // the pools (see the module docs); the same gate the
             // sequential driver uses for calling observe() at all.
@@ -96,7 +99,11 @@ impl DisaggSim {
             }
         }
         let expected = self.config.client.total_turns(self.config.num_requests);
-        assert_eq!(self.completed, expected, "all turns must finish");
+        assert_eq!(
+            self.completed + self.abandoned,
+            expected,
+            "every turn must resolve exactly once"
+        );
         self.replicas = pool.shutdown();
         self.check_end_state();
         self.into_report()

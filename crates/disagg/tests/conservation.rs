@@ -70,6 +70,9 @@ impl EngineObserver for TallyObserver {
             }
             EngineEvent::Preempted { .. } => {}
             EngineEvent::RoleChanged { .. } => {}
+            // The disagg driver never cancels engine work (its overload
+            // handling sheds at the coordinator, before submission).
+            EngineEvent::Abandoned { .. } => unreachable!("disagg never abandons engine work"),
         }
     }
 }

@@ -90,6 +90,13 @@ pub struct Engine {
     /// Mid role-flip: refuse new submissions while in-flight work drains
     /// (see [`Engine::begin_drain`] / [`Engine::finish_drain`]).
     draining: bool,
+    /// Requests marked for cancellation, purged at the next step boundary
+    /// (see [`Engine::cancel`]).
+    cancelled: Vec<RequestId>,
+    /// End time of the most recently completed step; cancellation purges
+    /// are stamped no earlier than this, so their [`EngineEvent::Abandoned`]
+    /// timestamps stay monotone with step events.
+    last_step_end: SimTime,
 }
 
 impl Engine {
@@ -117,6 +124,8 @@ impl Engine {
             observer: None,
             migrations: Vec::new(),
             draining: false,
+            cancelled: Vec::new(),
+            last_step_end: SimTime::ZERO,
             config,
         }
     }
@@ -539,6 +548,63 @@ impl Engine {
             }
         }
         self.metrics.completed += (done.len() - done_before) as u64;
+        self.last_step_end = now;
+        if !self.cancelled.is_empty() {
+            self.purge_cancelled(now);
+        }
+    }
+
+    // ---- server-side cancellation ---------------------------------------
+
+    /// Marks `id` for cancellation: its client gave up (deadline expiry),
+    /// so the engine should stop burning prefill/decode work on it.
+    ///
+    /// The purge is lazy: a step already in flight runs to its end (the
+    /// GPU cannot abort mid-kernel), and the request is removed — KV
+    /// freed, [`EngineEvent::Abandoned`] emitted, service-so-far charged
+    /// to [`EngineMetrics::wasted_prefill`]/[`wasted_decode`] — when that
+    /// step completes. On an idle engine the purge happens immediately.
+    /// Cancelling an id that already finished (its completion raced the
+    /// deadline) is a no-op.
+    ///
+    /// [`EngineMetrics::wasted_prefill`]: EngineMetrics::wasted_prefill
+    /// [`wasted_decode`]: EngineMetrics::wasted_decode
+    pub fn cancel(&mut self, now: SimTime, id: RequestId) {
+        self.cancelled.push(id);
+        if self.step.is_none() {
+            // Stamp at the last step boundary if the cancellation instant
+            // precedes it (a worker thread processing commands ahead of
+            // the coordinator clock); event times stay monotone.
+            self.purge_cancelled(now.max(self.last_step_end));
+        }
+    }
+
+    /// Removes every marked request still present, freeing KV and
+    /// accounting the service it consumed as wasted work. Removal is
+    /// order-preserving so queue positions of surviving requests — and
+    /// therefore all future scheduling — are unaffected.
+    fn purge_cancelled(&mut self, at: SimTime) {
+        let ids = std::mem::take(&mut self.cancelled);
+        for id in ids {
+            let (generated, prefill, decode) =
+                if let Some(pos) = self.waiting.iter().position(|w| w.id == id) {
+                    let w = self.waiting.remove(pos).expect("position found");
+                    (w.generated, w.prefill_time, w.decode_time)
+                } else if let Some(pos) = self.running.iter().position(|r| r.id == id) {
+                    let r = self.running.remove(pos);
+                    self.kv.free(r.seq, at);
+                    (r.generated, r.prefill_time, r.decode_time)
+                } else {
+                    // Already completed or migrated in its final step.
+                    continue;
+                };
+            self.metrics.abandoned += 1;
+            self.metrics.wasted_prefill += prefill;
+            self.metrics.wasted_decode += decode;
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_event(&EngineEvent::Abandoned { id, at, generated });
+            }
+        }
     }
 
     // ---- step formation -------------------------------------------------
@@ -1235,6 +1301,7 @@ mod tests {
                     format!("complete {}", completion.id)
                 }
                 EngineEvent::Migrated { id, .. } => format!("migrate {id}"),
+                EngineEvent::Abandoned { id, .. } => format!("abandon {id}"),
                 EngineEvent::RoleChanged { from, to, .. } => {
                     format!("role {from:?}->{to:?}")
                 }
@@ -1287,6 +1354,21 @@ mod tests {
         // Every preempted request is later re-admitted: admits > requests.
         let admits = lines.iter().filter(|l| l.starts_with("admit")).count();
         assert!(admits > 5, "admits {admits}");
+    }
+
+    #[test]
+    fn observer_sees_abandonment_after_the_step_boundary() {
+        let mut e = Engine::new(small_config());
+        let log = EventLog::default();
+        let entries = log.entries.clone();
+        e.set_observer(Box::new(log));
+        let id = e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 512), 50, 7);
+        let end = e.start_step_if_idle(SimTime::ZERO).expect("step forms");
+        e.cancel(SimTime::ZERO, id);
+        e.complete_step(end);
+        assert!(!e.has_work(), "purged at the boundary");
+        let lines = entries.lock().unwrap();
+        assert_eq!(lines.last().unwrap(), &format!("abandon {id}"));
     }
 
     #[test]
@@ -1343,6 +1425,69 @@ mod edge_tests {
         assert_eq!(done[0].decode_time, SimDuration::ZERO);
         assert!(done[0].prefill_time > SimDuration::ZERO);
         assert_eq!(e.metrics().decode_steps, 0);
+    }
+
+    #[test]
+    fn cancel_waiting_request_purges_at_step_boundary() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        let a = e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 1000), 50, 0);
+        let end = e.start_step_if_idle(SimTime::ZERO).expect("step forms");
+        // b arrives while a's prefill runs, then its client gives up.
+        let b = e.submit(SimTime::ZERO, TokenBuf::from_segment(2, 1000), 50, 1);
+        e.cancel(SimTime::ZERO, b);
+        assert_eq!(e.queue_len(), 1, "purge is deferred to the step boundary");
+        e.complete_step(end);
+        assert_eq!(e.queue_len(), 0);
+        assert_eq!(e.metrics().abandoned, 1);
+        // Never scheduled: no service was burned on it.
+        assert_eq!(e.metrics().wasted(), SimDuration::ZERO);
+        let (done, _) = drain(&mut e, end);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, a);
+    }
+
+    #[test]
+    fn cancel_running_request_frees_kv_and_charges_wasted_work() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        let a = e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 1000), 400, 0);
+        let mut now = SimTime::ZERO;
+        // Prefill plus a couple of decode steps accrue real service.
+        for _ in 0..3 {
+            let end = e.start_step_if_idle(now).expect("step forms");
+            now = end;
+            e.complete_step(now);
+        }
+        assert_eq!(e.running_len(), 1);
+        let end = e.start_step_if_idle(now).expect("step forms");
+        e.cancel(now, a);
+        assert_eq!(e.running_len(), 1, "mid-step cancel waits for the boundary");
+        let done = e.complete_step(end);
+        assert!(done.is_empty());
+        assert_eq!(e.running_len(), 0);
+        assert!(!e.has_work(), "KV released, nothing left to run");
+        assert_eq!(e.metrics().abandoned, 1);
+        assert!(e.metrics().wasted_prefill > SimDuration::ZERO);
+        assert!(e.metrics().wasted_decode > SimDuration::ZERO);
+        assert_eq!(e.metrics().completed, 0);
+    }
+
+    #[test]
+    fn cancel_is_immediate_when_idle_and_noop_for_finished_requests() {
+        let mut e = Engine::new(EngineConfig::a100_llama8b());
+        let a = e.submit(SimTime::ZERO, TokenBuf::from_segment(1, 200), 4, 0);
+        let (done, end) = drain(&mut e, SimTime::ZERO);
+        assert_eq!(done.len(), 1);
+        // a already finished: its completion raced the deadline.
+        e.cancel(end, a);
+        assert_eq!(e.metrics().abandoned, 0);
+        // A queued request on an idle engine is purged on the spot.
+        let _b = e.submit(end, TokenBuf::from_segment(2, 200), 4, 1);
+        let c = e.submit(end, TokenBuf::from_segment(3, 200), 4, 2);
+        e.cancel(end, c);
+        assert_eq!(e.queue_len(), 1);
+        assert_eq!(e.metrics().abandoned, 1);
+        let (done, _) = drain(&mut e, end);
+        assert_eq!(done.len(), 1, "the surviving request still completes");
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct EngineMetrics {
     pub migrated: u64,
     /// Mid-life requests admitted with imported KV (decode role).
     pub imported: u64,
+    /// Requests cancelled server-side before finishing (client gave up).
+    pub abandoned: u64,
+    /// Prefill service burned on requests that were later abandoned.
+    pub wasted_prefill: SimDuration,
+    /// Decode service burned on requests that were later abandoned.
+    pub wasted_decode: SimDuration,
 }
 
 impl EngineMetrics {
@@ -52,7 +58,15 @@ impl EngineMetrics {
             completed: 0,
             migrated: 0,
             imported: 0,
+            abandoned: 0,
+            wasted_prefill: SimDuration::ZERO,
+            wasted_decode: SimDuration::ZERO,
         }
+    }
+
+    /// Total service burned on abandoned requests (prefill + decode).
+    pub fn wasted(&self) -> SimDuration {
+        self.wasted_prefill + self.wasted_decode
     }
 
     /// Total busy time (any phase).

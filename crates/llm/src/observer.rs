@@ -164,6 +164,20 @@ pub enum EngineEvent<'a> {
         /// KV bytes that must move to the decode pool.
         kv_bytes: u64,
     },
+    /// A request was cancelled server-side before finishing — its client
+    /// gave up (deadline expiry). The engine frees its KV at the next
+    /// step boundary and charges the service it already received as
+    /// wasted work. Terminal on this engine, like
+    /// [`EngineEvent::Completed`].
+    Abandoned {
+        /// The cancelled request.
+        id: RequestId,
+        /// When the engine purged it (the enclosing step's end, or the
+        /// cancellation instant on an idle engine).
+        at: SimTime,
+        /// Tokens it had generated before cancellation.
+        generated: u32,
+    },
     /// The engine finished draining and switched serving roles (pool
     /// autoscaling). Emitted by
     /// [`Engine::finish_drain`](crate::Engine::finish_drain) once the
@@ -188,6 +202,7 @@ impl EngineEvent<'_> {
             | EngineEvent::Preempted { at, .. }
             | EngineEvent::Completed { at, .. }
             | EngineEvent::Migrated { at, .. }
+            | EngineEvent::Abandoned { at, .. }
             | EngineEvent::RoleChanged { at, .. } => at,
             EngineEvent::StepCompleted { ended, .. } => ended,
         }
@@ -202,6 +217,7 @@ impl EngineEvent<'_> {
             EngineEvent::Preempted { .. } => "preempt",
             EngineEvent::Completed { .. } => "complete",
             EngineEvent::Migrated { .. } => "migrate",
+            EngineEvent::Abandoned { .. } => "abandon",
             EngineEvent::RoleChanged { .. } => "role",
         }
     }
@@ -327,6 +343,14 @@ mod tests {
         };
         assert_eq!(e.at(), SimTime::from_micros(50));
         assert_eq!(e.name(), "migrate");
+
+        let e = EngineEvent::Abandoned {
+            id: RequestId(3),
+            at: SimTime::from_micros(60),
+            generated: 2,
+        };
+        assert_eq!(e.at(), SimTime::from_micros(60));
+        assert_eq!(e.name(), "abandon");
 
         let e = EngineEvent::RoleChanged {
             at: SimTime::from_micros(77),

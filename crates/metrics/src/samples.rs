@@ -60,30 +60,61 @@ impl Samples {
 
     /// The `p`-th percentile (nearest-rank method), `p` in `[0, 100]`.
     ///
-    /// Returns 0 for an empty set.
+    /// An empty set has no percentiles: asking for one is a caller bug
+    /// (an all-timeouts run would otherwise report p95 = 0s, which reads
+    /// as perfect latency). Use [`Samples::try_percentile`] at report
+    /// boundaries where emptiness is a legitimate outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or if the set is empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        self.try_percentile(p)
+            .expect("percentile of an empty sample set")
+    }
+
+    /// The `p`-th percentile, or `None` for an empty set.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
-    pub fn percentile(&mut self, p: f64) -> f64 {
+    pub fn try_percentile(&mut self, p: f64) -> Option<f64> {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
         if self.values.is_empty() {
-            return 0.0;
+            return None;
         }
         self.ensure_sorted();
         let n = self.values.len();
         let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
-        self.values[rank - 1]
+        Some(self.values[rank - 1])
     }
 
     /// The 50th percentile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty (see [`Samples::percentile`]).
     pub fn median(&mut self) -> f64 {
         self.percentile(50.0)
     }
 
     /// The 95th percentile (the paper's tail-latency metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty (see [`Samples::percentile`]).
     pub fn p95(&mut self) -> f64 {
         self.percentile(95.0)
+    }
+
+    /// The 50th percentile, or `None` for an empty set.
+    pub fn try_median(&mut self) -> Option<f64> {
+        self.try_percentile(50.0)
+    }
+
+    /// The 95th percentile, or `None` for an empty set.
+    pub fn try_p95(&mut self) -> Option<f64> {
+        self.try_percentile(95.0)
     }
 
     /// The raw values in insertion order.
@@ -123,8 +154,8 @@ impl fmt::Display for Samples {
             f,
             "n={} p50={:.3} p95={:.3} max={:.3}",
             copy.len(),
-            copy.median(),
-            copy.p95(),
+            copy.try_median().unwrap_or(f64::NAN),
+            copy.try_p95().unwrap_or(f64::NAN),
             copy.summary().max()
         )
     }
@@ -145,9 +176,29 @@ mod tests {
     }
 
     #[test]
-    fn empty_percentile_is_zero() {
+    #[should_panic(expected = "percentile of an empty sample set")]
+    fn empty_percentile_panics() {
         let mut s = Samples::new();
-        assert_eq!(s.p95(), 0.0);
+        let _ = s.p95();
+    }
+
+    #[test]
+    fn try_percentile_is_none_on_empty_and_some_otherwise() {
+        let mut s = Samples::new();
+        assert_eq!(s.try_percentile(50.0), None);
+        assert_eq!(s.try_median(), None);
+        assert_eq!(s.try_p95(), None);
+        s.push(4.0);
+        assert_eq!(s.try_median(), Some(4.0));
+        assert_eq!(s.try_p95(), Some(4.0));
+    }
+
+    #[test]
+    fn empty_display_shows_nan_not_zero() {
+        let s = Samples::new();
+        let rendered = format!("{s}");
+        assert!(rendered.contains("p50=NaN"), "{rendered}");
+        assert!(rendered.contains("p95=NaN"), "{rendered}");
     }
 
     #[test]

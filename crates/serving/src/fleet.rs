@@ -10,16 +10,35 @@
 //! further: a user population re-submitting turns under stable session
 //! ids gives affinity routing cross-*turn* state to preserve, not just
 //! cross-call.
+//!
+//! # Overload resilience
+//!
+//! With an [`OverloadPolicy`] attached, the fleet additionally models how
+//! real serving stacks behave past saturation: clients abandon turns
+//! after a deadline, the server optionally cancels the abandoned work
+//! (engines release KV and stop burning steps), front-ends retry with
+//! exponential backoff, and a per-replica admission controller bounds
+//! concurrency with a pluggable dispatch-queue discipline. Admission is
+//! gated at the door: only an attempt's *first* op waits for a slot —
+//! once a session has consumed engine time, its continuation ops submit
+//! immediately, because making admitted work queue behind fresh
+//! arrivals leaves sessions half-served at their deadline with nothing
+//! to show for the GPU time already spent. Every one of those decisions
+//! is made on the coordinator thread, so the sharded parallel path
+//! stays bit-identical at any thread count. The default
+//! policy ([`OverloadPolicy::none`]) reproduces the historical
+//! no-deadline behaviour bit-for-bit.
 
 mod par;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use agentsim_agents::{AgentConfig, AgentKind};
 use agentsim_llm::{Engine, EngineConfig, LlmCompletion, RequestId};
 use agentsim_metrics::Samples;
 use agentsim_session::{
-    seeds, Arrival, ArrivalProcess, CallDone, ClientModel, SessionCmd, SessionRunner, ToolRng,
+    seeds, validate_load, AdmissionController, Arrival, ArrivalProcess, CallDone, ClientModel,
+    LlmSubmit, OverloadPolicy, QueueDiscipline, SessionCmd, SessionRunner, ToolRng,
 };
 use agentsim_simkit::{EventQueue, SimRng, SimTime};
 use agentsim_tools::ToolExecutor;
@@ -71,6 +90,8 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Who submits the turns, and when.
     pub client: ClientModel,
+    /// Deadlines, retries, admission control (default: none of them).
+    pub overload: OverloadPolicy,
     /// Worker threads for the parallel driver (`1` = sequential path).
     pub threads: u32,
 }
@@ -79,8 +100,7 @@ impl FleetConfig {
     /// ReAct/HotpotQA on `replicas` default 8B replicas.
     pub fn react_hotpotqa(replicas: u32, routing: Routing, qps: f64, num_requests: u64) -> Self {
         assert!(replicas > 0, "fleet needs at least one replica");
-        assert!(qps > 0.0, "offered load must be positive");
-        assert!(num_requests > 0, "need at least one request");
+        validate_load(qps, num_requests);
         FleetConfig {
             engine: EngineConfig::a100_llama8b(),
             replicas,
@@ -92,6 +112,7 @@ impl FleetConfig {
             num_requests,
             seed: 0,
             client: ClientModel::OpenLoopPoisson,
+            overload: OverloadPolicy::none(),
             threads: 1,
         }
     }
@@ -105,6 +126,13 @@ impl FleetConfig {
     /// Replaces the client model.
     pub fn client(mut self, client: ClientModel) -> Self {
         self.client = client;
+        self
+    }
+
+    /// Attaches an overload policy (deadlines, retries, admission
+    /// control). Validated against the client model at build time.
+    pub fn overload(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
         self
     }
 
@@ -123,9 +151,10 @@ impl FleetConfig {
 pub struct FleetReport {
     /// Offered load.
     pub offered_qps: f64,
-    /// Requests completed.
+    /// Turns completed *within their deadline* (all turns when the run
+    /// has no deadline).
     pub completed: u64,
-    /// End-to-end latencies (seconds).
+    /// End-to-end latencies of on-time turns (seconds).
     pub latencies: Samples,
     /// Median latency.
     pub p50_s: f64,
@@ -137,8 +166,29 @@ pub struct FleetReport {
     pub energy_wh: f64,
     /// Per-replica utilization.
     pub utilization: Vec<f64>,
-    /// Achieved throughput (requests/second).
+    /// Finished turns per second, late ones included.
     pub throughput: f64,
+    /// On-time turns per second — the paper's "useful" throughput. Equals
+    /// `throughput` when no deadline is set.
+    pub goodput: f64,
+    /// Delivery attempts processed (initial turns plus retries).
+    pub attempts: u64,
+    /// Re-issues scheduled after deadline expiries.
+    pub retries: u64,
+    /// Logical turns the client gave up on (deadline expired, retry
+    /// budget exhausted).
+    pub abandoned: u64,
+    /// Attempts that finished after their deadline (only possible without
+    /// server-side cancellation — the work completes but nobody reads it).
+    pub late: u64,
+    /// Attempts torn down server-side at deadline expiry.
+    pub cancelled: u64,
+    /// Queued ops dropped at dispatch (dead or expired sessions).
+    pub dropped: u64,
+    /// GPU service seconds burned on work no live client received:
+    /// engine-side partial service of cancelled requests plus completed
+    /// service delivered after the client gave up.
+    pub wasted_gpu_s: f64,
     /// Peak number of simultaneously live sessions (bounded by the
     /// population under a closed-loop client).
     pub max_live_sessions: u64,
@@ -148,7 +198,39 @@ pub struct FleetReport {
 enum Event {
     Arrival(Arrival),
     StepDone(usize),
-    ToolsDone(u64),
+    ToolsDone { sid: u64, epoch: u64 },
+    DeadlineExpired { sid: u64, epoch: u64 },
+}
+
+/// Per-attempt bookkeeping for a live session slot.
+struct SessionMeta {
+    /// Global turn index (for retry re-issue).
+    turn: u64,
+    /// Delivery attempt (0 = client-issued).
+    attempt: u32,
+    /// Occupancy counter of the slot, guarding stale wake-ups.
+    epoch: u64,
+    /// Absolute expiry of this attempt, if the run has deadlines.
+    deadline: Option<SimTime>,
+    /// The deadline passed but the attempt was left running (no
+    /// cancellation): its remaining work is wasted.
+    expired: bool,
+    /// The attempt's first op was admitted to an engine: later ops
+    /// bypass the admission queue (gate at the door, then run to done).
+    started: bool,
+    /// Engine calls currently in flight, as `(replica, id)`.
+    calls: Vec<(usize, RequestId)>,
+}
+
+/// An op waiting in a replica's dispatch queue for an admission slot.
+struct PendingOp {
+    sid: u64,
+    /// Slot epoch at enqueue time; a mismatch at dispatch means the
+    /// attempt was torn down and the op must be dropped.
+    epoch: u64,
+    deadline: Option<SimTime>,
+    calls: Vec<LlmSubmit>,
+    priority: u32,
 }
 
 /// The fleet simulator. Build with [`FleetSim::new`], consume with
@@ -160,11 +242,31 @@ pub struct FleetSim {
     queue: EventQueue<Event>,
     client: Box<dyn ArrivalProcess>,
     sessions: Vec<Option<SessionRunner>>,
+    meta: Vec<Option<SessionMeta>>,
+    /// Occupancy counter per session slot; bumped at each arrival so
+    /// events addressed to a torn-down attempt can be recognized.
+    epochs: Vec<u64>,
     owner: HashMap<(usize, RequestId), (u64, u32)>,
+    /// Ops waiting for an admission slot, per replica.
+    dispatch: Vec<VecDeque<PendingOp>>,
+    /// Engine calls held by each replica's dispatch queue (counted into
+    /// the least-loaded routing metric; always 0 under accept-all).
+    dispatch_calls: Vec<usize>,
+    /// Engine calls admitted and not yet completed, per replica.
+    in_flight: Vec<usize>,
+    admission: Vec<Box<dyn AdmissionController>>,
     root_rng: SimRng,
     rr_counter: usize,
     latencies: Vec<f64>,
     completed: u64,
+    attempts: u64,
+    retries: u64,
+    abandoned: u64,
+    late: u64,
+    cancelled: u64,
+    dropped: u64,
+    /// Service seconds delivered to clients that had already given up.
+    wasted_service: f64,
     last_finish: SimTime,
     live: u64,
     max_live: u64,
@@ -185,6 +287,9 @@ impl FleetSim {
     /// Builds the fleet (the first arrivals are scheduled; the rest
     /// chain lazily as the run progresses).
     pub fn new(config: FleetConfig) -> Self {
+        validate_load(config.qps, config.num_requests);
+        config.overload.validate(&config.client);
+        let replicas = config.replicas as usize;
         let engines = (0..config.replicas)
             .map(|_| Engine::new(config.engine.clone()))
             .collect();
@@ -198,20 +303,33 @@ impl FleetSim {
         for a in client.initial() {
             queue.push(a.at, Event::Arrival(a));
         }
-        let sessions = (0..config.client.sessions(config.num_requests))
-            .map(|_| None)
-            .collect();
+        let slots = config.client.sessions(config.num_requests) as usize;
         FleetSim {
             engines,
             tools: ToolExecutor::new(),
             queue,
             client,
-            sessions,
+            sessions: (0..slots).map(|_| None).collect(),
+            meta: (0..slots).map(|_| None).collect(),
+            epochs: vec![0; slots],
             owner: HashMap::new(),
+            dispatch: (0..replicas).map(|_| VecDeque::new()).collect(),
+            dispatch_calls: vec![0; replicas],
+            in_flight: vec![0; replicas],
+            admission: (0..replicas)
+                .map(|_| config.overload.admission.build())
+                .collect(),
             root_rng,
             rr_counter: 0,
             latencies: Vec::new(),
             completed: 0,
+            attempts: 0,
+            retries: 0,
+            abandoned: 0,
+            late: 0,
+            cancelled: 0,
+            dropped: 0,
+            wasted_service: 0.0,
             last_finish: SimTime::ZERO,
             live: 0,
             max_live: 0,
@@ -243,23 +361,43 @@ impl FleetSim {
         }
         while let Some((now, event)) = self.queue.pop() {
             match event {
-                Event::Arrival(a) => self.on_arrival(a, now),
+                Event::Arrival(a) => self.on_arrival_with(None, a, now),
                 Event::StepDone(r) => self.on_step_done(r, now),
-                Event::ToolsDone(sid) => {
-                    let cmd = self.sessions[sid as usize]
-                        .as_mut()
-                        .expect("live session")
-                        .on_tools_done(&self.tools, now);
-                    self.exec(sid, cmd, now);
-                }
+                Event::ToolsDone { sid, epoch } => self.on_tools_done_event(None, sid, epoch, now),
+                Event::DeadlineExpired { sid, epoch } => self.on_deadline(None, sid, epoch, now),
             }
+            self.drain_all(None, now);
             for r in 0..self.engines.len() {
                 self.kick(r, now);
             }
         }
-        let expected = self.config.client.total_turns(self.config.num_requests);
-        assert_eq!(self.completed, expected, "all turns must finish");
+        self.check_end_state();
         self.into_report()
+    }
+
+    /// Every turn must resolve exactly once, and every attempt must end
+    /// exactly one way.
+    fn check_end_state(&self) {
+        let expected = self.config.client.total_turns(self.config.num_requests);
+        if self.config.overload.deadline.is_some() {
+            assert_eq!(
+                self.completed + self.abandoned,
+                expected,
+                "every turn must resolve on-time or abandoned"
+            );
+            assert_eq!(
+                self.attempts,
+                self.completed + self.late + self.cancelled,
+                "every attempt must finish, finish late, or be cancelled"
+            );
+            assert_eq!(
+                self.attempts,
+                expected + self.retries,
+                "attempts are initial turns plus retries"
+            );
+        } else {
+            assert_eq!(self.completed, expected, "all turns must finish");
+        }
     }
 
     #[cfg(test)]
@@ -285,16 +423,15 @@ impl FleetSim {
                 replica
             }
             Routing::LeastLoaded => (0..n)
-                .min_by_key(|&r| match pool {
-                    Some(pool) => pool.load(r),
-                    None => self.engines[r].queue_len() + self.engines[r].running_len(),
+                .min_by_key(|&r| {
+                    let engine = match pool {
+                        Some(pool) => pool.load(r),
+                        None => self.engines[r].queue_len() + self.engines[r].running_len(),
+                    };
+                    engine + self.dispatch_calls[r]
                 })
                 .expect("non-empty fleet"),
         }
-    }
-
-    fn on_arrival(&mut self, a: Arrival, now: SimTime) {
-        self.on_arrival_with(None, a, now)
     }
 
     fn on_arrival_with(
@@ -304,10 +441,14 @@ impl FleetSim {
         now: SimTime,
     ) {
         // Chain the next arrival first, so it precedes any event this
-        // one schedules at the same instant.
-        if let Some(next) = self.client.after_arrival(now) {
-            self.queue.push(next.at, Event::Arrival(next));
+        // one schedules at the same instant. Retries (attempt > 0) are
+        // driver-issued and must not advance the client process.
+        if a.attempt == 0 {
+            if let Some(next) = self.client.after_arrival(now) {
+                self.queue.push(next.at, Event::Arrival(next));
+            }
         }
+        self.attempts += 1;
         let task = TaskGenerator::new(self.config.benchmark, self.config.seed).task(a.turn);
         let (runner, cmd) = SessionRunner::agent(
             self.config.kind,
@@ -318,22 +459,40 @@ impl FleetSim {
             &self.tools,
             now,
         );
-        let slot = &mut self.sessions[a.session as usize];
+        let sid = a.session as usize;
+        let slot = &mut self.sessions[sid];
         assert!(slot.is_none(), "session {} already live", a.session);
         *slot = Some(runner);
+        self.epochs[sid] += 1;
+        let epoch = self.epochs[sid];
+        let deadline = self.config.overload.deadline.map(|d| now + d);
+        self.meta[sid] = Some(SessionMeta {
+            turn: a.turn,
+            attempt: a.attempt,
+            epoch,
+            deadline,
+            expired: false,
+            started: false,
+            calls: Vec::new(),
+        });
+        if let Some(expiry) = deadline {
+            self.queue.push(
+                expiry,
+                Event::DeadlineExpired {
+                    sid: a.session,
+                    epoch,
+                },
+            );
+        }
         self.live += 1;
         self.max_live = self.max_live.max(self.live);
         self.exec_with(pool, a.session, cmd, now);
     }
 
     /// Executes a session command against the routed fleet.
-    fn exec(&mut self, sid: u64, cmd: SessionCmd, now: SimTime) {
-        self.exec_with(None, sid, cmd, now)
-    }
-
     fn exec_with(
         &mut self,
-        mut pool: Option<&mut agentsim_session::ShardPool>,
+        pool: Option<&mut agentsim_session::ShardPool>,
         sid: u64,
         cmd: SessionCmd,
         now: SimTime,
@@ -341,40 +500,197 @@ impl FleetSim {
         match cmd {
             SessionCmd::Llm(op) => {
                 let replica = self.route_with(pool.as_deref(), sid);
-                for (seq, call) in op.calls.into_iter().enumerate() {
-                    let id = match pool.as_deref_mut() {
-                        Some(pool) => pool.submit(
-                            replica,
-                            now,
-                            call.prompt,
-                            call.out_tokens,
-                            call.gen_seed,
-                            op.priority,
-                        ),
-                        None => self.engines[replica].submit_with_priority(
-                            now,
-                            call.prompt,
-                            call.out_tokens,
-                            call.gen_seed,
-                            op.priority,
-                        ),
-                    };
-                    self.owner.insert((replica, id), (sid, seq as u32));
+                let (epoch, deadline, started) = {
+                    let m = self.meta[sid as usize].as_ref().expect("live session meta");
+                    (m.epoch, m.deadline, m.started)
+                };
+                let entry = PendingOp {
+                    sid,
+                    epoch,
+                    deadline,
+                    calls: op.calls,
+                    priority: op.priority,
+                };
+                if started {
+                    // Admission gates at the door only: this attempt
+                    // already holds engine state, so queueing its next
+                    // op behind fresh arrivals would strand the GPU
+                    // time it has consumed.
+                    self.admit_op(pool, replica, entry, now);
+                    return;
                 }
+                self.dispatch_calls[replica] += entry.calls.len();
+                match self.config.overload.discipline {
+                    QueueDiscipline::Lifo => self.dispatch[replica].push_front(entry),
+                    QueueDiscipline::Fifo | QueueDiscipline::DeadlineDrop => {
+                        self.dispatch[replica].push_back(entry)
+                    }
+                }
+                self.drain_dispatch(pool, replica, now);
             }
             SessionCmd::Tools { wake } => {
-                self.queue.push(wake, Event::ToolsDone(sid));
+                let epoch = self.epochs[sid as usize];
+                self.queue.push(wake, Event::ToolsDone { sid, epoch });
             }
             SessionCmd::Finish(_) => {
                 let runner = self.sessions[sid as usize].take().expect("live session");
-                self.latencies.push(runner.trace().e2e().as_secs_f64());
-                self.completed += 1;
+                let m = self.meta[sid as usize].take().expect("live session meta");
+                debug_assert!(m.calls.is_empty(), "finished with calls in flight");
                 self.live -= 1;
                 self.last_finish = self.last_finish.max(now);
-                if let Some(next) = self.client.after_finish(sid, now) {
-                    self.queue.push(next.at, Event::Arrival(next));
+                if m.expired {
+                    // The turn was already resolved abandoned at its
+                    // deadline; this finish delivered nothing.
+                    self.late += 1;
+                } else {
+                    self.latencies.push(runner.trace().e2e().as_secs_f64());
+                    self.completed += 1;
+                    if let Some(next) = self.client.after_finish(sid, now) {
+                        self.queue.push(next.at, Event::Arrival(next));
+                    }
                 }
             }
+        }
+    }
+
+    /// A session's tool batch finished; ignore the wake-up if the attempt
+    /// was torn down (and possibly replaced) while the tools ran.
+    fn on_tools_done_event(
+        &mut self,
+        pool: Option<&mut agentsim_session::ShardPool>,
+        sid: u64,
+        epoch: u64,
+        now: SimTime,
+    ) {
+        let s = sid as usize;
+        if self.epochs[s] != epoch || self.sessions[s].is_none() {
+            return;
+        }
+        let cmd = self.sessions[s]
+            .as_mut()
+            .expect("live session")
+            .on_tools_done(&self.tools, now);
+        self.exec_with(pool, sid, cmd, now);
+    }
+
+    /// A turn's deadline expired while its attempt was still live.
+    fn on_deadline(
+        &mut self,
+        mut pool: Option<&mut agentsim_session::ShardPool>,
+        sid: u64,
+        epoch: u64,
+        now: SimTime,
+    ) {
+        let s = sid as usize;
+        if self.epochs[s] != epoch || self.sessions[s].is_none() {
+            return; // The attempt finished (or was replaced) in time.
+        }
+        if self.config.overload.cancel_on_expiry {
+            let meta = self.meta[s].take().expect("live session meta");
+            self.sessions[s].take();
+            self.live -= 1;
+            self.cancelled += 1;
+            let mut penalized: Vec<usize> = Vec::new();
+            for (replica, id) in &meta.calls {
+                let removed = self.owner.remove(&(*replica, *id));
+                debug_assert!(removed.is_some(), "meta.calls tracks live submissions");
+                self.in_flight[*replica] -= 1;
+                match pool.as_deref_mut() {
+                    Some(p) => p.cancel(*replica, now, *id),
+                    None => self.engines[*replica].cancel(now, *id),
+                }
+                if !penalized.contains(replica) {
+                    penalized.push(*replica);
+                    self.admission[*replica].on_timeout();
+                }
+            }
+            // A queued (never-admitted) op of this attempt is dropped
+            // lazily at dispatch: its epoch no longer matches the slot's.
+            let retry_at = self
+                .config
+                .overload
+                .retry
+                .as_ref()
+                .filter(|r| meta.attempt < r.max_retries)
+                .map(|r| now + r.backoff(meta.attempt));
+            match retry_at {
+                Some(at) => {
+                    self.retries += 1;
+                    self.queue.push(
+                        at,
+                        Event::Arrival(Arrival {
+                            at,
+                            session: sid,
+                            turn: meta.turn,
+                            attempt: meta.attempt + 1,
+                        }),
+                    );
+                }
+                None => self.resolve_abandoned(sid, now),
+            }
+        } else {
+            // No cancellation: the attempt keeps running to a late finish,
+            // but the client-visible turn resolves abandoned now.
+            let calls = {
+                let m = self.meta[s].as_mut().expect("live session meta");
+                m.expired = true;
+                m.calls.clone()
+            };
+            let mut penalized: Vec<usize> = Vec::new();
+            for (replica, _) in calls {
+                if !penalized.contains(&replica) {
+                    penalized.push(replica);
+                    self.admission[replica].on_timeout();
+                }
+            }
+            self.resolve_abandoned(sid, now);
+        }
+    }
+
+    /// The client gives up on a logical turn.
+    fn resolve_abandoned(&mut self, sid: u64, now: SimTime) {
+        self.abandoned += 1;
+        self.last_finish = self.last_finish.max(now);
+        if let Some(next) = self.client.after_finish(sid, now) {
+            self.queue.push(next.at, Event::Arrival(next));
+        }
+    }
+
+    /// Routes one completed engine call back to its session.
+    fn handle_completion(
+        &mut self,
+        pool: Option<&mut agentsim_session::ShardPool>,
+        replica: usize,
+        completion: LlmCompletion,
+        now: SimTime,
+    ) {
+        let service = (completion.prefill_time + completion.decode_time).as_secs_f64();
+        let Some((sid, seq)) = self.owner.remove(&(replica, completion.id)) else {
+            // A cancelled attempt's request that finished in the very step
+            // the cancellation raced: the work is done, nobody is
+            // listening, and the attempt's teardown already settled the
+            // in-flight accounting.
+            self.wasted_service += service;
+            return;
+        };
+        self.in_flight[replica] -= 1;
+        let expired = {
+            let m = self.meta[sid as usize].as_mut().expect("live session meta");
+            m.calls
+                .retain(|&(r, id)| !(r == replica && id == completion.id));
+            m.expired
+        };
+        if expired {
+            self.wasted_service += service;
+        } else {
+            self.admission[replica].on_success();
+        }
+        let cmd = self.sessions[sid as usize]
+            .as_mut()
+            .expect("live session")
+            .on_call_done(seq, CallDone::from_completion(completion), &self.tools, now);
+        if let Some(cmd) = cmd {
+            self.exec_with(pool, sid, cmd, now);
         }
     }
 
@@ -382,19 +698,130 @@ impl FleetSim {
         let mut completions = std::mem::take(&mut self.step_scratch);
         self.engines[replica].complete_step_into(now, &mut completions);
         for completion in completions.drain(..) {
-            let (sid, seq) = self
-                .owner
-                .remove(&(replica, completion.id))
-                .expect("owned completion");
-            let cmd = self.sessions[sid as usize]
-                .as_mut()
-                .expect("live session")
-                .on_call_done(seq, CallDone::from_completion(completion), &self.tools, now);
-            if let Some(cmd) = cmd {
-                self.exec(sid, cmd, now);
-            }
+            self.handle_completion(None, replica, completion, now);
         }
         self.step_scratch = completions;
+    }
+
+    /// Moves queued ops onto `replica`'s engine while its admission
+    /// controller has room. Under accept-all this admits everything
+    /// immediately, reproducing the historical direct-submit behaviour.
+    fn drain_dispatch(
+        &mut self,
+        mut pool: Option<&mut agentsim_session::ShardPool>,
+        replica: usize,
+        now: SimTime,
+    ) {
+        while let Some(idx) = self.select_dispatch(replica) {
+            let calls_len = self.dispatch[replica][idx].calls.len();
+            let limit = self.admission[replica].limit();
+            // Head-of-line exception: an idle replica always admits its
+            // next op whole, so a multi-call op larger than the current
+            // limit cannot deadlock the queue.
+            if !(self.in_flight[replica] == 0 || self.in_flight[replica] + calls_len <= limit) {
+                break;
+            }
+            let op = self.dispatch[replica].remove(idx).expect("selected index");
+            self.dispatch_calls[replica] -= calls_len;
+            self.admit_op(pool.as_deref_mut(), replica, op, now);
+        }
+    }
+
+    /// Submits an op's calls to `replica`'s engine, recording ownership
+    /// and in-flight accounting. Marks the owning attempt started so its
+    /// later ops bypass the admission queue.
+    fn admit_op(
+        &mut self,
+        mut pool: Option<&mut agentsim_session::ShardPool>,
+        replica: usize,
+        op: PendingOp,
+        now: SimTime,
+    ) {
+        let calls_len = op.calls.len();
+        let mut submitted = Vec::with_capacity(calls_len);
+        for (seq, call) in op.calls.into_iter().enumerate() {
+            let id = match pool.as_deref_mut() {
+                Some(p) => p.submit(
+                    replica,
+                    now,
+                    call.prompt,
+                    call.out_tokens,
+                    call.gen_seed,
+                    op.priority,
+                ),
+                None => self.engines[replica].submit_with_priority(
+                    now,
+                    call.prompt,
+                    call.out_tokens,
+                    call.gen_seed,
+                    op.priority,
+                ),
+            };
+            self.owner.insert((replica, id), (op.sid, seq as u32));
+            submitted.push((replica, id));
+        }
+        self.in_flight[replica] += calls_len;
+        let m = self.meta[op.sid as usize]
+            .as_mut()
+            .expect("live session meta");
+        m.started = true;
+        m.calls.extend(submitted);
+    }
+
+    /// Picks the next dispatchable op index for `replica` under the
+    /// configured discipline, dropping dead entries along the way.
+    fn select_dispatch(&mut self, replica: usize) -> Option<usize> {
+        let mut i = 0;
+        while i < self.dispatch[replica].len() {
+            let op = &self.dispatch[replica][i];
+            let sid = op.sid as usize;
+            // Stale: the attempt was torn down (and maybe retried) since
+            // this op was queued.
+            let stale = self.epochs[sid] != op.epoch || self.sessions[sid].is_none();
+            // Deadline-drop: never start work for a client that already
+            // gave up. Only reachable without cancellation (with it, the
+            // teardown makes the op stale instead).
+            let expired = !stale
+                && self.config.overload.discipline == QueueDiscipline::DeadlineDrop
+                && self.meta[sid].as_ref().is_some_and(|m| m.expired);
+            if stale || expired {
+                let op = self.dispatch[replica].remove(i).expect("index in range");
+                self.dispatch_calls[replica] -= op.calls.len();
+                self.dropped += 1;
+                if expired {
+                    // An op at dispatch has no sibling calls in flight
+                    // (sessions issue one op at a time), so dropping it
+                    // is the whole teardown of the expired attempt.
+                    self.sessions[sid].take();
+                    self.meta[sid].take();
+                    self.live -= 1;
+                    self.cancelled += 1;
+                }
+                continue;
+            }
+            i += 1;
+        }
+        let queue = &self.dispatch[replica];
+        if queue.is_empty() {
+            return None;
+        }
+        match self.config.overload.discipline {
+            QueueDiscipline::Fifo | QueueDiscipline::Lifo => Some(0),
+            // Earliest deadline first; ties broken in FIFO order
+            // (min_by_key keeps the first minimum).
+            QueueDiscipline::DeadlineDrop => (0..queue.len())
+                .min_by_key(|&i| queue[i].deadline.expect("deadline-drop requires deadlines")),
+        }
+    }
+
+    /// Drains every replica's dispatch queue; called after each event so
+    /// completions that freed admission slots pull queued work in.
+    fn drain_all(&mut self, mut pool: Option<&mut agentsim_session::ShardPool>, now: SimTime) {
+        for replica in 0..self.dispatch.len() {
+            if !self.dispatch[replica].is_empty() {
+                self.drain_dispatch(pool.as_deref_mut(), replica, now);
+            }
+        }
     }
 
     fn kick(&mut self, replica: usize, now: SimTime) {
@@ -405,10 +832,11 @@ impl FleetSim {
 
     fn into_report(self) -> FleetReport {
         let mut latencies: Samples = self.latencies.iter().copied().collect();
-        let p50_s = latencies.median();
-        let p95_s = latencies.p95();
+        let p50_s = latencies.try_median().unwrap_or(f64::NAN);
+        let p95_s = latencies.try_p95().unwrap_or(f64::NAN);
         let (mut hits, mut lookups) = (0u64, 0u64);
         let mut energy_wh = 0.0;
+        let mut wasted_gpu_s = self.wasted_service;
         let mut utilization = Vec::with_capacity(self.engines.len());
         for e in &self.engines {
             let kv = e.kv().stats();
@@ -416,6 +844,7 @@ impl FleetSim {
             lookups += kv.hit_tokens + kv.miss_tokens;
             energy_wh += e.metrics().energy_within(self.last_finish).watt_hours();
             utilization.push(e.metrics().utilization(self.last_finish));
+            wasted_gpu_s += e.metrics().wasted().as_secs_f64();
         }
         let makespan = self.last_finish.as_secs_f64();
         FleetReport {
@@ -431,10 +860,22 @@ impl FleetSim {
             energy_wh,
             utilization,
             throughput: if makespan > 0.0 {
+                (self.completed + self.late) as f64 / makespan
+            } else {
+                0.0
+            },
+            goodput: if makespan > 0.0 {
                 self.completed as f64 / makespan
             } else {
                 0.0
             },
+            attempts: self.attempts,
+            retries: self.retries,
+            abandoned: self.abandoned,
+            late: self.late,
+            cancelled: self.cancelled,
+            dropped: self.dropped,
+            wasted_gpu_s,
             latencies,
             max_live_sessions: self.max_live,
         }
@@ -444,6 +885,7 @@ impl FleetSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use agentsim_session::{AdmissionPolicy, RetryPolicy};
     use agentsim_simkit::SimDuration;
 
     fn run(routing: Routing, replicas: u32) -> FleetReport {
@@ -458,6 +900,15 @@ mod tests {
                 think_time: SimDuration::from_secs(2),
             });
         FleetSim::new(cfg).run()
+    }
+
+    fn run_overload(policy: OverloadPolicy, qps: f64) -> FleetReport {
+        FleetSim::new(
+            FleetConfig::react_hotpotqa(2, Routing::LeastLoaded, qps, 30)
+                .seed(11)
+                .overload(policy),
+        )
+        .run()
     }
 
     #[test]
@@ -495,6 +946,14 @@ mod tests {
         assert_eq!(r.completed, 40);
         assert_eq!(r.utilization.len(), 3);
         assert!(r.throughput > 0.0);
+        assert_eq!(
+            r.goodput.to_bits(),
+            r.throughput.to_bits(),
+            "no deadline: goodput is throughput"
+        );
+        assert_eq!(r.attempts, 40);
+        assert_eq!(r.abandoned + r.late + r.cancelled + r.retries, 0);
+        assert_eq!(r.wasted_gpu_s, 0.0);
     }
 
     #[test]
@@ -577,5 +1036,94 @@ mod tests {
             affinity.kv_hit_rate,
             rr.kv_hit_rate
         );
+    }
+
+    #[test]
+    fn deadline_without_cancellation_finishes_late() {
+        // A deadline tight enough that some turns miss it, no
+        // cancellation: every expired attempt still runs to completion,
+        // so late == abandoned and the engines burn wasted service.
+        let r = run_overload(
+            OverloadPolicy::none().deadline(SimDuration::from_secs(20)),
+            8.0,
+        );
+        assert_eq!(r.completed + r.abandoned, 30);
+        assert_eq!(r.attempts, 30);
+        assert!(r.abandoned > 0, "the deadline must bind at this load");
+        assert_eq!(r.late, r.abandoned, "uncancelled attempts finish late");
+        assert!(r.wasted_gpu_s > 0.0);
+        assert!(r.goodput <= r.throughput);
+    }
+
+    #[test]
+    fn cancellation_tears_expired_attempts_down() {
+        let r = run_overload(
+            OverloadPolicy::none()
+                .deadline(SimDuration::from_secs(20))
+                .cancel_on_expiry(),
+            8.0,
+        );
+        assert_eq!(r.completed + r.abandoned, 30);
+        assert!(r.cancelled > 0, "the deadline must bind at this load");
+        assert_eq!(r.late, 0, "cancelled attempts never finish");
+        assert_eq!(r.attempts, r.completed + r.cancelled);
+        assert!(r.wasted_gpu_s > 0.0, "partial service of cancelled work");
+    }
+
+    #[test]
+    fn retries_reissue_expired_turns() {
+        let r = run_overload(
+            OverloadPolicy::none()
+                .deadline(SimDuration::from_secs(20))
+                .cancel_on_expiry()
+                .retry(RetryPolicy::standard()),
+            8.0,
+        );
+        assert!(r.retries > 0, "the deadline must bind at this load");
+        assert_eq!(r.attempts, 30 + r.retries);
+        assert_eq!(r.attempts, r.completed + r.late + r.cancelled);
+        assert_eq!(r.completed + r.abandoned, 30, "retries never double-count");
+    }
+
+    #[test]
+    fn overload_policies_are_deterministic() {
+        let policy = || {
+            OverloadPolicy::none()
+                .deadline(SimDuration::from_secs(20))
+                .cancel_on_expiry()
+                .retry(RetryPolicy::standard())
+                .admission(AdmissionPolicy::aimd_default())
+                .discipline(QueueDiscipline::DeadlineDrop)
+        };
+        let a = run_overload(policy(), 8.0);
+        let b = run_overload(policy(), 8.0);
+        assert_eq!(a.goodput.to_bits(), b.goodput.to_bits());
+        assert_eq!(a.wasted_gpu_s.to_bits(), b.wasted_gpu_s.to_bits());
+        assert_eq!(
+            (a.completed, a.retries, a.cancelled, a.dropped),
+            (b.completed, b.retries, b.cancelled, b.dropped)
+        );
+    }
+
+    #[test]
+    fn lifo_discipline_admits_newest_work_first() {
+        // Just a liveness check: the run terminates and the accounting
+        // telescopes under a non-FIFO discipline with a tight limiter.
+        let r = run_overload(
+            OverloadPolicy::none()
+                .deadline(SimDuration::from_secs(25))
+                .cancel_on_expiry()
+                .admission(AdmissionPolicy::Aimd {
+                    initial: 2.0,
+                    min: 1.0,
+                    max: 8.0,
+                    increase: 1.0,
+                    decrease: 0.5,
+                })
+                .discipline(QueueDiscipline::Lifo),
+            8.0,
+        );
+        assert_eq!(r.completed + r.abandoned, 30);
+        assert_eq!(r.attempts, r.completed + r.late + r.cancelled);
     }
 }

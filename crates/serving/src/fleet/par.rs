@@ -3,8 +3,11 @@
 //! Same event loop as [`FleetSim::run`], with engine stepping offloaded
 //! to an [`agentsim_session::ShardPool`]. Ordering decisions stay on this
 //! thread; step-done events keep their sequential queue rank through
-//! reserved slots. See the [`agentsim_session::shard`] module docs for
-//! the full determinism argument.
+//! reserved slots. Overload decisions (deadlines, cancellation, retries,
+//! admission) also run here, against the pool's exact state mirrors, so
+//! they are bit-identical to the sequential path. See the
+//! [`agentsim_session::shard`] module docs for the full determinism
+//! argument.
 
 use agentsim_session::ShardPool;
 
@@ -49,32 +52,17 @@ impl FleetSim {
                     let out = pool.take_step(replica);
                     debug_assert!(out.migrations.is_empty(), "fleet replicas never migrate");
                     for completion in out.completions {
-                        let (sid, seq) = self
-                            .owner
-                            .remove(&(replica, completion.id))
-                            .expect("owned completion");
-                        let cmd = self.sessions[sid as usize]
-                            .as_mut()
-                            .expect("live session")
-                            .on_call_done(
-                                seq,
-                                agentsim_session::CallDone::from_completion(completion),
-                                &self.tools,
-                                now,
-                            );
-                        if let Some(cmd) = cmd {
-                            self.exec_with(Some(&mut pool), sid, cmd, now);
-                        }
+                        self.handle_completion(Some(&mut pool), replica, completion, now);
                     }
                 }
-                Event::ToolsDone(sid) => {
-                    let cmd = self.sessions[sid as usize]
-                        .as_mut()
-                        .expect("live session")
-                        .on_tools_done(&self.tools, now);
-                    self.exec_with(Some(&mut pool), sid, cmd, now);
+                Event::ToolsDone { sid, epoch } => {
+                    self.on_tools_done_event(Some(&mut pool), sid, epoch, now)
+                }
+                Event::DeadlineExpired { sid, epoch } => {
+                    self.on_deadline(Some(&mut pool), sid, epoch, now)
                 }
             }
+            self.drain_all(Some(&mut pool), now);
             // Same kick sweep as the sequential loop: replicas that would
             // not form a step are skipped there too (start_step_if_idle
             // returns None), so restricting to wants_kick preserves the
@@ -86,8 +74,7 @@ impl FleetSim {
                 }
             }
         }
-        let expected = self.config.client.total_turns(self.config.num_requests);
-        assert_eq!(self.completed, expected, "all turns must finish");
+        self.check_end_state();
         self.engines = pool.shutdown();
         self.into_report()
     }

@@ -60,7 +60,10 @@ pub use observe::{
 };
 pub use open_loop::{ServingConfig, ServingSim, ServingWorkload};
 pub use report::ServingReport;
-pub use session::{Arrival, ArrivalProcess, ClientModel, SessionCmd, SessionRunner};
+pub use session::{
+    validate_load, AdmissionPolicy, Arrival, ArrivalProcess, ClientModel, OverloadPolicy,
+    QueueDiscipline, RetryPolicy, SessionCmd, SessionRunner,
+};
 pub use single::{SingleOutcome, SingleRequest};
 pub use stream::SpanStreamWriter;
 pub use sweep::{

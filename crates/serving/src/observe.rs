@@ -149,6 +149,10 @@ pub struct RequestSpan {
     /// Whether the span ended by migrating to a decode pool rather than
     /// by completing (prefill-role engines).
     pub migrated: bool,
+    /// Whether the span ended by server-side cancellation (the client
+    /// abandoned the request and the engine purged it at a step
+    /// boundary). `finished` is the purge time.
+    pub abandoned: bool,
     /// Phase timeline, merged and in time order.
     pub segments: Vec<Segment>,
     pub(crate) state: SpanState,
@@ -172,6 +176,7 @@ impl RequestSpan {
             cached_tokens: 0,
             output_tokens: 0,
             migrated: false,
+            abandoned: false,
             segments: Vec::new(),
             state: SpanState::Queued(at),
         }
@@ -465,6 +470,27 @@ impl RecorderInner {
                     kv_bytes
                 ));
             }
+            EngineEvent::Abandoned { id, at, generated } => {
+                let span = self.span_mut(id);
+                // The purge can catch the request waiting (queued) or
+                // admitted (running); close the open phase either way so
+                // the span partition still telescopes to end-to-end.
+                match span.state {
+                    SpanState::Running(mark) => span.push_segment(Phase::Stall, mark, at),
+                    SpanState::Queued(since) => span.push_segment(Phase::Queue, since, at),
+                    SpanState::Done => panic!("{id}: abandoned after finishing"),
+                }
+                span.finished = Some(at);
+                span.output_tokens = generated;
+                span.abandoned = true;
+                span.state = SpanState::Done;
+                self.log_line(format_args!(
+                    "{{\"event\":\"abandon\",\"t_us\":{},\"id\":{},\"generated\":{}}}",
+                    at.as_micros(),
+                    id.0,
+                    generated
+                ));
+            }
             EngineEvent::RoleChanged { at, from, to } => {
                 // Pool autoscaling flipped this engine's role; no span is
                 // touched (the engine is empty by contract), but the log
@@ -677,6 +703,7 @@ pub fn stitch_disagg_span(prefill: &RequestSpan, decode: &RequestSpan) -> Reques
         // prefill release (generation resumes from it), so it is the total.
         output_tokens: decode.output_tokens.max(prefill.output_tokens),
         migrated: false,
+        abandoned: decode.abandoned,
         segments,
         state: decode.state,
     }

@@ -86,8 +86,7 @@ impl ServingConfig {
     /// A small default run: the given workload under an open-loop
     /// Poisson client at `qps`.
     pub fn new(workload: ServingWorkload, qps: f64, num_requests: u64) -> Self {
-        assert!(qps > 0.0, "offered load must be positive");
-        assert!(num_requests > 0, "need at least one request");
+        agentsim_session::validate_load(qps, num_requests);
         ServingConfig {
             engine: EngineConfig::a100_llama8b(),
             workload,
@@ -367,8 +366,8 @@ impl ServingSim {
             self.agent_latencies.iter().copied().collect();
         let chatbot_latencies: agentsim_metrics::Samples =
             self.chatbot_latencies.iter().copied().collect();
-        let p50_s = latencies.median();
-        let p95_s = latencies.p95();
+        let p50_s = latencies.try_median().unwrap_or(f64::NAN);
+        let p95_s = latencies.try_p95().unwrap_or(f64::NAN);
         let queue_depth_mean = self.queue_depth.time_weighted_mean(self.last_finish);
         let queue_depth_max = self.queue_depth.max();
         let metrics = self.engine.metrics();

@@ -188,6 +188,22 @@ impl StreamInner {
                 span.state = SpanState::Done;
                 self.retire(span);
             }
+            EngineEvent::Abandoned { id, at, generated } => {
+                let mut span = self
+                    .live
+                    .remove(&id)
+                    .unwrap_or_else(|| panic!("unobserved request {id}"));
+                match span.state {
+                    SpanState::Running(mark) => span.push_segment(Phase::Stall, mark, at),
+                    SpanState::Queued(since) => span.push_segment(Phase::Queue, since, at),
+                    SpanState::Done => panic!("{id}: abandoned after finishing"),
+                }
+                span.finished = Some(at);
+                span.output_tokens = generated;
+                span.abandoned = true;
+                span.state = SpanState::Done;
+                self.retire(span);
+            }
             // Role flips carry no per-request span; the engine is empty
             // by contract when one fires.
             EngineEvent::RoleChanged { .. } => {}

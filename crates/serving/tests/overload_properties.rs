@@ -1,0 +1,112 @@
+//! Property tests for the overload-resilience layer: accounting
+//! identities that must hold for *every* policy/load combination, not
+//! just the tuned experiment points.
+
+use agentsim_serving::{
+    AdmissionPolicy, FleetConfig, FleetSim, OverloadPolicy, QueueDiscipline, RetryPolicy, Routing,
+};
+use agentsim_simkit::SimDuration;
+
+fn base(qps: f64, turns: u64) -> FleetConfig {
+    FleetConfig::react_hotpotqa(2, Routing::LeastLoaded, qps, turns).seed(0xBEEF)
+}
+
+fn policies() -> Vec<(&'static str, OverloadPolicy)> {
+    let deadline = SimDuration::from_secs(20);
+    vec![
+        ("none", OverloadPolicy::none()),
+        ("deadline-late", OverloadPolicy::none().deadline(deadline)),
+        (
+            "deadline-cancel",
+            OverloadPolicy::none().deadline(deadline).cancel_on_expiry(),
+        ),
+        (
+            "full-adaptive",
+            OverloadPolicy::none()
+                .deadline(deadline)
+                .cancel_on_expiry()
+                .retry(RetryPolicy::standard())
+                .admission(AdmissionPolicy::aimd_default())
+                .discipline(QueueDiscipline::DeadlineDrop),
+        ),
+    ]
+}
+
+/// Goodput counts a subset of the turns throughput counts, over the same
+/// makespan — it can never exceed it.
+#[test]
+fn goodput_never_exceeds_throughput() {
+    for qps in [1.0, 4.0, 10.0] {
+        for (name, policy) in policies() {
+            let r = FleetSim::new(base(qps, 24).overload(policy)).run();
+            assert!(
+                r.goodput <= r.throughput,
+                "{name} @ {qps} qps: goodput {} > throughput {}",
+                r.goodput,
+                r.throughput
+            );
+            assert!(r.wasted_gpu_s >= 0.0);
+        }
+    }
+}
+
+/// Retries re-deliver the same logical turn; however many attempts it
+/// takes, each turn resolves exactly once and each attempt ends exactly
+/// one way.
+#[test]
+fn retries_never_double_count_completions() {
+    let r = FleetSim::new(
+        base(8.0, 30).overload(
+            OverloadPolicy::none()
+                .deadline(SimDuration::from_secs(20))
+                .cancel_on_expiry()
+                .retry(RetryPolicy::standard()),
+        ),
+    )
+    .run();
+    assert!(r.retries > 0, "the deadline must bind at this load");
+    assert_eq!(r.completed + r.abandoned, 30, "each turn resolves once");
+    assert_eq!(r.attempts, 30 + r.retries);
+    assert_eq!(r.attempts, r.completed + r.late + r.cancelled);
+    assert_eq!(r.late, 0, "cancelled attempts cannot finish late");
+}
+
+/// With cancellation active, every observed request span — completed or
+/// abandoned — still closes with its queue/prefill/decode/stall phases
+/// telescoping exactly to its end-to-end time.
+#[test]
+fn span_partition_telescopes_under_cancellation() {
+    let mut sim = FleetSim::new(
+        base(8.0, 30).overload(
+            OverloadPolicy::none()
+                .deadline(SimDuration::from_secs(20))
+                .cancel_on_expiry(),
+        ),
+    );
+    let recorders = sim.attach_recorders();
+    let report = sim.run();
+    assert!(report.cancelled > 0, "the deadline must bind at this load");
+    let mut abandoned_spans = 0u64;
+    let mut total_spans = 0u64;
+    for recorder in &recorders {
+        for span in recorder.spans() {
+            total_spans += 1;
+            assert!(span.is_complete(), "span {} never closed", span.id);
+            let e2e = span.e2e().expect("complete span has e2e");
+            assert_eq!(
+                span.attributed(),
+                e2e,
+                "span {} phases must telescope to its lifetime",
+                span.id
+            );
+            if span.abandoned {
+                abandoned_spans += 1;
+            }
+        }
+    }
+    assert!(total_spans > 0);
+    assert!(
+        abandoned_spans > 0,
+        "cancelled attempts must surface as abandoned spans"
+    );
+}

@@ -1,13 +1,17 @@
 //! Differential tests for the parallel fleet driver: every thread count
 //! must reproduce the sequential run **bit-for-bit**, across routing
-//! policies and client models.
+//! policies, client models, and overload policies.
 //!
 //! This is the contract `FleetConfig::threads` promises — conservative
 //! sync plus reserved queue slots make thread count a pure performance
-//! knob. Floats are compared via `f64::to_bits`: exact equality, no
-//! tolerance.
+//! knob, even with deadlines cancelling in-flight work, retries
+//! re-issuing turns, and adaptive admission queueing dispatches. Floats
+//! are compared via `f64::to_bits`: exact equality, no tolerance.
 
-use agentsim_serving::{FleetConfig, FleetReport, FleetSim, Routing};
+use agentsim_serving::{
+    AdmissionPolicy, FleetConfig, FleetReport, FleetSim, OverloadPolicy, QueueDiscipline,
+    RetryPolicy, Routing,
+};
 use agentsim_session::ClientModel;
 use agentsim_simkit::SimDuration;
 
@@ -17,11 +21,19 @@ use agentsim_simkit::SimDuration;
 struct Fingerprint {
     completed: u64,
     max_live_sessions: u64,
+    attempts: u64,
+    retries: u64,
+    abandoned: u64,
+    late: u64,
+    cancelled: u64,
+    dropped: u64,
     p50_bits: u64,
     p95_bits: u64,
     kv_hit_bits: u64,
     energy_bits: u64,
     throughput_bits: u64,
+    goodput_bits: u64,
+    wasted_bits: u64,
     utilization_bits: Vec<u64>,
 }
 
@@ -30,11 +42,19 @@ impl Fingerprint {
         Fingerprint {
             completed: r.completed,
             max_live_sessions: r.max_live_sessions,
+            attempts: r.attempts,
+            retries: r.retries,
+            abandoned: r.abandoned,
+            late: r.late,
+            cancelled: r.cancelled,
+            dropped: r.dropped,
             p50_bits: r.p50_s.to_bits(),
             p95_bits: r.p95_s.to_bits(),
             kv_hit_bits: r.kv_hit_rate.to_bits(),
             energy_bits: r.energy_wh.to_bits(),
             throughput_bits: r.throughput.to_bits(),
+            goodput_bits: r.goodput.to_bits(),
+            wasted_bits: r.wasted_gpu_s.to_bits(),
             utilization_bits: r.utilization.iter().map(|u| u.to_bits()).collect(),
         }
     }
@@ -88,6 +108,66 @@ fn assert_threads_match_sequential(threads: u32) {
     }
 }
 
+/// Overload policies that exercise every coordinator-side mechanism:
+/// deadlines, server-side cancellation, retries with backoff, adaptive
+/// admission, and the non-FIFO queue disciplines.
+fn overload_policies() -> Vec<(&'static str, OverloadPolicy)> {
+    vec![
+        (
+            "deadline-late",
+            OverloadPolicy::none().deadline(SimDuration::from_secs(18)),
+        ),
+        (
+            "deadline-cancel",
+            OverloadPolicy::none()
+                .deadline(SimDuration::from_secs(18))
+                .cancel_on_expiry(),
+        ),
+        (
+            "retry-aimd-lifo",
+            OverloadPolicy::none()
+                .deadline(SimDuration::from_secs(18))
+                .cancel_on_expiry()
+                .retry(RetryPolicy::standard())
+                .admission(AdmissionPolicy::aimd_default())
+                .discipline(QueueDiscipline::Lifo),
+        ),
+        (
+            "retry-aimd-deadline-drop",
+            OverloadPolicy::none()
+                .deadline(SimDuration::from_secs(18))
+                .cancel_on_expiry()
+                .retry(RetryPolicy::standard())
+                .admission(AdmissionPolicy::Aimd {
+                    initial: 4.0,
+                    min: 1.0,
+                    max: 32.0,
+                    increase: 1.0,
+                    decrease: 0.5,
+                })
+                .discipline(QueueDiscipline::DeadlineDrop),
+        ),
+    ]
+}
+
+/// The overload grid at `threads`: cancellation acks, retry arrivals,
+/// and dispatch-queue decisions must all replay identically.
+fn assert_overload_threads_match_sequential(threads: u32) {
+    for (policy_name, policy) in overload_policies() {
+        for routing in [Routing::SessionAffinity, Routing::LeastLoaded] {
+            let cfg = FleetConfig::react_hotpotqa(4, routing, 6.0, 36)
+                .seed(0xD1FF)
+                .overload(policy.clone());
+            let sequential = Fingerprint::of(&FleetSim::new(cfg.clone()).run());
+            let parallel = Fingerprint::of(&FleetSim::new(cfg.threads(threads)).run());
+            assert_eq!(
+                sequential, parallel,
+                "threads({threads}) diverged from sequential under {routing} / {policy_name}"
+            );
+        }
+    }
+}
+
 #[test]
 fn two_threads_are_bit_identical() {
     assert_threads_match_sequential(2);
@@ -103,6 +183,21 @@ fn eight_threads_are_bit_identical() {
     // More threads than the 4 replicas: the pool must clamp and still
     // agree bit-for-bit.
     assert_threads_match_sequential(8);
+}
+
+#[test]
+fn two_threads_with_overload_are_bit_identical() {
+    assert_overload_threads_match_sequential(2);
+}
+
+#[test]
+fn four_threads_with_overload_are_bit_identical() {
+    assert_overload_threads_match_sequential(4);
+}
+
+#[test]
+fn eight_threads_with_overload_are_bit_identical() {
+    assert_overload_threads_match_sequential(8);
 }
 
 #[test]

@@ -30,6 +30,11 @@ pub struct Arrival {
     /// selection and per-turn RNG forks, so a closed-loop user solves a
     /// *different* task each turn).
     pub turn: u64,
+    /// Which delivery attempt of this logical turn this is. Client
+    /// processes always issue attempt 0; drivers re-issue the same turn
+    /// with `attempt + 1` when a deadline expires under a retry policy
+    /// (see `agentsim_session::overload::RetryPolicy`).
+    pub attempt: u32,
 }
 
 /// Declarative description of the client population. Cheap to clone;
@@ -160,6 +165,7 @@ impl OpenLoopPoisson {
             at: self.last,
             session: i,
             turn: i,
+            attempt: 0,
         })
     }
 }
@@ -216,6 +222,7 @@ impl ClosedLoop {
             at,
             session: user,
             turn,
+            attempt: 0,
         }
     }
 }
@@ -262,6 +269,7 @@ impl TraceReplay {
             at: self.last,
             session: i,
             turn: i,
+            attempt: 0,
         })
     }
 }

@@ -17,16 +17,24 @@
 //!   recorded-trace replay.
 //! - [`trace::RequestTrace`] — the per-request execution record every
 //!   driver produces.
+//! - [`overload`] — the overload-resilience policy surface shared by the
+//!   drivers: per-request deadlines, retry backoff, admission control,
+//!   and queue disciplines, plus the common load-parameter validation.
 //! - [`seeds`] — the named RNG-fork keys all drivers derive their
 //!   deterministic sub-streams from.
 
 pub mod client;
+pub mod overload;
 pub mod runner;
 pub mod seeds;
 pub mod shard;
 pub mod trace;
 
 pub use client::{Arrival, ArrivalProcess, ClientModel};
+pub use overload::{
+    validate_load, AcceptAll, AdmissionController, AdmissionPolicy, AimdLimiter, OverloadPolicy,
+    QueueDiscipline, RetryPolicy,
+};
 pub use runner::{CallDone, LlmOp, LlmSubmit, SessionCmd, SessionRunner, ToolRng};
 pub use shard::{Resolved, ShardPool, StepOutput};
 pub use trace::{LlmCallRecord, RequestTrace};

@@ -75,6 +75,16 @@ enum ShardCmd {
         now: SimTime,
         slot: SlotId,
     },
+    /// Mirror of [`Engine::cancel`]: the worker purges immediately (its
+    /// engine is never mid-step when commands execute) and reports how
+    /// many entries left the waiting/running sets, so the coordinator can
+    /// settle its mirrors at the same timeline point the sequential
+    /// driver would.
+    Cancel {
+        replica: usize,
+        now: SimTime,
+        id: RequestId,
+    },
     /// Mirror of [`Engine::begin_drain`].
     BeginDrain { replica: usize },
     /// Mirror of [`Engine::finish_drain`].
@@ -90,9 +100,20 @@ enum ShardCmd {
 /// What a worker reports back to the coordinator.
 enum WorkerMsg {
     Step(StepResolution),
+    /// A [`ShardCmd::Cancel`] was executed; mirrors settle from this.
+    Cancelled(CancelAck),
     /// The worker panicked; the coordinator should join the threads to
     /// re-raise the payload instead of blocking forever.
     Died,
+}
+
+/// A worker's answer to [`ShardCmd::Cancel`]: what the purge removed.
+/// Both counts are zero when the request had already finished (its
+/// completion raced the cancellation).
+struct CancelAck {
+    replica: usize,
+    from_waiting: usize,
+    from_running: usize,
 }
 
 /// A worker's answer to [`ShardCmd::StartStep`].
@@ -146,6 +167,15 @@ pub struct ShardPool {
     pending: VecDeque<PendingKick>,
     /// Resolved outputs awaiting their step-done pop, per replica.
     staged: Vec<Option<StepOutput>>,
+    /// Step resolutions received while blocking for a cancel ack; drained
+    /// by [`try_resolve`](Self::try_resolve) before the channel is read.
+    banked: VecDeque<Resolved>,
+    /// Cancel acks received but not yet settled, per replica.
+    acks: Vec<VecDeque<CancelAck>>,
+    /// Cancels sent while the replica was busy; settled at
+    /// [`take_step`](Self::take_step), matching the sequential engine's
+    /// deferred step-boundary purge.
+    cancel_owed: Vec<usize>,
     // -- exact mirrors of per-replica engine state --
     busy: Vec<bool>,
     waiting: Vec<usize>,
@@ -201,6 +231,9 @@ impl ShardPool {
             lookahead,
             pending: VecDeque::new(),
             staged: (0..replicas).map(|_| None).collect(),
+            banked: VecDeque::new(),
+            acks: (0..replicas).map(|_| VecDeque::new()).collect(),
+            cancel_owed: vec![0; replicas],
             busy: vec![false; replicas],
             waiting: vec![0; replicas],
             running: vec![0; replicas],
@@ -288,6 +321,40 @@ impl ShardPool {
         self.send(replica, ShardCmd::StartStep { replica, now, slot });
     }
 
+    /// Mirrors [`Engine::cancel`] on `replica` and settles the waiting /
+    /// running mirrors at the same timeline point the sequential driver
+    /// would observe the purge: immediately when the replica is idle
+    /// (engine purges on the spot), or at the step-done pop when a step is
+    /// in flight (engine defers the purge to the step boundary).
+    pub fn cancel(&mut self, replica: usize, now: SimTime, id: RequestId) {
+        self.send(replica, ShardCmd::Cancel { replica, now, id });
+        if self.busy[replica] {
+            self.cancel_owed[replica] += 1;
+        } else {
+            let ack = self.settle_ack(replica);
+            self.waiting[replica] -= ack.from_waiting;
+            self.running[replica] -= ack.from_running;
+        }
+    }
+
+    /// Blocks until `replica`'s next cancel ack is available, banking any
+    /// step resolutions (and other replicas' acks) that arrive first.
+    fn settle_ack(&mut self, replica: usize) -> CancelAck {
+        loop {
+            if let Some(ack) = self.acks[replica].pop_front() {
+                return ack;
+            }
+            match self.res_rx.recv() {
+                Ok(WorkerMsg::Step(res)) => {
+                    let resolved = self.apply(res);
+                    self.banked.push_back(resolved);
+                }
+                Ok(WorkerMsg::Cancelled(ack)) => self.acks[ack.replica].push_back(ack),
+                Ok(WorkerMsg::Died) | Err(_) => self.propagate_panic(),
+            }
+        }
+    }
+
     /// Mirrors [`Engine::begin_drain`] on `replica`.
     pub fn begin_drain(&mut self, replica: usize) {
         self.send(replica, ShardCmd::BeginDrain { replica });
@@ -351,22 +418,34 @@ impl ShardPool {
 
     /// Receives one resolution without blocking, if any is ready.
     pub fn try_resolve(&mut self) -> Option<Resolved> {
-        match self.res_rx.try_recv() {
-            Ok(WorkerMsg::Step(res)) => Some(self.apply(res)),
-            Ok(WorkerMsg::Died) => self.propagate_panic(),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => self.propagate_panic(),
+        if let Some(resolved) = self.banked.pop_front() {
+            return Some(resolved);
+        }
+        loop {
+            match self.res_rx.try_recv() {
+                Ok(WorkerMsg::Step(res)) => return Some(self.apply(res)),
+                Ok(WorkerMsg::Cancelled(ack)) => self.acks[ack.replica].push_back(ack),
+                Ok(WorkerMsg::Died) => self.propagate_panic(),
+                Err(mpsc::TryRecvError::Empty) => return None,
+                Err(mpsc::TryRecvError::Disconnected) => self.propagate_panic(),
+            }
         }
     }
 
     /// Blocks until the next resolution arrives. Must only be called while
     /// [`has_pending`](Self::has_pending) is true.
     pub fn wait_resolve(&mut self) -> Resolved {
+        if let Some(resolved) = self.banked.pop_front() {
+            return resolved;
+        }
         assert!(self.has_pending(), "waiting with no kick in flight");
-        match self.res_rx.recv() {
-            Ok(WorkerMsg::Step(res)) => self.apply(res),
-            Ok(WorkerMsg::Died) => self.propagate_panic(),
-            Err(_) => self.propagate_panic(),
+        loop {
+            match self.res_rx.recv() {
+                Ok(WorkerMsg::Step(res)) => return self.apply(res),
+                Ok(WorkerMsg::Cancelled(ack)) => self.acks[ack.replica].push_back(ack),
+                Ok(WorkerMsg::Died) => self.propagate_panic(),
+                Err(_) => self.propagate_panic(),
+            }
         }
     }
 
@@ -381,6 +460,15 @@ impl ShardPool {
         let preempted = std::mem::take(&mut self.preempt_credit[replica]);
         self.running[replica] -= out.completions.len() + out.migrations.len() + preempted;
         self.waiting[replica] += preempted;
+        // Cancels sent mid-step purge after the worker's step resolution,
+        // so their mirror deltas settle after the step's own (production
+        // first, purge second — the sequential boundary order).
+        let owed = std::mem::take(&mut self.cancel_owed[replica]);
+        for _ in 0..owed {
+            let ack = self.settle_ack(replica);
+            self.waiting[replica] -= ack.from_waiting;
+            self.running[replica] -= ack.from_running;
+        }
         out
     }
 
@@ -410,6 +498,10 @@ impl ShardPool {
     /// order. All kicks must have been resolved and taken.
     pub fn shutdown(mut self) -> Vec<Engine> {
         assert!(self.pending.is_empty(), "shutdown with steps in flight");
+        debug_assert!(
+            self.cancel_owed.iter().all(|&owed| owed == 0),
+            "shutdown with unsettled cancels"
+        );
         for tx in &self.cmd_tx {
             // A worker that already panicked has hung up; join below
             // surfaces the panic.
@@ -527,6 +619,19 @@ fn run_worker(
                     break;
                 }
             }
+            ShardCmd::Cancel { replica, now, id } => {
+                let e = engine_mut(&mut engines, replica);
+                let (q_before, r_before) = (e.queue_len(), e.running_len());
+                e.cancel(now, id);
+                let ack = CancelAck {
+                    replica,
+                    from_waiting: q_before - e.queue_len(),
+                    from_running: r_before - e.running_len(),
+                };
+                if tx.send(WorkerMsg::Cancelled(ack)).is_err() {
+                    break;
+                }
+            }
             ShardCmd::BeginDrain { replica } => engine_mut(&mut engines, replica).begin_drain(),
             ShardCmd::FinishDrain { replica, now, role } => {
                 engine_mut(&mut engines, replica).finish_drain(now, role)
@@ -623,6 +728,35 @@ mod tests {
             pool.take_step(r.replica);
         }
         pool.shutdown();
+    }
+
+    #[test]
+    fn cancel_settles_mirrors_idle_and_mid_step() {
+        let mut pool = ShardPool::spawn(engines(1), 1, floor());
+        let mut queue: EventQueue<usize> = EventQueue::new();
+
+        // Idle cancel of a waiting request settles immediately.
+        let a = pool.submit(0, SimTime::ZERO, TokenBuf::from_segment(1, 64), 4, 7, 0);
+        let b = pool.submit(0, SimTime::ZERO, TokenBuf::from_segment(2, 64), 4, 8, 0);
+        assert_eq!(pool.load(0), 2);
+        pool.cancel(0, SimTime::ZERO, a);
+        assert_eq!(pool.load(0), 1);
+
+        // Mid-step cancel of the running survivor settles at take_step.
+        let slot = queue.reserve_slot();
+        pool.kick(0, SimTime::ZERO, slot);
+        pool.cancel(0, SimTime::ZERO, b);
+        let resolved = pool.wait_resolve();
+        queue.push_reserved(resolved.slot, resolved.ends, resolved.replica);
+        let (_, replica) = queue.pop().expect("a step-done is scheduled");
+        let out = pool.take_step(replica);
+        assert!(out.completions.is_empty(), "cancelled before finishing");
+        assert_eq!(pool.load(0), 0);
+        assert!(!pool.wants_kick(0));
+
+        let back = pool.shutdown();
+        assert_eq!(back[0].metrics().abandoned, 2);
+        assert_eq!(back[0].metrics().completed, 0);
     }
 
     #[test]

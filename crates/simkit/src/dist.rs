@@ -448,4 +448,40 @@ mod tests {
     fn categorical_rejects_empty() {
         let _ = Categorical::new(&[]);
     }
+
+    #[test]
+    #[should_panic(expected = "exponential rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::with_rate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate must be positive")]
+    fn exponential_rejects_negative_rate() {
+        let _ = Exponential::with_rate(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate must be positive")]
+    fn exponential_rejects_nan_rate() {
+        let _ = Exponential::with_rate(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate must be positive")]
+    fn exponential_rejects_infinite_rate() {
+        let _ = Exponential::with_rate(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential mean must be positive")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Exponential::with_mean(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential mean must be positive")]
+    fn exponential_rejects_non_finite_mean() {
+        let _ = Exponential::with_mean(f64::NAN);
+    }
 }
