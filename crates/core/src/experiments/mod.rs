@@ -34,6 +34,7 @@ pub mod ext_autoscale;
 pub mod ext_closed_loop;
 pub mod ext_disagg;
 pub mod ext_hardware;
+pub mod ext_kv_offload;
 pub mod ext_mixed;
 pub mod ext_overload;
 pub mod ext_routing;
@@ -203,6 +204,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Congestion collapse vs adaptive admission control"
         ),
         experiment!(
+            ext_kv_offload,
+            "(extension)",
+            "KV offload to host DRAM/NVMe with invocation-distance eviction"
+        ),
+        experiment!(
             ext_static,
             "(extension)",
             "Static (Best-of-N) vs dynamic test-time scaling"
@@ -227,7 +233,7 @@ mod tests {
     #[test]
     fn registry_covers_all_paper_artifacts() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 37);
+        assert_eq!(ids.len(), 38);
         for required in [
             "table1",
             "table2",
@@ -253,6 +259,6 @@ mod tests {
         let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 37);
+        assert_eq!(ids.len(), 38);
     }
 }

@@ -241,6 +241,14 @@ pub struct DisaggReport {
     pub energy_wh: f64,
     /// Prefix-cache hit rate over prefill-side prompt tokens.
     pub kv_hit_rate: f64,
+    /// KV blocks demoted out of HBM into the offload tiers, both pools.
+    pub offload_demoted_blocks: u64,
+    /// KV blocks promoted back into HBM from the offload tiers.
+    pub offload_promoted_blocks: u64,
+    /// Prompt tokens whose recompute was avoided by promotion.
+    pub offload_promoted_tokens: u64,
+    /// KV blocks that fell off the bottom tier entirely.
+    pub offload_dropped_blocks: u64,
     /// Preemptions across both pools.
     pub preemptions: u64,
     /// Completed role flips, in completion order (empty without
@@ -331,7 +339,10 @@ impl DisaggReport {
              \"p50_s\":{},\"p95_s\":{},\"ttft_p50_s\":{},\"ttft_p95_s\":{},\
              \"tpot_p50_s\":{},\"tpot_p99_s\":{},\"calls\":{},\"migrated_calls\":{},\
              \"transferred_bytes\":{},\"transfer_wait_s\":{},\"energy_wh\":{},\
-             \"kv_hit_rate\":{},\"preemptions\":{},\"flips\":{},\"phases_s\":{{",
+             \"kv_hit_rate\":{},\"offload_demoted_blocks\":{},\
+             \"offload_promoted_blocks\":{},\"offload_promoted_tokens\":{},\
+             \"offload_dropped_blocks\":{},\
+             \"preemptions\":{},\"flips\":{},\"phases_s\":{{",
             self.offered_qps,
             self.prefill_replicas,
             self.decode_replicas,
@@ -353,6 +364,10 @@ impl DisaggReport {
             self.transfer_wait.as_secs_f64(),
             self.energy_wh,
             self.kv_hit_rate,
+            self.offload_demoted_blocks,
+            self.offload_promoted_blocks,
+            self.offload_promoted_tokens,
+            self.offload_dropped_blocks,
             self.preemptions,
             self.flips.len(),
         );
@@ -489,6 +504,10 @@ mod tests {
             decode_utilization: vec![0.4],
             energy_wh: 1.0,
             kv_hit_rate: 0.3,
+            offload_demoted_blocks: 0,
+            offload_promoted_blocks: 0,
+            offload_promoted_tokens: 0,
+            offload_dropped_blocks: 0,
             preemptions: 0,
             flips: vec![],
         }

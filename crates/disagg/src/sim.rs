@@ -907,11 +907,17 @@ impl DisaggSim {
         // prefill-pool-only sum of the static-split driver.
         let (mut hits, mut lookups) = (0u64, 0u64);
         let mut preemptions = 0u64;
+        let (mut demoted, mut promoted, mut promoted_tokens, mut dropped) =
+            (0u64, 0u64, 0u64, 0u64);
         for e in &self.replicas {
             let kv = e.kv().stats();
             hits += kv.hit_tokens;
             lookups += kv.hit_tokens + kv.miss_tokens;
             preemptions += e.metrics().preemptions;
+            demoted += kv.demoted_blocks_host + kv.demoted_blocks_nvme;
+            promoted += kv.promoted_blocks_host + kv.promoted_blocks_nvme;
+            promoted_tokens += kv.promoted_tokens;
+            dropped += kv.offload_dropped_blocks;
         }
         // Float sums follow final pool membership in ascending-index
         // order — with autoscaling disabled that is exactly the
@@ -956,6 +962,10 @@ impl DisaggSim {
             } else {
                 hits as f64 / lookups as f64
             },
+            offload_demoted_blocks: demoted,
+            offload_promoted_blocks: promoted,
+            offload_promoted_tokens: promoted_tokens,
+            offload_dropped_blocks: dropped,
             preemptions,
             flips: self.flips,
         }

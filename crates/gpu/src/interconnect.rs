@@ -66,6 +66,29 @@ impl LinkSpec {
         }
     }
 
+    /// GPU↔host-DRAM DMA path for KV offload: the same PCIe Gen4 x16 wire
+    /// as [`LinkSpec::pcie_gen4`], but with a shorter per-transfer setup —
+    /// demote/promote copies are driver-initiated DMA, not a cross-replica
+    /// descriptor exchange.
+    pub fn pcie_host() -> Self {
+        LinkSpec {
+            name: "pcie_host",
+            bandwidth_bytes_per_s: 24e9,
+            latency: SimDuration::from_micros(10),
+        }
+    }
+
+    /// Host↔NVMe tier for cold KV: a striped pair of datacenter Gen4
+    /// drives, ~3 GB/s effective for large sequential KV segments, with
+    /// flash-read latency per transfer.
+    pub fn nvme() -> Self {
+        LinkSpec {
+            name: "nvme",
+            bandwidth_bytes_per_s: 3e9,
+            latency: SimDuration::from_micros(100),
+        }
+    }
+
     /// An idealized free link: infinite bandwidth, zero latency. Used by
     /// conservation tests to show disaggregation with no transfer cost
     /// reproduces colocated behaviour.
@@ -209,6 +232,25 @@ mod tests {
         let bytes = 256 << 20;
         assert!(nv.transfer_time(bytes) < rdma.transfer_time(bytes));
         assert!(rdma.transfer_time(bytes) < pcie.transfer_time(bytes));
+    }
+
+    #[test]
+    fn offload_presets_sit_below_the_migration_links() {
+        let host = LinkSpec::pcie_host();
+        let nvme = LinkSpec::nvme();
+        host.validate();
+        nvme.validate();
+        // The offload hierarchy is strictly slower per tier: host DRAM is
+        // PCIe-bound, NVMe is an order of magnitude below that.
+        assert!(LinkSpec::nvlink4().bandwidth_bytes_per_s > host.bandwidth_bytes_per_s);
+        assert!(host.bandwidth_bytes_per_s > nvme.bandwidth_bytes_per_s);
+        assert!(host.latency < nvme.latency);
+        // A 2 MiB KV block (16 tokens of the 8B preset) promotes from host
+        // in well under a millisecond, but an NVMe read is ~0.8 ms — the
+        // gap the invocation-distance policy exists to hide.
+        let block = 2 << 20;
+        assert!(host.transfer_time(block) < SimDuration::from_micros(200));
+        assert!(nvme.transfer_time(block) > SimDuration::from_micros(500));
     }
 
     #[test]

@@ -34,11 +34,13 @@
 
 pub mod block;
 pub mod hash;
+pub mod hierarchy;
 pub mod manager;
 pub mod stats;
 pub mod tokens;
 
 pub use block::BlockId;
+pub use hierarchy::{EvictionPolicy, MemoryHierarchy, OffloadSpec, Tier, TierDir, TierTransfer};
 pub use manager::{AllocError, KvBlockManager, KvConfig, SeqHandle};
 pub use stats::KvStats;
 pub use tokens::{Token, TokenBuf};

@@ -12,6 +12,7 @@ use agentsim_simkit::SimTime;
 
 use crate::block::{BlockId, BlockMeta, BlockState};
 use crate::hash::{chain_hash, CHAIN_ROOT};
+use crate::hierarchy::{EvictionPolicy, MemoryHierarchy, OffloadSpec, Tier, TierTransfer};
 use crate::stats::KvStats;
 use crate::tokens::{Token, TokenBuf};
 
@@ -83,17 +84,25 @@ pub struct KvBlockManager {
     config: KvConfig,
     metas: Vec<BlockMeta>,
     lru_ticks: Vec<u64>,
+    /// Per-block eviction rank as currently keyed in `lru` (always zero
+    /// under plain LRU; see [`EvictionPolicy`]).
+    ranks: Vec<u64>,
     free: Vec<BlockId>,
     /// chain hash -> resident block holding that content.
     cache: HashMap<u64, BlockId>,
-    /// Evictable blocks ordered by last use (tick, block).
-    lru: BTreeSet<(u64, BlockId)>,
+    /// Evictable blocks ordered (rank, last-use tick, block): the minimum
+    /// is the next victim. Rank is zero without an offload hierarchy (or
+    /// under its LRU baseline), making the order exactly LRU.
+    lru: BTreeSet<(u64, u64, BlockId)>,
     seqs: HashMap<u64, SeqState>,
     next_seq: u64,
     tick: u64,
     /// Blocks currently in [`BlockState::Active`], maintained at every
     /// state transition so usage tracking never scans the pool.
     active: usize,
+    /// Offload tiers below HBM; eviction demotes into them and admission
+    /// promotes back out. `None` keeps the classic evict-and-forget pool.
+    hierarchy: Option<MemoryHierarchy>,
     stats: KvStats,
 }
 
@@ -110,6 +119,7 @@ impl KvBlockManager {
             config,
             metas: (0..config.num_blocks).map(|_| BlockMeta::free()).collect(),
             lru_ticks: vec![0; config.num_blocks as usize],
+            ranks: vec![0; config.num_blocks as usize],
             free: (0..config.num_blocks).rev().map(BlockId).collect(),
             cache: HashMap::new(),
             lru: BTreeSet::new(),
@@ -117,6 +127,7 @@ impl KvBlockManager {
             next_seq: 0,
             tick: 0,
             active: 0,
+            hierarchy: None,
             stats: KvStats::default(),
         }
     }
@@ -124,6 +135,38 @@ impl KvBlockManager {
     /// The pool configuration.
     pub fn config(&self) -> KvConfig {
         self.config
+    }
+
+    /// Attaches offload tiers below HBM. Must be called before any
+    /// traffic, and requires prefix caching — tier content is identified
+    /// by chain hash, exactly like the prefix cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sequences were already admitted or prefix caching is off.
+    pub fn enable_offload(&mut self, spec: OffloadSpec) {
+        assert!(
+            self.stats.sequences == 0 && self.seqs.is_empty(),
+            "offload tiers must be configured before any traffic"
+        );
+        assert!(
+            self.config.prefix_caching,
+            "KV offload requires prefix caching (tier content is chain-hashed)"
+        );
+        self.hierarchy = Some(MemoryHierarchy::new(spec));
+    }
+
+    /// The offload hierarchy, if one is attached.
+    pub fn hierarchy(&self) -> Option<&MemoryHierarchy> {
+        self.hierarchy.as_ref()
+    }
+
+    /// Drains tier transfers recorded since the last call (in occurrence
+    /// order) into `out`, for the engine to price through its links.
+    pub fn take_tier_transfers(&mut self, out: &mut Vec<TierTransfer>) {
+        if let Some(h) = &mut self.hierarchy {
+            h.take_transfers(out);
+        }
     }
 
     /// Counts how many leading full blocks of `tokens` are already resident.
@@ -234,9 +277,11 @@ impl KvBlockManager {
         // Revive / share cached prefix blocks.
         for h in &hashes[..hits] {
             let id = self.cache[h];
-            // Remove the LRU entry keyed by the *old* tick before touching.
+            // Remove the LRU entry keyed by the *old* rank and tick before
+            // touching.
             if self.metas[id.0 as usize].state == BlockState::Cached {
-                self.lru.remove(&(self.lru_ticks[id.0 as usize], id));
+                self.lru
+                    .remove(&(self.ranks[id.0 as usize], self.lru_ticks[id.0 as usize], id));
                 self.metas[id.0 as usize].state = BlockState::Active;
                 self.active += 1;
             }
@@ -245,8 +290,37 @@ impl KvBlockManager {
             blocks.push(id);
         }
 
+        // Where the HBM hit run ends, the offload tiers may continue it:
+        // consecutive blocks resident in host/NVMe are *promoted* — they
+        // still need fresh HBM blocks below, but their tokens skip
+        // recompute and the transfer is priced by the engine instead.
+        // Imports skip this: their KV arrives over the migration link.
+        let mut promoted = 0usize;
+        if !imported && self.config.prefix_caching {
+            if let Some(hier) = &mut self.hierarchy {
+                let (mut from_host, mut from_nvme) = (0u32, 0u32);
+                for h in &hashes[hits..] {
+                    match hier.take(*h) {
+                        Some(Tier::Host) => from_host += 1,
+                        Some(Tier::Nvme) => from_nvme += 1,
+                        None => break,
+                    }
+                    promoted += 1;
+                }
+                hier.record_promote(Tier::Host, from_host, &mut self.stats);
+                hier.record_promote(Tier::Nvme, from_nvme, &mut self.stats);
+                // Every prefix block touched by this admission has had its
+                // predicted invocation happen; stale predictions would
+                // keep an ended session's blocks looking hot forever.
+                for h in hashes.iter() {
+                    hier.clear_pred(*h);
+                }
+            }
+        }
+
         // Fresh blocks for the remaining full blocks (hash known now — the
-        // prefill computing them makes the content immediately shareable).
+        // prefill computing them, or the promotion restoring them, makes
+        // the content immediately shareable).
         for h in &hashes[hits..] {
             let id = self.obtain_block(now)?;
             let meta = &mut self.metas[id.0 as usize];
@@ -256,6 +330,11 @@ impl KvBlockManager {
             if self.config.prefix_caching {
                 self.metas[id.0 as usize].chain_hash = Some(*h);
                 self.cache.insert(*h, id);
+                // Recomputed content invalidates any stale offloaded copy:
+                // a hash lives in exactly one place.
+                if let Some(hier) = &mut self.hierarchy {
+                    hier.take(*h);
+                }
             }
             blocks.push(id);
         }
@@ -272,12 +351,15 @@ impl KvBlockManager {
         }
 
         // A fully cached prompt still recomputes its final token so the
-        // model has logits to sample from (vLLM behaviour).
-        let cached_tokens = (hits * bs).min(tokens.len().saturating_sub(1));
+        // model has logits to sample from (vLLM behaviour). Promoted
+        // blocks count as cached — their tokens skip recompute too.
+        let cached_tokens = ((hits + promoted) * bs).min(tokens.len().saturating_sub(1));
         if imported {
             self.stats.imported_tokens += tokens.len() as u64;
         } else {
+            let hbm_cached = (hits * bs).min(tokens.len().saturating_sub(1));
             self.stats.hit_tokens += cached_tokens as u64;
+            self.stats.promoted_tokens += (cached_tokens - hbm_cached) as u64;
             self.stats.miss_tokens += (tokens.len() - cached_tokens) as u64;
         }
         self.stats.sequences += 1;
@@ -347,6 +429,11 @@ impl KvBlockManager {
                 // Content collisions (another block already holds this
                 // chain) keep the existing entry.
                 self.cache.entry(h).or_insert(id);
+                // Freshly decoded content invalidates a stale offloaded
+                // copy of the same chain.
+                if let Some(hier) = &mut self.hierarchy {
+                    hier.take(h);
+                }
             }
         }
         self.note_usage(now);
@@ -377,8 +464,14 @@ impl KvBlockManager {
                 .is_some_and(|h| self.cache.get(&h) == Some(&id));
             if self.config.prefix_caching && registered {
                 meta.state = BlockState::Cached;
+                let hash = self.metas[id.0 as usize].chain_hash.expect("registered");
                 self.touch(id, now);
-                self.lru.insert((self.lru_ticks[id.0 as usize], id));
+                let rank = self
+                    .hierarchy
+                    .as_ref()
+                    .map_or(0, |hier| hier.rank_for(hash));
+                self.ranks[id.0 as usize] = rank;
+                self.lru.insert((rank, self.lru_ticks[id.0 as usize], id));
             } else {
                 if let Some(h) = meta.chain_hash.take() {
                     if self.cache.get(&h) == Some(&id) {
@@ -392,14 +485,70 @@ impl KvBlockManager {
         self.note_usage(now);
     }
 
-    /// Prompt tokens of `seq` that were served from the prefix cache.
+    /// Prompt tokens of `seq` that were served from the prefix cache (or
+    /// promoted from an offload tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle — a freed sequence has no block table, and
+    /// a silent zero here once masked accounting bugs. Use
+    /// [`Self::try_cached_tokens`] when staleness is expected.
     pub fn cached_tokens(&self, seq: &SeqHandle) -> usize {
-        self.seqs.get(&seq.0).map_or(0, |s| s.cached_tokens)
+        self.try_cached_tokens(seq)
+            .expect("stale SeqHandle: sequence already freed or never allocated")
+    }
+
+    /// Like [`Self::cached_tokens`], but `None` on a stale handle.
+    pub fn try_cached_tokens(&self, seq: &SeqHandle) -> Option<usize> {
+        self.seqs.get(&seq.0).map(|s| s.cached_tokens)
     }
 
     /// Current length (tokens) of a live sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle, like [`Self::cached_tokens`]. Use
+    /// [`Self::try_seq_len`] when staleness is expected.
     pub fn seq_len(&self, seq: &SeqHandle) -> usize {
-        self.seqs.get(&seq.0).map_or(0, |s| s.len_tokens)
+        self.try_seq_len(seq)
+            .expect("stale SeqHandle: sequence already freed or never allocated")
+    }
+
+    /// Like [`Self::seq_len`], but `None` on a stale handle.
+    pub fn try_seq_len(&self, seq: &SeqHandle) -> Option<usize> {
+        self.seqs.get(&seq.0).map(|s| s.len_tokens)
+    }
+
+    /// Feeds the session layer's next-invocation prediction for a token
+    /// chain: each of `hashes` (the chain hashes of a context that will be
+    /// resubmitted) is expected back at `at`, predicted at time `now`.
+    /// Re-ranks any HBM-evictable copy and any offloaded copy under
+    /// [`EvictionPolicy::InvocationDistance`]; a no-op without a
+    /// hierarchy or under the LRU baseline.
+    pub fn hint_next_use(&mut self, hashes: &[u64], now: SimTime, at: SimTime) {
+        let Some(hier) = &mut self.hierarchy else {
+            return;
+        };
+        if hier.policy() != EvictionPolicy::InvocationDistance {
+            return;
+        }
+        for &h in hashes {
+            hier.hint(h, at);
+            // Re-key a resident evictable copy under its new rank.
+            if let Some(&id) = self.cache.get(&h) {
+                if self.metas[id.0 as usize].state == BlockState::Cached {
+                    let tick = self.lru_ticks[id.0 as usize];
+                    let old = self.ranks[id.0 as usize];
+                    let new = hier.rank_for(h);
+                    if new != old {
+                        self.lru.remove(&(old, tick, id));
+                        self.ranks[id.0 as usize] = new;
+                        self.lru.insert((new, tick, id));
+                    }
+                }
+            }
+        }
+        hier.prune_pred(now);
     }
 
     /// Blocks referenced by live sequences.
@@ -432,13 +581,20 @@ impl KvBlockManager {
             self.touch(id, now);
             return Ok(id);
         }
-        // Evict the least-recently-used cached block.
-        if let Some(&(tick, id)) = self.lru.iter().next() {
-            self.lru.remove(&(tick, id));
+        // Evict the lowest-ranked cached block (exact LRU without an
+        // offload hierarchy).
+        if let Some(&(rank, tick, id)) = self.lru.iter().next() {
+            self.lru.remove(&(rank, tick, id));
             let meta = &mut self.metas[id.0 as usize];
             if let Some(h) = meta.chain_hash.take() {
                 if self.cache.get(&h) == Some(&id) {
                     self.cache.remove(&h);
+                    // Spill the evicted content down the hierarchy rather
+                    // than destroying it; the engine prices the copy as an
+                    // asynchronous transfer on the offload link.
+                    if let Some(hier) = &mut self.hierarchy {
+                        hier.demote(h, &mut self.stats);
+                    }
                 }
             }
             *meta = BlockMeta::free();
@@ -478,11 +634,17 @@ impl KvBlockManager {
                 return Err(format!("{id} on free list but not Free"));
             }
         }
-        for &(_, id) in &self.lru {
+        for &(rank, tick, id) in &self.lru {
             seen[id.0 as usize] += 1;
             let m = &self.metas[id.0 as usize];
             if m.state != BlockState::Cached || m.ref_count != 0 {
                 return Err(format!("{id} in LRU but not an unreferenced cached block"));
+            }
+            if self.ranks[id.0 as usize] != rank || self.lru_ticks[id.0 as usize] != tick {
+                return Err(format!(
+                    "{id} keyed ({rank}, {tick}) but recorded ({}, {})",
+                    self.ranks[id.0 as usize], self.lru_ticks[id.0 as usize]
+                ));
             }
         }
         for (i, m) in self.metas.iter().enumerate() {
@@ -522,6 +684,19 @@ impl KvBlockManager {
             }
             if self.metas[id.0 as usize].state == BlockState::Free {
                 return Err(format!("cache entry {h:#x} points at free {id}"));
+            }
+        }
+        if let Some(hier) = &self.hierarchy {
+            hier.check_invariants()?;
+            // A chain hash lives in exactly one place: the HBM prefix
+            // cache, the host tier, or the NVMe tier.
+            for h in self.cache.keys() {
+                if let Some(tier) = hier.tier_of(*h) {
+                    return Err(format!(
+                        "hash {h:#x} resident in HBM and the {} tier",
+                        tier.name()
+                    ));
+                }
             }
         }
         Ok(())
@@ -789,5 +964,298 @@ mod tests {
         let s = m.allocate(&p, t(0)).unwrap();
         m.free(s, t(1));
         m.free(s, t(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale SeqHandle")]
+    fn cached_tokens_on_freed_handle_panics() {
+        let mut m = mgr(4, true);
+        let p = TokenBuf::from_segment(1, 16);
+        let s = m.allocate(&p, t(0)).unwrap();
+        m.free(s, t(1));
+        let _ = m.cached_tokens(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale SeqHandle")]
+    fn seq_len_on_freed_handle_panics() {
+        let mut m = mgr(4, true);
+        let p = TokenBuf::from_segment(1, 16);
+        let s = m.allocate(&p, t(0)).unwrap();
+        m.free(s, t(1));
+        let _ = m.seq_len(&s);
+    }
+
+    #[test]
+    fn try_accessors_report_staleness_instead() {
+        let mut m = mgr(4, true);
+        let p = TokenBuf::from_segment(1, 16);
+        let s = m.allocate(&p, t(0)).unwrap();
+        assert_eq!(m.try_cached_tokens(&s), Some(0));
+        assert_eq!(m.try_seq_len(&s), Some(16));
+        m.free(s, t(1));
+        assert_eq!(m.try_cached_tokens(&s), None);
+        assert_eq!(m.try_seq_len(&s), None);
+    }
+
+    mod offload {
+        use super::*;
+        use crate::hierarchy::{EvictionPolicy, OffloadSpec, Tier, TierDir, TierTransfer};
+
+        fn tiered(blocks: u32, host: u32, nvme: u32, policy: EvictionPolicy) -> KvBlockManager {
+            let mut m = mgr(blocks, true);
+            m.enable_offload(OffloadSpec {
+                host_blocks: host,
+                nvme_blocks: nvme,
+                policy,
+            });
+            m
+        }
+
+        #[test]
+        fn eviction_demotes_instead_of_destroying() {
+            let mut m = tiered(8, 8, 0, EvictionPolicy::Lru);
+            let p1 = TokenBuf::from_segment(1, 64); // 4 blocks
+            let s1 = m.allocate(&p1, t(0)).unwrap();
+            m.free(s1, t(1));
+            let p2 = TokenBuf::from_segment(2, 64);
+            let s2 = m.allocate(&p2, t(2)).unwrap();
+            m.free(s2, t(3));
+            // Pool full of cached blocks; p3 evicts p1's four into host.
+            let p3 = TokenBuf::from_segment(3, 64);
+            let _s3 = m.allocate(&p3, t(4)).unwrap();
+            assert_eq!(m.stats().evictions, 4);
+            assert_eq!(m.stats().demoted_blocks_host, 4);
+            assert_eq!(m.hierarchy().unwrap().host_resident(), 4);
+            m.check_invariants().unwrap();
+        }
+
+        #[test]
+        fn offloaded_prefix_promotes_and_counts_as_cached() {
+            let mut m = tiered(8, 8, 0, EvictionPolicy::Lru);
+            let p1 = TokenBuf::from_segment(1, 64);
+            let s1 = m.allocate(&p1, t(0)).unwrap();
+            m.free(s1, t(1));
+            let p2 = TokenBuf::from_segment(2, 128); // 8 blocks: evicts all of p1
+            let s2 = m.allocate(&p2, t(2)).unwrap();
+            assert_eq!(m.stats().demoted_blocks_host, 4);
+            m.free(s2, t(3));
+            // p1 returns: its 4 blocks promote from host instead of
+            // recomputing — same cached_tokens a pure HBM hit would give.
+            let s1b = m.allocate(&p1, t(4)).unwrap();
+            assert_eq!(m.cached_tokens(&s1b), 63);
+            assert_eq!(m.stats().promoted_blocks_host, 4);
+            assert_eq!(m.stats().promoted_tokens, 63);
+            // p1's copies left the tier; the fresh blocks its readmission
+            // needed evicted (and demoted) p2's four in turn.
+            assert_eq!(m.hierarchy().unwrap().host_resident(), 4);
+            // The transfer events carry both directions for the engine.
+            let mut events = Vec::new();
+            m.take_tier_transfers(&mut events);
+            let promoted: u32 = events
+                .iter()
+                .filter(|e| e.dir == TierDir::Promote)
+                .map(|e| e.blocks)
+                .sum();
+            assert_eq!(promoted, 4);
+            m.check_invariants().unwrap();
+        }
+
+        #[test]
+        fn promoted_tokens_are_a_subset_of_hits() {
+            let mut m = tiered(8, 8, 0, EvictionPolicy::Lru);
+            let p1 = TokenBuf::from_segment(1, 64);
+            let s1 = m.allocate(&p1, t(0)).unwrap();
+            m.free(s1, t(1));
+            let p2 = TokenBuf::from_segment(2, 128);
+            let s2 = m.allocate(&p2, t(2)).unwrap();
+            m.free(s2, t(3));
+            let _ = m.allocate(&p1, t(4)).unwrap();
+            let st = m.stats();
+            assert!(st.promoted_tokens <= st.hit_tokens);
+            assert_eq!(st.hit_tokens + st.miss_tokens, 64 + 128 + 64);
+        }
+
+        #[test]
+        fn zero_capacity_tiers_match_no_offload_exactly() {
+            // The same op script against a plain pool and a zero-capacity
+            // hierarchy: every observable (stats, block placement) agrees.
+            let run = |m: &mut KvBlockManager| {
+                let p1 = TokenBuf::from_segment(1, 64);
+                let s1 = m.allocate(&p1, t(0)).unwrap();
+                m.free(s1, t(1));
+                let p2 = TokenBuf::from_segment(2, 128);
+                let s2 = m.allocate(&p2, t(2)).unwrap();
+                m.free(s2, t(3));
+                let s3 = m.allocate(&p1, t(4)).unwrap();
+                m.check_invariants().unwrap();
+                (
+                    m.cached_tokens(&s3),
+                    m.stats().evictions,
+                    m.stats().hit_tokens,
+                    m.stats().miss_tokens,
+                    m.free_blocks(),
+                    m.evictable_blocks(),
+                )
+            };
+            let mut plain = mgr(8, true);
+            let mut zeroed = tiered(8, 0, 0, EvictionPolicy::InvocationDistance);
+            assert_eq!(run(&mut plain), run(&mut zeroed));
+            let st = zeroed.stats();
+            assert_eq!(st.demoted_blocks_host + st.demoted_blocks_nvme, 0);
+            assert_eq!(st.offload_dropped_blocks, 0);
+            let mut events = Vec::new();
+            zeroed.take_tier_transfers(&mut events);
+            assert!(events.is_empty(), "zero-capacity tiers record no transfers");
+        }
+
+        #[test]
+        fn recomputed_chain_invalidates_stale_tier_copy() {
+            let mut m = tiered(4, 8, 0, EvictionPolicy::Lru);
+            let p1 = TokenBuf::from_segment(1, 64);
+            let s1 = m.allocate(&p1, t(0)).unwrap();
+            m.free(s1, t(1));
+            // Evict everything into host...
+            let p2 = TokenBuf::from_segment(2, 64);
+            let s2 = m.allocate(&p2, t(2)).unwrap();
+            assert_eq!(m.hierarchy().unwrap().host_resident(), 4);
+            m.free(s2, t(3));
+            // ...then readmit p1: the four blocks promote back, leaving
+            // no duplicate copies behind.
+            let _ = m.allocate(&p1, t(4)).unwrap();
+            assert_eq!(m.hierarchy().unwrap().host_resident(), 4); // p2's, demoted in turn
+            m.check_invariants().unwrap();
+        }
+
+        #[test]
+        fn distance_hints_spill_the_farthest_context_first() {
+            let mut m = tiered(8, 0, 0, EvictionPolicy::InvocationDistance);
+            let p1 = TokenBuf::from_segment(1, 64); // 4 blocks, freed older
+            let s1 = m.allocate(&p1, t(0)).unwrap();
+            m.free(s1, t(1));
+            let p2 = TokenBuf::from_segment(2, 64); // 4 blocks, freed newer
+            let s2 = m.allocate(&p2, t(2)).unwrap();
+            m.free(s2, t(3));
+            // p1 returns imminently, p2 only much later: a new prompt
+            // evicts p2's blocks even though they are the younger ones
+            // (LRU would have taken p1's).
+            let hashes1 = p1.chain_hashes_cached(16).to_vec();
+            let hashes2 = p2.chain_hashes_cached(16).to_vec();
+            m.hint_next_use(&hashes1, t(4), t(1_000));
+            m.hint_next_use(&hashes2, t(4), t(60_000_000));
+            let p3 = TokenBuf::from_segment(3, 64);
+            let _ = m.allocate(&p3, t(5)).unwrap();
+            assert_eq!(m.count_hits(&hashes1), 4, "imminent blocks survived");
+            assert_eq!(m.count_hits(&hashes2), 0, "far-future blocks evicted");
+            m.check_invariants().unwrap();
+        }
+
+        #[test]
+        fn unhinted_blocks_outrank_every_prediction() {
+            // Unhinted content is assumed imminently reusable (a hot
+            // shared prefix loses its prediction on every use), so even an
+            // imminent hint spills before it.
+            let mut m = tiered(8, 0, 0, EvictionPolicy::InvocationDistance);
+            let p1 = TokenBuf::from_segment(1, 64); // freed older, unhinted
+            let s1 = m.allocate(&p1, t(0)).unwrap();
+            m.free(s1, t(1));
+            let p2 = TokenBuf::from_segment(2, 64); // freed newer, hinted
+            let s2 = m.allocate(&p2, t(2)).unwrap();
+            m.free(s2, t(3));
+            let hashes1 = p1.chain_hashes_cached(16).to_vec();
+            let hashes2 = p2.chain_hashes_cached(16).to_vec();
+            m.hint_next_use(&hashes2, t(4), t(1_000));
+            let p3 = TokenBuf::from_segment(3, 64);
+            let _ = m.allocate(&p3, t(5)).unwrap();
+            assert_eq!(m.count_hits(&hashes1), 4, "unhinted blocks survived");
+            assert_eq!(m.count_hits(&hashes2), 0, "hinted blocks spilled");
+            m.check_invariants().unwrap();
+        }
+
+        #[test]
+        fn lru_ignores_hints_entirely() {
+            let mut m = tiered(8, 0, 0, EvictionPolicy::Lru);
+            let p1 = TokenBuf::from_segment(1, 64);
+            let s1 = m.allocate(&p1, t(0)).unwrap();
+            m.free(s1, t(1));
+            let p2 = TokenBuf::from_segment(2, 64);
+            let s2 = m.allocate(&p2, t(2)).unwrap();
+            m.free(s2, t(3));
+            let hashes1 = p1.chain_hashes_cached(16).to_vec();
+            m.hint_next_use(&hashes1, t(4), t(1_000));
+            let p3 = TokenBuf::from_segment(3, 64);
+            let _ = m.allocate(&p3, t(5)).unwrap();
+            // Strict LRU: the older p1 blocks go first, hint or no hint.
+            assert_eq!(m.count_hits(&hashes1), 0);
+            m.check_invariants().unwrap();
+        }
+
+        #[test]
+        fn admission_clears_consumed_predictions() {
+            let mut m = tiered(8, 8, 0, EvictionPolicy::InvocationDistance);
+            let p1 = TokenBuf::from_segment(1, 64);
+            let s1 = m.allocate(&p1, t(0)).unwrap();
+            m.free(s1, t(1));
+            let hashes1 = p1.chain_hashes_cached(16).to_vec();
+            m.hint_next_use(&hashes1, t(2), t(10));
+            // The predicted invocation happens; the hint must not outlive it.
+            let s1b = m.allocate(&p1, t(10)).unwrap();
+            m.free(s1b, t(11));
+            for h in &hashes1 {
+                assert_eq!(m.hierarchy().unwrap().rank_for(*h), u64::MAX);
+            }
+            m.check_invariants().unwrap();
+        }
+
+        #[test]
+        fn demote_cascade_reaches_nvme_through_the_manager() {
+            let mut m = tiered(4, 2, 2, EvictionPolicy::Lru);
+            for seed in 1..=3u64 {
+                let p = TokenBuf::from_segment(seed, 64);
+                let s = m.allocate(&p, t(seed)).unwrap();
+                m.free(s, t(seed * 10));
+            }
+            // Three 4-block prompts through a 4-block pool: 8 evictions,
+            // host holds 2, nvme 2, the rest fell off the bottom.
+            let st = m.stats();
+            assert_eq!(st.evictions, 8);
+            assert_eq!(m.hierarchy().unwrap().host_resident(), 2);
+            assert_eq!(m.hierarchy().unwrap().nvme_resident(), 2);
+            assert_eq!(st.offload_dropped_blocks, 4);
+            assert_eq!(st.host_peak_blocks, 2);
+            assert_eq!(st.nvme_peak_blocks, 2);
+            m.check_invariants().unwrap();
+            let mut events = Vec::new();
+            m.take_tier_transfers(&mut events);
+            assert!(events.contains(&TierTransfer {
+                tier: Tier::Nvme,
+                dir: TierDir::Demote,
+                blocks: 1
+            }));
+        }
+
+        #[test]
+        #[should_panic(expected = "before any traffic")]
+        fn late_offload_enable_rejected() {
+            let mut m = mgr(8, true);
+            let p = TokenBuf::from_segment(1, 16);
+            let _ = m.allocate(&p, t(0)).unwrap();
+            m.enable_offload(OffloadSpec {
+                host_blocks: 4,
+                nvme_blocks: 0,
+                policy: EvictionPolicy::Lru,
+            });
+        }
+
+        #[test]
+        #[should_panic(expected = "requires prefix caching")]
+        fn offload_without_prefix_caching_rejected() {
+            let mut m = mgr(8, false);
+            m.enable_offload(OffloadSpec {
+                host_blocks: 4,
+                nvme_blocks: 0,
+                policy: EvictionPolicy::Lru,
+            });
+        }
     }
 }

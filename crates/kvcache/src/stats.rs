@@ -74,6 +74,25 @@ pub struct KvStats {
     pub used_blocks: UsageTracker,
     /// Time-weighted resident occupancy (active + evictable cached).
     pub resident_blocks: UsageTracker,
+    /// Blocks demoted HBM → host tier (offload hierarchy only).
+    pub demoted_blocks_host: u64,
+    /// Blocks demoted onto the NVMe tier (host overflow, or direct with
+    /// no host tier).
+    pub demoted_blocks_nvme: u64,
+    /// Blocks promoted host tier → HBM on admission.
+    pub promoted_blocks_host: u64,
+    /// Blocks promoted NVMe tier → HBM on admission.
+    pub promoted_blocks_nvme: u64,
+    /// Prompt tokens served from an offload tier instead of recompute
+    /// (a subset of `hit_tokens`).
+    pub promoted_tokens: u64,
+    /// Blocks that fell off the bottom of the hierarchy (their next use,
+    /// if any, is a full recompute).
+    pub offload_dropped_blocks: u64,
+    /// Peak host-tier occupancy in blocks.
+    pub host_peak_blocks: u64,
+    /// Peak NVMe-tier occupancy in blocks.
+    pub nvme_peak_blocks: u64,
 }
 
 impl KvStats {

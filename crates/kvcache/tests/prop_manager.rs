@@ -3,7 +3,10 @@
 //! leaks, refcounts stay consistent, and prefix caching never changes
 //! *which* work completes — only how much of it is reused.
 
-use agentsim_kvcache::{AllocError, KvBlockManager, KvConfig, SeqHandle, TokenBuf};
+use agentsim_kvcache::{
+    AllocError, EvictionPolicy, KvBlockManager, KvConfig, OffloadSpec, SeqHandle, Tier, TierDir,
+    TierTransfer, TokenBuf,
+};
 use agentsim_simkit::SimTime;
 use proptest::prelude::*;
 
@@ -80,6 +83,141 @@ fn run_script(ops: &[Op], num_blocks: u32, prefix_caching: bool) -> (KvBlockMana
     (mgr, total_appended)
 }
 
+/// A scripted operation against a manager with offload tiers attached:
+/// the base ops plus next-invocation hints from the "session layer".
+#[derive(Debug, Clone)]
+enum TieredOp {
+    Base(Op),
+    /// Hint the `k`-th live sequence's prompt chain back `delta_ms` from now.
+    Hint {
+        k: usize,
+        delta_ms: u32,
+    },
+}
+
+fn tiered_op_strategy() -> impl Strategy<Value = TieredOp> {
+    prop_oneof![
+        op_strategy().prop_map(TieredOp::Base),
+        op_strategy().prop_map(TieredOp::Base),
+        op_strategy().prop_map(TieredOp::Base),
+        (0usize..8, 1u32..120_000).prop_map(|(k, delta_ms)| TieredOp::Hint { k, delta_ms }),
+    ]
+}
+
+/// Ledger of everything the tiers reported moving, reconciled against
+/// the stats counters at the end of the run.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct TransferLedger {
+    demoted_host: u64,
+    demoted_nvme: u64,
+    promoted_host: u64,
+    promoted_nvme: u64,
+}
+
+impl TransferLedger {
+    fn absorb(&mut self, events: &[TierTransfer]) {
+        for e in events {
+            let slot = match (e.tier, e.dir) {
+                (Tier::Host, TierDir::Demote) => &mut self.demoted_host,
+                (Tier::Nvme, TierDir::Demote) => &mut self.demoted_nvme,
+                (Tier::Host, TierDir::Promote) => &mut self.promoted_host,
+                (Tier::Nvme, TierDir::Promote) => &mut self.promoted_nvme,
+            };
+            *slot += e.blocks as u64;
+        }
+    }
+}
+
+/// Like [`run_script`], but with offload tiers attached; drains the
+/// transfer queue after every op (as the engine does) and returns the
+/// reconciliation ledger alongside the manager.
+fn run_tiered_script(
+    ops: &[TieredOp],
+    num_blocks: u32,
+    spec: Option<OffloadSpec>,
+) -> (KvBlockManager, TransferLedger) {
+    let mut mgr = KvBlockManager::new(KvConfig {
+        num_blocks,
+        block_size: 16,
+        prefix_caching: true,
+    });
+    if let Some(spec) = spec {
+        mgr.enable_offload(spec);
+    }
+    let mut live: Vec<(SeqHandle, TokenBuf)> = Vec::new();
+    let mut clock = 0u64;
+    let mut ledger = TransferLedger::default();
+    let mut events = Vec::new();
+    for op in ops {
+        clock += 1;
+        let now = SimTime::from_micros(clock * 1_000);
+        match op {
+            TieredOp::Base(Op::Alloc { seed, tokens }) => {
+                let prompt = TokenBuf::from_segment(*seed, *tokens);
+                match mgr.allocate(&prompt, now) {
+                    Ok(h) => live.push((h, prompt)),
+                    Err(AllocError::Insufficient { .. }) => {}
+                    Err(e) => panic!("unexpected alloc error: {e}"),
+                }
+            }
+            TieredOp::Base(Op::Append { k, n }) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let h = live[k % live.len()].0;
+                for i in 0..*n {
+                    match mgr.append_token(h, (clock << 8) ^ i as u64, now) {
+                        Ok(()) => {}
+                        Err(AllocError::Insufficient { .. }) => break,
+                        Err(e) => panic!("unexpected append error: {e}"),
+                    }
+                }
+            }
+            TieredOp::Base(Op::Free { k }) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (h, _) = live.swap_remove(k % live.len());
+                mgr.free(h, now);
+            }
+            TieredOp::Hint { k, delta_ms } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let buf = &live[k % live.len()].1;
+                let hashes: Vec<u64> = buf.chain_hashes_cached(16).to_vec();
+                let at = now + agentsim_simkit::SimDuration::from_millis(*delta_ms as u64);
+                mgr.hint_next_use(&hashes, now, at);
+            }
+        }
+        mgr.check_invariants()
+            .unwrap_or_else(|e| panic!("invariant broken after {op:?}: {e}"));
+        mgr.take_tier_transfers(&mut events);
+        ledger.absorb(&events);
+        events.clear();
+    }
+    for (h, _) in live {
+        clock += 1;
+        mgr.free(h, SimTime::from_micros(clock * 1_000));
+    }
+    mgr.check_invariants().expect("invariants after drain");
+    mgr.take_tier_transfers(&mut events);
+    ledger.absorb(&events);
+    (mgr, ledger)
+}
+
+fn spec(host: u32, nvme: u32, distance: bool) -> OffloadSpec {
+    OffloadSpec {
+        host_blocks: host,
+        nvme_blocks: nvme,
+        policy: if distance {
+            EvictionPolicy::InvocationDistance
+        } else {
+            EvictionPolicy::Lru
+        },
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -152,6 +290,90 @@ proptest! {
         prop_assert_eq!(appended_a, appended_b);
         prop_assert_eq!(a.stats().hit_tokens, b.stats().hit_tokens);
         prop_assert_eq!(a.stats().evictions, b.stats().evictions);
+        prop_assert_eq!(a.free_blocks(), b.free_blocks());
+    }
+
+    #[test]
+    fn tiered_invariants_hold_and_transfers_reconcile(
+        ops in prop::collection::vec(tiered_op_strategy(), 1..80),
+        distance in any::<bool>(),
+        host in 0u32..24,
+        nvme in 0u32..48,
+    ) {
+        // Per-tier accounting survives arbitrary scripts (capacity caps,
+        // one-home-per-hash, rank/order agreement), and the transfer
+        // queue the engine prices reconciles exactly with the stats
+        // counters the reports aggregate.
+        let (mgr, ledger) = run_tiered_script(&ops, 32, Some(spec(host, nvme, distance)));
+        prop_assert_eq!(mgr.live_sequences(), 0);
+        prop_assert_eq!(mgr.used_blocks(), 0);
+        prop_assert_eq!(mgr.free_blocks() + mgr.evictable_blocks(), 32);
+        let s = mgr.stats();
+        prop_assert_eq!(ledger, TransferLedger {
+            demoted_host: s.demoted_blocks_host,
+            demoted_nvme: s.demoted_blocks_nvme,
+            promoted_host: s.promoted_blocks_host,
+            promoted_nvme: s.promoted_blocks_nvme,
+        });
+        let hier = mgr.hierarchy().expect("offload enabled");
+        prop_assert!(hier.host_resident() as u32 <= host);
+        prop_assert!(hier.nvme_resident() as u32 <= nvme);
+    }
+
+    #[test]
+    fn zero_capacity_tiers_are_invisible(
+        ops in prop::collection::vec(tiered_op_strategy(), 1..60),
+    ) {
+        // tiers(0, 0) under the LRU baseline must behave bit-identically
+        // to no hierarchy at all: same hits, same evictions, same final
+        // pool shape, and no transfer ever recorded. (Under
+        // InvocationDistance zero-capacity tiers still re-rank *HBM*
+        // eviction from hints, so only the LRU arm is fully invisible.)
+        let (tiered, ledger) = run_tiered_script(&ops, 32, Some(spec(0, 0, false)));
+        let (plain, _) = run_tiered_script(&ops, 32, None);
+        let (distance, distance_ledger) = run_tiered_script(&ops, 32, Some(spec(0, 0, true)));
+        prop_assert_eq!(distance_ledger, TransferLedger::default());
+        prop_assert_eq!(distance.stats().promoted_tokens, 0);
+        prop_assert_eq!(distance.hierarchy().unwrap().host_resident(), 0);
+        prop_assert_eq!(distance.hierarchy().unwrap().nvme_resident(), 0);
+        prop_assert_eq!(ledger, TransferLedger::default());
+        prop_assert_eq!(tiered.stats().hit_tokens, plain.stats().hit_tokens);
+        prop_assert_eq!(tiered.stats().promoted_tokens, 0);
+        prop_assert_eq!(tiered.stats().evictions, plain.stats().evictions);
+        prop_assert_eq!(tiered.free_blocks(), plain.free_blocks());
+        prop_assert_eq!(tiered.evictable_blocks(), plain.evictable_blocks());
+    }
+
+    #[test]
+    fn lru_tiers_never_lose_hits_vs_plain(
+        ops in prop::collection::vec(tiered_op_strategy(), 1..60),
+    ) {
+        // Under the LRU baseline the HBM trajectory is unchanged —
+        // demotion is a side-copy, promoted blocks are allocated exactly
+        // like misses — so tiers can only *add* reuse, and every extra
+        // hit token is accounted to promotion.
+        let (tiered, _) = run_tiered_script(&ops, 32, Some(spec(16, 32, false)));
+        let (plain, _) = run_tiered_script(&ops, 32, None);
+        prop_assert_eq!(
+            tiered.stats().hit_tokens,
+            plain.stats().hit_tokens + tiered.stats().promoted_tokens
+        );
+        prop_assert_eq!(tiered.stats().evictions, plain.stats().evictions);
+        prop_assert_eq!(tiered.free_blocks(), plain.free_blocks());
+    }
+
+    #[test]
+    fn tiered_scripts_are_deterministic(
+        ops in prop::collection::vec(tiered_op_strategy(), 1..50),
+        distance in any::<bool>(),
+    ) {
+        let (a, la) = run_tiered_script(&ops, 32, Some(spec(12, 24, distance)));
+        let (b, lb) = run_tiered_script(&ops, 32, Some(spec(12, 24, distance)));
+        prop_assert_eq!(la, lb);
+        prop_assert_eq!(a.stats().hit_tokens, b.stats().hit_tokens);
+        prop_assert_eq!(a.stats().promoted_tokens, b.stats().promoted_tokens);
+        prop_assert_eq!(a.stats().evictions, b.stats().evictions);
+        prop_assert_eq!(a.stats().offload_dropped_blocks, b.stats().offload_dropped_blocks);
         prop_assert_eq!(a.free_blocks(), b.free_blocks());
     }
 }

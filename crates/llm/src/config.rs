@@ -1,6 +1,7 @@
 //! Engine configuration.
 
-use agentsim_gpu::ClusterSpec;
+use agentsim_gpu::{ClusterSpec, LinkSpec};
+use agentsim_kvcache::{EvictionPolicy, OffloadSpec};
 
 /// Request admission order.
 ///
@@ -53,6 +54,78 @@ impl EngineRole {
     }
 }
 
+/// KV offload tiers below HBM and the links that price their transfers.
+///
+/// When set on an [`EngineConfig`], the engine's block manager spills
+/// evicted cached blocks into host DRAM (cascading to NVMe) instead of
+/// destroying them, and restores an offloaded prefix on admission —
+/// paying transfer time over `host_link`/`nvme_link` instead of
+/// recompute. Demotes are asynchronous (they occupy the link but delay no
+/// step); promotes gate the admitting prefill step, extending TTFT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadConfig {
+    /// Host-DRAM tier capacity in KV blocks.
+    pub host_blocks: u32,
+    /// NVMe tier capacity in KV blocks.
+    pub nvme_blocks: u32,
+    /// Eviction-victim ranking for HBM and both tiers.
+    pub policy: EvictionPolicy,
+    /// The HBM↔host transfer path.
+    pub host_link: LinkSpec,
+    /// The host↔NVMe transfer path (also charged for host-tier overflow
+    /// spilling down).
+    pub nvme_link: LinkSpec,
+}
+
+impl OffloadConfig {
+    /// Tiers over the default physical links: PCIe DMA to host, NVMe
+    /// below it, with the LRU baseline policy.
+    pub fn tiers(host_blocks: u32, nvme_blocks: u32) -> Self {
+        OffloadConfig {
+            host_blocks,
+            nvme_blocks,
+            policy: EvictionPolicy::Lru,
+            host_link: LinkSpec::pcie_host(),
+            nvme_link: LinkSpec::nvme(),
+        }
+    }
+
+    /// Returns a copy with the given eviction policy.
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with both links replaced by
+    /// [`LinkSpec::zero_cost`] — offload with free transfers, isolating
+    /// the capacity effect from the transfer toll.
+    pub fn with_free_links(mut self) -> Self {
+        self.host_link = LinkSpec::zero_cost();
+        self.nvme_link = LinkSpec::zero_cost();
+        self
+    }
+
+    /// The tier sizing/policy handed to the block manager.
+    pub fn spec(&self) -> OffloadSpec {
+        OffloadSpec {
+            host_blocks: self.host_blocks,
+            nvme_blocks: self.nvme_blocks,
+            policy: self.policy,
+        }
+    }
+
+    /// Validates the link specs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.host_link.bandwidth_bytes_per_s <= 0.0 {
+            return Err("offload host link bandwidth must be positive".into());
+        }
+        if self.nvme_link.bandwidth_bytes_per_s <= 0.0 {
+            return Err("offload nvme link bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of one serving engine replica.
 ///
 /// # Example
@@ -81,6 +154,8 @@ pub struct EngineConfig {
     pub scheduler: SchedulerPolicy,
     /// Which request lifecycle stages this engine executes.
     pub role: EngineRole,
+    /// Optional KV offload tiers below HBM (host DRAM / NVMe).
+    pub offload: Option<OffloadConfig>,
 }
 
 impl EngineConfig {
@@ -96,6 +171,7 @@ impl EngineConfig {
             chunked_prefill: false,
             scheduler: SchedulerPolicy::Fcfs,
             role: EngineRole::Colocated,
+            offload: None,
         }
     }
 
@@ -139,6 +215,12 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with KV offload tiers enabled.
+    pub fn with_offload(mut self, offload: OffloadConfig) -> Self {
+        self.offload = Some(offload);
+        self
+    }
+
     /// Bytes of KV cache stored per block.
     pub fn kv_bytes_per_block(&self) -> u64 {
         self.cluster.model.kv_bytes_per_token() * self.block_size as u64
@@ -164,6 +246,12 @@ impl EngineConfig {
         }
         if self.max_running == 0 {
             return Err("max_running must be positive".into());
+        }
+        if let Some(offload) = &self.offload {
+            offload.validate()?;
+            if !self.prefix_caching {
+                return Err("KV offload requires prefix caching".into());
+            }
         }
         Ok(())
     }
@@ -205,5 +293,35 @@ mod tests {
             .with_chunked_prefill(true);
         assert!(!cfg.prefix_caching);
         assert!(cfg.chunked_prefill);
+    }
+
+    #[test]
+    fn offload_config_defaults_and_builders() {
+        let off = OffloadConfig::tiers(1024, 4096);
+        assert_eq!(off.policy, EvictionPolicy::Lru);
+        assert_eq!(off.host_link.name, "pcie_host");
+        assert_eq!(off.nvme_link.name, "nvme");
+        let spec = off.spec();
+        assert_eq!(spec.host_blocks, 1024);
+        assert_eq!(spec.nvme_blocks, 4096);
+
+        let off = off
+            .with_policy(EvictionPolicy::InvocationDistance)
+            .with_free_links();
+        assert_eq!(off.policy, EvictionPolicy::InvocationDistance);
+        assert_eq!(off.host_link.name, "zero_cost");
+        assert_eq!(off.nvme_link.name, "zero_cost");
+
+        let cfg = EngineConfig::a100_llama8b().with_offload(off);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn offload_requires_prefix_caching() {
+        let cfg = EngineConfig::a100_llama8b()
+            .with_prefix_caching(false)
+            .with_offload(OffloadConfig::tiers(16, 0));
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("prefix caching"), "{err}");
     }
 }

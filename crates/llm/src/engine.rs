@@ -3,9 +3,11 @@
 use std::collections::{HashMap, VecDeque};
 
 use agentsim_gpu::perf::PrefillItem;
-use agentsim_gpu::{EnergyModel, PerfModel};
+use agentsim_gpu::{EnergyModel, Link, PerfModel};
 use agentsim_kvcache::tokens::generated_token;
-use agentsim_kvcache::{KvBlockManager, KvConfig, SeqHandle, TokenBuf};
+use agentsim_kvcache::{
+    KvBlockManager, KvConfig, SeqHandle, Tier, TierDir, TierTransfer, TokenBuf,
+};
 use agentsim_simkit::{SimDuration, SimTime};
 
 use crate::config::{EngineConfig, EngineRole, SchedulerPolicy};
@@ -32,7 +34,6 @@ struct Waiting {
     prefill_time: SimDuration,
     decode_time: SimDuration,
     flops: f64,
-    cached_tokens: u32,
     preemptions: u32,
 }
 
@@ -97,6 +98,12 @@ pub struct Engine {
     /// are stamped no earlier than this, so their [`EngineEvent::Abandoned`]
     /// timestamps stay monotone with step events.
     last_step_end: SimTime,
+    /// HBM↔host offload path; present iff `config.offload` is.
+    host_link: Option<Link>,
+    /// Host↔NVMe offload path; present iff `config.offload` is.
+    nvme_link: Option<Link>,
+    /// Scratch buffer for draining tier-transfer events from the manager.
+    tier_events: Vec<TierTransfer>,
 }
 
 impl Engine {
@@ -107,11 +114,21 @@ impl Engine {
     /// Panics if `config.validate()` fails.
     pub fn new(config: EngineConfig) -> Self {
         config.validate().expect("invalid engine config");
-        let kv = KvBlockManager::new(KvConfig {
+        let mut kv = KvBlockManager::new(KvConfig {
             num_blocks: config.num_kv_blocks(),
             block_size: config.block_size,
             prefix_caching: config.prefix_caching,
         });
+        let (host_link, nvme_link) = match &config.offload {
+            Some(off) => {
+                kv.enable_offload(off.spec());
+                (
+                    Some(Link::new(off.host_link.clone())),
+                    Some(Link::new(off.nvme_link.clone())),
+                )
+            }
+            None => (None, None),
+        };
         let energy = EnergyModel::new(&config.cluster);
         Engine {
             perf: PerfModel::new(config.cluster.clone()),
@@ -126,6 +143,9 @@ impl Engine {
             draining: false,
             cancelled: Vec::new(),
             last_step_end: SimTime::ZERO,
+            host_link,
+            nvme_link,
+            tier_events: Vec::new(),
             config,
         }
     }
@@ -155,6 +175,25 @@ impl Engine {
     /// The KV block manager (for occupancy and hit-rate statistics).
     pub fn kv(&self) -> &KvBlockManager {
         &self.kv
+    }
+
+    /// The HBM↔host offload link, if KV offload is configured.
+    pub fn host_link(&self) -> Option<&Link> {
+        self.host_link.as_ref()
+    }
+
+    /// The host↔NVMe offload link, if KV offload is configured.
+    pub fn nvme_link(&self) -> Option<&Link> {
+        self.nvme_link.as_ref()
+    }
+
+    /// Tells the offload hierarchy when the blocks holding `hashes` are
+    /// predicted to be needed next (`at`), e.g. when the owning session's
+    /// tool call returns or its user finishes thinking. A no-op unless the
+    /// engine runs the invocation-distance eviction policy. `now` is only
+    /// used to discard predictions that are already in the past.
+    pub fn hint_next_use(&mut self, hashes: &[u64], now: SimTime, at: SimTime) {
+        self.kv.hint_next_use(hashes, now, at);
     }
 
     /// Engine-level metrics accumulated so far.
@@ -293,7 +332,6 @@ impl Engine {
             prefill_time: SimDuration::ZERO,
             decode_time: SimDuration::ZERO,
             flops: 0.0,
-            cached_tokens: 0,
             preemptions: 0,
         });
         if let Some(obs) = self.observer.as_deref_mut() {
@@ -353,7 +391,6 @@ impl Engine {
             prefill_time: SimDuration::ZERO,
             decode_time: SimDuration::ZERO,
             flops: 0.0,
-            cached_tokens: 0,
             preemptions: 0,
         });
         if let Some(obs) = self.observer.as_deref_mut() {
@@ -548,6 +585,10 @@ impl Engine {
             }
         }
         self.metrics.completed += (done.len() - done_before) as u64;
+        // Token appends can evict cached blocks into the offload tiers;
+        // those demotes are asynchronous, so the stall is always zero.
+        let stall = self.charge_tier_transfers(now);
+        debug_assert!(stall.is_zero(), "promotion outside admission");
         self.last_step_end = now;
         if !self.cancelled.is_empty() {
             self.purge_cancelled(now);
@@ -607,12 +648,47 @@ impl Engine {
         }
     }
 
+    /// Drains tier-transfer events the block manager recorded since the
+    /// last call and schedules each on the matching offload link, FIFO.
+    /// Returns how long the caller must stall for **promotions** to land
+    /// in HBM (the prefill cannot attend over KV still in flight), which
+    /// the admitting step folds into its duration — the offload TTFT toll.
+    /// Demotions are asynchronous: they occupy the link (delaying later
+    /// transfers queued behind them) but gate nothing.
+    fn charge_tier_transfers(&mut self, now: SimTime) -> SimDuration {
+        if self.host_link.is_none() {
+            return SimDuration::ZERO;
+        }
+        self.kv.take_tier_transfers(&mut self.tier_events);
+        if self.tier_events.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let bytes_per_block = self.config.kv_bytes_per_block();
+        let mut ready = now;
+        for ev in self.tier_events.drain(..) {
+            let link = match ev.tier {
+                Tier::Host => self.host_link.as_mut(),
+                Tier::Nvme => self.nvme_link.as_mut(),
+            };
+            let link = link.expect("offload links exist whenever the hierarchy does");
+            let t = link.schedule(now, ev.blocks as u64 * bytes_per_block);
+            if ev.dir == TierDir::Promote {
+                ready = ready.max(t.end);
+            }
+        }
+        ready.saturating_since(now)
+    }
+
     // ---- step formation -------------------------------------------------
 
     /// Classic vLLM scheduling: a step is either a prefill batch (admitted
     /// FCFS under the token budget) or one decode iteration.
     fn form_classic_step(&mut self, now: SimTime) -> Option<StepInProgress> {
         let admitted = self.admit(now, self.config.max_batch_tokens);
+        // Price any KV the admission moved through the offload tiers.
+        // Promotions gate the admitted prefill below; only admission can
+        // promote, so the fall-through to decode never stalls.
+        let stall = self.charge_tier_transfers(now);
         if !admitted.is_empty() {
             let items: Vec<PrefillItem> = admitted
                 .iter()
@@ -635,15 +711,17 @@ impl Engine {
                     r.flops += self.perf.prefill_flops(new as u64, cached as u64);
                 }
             }
+            let duration = cost.duration + stall;
             return Some(StepInProgress {
                 kind: StepKind::Prefill,
                 started: now,
-                ends: now + cost.duration,
-                duration: cost.duration,
+                ends: now + duration,
+                duration,
                 flops: cost.flops,
                 prefill_chunks: admitted.iter().map(|&(id, new, _)| (id, new)).collect(),
             });
         }
+        debug_assert!(stall.is_zero(), "promotion without a prefill admission");
         self.form_decode_step(now)
     }
 
@@ -688,6 +766,10 @@ impl Engine {
         if budget > 0 && self.running.iter().all(|r| r.prefill_remaining == 0) {
             let _ = self.admit(now, budget);
         }
+        // Price KV moved through the offload tiers by that admission; a
+        // promotion gates this whole mixed step (the new request's first
+        // chunk runs in it).
+        let stall = self.charge_tier_transfers(now);
 
         // The decode set is re-derived after admission: ordinary admits
         // enter mid-prefill (excluded), while imported admits arrive with
@@ -720,6 +802,7 @@ impl Engine {
         }
 
         if chunks.is_empty() && decoding.is_empty() {
+            debug_assert!(stall.is_zero(), "promotion without an admission");
             return None;
         }
 
@@ -742,11 +825,12 @@ impl Engine {
         } else {
             StepKind::Mixed
         };
+        let duration = cost.duration + stall;
         Some(StepInProgress {
             kind,
             started: now,
-            ends: now + cost.duration,
-            duration: cost.duration,
+            ends: now + duration,
+            duration,
             flops: cost.flops,
             prefill_chunks: chunks,
         })
@@ -850,7 +934,7 @@ impl Engine {
                 prefill_time: w.prefill_time,
                 decode_time: w.decode_time,
                 flops: w.flops,
-                cached_tokens: cached + w.cached_tokens,
+                cached_tokens: cached,
                 preemptions: w.preemptions,
             });
             let r = self.running.last_mut().expect("just pushed");
@@ -998,7 +1082,6 @@ impl Engine {
             prefill_time: r.prefill_time,
             decode_time: r.decode_time,
             flops: r.flops,
-            cached_tokens: r.cached_tokens,
             preemptions: r.preemptions + 1,
         });
     }
@@ -1754,5 +1837,140 @@ mod edge_tests {
         assert_eq!(classic_outs, chunked_outs);
         assert_eq!(classic_mixed, 0);
         assert!(chunked_mixed > 0);
+    }
+}
+
+#[cfg(test)]
+mod offload_tests {
+    use super::*;
+    use crate::config::OffloadConfig;
+    use agentsim_kvcache::EvictionPolicy;
+
+    fn drain(engine: &mut Engine, mut now: SimTime) -> (Vec<LlmCompletion>, SimTime) {
+        let mut done = Vec::new();
+        while let Some(end) = engine.start_step_if_idle(now) {
+            now = end;
+            done.extend(engine.complete_step(now));
+        }
+        (done, now)
+    }
+
+    /// A KV-starved replica: ~80 blocks (~1.3k cacheable tokens).
+    fn engine_with(offload: Option<OffloadConfig>) -> Engine {
+        let mut cfg = EngineConfig::a100_llama8b().with_kv_fraction(0.01);
+        if let Some(off) = offload {
+            cfg = cfg.with_offload(off);
+        }
+        Engine::new(cfg)
+    }
+
+    /// Prompt A, a pool-flushing prompt B, then A again — serially, so
+    /// the pool pressure (and thus eviction traffic) is identical across
+    /// configurations. Returns the three completions in order.
+    fn thrash(e: &mut Engine) -> Vec<LlmCompletion> {
+        let mut out = Vec::new();
+        let mut now = SimTime::ZERO;
+        for (seg, len) in [(1u64, 512u32), (2, 1000), (1, 512)] {
+            e.submit(now, TokenBuf::from_segment(seg, len), 4, seg);
+            let (done, t) = drain(e, now);
+            out.extend(done);
+            now = t + SimDuration::from_micros(10);
+        }
+        e.kv().check_invariants().unwrap();
+        assert_eq!(out.len(), 3);
+        out
+    }
+
+    #[test]
+    fn evicted_prefix_is_restored_from_the_host_tier() {
+        let mut e = engine_with(Some(OffloadConfig::tiers(64, 64)));
+        let done = thrash(&mut e);
+        // B's admission demoted part of A's cached prefix instead of
+        // destroying it; A's re-admission promoted it back.
+        let stats = e.kv().stats();
+        assert!(stats.demoted_blocks_host > 0, "{stats:?}");
+        assert!(stats.promoted_blocks_host > 0, "{stats:?}");
+        assert!(stats.promoted_tokens > 0, "{stats:?}");
+        assert!(
+            done[2].cached_tokens > 0,
+            "restored prefix counts as cached"
+        );
+        // The transfers moved real bytes over the PCIe link.
+        let host = e.host_link().expect("offload configured");
+        assert!(host.transfers() > 0);
+        assert_eq!(
+            host.bytes_moved(),
+            (stats.demoted_blocks_host + stats.promoted_blocks_host)
+                * e.config().kv_bytes_per_block(),
+        );
+    }
+
+    #[test]
+    fn promotion_gates_the_admitting_prefill_but_demotion_gates_nothing() {
+        let mut priced = engine_with(Some(OffloadConfig::tiers(64, 64)));
+        let with_cost = thrash(&mut priced);
+        let mut free = engine_with(Some(OffloadConfig::tiers(64, 64).with_free_links()));
+        let no_cost = thrash(&mut free);
+
+        // Identical block-level decisions: only timing may differ.
+        assert_eq!(
+            priced.kv().stats().promoted_tokens,
+            free.kv().stats().promoted_tokens
+        );
+        // B's admission only demotes (A's blocks leave HBM); demotes are
+        // asynchronous, so B's prefill is identical under both pricings.
+        assert_eq!(with_cost[1].prefill_time, no_cost[1].prefill_time);
+        // A's re-admission promotes; the PCIe wire time extends its
+        // prefill (the TTFT toll), which free links do not charge.
+        assert!(
+            with_cost[2].prefill_time > no_cost[2].prefill_time,
+            "{} !> {}",
+            with_cost[2].prefill_time,
+            no_cost[2].prefill_time
+        );
+    }
+
+    #[test]
+    fn promotion_is_cheaper_than_recompute() {
+        // The whole point of the hierarchy: restoring KV at PCIe speed
+        // beats re-prefilling it at roofline speed.
+        let mut offloaded = engine_with(Some(OffloadConfig::tiers(64, 64)));
+        let tiered = thrash(&mut offloaded);
+        let mut plain = engine_with(None);
+        let recomputed = thrash(&mut plain);
+        assert!(tiered[2].cached_tokens > recomputed[2].cached_tokens);
+        assert!(
+            tiered[2].prefill_time < recomputed[2].prefill_time,
+            "{} !< {}",
+            tiered[2].prefill_time,
+            recomputed[2].prefill_time
+        );
+    }
+
+    #[test]
+    fn zero_capacity_tiers_reproduce_the_plain_engine_exactly() {
+        let mut tiered = engine_with(Some(OffloadConfig::tiers(0, 0)));
+        let a = thrash(&mut tiered);
+        let mut plain = engine_with(None);
+        let b = thrash(&mut plain);
+        assert_eq!(a, b, "zero-capacity tiers must be a complete no-op");
+        let host = tiered.host_link().expect("links exist even at zero cap");
+        assert_eq!(host.transfers(), 0);
+        assert_eq!(tiered.nvme_link().unwrap().transfers(), 0);
+    }
+
+    #[test]
+    fn hints_reach_the_manager_through_the_engine() {
+        let off = OffloadConfig::tiers(64, 64).with_policy(EvictionPolicy::InvocationDistance);
+        let mut e = engine_with(Some(off));
+        let prompt = TokenBuf::from_segment(1, 512);
+        let hashes =
+            agentsim_kvcache::hash::chain_hashes(prompt.as_slice(), e.config().block_size as usize);
+        e.submit(SimTime::ZERO, prompt, 4, 1);
+        let (_, t) = drain(&mut e, SimTime::ZERO);
+        // Predict A's prompt is needed again soon: its blocks now outrank
+        // unhinted ones in eviction order.
+        e.hint_next_use(&hashes, t, t + SimDuration::from_secs_f64(0.5));
+        e.kv().check_invariants().unwrap();
     }
 }

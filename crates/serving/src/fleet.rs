@@ -34,6 +34,7 @@ mod par;
 use std::collections::{HashMap, VecDeque};
 
 use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_kvcache::{EvictionPolicy, TokenBuf};
 use agentsim_llm::{Engine, EngineConfig, LlmCompletion, RequestId};
 use agentsim_metrics::Samples;
 use agentsim_session::{
@@ -94,6 +95,12 @@ pub struct FleetConfig {
     pub overload: OverloadPolicy,
     /// Worker threads for the parallel driver (`1` = sequential path).
     pub threads: u32,
+    /// Carry each session's conversation across turns: a follow-up turn's
+    /// prompts are prefixed with the session's prior final context, so
+    /// cross-turn KV reuse (and the offload tiers that preserve it through
+    /// think time) becomes possible. Off by default — turns are
+    /// independent tasks.
+    pub carry_context: bool,
 }
 
 impl FleetConfig {
@@ -114,7 +121,15 @@ impl FleetConfig {
             client: ClientModel::OpenLoopPoisson,
             overload: OverloadPolicy::none(),
             threads: 1,
+            carry_context: false,
         }
+    }
+
+    /// Enables cross-turn conversation carry (see
+    /// [`FleetConfig::carry_context`]).
+    pub fn with_context_carry(mut self) -> Self {
+        self.carry_context = true;
+        self
     }
 
     /// Sets the root seed.
@@ -192,6 +207,25 @@ pub struct FleetReport {
     /// Peak number of simultaneously live sessions (bounded by the
     /// population under a closed-loop client).
     pub max_live_sessions: u64,
+    /// Median time-to-first-token across every finished engine call
+    /// (queueing plus prefill — the latency the KV offload tiers tax).
+    pub ttft_p50_s: f64,
+    /// Tail time-to-first-token across every finished engine call.
+    pub ttft_p95_s: f64,
+    /// Blocks demoted out of HBM into the offload tiers, fleet-wide
+    /// (zero without [`agentsim_llm::OffloadConfig`]).
+    pub offload_demoted_blocks: u64,
+    /// Blocks promoted back into HBM from the offload tiers, fleet-wide.
+    pub offload_promoted_blocks: u64,
+    /// Prompt tokens served from an offload tier instead of recomputed —
+    /// the hierarchy's prefill savings, fleet-wide.
+    pub offload_promoted_tokens: u64,
+    /// Blocks that fell off the bottom of the hierarchy, fleet-wide.
+    pub offload_dropped_blocks: u64,
+    /// Bytes moved over the HBM↔host offload links, fleet-wide.
+    pub offload_host_bytes: u64,
+    /// Bytes moved over the host↔NVMe offload links, fleet-wide.
+    pub offload_nvme_bytes: u64,
 }
 
 #[derive(Debug)]
@@ -220,6 +254,13 @@ struct SessionMeta {
     started: bool,
     /// Engine calls currently in flight, as `(replica, id)`.
     calls: Vec<(usize, RequestId)>,
+    /// The session's engine-side context — last submitted prompt plus
+    /// its generated output — and that call's generation seed. Tracked
+    /// only when offload hints are enabled, and only for single-call
+    /// ops (a fan-out has no one context to predict for).
+    kv_ctx: Option<(TokenBuf, u64)>,
+    /// Replica holding that context.
+    kv_replica: usize,
 }
 
 /// An op waiting in a replica's dispatch queue for an admission slot.
@@ -257,7 +298,20 @@ pub struct FleetSim {
     admission: Vec<Box<dyn AdmissionController>>,
     root_rng: SimRng,
     rr_counter: usize,
+    /// Whether to feed next-invocation predictions to the engines' KV
+    /// offload hierarchies (offload configured with
+    /// [`EvictionPolicy::InvocationDistance`]).
+    hints: bool,
+    /// Whether to snapshot per-session contexts (needed by hints and by
+    /// conversation carry).
+    track_ctx: bool,
+    /// Per-session carried conversation: the final context of the
+    /// session's last completed turn, prefixed onto its next turn's
+    /// prompts when [`FleetConfig::carry_context`] is set.
+    carry: Vec<Option<TokenBuf>>,
     latencies: Vec<f64>,
+    /// Per-call time-to-first-token samples (seconds).
+    ttfts: Vec<f64>,
     completed: u64,
     attempts: u64,
     retries: u64,
@@ -304,6 +358,11 @@ impl FleetSim {
             queue.push(a.at, Event::Arrival(a));
         }
         let slots = config.client.sessions(config.num_requests) as usize;
+        let hints = config
+            .engine
+            .offload
+            .as_ref()
+            .is_some_and(|o| o.policy == EvictionPolicy::InvocationDistance);
         FleetSim {
             engines,
             tools: ToolExecutor::new(),
@@ -321,7 +380,11 @@ impl FleetSim {
                 .collect(),
             root_rng,
             rr_counter: 0,
+            hints,
+            track_ctx: hints || config.carry_context,
+            carry: (0..slots).map(|_| None).collect(),
             latencies: Vec::new(),
+            ttfts: Vec::new(),
             completed: 0,
             attempts: 0,
             retries: 0,
@@ -450,7 +513,13 @@ impl FleetSim {
         }
         self.attempts += 1;
         let task = TaskGenerator::new(self.config.benchmark, self.config.seed).task(a.turn);
-        let (runner, cmd) = SessionRunner::agent(
+        let history = if self.config.carry_context {
+            self.carry[a.session as usize].clone()
+        } else {
+            None
+        };
+        let (runner, cmd) = SessionRunner::agent_continuing(
+            history,
             self.config.kind,
             &task,
             self.config.agent,
@@ -474,6 +543,8 @@ impl FleetSim {
             expired: false,
             started: false,
             calls: Vec::new(),
+            kv_ctx: None,
+            kv_replica: 0,
         });
         if let Some(expiry) = deadline {
             self.queue.push(
@@ -531,6 +602,11 @@ impl FleetSim {
             SessionCmd::Tools { wake } => {
                 let epoch = self.epochs[sid as usize];
                 self.queue.push(wake, Event::ToolsDone { sid, epoch });
+                // The session's context blocks sit idle until the tools
+                // return — tell the offload hierarchy exactly when that is.
+                if let Some((replica, hashes)) = self.ctx_hashes(sid) {
+                    self.send_hint(pool, replica, hashes, now, wake);
+                }
             }
             SessionCmd::Finish(_) => {
                 let runner = self.sessions[sid as usize].take().expect("live session");
@@ -546,10 +622,66 @@ impl FleetSim {
                     self.latencies.push(runner.trace().e2e().as_secs_f64());
                     self.completed += 1;
                     if let Some(next) = self.client.after_finish(sid, now) {
+                        // A closed-loop user thinking before their next
+                        // turn: that turn reopens with this context as
+                        // its prefix, at a known future instant.
+                        if next.session == sid {
+                            if let Some((ctx, _)) = &m.kv_ctx {
+                                let block = self.config.engine.block_size as usize;
+                                let hashes = ctx.chain_hashes_cached(block).to_vec();
+                                self.send_hint(pool, m.kv_replica, hashes, now, next.at);
+                            }
+                        }
                         self.queue.push(next.at, Event::Arrival(next));
+                    }
+                    // The conversation so far becomes the next turn's
+                    // prefix. A fan-out last op leaves no linear context;
+                    // the previous carry then stands.
+                    if self.config.carry_context {
+                        if let Some((ctx, _)) = m.kv_ctx {
+                            self.carry[sid as usize] = Some(ctx);
+                        }
                     }
                 }
             }
+        }
+    }
+
+    /// The chain hashes of `sid`'s tracked engine-side context, with the
+    /// replica holding it. `None` unless offload hints are enabled and the
+    /// session has a tracked single-call context with at least one full
+    /// block.
+    fn ctx_hashes(&self, sid: u64) -> Option<(usize, Vec<u64>)> {
+        if !self.hints {
+            return None;
+        }
+        let m = self.meta[sid as usize].as_ref()?;
+        let (ctx, _) = m.kv_ctx.as_ref()?;
+        let hashes = ctx
+            .chain_hashes_cached(self.config.engine.block_size as usize)
+            .to_vec();
+        if hashes.is_empty() {
+            return None;
+        }
+        Some((m.kv_replica, hashes))
+    }
+
+    /// Delivers a next-invocation prediction to `replica`'s engine (KV
+    /// offload hierarchies under invocation-distance eviction).
+    fn send_hint(
+        &mut self,
+        pool: Option<&mut agentsim_session::ShardPool>,
+        replica: usize,
+        hashes: Vec<u64>,
+        now: SimTime,
+        at: SimTime,
+    ) {
+        if !self.hints || hashes.is_empty() {
+            return;
+        }
+        match pool {
+            Some(p) => p.hint(replica, hashes, now, at),
+            None => self.engines[replica].hint_next_use(&hashes, now, at),
         }
     }
 
@@ -674,10 +806,19 @@ impl FleetSim {
             return;
         };
         self.in_flight[replica] -= 1;
+        self.ttfts
+            .push((completion.queue_time() + completion.prefill_time).as_secs_f64());
         let expired = {
             let m = self.meta[sid as usize].as_mut().expect("live session meta");
             m.calls
                 .retain(|&(r, id)| !(r == replica && id == completion.id));
+            // Extend the tracked context with this call's output so hints
+            // cover the blocks the engine appended during decode.
+            if let Some((ctx, gen_seed)) = m.kv_ctx.as_mut() {
+                for i in 0..completion.output_tokens as u64 {
+                    ctx.push_generated(*gen_seed, i);
+                }
+            }
             m.expired
         };
         if expired {
@@ -738,6 +879,14 @@ impl FleetSim {
         now: SimTime,
     ) {
         let calls_len = op.calls.len();
+        // Snapshot the context before the prompt moves into the engine:
+        // it seeds the next-invocation hints this op's tool calls and
+        // turn boundaries will emit.
+        let kv_ctx = if self.track_ctx && calls_len == 1 {
+            Some((op.calls[0].prompt.clone(), op.calls[0].gen_seed))
+        } else {
+            None
+        };
         let mut submitted = Vec::with_capacity(calls_len);
         for (seq, call) in op.calls.into_iter().enumerate() {
             let id = match pool.as_deref_mut() {
@@ -766,6 +915,11 @@ impl FleetSim {
             .expect("live session meta");
         m.started = true;
         m.calls.extend(submitted);
+        if self.track_ctx {
+            // A fan-out op invalidates the tracked context outright.
+            m.kv_ctx = kv_ctx;
+            m.kv_replica = replica;
+        }
     }
 
     /// Picks the next dispatchable op index for `replica` under the
@@ -834,10 +988,15 @@ impl FleetSim {
         let mut latencies: Samples = self.latencies.iter().copied().collect();
         let p50_s = latencies.try_median().unwrap_or(f64::NAN);
         let p95_s = latencies.try_p95().unwrap_or(f64::NAN);
+        let mut ttfts: Samples = self.ttfts.iter().copied().collect();
+        let ttft_p50_s = ttfts.try_median().unwrap_or(f64::NAN);
+        let ttft_p95_s = ttfts.try_p95().unwrap_or(f64::NAN);
         let (mut hits, mut lookups) = (0u64, 0u64);
         let mut energy_wh = 0.0;
         let mut wasted_gpu_s = self.wasted_service;
         let mut utilization = Vec::with_capacity(self.engines.len());
+        let (mut demoted, mut promoted, mut promoted_tokens, mut dropped) = (0u64, 0u64, 0u64, 0);
+        let (mut host_bytes, mut nvme_bytes) = (0u64, 0u64);
         for e in &self.engines {
             let kv = e.kv().stats();
             hits += kv.hit_tokens;
@@ -845,6 +1004,12 @@ impl FleetSim {
             energy_wh += e.metrics().energy_within(self.last_finish).watt_hours();
             utilization.push(e.metrics().utilization(self.last_finish));
             wasted_gpu_s += e.metrics().wasted().as_secs_f64();
+            demoted += kv.demoted_blocks_host + kv.demoted_blocks_nvme;
+            promoted += kv.promoted_blocks_host + kv.promoted_blocks_nvme;
+            promoted_tokens += kv.promoted_tokens;
+            dropped += kv.offload_dropped_blocks;
+            host_bytes += e.host_link().map_or(0, |l| l.bytes_moved());
+            nvme_bytes += e.nvme_link().map_or(0, |l| l.bytes_moved());
         }
         let makespan = self.last_finish.as_secs_f64();
         FleetReport {
@@ -878,6 +1043,14 @@ impl FleetSim {
             wasted_gpu_s,
             latencies,
             max_live_sessions: self.max_live,
+            ttft_p50_s,
+            ttft_p95_s,
+            offload_demoted_blocks: demoted,
+            offload_promoted_blocks: promoted,
+            offload_promoted_tokens: promoted_tokens,
+            offload_dropped_blocks: dropped,
+            offload_host_bytes: host_bytes,
+            offload_nvme_bytes: nvme_bytes,
         }
     }
 }
@@ -1103,6 +1276,105 @@ mod tests {
             (a.completed, a.retries, a.cancelled, a.dropped),
             (b.completed, b.retries, b.cancelled, b.dropped)
         );
+    }
+
+    /// Closed-loop multi-turn traffic over KV-starved replicas: long
+    /// think times let other sessions thrash each user's context out of
+    /// HBM between turns.
+    fn run_tiered(offload: Option<agentsim_llm::OffloadConfig>, threads: u32) -> FleetReport {
+        let mut cfg = FleetConfig::react_hotpotqa(2, Routing::SessionAffinity, 2.0, 24)
+            .seed(5)
+            .client(ClientModel::ClosedLoop {
+                concurrency: 6,
+                think_time: SimDuration::from_secs(30),
+            })
+            .with_context_carry()
+            .threads(threads);
+        cfg.engine = cfg.engine.with_kv_fraction(0.15);
+        if let Some(off) = offload {
+            cfg.engine = cfg.engine.with_offload(off);
+        }
+        FleetSim::new(cfg).run()
+    }
+
+    fn distance_tiers() -> agentsim_llm::OffloadConfig {
+        agentsim_llm::OffloadConfig::tiers(2048, 8192)
+            .with_policy(agentsim_kvcache::EvictionPolicy::InvocationDistance)
+    }
+
+    #[test]
+    fn invocation_distance_hints_beat_blind_lru_offload() {
+        let lru = run_tiered(Some(agentsim_llm::OffloadConfig::tiers(2048, 8192)), 1);
+        let dist = run_tiered(Some(distance_tiers()), 1);
+        assert_eq!(lru.completed, dist.completed);
+        assert!(
+            dist.ttft_p95_s < lru.ttft_p95_s,
+            "knowing who returns next must shorten TTFT: {:.3} !< {:.3}",
+            dist.ttft_p95_s,
+            lru.ttft_p95_s
+        );
+        assert!(
+            dist.kv_hit_rate >= lru.kv_hit_rate,
+            "{:.3} !>= {:.3}",
+            dist.kv_hit_rate,
+            lru.kv_hit_rate
+        );
+    }
+
+    #[test]
+    fn offload_tiers_absorb_cache_thrash() {
+        let plain = run_tiered(None, 1);
+        let tiered = run_tiered(Some(distance_tiers()), 1);
+        assert_eq!(tiered.completed, plain.completed);
+        assert!(
+            tiered.offload_demoted_blocks > 0,
+            "pool pressure must spill"
+        );
+        assert!(
+            tiered.offload_promoted_tokens > 0,
+            "evicted contexts must come back from the tiers"
+        );
+        assert!(tiered.offload_host_bytes > 0, "transfers move real bytes");
+        assert!(
+            tiered.kv_hit_rate > plain.kv_hit_rate,
+            "promoted prefixes count as hits: {:.3} !> {:.3}",
+            tiered.kv_hit_rate,
+            plain.kv_hit_rate
+        );
+        assert!(
+            tiered.ttft_p95_s < plain.ttft_p95_s,
+            "promotion beats recompute on TTFT: {:.3} !< {:.3}",
+            tiered.ttft_p95_s,
+            plain.ttft_p95_s
+        );
+    }
+
+    #[test]
+    fn zero_capacity_tiers_match_no_offload_bit_for_bit() {
+        let plain = run_tiered(None, 1);
+        let hollow = run_tiered(Some(agentsim_llm::OffloadConfig::tiers(0, 0)), 1);
+        assert_eq!(plain.completed, hollow.completed);
+        assert_eq!(plain.p95_s.to_bits(), hollow.p95_s.to_bits());
+        assert_eq!(plain.ttft_p95_s.to_bits(), hollow.ttft_p95_s.to_bits());
+        assert_eq!(plain.kv_hit_rate.to_bits(), hollow.kv_hit_rate.to_bits());
+        assert_eq!(plain.energy_wh.to_bits(), hollow.energy_wh.to_bits());
+        assert_eq!(hollow.offload_host_bytes, 0);
+        assert_eq!(hollow.offload_nvme_bytes, 0);
+    }
+
+    #[test]
+    fn offloaded_runs_are_deterministic_across_runs_and_threads() {
+        let a = run_tiered(Some(distance_tiers()), 1);
+        let b = run_tiered(Some(distance_tiers()), 1);
+        let par = run_tiered(Some(distance_tiers()), 2);
+        for r in [&b, &par] {
+            assert_eq!(a.p95_s.to_bits(), r.p95_s.to_bits());
+            assert_eq!(a.ttft_p95_s.to_bits(), r.ttft_p95_s.to_bits());
+            assert_eq!(a.kv_hit_rate.to_bits(), r.kv_hit_rate.to_bits());
+            assert_eq!(a.offload_demoted_blocks, r.offload_demoted_blocks);
+            assert_eq!(a.offload_promoted_tokens, r.offload_promoted_tokens);
+            assert_eq!(a.offload_host_bytes, r.offload_host_bytes);
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! re-issuing turns, and adaptive admission queueing dispatches. Floats
 //! are compared via `f64::to_bits`: exact equality, no tolerance.
 
+use agentsim_kvcache::EvictionPolicy;
+use agentsim_llm::OffloadConfig;
 use agentsim_serving::{
     AdmissionPolicy, FleetConfig, FleetReport, FleetSim, OverloadPolicy, QueueDiscipline,
     RetryPolicy, Routing,
@@ -34,6 +36,14 @@ struct Fingerprint {
     throughput_bits: u64,
     goodput_bits: u64,
     wasted_bits: u64,
+    ttft_p50_bits: u64,
+    ttft_p95_bits: u64,
+    offload_demoted: u64,
+    offload_promoted: u64,
+    offload_promoted_tokens: u64,
+    offload_dropped: u64,
+    offload_host_bytes: u64,
+    offload_nvme_bytes: u64,
     utilization_bits: Vec<u64>,
 }
 
@@ -55,6 +65,14 @@ impl Fingerprint {
             throughput_bits: r.throughput.to_bits(),
             goodput_bits: r.goodput.to_bits(),
             wasted_bits: r.wasted_gpu_s.to_bits(),
+            ttft_p50_bits: r.ttft_p50_s.to_bits(),
+            ttft_p95_bits: r.ttft_p95_s.to_bits(),
+            offload_demoted: r.offload_demoted_blocks,
+            offload_promoted: r.offload_promoted_blocks,
+            offload_promoted_tokens: r.offload_promoted_tokens,
+            offload_dropped: r.offload_dropped_blocks,
+            offload_host_bytes: r.offload_host_bytes,
+            offload_nvme_bytes: r.offload_nvme_bytes,
             utilization_bits: r.utilization.iter().map(|u| u.to_bits()).collect(),
         }
     }
@@ -168,6 +186,50 @@ fn assert_overload_threads_match_sequential(threads: u32) {
     }
 }
 
+/// KV offload rows: tiered memory with real demote/promote traffic and —
+/// under invocation-distance — session-layer hints flowing through the
+/// shard channels. Closed-loop conversation carry makes cross-turn
+/// contexts large enough to force spills on the shrunken pool.
+fn offload_policies() -> Vec<(&'static str, OffloadConfig)> {
+    vec![
+        ("offload-lru", OffloadConfig::tiers(2048, 8192)),
+        (
+            "offload-distance",
+            OffloadConfig::tiers(2048, 8192).with_policy(EvictionPolicy::InvocationDistance),
+        ),
+        (
+            "offload-distance-free-links",
+            OffloadConfig::tiers(4096, 0)
+                .with_policy(EvictionPolicy::InvocationDistance)
+                .with_free_links(),
+        ),
+    ]
+}
+
+fn assert_offload_threads_match_sequential(threads: u32) {
+    for (policy_name, offload) in offload_policies() {
+        let mut cfg = FleetConfig::react_hotpotqa(4, Routing::SessionAffinity, 3.0, 32)
+            .seed(0xD1FF)
+            .client(ClientModel::ClosedLoop {
+                concurrency: 8,
+                think_time: SimDuration::from_secs(20),
+            })
+            .with_context_carry();
+        cfg.engine = cfg.engine.with_kv_fraction(0.15).with_offload(offload);
+        let sequential = FleetSim::new(cfg.clone()).run();
+        assert!(
+            sequential.offload_demoted_blocks > 0,
+            "{policy_name}: the row must actually exercise the tiers"
+        );
+        let sequential = Fingerprint::of(&sequential);
+        let parallel = Fingerprint::of(&FleetSim::new(cfg.threads(threads)).run());
+        assert_eq!(
+            sequential, parallel,
+            "threads({threads}) diverged from sequential under {policy_name}"
+        );
+    }
+}
+
 #[test]
 fn two_threads_are_bit_identical() {
     assert_threads_match_sequential(2);
@@ -198,6 +260,21 @@ fn four_threads_with_overload_are_bit_identical() {
 #[test]
 fn eight_threads_with_overload_are_bit_identical() {
     assert_overload_threads_match_sequential(8);
+}
+
+#[test]
+fn two_threads_with_offload_are_bit_identical() {
+    assert_offload_threads_match_sequential(2);
+}
+
+#[test]
+fn four_threads_with_offload_are_bit_identical() {
+    assert_offload_threads_match_sequential(4);
+}
+
+#[test]
+fn eight_threads_with_offload_are_bit_identical() {
+    assert_offload_threads_match_sequential(8);
 }
 
 #[test]

@@ -127,6 +127,12 @@ pub struct SessionRunner {
     trace: RequestTrace,
     rng: SimRng,
     tool_rng: ToolRng,
+    /// Conversation carried over from the session's earlier turns,
+    /// prepended to every outgoing prompt. The agent policy is unaware of
+    /// it: its own context starts fresh each turn, and the shared-prefix
+    /// machinery (chain-hashed KV blocks) makes the carried tokens a
+    /// cache hit when the history is still resident.
+    history: Option<TokenBuf>,
     /// Specs of the in-flight op (prompts already moved out), in
     /// submission order.
     pending: Vec<LlmCallSpec>,
@@ -156,11 +162,31 @@ impl SessionRunner {
         tools: &ToolExecutor,
         now: SimTime,
     ) -> (Self, SessionCmd) {
+        Self::agent_continuing(None, kind, task, config, rng, tool_rng, tools, now)
+    }
+
+    /// Starts an agent session that *continues* a conversation: `history`
+    /// (the carried context of the session's earlier turns) is prepended
+    /// to every prompt this turn submits, so a resident or offloaded copy
+    /// of the prior turn's KV blocks turns the whole carry into a prefix
+    /// hit. `None` behaves exactly like [`SessionRunner::agent`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn agent_continuing(
+        history: Option<TokenBuf>,
+        kind: AgentKind,
+        task: &Task,
+        config: AgentConfig,
+        rng: SimRng,
+        tool_rng: ToolRng,
+        tools: &ToolExecutor,
+        now: SimTime,
+    ) -> (Self, SessionCmd) {
         let mut runner = SessionRunner {
             policy: Some(build_agent(kind, task, config)),
             trace: RequestTrace::new(kind, task.benchmark, task.id, now),
             rng,
             tool_rng,
+            history,
             pending: Vec::new(),
             done: Vec::new(),
             done_count: 0,
@@ -195,6 +221,7 @@ impl SessionRunner {
             trace: RequestTrace::new(AgentKind::Cot, Benchmark::ShareGpt, task_id, now),
             rng,
             tool_rng: ToolRng::ForkByTime,
+            history: None,
             pending: Vec::new(),
             done: Vec::new(),
             done_count: 0,
@@ -374,6 +401,14 @@ impl SessionRunner {
         let mut calls = Vec::with_capacity(specs.len());
         let mut pending = Vec::with_capacity(specs.len());
         for (prompt, spec) in specs {
+            let prompt = match &self.history {
+                Some(h) => {
+                    let mut full = h.clone();
+                    full.push_buf(&prompt);
+                    full
+                }
+                None => prompt,
+            };
             calls.push(LlmSubmit {
                 prompt,
                 out_tokens: spec.out_tokens,
@@ -498,6 +533,43 @@ mod tests {
             .expect("single call finishes the op");
         assert!(matches!(cmd, SessionCmd::Finish(_)));
         assert_eq!(runner.trace().e2e(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn carried_history_prefixes_every_prompt() {
+        let task = TaskGenerator::new(Benchmark::HotpotQa, 3).task(0);
+        let tools = ToolExecutor::new();
+        let history = TokenBuf::from_segment(0xC0FFEE, 96);
+        let fresh = SessionRunner::agent(
+            AgentKind::React,
+            &task,
+            AgentConfig::default(),
+            SimRng::seed_from(3).fork(1),
+            ToolRng::ForkByTime,
+            &tools,
+            SimTime::ZERO,
+        );
+        let cont = SessionRunner::agent_continuing(
+            Some(history.clone()),
+            AgentKind::React,
+            &task,
+            AgentConfig::default(),
+            SimRng::seed_from(3).fork(1),
+            ToolRng::ForkByTime,
+            &tools,
+            SimTime::ZERO,
+        );
+        let (SessionCmd::Llm(fresh_op), SessionCmd::Llm(cont_op)) = (fresh.1, cont.1) else {
+            panic!("agents open with an LLM call")
+        };
+        let fresh_prompt = &fresh_op.calls[0].prompt;
+        let cont_prompt = &cont_op.calls[0].prompt;
+        assert_eq!(cont_prompt.len(), history.len() + fresh_prompt.len());
+        assert_eq!(&cont_prompt.as_slice()[..history.len()], history.as_slice());
+        assert_eq!(
+            &cont_prompt.as_slice()[history.len()..],
+            fresh_prompt.as_slice()
+        );
     }
 
     #[test]

@@ -85,6 +85,17 @@ enum ShardCmd {
         now: SimTime,
         id: RequestId,
     },
+    /// Mirror of [`Engine::hint_next_use`]: a next-invocation prediction
+    /// for the KV offload hierarchy. Fire-and-forget — hints change only
+    /// eviction *order* inside the engine, never the coordinator-visible
+    /// waiting/running counts, so no mirror delta or ack is needed;
+    /// executing in channel (= timeline) order is enough for determinism.
+    Hint {
+        replica: usize,
+        hashes: Vec<u64>,
+        now: SimTime,
+        at: SimTime,
+    },
     /// Mirror of [`Engine::begin_drain`].
     BeginDrain { replica: usize },
     /// Mirror of [`Engine::finish_drain`].
@@ -353,6 +364,20 @@ impl ShardPool {
                 Ok(WorkerMsg::Died) | Err(_) => self.propagate_panic(),
             }
         }
+    }
+
+    /// Mirrors [`Engine::hint_next_use`] on `replica` (KV offload
+    /// next-invocation predictions). Fire-and-forget.
+    pub fn hint(&mut self, replica: usize, hashes: Vec<u64>, now: SimTime, at: SimTime) {
+        self.send(
+            replica,
+            ShardCmd::Hint {
+                replica,
+                hashes,
+                now,
+                at,
+            },
+        );
     }
 
     /// Mirrors [`Engine::begin_drain`] on `replica`.
@@ -632,6 +657,12 @@ fn run_worker(
                     break;
                 }
             }
+            ShardCmd::Hint {
+                replica,
+                hashes,
+                now,
+                at,
+            } => engine_mut(&mut engines, replica).hint_next_use(&hashes, now, at),
             ShardCmd::BeginDrain { replica } => engine_mut(&mut engines, replica).begin_drain(),
             ShardCmd::FinishDrain { replica, now, role } => {
                 engine_mut(&mut engines, replica).finish_drain(now, role)
