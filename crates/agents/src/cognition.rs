@@ -27,6 +27,7 @@ use agentsim_workloads::{Benchmark, Task};
 
 use crate::action::OutputKind;
 use crate::catalog::AgentKind;
+use crate::config::AgentConfig;
 
 /// Calibrated cognitive model of a backend LLM.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,6 +154,32 @@ impl Cognition {
     pub fn node_value(&self, evidence_frac: f64, rng: &mut SimRng) -> f64 {
         let noise_scale = 0.35 * (1.0 - self.quality);
         (evidence_frac + rng.range_f64(-noise_scale, noise_scale)).clamp(0.0, 1.0)
+    }
+
+    /// The best-case (full-evidence, full-boost) capability `config` can
+    /// reach on `task` running agent paradigm `kind`.
+    ///
+    /// This is the cascade router's escalation predictor: the bound is
+    /// deterministic — no evidence-gathering randomness — so if even it
+    /// falls short of the task's [`Cognition::aptitude`] threshold, every
+    /// attempt at this quality is wasted work and the turn should start
+    /// on a stronger tier instead.
+    pub fn best_case_capability(kind: AgentKind, config: &AgentConfig, task: &Task) -> f64 {
+        let c = Cognition::new(config.model_quality);
+        match kind {
+            AgentKind::Cot => c.cot_capability(task, config.fewshot),
+            AgentKind::BestOfN => c.static_capability(task, config.fewshot, config.max_trials),
+            AgentKind::React | AgentKind::LlmCompiler => {
+                c.answer_capability(task, config.fewshot, 1.0, 1.0, 1)
+            }
+            AgentKind::Reflexion => {
+                let boost = Self::reflection_boost(config.max_trials.saturating_sub(1));
+                c.answer_capability(task, config.fewshot, 1.0, boost, 1)
+            }
+            AgentKind::Lats => {
+                c.answer_capability(task, config.fewshot, 1.0, 1.0, config.lats_children)
+            }
+        }
     }
 }
 
@@ -323,5 +350,35 @@ mod tests {
     #[should_panic(expected = "model quality")]
     fn quality_validated() {
         let _ = Cognition::new(1.5);
+    }
+
+    #[test]
+    fn best_case_capability_orders_tiers_and_bounds_attempts() {
+        let t = task(Benchmark::HotpotQa, 0.55);
+        let cheap = AgentConfig::default_8b();
+        let premium = AgentConfig::default_70b();
+        for kind in [
+            AgentKind::Cot,
+            AgentKind::React,
+            AgentKind::Reflexion,
+            AgentKind::Lats,
+            AgentKind::LlmCompiler,
+            AgentKind::BestOfN,
+        ] {
+            let lo = Cognition::best_case_capability(kind, &cheap, &t);
+            let hi = Cognition::best_case_capability(kind, &premium, &t);
+            // Breadth-amplified kinds (LATS) can saturate both tiers at
+            // the task's capability ceiling; the bound must still never
+            // order the tiers backwards.
+            if kind == AgentKind::Lats {
+                assert!(hi >= lo, "{kind:?}: 70B bound {hi} must not trail 8B {lo}");
+            } else {
+                assert!(hi > lo, "{kind:?}: 70B bound {hi} must exceed 8B {lo}");
+            }
+        }
+        // The bound really is an upper bound on a full-evidence attempt.
+        let c = Cognition::new(cheap.model_quality);
+        let react = Cognition::best_case_capability(AgentKind::React, &cheap, &t);
+        assert!(react >= c.answer_capability(&t, cheap.fewshot, 1.0, 1.0, 1) - 1e-12);
     }
 }

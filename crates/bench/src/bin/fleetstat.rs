@@ -1,21 +1,26 @@
 //! Fleet-serving smoke driver: runs every routing policy under both
-//! client models (open-loop Poisson and closed-loop multi-turn) and
-//! pins the resulting `FleetReport` fingerprints.
+//! client models (open-loop Poisson and closed-loop multi-turn), plus a
+//! heterogeneous cascade fleet, and pins the resulting `FleetReport`
+//! fingerprints.
 //!
 //! ```sh
 //! cargo run -p agentsim-bench --release --bin fleetstat            # print
 //! cargo run -p agentsim-bench --release --bin fleetstat -- --check # CI smoke
 //! ```
 //!
-//! The default mode prints the six fingerprints in the source-constant
+//! The default mode prints the seven fingerprints in the source-constant
 //! format (the capture helper for updating the table below after an
-//! intentional semantics change). `--check` recomputes all six and
+//! intentional semantics change). `--check` recomputes all seven and
 //! fails loudly on any drift: the fleet must stay bit-deterministic for
-//! a given `(routing, client, seed)` across refactors, and the shared
+//! a given `(routing, client, seed)` across refactors, the shared
 //! session-driver core must keep serving both client models through
-//! the very same code path.
+//! the very same code path, and tier selection plus failure-driven
+//! escalation across a mixed 8B/70B fleet must stay deterministic too.
 
-use agentsim_serving::{ClientModel, FleetConfig, FleetReport, FleetSim, Routing};
+use agentsim_llm::EngineConfig;
+use agentsim_serving::{
+    CascadePolicy, ClientModel, FleetConfig, FleetReport, FleetSim, ReplicaPool, Routing,
+};
 use agentsim_simkit::SimDuration;
 
 /// The six pinned configurations: all routings under both client models.
@@ -53,6 +58,8 @@ fn client_name(client: &ClientModel) -> &'static str {
 #[derive(Debug, PartialEq, Eq)]
 struct Fingerprint {
     completed: u64,
+    solved: u64,
+    escalated: u64,
     max_live: u64,
     p50_bits: u64,
     p95_bits: u64,
@@ -64,6 +71,8 @@ impl Fingerprint {
     fn of(r: &FleetReport) -> Self {
         Fingerprint {
             completed: r.completed,
+            solved: r.solved,
+            escalated: r.escalated,
             max_live: r.max_live_sessions,
             p50_bits: r.p50_s.to_bits(),
             p95_bits: r.p95_s.to_bits(),
@@ -82,14 +91,53 @@ fn run(routing: Routing, client: ClientModel) -> FleetReport {
     FleetSim::new(cfg).run()
 }
 
-/// `(label, client, completed, max_live, p50, p95, hit, tput)` — capture
-/// with the default (print) mode after any intentional semantics change.
-type GoldenRow = (&'static str, &'static str, u64, u64, u64, u64, u64, u64);
-const GOLDEN: [GoldenRow; 6] = [
+/// The heterogeneous cell: two cheap 8B replicas fronting one 4xH100 70B
+/// replica, escalating purely on observed failure (no aptitude
+/// pre-screen, which would route doomed turns premium up front and
+/// leave the re-issue path cold). Pins the whole tiered-routing path —
+/// arrival tier selection, cross-tier re-issue, and per-pool accounting.
+fn run_cascade() -> FleetReport {
+    let cfg = FleetConfig::pooled(
+        vec![
+            ReplicaPool::new(EngineConfig::a100_llama8b(), 2),
+            ReplicaPool::new(EngineConfig::h100x4_llama70b(), 1),
+        ],
+        Routing::SessionAffinity,
+        4.0,
+        30,
+    )
+    .seed(0xF1E7)
+    .cascade(CascadePolicy {
+        escalate_on_failure: true,
+        aptitude_margin: None,
+        max_escalations: u32::MAX,
+        escalate_retries: false,
+    });
+    FleetSim::new(cfg).run()
+}
+
+/// `(label, client, completed, solved, escalated, max_live, p50, p95,
+/// hit, tput)` — capture with the default (print) mode after any
+/// intentional semantics change.
+type GoldenRow = (
+    &'static str,
+    &'static str,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+);
+const GOLDEN: [GoldenRow; 7] = [
     (
         "affinity",
         "open",
         30,
+        17,
+        0,
         30,
         0x40269e2b6ae7d567,
         0x40318bfa6defc7a4,
@@ -100,6 +148,8 @@ const GOLDEN: [GoldenRow; 6] = [
         "round-robin",
         "open",
         30,
+        17,
+        0,
         30,
         0x40257fc6759ab6d0,
         0x4034f7e5753a3ec0,
@@ -110,6 +160,8 @@ const GOLDEN: [GoldenRow; 6] = [
         "least-loaded",
         "open",
         30,
+        17,
+        0,
         28,
         0x4023ead948dc11e4,
         0x40333586ca89fc6e,
@@ -120,6 +172,8 @@ const GOLDEN: [GoldenRow; 6] = [
         "affinity",
         "closed",
         30,
+        17,
+        0,
         4,
         0x4020cae05ccc89b1,
         0x4031620f0a5efe93,
@@ -130,6 +184,8 @@ const GOLDEN: [GoldenRow; 6] = [
         "round-robin",
         "closed",
         30,
+        17,
+        0,
         4,
         0x40213f3387160957,
         0x4032d55bbbe878fb,
@@ -140,11 +196,25 @@ const GOLDEN: [GoldenRow; 6] = [
         "least-loaded",
         "closed",
         30,
+        17,
+        0,
         4,
         0x40229a9da597d49d,
         0x4031c656366d7a57,
         0x3fe809fbeddfd1c4,
         0x3fd2c053556a27f5,
+    ),
+    (
+        "cascade",
+        "open",
+        30,
+        20,
+        13,
+        29,
+        0x402b255171e29b6b,
+        0x40404661ae70c133,
+        0x3feb22b6c65a0653,
+        0x3fea0e4475e7c2b2,
     ),
 ];
 
@@ -158,14 +228,19 @@ fn main() {
         None => false,
     };
 
-    let mut drifted = 0u32;
+    let mut cells: Vec<(&str, &str, Option<u64>, FleetReport)> = Vec::new();
     for (label, routing, client) in matrix() {
         let cname = client_name(&client);
         let population = match &client {
             ClientModel::ClosedLoop { concurrency, .. } => Some(*concurrency as u64),
             _ => None,
         };
-        let report = run(routing, client);
+        cells.push((label, cname, population, run(routing, client)));
+    }
+    cells.push(("cascade", "open", None, run_cascade()));
+
+    let mut drifted = 0u32;
+    for (label, cname, population, report) in cells {
         let f = Fingerprint::of(&report);
         if let Some(p) = population {
             assert!(
@@ -181,11 +256,13 @@ fn main() {
                 .expect("golden row present");
             let expected = Fingerprint {
                 completed: want.2,
-                max_live: want.3,
-                p50_bits: want.4,
-                p95_bits: want.5,
-                kv_hit_bits: want.6,
-                throughput_bits: want.7,
+                solved: want.3,
+                escalated: want.4,
+                max_live: want.5,
+                p50_bits: want.6,
+                p95_bits: want.7,
+                kv_hit_bits: want.8,
+                throughput_bits: want.9,
             };
             if f != expected {
                 drifted += 1;
@@ -195,8 +272,15 @@ fn main() {
             }
         } else {
             println!(
-                "(\"{label}\", \"{cname}\", {}, {}, {:#x}, {:#x}, {:#x}, {:#x}),",
-                f.completed, f.max_live, f.p50_bits, f.p95_bits, f.kv_hit_bits, f.throughput_bits
+                "(\"{label}\", \"{cname}\", {}, {}, {}, {}, {:#x}, {:#x}, {:#x}, {:#x}),",
+                f.completed,
+                f.solved,
+                f.escalated,
+                f.max_live,
+                f.p50_bits,
+                f.p95_bits,
+                f.kv_hit_bits,
+                f.throughput_bits
             );
         }
     }

@@ -88,10 +88,10 @@ fn run(offload: Option<OffloadConfig>, threads: u32) -> FleetReport {
             think_time: THINK,
         })
         .with_context_carry()
-        .threads(threads);
-    cfg.engine = cfg.engine.with_kv_fraction(KV_FRACTION);
+        .threads(threads)
+        .map_engines(|e| e.with_kv_fraction(KV_FRACTION));
     if let Some(off) = offload {
-        cfg.engine = cfg.engine.with_offload(off);
+        cfg = cfg.map_engines(|e| e.with_offload(off.clone()));
     }
     FleetSim::new(cfg).run()
 }

@@ -8,26 +8,12 @@
 //! nowhere near the 60-140x agentic multiplier.
 
 use agentsim_agents::{AgentConfig, AgentKind};
-use agentsim_gpu::{ClusterSpec, GpuSpec, ModelSpec};
 use agentsim_llm::EngineConfig;
 use agentsim_metrics::Table;
 use agentsim_workloads::Benchmark;
 
 use crate::figure::{FigureResult, Scale};
 use crate::presets::{mean_latency_s, mean_of, sharegpt_single, single_batch_with};
-
-/// One H100-80GB serving Llama-3.1-8B.
-fn h100_llama8b() -> EngineConfig {
-    let mut cfg = EngineConfig::a100_llama8b();
-    cfg.cluster = ClusterSpec {
-        gpu: GpuSpec::h100_80gb(),
-        gpu_count: 1,
-        model: ModelSpec::llama3_8b(),
-        kv_memory_fraction: 0.9,
-        tp_sync_per_layer_s: 0.0,
-    };
-    cfg
-}
 
 /// Runs the hardware what-if.
 pub fn run(scale: &Scale) -> FigureResult {
@@ -40,7 +26,7 @@ pub fn run(scale: &Scale) -> FigureResult {
     let mut cells = Vec::new();
     for (gpu, engine) in [
         ("A100-40GB", EngineConfig::a100_llama8b()),
-        ("H100-80GB", h100_llama8b()),
+        ("H100-80GB", EngineConfig::h100_llama8b()),
     ] {
         let (chat_lat, chat_wh) = sharegpt_single(scale, &engine);
         table.row(vec![

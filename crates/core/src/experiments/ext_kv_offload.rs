@@ -65,10 +65,10 @@ fn arm_config(scale: &Scale, users: u32, offload: Option<OffloadConfig>) -> Flee
             concurrency: users,
             think_time: THINK,
         })
-        .with_context_carry();
-    config.engine = config.engine.with_kv_fraction(KV_FRACTION);
+        .with_context_carry()
+        .map_engines(|e| e.with_kv_fraction(KV_FRACTION));
     if let Some(off) = offload {
-        config.engine = config.engine.with_offload(off);
+        config = config.map_engines(|e| e.with_offload(off.clone()));
     }
     config
 }

@@ -75,7 +75,7 @@ fn turns_for(scale: &Scale, qps: f64) -> u64 {
 
 fn run_point(scale: &Scale, qps: f64, policy: OverloadPolicy, threads: u32) -> FleetReport {
     let turns = turns_for(scale, qps);
-    let mut config = FleetConfig::react_hotpotqa(REPLICAS, Routing::LeastLoaded, qps, turns)
+    let config = FleetConfig::react_hotpotqa(REPLICAS, Routing::LeastLoaded, qps, turns)
         .seed(scale.seed)
         .overload(policy)
         .threads(threads);
@@ -84,7 +84,7 @@ fn run_point(scale: &Scale, qps: f64, policy: OverloadPolicy, threads: u32) -> F
     // down* exactly when load rises — the mechanism behind congestion
     // collapse. Admission control defends by keeping the excess queued
     // at the coordinator instead of resident on the engine.
-    config.engine = config.engine.with_kv_fraction(0.06);
+    let config = config.map_engines(|e| e.with_kv_fraction(0.06));
     FleetSim::new(config).run()
 }
 

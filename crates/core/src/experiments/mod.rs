@@ -31,6 +31,7 @@ pub mod ablation_chunked;
 pub mod ablation_step;
 pub mod concurrency;
 pub mod ext_autoscale;
+pub mod ext_cascade;
 pub mod ext_closed_loop;
 pub mod ext_disagg;
 pub mod ext_hardware;
@@ -214,6 +215,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Static (Best-of-N) vs dynamic test-time scaling"
         ),
         experiment!(
+            ext_cascade,
+            "(extension)",
+            "Iso-dollar heterogeneous cascade vs homogeneous fleets"
+        ),
+        experiment!(
             validation,
             "(validation)",
             "Event loop vs closed-form predictions"
@@ -233,7 +239,7 @@ mod tests {
     #[test]
     fn registry_covers_all_paper_artifacts() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 38);
+        assert_eq!(ids.len(), 39);
         for required in [
             "table1",
             "table2",
@@ -259,6 +265,6 @@ mod tests {
         let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 38);
+        assert_eq!(ids.len(), 39);
     }
 }

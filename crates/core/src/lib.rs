@@ -47,8 +47,8 @@ pub mod prelude {
     pub use agentsim_llm::EngineConfig;
     pub use agentsim_metrics::{Histogram, Samples, Summary, Table};
     pub use agentsim_serving::{
-        peak_throughput, qps_sweep, ClientModel, FleetConfig, FleetSim, Routing, ServingConfig,
-        ServingSim, ServingWorkload, SingleRequest,
+        peak_throughput, qps_sweep, ClientModel, FleetConfig, FleetSim, ReplicaPool, Routing,
+        ServingConfig, ServingSim, ServingWorkload, SingleRequest,
     };
     pub use agentsim_simkit::{SimDuration, SimTime};
     pub use agentsim_workloads::Benchmark;

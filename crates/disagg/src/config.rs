@@ -77,12 +77,20 @@ impl std::fmt::Display for PoolRouting {
 /// Configuration of one disaggregated (or colocated-baseline) run.
 #[derive(Debug, Clone)]
 pub struct DisaggConfig {
-    /// Per-replica engine configuration. The driver overrides the role
-    /// per pool ([`agentsim_llm::EngineRole::Prefill`] /
+    /// Engine configuration of the prefill pool's replicas (every
+    /// replica, in colocated mode). The driver overrides the role per
+    /// pool ([`agentsim_llm::EngineRole::Prefill`] /
     /// [`agentsim_llm::EngineRole::Decode`]), or leaves every replica
     /// [`agentsim_llm::EngineRole::Colocated`] when `decode_replicas`
     /// is zero.
-    pub engine: EngineConfig,
+    pub prefill_engine: EngineConfig,
+    /// Engine configuration of the decode pool's replicas. Usually
+    /// identical to `prefill_engine` (set both via
+    /// [`DisaggConfig::engine`]), but heterogeneous splits — e.g.
+    /// bandwidth-rich decode hardware — may differ. A replica keeps its
+    /// pool-of-birth hardware across autoscaler role flips; only the
+    /// role changes.
+    pub decode_engine: EngineConfig,
     /// Replicas in the prefill pool (every replica, in colocated mode).
     pub prefill_replicas: u32,
     /// Replicas in the decode pool. Zero selects the colocated baseline:
@@ -139,7 +147,8 @@ impl DisaggConfig {
     pub fn new(workload: DisaggWorkload, qps: f64, num_requests: u64) -> Self {
         validate_load(qps, num_requests);
         DisaggConfig {
-            engine: EngineConfig::a100_llama8b(),
+            prefill_engine: EngineConfig::a100_llama8b(),
+            decode_engine: EngineConfig::a100_llama8b(),
             prefill_replicas: 1,
             decode_replicas: 1,
             link: LinkSpec::nvlink4(),
@@ -176,10 +185,23 @@ impl DisaggConfig {
         self
     }
 
-    /// Replaces the per-replica engine configuration (role is ignored;
-    /// the driver assigns roles per pool).
+    /// Replaces the engine configuration of *both* pools (role is
+    /// ignored; the driver assigns roles per pool).
     pub fn engine(mut self, engine: EngineConfig) -> Self {
-        self.engine = engine;
+        self.prefill_engine = engine.clone();
+        self.decode_engine = engine;
+        self
+    }
+
+    /// Replaces the prefill pool's engine configuration only.
+    pub fn prefill_engine(mut self, engine: EngineConfig) -> Self {
+        self.prefill_engine = engine;
+        self
+    }
+
+    /// Replaces the decode pool's engine configuration only.
+    pub fn decode_engine(mut self, engine: EngineConfig) -> Self {
+        self.decode_engine = engine;
         self
     }
 

@@ -192,10 +192,10 @@ impl DisaggSim {
         let p = config.prefill_replicas as usize;
         let d = config.decode_replicas as usize;
         let mut replicas: Vec<Engine> = (0..p)
-            .map(|_| Engine::new(config.engine.clone().with_role(prefill_role)))
+            .map(|_| Engine::new(config.prefill_engine.clone().with_role(prefill_role)))
             .collect();
         replicas.extend(
-            (0..d).map(|_| Engine::new(config.engine.clone().with_role(EngineRole::Decode))),
+            (0..d).map(|_| Engine::new(config.decode_engine.clone().with_role(EngineRole::Decode))),
         );
         let controller = config.autoscale.build();
         assert!(

@@ -26,10 +26,11 @@ impl DisaggSim {
             self.replicas.iter().all(|e| !e.has_observer()),
             "parallel disagg execution does not support engine observers; use threads(1)"
         );
-        let lookahead = self.replicas[0].perf().min_step_duration();
         let replicas = self.replicas.len();
         let engines = std::mem::take(&mut self.replicas);
-        let mut pool = ShardPool::spawn(engines, threads, lookahead);
+        // The pool derives each replica's conservative-sync floor from
+        // its own engine — heterogeneous pools have no single lookahead.
+        let mut pool = ShardPool::spawn(engines, threads);
         loop {
             // Bank any resolutions that are already in, so the pop gate
             // below sees the tightest pending-kick window.

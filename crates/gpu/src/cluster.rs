@@ -59,6 +59,41 @@ impl ClusterSpec {
         }
     }
 
+    /// One H100-80GB serving Llama-3.1-8B — a premium small-model replica
+    /// for heterogeneous fleets.
+    pub fn h100_llama8b() -> Self {
+        ClusterSpec {
+            gpu: GpuSpec::h100_80gb(),
+            gpu_count: 1,
+            model: ModelSpec::llama3_8b(),
+            kv_memory_fraction: 0.9,
+            tp_sync_per_layer_s: 0.0,
+        }
+    }
+
+    /// Four H100-80GB serving Llama-3.1-70B (tensor parallel 4) — the
+    /// premium large-model tier: 141 GiB of weights fit in 320 GiB of HBM.
+    pub fn h100x4_llama70b() -> Self {
+        ClusterSpec {
+            gpu: GpuSpec::h100_80gb(),
+            gpu_count: 4,
+            model: ModelSpec::llama3_70b(),
+            kv_memory_fraction: 0.9,
+            tp_sync_per_layer_s: 15e-6,
+        }
+    }
+
+    /// One L40S-48GB serving Llama-3.1-8B — the consumer-class cheap tier.
+    pub fn l40s_llama8b() -> Self {
+        ClusterSpec {
+            gpu: GpuSpec::l40s_48gb(),
+            gpu_count: 1,
+            model: ModelSpec::llama3_8b(),
+            kv_memory_fraction: 0.9,
+            tp_sync_per_layer_s: 0.0,
+        }
+    }
+
     /// Returns a copy with a different KV memory fraction (used by the
     /// paper's Fig. 17 KV-pool sweep).
     pub fn with_kv_memory_fraction(mut self, fraction: f64) -> Self {
@@ -170,6 +205,23 @@ mod tests {
     fn presets_are_valid() {
         ClusterSpec::a100_llama8b().validate().unwrap();
         ClusterSpec::a100x8_llama70b().validate().unwrap();
+        ClusterSpec::h100_llama8b().validate().unwrap();
+        ClusterSpec::h100x4_llama70b().validate().unwrap();
+        ClusterSpec::l40s_llama8b().validate().unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_presets_differ_in_step_floor_inputs() {
+        // The parallel drivers' per-replica lookahead depends on
+        // weights / bandwidth: make sure the presets actually spread.
+        let a100 = ClusterSpec::a100_llama8b();
+        let h100 = ClusterSpec::h100_llama8b();
+        let l40s = ClusterSpec::l40s_llama8b();
+        assert!(h100.total_bandwidth() > a100.total_bandwidth());
+        assert!(l40s.total_bandwidth() < a100.total_bandwidth());
+        let b70 = ClusterSpec::h100x4_llama70b();
+        assert!(b70.model.weight_bytes() < b70.total_hbm_bytes());
+        assert!(b70.tp_sync_s() > 0.0);
     }
 
     #[test]

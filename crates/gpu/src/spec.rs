@@ -58,6 +58,19 @@ impl GpuSpec {
         }
     }
 
+    /// NVIDIA L40S-48GB — a consumer-adjacent inference card (GDDR6, no
+    /// NVLink) used for the heterogeneous-fleet cheap tier.
+    pub fn l40s_48gb() -> Self {
+        GpuSpec {
+            name: "NVIDIA L40S-48GB",
+            peak_flops: 362e12,
+            hbm_bytes: 48 * (1 << 30),
+            hbm_bandwidth: 864e9,
+            idle_power_w: 30.0,
+            peak_power_w: 350.0,
+        }
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -107,6 +120,7 @@ mod tests {
     fn presets_are_valid() {
         GpuSpec::a100_40gb().validate().unwrap();
         GpuSpec::h100_80gb().validate().unwrap();
+        GpuSpec::l40s_48gb().validate().unwrap();
     }
 
     #[test]

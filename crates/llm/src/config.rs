@@ -54,6 +54,31 @@ impl EngineRole {
     }
 }
 
+/// The model-capability class a replica serves.
+///
+/// Heterogeneous fleets group replicas into pools, each serving one tier;
+/// cascade routing starts turns on [`ModelTier::Small`] and escalates hard
+/// turns to [`ModelTier::Large`]. The tag is descriptive — it changes no
+/// engine behaviour, only how the fleet layer routes across pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ModelTier {
+    /// A small/cheap model (the 8B class).
+    #[default]
+    Small,
+    /// A large/premium model (the 70B class).
+    Large,
+}
+
+impl ModelTier {
+    /// Stable lowercase name (used by exporters and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelTier::Small => "small",
+            ModelTier::Large => "large",
+        }
+    }
+}
+
 /// KV offload tiers below HBM and the links that price their transfers.
 ///
 /// When set on an [`EngineConfig`], the engine's block manager spills
@@ -156,6 +181,8 @@ pub struct EngineConfig {
     pub role: EngineRole,
     /// Optional KV offload tiers below HBM (host DRAM / NVMe).
     pub offload: Option<OffloadConfig>,
+    /// The model-capability class this replica serves (cascade routing).
+    pub tier: ModelTier,
 }
 
 impl EngineConfig {
@@ -172,6 +199,7 @@ impl EngineConfig {
             scheduler: SchedulerPolicy::Fcfs,
             role: EngineRole::Colocated,
             offload: None,
+            tier: ModelTier::Small,
         }
     }
 
@@ -180,6 +208,33 @@ impl EngineConfig {
     pub fn a100x8_llama70b() -> Self {
         EngineConfig {
             cluster: ClusterSpec::a100x8_llama70b(),
+            tier: ModelTier::Large,
+            ..EngineConfig::a100_llama8b()
+        }
+    }
+
+    /// One H100-80GB serving Llama-3.1-8B — a premium small-model replica.
+    pub fn h100_llama8b() -> Self {
+        EngineConfig {
+            cluster: ClusterSpec::h100_llama8b(),
+            ..EngineConfig::a100_llama8b()
+        }
+    }
+
+    /// Four H100-80GB serving Llama-3.1-70B (tensor parallel 4) — the
+    /// premium large-model tier for heterogeneous fleets.
+    pub fn h100x4_llama70b() -> Self {
+        EngineConfig {
+            cluster: ClusterSpec::h100x4_llama70b(),
+            tier: ModelTier::Large,
+            ..EngineConfig::a100_llama8b()
+        }
+    }
+
+    /// One L40S-48GB serving Llama-3.1-8B — the consumer-class cheap tier.
+    pub fn l40s_llama8b() -> Self {
+        EngineConfig {
+            cluster: ClusterSpec::l40s_llama8b(),
             ..EngineConfig::a100_llama8b()
         }
     }
@@ -265,6 +320,21 @@ mod tests {
     fn presets_are_valid() {
         EngineConfig::a100_llama8b().validate().unwrap();
         EngineConfig::a100x8_llama70b().validate().unwrap();
+        EngineConfig::h100_llama8b().validate().unwrap();
+        EngineConfig::h100x4_llama70b().validate().unwrap();
+        EngineConfig::l40s_llama8b().validate().unwrap();
+    }
+
+    #[test]
+    fn tiers_tag_the_preset_family() {
+        assert_eq!(EngineConfig::a100_llama8b().tier, ModelTier::Small);
+        assert_eq!(EngineConfig::h100_llama8b().tier, ModelTier::Small);
+        assert_eq!(EngineConfig::l40s_llama8b().tier, ModelTier::Small);
+        assert_eq!(EngineConfig::a100x8_llama70b().tier, ModelTier::Large);
+        assert_eq!(EngineConfig::h100x4_llama70b().tier, ModelTier::Large);
+        assert!(ModelTier::Small < ModelTier::Large);
+        assert_eq!(ModelTier::Small.name(), "small");
+        assert_eq!(ModelTier::Large.name(), "large");
     }
 
     #[test]

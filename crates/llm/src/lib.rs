@@ -46,7 +46,7 @@ pub mod metrics;
 pub mod observer;
 pub mod request;
 
-pub use config::{EngineConfig, EngineRole, OffloadConfig, SchedulerPolicy};
+pub use config::{EngineConfig, EngineRole, ModelTier, OffloadConfig, SchedulerPolicy};
 pub use engine::Engine;
 pub use metrics::EngineMetrics;
 pub use observer::{EngineEvent, EngineObserver, FanoutObserver, StepKind};

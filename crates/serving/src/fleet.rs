@@ -33,17 +33,17 @@ mod par;
 
 use std::collections::{HashMap, VecDeque};
 
-use agentsim_agents::{AgentConfig, AgentKind};
+use agentsim_agents::{AgentConfig, AgentKind, Cognition};
 use agentsim_kvcache::{EvictionPolicy, TokenBuf};
-use agentsim_llm::{Engine, EngineConfig, LlmCompletion, RequestId};
+use agentsim_llm::{Engine, EngineConfig, LlmCompletion, ModelTier, RequestId};
 use agentsim_metrics::Samples;
 use agentsim_session::{
-    seeds, validate_load, AdmissionController, Arrival, ArrivalProcess, CallDone, ClientModel,
-    LlmSubmit, OverloadPolicy, QueueDiscipline, SessionCmd, SessionRunner, ToolRng,
+    seeds, validate_load, AdmissionController, Arrival, ArrivalProcess, CallDone, CascadePolicy,
+    ClientModel, LlmSubmit, OverloadPolicy, QueueDiscipline, SessionCmd, SessionRunner, ToolRng,
 };
 use agentsim_simkit::{EventQueue, SimRng, SimTime};
 use agentsim_tools::ToolExecutor;
-use agentsim_workloads::{Benchmark, TaskGenerator};
+use agentsim_workloads::{Benchmark, Task, TaskGenerator};
 
 /// How the router assigns each LLM call to a replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,21 +68,62 @@ impl std::fmt::Display for Routing {
     }
 }
 
+/// One homogeneous group of replicas inside a (possibly heterogeneous)
+/// fleet: an engine spec, a count, and the agent configuration whose
+/// model quality matches the model the pool serves.
+#[derive(Debug, Clone)]
+pub struct ReplicaPool {
+    /// Engine configuration cloned per replica of this pool.
+    pub engine: EngineConfig,
+    /// Number of replicas in the pool.
+    pub replicas: u32,
+    /// Agent configuration for turns served by this pool (its
+    /// `model_quality` should describe the pool's model).
+    pub agent: AgentConfig,
+}
+
+impl ReplicaPool {
+    /// A pool of `replicas` copies of `engine`, with the agent config
+    /// inferred from the engine's [`ModelTier`] (8B quality for
+    /// [`ModelTier::Small`], 70B for [`ModelTier::Large`]).
+    pub fn new(engine: EngineConfig, replicas: u32) -> Self {
+        assert!(replicas > 0, "pool needs at least one replica");
+        let agent = match engine.tier {
+            ModelTier::Small => AgentConfig::default_8b(),
+            ModelTier::Large => AgentConfig::default_70b(),
+        };
+        ReplicaPool {
+            engine,
+            replicas,
+            agent,
+        }
+    }
+
+    /// Returns a copy with a different agent configuration.
+    pub fn with_agent(mut self, agent: AgentConfig) -> Self {
+        self.agent = agent;
+        self
+    }
+}
+
 /// Configuration of a fleet run (agentic traffic).
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Per-replica engine configuration.
-    pub engine: EngineConfig,
-    /// Number of replicas.
-    pub replicas: u32,
-    /// Routing policy.
+    /// Replica pools, ordered cheap-to-premium. Replicas are numbered
+    /// contiguously in pool order; a single pool reproduces the
+    /// historical homogeneous fleet exactly.
+    pub pools: Vec<ReplicaPool>,
+    /// Routing policy (applied *within* a tier's pool — the cascade
+    /// policy picks the tier, the routing policy picks the replica).
     pub routing: Routing,
     /// Agent framework served.
     pub kind: AgentKind,
     /// Benchmark tasks are drawn from.
     pub benchmark: Benchmark,
-    /// Agent configuration.
-    pub agent: AgentConfig,
+    /// Tier selection and failure-driven escalation across pools.
+    /// [`CascadePolicy::none`] (the default) keeps every turn on tier 0,
+    /// reproducing the historical single-tier behaviour bit-for-bit.
+    pub cascade: CascadePolicy,
     /// Offered load, requests/second (fleet-wide, open-loop clients).
     pub qps: f64,
     /// Turns to issue.
@@ -104,17 +145,28 @@ pub struct FleetConfig {
 }
 
 impl FleetConfig {
-    /// ReAct/HotpotQA on `replicas` default 8B replicas.
+    /// ReAct/HotpotQA on `replicas` default 8B replicas — single-pool
+    /// sugar over [`FleetConfig::pooled`].
     pub fn react_hotpotqa(replicas: u32, routing: Routing, qps: f64, num_requests: u64) -> Self {
-        assert!(replicas > 0, "fleet needs at least one replica");
+        Self::pooled(
+            vec![ReplicaPool::new(EngineConfig::a100_llama8b(), replicas)],
+            routing,
+            qps,
+            num_requests,
+        )
+    }
+
+    /// ReAct/HotpotQA across an explicit set of replica pools, ordered
+    /// cheap-to-premium.
+    pub fn pooled(pools: Vec<ReplicaPool>, routing: Routing, qps: f64, num_requests: u64) -> Self {
+        assert!(!pools.is_empty(), "fleet needs at least one pool");
         validate_load(qps, num_requests);
         FleetConfig {
-            engine: EngineConfig::a100_llama8b(),
-            replicas,
+            pools,
             routing,
             kind: AgentKind::React,
             benchmark: Benchmark::HotpotQa,
-            agent: AgentConfig::default_8b(),
+            cascade: CascadePolicy::none(),
             qps,
             num_requests,
             seed: 0,
@@ -123,6 +175,26 @@ impl FleetConfig {
             threads: 1,
             carry_context: false,
         }
+    }
+
+    /// Total replicas across all pools.
+    pub fn total_replicas(&self) -> u32 {
+        self.pools.iter().map(|p| p.replicas).sum()
+    }
+
+    /// Applies `f` to every pool's engine configuration (e.g. to shrink
+    /// the KV pool or attach offload tiers fleet-wide).
+    pub fn map_engines(mut self, f: impl Fn(EngineConfig) -> EngineConfig) -> Self {
+        for pool in &mut self.pools {
+            pool.engine = f(pool.engine.clone());
+        }
+        self
+    }
+
+    /// Attaches a cascade policy (tier selection and escalation).
+    pub fn cascade(mut self, cascade: CascadePolicy) -> Self {
+        self.cascade = cascade;
+        self
     }
 
     /// Enables cross-turn conversation carry (see
@@ -169,6 +241,12 @@ pub struct FleetReport {
     /// Turns completed *within their deadline* (all turns when the run
     /// has no deadline).
     pub completed: u64,
+    /// On-time turns whose agent actually solved its task (the
+    /// cognition-model verdict) — the accuracy numerator cascade
+    /// experiments trade off against cost and latency.
+    pub solved: u64,
+    /// Failure-driven re-routes of unsolved turns to a higher tier.
+    pub escalated: u64,
     /// End-to-end latencies of on-time turns (seconds).
     pub latencies: Samples,
     /// Median latency.
@@ -212,6 +290,12 @@ pub struct FleetReport {
     pub ttft_p50_s: f64,
     /// Tail time-to-first-token across every finished engine call.
     pub ttft_p95_s: f64,
+    /// Median time-per-output-token across every finished engine call
+    /// with more than one output token (seconds/token).
+    pub tpot_p50_s: f64,
+    /// p99 time-per-output-token — the decode-interference tail the
+    /// cascade's premium pool must keep short.
+    pub tpot_p99_s: f64,
     /// Blocks demoted out of HBM into the offload tiers, fleet-wide
     /// (zero without [`agentsim_llm::OffloadConfig`]).
     pub offload_demoted_blocks: u64,
@@ -242,6 +326,13 @@ struct SessionMeta {
     turn: u64,
     /// Delivery attempt (0 = client-issued).
     attempt: u32,
+    /// Pool tier this attempt runs on (index into `config.pools`).
+    tier: usize,
+    /// Failure-driven escalations this turn has consumed so far.
+    escalations: u32,
+    /// When the turn's current delivery attempt first started (carried
+    /// across escalations so cascade latency spans the whole chain).
+    started_at: SimTime,
     /// Occupancy counter of the slot, guarding stale wake-ups.
     epoch: u64,
     /// Absolute expiry of this attempt, if the run has deadlines.
@@ -297,7 +388,13 @@ pub struct FleetSim {
     in_flight: Vec<usize>,
     admission: Vec<Box<dyn AdmissionController>>,
     root_rng: SimRng,
-    rr_counter: usize,
+    /// Pool index of each replica (replicas are numbered contiguously in
+    /// pool order).
+    pool_of: Vec<usize>,
+    /// Replica index range of each pool.
+    tier_ranges: Vec<std::ops::Range<usize>>,
+    /// Round-robin cursor per pool (tier-local rotation).
+    rr_counters: Vec<usize>,
     /// Whether to feed next-invocation predictions to the engines' KV
     /// offload hierarchies (offload configured with
     /// [`EvictionPolicy::InvocationDistance`]).
@@ -312,7 +409,11 @@ pub struct FleetSim {
     latencies: Vec<f64>,
     /// Per-call time-to-first-token samples (seconds).
     ttfts: Vec<f64>,
+    /// Per-call time-per-output-token samples (seconds/token).
+    tpots: Vec<f64>,
     completed: u64,
+    solved: u64,
+    escalated: u64,
     attempts: u64,
     retries: u64,
     abandoned: u64,
@@ -343,10 +444,21 @@ impl FleetSim {
     pub fn new(config: FleetConfig) -> Self {
         validate_load(config.qps, config.num_requests);
         config.overload.validate(&config.client);
-        let replicas = config.replicas as usize;
-        let engines = (0..config.replicas)
-            .map(|_| Engine::new(config.engine.clone()))
-            .collect();
+        assert!(!config.pools.is_empty(), "fleet needs at least one pool");
+        // Flatten the pools into one contiguous replica index space.
+        let mut engines = Vec::new();
+        let mut pool_of = Vec::new();
+        let mut tier_ranges = Vec::new();
+        for (tier, p) in config.pools.iter().enumerate() {
+            assert!(p.replicas > 0, "pool {tier} needs at least one replica");
+            let start = engines.len();
+            for _ in 0..p.replicas {
+                engines.push(Engine::new(p.engine.clone()));
+                pool_of.push(tier);
+            }
+            tier_ranges.push(start..engines.len());
+        }
+        let replicas = engines.len();
         let root_rng = SimRng::seed_from(config.seed ^ seeds::FLEET_ROOT);
         let mut client = config.client.build(
             config.qps,
@@ -358,11 +470,16 @@ impl FleetSim {
             queue.push(a.at, Event::Arrival(a));
         }
         let slots = config.client.sessions(config.num_requests) as usize;
-        let hints = config
-            .engine
-            .offload
-            .as_ref()
-            .is_some_and(|o| o.policy == EvictionPolicy::InvocationDistance);
+        let hints = config.pools.iter().any(|p| {
+            p.engine
+                .offload
+                .as_ref()
+                .is_some_and(|o| o.policy == EvictionPolicy::InvocationDistance)
+        });
+        // An escalated turn re-arrives on the premium tier carrying the
+        // conversation it built on the cheap one, so cascade runs track
+        // contexts even without hints or explicit carry.
+        let cascade_active = config.cascade.escalate_on_failure && config.pools.len() > 1;
         FleetSim {
             engines,
             tools: ToolExecutor::new(),
@@ -379,13 +496,18 @@ impl FleetSim {
                 .map(|_| config.overload.admission.build())
                 .collect(),
             root_rng,
-            rr_counter: 0,
+            rr_counters: vec![0; config.pools.len()],
+            pool_of,
+            tier_ranges,
             hints,
-            track_ctx: hints || config.carry_context,
+            track_ctx: hints || config.carry_context || cascade_active,
             carry: (0..slots).map(|_| None).collect(),
             latencies: Vec::new(),
             ttfts: Vec::new(),
+            tpots: Vec::new(),
             completed: 0,
+            solved: 0,
+            escalated: 0,
             attempts: 0,
             retries: 0,
             abandoned: 0,
@@ -450,42 +572,55 @@ impl FleetSim {
             );
             assert_eq!(
                 self.attempts,
-                self.completed + self.late + self.cancelled,
-                "every attempt must finish, finish late, or be cancelled"
+                self.completed + self.late + self.cancelled + self.escalated,
+                "every attempt must finish, finish late, be cancelled, or escalate"
             );
             assert_eq!(
                 self.attempts,
-                expected + self.retries,
-                "attempts are initial turns plus retries"
+                expected + self.retries + self.escalated,
+                "attempts are initial turns plus retries plus escalations"
             );
         } else {
             assert_eq!(self.completed, expected, "all turns must finish");
+            assert_eq!(
+                self.attempts,
+                expected + self.escalated,
+                "attempts are turns plus escalations"
+            );
         }
     }
 
     #[cfg(test)]
     fn route(&mut self, sid: u64) -> usize {
-        self.route_with(None, sid)
+        self.route_with(None, sid, 0)
     }
 
-    /// Routes one LLM op. The parallel path passes its [`ShardPool`] so
-    /// least-loaded reads the coordinator's exact load mirrors instead of
-    /// the (moved-away) engines.
+    /// Routes one LLM op within `tier`'s pool. The cascade policy picks
+    /// the tier; the routing policy picks the replica inside it. The
+    /// parallel path passes its [`ShardPool`] so least-loaded reads the
+    /// coordinator's exact load mirrors instead of the (moved-away)
+    /// engines.
     ///
     /// [`ShardPool`]: agentsim_session::ShardPool
-    fn route_with(&mut self, pool: Option<&agentsim_session::ShardPool>, sid: u64) -> usize {
-        let n = self.config.replicas as usize;
+    fn route_with(
+        &mut self,
+        pool: Option<&agentsim_session::ShardPool>,
+        sid: u64,
+        tier: usize,
+    ) -> usize {
+        let range = self.tier_ranges[tier].clone();
+        let n = range.len();
         match self.config.routing {
-            Routing::SessionAffinity => (sid as usize) % n,
+            Routing::SessionAffinity => range.start + (sid as usize) % n,
             Routing::RoundRobin => {
-                // Post-increment: the first dispatch lands on replica 0.
-                // (Pre-incrementing skewed dispatch order so replica 0 was
-                // systematically served last.)
-                let replica = self.rr_counter % n;
-                self.rr_counter = (replica + 1) % n;
-                replica
+                // Post-increment: the first dispatch lands on the pool's
+                // first replica. (Pre-incrementing skewed dispatch order
+                // so replica 0 was systematically served last.)
+                let local = self.rr_counters[tier] % n;
+                self.rr_counters[tier] = (local + 1) % n;
+                range.start + local
             }
-            Routing::LeastLoaded => (0..n)
+            Routing::LeastLoaded => range
                 .min_by_key(|&r| {
                     let engine = match pool {
                         Some(pool) => pool.load(r),
@@ -493,7 +628,7 @@ impl FleetSim {
                     };
                     engine + self.dispatch_calls[r]
                 })
-                .expect("non-empty fleet"),
+                .expect("non-empty pool"),
         }
     }
 
@@ -511,33 +646,88 @@ impl FleetSim {
                 self.queue.push(next.at, Event::Arrival(next));
             }
         }
-        self.attempts += 1;
-        let task = TaskGenerator::new(self.config.benchmark, self.config.seed).task(a.turn);
+        let tier = if self.config.pools.len() > 1 {
+            let task = TaskGenerator::new(self.config.benchmark, self.config.seed).task(a.turn);
+            self.arrival_tier(&task, a.attempt)
+        } else {
+            0
+        };
         let history = if self.config.carry_context {
             self.carry[a.session as usize].clone()
         } else {
             None
         };
+        self.begin_attempt(
+            pool, a.session, a.turn, a.attempt, tier, 0, history, now, now,
+        );
+    }
+
+    /// The tier a fresh (non-escalated) attempt lands on under the
+    /// cascade policy: retries optionally climb one tier per attempt, and
+    /// tasks whose latent aptitude exceeds the cheap tier's *best-case*
+    /// capability (plus margin) skip straight to the top — every cheap
+    /// attempt at them is provably wasted work.
+    fn arrival_tier(&self, task: &Task, attempt: u32) -> usize {
+        let top = self.config.pools.len() - 1;
+        if top == 0 {
+            return 0;
+        }
+        let c = &self.config.cascade;
+        if c.escalate_retries && attempt > 0 {
+            return (attempt as usize).min(top);
+        }
+        if let Some(margin) = c.aptitude_margin {
+            let cheap = &self.config.pools[0].agent;
+            let best = Cognition::best_case_capability(self.config.kind, cheap, task);
+            if Cognition::aptitude(task) + margin > best {
+                return top;
+            }
+        }
+        0
+    }
+
+    /// Opens one delivery attempt of a turn on `tier` and executes its
+    /// first command. Shared by client arrivals, retries, and cascade
+    /// escalations (which carry `history` and the original `started_at`
+    /// across the re-route).
+    #[allow(clippy::too_many_arguments)]
+    fn begin_attempt(
+        &mut self,
+        pool: Option<&mut agentsim_session::ShardPool>,
+        sid: u64,
+        turn: u64,
+        attempt: u32,
+        tier: usize,
+        escalations: u32,
+        history: Option<TokenBuf>,
+        started_at: SimTime,
+        now: SimTime,
+    ) {
+        self.attempts += 1;
+        let task = TaskGenerator::new(self.config.benchmark, self.config.seed).task(turn);
         let (runner, cmd) = SessionRunner::agent_continuing(
             history,
             self.config.kind,
             &task,
-            self.config.agent,
-            self.root_rng.fork(a.turn ^ seeds::AGENT_SESSION),
+            self.config.pools[tier].agent,
+            self.root_rng.fork(turn ^ seeds::AGENT_SESSION),
             ToolRng::ForkByTime,
             &self.tools,
             now,
         );
-        let sid = a.session as usize;
-        let slot = &mut self.sessions[sid];
-        assert!(slot.is_none(), "session {} already live", a.session);
+        let s = sid as usize;
+        let slot = &mut self.sessions[s];
+        assert!(slot.is_none(), "session {sid} already live");
         *slot = Some(runner);
-        self.epochs[sid] += 1;
-        let epoch = self.epochs[sid];
+        self.epochs[s] += 1;
+        let epoch = self.epochs[s];
         let deadline = self.config.overload.deadline.map(|d| now + d);
-        self.meta[sid] = Some(SessionMeta {
-            turn: a.turn,
-            attempt: a.attempt,
+        self.meta[s] = Some(SessionMeta {
+            turn,
+            attempt,
+            tier,
+            escalations,
+            started_at,
             epoch,
             deadline,
             expired: false,
@@ -547,17 +737,12 @@ impl FleetSim {
             kv_replica: 0,
         });
         if let Some(expiry) = deadline {
-            self.queue.push(
-                expiry,
-                Event::DeadlineExpired {
-                    sid: a.session,
-                    epoch,
-                },
-            );
+            self.queue
+                .push(expiry, Event::DeadlineExpired { sid, epoch });
         }
         self.live += 1;
         self.max_live = self.max_live.max(self.live);
-        self.exec_with(pool, a.session, cmd, now);
+        self.exec_with(pool, sid, cmd, now);
     }
 
     /// Executes a session command against the routed fleet.
@@ -570,11 +755,11 @@ impl FleetSim {
     ) {
         match cmd {
             SessionCmd::Llm(op) => {
-                let replica = self.route_with(pool.as_deref(), sid);
-                let (epoch, deadline, started) = {
+                let (epoch, deadline, started, tier) = {
                     let m = self.meta[sid as usize].as_ref().expect("live session meta");
-                    (m.epoch, m.deadline, m.started)
+                    (m.epoch, m.deadline, m.started, m.tier)
                 };
+                let replica = self.route_with(pool.as_deref(), sid, tier);
                 let entry = PendingOp {
                     sid,
                     epoch,
@@ -608,26 +793,68 @@ impl FleetSim {
                     self.send_hint(pool, replica, hashes, now, wake);
                 }
             }
-            SessionCmd::Finish(_) => {
+            SessionCmd::Finish(outcome) => {
                 let runner = self.sessions[sid as usize].take().expect("live session");
                 let m = self.meta[sid as usize].take().expect("live session meta");
                 debug_assert!(m.calls.is_empty(), "finished with calls in flight");
                 self.live -= 1;
+                let c = self.config.cascade;
+                if c.escalate_on_failure
+                    && !outcome.solved
+                    && !m.expired
+                    && m.tier + 1 < self.config.pools.len()
+                    && m.escalations < c.max_escalations
+                {
+                    // Unsolved on this tier: re-run the turn one tier up.
+                    // The conversation built so far (tracked engine-side
+                    // context, falling back to the cross-turn carry)
+                    // survives the re-route as the new attempt's prefix,
+                    // so the premium pool prefills it instead of starting
+                    // cold — and its KV hints will land on the new
+                    // replica.
+                    self.escalated += 1;
+                    let history = match m.kv_ctx {
+                        Some((ctx, _)) => Some(ctx),
+                        None => self.carry[sid as usize].clone(),
+                    };
+                    self.begin_attempt(
+                        pool,
+                        sid,
+                        m.turn,
+                        m.attempt,
+                        m.tier + 1,
+                        m.escalations + 1,
+                        history,
+                        m.started_at,
+                        now,
+                    );
+                    return;
+                }
                 self.last_finish = self.last_finish.max(now);
                 if m.expired {
                     // The turn was already resolved abandoned at its
                     // deadline; this finish delivered nothing.
                     self.late += 1;
                 } else {
-                    self.latencies.push(runner.trace().e2e().as_secs_f64());
+                    // An escalated turn's latency spans the whole cascade
+                    // chain, not just the final attempt's trace.
+                    let latency = if m.escalations == 0 {
+                        runner.trace().e2e()
+                    } else {
+                        now - m.started_at
+                    };
+                    self.latencies.push(latency.as_secs_f64());
                     self.completed += 1;
+                    if outcome.solved {
+                        self.solved += 1;
+                    }
                     if let Some(next) = self.client.after_finish(sid, now) {
                         // A closed-loop user thinking before their next
                         // turn: that turn reopens with this context as
                         // its prefix, at a known future instant.
                         if next.session == sid {
                             if let Some((ctx, _)) = &m.kv_ctx {
-                                let block = self.config.engine.block_size as usize;
+                                let block = self.block_size_of(m.kv_replica);
                                 let hashes = ctx.chain_hashes_cached(block).to_vec();
                                 self.send_hint(pool, m.kv_replica, hashes, now, next.at);
                             }
@@ -658,12 +885,29 @@ impl FleetSim {
         let m = self.meta[sid as usize].as_ref()?;
         let (ctx, _) = m.kv_ctx.as_ref()?;
         let hashes = ctx
-            .chain_hashes_cached(self.config.engine.block_size as usize)
+            .chain_hashes_cached(self.block_size_of(m.kv_replica))
             .to_vec();
         if hashes.is_empty() {
             return None;
         }
         Some((m.kv_replica, hashes))
+    }
+
+    /// KV block size of the engine serving `replica` — pools may differ,
+    /// so context hashing must use the holder's block size, not pool 0's.
+    fn block_size_of(&self, replica: usize) -> usize {
+        self.config.pools[self.pool_of[replica]].engine.block_size as usize
+    }
+
+    /// GPU-seconds per service-second on `replica`: the GPU count of its
+    /// pool's cluster. A service-second wasted on a 4-GPU 70B replica
+    /// burns four GPU-seconds — pricing every replica by pool 0's
+    /// hardware undercounts heterogeneous waste.
+    fn gpu_weight(&self, replica: usize) -> f64 {
+        self.config.pools[self.pool_of[replica]]
+            .engine
+            .cluster
+            .gpu_count as f64
     }
 
     /// Delivers a next-invocation prediction to `replica`'s engine (KV
@@ -796,7 +1040,10 @@ impl FleetSim {
         completion: LlmCompletion,
         now: SimTime,
     ) {
-        let service = (completion.prefill_time + completion.decode_time).as_secs_f64();
+        // Wasted service is priced in GPU-seconds by the replica's own
+        // pool hardware, not pool 0's.
+        let service = (completion.prefill_time + completion.decode_time).as_secs_f64()
+            * self.gpu_weight(replica);
         let Some((sid, seq)) = self.owner.remove(&(replica, completion.id)) else {
             // A cancelled attempt's request that finished in the very step
             // the cancellation raced: the work is done, nobody is
@@ -808,6 +1055,10 @@ impl FleetSim {
         self.in_flight[replica] -= 1;
         self.ttfts
             .push((completion.queue_time() + completion.prefill_time).as_secs_f64());
+        if completion.output_tokens > 1 {
+            self.tpots
+                .push(completion.decode_time.as_secs_f64() / (completion.output_tokens - 1) as f64);
+        }
         let expired = {
             let m = self.meta[sid as usize].as_mut().expect("live session meta");
             m.calls
@@ -991,19 +1242,22 @@ impl FleetSim {
         let mut ttfts: Samples = self.ttfts.iter().copied().collect();
         let ttft_p50_s = ttfts.try_median().unwrap_or(f64::NAN);
         let ttft_p95_s = ttfts.try_p95().unwrap_or(f64::NAN);
+        let mut tpots: Samples = self.tpots.iter().copied().collect();
+        let tpot_p50_s = tpots.try_median().unwrap_or(f64::NAN);
+        let tpot_p99_s = tpots.try_percentile(99.0).unwrap_or(f64::NAN);
         let (mut hits, mut lookups) = (0u64, 0u64);
         let mut energy_wh = 0.0;
         let mut wasted_gpu_s = self.wasted_service;
         let mut utilization = Vec::with_capacity(self.engines.len());
         let (mut demoted, mut promoted, mut promoted_tokens, mut dropped) = (0u64, 0u64, 0u64, 0);
         let (mut host_bytes, mut nvme_bytes) = (0u64, 0u64);
-        for e in &self.engines {
+        for (r, e) in self.engines.iter().enumerate() {
             let kv = e.kv().stats();
             hits += kv.hit_tokens;
             lookups += kv.hit_tokens + kv.miss_tokens;
             energy_wh += e.metrics().energy_within(self.last_finish).watt_hours();
             utilization.push(e.metrics().utilization(self.last_finish));
-            wasted_gpu_s += e.metrics().wasted().as_secs_f64();
+            wasted_gpu_s += e.metrics().wasted().as_secs_f64() * self.gpu_weight(r);
             demoted += kv.demoted_blocks_host + kv.demoted_blocks_nvme;
             promoted += kv.promoted_blocks_host + kv.promoted_blocks_nvme;
             promoted_tokens += kv.promoted_tokens;
@@ -1015,6 +1269,8 @@ impl FleetSim {
         FleetReport {
             offered_qps: self.config.qps,
             completed: self.completed,
+            solved: self.solved,
+            escalated: self.escalated,
             p50_s,
             p95_s,
             kv_hit_rate: if lookups == 0 {
@@ -1045,6 +1301,8 @@ impl FleetSim {
             max_live_sessions: self.max_live,
             ttft_p50_s,
             ttft_p95_s,
+            tpot_p50_s,
+            tpot_p99_s,
             offload_demoted_blocks: demoted,
             offload_promoted_blocks: promoted,
             offload_promoted_tokens: promoted_tokens,
@@ -1289,10 +1547,10 @@ mod tests {
                 think_time: SimDuration::from_secs(30),
             })
             .with_context_carry()
-            .threads(threads);
-        cfg.engine = cfg.engine.with_kv_fraction(0.15);
+            .threads(threads)
+            .map_engines(|e| e.with_kv_fraction(0.15));
         if let Some(off) = offload {
-            cfg.engine = cfg.engine.with_offload(off);
+            cfg = cfg.map_engines(|e| e.with_offload(off.clone()));
         }
         FleetSim::new(cfg).run()
     }
@@ -1375,6 +1633,115 @@ mod tests {
             assert_eq!(a.offload_promoted_tokens, r.offload_promoted_tokens);
             assert_eq!(a.offload_host_bytes, r.offload_host_bytes);
         }
+    }
+
+    /// Two cheap 8B replicas plus one 4xH100 70B replica.
+    fn hetero_cfg(cascade: CascadePolicy, threads: u32) -> FleetConfig {
+        FleetConfig::pooled(
+            vec![
+                ReplicaPool::new(EngineConfig::a100_llama8b(), 2),
+                ReplicaPool::new(EngineConfig::h100x4_llama70b(), 1),
+            ],
+            Routing::SessionAffinity,
+            2.0,
+            32,
+        )
+        .seed(9)
+        .cascade(cascade)
+        .threads(threads)
+    }
+
+    #[test]
+    fn single_pool_sugar_equals_explicit_pool_bit_for_bit() {
+        let sugar = run(Routing::SessionAffinity, 3);
+        let pooled = FleetSim::new(
+            FleetConfig::pooled(
+                vec![ReplicaPool::new(EngineConfig::a100_llama8b(), 3)],
+                Routing::SessionAffinity,
+                2.0,
+                40,
+            )
+            .seed(3),
+        )
+        .run();
+        assert_eq!(sugar.completed, pooled.completed);
+        assert_eq!(sugar.p50_s.to_bits(), pooled.p50_s.to_bits());
+        assert_eq!(sugar.p95_s.to_bits(), pooled.p95_s.to_bits());
+        assert_eq!(sugar.kv_hit_rate.to_bits(), pooled.kv_hit_rate.to_bits());
+        assert_eq!(sugar.energy_wh.to_bits(), pooled.energy_wh.to_bits());
+        assert_eq!(sugar.wasted_gpu_s.to_bits(), pooled.wasted_gpu_s.to_bits());
+    }
+
+    /// Pure failure-driven escalation: no aptitude pre-screen, so every
+    /// turn starts cheap and only observed failure re-routes it.
+    fn escalate_only() -> CascadePolicy {
+        CascadePolicy {
+            escalate_on_failure: true,
+            aptitude_margin: None,
+            max_escalations: u32::MAX,
+            escalate_retries: false,
+        }
+    }
+
+    #[test]
+    fn cascade_escalates_unsolved_turns_to_the_premium_tier() {
+        let flat = FleetSim::new(hetero_cfg(CascadePolicy::none(), 1)).run();
+        let casc = FleetSim::new(hetero_cfg(escalate_only(), 1)).run();
+        assert_eq!(flat.completed, 32);
+        assert_eq!(casc.completed, 32);
+        assert_eq!(flat.escalated, 0, "an inert policy never re-routes");
+        assert!(casc.escalated > 0, "some 8B failures must escalate");
+        assert_eq!(casc.attempts, 32 + casc.escalated);
+        assert!(
+            casc.solved > flat.solved,
+            "the 70B pool must rescue turns the 8B tier failed: {} !> {}",
+            casc.solved,
+            flat.solved
+        );
+    }
+
+    #[test]
+    fn aptitude_prescreen_skips_doomed_cheap_attempts() {
+        // The cognition pre-screen routes tasks the cheap tier provably
+        // cannot solve straight to the top tier, so it reaches (at
+        // least) the accuracy of post-hoc escalation while re-running
+        // fewer turns.
+        let reactive = FleetSim::new(hetero_cfg(escalate_only(), 1)).run();
+        let screened = FleetSim::new(hetero_cfg(CascadePolicy::standard(), 1)).run();
+        assert!(screened.solved >= reactive.solved);
+        assert!(
+            screened.escalated < reactive.escalated,
+            "pre-screening must replace most failure-driven re-routes: {} !< {}",
+            screened.escalated,
+            reactive.escalated
+        );
+        assert!(
+            screened.utilization[2] > 0.0,
+            "pre-screened turns land on the premium replica directly"
+        );
+    }
+
+    #[test]
+    fn inert_cascade_over_two_pools_keeps_the_premium_tier_idle() {
+        let flat = FleetSim::new(hetero_cfg(CascadePolicy::none(), 1)).run();
+        assert_eq!(
+            flat.utilization[2], 0.0,
+            "tier 0 routing never touches the premium replica"
+        );
+        assert!(flat.utilization[0] > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_cascade_is_deterministic_across_threads() {
+        let seq = FleetSim::new(hetero_cfg(escalate_only(), 1)).run();
+        let par = FleetSim::new(hetero_cfg(escalate_only(), 2)).run();
+        assert_eq!(seq.completed, par.completed);
+        assert_eq!(seq.solved, par.solved);
+        assert_eq!(seq.escalated, par.escalated);
+        assert_eq!(seq.p95_s.to_bits(), par.p95_s.to_bits());
+        assert_eq!(seq.tpot_p99_s.to_bits(), par.tpot_p99_s.to_bits());
+        assert_eq!(seq.kv_hit_rate.to_bits(), par.kv_hit_rate.to_bits());
+        assert_eq!(seq.wasted_gpu_s.to_bits(), par.wasted_gpu_s.to_bits());
     }
 
     #[test]

@@ -19,10 +19,11 @@ impl FleetSim {
             self.engines.iter().all(|e| !e.has_observer()),
             "parallel fleet execution does not support engine observers; use threads(1)"
         );
-        let lookahead = self.engines[0].perf().min_step_duration();
         let replicas = self.engines.len();
         let engines = std::mem::take(&mut self.engines);
-        let mut pool = ShardPool::spawn(engines, threads, lookahead);
+        // The pool derives each replica's conservative-sync floor from
+        // its own engine — heterogeneous pools have no single lookahead.
+        let mut pool = ShardPool::spawn(engines, threads);
         loop {
             // Bank any resolutions that are already in, so the pop gate
             // below sees the tightest pending-kick window.

@@ -54,15 +54,15 @@ pub use disagg::{
     AutoscalePolicy, CallRecord, CallSpan, DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload,
     FlipDirection, FlipRecord, HysteresisConfig,
 };
-pub use fleet::{FleetConfig, FleetReport, FleetSim, Routing};
+pub use fleet::{FleetConfig, FleetReport, FleetSim, ReplicaPool, Routing};
 pub use observe::{
     chrome_trace, stitch_disagg_span, Phase, RequestSpan, Segment, SpanRecorder, StepRecord,
 };
 pub use open_loop::{ServingConfig, ServingSim, ServingWorkload};
 pub use report::ServingReport;
 pub use session::{
-    validate_load, AdmissionPolicy, Arrival, ArrivalProcess, ClientModel, OverloadPolicy,
-    QueueDiscipline, RetryPolicy, SessionCmd, SessionRunner,
+    validate_load, AdmissionPolicy, Arrival, ArrivalProcess, CascadePolicy, ClientModel,
+    OverloadPolicy, QueueDiscipline, RetryPolicy, SessionCmd, SessionRunner,
 };
 pub use single::{SingleOutcome, SingleRequest};
 pub use stream::SpanStreamWriter;

@@ -9,10 +9,10 @@
 //! are compared via `f64::to_bits`: exact equality, no tolerance.
 
 use agentsim_kvcache::EvictionPolicy;
-use agentsim_llm::OffloadConfig;
+use agentsim_llm::{EngineConfig, OffloadConfig};
 use agentsim_serving::{
-    AdmissionPolicy, FleetConfig, FleetReport, FleetSim, OverloadPolicy, QueueDiscipline,
-    RetryPolicy, Routing,
+    AdmissionPolicy, CascadePolicy, FleetConfig, FleetReport, FleetSim, OverloadPolicy,
+    QueueDiscipline, ReplicaPool, RetryPolicy, Routing,
 };
 use agentsim_session::ClientModel;
 use agentsim_simkit::SimDuration;
@@ -22,6 +22,8 @@ use agentsim_simkit::SimDuration;
 #[derive(Debug, PartialEq, Eq)]
 struct Fingerprint {
     completed: u64,
+    solved: u64,
+    escalated: u64,
     max_live_sessions: u64,
     attempts: u64,
     retries: u64,
@@ -38,6 +40,8 @@ struct Fingerprint {
     wasted_bits: u64,
     ttft_p50_bits: u64,
     ttft_p95_bits: u64,
+    tpot_p50_bits: u64,
+    tpot_p99_bits: u64,
     offload_demoted: u64,
     offload_promoted: u64,
     offload_promoted_tokens: u64,
@@ -51,6 +55,8 @@ impl Fingerprint {
     fn of(r: &FleetReport) -> Self {
         Fingerprint {
             completed: r.completed,
+            solved: r.solved,
+            escalated: r.escalated,
             max_live_sessions: r.max_live_sessions,
             attempts: r.attempts,
             retries: r.retries,
@@ -67,6 +73,8 @@ impl Fingerprint {
             wasted_bits: r.wasted_gpu_s.to_bits(),
             ttft_p50_bits: r.ttft_p50_s.to_bits(),
             ttft_p95_bits: r.ttft_p95_s.to_bits(),
+            tpot_p50_bits: r.tpot_p50_s.to_bits(),
+            tpot_p99_bits: r.tpot_p99_s.to_bits(),
             offload_demoted: r.offload_demoted_blocks,
             offload_promoted: r.offload_promoted_blocks,
             offload_promoted_tokens: r.offload_promoted_tokens,
@@ -208,14 +216,14 @@ fn offload_policies() -> Vec<(&'static str, OffloadConfig)> {
 
 fn assert_offload_threads_match_sequential(threads: u32) {
     for (policy_name, offload) in offload_policies() {
-        let mut cfg = FleetConfig::react_hotpotqa(4, Routing::SessionAffinity, 3.0, 32)
+        let cfg = FleetConfig::react_hotpotqa(4, Routing::SessionAffinity, 3.0, 32)
             .seed(0xD1FF)
             .client(ClientModel::ClosedLoop {
                 concurrency: 8,
                 think_time: SimDuration::from_secs(20),
             })
-            .with_context_carry();
-        cfg.engine = cfg.engine.with_kv_fraction(0.15).with_offload(offload);
+            .with_context_carry()
+            .map_engines(|e| e.with_kv_fraction(0.15).with_offload(offload.clone()));
         let sequential = FleetSim::new(cfg.clone()).run();
         assert!(
             sequential.offload_demoted_blocks > 0,
@@ -227,6 +235,51 @@ fn assert_offload_threads_match_sequential(threads: u32) {
             sequential, parallel,
             "threads({threads}) diverged from sequential under {policy_name}"
         );
+    }
+}
+
+/// Heterogeneous fleets with cascade routing: mixed per-replica step
+/// floors exercise the per-replica conservative-sync gate, and
+/// escalations re-open sessions mid-run on a different tier. Every
+/// cascade mechanism (inert two-pool, pure failure-driven, aptitude
+/// pre-screen + retry climb) must replay bit-for-bit.
+fn cascade_policies() -> Vec<(&'static str, CascadePolicy)> {
+    vec![
+        ("cascade-none", CascadePolicy::none()),
+        (
+            "cascade-escalate-only",
+            CascadePolicy {
+                escalate_on_failure: true,
+                aptitude_margin: None,
+                max_escalations: u32::MAX,
+                escalate_retries: false,
+            },
+        ),
+        ("cascade-standard", CascadePolicy::standard()),
+    ]
+}
+
+fn assert_cascade_threads_match_sequential(threads: u32) {
+    for (policy_name, cascade) in cascade_policies() {
+        for routing in [Routing::SessionAffinity, Routing::LeastLoaded] {
+            let cfg = FleetConfig::pooled(
+                vec![
+                    ReplicaPool::new(EngineConfig::a100_llama8b(), 3),
+                    ReplicaPool::new(EngineConfig::h100x4_llama70b(), 1),
+                ],
+                routing,
+                3.0,
+                36,
+            )
+            .seed(0xD1FF)
+            .cascade(cascade);
+            let sequential = Fingerprint::of(&FleetSim::new(cfg.clone()).run());
+            let parallel = Fingerprint::of(&FleetSim::new(cfg.threads(threads)).run());
+            assert_eq!(
+                sequential, parallel,
+                "threads({threads}) diverged from sequential under {routing} / {policy_name}"
+            );
+        }
     }
 }
 
@@ -275,6 +328,21 @@ fn four_threads_with_offload_are_bit_identical() {
 #[test]
 fn eight_threads_with_offload_are_bit_identical() {
     assert_offload_threads_match_sequential(8);
+}
+
+#[test]
+fn two_threads_with_cascade_are_bit_identical() {
+    assert_cascade_threads_match_sequential(2);
+}
+
+#[test]
+fn four_threads_with_cascade_are_bit_identical() {
+    assert_cascade_threads_match_sequential(4);
+}
+
+#[test]
+fn eight_threads_with_cascade_are_bit_identical() {
+    assert_cascade_threads_match_sequential(8);
 }
 
 #[test]

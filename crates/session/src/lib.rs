@@ -23,6 +23,7 @@
 //! - [`seeds`] — the named RNG-fork keys all drivers derive their
 //!   deterministic sub-streams from.
 
+pub mod cascade;
 pub mod client;
 pub mod overload;
 pub mod runner;
@@ -30,6 +31,7 @@ pub mod seeds;
 pub mod shard;
 pub mod trace;
 
+pub use cascade::CascadePolicy;
 pub use client::{Arrival, ArrivalProcess, ClientModel};
 pub use overload::{
     validate_load, AcceptAll, AdmissionController, AdmissionPolicy, AimdLimiter, OverloadPolicy,

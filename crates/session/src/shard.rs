@@ -21,12 +21,15 @@
 //!
 //! Popping is gated conservatively: the head event `(T, q)` may only be
 //! delivered once every unresolved kick `(t, s)` satisfies
-//! `(t + L, s) > (T, q)`, where `L` is the engine's
-//! [`min_step_duration`](agentsim_gpu-like floor, passed in as
-//! `lookahead`): a hard lower bound on any step's duration. Until then the
-//! coordinator blocks on the next resolution. Because every step lasts at
-//! least `L`, no unresolved step can end early enough to belong before the
-//! head.
+//! `(t + L_r, s) > (T, q)`, where `L_r` is the *kicked replica's* own
+//! `PerfModel::min_step_duration` — a hard lower bound on any step that
+//! replica can produce. Until then the coordinator blocks on the next
+//! resolution. The floor is per replica, not global: heterogeneous fleets
+//! mix fast 8B replicas with slow 70B ones, and gating a fast replica's
+//! kick with a slow replica's (larger) floor would deliver head events
+//! that the fast step could still preempt — a soundness bug. The pool
+//! derives each replica's floor from its engine at spawn, so drivers
+//! cannot get this wrong.
 //!
 //! The coordinator never reads engine state directly; it maintains exact
 //! mirrors of the per-replica waiting/running counts (updated by
@@ -160,10 +163,12 @@ pub struct Resolved {
     pub slot: SlotId,
 }
 
-/// An in-flight kick: the reservation point that gates popping.
+/// An in-flight kick: the reservation point that gates popping, carrying
+/// the kicked replica's own step-duration floor.
 struct PendingKick {
     at: SimTime,
     seq: u64,
+    floor: SimDuration,
 }
 
 /// Owns the worker threads and the coordinator-side mirrors of engine
@@ -173,7 +178,9 @@ pub struct ShardPool {
     res_rx: mpsc::Receiver<WorkerMsg>,
     handles: Vec<JoinHandle<Vec<(usize, Engine)>>>,
     threads: usize,
-    lookahead: SimDuration,
+    /// Per-replica hard lower bounds on step duration (the conservative
+    /// lookahead), derived from each engine's own perf model at spawn.
+    floors: Vec<SimDuration>,
     /// Kicks not yet resolved, in reservation (= send) order.
     pending: VecDeque<PendingKick>,
     /// Resolved outputs awaiting their step-done pop, per replica.
@@ -199,13 +206,18 @@ impl ShardPool {
     /// Moves `engines` onto `threads` worker threads (replica `i` lives on
     /// shard `i % threads`) and returns the coordinator handle.
     ///
-    /// `lookahead` must be a hard lower bound on the duration of any step
-    /// those engines can produce (see `PerfModel::min_step_duration`).
-    pub fn spawn(engines: Vec<Engine>, threads: usize, lookahead: SimDuration) -> ShardPool {
+    /// Each replica's conservative lookahead is derived here from its own
+    /// engine's `PerfModel::min_step_duration` — per replica, because a
+    /// heterogeneous fleet has no single sound global floor.
+    pub fn spawn(engines: Vec<Engine>, threads: usize) -> ShardPool {
         let replicas = engines.len();
         let threads = threads.clamp(1, replicas.max(1));
+        let floors: Vec<SimDuration> = engines
+            .iter()
+            .map(|e| e.perf().min_step_duration())
+            .collect();
         assert!(
-            lookahead > SimDuration::ZERO,
+            floors.iter().all(|&f| f > SimDuration::ZERO),
             "zero lookahead gives no parallelism"
         );
         let (res_tx, res_rx) = mpsc::channel();
@@ -221,7 +233,7 @@ impl ShardPool {
             handles.push(std::thread::spawn(move || {
                 let notify = res_tx.clone();
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_worker(shard, rx, res_tx, lookahead)
+                    run_worker(shard, rx, res_tx)
                 })) {
                     Ok(engines) => engines,
                     Err(payload) => {
@@ -239,7 +251,7 @@ impl ShardPool {
             res_rx,
             handles,
             threads,
-            lookahead,
+            floors,
             pending: VecDeque::new(),
             staged: (0..replicas).map(|_| None).collect(),
             banked: VecDeque::new(),
@@ -328,6 +340,7 @@ impl ShardPool {
         self.pending.push_back(PendingKick {
             at: now,
             seq: slot.seq(),
+            floor: self.floors[replica],
         });
         self.send(replica, ShardCmd::StartStep { replica, now, slot });
     }
@@ -399,13 +412,14 @@ impl ShardPool {
     /// delivered now: no unresolved kick could produce a step-done that
     /// sorts at or before it.
     pub fn safe_before(&self, key: (SimTime, u64)) -> bool {
-        match self.pending.front() {
-            // Kicks resolve in reservation order of their *lower bounds*:
-            // kick times are non-decreasing and seqs increasing, so the
-            // front holds the minimal (t + L, s).
-            Some(kick) => (kick.at + self.lookahead, kick.seq) > key,
-            None => true,
-        }
+        // With per-replica floors the lower bounds (t + L_r, s) are not
+        // monotone in send order — a fast replica kicked later can bound
+        // earlier than a slow replica kicked first — so every unresolved
+        // kick is checked, not just the front. `pending` is at most one
+        // entry per replica.
+        self.pending
+            .iter()
+            .all(|kick| (kick.at + kick.floor, kick.seq) > key)
     }
 
     /// Applies an already-received resolution; returns the event the
@@ -418,8 +432,8 @@ impl ShardPool {
             .expect("resolution for unknown kick");
         let kick = self.pending.remove(pos).expect("position just found");
         assert!(
-            res.ends >= kick.at + self.lookahead,
-            "step duration under the lookahead floor: kicked {} ended {}",
+            res.ends >= kick.at + kick.floor,
+            "step duration under the replica's lookahead floor: kicked {} ended {}",
             kick.at,
             res.ends
         );
@@ -563,7 +577,7 @@ impl std::fmt::Debug for ShardPool {
         f.debug_struct("ShardPool")
             .field("threads", &self.threads)
             .field("replicas", &self.busy.len())
-            .field("lookahead", &self.lookahead)
+            .field("floors", &self.floors)
             .field("pending", &self.pending.len())
             .finish()
     }
@@ -590,7 +604,6 @@ fn run_worker(
     mut engines: Vec<(usize, Engine)>,
     rx: mpsc::Receiver<ShardCmd>,
     tx: mpsc::Sender<WorkerMsg>,
-    lookahead: SimDuration,
 ) -> Vec<(usize, Engine)> {
     for cmd in rx {
         match cmd {
@@ -618,7 +631,7 @@ fn run_worker(
                 let ends = e
                     .start_step_if_idle(now)
                     .expect("kicked replica must form a step");
-                debug_assert!(ends >= now + lookahead);
+                debug_assert!(ends >= now + e.perf().min_step_duration());
                 let admitted = q_before - e.queue_len();
                 let q_post = e.queue_len();
                 // Resolving eagerly — before later mid-step submissions
@@ -693,7 +706,7 @@ mod tests {
 
     #[test]
     fn mirrors_track_a_full_request_lifecycle() {
-        let mut pool = ShardPool::spawn(engines(2), 2, floor());
+        let mut pool = ShardPool::spawn(engines(2), 2);
         let mut queue: EventQueue<usize> = EventQueue::new();
 
         let id = pool.submit(0, SimTime::ZERO, TokenBuf::from_segment(1, 64), 4, 7, 0);
@@ -731,7 +744,7 @@ mod tests {
 
     #[test]
     fn safe_before_gates_on_the_earliest_unresolved_kick() {
-        let mut pool = ShardPool::spawn(engines(1), 1, floor());
+        let mut pool = ShardPool::spawn(engines(1), 1);
         let mut queue: EventQueue<()> = EventQueue::new();
         pool.submit(0, SimTime::ZERO, TokenBuf::from_segment(1, 64), 2, 0, 0);
         let slot = queue.reserve_slot();
@@ -762,8 +775,57 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_replicas_gate_on_their_own_floor() {
+        // Regression test for the global-lookahead unsoundness: with a
+        // single fleet-wide floor taken from replica 0, a premium
+        // replica 0 (huge step floor) would let events pop inside a
+        // cheap replica 1's much smaller step window — replica 1's step
+        // could then resolve *earlier* than an already-delivered event.
+        // Each pending kick must gate on its own replica's floor.
+        let premium = Engine::new(EngineConfig::h100x4_llama70b());
+        let cheap = Engine::new(EngineConfig::a100_llama8b());
+        let f_premium = premium.perf().min_step_duration();
+        let f_cheap = cheap.perf().min_step_duration();
+        assert!(
+            f_premium > f_cheap,
+            "the regression needs replica 0's floor ({f_premium:?}) above replica 1's ({f_cheap:?})"
+        );
+
+        let mut pool = ShardPool::spawn(vec![premium, cheap], 2);
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        pool.submit(1, SimTime::ZERO, TokenBuf::from_segment(1, 64), 2, 0, 0);
+        let slot = queue.reserve_slot();
+        let kick_seq = slot.seq();
+        pool.kick(1, SimTime::ZERO, slot);
+
+        // Below the cheap replica's own floor: deliverable.
+        let before = SimTime::ZERO + f_cheap - SimDuration::from_micros(1);
+        assert!(pool.safe_before((before, kick_seq + 1)));
+        // At the cheap replica's floor: NOT deliverable — its pending
+        // step could end exactly there. A global floor inherited from
+        // replica 0 would have (wrongly) admitted everything up to
+        // `f_premium`.
+        assert!(!pool.safe_before((SimTime::ZERO + f_cheap, kick_seq + 1)));
+
+        // Drain so shutdown sees no pending work.
+        let r = pool.wait_resolve();
+        queue.push_reserved(r.slot, r.ends, r.replica);
+        let (mut now, replica) = queue.pop().expect("step-done scheduled");
+        assert!(now >= SimTime::ZERO + f_cheap, "floors really are floors");
+        pool.take_step(replica);
+        while pool.wants_kick(1) {
+            let slot = queue.reserve_slot();
+            pool.kick(1, now, slot);
+            let r = pool.wait_resolve();
+            now = r.ends;
+            pool.take_step(r.replica);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
     fn cancel_settles_mirrors_idle_and_mid_step() {
-        let mut pool = ShardPool::spawn(engines(1), 1, floor());
+        let mut pool = ShardPool::spawn(engines(1), 1);
         let mut queue: EventQueue<usize> = EventQueue::new();
 
         // Idle cancel of a waiting request settles immediately.
@@ -796,7 +858,7 @@ mod tests {
         // A prompt that can never fit the KV pool panics on the worker;
         // the coordinator must re-raise it, not hang.
         let cfg = EngineConfig::a100_llama8b().with_kv_fraction(0.004);
-        let mut pool = ShardPool::spawn(vec![Engine::new(cfg)], 1, floor());
+        let mut pool = ShardPool::spawn(vec![Engine::new(cfg)], 1);
         let mut queue: EventQueue<()> = EventQueue::new();
         pool.submit(0, SimTime::ZERO, TokenBuf::from_segment(1, 4096), 4, 0, 0);
         let slot = queue.reserve_slot();
