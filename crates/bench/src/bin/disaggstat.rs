@@ -25,10 +25,16 @@
 //! (the `autoscale_flip_schedule` golden) and checks the report
 //! fingerprint bit for bit, the flip's drain/gap telescoping, and the
 //! five-phase partition across the role change; it writes nothing.
+//!
+//! `--pipeline` replays the contended-PCIe cell twice — whole-footprint
+//! serial transfers and 32-chunk layer-wise trains — pinning both
+//! fingerprints bit for bit (the serial one against the pre-pipeline
+//! driver's golden) and requiring the chunked arm to shrink the
+//! transfer phase by at least 25%; it writes nothing.
 
 use std::path::PathBuf;
 
-use agentsim_gpu::FlipCostModel;
+use agentsim_gpu::{FlipCostModel, LinkSpec};
 use agentsim_metrics::json;
 use agentsim_serving::{
     AutoscalePolicy, DisaggConfig, DisaggReport, DisaggSim, DisaggWorkload, FlipDirection,
@@ -172,6 +178,100 @@ fn autoscale_check() {
     );
 }
 
+/// Fingerprint of a pipeline-cell report: counters exact, floats as
+/// bit patterns.
+fn pipeline_fingerprint(report: &DisaggReport) -> (u64, u64, u64, u64, u64, u64, u64) {
+    let mut ttft = report.ttft();
+    let mut tpot = report.tpot();
+    (
+        report.completed,
+        report.migrated_calls,
+        report.transferred_bytes,
+        report.transfer_wait.as_micros(),
+        report.p95_s.to_bits(),
+        ttft.p95().to_bits(),
+        tpot.percentile(99.0).to_bits(),
+    )
+}
+
+/// Replays the contended-PCIe cell serially and as 32-chunk pipelined
+/// trains, pinning both fingerprints bit for bit. The serial constants
+/// are the pre-pipeline driver's (also pinned by
+/// `crates/disagg/tests/pipeline_differential.rs`); the chunked
+/// constants are this driver's own golden going forward.
+fn pipeline_check() {
+    let cell = |chunks: u32| {
+        DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 1.0, 20)
+            .seed(0x9C1E)
+            .pools(1, 1)
+            .link(LinkSpec::pcie_gen4())
+            .transfer_chunks(chunks)
+    };
+
+    let serial = DisaggSim::new(cell(1)).run();
+    verify_partition("pipeline serial", &serial);
+    assert_eq!(
+        pipeline_fingerprint(&serial),
+        (
+            20u64,
+            91u64,
+            18838716416u64,
+            26886u64,
+            0x4032da21fafc8b00u64,
+            0x3fb878316a055758u64,
+            0x3f90f16f4384ba0fu64,
+        ),
+        "serial fingerprint drifted from the pre-pipeline golden"
+    );
+    assert!(
+        serial.links.iter().all(|l| l.chunks == l.transfers),
+        "serial arm must move exactly one chunk per transfer"
+    );
+
+    let pipelined = DisaggSim::new(cell(32)).run();
+    verify_partition("pipeline chunked", &pipelined);
+    assert_eq!(
+        pipeline_fingerprint(&pipelined),
+        (
+            20u64,
+            87u64,
+            17957912576u64,
+            63641u64,
+            0x403052ec5b078d93u64,
+            0x3fb5e03f705857b0u64,
+            0x3f909784ec636b09u64,
+        ),
+        "pipelined fingerprint drifted from the pinned golden"
+    );
+    assert!(
+        pipelined.links.iter().any(|l| l.chunks > l.transfers),
+        "pipelined arm must ship multi-chunk trains"
+    );
+
+    let transfer = |r: &DisaggReport| {
+        r.phase_totals()
+            .iter()
+            .find(|(n, _)| *n == "transfer")
+            .map(|(_, s)| *s)
+            .expect("transfer phase")
+    };
+    let (ser_t, pipe_t) = (transfer(&serial), transfer(&pipelined));
+    assert!(
+        pipe_t <= 0.75 * ser_t,
+        "pipelining must shrink the transfer phase >=25% (serial {ser_t:.3} s, chunked {pipe_t:.3} s)"
+    );
+    println!(
+        "pipeline: {} migrations, transfer phase {:.3} -> {:.3} s ({:.0}% smaller), \
+         wait {:.1} -> {:.1} ms, both fingerprints ok",
+        serial.migrated_calls,
+        ser_t,
+        pipe_t,
+        (1.0 - pipe_t / ser_t) * 100.0,
+        serial.transfer_wait.as_secs_f64() * 1e3,
+        pipelined.transfer_wait.as_secs_f64() * 1e3,
+    );
+}
+
 /// Locates the repository root (directory containing a workspace
 /// `Cargo.toml`) by walking up from the current directory.
 fn repo_root() -> PathBuf {
@@ -199,8 +299,13 @@ fn main() {
             println!("disaggstat --autoscale passed");
             return;
         }
+        Some("--pipeline") => {
+            pipeline_check();
+            println!("disaggstat --pipeline passed");
+            return;
+        }
         Some(other) => {
-            eprintln!("unknown flag {other}; use --check or --autoscale");
+            eprintln!("unknown flag {other}; use --check, --autoscale, or --pipeline");
             std::process::exit(2);
         }
         None => false,

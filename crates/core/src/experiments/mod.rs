@@ -38,6 +38,7 @@ pub mod ext_hardware;
 pub mod ext_kv_offload;
 pub mod ext_mixed;
 pub mod ext_overload;
+pub mod ext_pipeline;
 pub mod ext_routing;
 pub mod ext_scheduler;
 pub mod ext_spans;
@@ -210,6 +211,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "KV offload to host DRAM/NVMe with invocation-distance eviction"
         ),
         experiment!(
+            ext_pipeline,
+            "(extension)",
+            "Layer-wise pipelined KV transfers (chunked-link model)"
+        ),
+        experiment!(
             ext_static,
             "(extension)",
             "Static (Best-of-N) vs dynamic test-time scaling"
@@ -239,7 +245,7 @@ mod tests {
     #[test]
     fn registry_covers_all_paper_artifacts() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 39);
+        assert_eq!(ids.len(), 40);
         for required in [
             "table1",
             "table2",
@@ -265,6 +271,6 @@ mod tests {
         let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 39);
+        assert_eq!(ids.len(), 40);
     }
 }

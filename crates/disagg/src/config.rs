@@ -140,6 +140,12 @@ pub struct DisaggConfig {
     /// the deadline acts purely at the coordinator dispatch queue, so it
     /// requires [`QueueDiscipline::DeadlineDrop`] (and vice versa).
     pub deadline: Option<SimDuration>,
+    /// Layer chunks each KV migration ships as (pipelined against the
+    /// prefill that produced them). `1` (the default) is the serial
+    /// whole-footprint transfer, bit-identical to the pre-pipeline
+    /// driver. Clamped to the model's layer count at sim construction —
+    /// a transfer cannot be split finer than the layers that exist.
+    pub transfer_chunks: u32,
 }
 
 impl DisaggConfig {
@@ -165,6 +171,7 @@ impl DisaggConfig {
             max_inflight_prefill: None,
             discipline: QueueDiscipline::Fifo,
             deadline: None,
+            transfer_chunks: 1,
         }
     }
 
@@ -265,6 +272,14 @@ impl DisaggConfig {
     pub fn max_inflight_prefill(mut self, limit: u32) -> Self {
         assert!(limit >= 1, "the admission gate needs capacity for a call");
         self.max_inflight_prefill = Some(limit);
+        self
+    }
+
+    /// Ships each KV migration as up to `chunks` layer chunks pipelined
+    /// against prefill progress. `1` keeps the serial transfer.
+    pub fn transfer_chunks(mut self, chunks: u32) -> Self {
+        assert!(chunks >= 1, "transfer chunks must be >= 1");
+        self.transfer_chunks = chunks;
         self
     }
 

@@ -40,6 +40,6 @@ pub use autoscale::{
     PoolController, PoolObservation, ScheduleController,
 };
 pub use config::{DisaggConfig, DisaggWorkload, PoolRouting};
-pub use report::{CallRecord, CallSpan, DisaggReport, FlipRecord};
+pub use report::{CallRecord, CallSpan, DisaggReport, FlipRecord, LinkStats};
 pub use sim::DisaggSim;
 pub use transfer::{PendingTransfer, TransferScheduler};

@@ -254,6 +254,29 @@ pub struct DisaggReport {
     /// Completed role flips, in completion order (empty without
     /// autoscaling).
     pub flips: Vec<FlipRecord>,
+    /// Per-replica ingress-link counters, for replicas that received at
+    /// least one migration (empty in colocated mode).
+    pub links: Vec<LinkStats>,
+}
+
+/// Utilization and queueing counters for one replica's ingress link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkStats {
+    /// Global replica index the link feeds.
+    pub replica: u32,
+    /// Migrations scheduled onto the link.
+    pub transfers: u64,
+    /// Wire chunks those migrations shipped as (== `transfers` for
+    /// serial transfers; higher when pipelined).
+    pub chunks: u64,
+    /// KV bytes moved.
+    pub bytes: u64,
+    /// Total wire time (seconds).
+    pub busy_s: f64,
+    /// Total head-of-line queueing delay (seconds).
+    pub wait_s: f64,
+    /// Wire time as a fraction of the run's makespan.
+    pub utilization: f64,
 }
 
 impl DisaggReport {
@@ -377,7 +400,18 @@ impl DisaggReport {
             }
             out.push_str(&format!("\"{name}\":{secs}"));
         }
-        out.push_str("}}");
+        out.push_str("},\"links\":[");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"replica\":{},\"transfers\":{},\"chunks\":{},\"bytes\":{},\
+                 \"busy_s\":{},\"wait_s\":{},\"utilization\":{}}}",
+                l.replica, l.transfers, l.chunks, l.bytes, l.busy_s, l.wait_s, l.utilization
+            ));
+        }
+        out.push_str("]}");
         debug_assert!(json::validate(&out).is_ok());
         out
     }
@@ -510,6 +544,15 @@ mod tests {
             offload_dropped_blocks: 0,
             preemptions: 0,
             flips: vec![],
+            links: vec![LinkStats {
+                replica: 1,
+                transfers: 1,
+                chunks: 4,
+                bytes: 1 << 21,
+                busy_s: 0.001,
+                wait_s: 3e-5,
+                utilization: 0.0005,
+            }],
         }
     }
 
@@ -544,6 +587,7 @@ mod tests {
         let text = r.to_json();
         json::validate(&text).unwrap();
         assert!(text.contains("\"transfer\":"));
+        assert!(text.contains("\"links\":[{\"replica\":1,"));
         let total: f64 = r.phase_totals().iter().map(|(_, s)| s).sum();
         let e2e: f64 = r.calls.iter().map(|c| c.e2e().as_secs_f64()).sum();
         assert!((total - e2e).abs() < 1e-9);

@@ -53,7 +53,7 @@ use agentsim_workloads::{ShareGptGenerator, TaskGenerator};
 
 use crate::autoscale::{FlipDirection, PoolController};
 use crate::config::{DisaggConfig, DisaggWorkload, PoolRouting};
-use crate::report::{CallRecord, DisaggReport, FlipRecord};
+use crate::report::{CallRecord, DisaggReport, FlipRecord, LinkStats};
 use crate::transfer::TransferScheduler;
 
 #[derive(Debug)]
@@ -202,7 +202,12 @@ impl DisaggSim {
             controller.is_none() || !config.is_colocated(),
             "pool autoscaling requires a decode pool (colocated mode has no roles to flip)"
         );
-        let transfers = TransferScheduler::new(config.link.clone(), p + d);
+        // A migration cannot be split finer than the model's layers:
+        // clamp the chunk count to the prefill model's depth.
+        let chunks = config
+            .transfer_chunks
+            .min(config.prefill_engine.cluster.model.layers.max(1));
+        let transfers = TransferScheduler::new(config.link.clone(), p + d).with_chunks(chunks);
         // Same root/arrival derivation as the colocated open-loop driver:
         // identical seeds ⇒ identical arrival processes.
         let root_rng = SimRng::seed_from(config.seed ^ seeds::SERVING_ROOT);
@@ -655,7 +660,7 @@ impl DisaggSim {
         };
         let state = &mut self.calls[call as usize];
         state.decode_submitted = Some(now);
-        state.transfer_wait = pt.transfer.wait;
+        state.transfer_wait = pt.transfer.wait();
         state.migration = Some(pt.migration);
         self.owner.insert((pt.dst, id), call);
     }
@@ -938,6 +943,27 @@ impl DisaggSim {
         }
         let migrated_calls = self.finished_calls.iter().filter(|c| c.migrated()).count() as u64;
         debug_assert_eq!(migrated_calls, self.transfers.completed());
+        let makespan_s = self.last_finish.as_micros() as f64 / 1e6;
+        let links = self
+            .transfers
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.transfers() > 0)
+            .map(|(r, l)| LinkStats {
+                replica: r as u32,
+                transfers: l.transfers(),
+                chunks: l.chunks(),
+                bytes: l.bytes_moved(),
+                busy_s: l.busy_time().as_secs_f64(),
+                wait_s: l.wait_time().as_secs_f64(),
+                utilization: if makespan_s > 0.0 {
+                    l.busy_time().as_secs_f64() / makespan_s
+                } else {
+                    0.0
+                },
+            })
+            .collect();
         DisaggReport {
             offered_qps: self.config.qps,
             prefill_replicas: self.config.prefill_replicas,
@@ -968,6 +994,7 @@ impl DisaggSim {
             offload_dropped_blocks: dropped,
             preemptions,
             flips: self.flips,
+            links,
         }
     }
 }

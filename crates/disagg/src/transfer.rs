@@ -10,12 +10,32 @@
 //! nothing. The scheduler hands the driver an arrival time for each
 //! migration and keeps conservation totals the tests check against the
 //! prefill-side KV footprint.
+//!
+//! # Layer-wise pipelining
+//!
+//! With [`TransferScheduler::with_chunks`] above 1, each migration ships
+//! as a train of layer chunks instead of one lump: chunk `k` of `n`
+//! became shippable `prefill_time * (n-1-k) / n` *before* the release
+//! (its layers finished prefilling that much earlier — see
+//! [`MigratedRequest::chunk_ready`]), so most of the wire time
+//! retroactively overlaps the prefill compute and only the last chunk's
+//! residual lands on the TTFT path. Chunk pricing telescopes to exactly
+//! the serial wire time ([`Link::schedule_chunked`]), so a chunked
+//! arrival is never later than the serial one, and a single-chunk plan
+//! is bit-identical to the serial path. Small adjacent chunks coalesce
+//! up to a floor ([`TransferScheduler::with_coalesce_floor`]) so a tiny
+//! footprint does not fragment into per-chunk latency noise.
 
 use std::collections::HashMap;
 
-use agentsim_gpu::{Link, LinkSpec, Transfer};
+use agentsim_gpu::{ChunkedTransfer, Link, LinkSpec};
 use agentsim_llm::MigratedRequest;
 use agentsim_simkit::{SimDuration, SimTime};
+
+/// Below this many bytes, adjacent layer chunks of one migration merge
+/// into a single wire chunk: fragmenting a small footprint buys no
+/// overlap worth the per-chunk scheduling noise.
+pub const DEFAULT_COALESCE_FLOOR: u64 = 1 << 20;
 
 /// A migration in flight: where it is going and on what schedule.
 #[derive(Debug, Clone)]
@@ -24,33 +44,88 @@ pub struct PendingTransfer {
     pub dst: usize,
     /// The migrated request (KV payload + resume state).
     pub migration: MigratedRequest,
-    /// The link-level schedule (wait + wire time).
-    pub transfer: Transfer,
+    /// The link-level schedule (per-chunk wire times; one chunk when the
+    /// scheduler runs serially).
+    pub transfer: ChunkedTransfer,
 }
 
 /// Schedules KV migrations onto per-replica ingress links.
 #[derive(Debug)]
 pub struct TransferScheduler {
     links: Vec<Link>,
+    chunks: u32,
+    coalesce_floor: u64,
     pending: HashMap<u64, PendingTransfer>,
     in_flight: Vec<u32>,
     next_id: u64,
     total_bytes: u64,
     completed: u64,
+    cancelled: u64,
 }
 
 impl TransferScheduler {
     /// One ingress link per replica (global index), all with the same
-    /// spec.
+    /// spec. Serial (single-chunk) transfers by default.
     pub fn new(spec: LinkSpec, replicas: usize) -> Self {
         TransferScheduler {
             links: (0..replicas).map(|_| Link::new(spec.clone())).collect(),
+            chunks: 1,
+            coalesce_floor: DEFAULT_COALESCE_FLOOR,
             pending: HashMap::new(),
             in_flight: vec![0; replicas],
             next_id: 0,
             total_bytes: 0,
             completed: 0,
+            cancelled: 0,
         }
+    }
+
+    /// Ships each migration as up to `chunks` layer chunks pipelined
+    /// against the prefill that produced them. `1` is the serial path.
+    pub fn with_chunks(mut self, chunks: u32) -> Self {
+        assert!(chunks >= 1, "transfer chunks must be >= 1, got {chunks}");
+        self.chunks = chunks;
+        self
+    }
+
+    /// Overrides the coalescing floor: adjacent chunks merge until a
+    /// merged chunk carries at least this many bytes. `0` disables
+    /// coalescing.
+    pub fn with_coalesce_floor(mut self, bytes: u64) -> Self {
+        self.coalesce_floor = bytes;
+        self
+    }
+
+    /// The chunk count migrations are split into.
+    pub fn chunks(&self) -> u32 {
+        self.chunks
+    }
+
+    /// Builds the `(ready, bytes)` chunk plan for one migration
+    /// committed at `now`: an exact byte split across the chunk count
+    /// (never finer than one byte per chunk), readiness back-dated by
+    /// per-layer prefill progress, small adjacent chunks coalesced. The
+    /// last chunk is always ready exactly at `now`.
+    fn chunk_plan(&self, now: SimTime, migration: &MigratedRequest) -> Vec<(SimTime, u64)> {
+        let n = u64::from(self.chunks).min(migration.kv_bytes.max(1)) as u32;
+        let base = migration.kv_bytes / u64::from(n);
+        let rem = migration.kv_bytes % u64::from(n);
+        let mut plan: Vec<(SimTime, u64)> = Vec::with_capacity(n as usize);
+        for k in 0..n {
+            let bytes = base + u64::from(u64::from(k) < rem);
+            let ready = migration.chunk_ready(now, k, n);
+            // Coalesce: while the previous chunk is still under the
+            // floor, fold this one in. Readiness is nondecreasing in k,
+            // so the merged chunk ships at its newest constituent.
+            match plan.last_mut() {
+                Some(prev) if prev.1 < self.coalesce_floor => {
+                    prev.0 = ready;
+                    prev.1 += bytes;
+                }
+                _ => plan.push((ready, bytes)),
+            }
+        }
+        plan
     }
 
     /// Schedules `migration`'s KV blocks onto `dst`'s ingress link.
@@ -62,12 +137,13 @@ impl TransferScheduler {
         dst: usize,
         migration: MigratedRequest,
     ) -> (u64, SimTime) {
-        let transfer = self.links[dst].schedule(now, migration.kv_bytes);
+        let plan = self.chunk_plan(now, &migration);
+        let transfer = self.links[dst].schedule_chunked(&plan);
         let id = self.next_id;
         self.next_id += 1;
         self.in_flight[dst] += 1;
         self.total_bytes += migration.kv_bytes;
-        let arrival = transfer.end;
+        let arrival = transfer.end();
         self.pending.insert(
             id,
             PendingTransfer {
@@ -95,6 +171,27 @@ impl TransferScheduler {
         pt
     }
 
+    /// Cancels a scheduled-but-unfinished transfer: releases its
+    /// in-flight slot, rolls its bytes out of the conservation total,
+    /// and reclaims the link reservation so later traffic stops queueing
+    /// behind KV that will never ship ([`Link::reclaim`]). Returns the
+    /// abandoned transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown or already-completed id.
+    pub fn cancel(&mut self, id: u64) -> PendingTransfer {
+        let pt = self
+            .pending
+            .remove(&id)
+            .unwrap_or_else(|| panic!("unknown transfer {id}"));
+        self.in_flight[pt.dst] -= 1;
+        self.total_bytes -= pt.migration.kv_bytes;
+        self.cancelled += 1;
+        self.links[pt.dst].reclaim(&pt.transfer);
+        pt
+    }
+
     /// Transfers currently in the air toward replica `dst` (decode-side
     /// least-loaded routing counts these as imminent work, and a
     /// draining replica may not flip until this reaches zero).
@@ -108,7 +205,8 @@ impl TransferScheduler {
         &self.links
     }
 
-    /// Total KV bytes accepted for transfer so far.
+    /// Total KV bytes accepted for transfer so far (cancelled bytes are
+    /// rolled back out).
     pub fn total_bytes(&self) -> u64 {
         self.total_bytes
     }
@@ -116,6 +214,11 @@ impl TransferScheduler {
     /// Transfers completed so far.
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+
+    /// Transfers cancelled before arrival.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
     }
 
     /// Transfers scheduled but not yet completed.
@@ -156,15 +259,25 @@ mod tests {
         }
     }
 
-    #[test]
-    fn transfers_to_one_replica_serialize() {
+    fn migration_with_prefill(kv_bytes: u64, prefill_us: u64) -> MigratedRequest {
+        MigratedRequest {
+            prefill_time: SimDuration::from_micros(prefill_us),
+            ..migration(kv_bytes)
+        }
+    }
+
+    fn test_spec() -> LinkSpec {
         // 1 GB/s link: 1 MB takes 1 ms (+1µs latency).
-        let spec = LinkSpec {
+        LinkSpec {
             name: "test",
             bandwidth_bytes_per_s: 1e9,
             latency: SimDuration::from_micros(1),
-        };
-        let mut sched = TransferScheduler::new(spec, 2);
+        }
+    }
+
+    #[test]
+    fn transfers_to_one_replica_serialize() {
+        let mut sched = TransferScheduler::new(test_spec(), 2);
         let (a, end_a) = sched.schedule(SimTime::ZERO, 0, migration(1_000_000));
         let (b, end_b) = sched.schedule(SimTime::ZERO, 0, migration(1_000_000));
         let (_c, end_c) = sched.schedule(SimTime::ZERO, 1, migration(1_000_000));
@@ -190,5 +303,79 @@ mod tests {
         let (id, _) = sched.schedule(SimTime::ZERO, 0, migration(100));
         sched.complete(id);
         sched.complete(id);
+    }
+
+    #[test]
+    fn chunked_arrival_beats_serial_when_prefill_overlaps() {
+        let now = SimTime::from_secs_f64(1.0);
+        // 8 MB over 1 GB/s = 8 ms wire; prefill ran for 6 ms, so most
+        // of the train back-fills wire time before `now`.
+        let mig = || migration_with_prefill(8_000_000, 6_000);
+        let mut serial = TransferScheduler::new(test_spec(), 1);
+        let (_, serial_end) = serial.schedule(now, 0, mig());
+        let mut chunked = TransferScheduler::new(test_spec(), 1).with_chunks(8);
+        let (_, chunked_end) = chunked.schedule(now, 0, mig());
+        assert!(chunked_end < serial_end);
+        assert!(chunked_end >= now, "arrival may not precede the release");
+        assert_eq!(chunked.total_bytes(), serial.total_bytes());
+        assert_eq!(
+            chunked.links()[0].bytes_moved(),
+            serial.links()[0].bytes_moved()
+        );
+    }
+
+    #[test]
+    fn chunk_plan_conserves_bytes_and_ends_ready_now() {
+        let now = SimTime::from_secs_f64(2.0);
+        let sched = TransferScheduler::new(test_spec(), 1)
+            .with_chunks(7)
+            .with_coalesce_floor(0);
+        let mig = migration_with_prefill(10_000_001, 3_500);
+        let plan = sched.chunk_plan(now, &mig);
+        assert_eq!(plan.len(), 7);
+        assert_eq!(plan.iter().map(|&(_, b)| b).sum::<u64>(), 10_000_001);
+        assert_eq!(plan.last().unwrap().0, now);
+        for w in plan.windows(2) {
+            assert!(w[1].0 >= w[0].0, "readiness must be nondecreasing");
+        }
+    }
+
+    #[test]
+    fn small_footprints_coalesce_to_fewer_chunks() {
+        let sched = TransferScheduler::new(test_spec(), 1)
+            .with_chunks(8)
+            .with_coalesce_floor(1 << 20);
+        // 2 MB over 8 chunks would be 256 KB each, all under the 1 MB
+        // floor — adjacent chunks must fold together.
+        let plan = sched.chunk_plan(SimTime::ZERO, &migration_with_prefill(2 << 20, 1_000));
+        assert!(plan.len() < 8, "coalescing must reduce the chunk count");
+        assert_eq!(plan.iter().map(|&(_, b)| b).sum::<u64>(), 2 << 20);
+    }
+
+    #[test]
+    fn cancel_reclaims_the_link_reservation() {
+        let mut sched = TransferScheduler::new(test_spec(), 1).with_chunks(4);
+        let (a, end_a) = sched.schedule(SimTime::ZERO, 0, migration(1_000_000));
+        let (b, _) = sched.schedule(SimTime::ZERO, 0, migration(4_000_000));
+        assert_eq!(sched.in_flight(0), 2);
+        sched.cancel(b);
+        assert_eq!(sched.in_flight(0), 1);
+        assert_eq!(sched.cancelled(), 1);
+        assert_eq!(sched.total_bytes(), 1_000_000);
+        assert_eq!(sched.outstanding(), 1);
+        // The reclaimed reservation frees the wire: a new transfer now
+        // queues behind `a` alone, not behind the cancelled 4 MB.
+        let (_, end_c) = sched.schedule(SimTime::ZERO, 0, migration(1_000));
+        assert!(end_c < end_a + SimDuration::from_micros(10));
+        sched.complete(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown transfer")]
+    fn cancel_after_completion_rejected() {
+        let mut sched = TransferScheduler::new(LinkSpec::zero_cost(), 1);
+        let (id, _) = sched.schedule(SimTime::ZERO, 0, migration(100));
+        sched.complete(id);
+        sched.cancel(id);
     }
 }

@@ -180,3 +180,62 @@ fn pinned_controller_matches_across_threads() {
         .autoscale(AutoscalePolicy::Pinned);
     assert_matches_sequential("pinned", cfg, 4);
 }
+
+/// Pipelined transfers across the routing grid: chunked arrivals change
+/// every downstream scheduling decision, and all of it must still come
+/// out bit-identical at any thread count.
+fn pipelined_grid(threads: u32) {
+    for (pr, dr) in [
+        (PoolRouting::RoundRobin, PoolRouting::LeastLoaded),
+        (PoolRouting::LeastLoaded, PoolRouting::LeastLoaded),
+    ] {
+        let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 1.5, 24)
+            .seed(0xD1A6)
+            .pools(2, 2)
+            .link(agentsim_gpu::LinkSpec::pcie_gen4())
+            .transfer_chunks(32)
+            .prefill_routing(pr)
+            .decode_routing(dr);
+        assert_matches_sequential(&format!("pipelined {pr}/{dr}"), cfg, threads);
+    }
+}
+
+#[test]
+fn pipelined_grid_two_threads() {
+    pipelined_grid(2);
+}
+
+#[test]
+fn pipelined_grid_four_threads() {
+    pipelined_grid(4);
+}
+
+#[test]
+fn pipelined_grid_eight_threads() {
+    pipelined_grid(8);
+}
+
+/// An autoscale flip scheduled into a pipelined migration storm: the
+/// drain gate must watch in-flight *chunked* transfers, and the
+/// conservative sync must replay their multi-chunk arrivals exactly. A
+/// slow link keeps trains in the air when the flip is requested.
+#[test]
+fn pipelined_flip_mid_drain_matches_across_threads() {
+    for threads in [2, 4, 8] {
+        let cfg = DisaggConfig::new(DisaggWorkload::react_hotpotqa(), 1.2, 16)
+            .seed(0xF11D)
+            .pools(2, 2)
+            .link(agentsim_gpu::LinkSpec {
+                name: "slow",
+                bandwidth_bytes_per_s: 5e8,
+                latency: SimDuration::from_micros(40),
+            })
+            .transfer_chunks(16)
+            .flip_cost(FlipCostModel::warm())
+            .autoscale(AutoscalePolicy::Schedule(vec![
+                (SimTime::from_secs_f64(3.0), FlipDirection::DecodeToPrefill),
+                (SimTime::from_secs_f64(9.0), FlipDirection::PrefillToDecode),
+            ]));
+        assert_matches_sequential("pipelined flip mid-drain", cfg, threads);
+    }
+}

@@ -129,6 +129,58 @@ pub struct Transfer {
     pub duration: SimDuration,
 }
 
+/// A transfer split into FIFO-interleaved layer chunks on one [`Link`].
+///
+/// Each chunk carries its own [`Transfer`] schedule; the chunks of one
+/// migration reserve the link back-to-back (no foreign transfer lands
+/// between them), so the train's last `end` is when the full footprint has
+/// arrived. Produced by [`Link::schedule_chunked`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkedTransfer {
+    chunks: Vec<Transfer>,
+    bytes: u64,
+    /// The link's `busy_until` before this train was scheduled — where the
+    /// reservation rolls back to if the transfer is reclaimed while still
+    /// the newest thing on the link.
+    reserved_from: SimTime,
+}
+
+impl ChunkedTransfer {
+    /// Per-chunk schedules, in shipping order.
+    pub fn chunks(&self) -> &[Transfer] {
+        &self.chunks
+    }
+
+    /// Total payload across all chunks.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// When the first chunk begins moving bytes.
+    pub fn start(&self) -> SimTime {
+        self.chunks[0].start
+    }
+
+    /// When the last byte of the last chunk arrives.
+    pub fn end(&self) -> SimTime {
+        self.chunks[self.chunks.len() - 1].end
+    }
+
+    /// Head-of-line wait before the first chunk started. Later chunks
+    /// queue only behind their own predecessors, which is pipeline
+    /// occupancy rather than contention, so it is not counted here.
+    pub fn wait(&self) -> SimDuration {
+        self.chunks[0].wait
+    }
+
+    /// Total wire time across all chunks — exactly the serial
+    /// [`LinkSpec::transfer_time`] of the whole footprint, by the
+    /// cumulative-prefix pricing in [`Link::schedule_chunked`].
+    pub fn duration(&self) -> SimDuration {
+        self.chunks.iter().map(|c| c.duration).sum()
+    }
+}
+
 /// A stateful link that serializes transfers FIFO: each transfer starts no
 /// earlier than the previous one finished.
 #[derive(Debug, Clone)]
@@ -136,6 +188,7 @@ pub struct Link {
     spec: LinkSpec,
     busy_until: SimTime,
     transfers: u64,
+    chunks: u64,
     bytes_moved: u64,
     busy_time: SimDuration,
     wait_time: SimDuration,
@@ -149,6 +202,7 @@ impl Link {
             spec,
             busy_until: SimTime::ZERO,
             transfers: 0,
+            chunks: 0,
             bytes_moved: 0,
             busy_time: SimDuration::ZERO,
             wait_time: SimDuration::ZERO,
@@ -169,6 +223,7 @@ impl Link {
         let wait = start.saturating_since(now);
         self.busy_until = end;
         self.transfers += 1;
+        self.chunks += 1;
         self.bytes_moved += bytes;
         self.busy_time += duration;
         self.wait_time += wait;
@@ -180,9 +235,103 @@ impl Link {
         }
     }
 
+    /// Schedules one logical transfer as a train of chunks, each a
+    /// `(ready, bytes)` pair: the chunk may not start moving before
+    /// `ready` (its layer has not finished prefilling yet) and may not
+    /// start before the previous chunk — FIFO per link, and the train
+    /// reserves the link atomically so no other transfer interleaves.
+    ///
+    /// Chunk wire time is priced by cumulative prefix: chunk `k` costs
+    /// `D(prefix_k) - D(prefix_{k-1})` where `D(b)` is the serialization
+    /// time of `b` bytes, with the fixed link latency charged to chunk 0
+    /// only. The per-chunk durations therefore telescope to exactly the
+    /// serial [`LinkSpec::transfer_time`] of the whole footprint in
+    /// integer microseconds — so a chunked train on an idle link never
+    /// finishes later than the serial transfer would have, and a
+    /// single-chunk plan reproduces [`Link::schedule`] bit for bit.
+    ///
+    /// Ready times earlier than the caller's clock are legal and are the
+    /// whole point: they model layers that finished prefilling before the
+    /// migration was committed, retroactively overlapping wire time with
+    /// compute. Ready times must be nondecreasing.
+    pub fn schedule_chunked(&mut self, plan: &[(SimTime, u64)]) -> ChunkedTransfer {
+        assert!(!plan.is_empty(), "a chunked transfer needs >= 1 chunk");
+        let reserved_from = self.busy_until;
+        let mut chunks = Vec::with_capacity(plan.len());
+        let mut bytes = 0u64;
+        let mut wired = SimDuration::ZERO;
+        for (k, &(ready, chunk_bytes)) in plan.iter().enumerate() {
+            debug_assert!(
+                k == 0 || ready >= plan[k - 1].0,
+                "chunk ready times must be nondecreasing"
+            );
+            bytes += chunk_bytes;
+            let cumulative =
+                SimDuration::from_secs_f64(bytes as f64 / self.spec.bandwidth_bytes_per_s);
+            let mut duration = cumulative - wired;
+            wired = cumulative;
+            if k == 0 {
+                duration = self.spec.latency + duration;
+            }
+            let start = ready.max(self.busy_until);
+            let end = start + duration;
+            let wait = start.saturating_since(ready);
+            self.busy_until = end;
+            self.busy_time += duration;
+            // Chunks after the first only ever queue behind their own
+            // train, so head-of-line wait is chunk 0's alone.
+            if k == 0 {
+                self.wait_time += wait;
+            }
+            chunks.push(Transfer {
+                start,
+                end,
+                wait,
+                duration,
+            });
+        }
+        self.transfers += 1;
+        self.chunks += plan.len() as u64;
+        self.bytes_moved += bytes;
+        ChunkedTransfer {
+            chunks,
+            bytes,
+            reserved_from,
+        }
+    }
+
+    /// Rolls back a previously scheduled chunked transfer whose payload
+    /// was cancelled before it mattered: the counters stop claiming its
+    /// bytes and wire time as useful work, and — if the train is still
+    /// the newest reservation on the link — the link's availability
+    /// horizon rolls back so later traffic no longer queues behind KV
+    /// that will never ship. Returns `true` when the reservation itself
+    /// was recovered; `false` when later transfers already queued behind
+    /// it (their schedules are committed, so the hole in the timeline
+    /// stays, but it is no longer accounted as busy time).
+    pub fn reclaim(&mut self, transfer: &ChunkedTransfer) -> bool {
+        self.transfers -= 1;
+        self.chunks -= transfer.chunks.len() as u64;
+        self.bytes_moved -= transfer.bytes;
+        self.busy_time = self.busy_time.saturating_sub(transfer.duration());
+        self.wait_time = self.wait_time.saturating_sub(transfer.wait());
+        if self.busy_until == transfer.end() {
+            self.busy_until = transfer.reserved_from;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Number of transfers scheduled so far.
     pub fn transfers(&self) -> u64 {
         self.transfers
+    }
+
+    /// Number of chunks scheduled so far (== transfers when every
+    /// transfer is serial).
+    pub fn chunks(&self) -> u64 {
+        self.chunks
     }
 
     /// Total bytes moved across all transfers.
@@ -282,7 +431,130 @@ mod tests {
         assert_eq!(c.start, SimTime::from_micros(5_000));
         assert_eq!(c.wait, SimDuration::ZERO);
         assert_eq!(link.transfers(), 3);
+        assert_eq!(link.chunks(), 3);
         assert_eq!(link.bytes_moved(), 2_500_000);
         assert_eq!(link.wait_time(), SimDuration::from_micros(600));
+    }
+
+    fn test_spec() -> LinkSpec {
+        LinkSpec {
+            name: "test",
+            bandwidth_bytes_per_s: 1e9,
+            latency: SimDuration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn single_chunk_plan_matches_serial_schedule_bit_for_bit() {
+        for bytes in [0u64, 1, 999, 1_000_000, (64 << 20) + 7] {
+            for now_us in [0u64, 42, 123_456] {
+                let now = SimTime::from_micros(now_us);
+                let mut serial = Link::new(test_spec());
+                let mut chunked = Link::new(test_spec());
+                // Pre-load both links with identical traffic.
+                serial.schedule(SimTime::ZERO, 500_000);
+                chunked.schedule(SimTime::ZERO, 500_000);
+                let a = serial.schedule(now, bytes);
+                let b = chunked.schedule_chunked(&[(now, bytes)]);
+                assert_eq!(b.chunks(), &[a]);
+                assert_eq!(
+                    (b.start(), b.end(), b.wait(), b.duration()),
+                    (a.start, a.end, a.wait, a.duration)
+                );
+                assert_eq!(serial.busy_time(), chunked.busy_time());
+                assert_eq!(serial.wait_time(), chunked.wait_time());
+                assert_eq!(serial.chunks(), chunked.chunks());
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_durations_telescope_to_the_serial_wire_time() {
+        // Chosen so naive per-chunk rounding would overshoot: 5.6 us per
+        // chunk rounds to 6, but the prefix pricing keeps the sum at
+        // round(11.2) = 11 plus latency.
+        let mut link = Link::new(test_spec());
+        let t = link.schedule_chunked(&[(SimTime::ZERO, 5_600), (SimTime::ZERO, 5_600)]);
+        assert_eq!(t.duration(), test_spec().transfer_time(11_200));
+        assert_eq!(t.end(), SimTime::ZERO + t.duration());
+    }
+
+    #[test]
+    fn chunked_train_never_finishes_after_the_serial_transfer() {
+        for n in [1usize, 2, 3, 7, 32] {
+            let bytes = 96_000_007u64;
+            let now = SimTime::from_micros(50_000);
+            let mut serial = Link::new(test_spec());
+            let mut chunked = Link::new(test_spec());
+            let a = serial.schedule(now, bytes);
+            // Layer k finished prefilling (n-1-k) * 1ms before now.
+            let base = bytes / n as u64;
+            let rem = (bytes % n as u64) as usize;
+            let plan: Vec<(SimTime, u64)> = (0..n)
+                .map(|k| {
+                    let lead = 1_000 * (n - 1 - k) as u64;
+                    let ready = SimTime::from_micros(now.as_micros() - lead);
+                    (ready, base + u64::from(k < rem))
+                })
+                .collect();
+            let b = chunked.schedule_chunked(&plan);
+            assert_eq!(b.bytes(), bytes);
+            assert!(b.end() <= a.end, "n={n}: {:?} > {:?}", b.end(), a.end);
+            // FIFO within the train: chunks never overlap on the wire.
+            for w in b.chunks().windows(2) {
+                assert!(w[1].start >= w[0].end);
+            }
+        }
+    }
+
+    #[test]
+    fn early_ready_chunks_overlap_wire_time_with_compute() {
+        // 4 chunks of 1 ms each; chunks became ready 3/2/1/0 ms before
+        // the migration committed at t=10ms. The train back-fills the
+        // idle wire and only the last chunk's tail is exposed.
+        let mut link = Link::new(LinkSpec {
+            name: "test",
+            bandwidth_bytes_per_s: 1e9,
+            latency: SimDuration::ZERO,
+        });
+        let plan: Vec<(SimTime, u64)> = (0..4)
+            .map(|k| (SimTime::from_micros(7_000 + 1_000 * k), 1_000_000u64))
+            .collect();
+        let t = link.schedule_chunked(&plan);
+        assert_eq!(t.start(), SimTime::from_micros(7_000));
+        assert_eq!(t.end(), SimTime::from_micros(11_000));
+        // Serial would have been 10ms + 4ms = 14ms.
+        assert_eq!(t.wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reclaim_rolls_back_the_tail_reservation() {
+        let mut link = Link::new(test_spec());
+        let a = link.schedule(SimTime::ZERO, 1_000_000);
+        let b = link.schedule_chunked(&[(SimTime::ZERO, 400_000), (SimTime::ZERO, 600_000)]);
+        assert_eq!(link.transfers(), 2);
+        assert_eq!(link.chunks(), 3);
+        assert!(link.reclaim(&b));
+        assert_eq!(link.transfers(), 1);
+        assert_eq!(link.chunks(), 1);
+        assert_eq!(link.bytes_moved(), 1_000_000);
+        assert_eq!(link.busy_time(), a.duration);
+        // The wire is free again right after `a`: a new transfer starts
+        // where the cancelled train would have.
+        let c = link.schedule(SimTime::ZERO, 1_000);
+        assert_eq!(c.start, a.end);
+    }
+
+    #[test]
+    fn reclaim_behind_later_traffic_keeps_the_hole_but_fixes_counters() {
+        let mut link = Link::new(test_spec());
+        let a = link.schedule_chunked(&[(SimTime::ZERO, 1_000_000)]);
+        let b = link.schedule(SimTime::ZERO, 1_000_000);
+        assert!(!link.reclaim(&a));
+        assert_eq!(link.transfers(), 1);
+        assert_eq!(link.bytes_moved(), 1_000_000);
+        // `b`'s committed schedule still stands.
+        let c = link.schedule(SimTime::ZERO, 1_000);
+        assert_eq!(c.start, b.end);
     }
 }

@@ -44,7 +44,7 @@ pub mod spec;
 pub use cluster::ClusterSpec;
 pub use energy::{EnergyMeter, EnergyModel, Phase};
 pub use flip::FlipCostModel;
-pub use interconnect::{Link, LinkSpec, Transfer};
+pub use interconnect::{ChunkedTransfer, Link, LinkSpec, Transfer};
 pub use model::ModelSpec;
 pub use perf::{PerfModel, StepCost};
 pub use spec::GpuSpec;

@@ -100,6 +100,12 @@ pub struct OffloadConfig {
     /// The host↔NVMe transfer path (also charged for host-tier overflow
     /// spilling down).
     pub nvme_link: LinkSpec,
+    /// Layer chunks each *promotion* ships as. With `1` (the default) a
+    /// promote is one serial transfer that gates the admitting prefill
+    /// end to end; higher counts pipeline the fetch against the prefill
+    /// compute it unblocks, so only the non-overlapped residual lands in
+    /// the admission's TTFT toll. Demotes stay serial either way.
+    pub transfer_chunks: u32,
 }
 
 impl OffloadConfig {
@@ -112,7 +118,17 @@ impl OffloadConfig {
             policy: EvictionPolicy::Lru,
             host_link: LinkSpec::pcie_host(),
             nvme_link: LinkSpec::nvme(),
+            transfer_chunks: 1,
         }
+    }
+
+    /// Returns a copy shipping each promotion as up to `chunks` layer
+    /// chunks pipelined against the admitted prefill. `1` is the serial
+    /// (whole-footprint) toll.
+    pub fn with_transfer_chunks(mut self, chunks: u32) -> Self {
+        assert!(chunks >= 1, "transfer chunks must be >= 1");
+        self.transfer_chunks = chunks;
+        self
     }
 
     /// Returns a copy with the given eviction policy.

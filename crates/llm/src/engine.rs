@@ -587,7 +587,7 @@ impl Engine {
         self.metrics.completed += (done.len() - done_before) as u64;
         // Token appends can evict cached blocks into the offload tiers;
         // those demotes are asynchronous, so the stall is always zero.
-        let stall = self.charge_tier_transfers(now);
+        let stall = self.charge_tier_transfers(now, SimDuration::ZERO);
         debug_assert!(stall.is_zero(), "promotion outside admission");
         self.last_step_end = now;
         if !self.cancelled.is_empty() {
@@ -655,7 +655,16 @@ impl Engine {
     /// the admitting step folds into its duration — the offload TTFT toll.
     /// Demotions are asynchronous: they occupy the link (delaying later
     /// transfers queued behind them) but gate nothing.
-    fn charge_tier_transfers(&mut self, now: SimTime) -> SimDuration {
+    ///
+    /// `overlap` is the wall time of the prefill compute the promotions
+    /// gate. With [`OffloadConfig`]`::transfer_chunks` above 1 each
+    /// promote ships as a train of layer chunks and chunk `k` of `n` is
+    /// only needed once the prefill reaches layer `k` — at
+    /// `now + overlap * k / n` — so the stall covers just the residual
+    /// the wire fails to hide behind compute. With a single chunk (the
+    /// default) `overlap` is ignored and the promote gates end to end,
+    /// bit-identical to the serial pricing.
+    fn charge_tier_transfers(&mut self, now: SimTime, overlap: SimDuration) -> SimDuration {
         if self.host_link.is_none() {
             return SimDuration::ZERO;
         }
@@ -664,19 +673,38 @@ impl Engine {
             return SimDuration::ZERO;
         }
         let bytes_per_block = self.config.kv_bytes_per_block();
-        let mut ready = now;
+        let chunks = self
+            .config
+            .offload
+            .as_ref()
+            .map_or(1, |o| o.transfer_chunks);
+        let mut stall = SimDuration::ZERO;
         for ev in self.tier_events.drain(..) {
             let link = match ev.tier {
                 Tier::Host => self.host_link.as_mut(),
                 Tier::Nvme => self.nvme_link.as_mut(),
             };
             let link = link.expect("offload links exist whenever the hierarchy does");
-            let t = link.schedule(now, ev.blocks as u64 * bytes_per_block);
-            if ev.dir == TierDir::Promote {
-                ready = ready.max(t.end);
+            let bytes = ev.blocks as u64 * bytes_per_block;
+            if ev.dir == TierDir::Promote && chunks > 1 {
+                let n = u64::from(chunks).min(bytes.max(1));
+                let base = bytes / n;
+                let rem = bytes % n;
+                let plan: Vec<(SimTime, u64)> =
+                    (0..n).map(|k| (now, base + u64::from(k < rem))).collect();
+                let t = link.schedule_chunked(&plan);
+                for (k, c) in t.chunks().iter().enumerate() {
+                    let needed = now + overlap * (k as u64) / n;
+                    stall = stall.max(c.end.saturating_since(needed));
+                }
+            } else {
+                let t = link.schedule(now, bytes);
+                if ev.dir == TierDir::Promote {
+                    stall = stall.max(t.end.saturating_since(now));
+                }
             }
         }
-        ready.saturating_since(now)
+        stall
     }
 
     // ---- step formation -------------------------------------------------
@@ -685,10 +713,6 @@ impl Engine {
     /// FCFS under the token budget) or one decode iteration.
     fn form_classic_step(&mut self, now: SimTime) -> Option<StepInProgress> {
         let admitted = self.admit(now, self.config.max_batch_tokens);
-        // Price any KV the admission moved through the offload tiers.
-        // Promotions gate the admitted prefill below; only admission can
-        // promote, so the fall-through to decode never stalls.
-        let stall = self.charge_tier_transfers(now);
         if !admitted.is_empty() {
             let items: Vec<PrefillItem> = admitted
                 .iter()
@@ -698,6 +722,12 @@ impl Engine {
                 })
                 .collect();
             let cost = self.perf.prefill(&items);
+            // Price any KV the admission moved through the offload
+            // tiers. Promotions gate this prefill; chunked promotion
+            // pricing overlaps the fetch against the prefill compute,
+            // which is why the step cost must be known before the toll
+            // is charged.
+            let stall = self.charge_tier_transfers(now, cost.duration);
             // Newly admitted requests carry their whole uncached prompt as
             // one "chunk"; they produce their first token at step end.
             // Imported admissions may interleave with them in `running`,
@@ -721,6 +751,9 @@ impl Engine {
                 prefill_chunks: admitted.iter().map(|&(id, new, _)| (id, new)).collect(),
             });
         }
+        // No admission, so nothing can have promoted — but demotes the
+        // scheduler queued still need their link time charged.
+        let stall = self.charge_tier_transfers(now, SimDuration::ZERO);
         debug_assert!(stall.is_zero(), "promotion without a prefill admission");
         self.form_decode_step(now)
     }
@@ -768,8 +801,11 @@ impl Engine {
         }
         // Price KV moved through the offload tiers by that admission; a
         // promotion gates this whole mixed step (the new request's first
-        // chunk runs in it).
-        let stall = self.charge_tier_transfers(now);
+        // chunk runs in it). Chunked promotion overlap applies to
+        // classic admission only — a mixed step's prefill chunk is too
+        // small a window to pipeline a whole promote against, so the
+        // serial end-to-end toll is the honest price here.
+        let stall = self.charge_tier_transfers(now, SimDuration::ZERO);
 
         // The decode set is re-derived after admission: ordinary admits
         // enter mid-prefill (excluded), while imported admits arrive with

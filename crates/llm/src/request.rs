@@ -119,6 +119,22 @@ impl MigratedRequest {
     pub fn remaining_tokens(&self) -> u32 {
         self.target_out - self.generated
     }
+
+    /// When layer-chunk `chunk` of `chunks` became shippable, relative to
+    /// a migration committed at `now`.
+    ///
+    /// Prefill fills KV layer by layer: by the time the last layer (and
+    /// the release) lands at `now`, layer-chunk `k` of `n` has already
+    /// been complete for `prefill_time * (n - 1 - k) / n` — the model's
+    /// per-layer progress, reconstructed from the wall time the request
+    /// spent in prefill steps. The last chunk is always ready exactly at
+    /// `now`, and with `chunks == 1` this *is* `now`, which is what keeps
+    /// the single-chunk path bit-identical to the serial one.
+    pub fn chunk_ready(&self, now: SimTime, chunk: u32, chunks: u32) -> SimTime {
+        debug_assert!(chunk < chunks, "chunk {chunk} out of {chunks}");
+        let lead = self.prefill_time * u64::from(chunks - 1 - chunk) / u64::from(chunks);
+        SimTime::from_micros(now.as_micros().saturating_sub(lead.as_micros()))
+    }
 }
 
 impl fmt::Display for LlmCompletion {

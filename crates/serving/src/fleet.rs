@@ -41,7 +41,7 @@ use agentsim_session::{
     seeds, validate_load, AdmissionController, Arrival, ArrivalProcess, CallDone, CascadePolicy,
     ClientModel, LlmSubmit, OverloadPolicy, QueueDiscipline, SessionCmd, SessionRunner, ToolRng,
 };
-use agentsim_simkit::{EventQueue, SimRng, SimTime};
+use agentsim_simkit::{EventQueue, SimDuration, SimRng, SimTime};
 use agentsim_tools::ToolExecutor;
 use agentsim_workloads::{Benchmark, Task, TaskGenerator};
 
@@ -310,6 +310,17 @@ pub struct FleetReport {
     pub offload_host_bytes: u64,
     /// Bytes moved over the host↔NVMe offload links, fleet-wide.
     pub offload_nvme_bytes: u64,
+    /// Wire time the HBM↔host offload links spent moving KV, fleet-wide
+    /// (seconds) — with promotion pipelining this includes wire time
+    /// hidden behind prefill compute.
+    pub offload_host_busy_s: f64,
+    /// Head-of-line queueing delay on the HBM↔host links, fleet-wide
+    /// (seconds).
+    pub offload_host_wait_s: f64,
+    /// Wire time the host↔NVMe offload links spent moving KV (seconds).
+    pub offload_nvme_busy_s: f64,
+    /// Head-of-line queueing delay on the host↔NVMe links (seconds).
+    pub offload_nvme_wait_s: f64,
 }
 
 #[derive(Debug)]
@@ -1251,6 +1262,11 @@ impl FleetSim {
         let mut utilization = Vec::with_capacity(self.engines.len());
         let (mut demoted, mut promoted, mut promoted_tokens, mut dropped) = (0u64, 0u64, 0u64, 0);
         let (mut host_bytes, mut nvme_bytes) = (0u64, 0u64);
+        // Integer-microsecond sums converted once at the end: replica
+        // iteration order is fixed, but integer accumulation makes the
+        // order moot anyway.
+        let (mut host_busy, mut host_wait) = (SimDuration::ZERO, SimDuration::ZERO);
+        let (mut nvme_busy, mut nvme_wait) = (SimDuration::ZERO, SimDuration::ZERO);
         for (r, e) in self.engines.iter().enumerate() {
             let kv = e.kv().stats();
             hits += kv.hit_tokens;
@@ -1264,6 +1280,14 @@ impl FleetSim {
             dropped += kv.offload_dropped_blocks;
             host_bytes += e.host_link().map_or(0, |l| l.bytes_moved());
             nvme_bytes += e.nvme_link().map_or(0, |l| l.bytes_moved());
+            if let Some(l) = e.host_link() {
+                host_busy += l.busy_time();
+                host_wait += l.wait_time();
+            }
+            if let Some(l) = e.nvme_link() {
+                nvme_busy += l.busy_time();
+                nvme_wait += l.wait_time();
+            }
         }
         let makespan = self.last_finish.as_secs_f64();
         FleetReport {
@@ -1309,6 +1333,10 @@ impl FleetSim {
             offload_dropped_blocks: dropped,
             offload_host_bytes: host_bytes,
             offload_nvme_bytes: nvme_bytes,
+            offload_host_busy_s: host_busy.as_secs_f64(),
+            offload_host_wait_s: host_wait.as_secs_f64(),
+            offload_nvme_busy_s: nvme_busy.as_secs_f64(),
+            offload_nvme_wait_s: nvme_wait.as_secs_f64(),
         }
     }
 }
@@ -1317,7 +1345,6 @@ impl FleetSim {
 mod tests {
     use super::*;
     use agentsim_session::{AdmissionPolicy, RetryPolicy};
-    use agentsim_simkit::SimDuration;
 
     fn run(routing: Routing, replicas: u32) -> FleetReport {
         FleetSim::new(FleetConfig::react_hotpotqa(replicas, routing, 2.0, 40).seed(3)).run()
